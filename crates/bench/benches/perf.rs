@@ -1,0 +1,100 @@
+//! Criterion performance benches for the substrate: VM interpreter
+//! throughput, compiler speed, injector hook overhead, and end-to-end
+//! campaign run rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use swifi_core::fault::FaultSpec;
+use swifi_core::injector::{Injector, TriggerMode};
+use swifi_lang::compile;
+use swifi_programs::{program, Family, TestInput};
+use swifi_vm::asm::assemble;
+use swifi_vm::machine::{Machine, MachineConfig};
+use swifi_vm::Noop;
+
+/// A tight 1M-instruction count-down loop.
+fn countdown_image() -> swifi_vm::Image {
+    assemble(
+        "li r5, 250000
+         loop:
+         addi r5, r5, -1
+         cmpi cr0, r5, 0
+         bc cr0.gt, 1, loop
+         li r3, 0
+         halt",
+    )
+    .expect("assembles")
+}
+
+fn bench_vm_throughput(c: &mut Criterion) {
+    let image = countdown_image();
+    let mut group = c.benchmark_group("vm");
+    // ~1M retired instructions per iteration.
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("interpreter_1M_instr", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            let out = m.run(&mut Noop);
+            assert!(out.is_normal());
+            m.retired()
+        })
+    });
+    group.finish();
+}
+
+fn bench_injector_overhead(c: &mut Criterion) {
+    let image = countdown_image();
+    // A dormant fault at an unexecuted address: measures pure hook cost.
+    let fault = FaultSpec::replace_instr(0x1000, 0);
+    let mut group = c.benchmark_group("injector");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("armed_but_dormant_1M_instr", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, 0).unwrap();
+            inj.prepare(&mut m).unwrap();
+            let out = m.run(&mut inj);
+            assert!(out.is_normal());
+        })
+    });
+    group.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let src = program("C.team9").unwrap().source_correct;
+    let mut group = c.benchmark_group("compiler");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("compile_cteam9", |b| {
+        b.iter(|| compile(src).expect("compiles"))
+    });
+    group.finish();
+}
+
+fn bench_campaign_run(c: &mut Criterion) {
+    let p = program("JB.team11").unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let input = TestInput::JamesB { seed: 7, line: b"benchmark line".to_vec() };
+    let set = swifi_core::locations::generate_error_set(&compiled.debug, 3, 3, 1);
+    let fault = set.assign_faults[0].spec;
+    c.bench_function("campaign/one_injected_run_jamesb", |b| {
+        b.iter(|| {
+            swifi_campaign::execute(&compiled, Family::JamesB, &input, Some(&fault), 1)
+        })
+    });
+    let cam = program("C.team8").unwrap();
+    let cam_compiled = compile(cam.source_correct).unwrap();
+    let cam_input = TestInput::Camelot { pieces: vec![(0, 0), (3, 4), (6, 2)] };
+    c.bench_function("campaign/one_clean_run_camelot", |b| {
+        b.iter(|| swifi_campaign::execute(&cam_compiled, Family::Camelot, &cam_input, None, 1))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vm_throughput,
+    bench_injector_overhead,
+    bench_compiler,
+    bench_campaign_run
+);
+criterion_main!(benches);

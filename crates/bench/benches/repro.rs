@@ -1,0 +1,425 @@
+//! The reproduction harness: regenerates every table and figure of
+//! *Madeira, Costa, Vieira — "On the Emulation of Software Faults by
+//! Software Fault Injection" (DSN 2000)*.
+//!
+//! ```text
+//! cargo bench -p swifi-bench --bench repro              # everything
+//! cargo bench -p swifi-bench --bench repro -- table1    # one artefact
+//! REPRO_FULL=1 cargo bench ... -- fig7                  # paper scale
+//! ```
+//!
+//! Artefacts: `table1 section5 table2 table3 table4 fig7 fig8 fig9 fig10
+//! ablation`. JSON copies land in `target/repro/`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use swifi_bench::dump_json;
+use swifi_campaign::ablation::ablation;
+use swifi_campaign::intensive::table1;
+use swifi_campaign::report::{mode_cells, pct, render_table, MODE_HEADERS};
+use swifi_campaign::runner::{FailureMode, ModeCounts};
+use swifi_campaign::section5::{not_emulable_field_fraction, section5};
+use swifi_campaign::section6::{
+    campaign_all, chosen_locations, merge_by_error_type, table2, CampaignScale, ProgramCampaign,
+};
+use swifi_odc::{AssignErrorType, CheckErrorType};
+
+const SEED: u64 = 20000625;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let full = std::env::var_os("REPRO_FULL").is_some();
+
+    println!("== SWIFI reproduction harness ==");
+    println!(
+        "scale: {} (set REPRO_FULL=1 for the paper's 300 inputs/fault)\n",
+        if full { "FULL (paper)" } else { "reduced" }
+    );
+
+    if want("table1") {
+        run_table1(full);
+    }
+    if want("section5") {
+        run_section5();
+    }
+    if want("table2") {
+        run_table2();
+    }
+    if want("table3") {
+        run_table3();
+    }
+    // The class campaign feeds table4 and figures 7-10; run it once.
+    let campaign_needed = ["table4", "fig7", "fig8", "fig9", "fig10"].iter().any(|a| want(a));
+    if campaign_needed {
+        let scale = CampaignScale::from_env();
+        println!(
+            "running class campaigns over 8 programs ({} inputs per fault)...",
+            scale.inputs_per_fault
+        );
+        let t0 = Instant::now();
+        let campaigns = campaign_all(scale, SEED);
+        println!("campaigns done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        dump_json("campaigns", &campaigns);
+        if want("table4") {
+            run_table4(&campaigns);
+        }
+        if want("fig7") {
+            run_fig_by_program(&campaigns, true);
+        }
+        if want("fig8") {
+            run_fig_by_program(&campaigns, false);
+        }
+        if want("fig9") || want("fig10") {
+            let (assign, check) = merge_by_error_type(&campaigns);
+            if want("fig9") {
+                run_fig9(&assign);
+            }
+            if want("fig10") {
+                run_fig10(&check);
+            }
+        }
+    }
+    if want("ablation") {
+        run_ablation();
+    }
+    if want("exposure") {
+        run_exposure();
+    }
+    if want("triggers") {
+        run_triggers();
+    }
+    if want("hwcompare") {
+        run_hwcompare();
+    }
+    println!("JSON artefacts written to target/repro/");
+}
+
+fn run_table1(full: bool) {
+    let runs = if full { 10_000 } else { 1_000 };
+    println!("-- Table 1: failure symptoms of the real software faults ({runs} runs each) --");
+    let t0 = Instant::now();
+    let rows = table1(runs, SEED);
+    let paper: BTreeMap<&str, &str> = [
+        ("C.team1", "7.3%"),
+        ("C.team2", "16.9%"),
+        ("C.team3", "1.0%"),
+        ("C.team4", "30.8%"),
+        ("C.team5", "2.9%"),
+        ("JB.team6", "0.05%"),
+        ("JB.team7", "1.8%"),
+    ]
+    .into();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.program.clone(),
+                r.defect_type.clone(),
+                pct(r.wrong_pct()),
+                pct(r.correct_pct()),
+                paper.get(r.program.as_str()).unwrap_or(&"?").to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Program", "Fault type", "% Wrong results", "% Correct results", "paper % wrong"],
+            &table_rows
+        )
+    );
+    println!("(no hangs or crashes from real faults, as in the paper)");
+    println!("elapsed: {:.1}s\n", t0.elapsed().as_secs_f64());
+    dump_json("table1", &rows);
+}
+
+fn run_section5() {
+    println!("-- Section 5: emulation of the seven real faults --");
+    let t0 = Instant::now();
+    let rows = section5(50, SEED);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.program.clone(),
+                r.defect_type.clone(),
+                r.class.to_string(),
+                r.word_diffs.to_string(),
+                r.required_triggers.to_string(),
+                r.emulation_accuracy.map_or("n/a".to_string(), pct),
+                r.mode.clone().unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Program", "Fault type", "Class", "Word diffs", "Triggers", "Emulation acc.", "Mode"],
+            &table_rows
+        )
+    );
+    println!("classes: A = emulable with hardware triggers (Figs. 3 & 5 recipes);");
+    println!("         B = exceeds the 2 breakpoint registers, needs intrusive traps (Fig. 4);");
+    println!("         C = structural change, beyond any SWIFI tool (Fig. 6)");
+    println!(
+        "field data: algorithm+function faults = {:.0}% of field faults cannot be emulated",
+        not_emulable_field_fraction() * 100.0
+    );
+    println!("elapsed: {:.1}s\n", t0.elapsed().as_secs_f64());
+    dump_json("section5", &rows);
+}
+
+fn run_table2() {
+    println!("-- Table 2: target programs and main features --");
+    let rows = table2();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.program.clone(),
+                r.loc.to_string(),
+                if r.recursive { "yes" } else { "no" }.to_string(),
+                if r.dynamic_structures { "yes" } else { "no" }.to_string(),
+                r.cores.to_string(),
+                if r.had_real_fault { "1 (corrected)" } else { "-" }.to_string(),
+                r.features.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Program", "LoC", "Recursive", "Dynamic", "Cores", "Real faults", "Features"],
+            &table_rows
+        )
+    );
+    dump_json("table2", &rows);
+}
+
+fn run_table3() {
+    println!("-- Table 3: subset of injected error types --");
+    let mut rows: Vec<Vec<String>> = AssignErrorType::ALL
+        .iter()
+        .map(|t| vec!["Assignment".to_string(), t.label().to_string()])
+        .collect();
+    rows.extend(
+        CheckErrorType::ALL
+            .iter()
+            .map(|t| vec!["Checking".to_string(), t.label().to_string()]),
+    );
+    println!("{}", render_table(&["Fault class", "Error type (original -> injected)"], &rows));
+    println!("index errors ([i] -> [i±1]) apply only to checking over arrays, per the paper\n");
+}
+
+fn run_table4(campaigns: &[ProgramCampaign]) {
+    println!("-- Table 4: injected faults --");
+    let rows: Vec<Vec<String>> = campaigns
+        .iter()
+        .map(|c| {
+            let (na, nc) = chosen_locations(&c.program);
+            vec![
+                c.program.clone(),
+                c.plan.possible_assign.to_string(),
+                na.min(c.plan.possible_assign).to_string(),
+                c.injected_assign().to_string(),
+                c.plan.possible_check.to_string(),
+                nc.min(c.plan.possible_check).to_string(),
+                c.injected_check().to_string(),
+            ]
+        })
+        .collect();
+    let total: u64 = campaigns.iter().map(|c| c.total_runs).sum();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Program",
+                "A: possible",
+                "A: chosen",
+                "A: injected",
+                "C: possible",
+                "C: chosen",
+                "C: injected",
+            ],
+            &rows
+        )
+    );
+    println!("total injected faults (runs): {total}  (paper at full scale: 108,600)\n");
+}
+
+fn fig_row(name: &str, counts: &ModeCounts) -> Vec<String> {
+    let mut row = vec![name.to_string()];
+    row.extend(mode_cells(counts));
+    row
+}
+
+fn run_fig_by_program(campaigns: &[ProgramCampaign], assign: bool) {
+    let (fig, class) = if assign { ("Figure 7", "assignment") } else { ("Figure 8", "checking") };
+    println!("-- {fig}: failure modes per program, {class} faults --");
+    let rows: Vec<Vec<String>> = campaigns
+        .iter()
+        .map(|c| fig_row(&c.program, if assign { &c.assign_modes } else { &c.check_modes }))
+        .collect();
+    let mut headers = vec!["Program"];
+    headers.extend(MODE_HEADERS);
+    println!("{}", render_table(&headers, &rows));
+    let dormant: u64 = campaigns.iter().map(|c| c.dormant_runs).sum();
+    let total: u64 = campaigns.iter().map(|c| c.total_runs).sum();
+    println!(
+        "dormant (never-fired) runs across campaign: {dormant}/{total} = {}\n",
+        pct(dormant as f64 * 100.0 / total.max(1) as f64)
+    );
+}
+
+fn run_fig9(assign: &BTreeMap<AssignErrorType, ModeCounts>) {
+    println!("-- Figure 9: failure modes per assignment error type (all faults) --");
+    let rows: Vec<Vec<String>> = AssignErrorType::ALL
+        .iter()
+        .filter_map(|t| assign.get(t).map(|c| fig_row(t.label(), c)))
+        .collect();
+    let mut headers = vec!["Error type"];
+    headers.extend(MODE_HEADERS);
+    println!("{}", render_table(&headers, &rows));
+}
+
+fn run_fig10(check: &BTreeMap<CheckErrorType, ModeCounts>) {
+    println!("-- Figure 10: failure modes per checking error type (all faults) --");
+    let rows: Vec<Vec<String>> = CheckErrorType::ALL
+        .iter()
+        .filter_map(|t| check.get(t).map(|c| fig_row(t.label(), c)))
+        .collect();
+    let mut headers = vec!["Error type"];
+    headers.extend(MODE_HEADERS);
+    println!("{}", render_table(&headers, &rows));
+    // The paper's headline contrasts: != -> = and true -> false barely
+    // ever stay correct; < -> <= often does.
+    for t in [CheckErrorType::NeToEq, CheckErrorType::TrueToFalse, CheckErrorType::LtToLe] {
+        if let Some(c) = check.get(&t) {
+            println!("  `{}` correct rate: {}", t.label(), pct(c.pct(FailureMode::Correct)));
+        }
+    }
+    println!();
+}
+
+fn run_hwcompare() {
+    println!("-- Hardware-fault baseline (sec. 6.4): random bit flips vs software errors --");
+    let target = swifi_programs::program("JB.team11").expect("exists");
+    let scale = CampaignScale { inputs_per_fault: 10 };
+    let t0 = Instant::now();
+    let hw = swifi_campaign::hardware::hardware_campaign(&target, 30, scale, SEED);
+    let sw = swifi_campaign::section6::class_campaign(&target, scale, SEED);
+    let mut rows: Vec<Vec<String>> = hw
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.kind.label().to_string()];
+            row.extend(mode_cells(&r.modes));
+            row
+        })
+        .collect();
+    let mut sw_assign = vec!["software: assignment errors".to_string()];
+    sw_assign.extend(mode_cells(&sw.assign_modes));
+    rows.push(sw_assign);
+    let mut sw_check = vec!["software: checking errors".to_string()];
+    sw_check.extend(mode_cells(&sw.check_modes));
+    rows.push(sw_check);
+    let mut headers = vec!["Fault source"];
+    headers.extend(MODE_HEADERS);
+    println!("{}", render_table(&headers, &rows));
+    println!("the overlap in profiles is the paper's point: random-triggered injected");
+    println!("errors emulate software and hardware faults at the same time (sec. 6.4)");
+    println!("elapsed: {:.1}s\n", t0.elapsed().as_secs_f64());
+    dump_json("hwcompare", &hw);
+}
+
+fn run_triggers() {
+    println!("-- Trigger-sparsity ablation (the paper's closing future-work question) --");
+    let target = swifi_programs::program("JB.team11").expect("exists");
+    let scale = CampaignScale { inputs_per_fault: 10 };
+    let t0 = Instant::now();
+    let rows = swifi_campaign::triggers::trigger_ablation(&target, scale, SEED);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.policy.clone()];
+            row.extend(mode_cells(&r.modes));
+            row.push(format!("{}/{}", r.dormant_runs, r.modes.total()));
+            row
+        })
+        .collect();
+    let mut headers = vec!["Firing policy (When)"];
+    headers.extend(MODE_HEADERS);
+    headers.push("Dormant");
+    println!("{}", render_table(&headers, &table_rows));
+    println!("sparser triggers leave more faults dormant — moving injected-fault profiles");
+    println!("toward the near-total dormancy of real software faults (Table 1)");
+    println!("elapsed: {:.1}s\n", t0.elapsed().as_secs_f64());
+    dump_json("triggers", &rows);
+}
+
+fn run_exposure() {
+    println!("-- Figure 2 (empirical): exposure chains of the addressable real faults --");
+    let runs = if std::env::var_os("REPRO_FULL").is_some() { 2_000 } else { 300 };
+    let t0 = Instant::now();
+    let rows = swifi_campaign::exposure::estimate_exposure(runs, SEED);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|e| {
+            vec![
+                e.program.clone(),
+                format!("{:.3}", e.p1),
+                format!("{:.3}", e.p23),
+                format!("{:.4}", e.failure_rate),
+                e.min_acceleration()
+                    .map_or("n/a".to_string(), |a| format!("{a:.0}x")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Program", "p1 (executed)", "p2*p3 (fail|exec)", "failure rate", "min accel."],
+            &table_rows
+        )
+    );
+    println!("error injection forces p1 = p2 = 1, hence its much stronger impact (sec. 6.4)");
+    println!("elapsed: {:.1}s\n", t0.elapsed().as_secs_f64());
+    dump_json("exposure", &rows);
+}
+
+fn run_ablation() {
+    println!("-- Section 6.1 ablation: injection allocation strategies (SOR) --");
+    let target = swifi_programs::program("SOR").expect("SOR exists");
+    let scale = if std::env::var_os("REPRO_FULL").is_some() {
+        CampaignScale { inputs_per_fault: 25 }
+    } else {
+        CampaignScale { inputs_per_fault: 5 }
+    };
+    let t0 = Instant::now();
+    let rows = ablation(&target, 12, scale, SEED);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.strategy.clone()];
+            row.extend(mode_cells(&r.modes));
+            row.push(r.dormant_runs.to_string());
+            row.push(
+                r.allocation
+                    .iter()
+                    .filter(|&&(_, n)| n > 0)
+                    .map(|(f, n)| format!("{f}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+            row
+        })
+        .collect();
+    let mut headers = vec!["Strategy"];
+    headers.extend(MODE_HEADERS);
+    headers.push("Dormant");
+    headers.push("Allocation");
+    println!("{}", render_table(&headers, &table_rows));
+    println!("elapsed: {:.1}s\n", t0.elapsed().as_secs_f64());
+    dump_json("ablation", &rows);
+}

@@ -1,0 +1,28 @@
+use swifi_lang::compile;
+use swifi_vm::machine::{Machine, MachineConfig};
+use swifi_vm::Noop;
+use std::time::Instant;
+
+fn main() {
+    for name in ["C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "SOR"] {
+        let p = swifi_programs::program(name).unwrap();
+        let c = compile(p.source_correct).unwrap();
+        let inputs = p.family.test_case(5, 7);
+        let mut total = 0u64;
+        let t0 = Instant::now();
+        for input in &inputs {
+            let mut m = Machine::new(MachineConfig {
+                num_cores: p.family.cores(),
+                budget: p.family.run_budget(),
+                ..MachineConfig::default()
+            });
+            m.load(&c.image);
+            m.set_input(input.to_tape());
+            let _ = m.run(&mut Noop);
+            total += m.retired();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{:10} avg {:>10} instr/run, {:>6.1} ms/run, {:.0}M instr/s",
+            name, total / 5, dt * 200.0, total as f64 / dt / 1e6);
+    }
+}

@@ -1,0 +1,51 @@
+//! # swifi-campaign — experiment drivers for the reproduction
+//!
+//! Each module reproduces one experiment of *Madeira, Costa, Vieira —
+//! "On the Emulation of Software Faults by Software Fault Injection"
+//! (DSN 2000)*:
+//!
+//! - [`intensive`] — Table 1: failure symptoms of the seven real faults
+//!   under intensive random testing;
+//! - [`section5`] — §5: emulability classification (A/B/C) of each real
+//!   fault plus behavioural verification of the emulations;
+//! - [`section6`] — §6: class-based injection campaigns over the eight
+//!   Table-2 targets (Tables 2 & 4, Figures 7–10);
+//! - [`ablation`] — §6.1: uniform vs metrics-guided vs field-data
+//!   injection allocation;
+//! - [`exposure`] — Figure 2 made empirical: measured `p1·p2·p3` chains
+//!   for the addressable real faults;
+//! - [`triggers`] — the paper's closing future-work question implemented:
+//!   how firing sparsity (the When attribute) shapes fault impact;
+//! - [`hardware`] — the §6.4 baseline: random bit-flip (hardware) faults
+//!   to compare against the rule-generated software errors;
+//! - [`runner`] — single-run execution and the four failure modes;
+//! - [`pool`] — order-preserving parallel map over independent runs;
+//! - [`report`] — paper-style text tables.
+//!
+//! # Quick start
+//!
+//! ```
+//! use swifi_campaign::section6::{class_campaign, CampaignScale};
+//!
+//! let target = swifi_programs::program("JB.team11").unwrap();
+//! let result = class_campaign(&target, CampaignScale { inputs_per_fault: 2 }, 42);
+//! assert!(result.total_runs > 0);
+//! // Injected faults hit much harder than real software faults:
+//! assert!(result.assign_modes.correct < result.assign_modes.total());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod exposure;
+pub mod hardware;
+pub mod intensive;
+pub mod pool;
+pub mod report;
+pub mod runner;
+pub mod section5;
+pub mod section6;
+pub mod triggers;
+
+pub use runner::{execute, FailureMode, ModeCounts};
+pub use section6::{campaign_all, class_campaign, CampaignScale, ProgramCampaign};

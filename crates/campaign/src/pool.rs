@@ -1,0 +1,74 @@
+//! A minimal deterministic parallel-map over independent runs.
+//!
+//! Campaign runs are embarrassingly parallel (one fresh machine each);
+//! wall-clock matters because a full reproduction executes 10⁴–10⁵ VM
+//! runs. Results are returned in input order regardless of scheduling.
+
+use crossbeam_channel::unbounded;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on up to `available_parallelism` worker threads,
+/// returning results in input order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = workers.min(items.len().max(1));
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("every index produced")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn works_on_tiny_inputs() {
+        assert_eq!(parallel_map(&[5u32], |&x| x + 1), vec![6]);
+        assert_eq!(parallel_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn handles_heavier_work() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| (0..10_000).fold(x, |a, b| a.wrapping_add(b)));
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], (0..10_000).sum::<u64>());
+    }
+}

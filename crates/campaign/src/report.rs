@@ -1,0 +1,109 @@
+//! Plain-text rendering of tables and figure series, in the layout of the
+//! paper's tables (percentages to one decimal, like Table 1's "7.3%").
+
+use crate::runner::{FailureMode, ModeCounts};
+
+/// Render an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// let t = swifi_campaign::report::render_table(
+///     &["Program", "% Wrong"],
+///     &[vec!["C.team1".into(), "7.3%".into()]],
+/// );
+/// assert!(t.contains("C.team1"));
+/// assert!(t.starts_with("Program"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..widths[i] {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a percentage the way the paper prints them (one decimal, `%`).
+pub fn pct(v: f64) -> String {
+    if v != 0.0 && v < 0.1 {
+        // Table 1 prints the tiny JB.team6 rate as "0.05%".
+        format!("{v:.2}%")
+    } else {
+        format!("{v:.1}%")
+    }
+}
+
+/// Render one failure-mode distribution as the four percentage cells used
+/// by Figures 7–10.
+pub fn mode_cells(counts: &ModeCounts) -> Vec<String> {
+    FailureMode::ALL.iter().map(|&m| pct(counts.pct(m))).collect()
+}
+
+/// Headers matching [`mode_cells`].
+pub const MODE_HEADERS: [&str; 4] = ["Correct", "Incorrect", "Hang", "Crash"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["A", "LongHeader"],
+            &[
+                vec!["xxxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset in every row.
+        let col = lines[0].find("LongHeader").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(7.31), "7.3%");
+        assert_eq!(pct(0.05), "0.05%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(100.0), "100.0%");
+    }
+
+    #[test]
+    fn mode_cells_cover_all_modes() {
+        let mut c = ModeCounts::default();
+        c.add(FailureMode::Correct);
+        c.add(FailureMode::Crash);
+        let cells = mode_cells(&c);
+        assert_eq!(cells, vec!["50.0%", "0.0%", "0.0%", "50.0%"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Tiny dependency-free argument parsing for the `swifi` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional operands, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional operands after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options; bare `--flag`s map to an empty string.
+    pub options: HashMap<String, Vec<String>>,
+}
+
+impl ParsedArgs {
+    /// Parse an argument list (without the program name).
+    ///
+    /// Every `--key` consumes the next argument as its value unless that
+    /// argument also starts with `--` (then it is a bare flag). Repeated
+    /// keys accumulate.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> ParsedArgs {
+        let mut out = ParsedArgs::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let takes_value = it.peek().is_some_and(|n| !n.starts_with("--"));
+                let value = if takes_value { it.next().unwrap() } else { String::new() };
+                out.options.entry(key.to_string()).or_default().push(value);
+            } else if out.command.is_empty() {
+                out.command = a;
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// Last value of an option, if present.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// Whether a bare flag (or option) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// All values of a repeatable option.
+    pub fn all(&self, key: &str) -> Vec<&str> {
+        self.options.get(key).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
+    }
+
+    /// Parse an option as an integer with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is present but not an integer.
+    pub fn int_opt(&self, key: &str, default: i64) -> Result<i64, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_and_positionals() {
+        let p = parse("run prog.mc extra");
+        assert_eq!(p.command, "run");
+        assert_eq!(p.positional, vec!["prog.mc", "extra"]);
+    }
+
+    #[test]
+    fn options_and_flags() {
+        let p = parse("inject f.mc --site 3 --asm --int 1 --int 2");
+        assert_eq!(p.opt("site"), Some("3"));
+        assert!(p.flag("asm"));
+        assert_eq!(p.all("int"), vec!["1", "2"]);
+        assert_eq!(p.int_opt("site", 0), Ok(3));
+    }
+
+    #[test]
+    fn flag_before_flag_is_bare() {
+        // A `--flag` immediately followed by another `--flag` takes no
+        // value; a trailing operand would be consumed as a value, so the
+        // documented usage puts flags last.
+        let p = parse("compile f.mc --asm --sites");
+        assert!(p.flag("asm"));
+        assert!(p.flag("sites"));
+        assert_eq!(p.positional, vec!["f.mc"]);
+    }
+
+    #[test]
+    fn int_opt_errors_on_garbage() {
+        let p = parse("x --n abc");
+        // "abc" does not start with --, so it is the value of --n.
+        assert!(p.int_opt("n", 1).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse("campaign SOR");
+        assert_eq!(p.int_opt("inputs", 10), Ok(10));
+        assert_eq!(p.opt("missing"), None);
+        assert!(!p.flag("missing"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        // `-5` does not start with `--`, so it is consumed as a value.
+        let p = parse("run --int -5");
+        assert_eq!(p.all("int"), vec!["-5"]);
+    }
+}

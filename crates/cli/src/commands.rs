@@ -1,0 +1,355 @@
+//! Implementations of the `swifi` subcommands.
+
+use swifi_campaign::report::{mode_cells, render_table, MODE_HEADERS};
+use swifi_campaign::section6::{class_campaign, CampaignScale};
+use swifi_core::emulate::{plan_emulation, EmulationVerdict};
+use swifi_core::injector::{Injector, TriggerMode};
+use swifi_core::locations::generate_error_set;
+use swifi_lang::compile;
+use swifi_programs::{all_programs, program};
+use swifi_vm::asm::disassemble;
+use swifi_vm::machine::{InputTape, Machine, MachineConfig, RunOutcome};
+use swifi_vm::Noop;
+
+use crate::args::ParsedArgs;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+swifi - software fault injection playground (DSN 2000 reproduction)
+
+USAGE:
+  swifi list                                 roster of target programs
+  swifi compile FILE [--asm] [--sites]       compile MiniC; show code / fault sites
+  swifi run FILE [--int N]... [--line S]     run a MiniC program
+  swifi sites FILE                           fault-location catalogue
+  swifi inject FILE --fault N [--int N]...   inject the N-th generated fault
+  swifi emulate NAME                         emulability analysis (paper sec. 5)
+  swifi campaign NAME [--inputs N]           class campaign (paper sec. 6)
+  swifi metrics FILE|NAME                    software complexity metrics
+
+FILE is a MiniC source path; NAME is a roster program (see `swifi list`).
+";
+
+type CmdResult = Result<(), String>;
+
+fn read_source(parsed: &ParsedArgs) -> Result<(String, String), String> {
+    let path = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "expected a MiniC source file".to_string())?;
+    // Roster names are accepted anywhere a file is.
+    if let Some(p) = program(path) {
+        return Ok((path.clone(), p.source_correct.to_string()));
+    }
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok((path.clone(), src))
+}
+
+fn input_from_args(parsed: &ParsedArgs) -> Result<InputTape, String> {
+    let mut tape = InputTape::new();
+    for v in parsed.all("int") {
+        let n: i32 = v.parse().map_err(|_| format!("--int expects integers, got `{v}`"))?;
+        tape.push_ints([n]);
+    }
+    if let Some(line) = parsed.opt("line") {
+        tape.push_line(line);
+    }
+    Ok(tape)
+}
+
+/// `swifi list`
+pub fn list() -> CmdResult {
+    let rows: Vec<Vec<String>> = all_programs()
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                p.family.name().to_string(),
+                p.real_fault
+                    .map(|f| f.defect_type.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                if p.section6_target { "yes" } else { "no" }.to_string(),
+                p.features.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Program", "Family", "Real fault", "Sec.6 target", "Features"],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+/// `swifi compile FILE [--asm] [--sites]`
+pub fn compile_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let (path, src) = read_source(parsed)?;
+    let p = compile(&src).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} instructions, {} data bytes, {} functions",
+        p.image.code.len(),
+        p.image.data.len(),
+        p.debug.functions.len()
+    );
+    if parsed.flag("asm") {
+        for line in disassemble(&p.image) {
+            println!("{line}");
+        }
+    }
+    if parsed.flag("sites") {
+        print_sites(&p);
+    }
+    Ok(())
+}
+
+fn print_sites(p: &swifi_lang::Program) {
+    println!(
+        "{} assignment location(s), {} checking location(s):",
+        p.debug.assigns.len(),
+        p.debug.checks.len()
+    );
+    for (i, a) in p.debug.assigns.iter().enumerate() {
+        println!(
+            "  A{i:<3} line {:<4} {:<12} store @ {:#010x}{}",
+            a.line,
+            a.func,
+            a.store_addr,
+            if a.is_pointer { "  (pointer)" } else { "" }
+        );
+    }
+    for (i, c) in p.debug.checks.iter().enumerate() {
+        let types: Vec<&str> = c.mutations.iter().map(|(e, _)| e.label()).collect();
+        println!(
+            "  C{i:<3} line {:<4} {:<12} branch @ {:#010x}  [{}]",
+            c.line,
+            c.func,
+            c.branch_addr,
+            types.join(", ")
+        );
+    }
+}
+
+/// `swifi run FILE [--int N]... [--line S] [--cores N]`
+pub fn run_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let (path, src) = read_source(parsed)?;
+    let p = compile(&src).map_err(|e| format!("{path}: {e}"))?;
+    let cores = parsed.int_opt("cores", 1)? as usize;
+    let mut m = Machine::new(MachineConfig {
+        num_cores: cores.max(1),
+        ..MachineConfig::default()
+    });
+    m.load(&p.image);
+    m.set_input(input_from_args(parsed)?);
+    report_outcome(m.run(&mut Noop));
+    Ok(())
+}
+
+fn report_outcome(out: RunOutcome) {
+    match out {
+        RunOutcome::Completed { exit_code, output } => {
+            println!("{}", String::from_utf8_lossy(&output));
+            println!("[exit code {exit_code}]");
+        }
+        RunOutcome::Trapped { trap, pc, core, output } => {
+            println!("{}", String::from_utf8_lossy(&output));
+            println!("[CRASH on core {core} at {pc:#010x}: {trap}]");
+        }
+        RunOutcome::Hang { output } => {
+            println!("{}", String::from_utf8_lossy(&output));
+            println!("[HANG: instruction budget exhausted]");
+        }
+    }
+}
+
+/// `swifi sites FILE`
+pub fn sites(parsed: &ParsedArgs) -> CmdResult {
+    let (path, src) = read_source(parsed)?;
+    let p = compile(&src).map_err(|e| format!("{path}: {e}"))?;
+    print_sites(&p);
+    Ok(())
+}
+
+/// `swifi inject FILE --fault N [--int N]... [--line S] [--seed N]`
+pub fn inject(parsed: &ParsedArgs) -> CmdResult {
+    let (path, src) = read_source(parsed)?;
+    let p = compile(&src).map_err(|e| format!("{path}: {e}"))?;
+    let seed = parsed.int_opt("seed", 42)? as u64;
+    let set = generate_error_set(&p.debug, usize::MAX, usize::MAX, seed);
+    let faults: Vec<_> = set.assign_faults.iter().chain(&set.check_faults).collect();
+    if faults.is_empty() {
+        return Err("the program has no fault locations".to_string());
+    }
+    let n = parsed.int_opt("fault", -1)?;
+    if n < 0 {
+        println!("{} generated faults; pick one with --fault N:", faults.len());
+        for (i, f) in faults.iter().enumerate() {
+            println!(
+                "  {i:<4} {:<10} line {:<4} {:<12} @ {:#010x}",
+                f.error.label(),
+                f.line,
+                f.func,
+                f.site_addr
+            );
+        }
+        return Ok(());
+    }
+    let fault = faults
+        .get(n as usize)
+        .ok_or_else(|| format!("--fault {n} out of range (0..{})", faults.len()))?;
+    println!(
+        "injecting `{}` (line {}, {}) ...",
+        fault.error.label(),
+        fault.line,
+        fault.func
+    );
+    let mut inj = Injector::new(vec![fault.spec], TriggerMode::Hardware, seed)
+        .map_err(|e| e.to_string())?;
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&p.image);
+    m.set_input(input_from_args(parsed)?);
+    inj.prepare(&mut m).map_err(|e| e.to_string())?;
+    let out = m.run(&mut inj);
+    report_outcome(out);
+    println!("[fault fired: {}]", inj.any_fired());
+    Ok(())
+}
+
+/// `swifi emulate NAME`
+pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
+    let name = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "expected a roster program name".to_string())?;
+    let p = program(name).ok_or_else(|| format!("unknown program `{name}` (see `swifi list`)"))?;
+    let faulty_src = p
+        .source_faulty
+        .ok_or_else(|| format!("{name} has no recorded real fault"))?;
+    let fault = p.real_fault.expect("faulty implies fault");
+    println!("{name}: {} fault — {}", fault.defect_type, fault.description);
+    let corrected = compile(p.source_correct).map_err(|e| e.to_string())?;
+    let faulty = compile(faulty_src).map_err(|e| e.to_string())?;
+    match plan_emulation(&corrected.image, &faulty.image) {
+        EmulationVerdict::Identical => println!("binaries are identical"),
+        EmulationVerdict::Emulable { diffs } => {
+            println!(
+                "class A: emulable with hardware triggers ({} differing word(s))",
+                diffs.len()
+            );
+            for d in diffs {
+                println!("  {:#010x}: {:#010x} -> {:#010x}", d.addr, d.corrected, d.faulty);
+            }
+        }
+        EmulationVerdict::BreakpointBudgetExceeded { diffs, required_triggers } => {
+            println!(
+                "class B: needs {required_triggers} triggers for {} diffs — beyond the 2 \
+                 hardware breakpoint registers; intrusive traps required",
+                diffs.len()
+            );
+        }
+        EmulationVerdict::NotEmulable { corrected_len, faulty_len } => {
+            println!(
+                "class C: structural change ({faulty_len} -> {corrected_len} instructions); \
+                 not emulable by any SWIFI tool"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `swifi campaign NAME [--inputs N] [--seed N]`
+pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
+    let name = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "expected a roster program name".to_string())?;
+    let target =
+        program(name).ok_or_else(|| format!("unknown program `{name}` (see `swifi list`)"))?;
+    let inputs = parsed.int_opt("inputs", 10)? as usize;
+    let seed = parsed.int_opt("seed", 2024)? as u64;
+    println!("campaign on {name} ({inputs} inputs per fault, seed {seed})...");
+    let c = class_campaign(&target, CampaignScale { inputs_per_fault: inputs.max(1) }, seed);
+    let mut headers = vec!["Fault class"];
+    headers.extend(MODE_HEADERS);
+    let mut assign_row = vec!["assignment".to_string()];
+    assign_row.extend(mode_cells(&c.assign_modes));
+    let mut check_row = vec!["checking".to_string()];
+    check_row.extend(mode_cells(&c.check_modes));
+    print!("{}", render_table(&headers, &[assign_row, check_row]));
+    println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
+    Ok(())
+}
+
+/// `swifi metrics FILE|NAME`
+pub fn metrics_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let (path, src) = read_source(parsed)?;
+    let ast = swifi_lang::parser::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let m = swifi_metrics::measure(&src, &ast);
+    println!("{path}: {} LoC, {} globals, {} structs", m.loc, m.globals, m.structs);
+    let rows: Vec<Vec<String>> = m
+        .functions
+        .iter()
+        .map(|f| {
+            vec![
+                f.name.clone(),
+                f.cyclomatic.to_string(),
+                f.statements.to_string(),
+                f.max_nesting.to_string(),
+                format!("{:.0}", f.halstead.volume()),
+                format!("{:.1}", f.proneness()),
+                if f.recursive { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Function", "Cyclo", "Stmts", "Nesting", "Volume", "Proneness", "Recursive"],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_succeeds() {
+        assert!(list().is_ok());
+    }
+
+    #[test]
+    fn roster_names_resolve_as_sources() {
+        let parsed = ParsedArgs::parse(["compile".into(), "C.team8".into()]);
+        assert!(compile_cmd(&parsed).is_ok());
+    }
+
+    #[test]
+    fn unknown_file_errors() {
+        let parsed = ParsedArgs::parse(["compile".into(), "/no/such/file.mc".into()]);
+        assert!(compile_cmd(&parsed).is_err());
+    }
+
+    #[test]
+    fn emulate_runs_for_faulty_programs() {
+        let parsed = ParsedArgs::parse(["emulate".into(), "C.team4".into()]);
+        assert!(emulate(&parsed).is_ok());
+        let parsed = ParsedArgs::parse(["emulate".into(), "C.team8".into()]);
+        assert!(emulate(&parsed).is_err(), "C.team8 has no real fault");
+    }
+
+    #[test]
+    fn inject_lists_faults_without_selection() {
+        let parsed = ParsedArgs::parse(["inject".into(), "JB.team11".into()]);
+        assert!(inject(&parsed).is_ok());
+    }
+
+    #[test]
+    fn metrics_on_roster_program() {
+        let parsed = ParsedArgs::parse(["metrics".into(), "SOR".into()]);
+        assert!(metrics_cmd(&parsed).is_ok());
+    }
+}

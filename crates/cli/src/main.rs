@@ -1,0 +1,40 @@
+//! `swifi` — command-line front end for the SWIFI reproduction.
+//!
+//! ```text
+//! swifi list                                   roster of target programs
+//! swifi compile FILE [--asm] [--sites]         compile MiniC; show code / fault sites
+//! swifi run FILE [--int N]... [--line S]       run a MiniC program
+//! swifi sites FILE                             fault-location catalogue
+//! swifi inject FILE --fault N [--int N]...     inject the N-th generated fault
+//! swifi emulate NAME                           §5 emulability analysis for a roster program
+//! swifi campaign NAME [--inputs N]             §6 class campaign on a roster program
+//! swifi metrics FILE|NAME                      software metrics
+//! ```
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let parsed = ParsedArgs::parse(std::env::args().skip(1));
+    let result = match parsed.command.as_str() {
+        "list" => commands::list(),
+        "compile" => commands::compile_cmd(&parsed),
+        "run" => commands::run_cmd(&parsed),
+        "sites" => commands::sites(&parsed),
+        "inject" => commands::inject(&parsed),
+        "emulate" => commands::emulate(&parsed),
+        "campaign" => commands::campaign(&parsed),
+        "metrics" => commands::metrics_cmd(&parsed),
+        "" | "help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

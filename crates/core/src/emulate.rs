@@ -1,0 +1,310 @@
+//! Emulation of *specific real* software faults (paper §5).
+//!
+//! A software fault is characterised by the source change that corrects it.
+//! Given the **faulty** and **corrected** binaries of the same program,
+//! this module answers the paper's question: *can a SWIFI tool make the
+//! corrected binary behave exactly like the faulty one?*
+//!
+//! The analysis is the machine-level one the paper performed by hand:
+//!
+//! - identical code ⇒ nothing to emulate;
+//! - same instruction count with `k` differing words ⇒ the fault is
+//!   reachable by corrupting those `k` fetches; whether *hardware*
+//!   triggering suffices depends on `k` vs the two breakpoint registers
+//!   (assignment faults like C.team4 and checking faults like C.team1 have
+//!   `k = 1`; stack-shift faults like JB.team6 have `k` ≫ 2);
+//! - different instruction counts ⇒ the correction restructures the code,
+//!   which no machine-code-level SWIFI tool can emulate (algorithm and
+//!   function faults — the paper's ≈ 44 %).
+
+use serde::{Deserialize, Serialize};
+use swifi_vm::mem::Image;
+
+use crate::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+use crate::injector::HW_BREAKPOINTS;
+
+/// One instruction word that differs between corrected and faulty code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordDiff {
+    /// Guest address of the instruction.
+    pub addr: u32,
+    /// The corrected program's word.
+    pub corrected: u32,
+    /// The faulty program's word.
+    pub faulty: u32,
+}
+
+/// The §5 verdict for one real fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmulationVerdict {
+    /// The two binaries are identical — nothing to emulate.
+    Identical,
+    /// Emulable within the hardware trigger budget (paper class **A**).
+    Emulable {
+        /// The differing instruction words.
+        diffs: Vec<WordDiff>,
+    },
+    /// Emulable in principle, but the required trigger count exceeds the
+    /// hardware breakpoint registers; needs intrusive traps and heavy
+    /// manual definition (paper class **B** — e.g. JB.team6's stack
+    /// shift).
+    BreakpointBudgetExceeded {
+        /// The differing instruction words.
+        diffs: Vec<WordDiff>,
+        /// Distinct trigger addresses required.
+        required_triggers: usize,
+    },
+    /// The correction changes the code's structure (instruction count or
+    /// data layout); beyond any SWIFI tool (paper class **C** — algorithm
+    /// and function faults).
+    NotEmulable {
+        /// Corrected program's instruction count.
+        corrected_len: usize,
+        /// Faulty program's instruction count.
+        faulty_len: usize,
+    },
+}
+
+impl EmulationVerdict {
+    /// Paper §5 class letter: `A` emulable, `B` budget-limited, `C`
+    /// impossible (identical binaries report `-`).
+    pub fn class(&self) -> char {
+        match self {
+            EmulationVerdict::Identical => '-',
+            EmulationVerdict::Emulable { .. } => 'A',
+            EmulationVerdict::BreakpointBudgetExceeded { .. } => 'B',
+            EmulationVerdict::NotEmulable { .. } => 'C',
+        }
+    }
+}
+
+/// Compare the corrected and faulty builds of a program and classify the
+/// fault's emulability (paper §5).
+pub fn plan_emulation(corrected: &Image, faulty: &Image) -> EmulationVerdict {
+    if corrected.code.len() != faulty.code.len() || corrected.data.len() != faulty.data.len() {
+        return EmulationVerdict::NotEmulable {
+            corrected_len: corrected.code.len(),
+            faulty_len: faulty.code.len(),
+        };
+    }
+    let mut diffs = Vec::new();
+    for (i, (&c, &f)) in corrected.code.iter().zip(&faulty.code).enumerate() {
+        if c != f {
+            diffs.push(WordDiff { addr: corrected.addr_of(i), corrected: c, faulty: f });
+        }
+    }
+    // Differing initialised data would also require memory faults; treat a
+    // data diff like extra trigger addresses (each word is one patch).
+    let data_diffs = corrected
+        .data
+        .iter()
+        .zip(&faulty.data)
+        .filter(|(c, f)| c != f)
+        .count();
+    if diffs.is_empty() && data_diffs == 0 {
+        return EmulationVerdict::Identical;
+    }
+    let required = diffs.len() + data_diffs;
+    if required <= HW_BREAKPOINTS && data_diffs == 0 {
+        EmulationVerdict::Emulable { diffs }
+    } else {
+        EmulationVerdict::BreakpointBudgetExceeded { diffs, required_triggers: required }
+    }
+}
+
+/// Emulation strategy, mirroring the two recipes the paper gives in its
+/// Figures 3 and 5 for each emulable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmulationStrategy {
+    /// Change the instruction *in memory*, triggered once at program start
+    /// (the paper's "error inserted in memory at the location of the
+    /// instruction to be changed").
+    MemoryResident,
+    /// Corrupt the fetched word *every time the instruction is executed*
+    /// (the paper's "changing the fetched operand / data bus fault").
+    FetchCorruption,
+}
+
+/// Build the fault set that emulates the planned diffs with the given
+/// strategy. The result can be armed with
+/// [`Injector::new`](crate::injector::Injector::new); hardware mode will
+/// accept it exactly when the verdict was
+/// [`EmulationVerdict::Emulable`].
+pub fn emulation_faults(diffs: &[WordDiff], strategy: EmulationStrategy) -> Vec<FaultSpec> {
+    diffs
+        .iter()
+        .map(|d| match strategy {
+            EmulationStrategy::MemoryResident => FaultSpec {
+                what: ErrorOp::Replace(d.faulty),
+                target: Target::InstrMemory,
+                trigger: Trigger::OpcodeFetch(d.addr),
+                when: Firing::First,
+            },
+            EmulationStrategy::FetchCorruption => FaultSpec {
+                what: ErrorOp::Replace(d.faulty),
+                target: Target::InstrBus,
+                trigger: Trigger::OpcodeFetch(d.addr),
+                when: Firing::EveryTime,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_lang::compile;
+
+    #[test]
+    fn identical_programs() {
+        let a = compile("void main() { print_int(1); }").unwrap();
+        let b = compile("void main() { print_int(1); }").unwrap();
+        assert_eq!(plan_emulation(&a.image, &b.image), EmulationVerdict::Identical);
+    }
+
+    #[test]
+    fn single_constant_fault_is_class_a() {
+        // The C.team4 shape: an off-by-one loop bound — one word differs.
+        let corrected = compile(
+            "void main() { int i; for (i = 0; i < 5; i = i + 1) { print_int(i); } }",
+        )
+        .unwrap();
+        let faulty = compile(
+            "void main() { int i; for (i = 1; i < 5; i = i + 1) { print_int(i); } }",
+        )
+        .unwrap();
+        match plan_emulation(&corrected.image, &faulty.image) {
+            EmulationVerdict::Emulable { diffs } => assert_eq!(diffs.len(), 1),
+            other => panic!("expected class A, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checking_operator_fault_is_class_a() {
+        // The C.team1 shape: `<` vs `<=` — one bc word differs.
+        let corrected = compile(
+            "void main() { int i; for (i = 0; i <= 5; i = i + 1) { print_int(i); } }",
+        )
+        .unwrap();
+        let faulty = compile(
+            "void main() { int i; for (i = 0; i < 5; i = i + 1) { print_int(i); } }",
+        )
+        .unwrap();
+        match plan_emulation(&corrected.image, &faulty.image) {
+            EmulationVerdict::Emulable { diffs } => assert_eq!(diffs.len(), 1),
+            other => panic!("expected class A, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_shift_fault_exceeds_budget() {
+        // The JB.team6 shape: a buffer one byte short shifts every later
+        // sp-relative reference — same code length, many differing words.
+        let corrected = compile(
+            "void main() {
+               char phrase[81]; char phrase2[81];
+               int i;
+               for (i = 0; i < 3; i = i + 1) { phrase[i] = 'a'; phrase2[i] = 'b'; }
+               phrase[3] = 0; phrase2[3] = 0;
+               print_str(phrase); print_str(phrase2);
+             }",
+        )
+        .unwrap();
+        let faulty = compile(
+            "void main() {
+               char phrase[80]; char phrase2[81];
+               int i;
+               for (i = 0; i < 3; i = i + 1) { phrase[i] = 'a'; phrase2[i] = 'b'; }
+               phrase[3] = 0; phrase2[3] = 0;
+               print_str(phrase); print_str(phrase2);
+             }",
+        )
+        .unwrap();
+        match plan_emulation(&corrected.image, &faulty.image) {
+            EmulationVerdict::BreakpointBudgetExceeded { required_triggers, .. } => {
+                assert!(required_triggers > 2, "stack shift needs many triggers");
+            }
+            other => panic!("expected class B, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn algorithm_fault_is_class_c() {
+        // The C.team5 shape: sum of two values instead of the max — the
+        // correction changes the code structure.
+        let corrected = compile(
+            "int dist(int dx, int dy) {
+               int ax; int ay;
+               ax = (dx > 0) ? dx : -dx;
+               ay = (dy > 0) ? dy : -dy;
+               return (ax > ay) ? ax : ay;
+             }
+             void main() { print_int(dist(-3, 4)); }",
+        )
+        .unwrap();
+        let faulty = compile(
+            "int dist(int dx, int dy) {
+               int ax; int ay;
+               ax = (dx > 0) ? dx : -dx;
+               ay = (dy > 0) ? dy : -dy;
+               return ax + ay;
+             }
+             void main() { print_int(dist(-3, 4)); }",
+        )
+        .unwrap();
+        match plan_emulation(&corrected.image, &faulty.image) {
+            EmulationVerdict::NotEmulable { corrected_len, faulty_len } => {
+                assert_ne!(corrected_len, faulty_len);
+            }
+            other => panic!("expected class C, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emulation_reproduces_faulty_behavior_exactly() {
+        use crate::injector::{Injector, TriggerMode};
+        use swifi_vm::machine::{Machine, MachineConfig};
+        use swifi_vm::Noop;
+
+        let corrected = compile(
+            "void main() { int i; for (i = 0; i <= 4; i = i + 1) { print_int(i); } }",
+        )
+        .unwrap();
+        let faulty = compile(
+            "void main() { int i; for (i = 1; i <= 4; i = i + 1) { print_int(i); } }",
+        )
+        .unwrap();
+        let diffs = match plan_emulation(&corrected.image, &faulty.image) {
+            EmulationVerdict::Emulable { diffs } => diffs,
+            other => panic!("{other:?}"),
+        };
+        for strategy in [EmulationStrategy::MemoryResident, EmulationStrategy::FetchCorruption] {
+            let faults = emulation_faults(&diffs, strategy);
+            let mut inj = Injector::new(faults, TriggerMode::Hardware, 0).unwrap();
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&corrected.image);
+            inj.prepare(&mut m).unwrap();
+            let emulated = m.run(&mut inj);
+
+            let mut m2 = Machine::new(MachineConfig::default());
+            m2.load(&faulty.image);
+            let real = m2.run(&mut Noop);
+            assert_eq!(emulated.output(), real.output(), "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn verdict_classes() {
+        assert_eq!(EmulationVerdict::Identical.class(), '-');
+        assert_eq!(EmulationVerdict::Emulable { diffs: vec![] }.class(), 'A');
+        assert_eq!(
+            EmulationVerdict::BreakpointBudgetExceeded { diffs: vec![], required_triggers: 5 }
+                .class(),
+            'B'
+        );
+        assert_eq!(
+            EmulationVerdict::NotEmulable { corrected_len: 10, faulty_len: 12 }.class(),
+            'C'
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Fault specifications: the What / Where / Which / When model.
+//!
+//! The paper (§3) decomposes a SWIFI fault into four attributes:
+//!
+//! - **What** should be corrupted — the bit-level [`ErrorOp`];
+//! - **Where** the corruption applies — the architectural [`Target`]
+//!   (instruction bus, data bus, address bus, GPR, memory);
+//! - **Which** instruction or event acts as the fault trigger —
+//!   [`Trigger`];
+//! - **When**, over the repeated executions of the trigger, the fault
+//!   actually fires — [`Firing`].
+//!
+//! The What/Where pair expresses the *fault type*; the Which/When pair the
+//! *fault trigger* — the distinction the paper argues should be evaluated
+//! independently.
+
+use serde::{Deserialize, Serialize};
+
+/// The bit-level corruption applied to an in-flight 32-bit value (What).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorOp {
+    /// XOR with a mask (bit flips).
+    Xor(u32),
+    /// AND with a mask (bit resets).
+    And(u32),
+    /// OR with a mask (bit sets).
+    Or(u32),
+    /// Two's-complement addition of a (possibly negative) delta.
+    Add(i32),
+    /// Replace the value outright.
+    Replace(u32),
+    /// Replace with a per-run random value (drawn from the injector's
+    /// seeded RNG at fire time).
+    ReplaceRandom,
+}
+
+impl ErrorOp {
+    /// Apply the operation to `value`, using `random` for
+    /// [`ErrorOp::ReplaceRandom`].
+    pub fn apply(self, value: u32, random: u32) -> u32 {
+        match self {
+            ErrorOp::Xor(m) => value ^ m,
+            ErrorOp::And(m) => value & m,
+            ErrorOp::Or(m) => value | m,
+            ErrorOp::Add(d) => value.wrapping_add(d as u32),
+            ErrorOp::Replace(v) => v,
+            ErrorOp::ReplaceRandom => random,
+        }
+    }
+}
+
+/// The architectural location the corruption applies to (Where).
+///
+/// These are the "processor functional units" of the Xception fault model,
+/// mapped onto the [`swifi_vm::Inspector`] hook surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// The instruction word on its way from memory to the decoder; memory
+    /// itself is unchanged.
+    InstrBus,
+    /// The instruction word *in memory* (patched when the trigger first
+    /// fires; persists for the rest of the run).
+    InstrMemory,
+    /// The value arriving from memory on a load.
+    DataBusLoad,
+    /// The value leaving for memory on a store.
+    DataBusStore,
+    /// The effective address of a load (address bus, inbound).
+    LoadAddress,
+    /// The effective address of a store (address bus, outbound).
+    StoreAddress,
+    /// A general-purpose register, corrupted at write-back.
+    Gpr(u8),
+    /// A word in memory, corrupted when the trigger fires.
+    Memory(u32),
+}
+
+/// The event that activates the fault (Which).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trigger {
+    /// An opcode fetch from the given code address. Consumes an
+    /// instruction-address breakpoint register.
+    OpcodeFetch(u32),
+    /// A load whose effective address equals the given value. Consumes a
+    /// data-address breakpoint register.
+    OperandLoad(u32),
+    /// A store whose effective address equals the given value. Consumes a
+    /// data-address breakpoint register.
+    OperandStore(u32),
+    /// The N-th retired instruction (temporal trigger; no breakpoint
+    /// register needed — Xception uses the decrementer for these).
+    AfterInstructions(u64),
+    /// Every matching event, unconditionally (no breakpoint register;
+    /// only usable in intrusive mode because real hardware cannot watch
+    /// everything at once).
+    Always,
+}
+
+impl Trigger {
+    /// Which breakpoint register class this trigger occupies, if any.
+    pub fn breakpoint_class(self) -> Option<BreakpointClass> {
+        match self {
+            Trigger::OpcodeFetch(_) => Some(BreakpointClass::Instruction),
+            Trigger::OperandLoad(_) | Trigger::OperandStore(_) => Some(BreakpointClass::Data),
+            Trigger::AfterInstructions(_) | Trigger::Always => None,
+        }
+    }
+}
+
+/// The two kinds of hardware breakpoint resources on the modelled
+/// PowerPC 601 (one instruction-address and one data-address register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BreakpointClass {
+    /// Instruction-address breakpoint (IABR-like).
+    Instruction,
+    /// Data-address breakpoint (DABR-like).
+    Data,
+}
+
+/// How many trigger occurrences actually fire the fault (When).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Firing {
+    /// Only the first occurrence.
+    First,
+    /// Every occurrence (the mode used throughout the paper's §6
+    /// campaigns: "the fault was inserted every time the trigger
+    /// instruction was executed").
+    EveryTime,
+    /// Only the k-th occurrence (1-based).
+    Nth(u64),
+}
+
+impl Firing {
+    /// Whether occurrence number `n` (1-based) fires.
+    pub fn fires(self, n: u64) -> bool {
+        match self {
+            Firing::First => n == 1,
+            Firing::EveryTime => true,
+            Firing::Nth(k) => n == k,
+        }
+    }
+}
+
+/// A complete fault specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// What to corrupt.
+    pub what: ErrorOp,
+    /// Where the corruption lands.
+    pub target: Target,
+    /// Which event triggers it.
+    pub trigger: Trigger,
+    /// When (over trigger occurrences) it fires.
+    pub when: Firing,
+}
+
+impl FaultSpec {
+    /// Convenience constructor for the most common §6 shape: corrupt the
+    /// given instruction word on every fetch.
+    pub fn replace_instr(addr: u32, word: u32) -> FaultSpec {
+        FaultSpec {
+            what: ErrorOp::Replace(word),
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(addr),
+            when: Firing::EveryTime,
+        }
+    }
+
+    /// Whether this spec is internally consistent (e.g. a data-bus target
+    /// needs an instruction or temporal trigger that can observe it).
+    pub fn validate(&self) -> Result<(), String> {
+        match (self.target, self.trigger) {
+            (Target::InstrBus | Target::InstrMemory, Trigger::OperandLoad(_) | Trigger::OperandStore(_)) => {
+                Err("instruction targets cannot use data-address triggers".to_string())
+            }
+            (Target::Memory(_), Trigger::Always) => {
+                Err("memory-resident faults need a concrete trigger".to_string())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_ops_apply() {
+        assert_eq!(ErrorOp::Xor(0b1010).apply(0b0110, 0), 0b1100);
+        assert_eq!(ErrorOp::And(0xFF).apply(0x1234, 0), 0x34);
+        assert_eq!(ErrorOp::Or(0x100).apply(0x34, 0), 0x134);
+        assert_eq!(ErrorOp::Add(-1).apply(0, 0), u32::MAX);
+        assert_eq!(ErrorOp::Replace(7).apply(123, 0), 7);
+        assert_eq!(ErrorOp::ReplaceRandom.apply(123, 0xBEEF), 0xBEEF);
+    }
+
+    #[test]
+    fn firing_schedules() {
+        assert!(Firing::First.fires(1));
+        assert!(!Firing::First.fires(2));
+        assert!(Firing::EveryTime.fires(1) && Firing::EveryTime.fires(1000));
+        assert!(Firing::Nth(3).fires(3));
+        assert!(!Firing::Nth(3).fires(2) && !Firing::Nth(3).fires(4));
+    }
+
+    #[test]
+    fn breakpoint_classes() {
+        assert_eq!(
+            Trigger::OpcodeFetch(0x100).breakpoint_class(),
+            Some(BreakpointClass::Instruction)
+        );
+        assert_eq!(Trigger::OperandLoad(0x200).breakpoint_class(), Some(BreakpointClass::Data));
+        assert_eq!(Trigger::AfterInstructions(5).breakpoint_class(), None);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        let bad = FaultSpec {
+            what: ErrorOp::Xor(1),
+            target: Target::InstrBus,
+            trigger: Trigger::OperandLoad(0x300),
+            when: Firing::EveryTime,
+        };
+        assert!(bad.validate().is_err());
+        assert!(FaultSpec::replace_instr(0x100, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = FaultSpec::replace_instr(0x104, 0xDEADBEEF);
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(f, serde_json::from_str(&json).unwrap());
+    }
+}

@@ -1,0 +1,693 @@
+//! The injector: fault specs compiled onto the VM's inspector hooks, under
+//! a hardware-breakpoint budget.
+//!
+//! Xception triggers faults with the processor's debug registers; the
+//! PowerPC 601 of the paper's testbed has **two** breakpoint registers.
+//! That scarcity is load-bearing for the paper's results (the JB.team6
+//! stack-shift fault needs more trigger addresses than the hardware
+//! offers), so [`Injector::new`] enforces the same budget in
+//! [`TriggerMode::Hardware`] and only lifts it in
+//! [`TriggerMode::IntrusiveTraps`] — the "insert trap instructions"
+//! fallback the paper calls *very intrusive*.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use swifi_vm::inspect::Inspector;
+use swifi_vm::machine::Machine;
+
+use crate::fault::{FaultSpec, Target, Trigger};
+
+/// Breakpoint resources available for fault triggering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerMode {
+    /// Use only the modelled hardware debug registers (two, like the
+    /// PowerPC 601). Fault sets needing more distinct trigger addresses
+    /// are rejected.
+    Hardware,
+    /// Software traps: unlimited triggers, at the cost of target-code
+    /// intrusion (the paper's manual fallback).
+    IntrusiveTraps,
+}
+
+/// Number of breakpoint registers in [`TriggerMode::Hardware`]
+/// (PowerPC 601: two).
+pub const HW_BREAKPOINTS: usize = 2;
+
+/// Error building an [`Injector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectorError {
+    /// The fault set needs more distinct trigger addresses than the
+    /// hardware provides.
+    BreakpointBudget {
+        /// Distinct trigger addresses required.
+        required: usize,
+        /// Registers available.
+        available: usize,
+    },
+    /// An [`Trigger::Always`] trigger was requested in hardware mode.
+    AlwaysNeedsIntrusive,
+    /// A spec failed [`FaultSpec::validate`].
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for InjectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectorError::BreakpointBudget { required, available } => write!(
+                f,
+                "fault set needs {required} breakpoint registers but only {available} exist"
+            ),
+            InjectorError::AlwaysNeedsIntrusive => {
+                f.write_str("`Always` triggers require intrusive trap mode")
+            }
+            InjectorError::InvalidSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InjectorError {}
+
+/// An armed set of faults, pluggable into
+/// [`Machine::run`](swifi_vm::machine::Machine::run) as an inspector.
+///
+/// # Examples
+///
+/// ```
+/// use swifi_core::fault::FaultSpec;
+/// use swifi_core::injector::{Injector, TriggerMode};
+/// use swifi_vm::asm::assemble;
+/// use swifi_vm::isa::{encode, Instr};
+/// use swifi_vm::{Machine, MachineConfig};
+///
+/// let image = assemble("li r3, 1\nsc print_int\nli r3, 0\nhalt")?;
+/// // Corrupt the fetch of the first instruction: r3 = 7 instead of 1.
+/// let fault = FaultSpec::replace_instr(0x100, encode(Instr::Addi { rd: 3, ra: 0, imm: 7 }));
+/// let mut injector = Injector::new(vec![fault], TriggerMode::Hardware, 1).unwrap();
+/// let mut m = Machine::new(MachineConfig::default());
+/// m.load(&image);
+/// injector.prepare(&mut m).unwrap();
+/// assert_eq!(m.run(&mut injector).output(), b"7");
+/// assert!(injector.any_fired());
+/// # Ok::<(), swifi_vm::asm::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Injector {
+    specs: Vec<FaultSpec>,
+    by_fetch: HashMap<u32, Vec<usize>>,
+    by_load: HashMap<u32, Vec<usize>>,
+    by_store: HashMap<u32, Vec<usize>>,
+    temporal: Vec<usize>,
+    always: Vec<usize>,
+    memory_faults: Vec<usize>,
+    occurrences: Vec<u64>,
+    armed: Vec<bool>,
+    latched: Vec<bool>,
+    fired: Vec<u64>,
+    retired: u64,
+    rng: StdRng,
+}
+
+impl Injector {
+    /// Compile a fault set for injection.
+    ///
+    /// `seed` drives [`ErrorOp::ReplaceRandom`] values deterministically.
+    ///
+    /// # Errors
+    ///
+    /// See [`InjectorError`]; notably the hardware-breakpoint budget check
+    /// in [`TriggerMode::Hardware`].
+    pub fn new(
+        specs: Vec<FaultSpec>,
+        mode: TriggerMode,
+        seed: u64,
+    ) -> Result<Injector, InjectorError> {
+        for s in &specs {
+            s.validate().map_err(InjectorError::InvalidSpec)?;
+        }
+        if mode == TriggerMode::Hardware {
+            let mut addrs: Vec<(bool, u32)> = Vec::new();
+            for s in &specs {
+                match s.trigger {
+                    Trigger::OpcodeFetch(a) => addrs.push((true, a)),
+                    Trigger::OperandLoad(a) | Trigger::OperandStore(a) => addrs.push((false, a)),
+                    Trigger::Always => return Err(InjectorError::AlwaysNeedsIntrusive),
+                    Trigger::AfterInstructions(_) => {}
+                }
+            }
+            addrs.sort_unstable();
+            addrs.dedup();
+            if addrs.len() > HW_BREAKPOINTS {
+                return Err(InjectorError::BreakpointBudget {
+                    required: addrs.len(),
+                    available: HW_BREAKPOINTS,
+                });
+            }
+        }
+        let n = specs.len();
+        let mut inj = Injector {
+            by_fetch: HashMap::new(),
+            by_load: HashMap::new(),
+            by_store: HashMap::new(),
+            temporal: Vec::new(),
+            always: Vec::new(),
+            memory_faults: Vec::new(),
+            occurrences: vec![0; n],
+            armed: vec![false; n],
+            latched: vec![false; n],
+            fired: vec![0; n],
+            retired: 0,
+            rng: StdRng::seed_from_u64(seed),
+            specs,
+        };
+        for (i, s) in inj.specs.iter().enumerate() {
+            if matches!(s.target, Target::Memory(_)) {
+                inj.memory_faults.push(i);
+                continue;
+            }
+            match s.trigger {
+                Trigger::OpcodeFetch(a) => inj.by_fetch.entry(a).or_default().push(i),
+                Trigger::OperandLoad(a) => inj.by_load.entry(a).or_default().push(i),
+                Trigger::OperandStore(a) => inj.by_store.entry(a).or_default().push(i),
+                Trigger::AfterInstructions(_) => inj.temporal.push(i),
+                Trigger::Always => inj.always.push(i),
+            }
+        }
+        Ok(inj)
+    }
+
+    /// Apply memory-resident faults ([`Target::Memory`]) to the loaded
+    /// machine — the paper's "error inserted in memory" fault model, which
+    /// Xception realises by triggering at the first program instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`swifi_vm::Trap`] if a fault addresses unmapped memory.
+    pub fn prepare(&mut self, machine: &mut Machine) -> Result<(), swifi_vm::Trap> {
+        for &i in &self.memory_faults.clone() {
+            let spec = self.specs[i];
+            if let Target::Memory(addr) = spec.target {
+                let old = machine.peek_u32(addr)?;
+                let random = self.rng.next_u32();
+                machine.poke_u32(addr, spec.what.apply(old, random))?;
+                self.fired[i] += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of times fault `i` actually corrupted state.
+    pub fn fired_count(&self, i: usize) -> u64 {
+        self.fired[i]
+    }
+
+    /// Whether any fault fired during the run — Xception's activation
+    /// monitoring; a run whose faults never fired is *dormant*.
+    pub fn any_fired(&self) -> bool {
+        self.fired.iter().any(|&f| f > 0)
+    }
+
+    /// The compiled fault set.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    #[inline]
+    fn fire_value(&mut self, i: usize, value: &mut u32) {
+        let random = self.rng.next_u32();
+        *value = self.specs[i].what.apply(*value, random);
+        self.fired[i] += 1;
+    }
+
+    /// Advance occurrence counting for spec `i`; returns whether this
+    /// occurrence fires.
+    #[inline]
+    fn occur(&mut self, i: usize) -> bool {
+        self.occurrences[i] += 1;
+        self.specs[i].when.fires(self.occurrences[i])
+    }
+}
+
+impl Inspector for Injector {
+    fn on_fetch(&mut self, _core: usize, pc: u32, word: &mut u32) {
+        // Temporal triggers: occurrence = any fetch once the retired count
+        // has passed the threshold.
+        for k in 0..self.temporal.len() {
+            let i = self.temporal[k];
+            if let Trigger::AfterInstructions(n) = self.specs[i].trigger {
+                if self.retired >= n {
+                    let fires = self.occur(i);
+                    self.armed[i] = fires;
+                    if fires && matches!(self.specs[i].target, Target::InstrBus) {
+                        self.fire_value(i, word);
+                    }
+                }
+            }
+        }
+        for k in 0..self.always.len() {
+            let i = self.always[k];
+            let fires = self.occur(i);
+            self.armed[i] = fires;
+            if fires && matches!(self.specs[i].target, Target::InstrBus) {
+                self.fire_value(i, word);
+            }
+        }
+        let Some(idxs) = self.by_fetch.get(&pc) else { return };
+        for i in idxs.clone() {
+            let fires = self.occur(i);
+            self.armed[i] = fires;
+            match self.specs[i].target {
+                Target::InstrBus => {
+                    if fires {
+                        self.fire_value(i, word);
+                    }
+                }
+                Target::InstrMemory => {
+                    // Once fired, the corruption is resident: it affects
+                    // every later fetch of this address too.
+                    if fires {
+                        self.latched[i] = true;
+                    }
+                    if self.latched[i] {
+                        self.fire_value(i, word);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn on_load_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
+        if let Some(idxs) = self.by_fetch.get(&pc) {
+            for i in idxs.clone() {
+                if self.armed[i] && matches!(self.specs[i].target, Target::LoadAddress) {
+                    self.fire_value(i, addr);
+                }
+            }
+        }
+        if let Some(idxs) = self.by_load.get(addr) {
+            for i in idxs.clone() {
+                let fires = self.occur(i);
+                self.armed[i] = fires;
+                if fires && matches!(self.specs[i].target, Target::LoadAddress) {
+                    self.fire_value(i, addr);
+                }
+            }
+        }
+        for k in 0..self.always.len() {
+            let i = self.always[k];
+            if self.armed[i] && matches!(self.specs[i].target, Target::LoadAddress) {
+                self.fire_value(i, addr);
+            }
+        }
+    }
+
+    fn on_load_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if let Some(idxs) = self.by_fetch.get(&pc) {
+            for i in idxs.clone() {
+                if self.armed[i] && matches!(self.specs[i].target, Target::DataBusLoad) {
+                    self.fire_value(i, value);
+                }
+            }
+        }
+        if let Some(idxs) = self.by_load.get(&addr) {
+            for i in idxs.clone() {
+                if self.armed[i] && matches!(self.specs[i].target, Target::DataBusLoad) {
+                    self.fire_value(i, value);
+                }
+            }
+        }
+        for k in 0..self.always.len() {
+            let i = self.always[k];
+            if self.armed[i] && matches!(self.specs[i].target, Target::DataBusLoad) {
+                self.fire_value(i, value);
+            }
+        }
+    }
+
+    fn on_store_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
+        if let Some(idxs) = self.by_fetch.get(&pc) {
+            for i in idxs.clone() {
+                if self.armed[i] && matches!(self.specs[i].target, Target::StoreAddress) {
+                    self.fire_value(i, addr);
+                }
+            }
+        }
+        if let Some(idxs) = self.by_store.get(addr) {
+            for i in idxs.clone() {
+                let fires = self.occur(i);
+                self.armed[i] = fires;
+                if fires && matches!(self.specs[i].target, Target::StoreAddress) {
+                    self.fire_value(i, addr);
+                }
+            }
+        }
+        for k in 0..self.always.len() {
+            let i = self.always[k];
+            if self.armed[i] && matches!(self.specs[i].target, Target::StoreAddress) {
+                self.fire_value(i, addr);
+            }
+        }
+    }
+
+    fn on_store_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if let Some(idxs) = self.by_fetch.get(&pc) {
+            for i in idxs.clone() {
+                if self.armed[i] && matches!(self.specs[i].target, Target::DataBusStore) {
+                    self.fire_value(i, value);
+                }
+            }
+        }
+        if let Some(idxs) = self.by_store.get(&addr) {
+            for i in idxs.clone() {
+                if self.armed[i] && matches!(self.specs[i].target, Target::DataBusStore) {
+                    self.fire_value(i, value);
+                }
+            }
+        }
+        for k in 0..self.always.len() {
+            let i = self.always[k];
+            if self.armed[i] && matches!(self.specs[i].target, Target::DataBusStore) {
+                self.fire_value(i, value);
+            }
+        }
+    }
+
+    fn on_reg_write(&mut self, _core: usize, pc: u32, reg: u8, value: &mut u32) {
+        if let Some(idxs) = self.by_fetch.get(&pc) {
+            for i in idxs.clone() {
+                if self.armed[i] {
+                    if let Target::Gpr(r) = self.specs[i].target {
+                        if r == reg {
+                            self.fire_value(i, value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_retire(&mut self, _core: usize, _pc: u32) {
+        self.retired += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ErrorOp, Firing};
+    use swifi_vm::asm::assemble;
+    use swifi_vm::isa::{encode, Instr};
+    use swifi_vm::machine::{Machine, MachineConfig, RunOutcome};
+
+    fn run_with_faults(src: &str, faults: Vec<FaultSpec>, mode: TriggerMode) -> (RunOutcome, bool) {
+        let image = assemble(src).unwrap();
+        let mut inj = Injector::new(faults, mode, 42).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        inj.prepare(&mut m).unwrap();
+        let out = m.run(&mut inj);
+        (out, inj.any_fired())
+    }
+
+    const COUNT_SRC: &str = "
+        li r5, 0
+        li r6, 0
+        addi r6, r6, 1
+        addi r5, r5, 1
+        cmpi cr0, r5, 5
+        bc cr0.lt, 1, -3
+        mr r3, r6
+        sc print_int
+        li r3, 0
+        halt";
+
+    #[test]
+    fn clean_run_baseline() {
+        let (out, fired) = run_with_faults(COUNT_SRC, vec![], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"5");
+        assert!(!fired);
+    }
+
+    #[test]
+    fn instr_bus_replace_changes_behavior() {
+        // Replace `addi r6, r6, 1` (index 2, addr 0x108) with +2.
+        let fault =
+            FaultSpec::replace_instr(0x108, encode(Instr::Addi { rd: 6, ra: 6, imm: 2 }));
+        let (out, fired) = run_with_faults(COUNT_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"10");
+        assert!(fired);
+    }
+
+    #[test]
+    fn firing_first_applies_once() {
+        let fault = FaultSpec {
+            what: ErrorOp::Replace(encode(Instr::Addi { rd: 6, ra: 6, imm: 2 })),
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(0x108),
+            when: Firing::First,
+        };
+        let (out, _) = run_with_faults(COUNT_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"6"); // one iteration counted double
+    }
+
+    #[test]
+    fn firing_nth_applies_to_that_occurrence_only() {
+        let fault = FaultSpec {
+            what: ErrorOp::Replace(encode(Instr::Addi { rd: 6, ra: 6, imm: 2 })),
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(0x108),
+            when: Firing::Nth(3),
+        };
+        let (out, _) = run_with_faults(COUNT_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"6");
+    }
+
+    #[test]
+    fn instr_memory_latches() {
+        // Fire once (First), but because the corruption is memory-resident
+        // it keeps affecting every later iteration.
+        let fault = FaultSpec {
+            what: ErrorOp::Replace(encode(Instr::Addi { rd: 6, ra: 6, imm: 2 })),
+            target: Target::InstrMemory,
+            trigger: Trigger::OpcodeFetch(0x108),
+            when: Firing::First,
+        };
+        let (out, _) = run_with_faults(COUNT_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"10");
+    }
+
+    const STORE_SRC: &str = "
+        li r5, 41
+        la r4, slot
+        stw r5, 0(r4)
+        lwz r3, 0(r4)
+        sc print_int
+        li r3, 0
+        halt
+        .data
+        slot: .word 0";
+
+    #[test]
+    fn data_bus_store_corruption() {
+        // The store is instruction index 3 (la is 2 words): addr 0x10C.
+        let fault = FaultSpec {
+            what: ErrorOp::Add(1),
+            target: Target::DataBusStore,
+            trigger: Trigger::OpcodeFetch(0x10C),
+            when: Firing::EveryTime,
+        };
+        let (out, fired) = run_with_faults(STORE_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"42");
+        assert!(fired);
+    }
+
+    #[test]
+    fn data_bus_load_corruption() {
+        let fault = FaultSpec {
+            what: ErrorOp::Xor(0xFF),
+            target: Target::DataBusLoad,
+            trigger: Trigger::OpcodeFetch(0x110),
+            when: Firing::EveryTime,
+        };
+        let (out, _) = run_with_faults(STORE_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), (41 ^ 0xFF).to_string().as_bytes());
+    }
+
+    #[test]
+    fn operand_store_trigger_matches_address() {
+        // slot lives at data_base = 0x100 + 9*4 = 0x124.
+        let image = assemble(STORE_SRC).unwrap();
+        let slot_addr = image.data_base();
+        let fault = FaultSpec {
+            what: ErrorOp::Add(9),
+            target: Target::DataBusStore,
+            trigger: Trigger::OperandStore(slot_addr),
+            when: Firing::EveryTime,
+        };
+        let (out, _) = run_with_faults(STORE_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"50");
+    }
+
+    #[test]
+    fn load_address_corruption_shifts_element() {
+        let src = "
+            la r4, tbl
+            lwz r3, 0(r4)
+            sc print_int
+            li r3, 0
+            halt
+            .data
+            tbl: .word 10, 20";
+        let fault = FaultSpec {
+            what: ErrorOp::Add(4),
+            target: Target::LoadAddress,
+            trigger: Trigger::OpcodeFetch(0x108),
+            when: Firing::EveryTime,
+        };
+        let (out, _) = run_with_faults(src, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"20");
+    }
+
+    #[test]
+    fn gpr_corruption_at_writeback() {
+        let fault = FaultSpec {
+            what: ErrorOp::Or(0x40),
+            target: Target::Gpr(5),
+            trigger: Trigger::OpcodeFetch(0x100),
+            when: Firing::EveryTime,
+        };
+        // li r5, 41 at 0x100 writes r5 : 41 | 0x40 = 105.
+        let (out, _) = run_with_faults(STORE_SRC, vec![fault], TriggerMode::Hardware);
+        assert_eq!(out.output(), b"105");
+    }
+
+    #[test]
+    fn memory_resident_fault_applied_at_prepare() {
+        let image = assemble(STORE_SRC).unwrap();
+        let slot_addr = image.data_base();
+        let fault = FaultSpec {
+            what: ErrorOp::Replace(123),
+            target: Target::Memory(slot_addr),
+            trigger: Trigger::OpcodeFetch(0x100),
+            when: Firing::First,
+        };
+        // The program overwrites the slot, so the patched value is dead —
+        // but prepare() must still have written it.
+        let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, 7).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        inj.prepare(&mut m).unwrap();
+        assert_eq!(m.peek_u32(slot_addr).unwrap(), 123);
+        assert!(inj.any_fired());
+    }
+
+    #[test]
+    fn temporal_trigger_fires_after_n() {
+        let fault = FaultSpec {
+            what: ErrorOp::Replace(encode(Instr::Halt)),
+            target: Target::InstrBus,
+            trigger: Trigger::AfterInstructions(10),
+            when: Firing::First,
+        };
+        let (out, fired) = run_with_faults(COUNT_SRC, vec![fault], TriggerMode::Hardware);
+        assert!(fired);
+        // Halting mid-loop: no output printed.
+        assert!(matches!(out, RunOutcome::Completed { .. }));
+        assert_eq!(out.output(), b"");
+    }
+
+    #[test]
+    fn budget_allows_two_distinct_addresses() {
+        let faults = vec![
+            FaultSpec::replace_instr(0x100, 0),
+            FaultSpec::replace_instr(0x104, 0),
+        ];
+        assert!(Injector::new(faults, TriggerMode::Hardware, 0).is_ok());
+    }
+
+    #[test]
+    fn budget_rejects_three_distinct_addresses() {
+        let faults = vec![
+            FaultSpec::replace_instr(0x100, 0),
+            FaultSpec::replace_instr(0x104, 0),
+            FaultSpec::replace_instr(0x108, 0),
+        ];
+        match Injector::new(faults, TriggerMode::Hardware, 0) {
+            Err(InjectorError::BreakpointBudget { required: 3, available: 2 }) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intrusive_mode_lifts_budget() {
+        let faults: Vec<FaultSpec> =
+            (0..10).map(|i| FaultSpec::replace_instr(0x100 + i * 4, 0)).collect();
+        assert!(Injector::new(faults, TriggerMode::IntrusiveTraps, 0).is_ok());
+    }
+
+    #[test]
+    fn same_address_shares_a_breakpoint() {
+        let faults = vec![
+            FaultSpec::replace_instr(0x100, 0),
+            FaultSpec {
+                what: ErrorOp::Add(1),
+                target: Target::DataBusStore,
+                trigger: Trigger::OpcodeFetch(0x100),
+                when: Firing::EveryTime,
+            },
+            FaultSpec::replace_instr(0x104, 0),
+        ];
+        assert!(Injector::new(faults, TriggerMode::Hardware, 0).is_ok());
+    }
+
+    #[test]
+    fn always_trigger_needs_intrusive() {
+        let fault = FaultSpec {
+            what: ErrorOp::Xor(1),
+            target: Target::DataBusLoad,
+            trigger: Trigger::Always,
+            when: Firing::EveryTime,
+        };
+        assert_eq!(
+            Injector::new(vec![fault], TriggerMode::Hardware, 0).unwrap_err(),
+            InjectorError::AlwaysNeedsIntrusive
+        );
+        assert!(Injector::new(vec![fault], TriggerMode::IntrusiveTraps, 0).is_ok());
+    }
+
+    #[test]
+    fn random_replacement_is_seed_deterministic() {
+        let mk = |seed| {
+            let fault = FaultSpec {
+                what: ErrorOp::ReplaceRandom,
+                target: Target::DataBusStore,
+                trigger: Trigger::OpcodeFetch(0x10C),
+                when: Firing::EveryTime,
+            };
+            let image = assemble(STORE_SRC).unwrap();
+            let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, seed).unwrap();
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            m.run(&mut inj).output().to_vec()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn dormant_fault_never_fires() {
+        // Trigger address never executed (inside skipped branch).
+        let src = "
+            b 3
+            li r6, 1
+            nop
+            li r3, 0
+            halt";
+        let fault = FaultSpec::replace_instr(0x104, 0);
+        let (out, fired) = run_with_faults(src, vec![fault], TriggerMode::Hardware);
+        assert!(out.is_normal());
+        assert!(!fired, "fault at unexecuted address must stay dormant");
+    }
+}

@@ -1,0 +1,321 @@
+//! Error-set generation for fault *classes* (paper §6.3).
+//!
+//! The paper's five-step procedure, mechanised:
+//!
+//! 1. all possible fault locations are enumerated — here straight from the
+//!    compiler's [`DebugInfo`] instead of "manually at the assembly level";
+//! 2. a random subset of locations is chosen (*where*);
+//! 3. every applicable Table-3 error type is generated per location
+//!    (*what*);
+//! 4. the trigger is the location's own instruction (*which*);
+//! 5. the fault fires on every execution of the trigger (*when*).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use swifi_lang::debug::{AssignSite, CheckMutation, CheckSite, DebugInfo};
+use swifi_odc::{AssignErrorType, CheckErrorType};
+use swifi_vm::isa::NOP;
+
+use crate::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+
+/// Which Table-3 error a generated fault realises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// An assignment error type (Figure 9 families).
+    Assign(AssignErrorType),
+    /// A checking error type (Figure 10 families).
+    Check(CheckErrorType),
+}
+
+impl ErrorClass {
+    /// Paper-notation label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorClass::Assign(a) => a.label(),
+            ErrorClass::Check(c) => c.label(),
+        }
+    }
+}
+
+/// One injectable fault generated from a source location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedFault {
+    /// The machine-level fault.
+    pub spec: FaultSpec,
+    /// The Table-3 error type it realises.
+    pub error: ErrorClass,
+    /// Source line of the location.
+    pub line: u32,
+    /// Enclosing function.
+    pub func: String,
+    /// Guest address of the location (store or branch instruction).
+    pub site_addr: u32,
+}
+
+/// The location-selection summary (one program row of the paper's Table 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocationPlan {
+    /// All possible assignment locations in the program.
+    pub possible_assign: usize,
+    /// All possible checking locations.
+    pub possible_check: usize,
+    /// Chosen assignment-site indices (into `DebugInfo::assigns`).
+    pub chosen_assign: Vec<usize>,
+    /// Chosen checking-site indices (into `DebugInfo::checks`).
+    pub chosen_check: Vec<usize>,
+}
+
+/// Choose `n_assign` assignment and `n_check` checking locations uniformly
+/// at random (steps 1–2 of the procedure). Counts are clamped to the
+/// available sites; selection order is randomised but the returned indices
+/// are sorted for reproducible reporting.
+pub fn choose_locations(
+    debug: &DebugInfo,
+    n_assign: usize,
+    n_check: usize,
+    seed: u64,
+) -> LocationPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pick = |rng: &mut StdRng, total: usize, n: usize| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..total).collect();
+        idx.shuffle(rng);
+        idx.truncate(n.min(total));
+        idx.sort_unstable();
+        idx
+    };
+    let chosen_assign = pick(&mut rng, debug.assigns.len(), n_assign);
+    let chosen_check = pick(&mut rng, debug.checks.len(), n_check);
+    LocationPlan {
+        possible_assign: debug.assigns.len(),
+        possible_check: debug.checks.len(),
+        chosen_assign,
+        chosen_check,
+    }
+}
+
+/// Restrict a plan's chosen sites to the given functions (used by the
+/// §6.1 metrics-guided and field-data-guided allocation strategies).
+pub fn restrict_to_functions(debug: &DebugInfo, plan: &mut LocationPlan, funcs: &[String]) {
+    plan.chosen_assign.retain(|&i| funcs.contains(&debug.assigns[i].func));
+    plan.chosen_check.retain(|&i| funcs.contains(&debug.checks[i].func));
+}
+
+/// All four assignment error types for one assignment location
+/// (steps 3–5).
+pub fn assign_faults_for(site: &AssignSite) -> Vec<GeneratedFault> {
+    AssignErrorType::ALL
+        .iter()
+        .map(|&err| {
+            let spec = match err {
+                AssignErrorType::ValuePlusOne => FaultSpec {
+                    what: ErrorOp::Add(1),
+                    target: Target::DataBusStore,
+                    trigger: Trigger::OpcodeFetch(site.store_addr),
+                    when: Firing::EveryTime,
+                },
+                AssignErrorType::ValueMinusOne => FaultSpec {
+                    what: ErrorOp::Add(-1),
+                    target: Target::DataBusStore,
+                    trigger: Trigger::OpcodeFetch(site.store_addr),
+                    when: Firing::EveryTime,
+                },
+                AssignErrorType::NoAssign => FaultSpec {
+                    what: ErrorOp::Replace(NOP),
+                    target: Target::InstrBus,
+                    trigger: Trigger::OpcodeFetch(site.store_addr),
+                    when: Firing::EveryTime,
+                },
+                AssignErrorType::Random => FaultSpec {
+                    what: ErrorOp::ReplaceRandom,
+                    target: Target::DataBusStore,
+                    trigger: Trigger::OpcodeFetch(site.store_addr),
+                    when: Firing::EveryTime,
+                },
+            };
+            GeneratedFault {
+                spec,
+                error: ErrorClass::Assign(err),
+                line: site.line,
+                func: site.func.clone(),
+                site_addr: site.store_addr,
+            }
+        })
+        .collect()
+}
+
+/// Every applicable checking error type for one checking location
+/// (steps 3–5). Applicability depends on the condition's actual operators,
+/// exactly as the paper notes for its Table 3.
+pub fn check_faults_for(site: &CheckSite) -> Vec<GeneratedFault> {
+    site.mutations
+        .iter()
+        .map(|&(err, m)| {
+            let spec = match m {
+                CheckMutation::ReplaceWord { addr, word } => FaultSpec {
+                    what: ErrorOp::Replace(word),
+                    target: Target::InstrBus,
+                    trigger: Trigger::OpcodeFetch(addr),
+                    when: Firing::EveryTime,
+                },
+                CheckMutation::AdjustLoadAddr { addr, delta } => FaultSpec {
+                    what: ErrorOp::Add(delta),
+                    target: Target::LoadAddress,
+                    trigger: Trigger::OpcodeFetch(addr),
+                    when: Firing::EveryTime,
+                },
+            };
+            GeneratedFault {
+                spec,
+                error: ErrorClass::Check(err),
+                line: site.line,
+                func: site.func.clone(),
+                site_addr: site.branch_addr,
+            }
+        })
+        .collect()
+}
+
+/// The full §6.3 error set for a program: chosen locations × applicable
+/// error types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSet {
+    /// The location selection (Table 4 row).
+    pub plan: LocationPlan,
+    /// Generated assignment faults.
+    pub assign_faults: Vec<GeneratedFault>,
+    /// Generated checking faults.
+    pub check_faults: Vec<GeneratedFault>,
+}
+
+/// Generate the error set for a compiled program.
+pub fn generate_error_set(
+    debug: &DebugInfo,
+    n_assign: usize,
+    n_check: usize,
+    seed: u64,
+) -> ErrorSet {
+    let plan = choose_locations(debug, n_assign, n_check, seed);
+    let assign_faults = plan
+        .chosen_assign
+        .iter()
+        .flat_map(|&i| assign_faults_for(&debug.assigns[i]))
+        .collect();
+    let check_faults = plan
+        .chosen_check
+        .iter()
+        .flat_map(|&i| check_faults_for(&debug.checks[i]))
+        .collect();
+    ErrorSet { plan, assign_faults, check_faults }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_lang::compile;
+
+    const SRC: &str = "
+        int seen[10];
+        void main() {
+          int i; int s;
+          s = 0;
+          for (i = 0; i < 10; i = i + 1) {
+            if (seen[i] == 0) { s = s + 1; }
+            if (i > 2 && s < 5) { s = s + 2; }
+          }
+          print_int(s);
+        }";
+
+    #[test]
+    fn all_locations_enumerated() {
+        let p = compile(SRC).unwrap();
+        // Assignments: s=0, i=0 (for init), i=i+1 (step), s=s+1, s=s+2.
+        assert_eq!(p.debug.assigns.len(), 5);
+        // Checks: for cond, if ==, if &&.
+        assert_eq!(p.debug.checks.len(), 3);
+    }
+
+    #[test]
+    fn choose_is_deterministic_and_clamped() {
+        let p = compile(SRC).unwrap();
+        let a = choose_locations(&p.debug, 3, 2, 7);
+        let b = choose_locations(&p.debug, 3, 2, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.chosen_assign.len(), 3);
+        assert_eq!(a.chosen_check.len(), 2);
+        let c = choose_locations(&p.debug, 100, 100, 7);
+        assert_eq!(c.chosen_assign.len(), 5);
+        assert_eq!(c.chosen_check.len(), 3);
+        assert_eq!(c.possible_assign, 5);
+        assert_eq!(c.possible_check, 3);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = compile(SRC).unwrap();
+        let picks: Vec<_> =
+            (0..20).map(|s| choose_locations(&p.debug, 2, 2, s).chosen_assign).collect();
+        assert!(picks.windows(2).any(|w| w[0] != w[1]), "selection should vary with seed");
+    }
+
+    #[test]
+    fn assignment_locations_get_four_error_types() {
+        let p = compile(SRC).unwrap();
+        for site in &p.debug.assigns {
+            let faults = assign_faults_for(site);
+            assert_eq!(faults.len(), 4, "paper: four faults per assignment location");
+            // All four trigger on the same store instruction.
+            for f in &faults {
+                assert_eq!(f.spec.trigger, Trigger::OpcodeFetch(site.store_addr));
+                assert_eq!(f.spec.when, Firing::EveryTime);
+            }
+        }
+    }
+
+    #[test]
+    fn checking_error_count_depends_on_condition() {
+        let p = compile(SRC).unwrap();
+        let counts: Vec<usize> =
+            p.debug.checks.iter().map(|c| check_faults_for(c).len()).collect();
+        // The `==`-over-array condition must offer more error types than
+        // the simple `<` loop condition.
+        let lt_site = check_faults_for(&p.debug.checks[0]).len();
+        assert!(counts.iter().any(|&c| c > lt_site));
+    }
+
+    #[test]
+    fn error_set_size_is_locations_times_types() {
+        let p = compile(SRC).unwrap();
+        let set = generate_error_set(&p.debug, 5, 0, 1);
+        assert_eq!(set.assign_faults.len(), 5 * 4);
+        assert!(set.check_faults.is_empty());
+    }
+
+    #[test]
+    fn restrict_to_functions_filters() {
+        let p = compile(
+            "int f(int x) { int y; y = x + 1; return y; }
+             void main() { int a; a = f(2); if (a > 0) { print_int(a); } }",
+        )
+        .unwrap();
+        let mut plan = choose_locations(&p.debug, 10, 10, 0);
+        restrict_to_functions(&p.debug, &mut plan, &["f".to_string()]);
+        for &i in &plan.chosen_assign {
+            assert_eq!(p.debug.assigns[i].func, "f");
+        }
+        assert!(plan.chosen_check.is_empty(), "the only check is in main");
+    }
+
+    #[test]
+    fn generated_faults_are_injectable() {
+        use crate::injector::{Injector, TriggerMode};
+        let p = compile(SRC).unwrap();
+        let set = generate_error_set(&p.debug, 2, 2, 3);
+        for f in set.assign_faults.iter().chain(&set.check_faults) {
+            // One fault per run, as in the paper: always within budget.
+            Injector::new(vec![f.spec], TriggerMode::Hardware, 0)
+                .unwrap_or_else(|e| panic!("{:?} not injectable: {e}", f.error));
+        }
+    }
+}

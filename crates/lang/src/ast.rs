@@ -1,0 +1,409 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! Every expression node carries a unique `id` (assigned by the parser)
+//! which the semantic pass uses to attach types, and a source `line` used
+//! for debug info — the line↔instruction mapping is what lets the fault
+//! injector tie machine-level fault locations back to source statements,
+//! mirroring how the paper used compiler symbol tables.
+
+/// Syntactic type: a base type, a pointer depth, and optional array
+/// dimensions (outermost first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeExpr {
+    /// The base type name.
+    pub base: BaseType,
+    /// Number of `*`s.
+    pub ptr_depth: u32,
+    /// Array dimensions, outermost first; empty for scalars.
+    pub dims: Vec<usize>,
+}
+
+/// Base type of a [`TypeExpr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseType {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit unsigned character.
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// A named struct.
+    Struct(String),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<(String, TypeExpr)>,
+    /// Definition line.
+    pub line: u32,
+}
+
+/// A variable declaration (global or block-local).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Optional initializer (treated as an assignment statement).
+    pub init: Option<Expr>,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Parameters.
+    pub params: Vec<(String, TypeExpr)>,
+    /// Body.
+    pub body: Block,
+    /// Definition line.
+    pub line: u32,
+}
+
+/// A `{}` block: C89-style leading declarations, then statements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// Leading declarations.
+    pub decls: Vec<VarDecl>,
+    /// Statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target = value;` — an ODC *assignment* location.
+    Assign {
+        /// Assignment target (lvalue).
+        target: Expr,
+        /// Assigned value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression statement (function call).
+    Expr {
+        /// The evaluated expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) … else …` — the condition is an ODC *checking* location.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) …` — the condition is a *checking* location.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source line.
+        line: u32,
+    },
+    /// `for (init; cond; step) …` — cond is a *checking* location; init and
+    /// step are *assignment* locations.
+    For {
+        /// Optional init assignment.
+        init: Option<Box<Stmt>>,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional step assignment.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+        /// Source line.
+        line: u32,
+    },
+    /// `return e;`.
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`.
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`.
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// A nested block.
+    Block(Block),
+}
+
+impl Stmt {
+    /// Source line of the statement.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line } => *line,
+            Stmt::Block(b) => b.stmts.first().map_or(0, Stmt::line),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e`.
+    Not,
+    /// Pointer dereference `*e`.
+    Deref,
+    /// Address-of `&e`.
+    Addr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// Whether this is one of the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// Whether this is `&&` or `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Unique id assigned by the parser; indexes the semantic pass's type
+    /// table.
+    pub id: usize,
+    /// Source line.
+    pub line: u32,
+    /// Node payload.
+    pub kind: ExprKind,
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i32),
+    /// Character literal.
+    CharLit(u8),
+    /// String literal (a `char*` into the data segment).
+    StrLit(Vec<u8>),
+    /// Variable reference.
+    Var(String),
+    /// `base[index]`.
+    Index {
+        /// Array or pointer expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `base.field` (`arrow == false`) or `base->field` (`arrow == true`).
+    Field {
+        /// Struct (or struct pointer) expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Whether `->` was used.
+        arrow: bool,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then_e : else_e`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A complete translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<VarDecl>,
+    /// Functions (`main` required for executables).
+    pub functions: Vec<Function>,
+}
+
+/// Walk every expression in a block, depth-first (used by metrics and by
+/// analyses that count operators/operands).
+pub fn visit_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    fn expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+        f(e);
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) | ExprKind::Var(_) => {}
+            ExprKind::Index { base, index } => {
+                expr(base, f);
+                expr(index, f);
+            }
+            ExprKind::Field { base, .. } => expr(base, f),
+            ExprKind::Unary { operand, .. } => expr(operand, f),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                expr(lhs, f);
+                expr(rhs, f);
+            }
+            ExprKind::Ternary { cond, then_e, else_e } => {
+                expr(cond, f);
+                expr(then_e, f);
+                expr(else_e, f);
+            }
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    expr(a, f);
+                }
+            }
+        }
+    }
+    fn stmt<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                expr(target, f);
+                expr(value, f);
+            }
+            Stmt::Expr { expr: e, .. } => expr(e, f),
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                expr(cond, f);
+                visit_exprs(then_blk, f);
+                if let Some(b) = else_blk {
+                    visit_exprs(b, f);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                expr(cond, f);
+                visit_exprs(body, f);
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(s) = init {
+                    stmt(s, f);
+                }
+                if let Some(c) = cond {
+                    expr(c, f);
+                }
+                if let Some(s) = step {
+                    stmt(s, f);
+                }
+                visit_exprs(body, f);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    expr(v, f);
+                }
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+            Stmt::Block(b) => visit_exprs(b, f),
+        }
+    }
+    for d in &block.decls {
+        if let Some(init) = &d.init {
+            expr(init, f);
+        }
+    }
+    for s in &block.stmts {
+        stmt(s, f);
+    }
+}
+
+/// Walk every statement in a block, depth-first, including nested blocks.
+pub fn visit_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &block.stmts {
+        f(s);
+        match s {
+            Stmt::If { then_blk, else_blk, .. } => {
+                visit_stmts(then_blk, f);
+                if let Some(b) = else_blk {
+                    visit_stmts(b, f);
+                }
+            }
+            Stmt::While { body, .. } => visit_stmts(body, f),
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    f(i);
+                }
+                if let Some(st) = step {
+                    f(st);
+                }
+                visit_stmts(body, f);
+            }
+            Stmt::Block(b) => visit_stmts(b, f),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,1129 @@
+//! Code generation: typed MiniC AST → P601-lite machine code + debug info.
+//!
+//! The generator is deliberately non-optimising so that source structure
+//! maps 1:1 onto machine code:
+//!
+//! - every assignment statement commits through exactly one store
+//!   instruction (sp-relative for scalar locals), which becomes its
+//!   [`AssignSite`](crate::debug::AssignSite);
+//! - every `if`/`while`/`for` condition tests through `cmp`/`cmpi` + `bc`,
+//!   and the `bc` word is the single-word mutation target for the paper's
+//!   checking error types;
+//! - local variables live at declaration-ordered frame offsets, so a
+//!   source-level array-size fault (JB.team6) shifts the displacement
+//!   fields of every later sp-relative access — the paper's "stack shift"
+//!   machine footprint.
+
+use swifi_vm::asm::CodeBuilder;
+use swifi_vm::isa::{decode, encode, AluOp, Instr, NOP};
+use swifi_vm::isa::Syscall;
+use swifi_vm::mem::Image;
+
+use crate::ast::*;
+use crate::debug::{
+    AssignSite, CheckErrorType, CheckMutation, CheckOp, CheckSite, DebugInfo, FunctionInfo,
+};
+use crate::lexer::CompileError;
+use crate::sema::{is_builtin, SemaOutput, Type, VarRef};
+
+/// Expression evaluation registers (a small LIFO register stack). They are
+/// callee-saved: every function prologue saves all eight.
+const EVAL_REGS: [u8; 8] = [14, 15, 16, 17, 18, 19, 20, 21];
+
+/// Frame offset where locals begin: 4 bytes saved LR + 8×4 saved eval regs.
+const LOCALS_BASE: u32 = 36;
+
+/// Result of compilation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The linked executable.
+    pub image: Image,
+    /// Machine-level debug information (fault-location catalogue).
+    pub debug: DebugInfo,
+}
+
+#[derive(Debug)]
+enum PendingMut {
+    Swap { bc_idx: usize, err: CheckErrorType, to: (swifi_vm::isa::CrBit, bool) },
+    Retarget { bc_idx: usize, err: CheckErrorType, target: String },
+    Uncond { bc_idx: usize, err: CheckErrorType, target: String },
+    Nop { bc_idx: usize, err: CheckErrorType },
+    Index { load_idx: usize, elem: u32 },
+}
+
+#[derive(Debug)]
+struct PendingCheck {
+    line: u32,
+    func: String,
+    op: CheckOp,
+    first_bc: Option<usize>,
+    muts: Vec<PendingMut>,
+}
+
+#[derive(Debug)]
+struct PendingAssign {
+    line: u32,
+    func: String,
+    store_idx: usize,
+    is_byte: bool,
+    is_pointer: bool,
+}
+
+struct Gen<'a> {
+    prog: &'a Program,
+    sema: &'a SemaOutput,
+    b: CodeBuilder,
+    depth: usize,
+    label_n: usize,
+    str_n: usize,
+    cur_fn: String,
+    cur_fn_idx: usize,
+    loop_stack: Vec<(String, String)>, // (continue target, break target)
+    collector: Option<PendingCheck>,
+    pending_checks: Vec<PendingCheck>,
+    pending_assigns: Vec<PendingAssign>,
+    fn_ranges: Vec<(String, usize, usize, u32)>,
+    line_map: Vec<(usize, u32)>,
+}
+
+/// Generate machine code and debug info for a type-checked program.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for resource-limit violations the semantic pass
+/// cannot see: missing/ill-typed `main`, over-deep expressions (more than 8
+/// live temporaries), and frames too large for 16-bit displacements.
+pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileError> {
+    let main = prog
+        .functions
+        .iter()
+        .find(|f| f.name == "main")
+        .ok_or_else(|| CompileError::new(0, "program has no `main` function"))?;
+    let main_layout = &sema.functions[prog.functions.iter().position(|f| f.name == "main").unwrap()];
+    if main_layout.ret != Type::Void || !main_layout.params.is_empty() {
+        return Err(CompileError::new(main.line, "`main` must be `void main()`"));
+    }
+
+    let mut g = Gen {
+        prog,
+        sema,
+        b: CodeBuilder::new(),
+        depth: 0,
+        label_n: 0,
+        str_n: 0,
+        cur_fn: String::new(),
+        cur_fn_idx: 0,
+        loop_stack: Vec::new(),
+        collector: None,
+        pending_checks: Vec::new(),
+        pending_assigns: Vec::new(),
+        fn_ranges: Vec::new(),
+        line_map: Vec::new(),
+    };
+
+    // Entry stub: every core calls main, then halts with exit code 0.
+    g.b.branch_to("fn_main", true);
+    g.b.push(Instr::Addi { rd: 3, ra: 0, imm: 0 });
+    g.b.push(Instr::Halt);
+
+    for (i, f) in prog.functions.iter().enumerate() {
+        g.function(i, f)?;
+    }
+    g.emit_globals();
+
+    // Resolve label-relative pending mutations to instruction indices
+    // before the builder is consumed.
+    let mut resolved: Vec<(PendingCheck, Vec<(CheckErrorType, ResolvedMut)>)> = Vec::new();
+    for pc in std::mem::take(&mut g.pending_checks) {
+        let mut rm = Vec::new();
+        for m in &pc.muts {
+            let r = match m {
+                PendingMut::Swap { bc_idx, err, to } => {
+                    (*err, ResolvedMut::Swap { bc_idx: *bc_idx, to: *to })
+                }
+                PendingMut::Retarget { bc_idx, err, target } => {
+                    let t = g.b.label_code_index(target).expect("label bound");
+                    (*err, ResolvedMut::Retarget { bc_idx: *bc_idx, target: t })
+                }
+                PendingMut::Uncond { bc_idx, err, target } => {
+                    let t = g.b.label_code_index(target).expect("label bound");
+                    (*err, ResolvedMut::Uncond { bc_idx: *bc_idx, target: t })
+                }
+                PendingMut::Nop { bc_idx, err } => (*err, ResolvedMut::Nop { bc_idx: *bc_idx }),
+                PendingMut::Index { load_idx, elem } => {
+                    // One pending entry expands to both [i+1] and [i-1].
+                    rm.push((
+                        CheckErrorType::IndexPlus,
+                        ResolvedMut::Index { load_idx: *load_idx, delta: *elem as i32 },
+                    ));
+                    (
+                        CheckErrorType::IndexMinus,
+                        ResolvedMut::Index { load_idx: *load_idx, delta: -(*elem as i32) },
+                    )
+                }
+            };
+            rm.push(r);
+        }
+        resolved.push((pc, rm));
+    }
+    let pending_assigns = std::mem::take(&mut g.pending_assigns);
+    let fn_ranges = std::mem::take(&mut g.fn_ranges);
+    let line_map = std::mem::take(&mut g.line_map);
+
+    let image = g.b.finish().map_err(|e| CompileError::new(e.line as u32, e.msg))?;
+    let addr = |i: usize| image.addr_of(i);
+
+    let mut debug = DebugInfo::default();
+    for (name, s, e, line) in fn_ranges {
+        debug.functions.push(FunctionInfo {
+            name,
+            start_addr: addr(s),
+            end_addr: addr(e),
+            line,
+        });
+    }
+    let mut last = None;
+    for (i, line) in line_map {
+        if last != Some(i) {
+            debug.line_map.push((addr(i), line));
+            last = Some(i);
+        }
+    }
+    for pa in pending_assigns {
+        debug.assigns.push(AssignSite {
+            line: pa.line,
+            func: pa.func,
+            store_addr: addr(pa.store_idx),
+            is_byte: pa.is_byte,
+            is_pointer: pa.is_pointer,
+        });
+    }
+    for (pc, muts) in resolved {
+        let first_bc = match pc.first_bc {
+            Some(i) => i,
+            None => continue, // constant condition: no injectable site
+        };
+        let mut out = Vec::new();
+        for (err, m) in muts {
+            let cm = match m {
+                ResolvedMut::Swap { bc_idx, to } => {
+                    let w = image.code[bc_idx];
+                    match decode(w) {
+                        Ok(Instr::Bc { crf, off, .. }) => CheckMutation::ReplaceWord {
+                            addr: addr(bc_idx),
+                            word: encode(Instr::Bc { crf, bit: to.0, expect: to.1, off }),
+                        },
+                        other => unreachable!("swap target is not a bc: {other:?}"),
+                    }
+                }
+                ResolvedMut::Retarget { bc_idx, target } => {
+                    let w = image.code[bc_idx];
+                    match decode(w) {
+                        Ok(Instr::Bc { crf, bit, expect, .. }) => {
+                            let off = target as i64 - bc_idx as i64;
+                            let off = i16::try_from(off).map_err(|_| {
+                                CompileError::new(pc.line, "condition too far for mutation")
+                            })?;
+                            CheckMutation::ReplaceWord {
+                                addr: addr(bc_idx),
+                                word: encode(Instr::Bc { crf, bit, expect: !expect, off }),
+                            }
+                        }
+                        other => unreachable!("retarget target is not a bc: {other:?}"),
+                    }
+                }
+                ResolvedMut::Uncond { bc_idx, target } => CheckMutation::ReplaceWord {
+                    addr: addr(bc_idx),
+                    word: encode(Instr::B { off: target as i32 - bc_idx as i32 }),
+                },
+                ResolvedMut::Nop { bc_idx } => {
+                    CheckMutation::ReplaceWord { addr: addr(bc_idx), word: NOP }
+                }
+                ResolvedMut::Index { load_idx, delta } => {
+                    CheckMutation::AdjustLoadAddr { addr: addr(load_idx), delta }
+                }
+            };
+            out.push((err, cm));
+        }
+        debug.checks.push(CheckSite {
+            line: pc.line,
+            func: pc.func,
+            op: pc.op,
+            branch_addr: addr(first_bc),
+            mutations: out,
+        });
+    }
+    debug.checks.sort_by_key(|c| c.branch_addr);
+    debug.assigns.sort_by_key(|a| a.store_addr);
+    Ok(Compiled { image, debug })
+}
+
+enum ResolvedMut {
+    Swap { bc_idx: usize, to: (swifi_vm::isa::CrBit, bool) },
+    Retarget { bc_idx: usize, target: usize },
+    Uncond { bc_idx: usize, target: usize },
+    Nop { bc_idx: usize },
+    Index { load_idx: usize, delta: i32 },
+}
+
+impl<'a> Gen<'a> {
+    fn fresh(&mut self, base: &str) -> String {
+        self.label_n += 1;
+        format!("{base}_{}", self.label_n)
+    }
+
+    fn alloc(&mut self, line: u32) -> Result<u8, CompileError> {
+        if self.depth >= EVAL_REGS.len() {
+            return Err(CompileError::new(line, "expression too complex (register pressure)"));
+        }
+        let r = EVAL_REGS[self.depth];
+        self.depth += 1;
+        Ok(r)
+    }
+
+    fn free(&mut self, r: u8) {
+        self.depth -= 1;
+        debug_assert_eq!(EVAL_REGS[self.depth], r, "eval registers freed out of order");
+    }
+
+    fn ty(&self, e: &Expr) -> Type {
+        self.sema.expr_types[&e.id].clone()
+    }
+
+    fn glabel(&self, idx: usize) -> String {
+        format!("g_{}", self.sema.globals[idx].name)
+    }
+
+    fn struct_size(&self, t: &Type) -> u32 {
+        t.size(&self.sema.structs)
+    }
+
+    fn mark_line(&mut self, line: u32) {
+        self.line_map.push((self.b.here(), line));
+    }
+
+    // ---- functions -----------------------------------------------------
+
+    fn function(&mut self, idx: usize, f: &'a Function) -> Result<(), CompileError> {
+        let layout = &self.sema.functions[idx];
+        let frame = LOCALS_BASE + layout.locals_size;
+        if frame > 30000 {
+            return Err(CompileError::new(
+                f.line,
+                format!("frame of `{}` too large ({frame} bytes); make arrays global", f.name),
+            ));
+        }
+        self.cur_fn = f.name.clone();
+        self.cur_fn_idx = idx;
+        let start = self.b.here();
+        self.b.label(format!("fn_{}", f.name));
+        // Prologue.
+        self.b.push(Instr::Mflr { rd: 12 });
+        self.b.push(Instr::Addi { rd: 1, ra: 1, imm: -(frame as i32) as i16 });
+        self.b.push(Instr::Stw { rs: 12, ra: 1, d: 0 });
+        for (i, &r) in EVAL_REGS.iter().enumerate() {
+            self.b.push(Instr::Stw { rs: r, ra: 1, d: 4 + 4 * i as i16 });
+        }
+        // Spill parameters into their slots.
+        for (i, off) in layout.param_offsets.clone().iter().enumerate() {
+            let ty = &layout.params[i];
+            let d = (LOCALS_BASE + off) as i16;
+            if *ty == Type::Char {
+                self.b.push(Instr::Stb { rs: 3 + i as u8, ra: 1, d });
+            } else {
+                self.b.push(Instr::Stw { rs: 3 + i as u8, ra: 1, d });
+            }
+        }
+        let epilogue = format!("ep_{}", f.name);
+        self.block(&f.body)?;
+        debug_assert_eq!(self.depth, 0, "leaked eval registers in `{}`", f.name);
+        // Epilogue.
+        self.b.label(epilogue);
+        for (i, &r) in EVAL_REGS.iter().enumerate() {
+            self.b.push(Instr::Lwz { rd: r, ra: 1, d: 4 + 4 * i as i16 });
+        }
+        self.b.push(Instr::Lwz { rd: 12, ra: 1, d: 0 });
+        self.b.push(Instr::Mtlr { ra: 12 });
+        self.b.push(Instr::Addi { rd: 1, ra: 1, imm: frame as i16 });
+        self.b.push(Instr::Blr);
+        let end = self.b.here();
+        self.fn_ranges.push((f.name.clone(), start, end, f.line));
+        Ok(())
+    }
+
+    fn emit_globals(&mut self) {
+        for (i, g) in self.prog.globals.iter().enumerate() {
+            let ty = &self.sema.globals[i].ty;
+            let align = ty.align(&self.sema.structs);
+            if align >= 4 {
+                self.b.align_data();
+            }
+            self.b.data_label(self.glabel(i));
+            match &g.init {
+                Some(e) => {
+                    let v = match e.kind {
+                        ExprKind::IntLit(v) => v,
+                        ExprKind::CharLit(c) => c as i32,
+                        _ => unreachable!("sema restricts global initializers"),
+                    };
+                    if *ty == Type::Char {
+                        self.b.push_data(&[(v & 0xFF) as u8]);
+                    } else {
+                        self.b.push_data(&(v as u32).to_le_bytes());
+                    }
+                }
+                None => {
+                    let size = self.struct_size(ty) as usize;
+                    self.b.push_data(&vec![0u8; size]);
+                }
+            }
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block(&mut self, blk: &'a Block) -> Result<(), CompileError> {
+        for d in &blk.decls {
+            if let Some(init) = &d.init {
+                // A declaration initializer is an assignment statement in
+                // ODC terms; sema recorded the slot under the initializer's
+                // expression id.
+                self.mark_line(d.line);
+                let (off, ty) =
+                    self.sema.decl_slots.get(&init.id).cloned().expect("sema recorded the slot");
+                let vreg = self.expr(init)?;
+                let d16 = (LOCALS_BASE + off) as i16;
+                let store_idx = if ty == Type::Char {
+                    self.b.push(Instr::Stb { rs: vreg, ra: 1, d: d16 })
+                } else {
+                    self.b.push(Instr::Stw { rs: vreg, ra: 1, d: d16 })
+                };
+                self.free(vreg);
+                self.pending_assigns.push(PendingAssign {
+                    line: d.line,
+                    func: self.cur_fn.clone(),
+                    store_idx,
+                    is_byte: ty == Type::Char,
+                    is_pointer: matches!(ty, Type::Ptr(_)),
+                });
+            }
+        }
+        for s in &blk.stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &'a Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Assign { target, value, line } => {
+                self.mark_line(*line);
+                self.assign(target, value, *line)
+            }
+            Stmt::Expr { expr, line } => {
+                self.mark_line(*line);
+                match &expr.kind {
+                    ExprKind::Call { .. } if self.ty(expr) == Type::Void => {
+                        self.call_void(expr)?;
+                    }
+                    _ => {
+                        let r = self.expr(expr)?;
+                        self.free(r);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_blk, else_blk, line } => {
+                self.mark_line(*line);
+                let lend = self.fresh("Lend");
+                let lelse = if else_blk.is_some() { self.fresh("Lelse") } else { lend.clone() };
+                self.checked_cond_false(cond, &lelse, *line)?;
+                self.block(then_blk)?;
+                if let Some(eb) = else_blk {
+                    self.b.branch_to(&lend, false);
+                    self.b.label(&lelse);
+                    self.block(eb)?;
+                }
+                self.b.label(&lend);
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let lcond = self.fresh("Lwhile");
+                let lend = self.fresh("Lend");
+                self.b.label(&lcond);
+                self.mark_line(*line);
+                self.checked_cond_false(cond, &lend, *line)?;
+                self.loop_stack.push((lcond.clone(), lend.clone()));
+                self.block(body)?;
+                self.loop_stack.pop();
+                self.b.branch_to(&lcond, false);
+                self.b.label(&lend);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let lcond = self.fresh("Lfor");
+                let lstep = self.fresh("Lstep");
+                let lend = self.fresh("Lend");
+                self.b.label(&lcond);
+                if let Some(c) = cond {
+                    self.mark_line(*line);
+                    self.checked_cond_false(c, &lend, *line)?;
+                }
+                self.loop_stack.push((lstep.clone(), lend.clone()));
+                self.block(body)?;
+                self.loop_stack.pop();
+                self.b.label(&lstep);
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.b.branch_to(&lcond, false);
+                self.b.label(&lend);
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                self.mark_line(*line);
+                if let Some(v) = value {
+                    let r = self.expr(v)?;
+                    self.b.push(Instr::Addi { rd: 3, ra: r, imm: 0 });
+                    self.free(r);
+                }
+                self.b.branch_to(format!("ep_{}", self.cur_fn), false);
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                self.mark_line(*line);
+                let (_, brk) = self
+                    .loop_stack
+                    .last()
+                    .cloned()
+                    .expect("sema verified break is inside a loop");
+                self.b.branch_to(brk, false);
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                self.mark_line(*line);
+                let (cont, _) = self
+                    .loop_stack
+                    .last()
+                    .cloned()
+                    .expect("sema verified continue is inside a loop");
+                self.b.branch_to(cont, false);
+                Ok(())
+            }
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn assign(&mut self, target: &'a Expr, value: &'a Expr, line: u32) -> Result<(), CompileError> {
+        // Fast path: scalar local — one sp-relative store.
+        if let ExprKind::Var(_) = &target.kind {
+            if let Some(VarRef::Local { offset, ty }) = self.sema.var_refs.get(&target.id) {
+                if ty.is_scalar() {
+                    let (ty, offset) = (ty.clone(), *offset);
+                    let vreg = self.expr(value)?;
+                    let d = (LOCALS_BASE + offset) as i16;
+                    let store_idx = if ty == Type::Char {
+                        self.b.push(Instr::Stb { rs: vreg, ra: 1, d })
+                    } else {
+                        self.b.push(Instr::Stw { rs: vreg, ra: 1, d })
+                    };
+                    self.free(vreg);
+                    self.pending_assigns.push(PendingAssign {
+                        line,
+                        func: self.cur_fn.clone(),
+                        store_idx,
+                        is_byte: ty == Type::Char,
+                        is_pointer: matches!(ty, Type::Ptr(_)),
+                    });
+                    return Ok(());
+                }
+            }
+        }
+        let (areg, ty) = self.addr(target)?;
+        let vreg = self.expr(value)?;
+        let store_idx = if ty == Type::Char {
+            self.b.push(Instr::Stb { rs: vreg, ra: areg, d: 0 })
+        } else {
+            self.b.push(Instr::Stw { rs: vreg, ra: areg, d: 0 })
+        };
+        self.free(vreg);
+        self.free(areg);
+        self.pending_assigns.push(PendingAssign {
+            line,
+            func: self.cur_fn.clone(),
+            store_idx,
+            is_byte: ty == Type::Char,
+            is_pointer: matches!(ty, Type::Ptr(_)),
+        });
+        Ok(())
+    }
+
+    // ---- conditions ----------------------------------------------------
+
+    /// Compile a statement-level condition, collecting its checking site.
+    fn checked_cond_false(
+        &mut self,
+        cond: &'a Expr,
+        false_label: &str,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        let op = match &cond.kind {
+            ExprKind::Binary { op, .. } if op.is_comparison() => cmp_checkop(*op),
+            ExprKind::Binary { op: BinOp::And, .. } => CheckOp::And,
+            ExprKind::Binary { op: BinOp::Or, .. } => CheckOp::Or,
+            _ => CheckOp::BoolTest,
+        };
+        self.collector = Some(PendingCheck {
+            line,
+            func: self.cur_fn.clone(),
+            op,
+            first_bc: None,
+            muts: Vec::new(),
+        });
+        self.cond_false(cond, false_label)?;
+        let pc = self.collector.take().expect("collector still present");
+        self.pending_checks.push(pc);
+        Ok(())
+    }
+
+    fn note_bc(&mut self, idx: usize) {
+        if let Some(c) = &mut self.collector {
+            if c.first_bc.is_none() {
+                c.first_bc = Some(idx);
+            }
+        }
+    }
+
+    fn collect(&mut self, m: PendingMut) {
+        if let Some(c) = &mut self.collector {
+            c.muts.push(m);
+        }
+    }
+
+    /// Branch to `label` when `e` evaluates FALSE.
+    ///
+    /// Returns the instruction index of the final `bc` when the condition
+    /// compiled to a single branch (used by logical-swap mutations).
+    fn cond_false(&mut self, e: &'a Expr, label: &str) -> Result<Option<usize>, CompileError> {
+        self.cond_branch(e, label, false)
+    }
+
+    /// Branch to `label` when `e` evaluates TRUE.
+    fn cond_true(&mut self, e: &'a Expr, label: &str) -> Result<Option<usize>, CompileError> {
+        self.cond_branch(e, label, true)
+    }
+
+    fn cond_branch(
+        &mut self,
+        e: &'a Expr,
+        label: &str,
+        branch_when: bool,
+    ) -> Result<Option<usize>, CompileError> {
+        match &e.kind {
+            ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let src = cmp_checkop(*op);
+                let lreg = self.expr(lhs)?;
+                match const_i16(rhs) {
+                    Some(imm) => {
+                        self.b.push(Instr::Cmpi { crf: 0, ra: lreg, imm });
+                        self.free(lreg);
+                    }
+                    None => {
+                        let rreg = self.expr(rhs)?;
+                        self.b.push(Instr::Cmp { crf: 0, ra: lreg, rb: rreg });
+                        self.free(rreg);
+                        self.free(lreg);
+                    }
+                }
+                let (bit, expect) =
+                    if branch_when { src.true_branch() } else { src.false_branch() };
+                let idx = self.b.cond_branch_to(0, bit, expect, label);
+                self.note_bc(idx);
+                for (err, to) in swaps_for(src) {
+                    let enc = if branch_when { to.true_branch() } else { to.false_branch() };
+                    self.collect(PendingMut::Swap { bc_idx: idx, err, to: enc });
+                }
+                Ok(Some(idx))
+            }
+            ExprKind::Binary { op: BinOp::And, lhs, rhs } => {
+                if branch_when {
+                    // branch to label iff (lhs && rhs)
+                    let skip = self.fresh("Land");
+                    let l_idx = self.cond_false(lhs, &skip)?;
+                    self.cond_true(rhs, label)?;
+                    self.b.label(&skip);
+                    if let Some(i) = l_idx {
+                        // `&&`→`||`: if lhs true, branch straight to label.
+                        self.collect(PendingMut::Retarget {
+                            bc_idx: i,
+                            err: CheckErrorType::AndToOr,
+                            target: label.to_string(),
+                        });
+                    }
+                } else {
+                    // branch to label iff !(lhs && rhs)
+                    let l_idx = self.cond_false(lhs, label)?;
+                    self.cond_false(rhs, label)?;
+                    let cont = self.fresh("Lcont");
+                    self.b.label(&cont);
+                    if let Some(i) = l_idx {
+                        // `&&`→`||`: if lhs true, skip the rhs test.
+                        self.collect(PendingMut::Retarget {
+                            bc_idx: i,
+                            err: CheckErrorType::AndToOr,
+                            target: cont,
+                        });
+                    }
+                }
+                Ok(None)
+            }
+            ExprKind::Binary { op: BinOp::Or, lhs, rhs } => {
+                if branch_when {
+                    let l_idx = self.cond_true(lhs, label)?;
+                    self.cond_true(rhs, label)?;
+                    let cont = self.fresh("Lcont");
+                    self.b.label(&cont);
+                    if let Some(i) = l_idx {
+                        // `||`→`&&`: lhs true must now *check rhs* instead
+                        // of branching; i.e. lhs false skips to cont.
+                        self.collect(PendingMut::Retarget {
+                            bc_idx: i,
+                            err: CheckErrorType::OrToAnd,
+                            target: cont,
+                        });
+                    }
+                } else {
+                    let taken = self.fresh("Lor");
+                    let l_idx = self.cond_true(lhs, &taken)?;
+                    self.cond_false(rhs, label)?;
+                    self.b.label(&taken);
+                    if let Some(i) = l_idx {
+                        // `||`→`&&`: lhs false must branch to the false
+                        // label directly.
+                        self.collect(PendingMut::Retarget {
+                            bc_idx: i,
+                            err: CheckErrorType::OrToAnd,
+                            target: label.to_string(),
+                        });
+                    }
+                }
+                Ok(None)
+            }
+            ExprKind::Unary { op: UnOp::Not, operand } => {
+                self.cond_branch(operand, label, !branch_when)
+            }
+            ExprKind::IntLit(v) => {
+                let truth = *v != 0;
+                if truth == branch_when {
+                    self.b.branch_to(label, false);
+                }
+                Ok(None)
+            }
+            ExprKind::CharLit(c) => {
+                let truth = *c != 0;
+                if truth == branch_when {
+                    self.b.branch_to(label, false);
+                }
+                Ok(None)
+            }
+            _ => {
+                // Plain boolean test: compare against zero.
+                let r = self.expr(e)?;
+                self.b.push(Instr::Cmpi { crf: 0, ra: r, imm: 0 });
+                self.free(r);
+                // branch_when=true: branch if value != 0 → bc eq,0.
+                let idx = self.b.cond_branch_to(0, swifi_vm::isa::CrBit::Eq, !branch_when, label);
+                self.note_bc(idx);
+                // Stuck-at mutations: which word forces the condition
+                // depends on whether this bc fires on true or false.
+                if branch_when {
+                    // bc branches when condition TRUE.
+                    self.collect(PendingMut::Nop { bc_idx: idx, err: CheckErrorType::TrueToFalse });
+                    self.collect(PendingMut::Uncond {
+                        bc_idx: idx,
+                        err: CheckErrorType::FalseToTrue,
+                        target: label.to_string(),
+                    });
+                } else {
+                    self.collect(PendingMut::Uncond {
+                        bc_idx: idx,
+                        err: CheckErrorType::TrueToFalse,
+                        target: label.to_string(),
+                    });
+                    self.collect(PendingMut::Nop { bc_idx: idx, err: CheckErrorType::FalseToTrue });
+                }
+                Ok(Some(idx))
+            }
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Evaluate `e` into a freshly allocated eval register.
+    fn expr(&mut self, e: &'a Expr) -> Result<u8, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let r = self.alloc(e.line)?;
+                self.b.load_imm(r, *v);
+                Ok(r)
+            }
+            ExprKind::CharLit(c) => {
+                let r = self.alloc(e.line)?;
+                self.b.load_imm(r, *c as i32);
+                Ok(r)
+            }
+            ExprKind::StrLit(s) => {
+                let label = format!("str_{}", self.str_n);
+                self.str_n += 1;
+                self.b.data_label(&label);
+                let mut bytes = s.clone();
+                bytes.push(0);
+                self.b.push_data(&bytes);
+                let r = self.alloc(e.line)?;
+                self.b.load_addr(r, label);
+                Ok(r)
+            }
+            ExprKind::Var(_) => {
+                match self.sema.var_refs.get(&e.id).cloned().expect("sema resolved") {
+                    VarRef::Local { offset, ty } => {
+                        let r = self.alloc(e.line)?;
+                        let d = (LOCALS_BASE + offset) as i16;
+                        match ty {
+                            Type::Array(..) | Type::Struct(_) => {
+                                self.b.push(Instr::Addi { rd: r, ra: 1, imm: d });
+                            }
+                            Type::Char => {
+                                self.b.push(Instr::Lbz { rd: r, ra: 1, d });
+                            }
+                            _ => {
+                                self.b.push(Instr::Lwz { rd: r, ra: 1, d });
+                            }
+                        }
+                        Ok(r)
+                    }
+                    VarRef::Global(i) => {
+                        let r = self.alloc(e.line)?;
+                        self.b.load_addr(r, self.glabel(i));
+                        match &self.sema.globals[i].ty {
+                            Type::Array(..) | Type::Struct(_) => {}
+                            Type::Char => {
+                                self.b.push(Instr::Lbz { rd: r, ra: r, d: 0 });
+                            }
+                            _ => {
+                                self.b.push(Instr::Lwz { rd: r, ra: r, d: 0 });
+                            }
+                        }
+                        Ok(r)
+                    }
+                }
+            }
+            ExprKind::Index { .. } | ExprKind::Field { .. } => {
+                let (r, ty) = self.addr(e)?;
+                match ty {
+                    Type::Array(..) | Type::Struct(_) => Ok(r), // address *is* the value
+                    Type::Char => {
+                        let idx = self.b.push(Instr::Lbz { rd: r, ra: r, d: 0 });
+                        self.note_index_load(e, idx, 1);
+                        Ok(r)
+                    }
+                    _ => {
+                        let idx = self.b.push(Instr::Lwz { rd: r, ra: r, d: 0 });
+                        self.note_index_load(e, idx, 4);
+                        Ok(r)
+                    }
+                }
+            }
+            ExprKind::Unary { op, operand } => match op {
+                UnOp::Neg => {
+                    let r = self.expr(operand)?;
+                    self.b.push(Instr::Alu { op: AluOp::Neg, rd: r, ra: r, rb: 0 });
+                    Ok(r)
+                }
+                UnOp::Not => {
+                    let r = self.expr(operand)?;
+                    let lend = self.fresh("Lnot");
+                    self.b.push(Instr::Cmpi { crf: 0, ra: r, imm: 0 });
+                    self.b.push(Instr::Addi { rd: r, ra: 0, imm: 1 });
+                    self.b.cond_branch_to(0, swifi_vm::isa::CrBit::Eq, true, &lend);
+                    self.b.push(Instr::Addi { rd: r, ra: 0, imm: 0 });
+                    self.b.label(&lend);
+                    Ok(r)
+                }
+                UnOp::Deref => {
+                    let r = self.expr(operand)?;
+                    match self.ty(e) {
+                        Type::Struct(_) | Type::Array(..) => Ok(r),
+                        Type::Char => {
+                            self.b.push(Instr::Lbz { rd: r, ra: r, d: 0 });
+                            Ok(r)
+                        }
+                        _ => {
+                            self.b.push(Instr::Lwz { rd: r, ra: r, d: 0 });
+                            Ok(r)
+                        }
+                    }
+                }
+                UnOp::Addr => {
+                    let (r, _) = self.addr(operand)?;
+                    Ok(r)
+                }
+            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                if op.is_comparison() || op.is_logical() {
+                    return self.materialize_bool(e);
+                }
+                let lt = self.ty(lhs).decay();
+                let rt = self.ty(rhs).decay();
+                let lreg = self.expr(lhs)?;
+                let rreg = self.expr(rhs)?;
+                // Pointer arithmetic scales by the pointee size.
+                if matches!(op, BinOp::Add | BinOp::Sub) {
+                    if let Type::Ptr(p) = &lt {
+                        if rt.is_arith() {
+                            self.scale(rreg, self.struct_size(p), e.line)?;
+                        }
+                    } else if let Type::Ptr(p) = &rt {
+                        if lt.is_arith() && *op == BinOp::Add {
+                            self.scale(lreg, self.struct_size(p), e.line)?;
+                        }
+                    }
+                }
+                let alu = match op {
+                    BinOp::Add => AluOp::Add,
+                    BinOp::Sub => AluOp::Sub,
+                    BinOp::Mul => AluOp::Mullw,
+                    BinOp::Div => AluOp::Divw,
+                    BinOp::Rem => AluOp::Remw,
+                    BinOp::BitAnd => AluOp::And,
+                    BinOp::BitOr => AluOp::Or,
+                    BinOp::BitXor => AluOp::Xor,
+                    BinOp::Shl => AluOp::Slw,
+                    BinOp::Shr => AluOp::Sraw,
+                    _ => unreachable!("comparisons handled above"),
+                };
+                self.b.push(Instr::Alu { op: alu, rd: lreg, ra: lreg, rb: rreg });
+                self.free(rreg);
+                Ok(lreg)
+            }
+            ExprKind::Ternary { cond, then_e, else_e } => {
+                let r = self.alloc(e.line)?;
+                let lelse = self.fresh("Ltern");
+                let lend = self.fresh("Lend");
+                // Ternary conditions are not ODC checking statements; hide
+                // the collector while compiling them.
+                let saved = self.collector.take();
+                self.cond_false(cond, &lelse)?;
+                self.collector = saved;
+                let tr = self.expr(then_e)?;
+                self.b.push(Instr::Addi { rd: r, ra: tr, imm: 0 });
+                self.free(tr);
+                self.b.branch_to(&lend, false);
+                self.b.label(&lelse);
+                let er = self.expr(else_e)?;
+                self.b.push(Instr::Addi { rd: r, ra: er, imm: 0 });
+                self.free(er);
+                self.b.label(&lend);
+                Ok(r)
+            }
+            ExprKind::Call { .. } => {
+                self.call_with_result(e)
+            }
+        }
+    }
+
+    fn materialize_bool(&mut self, e: &'a Expr) -> Result<u8, CompileError> {
+        let r = self.alloc(e.line)?;
+        let ltrue = self.fresh("Ltrue");
+        let lend = self.fresh("Lend");
+        let saved = self.collector.take();
+        self.cond_true(e, &ltrue)?;
+        self.collector = saved;
+        self.b.push(Instr::Addi { rd: r, ra: 0, imm: 0 });
+        self.b.branch_to(&lend, false);
+        self.b.label(&ltrue);
+        self.b.push(Instr::Addi { rd: r, ra: 0, imm: 1 });
+        self.b.label(&lend);
+        Ok(r)
+    }
+
+    fn scale(&mut self, reg: u8, size: u32, line: u32) -> Result<(), CompileError> {
+        if size == 1 {
+            return Ok(());
+        }
+        let tmp = self.alloc(line)?;
+        self.b.load_imm(tmp, size as i32);
+        self.b.push(Instr::Alu { op: AluOp::Mullw, rd: reg, ra: reg, rb: tmp });
+        self.free(tmp);
+        Ok(())
+    }
+
+    fn note_index_load(&mut self, e: &'a Expr, load_idx: usize, elem: u32) {
+        if self.collector.is_some() && matches!(e.kind, ExprKind::Index { .. }) {
+            self.collect(PendingMut::Index { load_idx, elem });
+        }
+    }
+
+    /// Address of an lvalue; returns `(register, element type)`.
+    fn addr(&mut self, e: &'a Expr) -> Result<(u8, Type), CompileError> {
+        match &e.kind {
+            ExprKind::Var(_) => {
+                match self.sema.var_refs.get(&e.id).cloned().expect("sema resolved") {
+                    VarRef::Local { offset, ty } => {
+                        let r = self.alloc(e.line)?;
+                        self.b.push(Instr::Addi { rd: r, ra: 1, imm: (LOCALS_BASE + offset) as i16 });
+                        Ok((r, ty))
+                    }
+                    VarRef::Global(i) => {
+                        let r = self.alloc(e.line)?;
+                        self.b.load_addr(r, self.glabel(i));
+                        Ok((r, self.sema.globals[i].ty.clone()))
+                    }
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let bt = self.ty(base);
+                let (breg, elem_ty) = match bt {
+                    Type::Array(t, _) => {
+                        let (r, _) = self.addr(base)?;
+                        (r, *t)
+                    }
+                    Type::Ptr(t) => {
+                        let r = self.expr(base)?;
+                        (r, *t)
+                    }
+                    other => unreachable!("sema allows indexing only arrays/pointers: {other:?}"),
+                };
+                let ireg = self.expr(index)?;
+                self.scale(ireg, self.struct_size(&elem_ty), e.line)?;
+                self.b.push(Instr::Alu { op: AluOp::Add, rd: breg, ra: breg, rb: ireg });
+                self.free(ireg);
+                Ok((breg, elem_ty))
+            }
+            ExprKind::Field { base, field, arrow } => {
+                let (breg, sidx) = if *arrow {
+                    let r = self.expr(base)?;
+                    match self.ty(base).decay() {
+                        Type::Ptr(p) => match *p {
+                            Type::Struct(i) => (r, i),
+                            _ => unreachable!("sema checked arrow base"),
+                        },
+                        _ => unreachable!("sema checked arrow base"),
+                    }
+                } else {
+                    let (r, ty) = self.addr(base)?;
+                    match ty {
+                        Type::Struct(i) => (r, i),
+                        _ => unreachable!("sema checked dot base"),
+                    }
+                };
+                let f = self.sema.structs[sidx]
+                    .fields
+                    .iter()
+                    .find(|f| &f.name == field)
+                    .expect("sema checked field");
+                let (off, fty) = (f.offset, f.ty.clone());
+                if off != 0 {
+                    self.b.push(Instr::Addi { rd: breg, ra: breg, imm: off as i16 });
+                }
+                Ok((breg, fty))
+            }
+            ExprKind::Unary { op: UnOp::Deref, operand } => {
+                let r = self.expr(operand)?;
+                match self.ty(operand).decay() {
+                    Type::Ptr(t) => Ok((r, *t)),
+                    other => unreachable!("sema checked deref: {other:?}"),
+                }
+            }
+            _ => unreachable!("sema rejected non-lvalues"),
+        }
+    }
+
+    fn call_void(&mut self, e: &'a Expr) -> Result<(), CompileError> {
+        self.emit_call(e)?;
+        Ok(())
+    }
+
+    fn call_with_result(&mut self, e: &'a Expr) -> Result<u8, CompileError> {
+        self.emit_call(e)?;
+        let r = self.alloc(e.line)?;
+        self.b.push(Instr::Addi { rd: r, ra: 3, imm: 0 });
+        Ok(r)
+    }
+
+    fn emit_call(&mut self, e: &'a Expr) -> Result<(), CompileError> {
+        let (name, args) = match &e.kind {
+            ExprKind::Call { name, args } => (name, args),
+            _ => unreachable!("emit_call on non-call"),
+        };
+        let mut regs = Vec::new();
+        for a in args {
+            regs.push(self.expr(a)?);
+        }
+        for (i, &r) in regs.iter().enumerate() {
+            self.b.push(Instr::Addi { rd: 3 + i as u8, ra: r, imm: 0 });
+        }
+        for &r in regs.iter().rev() {
+            self.free(r);
+        }
+        if is_builtin(name) {
+            let call = match name.as_str() {
+                "print_int" => Syscall::PrintInt,
+                "print_char" => Syscall::PrintChar,
+                "print_str" => Syscall::PrintStr,
+                "read_int" => Syscall::ReadInt,
+                "read_byte" => Syscall::ReadByte,
+                "malloc" => Syscall::Malloc,
+                "free" => Syscall::Free,
+                "core_id" => Syscall::CoreId,
+                "num_cores" => Syscall::NumCores,
+                "barrier" => Syscall::Barrier,
+                other => unreachable!("unknown builtin `{other}`"),
+            };
+            self.b.push(Instr::Sc { call });
+        } else {
+            self.b.branch_to(format!("fn_{name}"), true);
+        }
+        Ok(())
+    }
+}
+
+fn cmp_checkop(op: BinOp) -> CheckOp {
+    match op {
+        BinOp::Lt => CheckOp::Lt,
+        BinOp::Le => CheckOp::Le,
+        BinOp::Gt => CheckOp::Gt,
+        BinOp::Ge => CheckOp::Ge,
+        BinOp::Eq => CheckOp::Eq,
+        BinOp::Ne => CheckOp::Ne,
+        other => unreachable!("not a comparison: {other:?}"),
+    }
+}
+
+/// The operator-swap error types applicable to each source comparison,
+/// per the paper's Table 3.
+fn swaps_for(op: CheckOp) -> Vec<(CheckErrorType, CheckOp)> {
+    match op {
+        CheckOp::Lt => vec![(CheckErrorType::LtToLe, CheckOp::Le)],
+        CheckOp::Le => vec![(CheckErrorType::LeToLt, CheckOp::Lt)],
+        CheckOp::Gt => vec![(CheckErrorType::GtToGe, CheckOp::Ge)],
+        CheckOp::Ge => vec![(CheckErrorType::GeToGt, CheckOp::Gt)],
+        CheckOp::Eq => vec![
+            (CheckErrorType::EqToNe, CheckOp::Ne),
+            (CheckErrorType::EqToGe, CheckOp::Ge),
+            (CheckErrorType::EqToLe, CheckOp::Le),
+        ],
+        CheckOp::Ne => vec![(CheckErrorType::NeToEq, CheckOp::Eq)],
+        _ => vec![],
+    }
+}
+
+fn const_i16(e: &Expr) -> Option<i16> {
+    match e.kind {
+        ExprKind::IntLit(v) => i16::try_from(v).ok(),
+        ExprKind::CharLit(c) => Some(c as i16),
+        _ => None,
+    }
+}

@@ -1,0 +1,186 @@
+//! Machine-level debug information emitted by the compiler.
+//!
+//! This is the reproduction of what the paper obtained from "the compiler
+//! facilities in terms of symbol tables and labels" (§6.3): for every
+//! source-level *assignment* and *checking* statement, the exact machine
+//! instruction(s) realising it, plus — for checking statements — the
+//! ready-made corrupted instruction word for every applicable error type of
+//! the paper's Table 3.
+
+use swifi_vm::isa::CrBit;
+
+pub use swifi_odc::CheckErrorType;
+
+/// ODC-style comparison/condition operator at a checking location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CheckOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    /// A plain boolean test (`if (x)`, `while (!done)`).
+    BoolTest,
+}
+
+impl CheckOp {
+    /// `(bit, expect)` of a `bc` that branches when the comparison is TRUE.
+    pub fn true_branch(self) -> (CrBit, bool) {
+        match self {
+            CheckOp::Lt => (CrBit::Lt, true),
+            CheckOp::Le => (CrBit::Gt, false),
+            CheckOp::Gt => (CrBit::Gt, true),
+            CheckOp::Ge => (CrBit::Lt, false),
+            CheckOp::Eq => (CrBit::Eq, true),
+            CheckOp::Ne => (CrBit::Eq, false),
+            CheckOp::And | CheckOp::Or | CheckOp::BoolTest => (CrBit::Eq, false),
+        }
+    }
+
+    /// `(bit, expect)` of a `bc` that branches when the comparison is FALSE.
+    pub fn false_branch(self) -> (CrBit, bool) {
+        let (bit, expect) = self.true_branch();
+        (bit, !expect)
+    }
+}
+
+/// One concrete way to inject a checking error at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMutation {
+    /// Replace the instruction word at `addr` with `word` (realised as an
+    /// instruction-bus or instruction-memory fault).
+    ReplaceWord {
+        /// Guest address of the instruction.
+        addr: u32,
+        /// The corrupted word.
+        word: u32,
+    },
+    /// Offset the effective address of the load at `addr` by `delta` bytes
+    /// (an address-bus fault) — the `[i]` → `[i±1]` error types.
+    AdjustLoadAddr {
+        /// Guest address of the load instruction.
+        addr: u32,
+        /// Byte delta (± element size).
+        delta: i32,
+    },
+}
+
+/// A source-level *checking* statement and every applicable Table-3 error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSite {
+    /// 1-based source line of the `if`/`while`/`for` condition.
+    pub line: u32,
+    /// Enclosing function.
+    pub func: String,
+    /// Top-level operator of the condition.
+    pub op: CheckOp,
+    /// Guest address of the (first) conditional branch.
+    pub branch_addr: u32,
+    /// Every applicable error type with its machine realisation.
+    pub mutations: Vec<(CheckErrorType, CheckMutation)>,
+}
+
+/// A source-level *assignment* statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// Enclosing function.
+    pub func: String,
+    /// Guest address of the store instruction that commits the assignment.
+    pub store_addr: u32,
+    /// Whether the store is a byte store (`char` targets).
+    pub is_byte: bool,
+    /// Whether the assigned variable has pointer type (random-value errors
+    /// on pointers are what turns dynamic-structure programs into
+    /// crash-heavy targets).
+    pub is_pointer: bool,
+}
+
+/// Code range of a compiled function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Function name.
+    pub name: String,
+    /// Guest address of the first instruction.
+    pub start_addr: u32,
+    /// Guest address one past the last instruction.
+    pub end_addr: u32,
+    /// 1-based source line of the definition.
+    pub line: u32,
+}
+
+impl FunctionInfo {
+    /// Whether `addr` lies inside this function.
+    pub fn contains(&self, addr: u32) -> bool {
+        (self.start_addr..self.end_addr).contains(&addr)
+    }
+}
+
+/// Full debug information for a compiled program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DebugInfo {
+    /// Per-function code ranges.
+    pub functions: Vec<FunctionInfo>,
+    /// Every assignment location.
+    pub assigns: Vec<AssignSite>,
+    /// Every checking location.
+    pub checks: Vec<CheckSite>,
+    /// `(guest address, source line)` pairs at statement starts, ascending.
+    pub line_map: Vec<(u32, u32)>,
+}
+
+impl DebugInfo {
+    /// The function containing `addr`, if any.
+    pub fn function_at(&self, addr: u32) -> Option<&FunctionInfo> {
+        self.functions.iter().find(|f| f.contains(addr))
+    }
+
+    /// The source line active at `addr` (last statement start ≤ `addr`).
+    pub fn line_at(&self, addr: u32) -> Option<u32> {
+        match self.line_map.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => Some(self.line_map[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.line_map[i - 1].1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_encodings_complement() {
+        for op in [CheckOp::Lt, CheckOp::Le, CheckOp::Gt, CheckOp::Ge, CheckOp::Eq, CheckOp::Ne] {
+            let (bt, et) = op.true_branch();
+            let (bf, ef) = op.false_branch();
+            assert_eq!(bt, bf);
+            assert_ne!(et, ef);
+        }
+    }
+
+    #[test]
+    fn labels_cover_all_types() {
+        for t in CheckErrorType::ALL {
+            assert!(!t.label().is_empty());
+        }
+        assert_eq!(CheckErrorType::ALL.len(), 14);
+    }
+
+    #[test]
+    fn line_at_uses_last_statement_start() {
+        let d = DebugInfo {
+            line_map: vec![(0x100, 1), (0x110, 2), (0x120, 5)],
+            ..DebugInfo::default()
+        };
+        assert_eq!(d.line_at(0x0FC), None);
+        assert_eq!(d.line_at(0x100), Some(1));
+        assert_eq!(d.line_at(0x114), Some(2));
+        assert_eq!(d.line_at(0x200), Some(5));
+    }
+}

@@ -1,0 +1,401 @@
+//! Lexer for MiniC.
+//!
+//! MiniC is the C subset the reproduced paper's target programs are written
+//! in: `int`/`char`/`void`, structs, pointers, fixed-size arrays, the usual
+//! operators, and C89-style block-leading declarations.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (decimal or `0x` hex).
+    Int(i64),
+    /// Character literal, e.g. `'a'`, `'\n'`.
+    Char(u8),
+    /// String literal with escapes resolved.
+    Str(Vec<u8>),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// A keyword (subset of C keywords).
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// MiniC keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Int,
+    Char,
+    Void,
+    Struct,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Dot,
+    Arrow,
+    Question,
+    Colon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Char(c) => write!(f, "{:?}", *c as char),
+            Tok::Str(_) => f.write_str("string literal"),
+            Tok::Ident(s) => f.write_str(s),
+            Tok::Kw(k) => write!(f, "{k:?}").map(|()| ()),
+            Tok::Punct(p) => write!(f, "{p:?}"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing/parsing/type error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// Construct an error at `line`.
+    pub fn new(line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn kw_of(s: &str) -> Option<Kw> {
+    Some(match s {
+        "int" => Kw::Int,
+        "char" => Kw::Char,
+        "void" => Kw::Void,
+        "struct" => Kw::Struct,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        _ => return None,
+    })
+}
+
+/// Tokenize MiniC source.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unterminated literals/comments and unknown
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = i64::from_str_radix(&src[start + 2..i], 16)
+                        .map_err(|_| CompileError::new(line, "bad hex literal"))?;
+                    out.push(Spanned { tok: Tok::Int(v), line });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v = src[start..i]
+                        .parse::<i64>()
+                        .map_err(|_| CompileError::new(line, "bad integer literal"))?;
+                    out.push(Spanned { tok: Tok::Int(v), line });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match kw_of(word) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            b'\'' => {
+                i += 1;
+                let (b, used) = read_char(bytes, i, line)?;
+                i += used;
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(CompileError::new(line, "unterminated char literal"));
+                }
+                i += 1;
+                out.push(Spanned { tok: Tok::Char(b), line });
+            }
+            b'"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(&b'\n') => {
+                            return Err(CompileError::new(line, "unterminated string literal"));
+                        }
+                        Some(&b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let (b, used) = read_char(bytes, i, line)?;
+                            s.push(b);
+                            i += used;
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), line });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (p, used) = match two {
+                    "<=" => (Punct::Le, 2),
+                    ">=" => (Punct::Ge, 2),
+                    "==" => (Punct::EqEq, 2),
+                    "!=" => (Punct::Ne, 2),
+                    "&&" => (Punct::AndAnd, 2),
+                    "||" => (Punct::OrOr, 2),
+                    "<<" => (Punct::Shl, 2),
+                    ">>" => (Punct::Shr, 2),
+                    "->" => (Punct::Arrow, 2),
+                    _ => {
+                        let p = match c {
+                            b'(' => Punct::LParen,
+                            b')' => Punct::RParen,
+                            b'{' => Punct::LBrace,
+                            b'}' => Punct::RBrace,
+                            b'[' => Punct::LBracket,
+                            b']' => Punct::RBracket,
+                            b';' => Punct::Semi,
+                            b',' => Punct::Comma,
+                            b'=' => Punct::Assign,
+                            b'+' => Punct::Plus,
+                            b'-' => Punct::Minus,
+                            b'*' => Punct::Star,
+                            b'/' => Punct::Slash,
+                            b'%' => Punct::Percent,
+                            b'<' => Punct::Lt,
+                            b'>' => Punct::Gt,
+                            b'!' => Punct::Bang,
+                            b'&' => Punct::Amp,
+                            b'|' => Punct::Pipe,
+                            b'^' => Punct::Caret,
+                            b'.' => Punct::Dot,
+                            b'?' => Punct::Question,
+                            b':' => Punct::Colon,
+                            other => {
+                                return Err(CompileError::new(
+                                    line,
+                                    format!("unexpected character `{}`", other as char),
+                                ));
+                            }
+                        };
+                        (p, 1)
+                    }
+                };
+                out.push(Spanned { tok: Tok::Punct(p), line });
+                i += used;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+/// Read one (possibly escaped) character; returns (byte, bytes consumed).
+fn read_char(bytes: &[u8], i: usize, line: u32) -> Result<(u8, usize), CompileError> {
+    match bytes.get(i) {
+        None => Err(CompileError::new(line, "unexpected end of input in literal")),
+        Some(&b'\\') => {
+            let b = match bytes.get(i + 1) {
+                Some(&b'n') => b'\n',
+                Some(&b't') => b'\t',
+                Some(&b'r') => b'\r',
+                Some(&b'0') => 0,
+                Some(&b'\\') => b'\\',
+                Some(&b'\'') => b'\'',
+                Some(&b'"') => b'"',
+                other => {
+                    return Err(CompileError::new(
+                        line,
+                        format!("unknown escape `\\{:?}`", other.copied().map(|b| b as char)),
+                    ));
+                }
+            };
+            Ok((b, 2))
+        }
+        Some(&b) => Ok((b, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo"),
+            vec![Tok::Kw(Kw::Int), Tok::Ident("foo".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 0x1F"), vec![Tok::Int(42), Tok::Int(0x1F), Tok::Eof]);
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(
+            toks(r#"'a' '\n' "hi\n""#),
+            vec![Tok::Char(b'a'), Tok::Char(b'\n'), Tok::Str(b"hi\n".to_vec()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("<= >= == != && || << >> ->"),
+            vec![
+                Tok::Punct(Punct::Le),
+                Tok::Punct(Punct::Ge),
+                Tok::Punct(Punct::EqEq),
+                Tok::Punct(Punct::Ne),
+                Tok::Punct(Punct::AndAnd),
+                Tok::Punct(Punct::OrOr),
+                Tok::Punct(Punct::Shl),
+                Tok::Punct(Punct::Shr),
+                Tok::Punct(Punct::Arrow),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // c\nb /* x\ny */ c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("'a").is_err());
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        let e = lex("int $x;").unwrap_err();
+        assert!(e.msg.contains("unexpected character"));
+    }
+}

@@ -1,0 +1,667 @@
+//! # swifi-lang — the MiniC compiler
+//!
+//! A small C compiler targeting the P601-lite virtual machine
+//! ([`swifi_vm`]), built as a substrate for reproducing *Madeira, Costa,
+//! Vieira — "On the Emulation of Software Faults by Software Fault
+//! Injection" (DSN 2000)*.
+//!
+//! The paper harvested real software faults from C programs and located
+//! fault-injection targets "at the assembly level … using the compiler
+//! facilities in terms of symbol tables and labels". This compiler makes
+//! that workflow first-class: [`compile`] returns both the executable
+//! [`Image`](swifi_vm::Image) and a [`DebugInfo`](debug::DebugInfo)
+//! catalogue of every source-level *assignment* and *checking* statement
+//! with its machine realisation — including pre-computed corrupted
+//! instruction words for every checking error type of the paper's Table 3.
+//!
+//! MiniC supports: `int`/`char`/`void`, structs (with pointers and
+//! `->`/`.`), fixed-size multi-dimensional arrays, pointers with scaled
+//! arithmetic, all C comparison/logical/bitwise operators, short-circuit
+//! `&&`/`||`, ternary `?:`, `if`/`while`/`for`/`break`/`continue`, and the
+//! VM's runtime builtins (`print_*`, `read_*`, `malloc`/`free`,
+//! `core_id`/`num_cores`/`barrier`).
+//!
+//! # Examples
+//!
+//! ```
+//! use swifi_lang::compile;
+//! use swifi_vm::{Machine, MachineConfig, Noop};
+//!
+//! let program = compile(
+//!     "void main() {
+//!        int i;
+//!        int sum;
+//!        sum = 0;
+//!        for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+//!        print_int(sum);
+//!      }",
+//! )?;
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.load(&program.image);
+//! assert_eq!(m.run(&mut Noop).output(), b"55");
+//! // Fault-location catalogue: one checking site (the for condition) and
+//! // four assignment sites (sum=0, the for init, the body, the for step).
+//! assert_eq!(program.debug.checks.len(), 1);
+//! assert_eq!(program.debug.assigns.len(), 4);
+//! # Ok::<(), swifi_lang::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod debug;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+
+pub use codegen::Compiled;
+pub use lexer::CompileError;
+
+/// A fully compiled MiniC program: machine image, debug info, and the
+/// analysed AST (used by the software-metrics crate).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The linked executable.
+    pub image: swifi_vm::Image,
+    /// Fault-location debug information.
+    pub debug: debug::DebugInfo,
+    /// The parsed AST.
+    pub ast: ast::Program,
+    /// Semantic tables (types, layouts).
+    pub sema: sema::SemaOutput,
+}
+
+/// Compile MiniC source to a P601-lite executable with debug info.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] with a 1-based source line for lexical,
+/// syntactic, semantic, and resource-limit errors.
+pub fn compile(src: &str) -> Result<Program, CompileError> {
+    let ast = parser::parse(src)?;
+    let sema = sema::analyze(&ast)?;
+    let out = codegen::generate(&ast, &sema)?;
+    Ok(Program { image: out.image, debug: out.debug, ast, sema })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_vm::machine::{InputTape, Machine, MachineConfig, RunOutcome};
+    use swifi_vm::Noop;
+
+    /// Compile and run, returning the output as a string.
+    fn run(src: &str) -> String {
+        run_with(src, InputTape::new())
+    }
+
+    fn run_with(src: &str, input: InputTape) -> String {
+        let p = compile(src).expect("compiles");
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&p.image);
+        m.set_input(input);
+        match m.run(&mut Noop) {
+            RunOutcome::Completed { exit_code: 0, output } => String::from_utf8(output).unwrap(),
+            other => panic!("abnormal outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_print() {
+        assert_eq!(run("void main() { print_str(\"hi\"); }"), "hi");
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(run("void main() { print_int(2 + 3 * 4); }"), "14");
+        assert_eq!(run("void main() { print_int((2 + 3) * 4); }"), "20");
+        assert_eq!(run("void main() { print_int(7 / 2); }"), "3");
+        assert_eq!(run("void main() { print_int(7 % 3); }"), "1");
+        assert_eq!(run("void main() { print_int(-7 / 2); }"), "-3");
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        assert_eq!(run("void main() { print_int(12 & 10); }"), "8");
+        assert_eq!(run("void main() { print_int(12 | 3); }"), "15");
+        assert_eq!(run("void main() { print_int(12 ^ 10); }"), "6");
+        assert_eq!(run("void main() { print_int(3 << 4); }"), "48");
+        assert_eq!(run("void main() { print_int(-16 >> 2); }"), "-4");
+    }
+
+    #[test]
+    fn comparisons_as_values() {
+        assert_eq!(run("void main() { print_int(3 < 4); print_int(4 < 3); }"), "10");
+        assert_eq!(run("void main() { print_int(1 && 0); print_int(1 || 0); }"), "01");
+        assert_eq!(run("void main() { print_int(!5); print_int(!0); }"), "01");
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        assert_eq!(
+            run("void main() {
+                   int i; int s;
+                   i = 0; s = 0;
+                   while (i < 5) { s = s + i; i = i + 1; }
+                   print_int(s);
+                 }"),
+            "10"
+        );
+    }
+
+    #[test]
+    fn for_loop_with_break_continue() {
+        assert_eq!(
+            run("void main() {
+                   int i; int s;
+                   s = 0;
+                   for (i = 0; i < 100; i = i + 1) {
+                     if (i == 7) { break; }
+                     if (i % 2 == 0) { continue; }
+                     s = s + i;
+                   }
+                   print_int(s);
+                 }"),
+            "9" // 1 + 3 + 5
+        );
+    }
+
+    #[test]
+    fn nested_loops() {
+        assert_eq!(
+            run("void main() {
+                   int i; int j; int c;
+                   c = 0;
+                   for (i = 0; i < 3; i = i + 1)
+                     for (j = 0; j < 4; j = j + 1)
+                       c = c + 1;
+                   print_int(c);
+                 }"),
+            "12"
+        );
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        assert_eq!(
+            run("int fib(int n) {
+                   if (n < 2) { return n; }
+                   return fib(n - 1) + fib(n - 2);
+                 }
+                 void main() { print_int(fib(12)); }"),
+            "144"
+        );
+    }
+
+    #[test]
+    fn eight_parameters() {
+        assert_eq!(
+            run("int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+                   return a + b + c + d + e + f + g + h;
+                 }
+                 void main() { print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); }"),
+            "36"
+        );
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        assert_eq!(
+            run("int grid[3][4];
+                 int n = 7;
+                 void main() {
+                   int i; int j;
+                   for (i = 0; i < 3; i = i + 1)
+                     for (j = 0; j < 4; j = j + 1)
+                       grid[i][j] = i * 10 + j;
+                   print_int(grid[2][3]);
+                   print_int(n);
+                 }"),
+            "237"
+        );
+    }
+
+    #[test]
+    fn local_arrays_and_chars() {
+        assert_eq!(
+            run("void main() {
+                   char buf[8];
+                   int i;
+                   for (i = 0; i < 5; i = i + 1) { buf[i] = 'a' + i; }
+                   buf[5] = 0;
+                   print_str(buf);
+                 }"),
+            "abcde"
+        );
+    }
+
+    #[test]
+    fn pointers_and_address_of() {
+        assert_eq!(
+            run("void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }
+                 void main() {
+                   int x; int y;
+                   x = 1; y = 2;
+                   swap(&x, &y);
+                   print_int(x); print_int(y);
+                 }"),
+            "21"
+        );
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        assert_eq!(
+            run("void main() {
+                   int *p; int *q;
+                   p = malloc(16);
+                   *p = 5;
+                   q = p + 3;
+                   *q = 9;
+                   print_int(p[0]); print_int(p[3]);
+                   free(p);
+                 }"),
+            "59"
+        );
+    }
+
+    #[test]
+    fn structs_and_linked_list() {
+        assert_eq!(
+            run("struct node { int val; struct node *next; };
+                 void main() {
+                   struct node *head; struct node *n; int i; int s;
+                   head = 0;
+                   for (i = 1; i <= 4; i = i + 1) {
+                     n = malloc(8);
+                     n->val = i;
+                     n->next = head;
+                     head = n;
+                   }
+                   s = 0;
+                   while (head != 0) {
+                     s = s + head->val;
+                     n = head;
+                     head = head->next;
+                     free(n);
+                   }
+                   print_int(s);
+                 }"),
+            "10"
+        );
+    }
+
+    #[test]
+    fn struct_by_value_fields() {
+        assert_eq!(
+            run("struct pt { int x; int y; };
+                 struct pt p;
+                 void main() {
+                   p.x = 3; p.y = 4;
+                   print_int(p.x * p.x + p.y * p.y);
+                 }"),
+            "25"
+        );
+    }
+
+    #[test]
+    fn ternary_expression() {
+        assert_eq!(
+            run("int myabs(int d) { return (d > 0) ? d : -d; }
+                 void main() { print_int(myabs(-5)); print_int(myabs(3)); }"),
+            "53"
+        );
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The second operand must not run when the first decides.
+        assert_eq!(
+            run("int called = 0;
+                 int probe() { called = called + 1; return 1; }
+                 void main() {
+                   int r;
+                   r = 0;
+                   if (0 && probe()) { r = 1; }
+                   if (1 || probe()) { r = r + 2; }
+                   print_int(r); print_int(called);
+                 }"),
+            "20"
+        );
+    }
+
+    #[test]
+    fn logical_operators_in_conditions() {
+        assert_eq!(
+            run("void main() {
+                   int a; int b;
+                   a = 3; b = 7;
+                   if (a < 5 && b > 5) { print_int(1); }
+                   if (a > 5 || b > 5) { print_int(2); }
+                   if (a > 5 && b > 5) { print_int(3); }
+                   if (a > 5 || b < 5) { print_int(4); }
+                 }"),
+            "12"
+        );
+    }
+
+    #[test]
+    fn read_int_input() {
+        let mut input = InputTape::new();
+        input.push_ints([3, 10, 20, 30]);
+        assert_eq!(
+            run_with(
+                "void main() {
+                   int n; int i; int s;
+                   n = read_int();
+                   s = 0;
+                   for (i = 0; i < n; i = i + 1) { s = s + read_int(); }
+                   print_int(s);
+                 }",
+                input
+            ),
+            "60"
+        );
+    }
+
+    #[test]
+    fn read_bytes_until_newline() {
+        let mut input = InputTape::new();
+        input.push_line("xyz");
+        assert_eq!(
+            run_with(
+                "void main() {
+                   int c;
+                   c = read_byte();
+                   while (c != '\\n' && c != -1) {
+                     print_char(c + 1);
+                     c = read_byte();
+                   }
+                 }",
+                input
+            ),
+            "yz{"
+        );
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "void classify(int x) {
+                     if (x < 0) { print_str(\"neg\"); }
+                     else if (x == 0) { print_str(\"zero\"); }
+                     else { print_str(\"pos\"); }
+                   }
+                   void main() { classify(-1); classify(0); classify(5); }";
+        assert_eq!(run(src), "negzeropos");
+    }
+
+    #[test]
+    fn shadowing_uses_inner_slot() {
+        assert_eq!(
+            run("void main() {
+                   int x;
+                   x = 1;
+                   { int x; x = 9; print_int(x); }
+                   print_int(x);
+                 }"),
+            "91"
+        );
+    }
+
+    #[test]
+    fn decl_initializers() {
+        assert_eq!(
+            run("void main() {
+                   int x = 4;
+                   int y = x * 2;
+                   print_int(x + y);
+                 }"),
+            "12"
+        );
+    }
+
+    #[test]
+    fn char_param_and_return() {
+        assert_eq!(
+            run("char rot(char c) { return c + 1; }
+                 void main() { print_char(rot('a')); }"),
+            "b"
+        );
+    }
+
+    #[test]
+    fn deep_recursion_overflows_stack() {
+        let p = compile(
+            "int down(int n) { return down(n + 1); }
+             void main() { print_int(down(0)); }",
+        )
+        .unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&p.image);
+        match m.run(&mut Noop) {
+            RunOutcome::Trapped { trap: swifi_vm::Trap::StackOverflow, .. } => {}
+            other => panic!("expected stack overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_deref_crashes() {
+        let p = compile(
+            "void main() { int *p; p = 0; print_int(*p); }",
+        )
+        .unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&p.image);
+        assert!(matches!(
+            m.run(&mut Noop),
+            RunOutcome::Trapped { trap: swifi_vm::Trap::Unmapped { addr: 0 }, .. }
+        ));
+    }
+
+    // ---- debug info ----------------------------------------------------
+
+    #[test]
+    fn assign_sites_are_stores() {
+        let p = compile(
+            "void main() { int x; int *q; x = 1; q = 0; }",
+        )
+        .unwrap();
+        assert_eq!(p.debug.assigns.len(), 2);
+        assert!(!p.debug.assigns[0].is_pointer);
+        assert!(p.debug.assigns[1].is_pointer);
+        for a in &p.debug.assigns {
+            let w = p.image.code[((a.store_addr - 0x100) / 4) as usize];
+            let i = swifi_vm::decode(w).unwrap();
+            assert!(
+                matches!(i, swifi_vm::Instr::Stw { .. } | swifi_vm::Instr::Stb { .. }),
+                "assign site should be a store, got {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_sites_have_table3_mutations() {
+        let p = compile(
+            "void main() {
+               int i;
+               for (i = 0; i < 10; i = i + 1) {
+                 if (i == 5) { print_int(i); }
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.debug.checks.len(), 2);
+        let for_site = &p.debug.checks[0];
+        assert_eq!(for_site.op, debug::CheckOp::Lt);
+        assert!(for_site
+            .mutations
+            .iter()
+            .any(|(e, _)| *e == debug::CheckErrorType::LtToLe));
+        let if_site = &p.debug.checks[1];
+        assert_eq!(if_site.op, debug::CheckOp::Eq);
+        let kinds: Vec<_> = if_site.mutations.iter().map(|(e, _)| *e).collect();
+        assert!(kinds.contains(&debug::CheckErrorType::EqToNe));
+        assert!(kinds.contains(&debug::CheckErrorType::EqToGe));
+        assert!(kinds.contains(&debug::CheckErrorType::EqToLe));
+    }
+
+    #[test]
+    fn logical_sites_record_swaps() {
+        let p = compile(
+            "void main() {
+               int a; int b;
+               a = 1; b = 2;
+               if (a < 2 && b < 3) { print_int(1); }
+               while (a > 5 || b > 1) { b = b - 1; }
+             }",
+        )
+        .unwrap();
+        let and_site = p.debug.checks.iter().find(|c| c.op == debug::CheckOp::And).unwrap();
+        assert!(and_site
+            .mutations
+            .iter()
+            .any(|(e, _)| *e == debug::CheckErrorType::AndToOr));
+        let or_site = p.debug.checks.iter().find(|c| c.op == debug::CheckOp::Or).unwrap();
+        assert!(or_site
+            .mutations
+            .iter()
+            .any(|(e, _)| *e == debug::CheckErrorType::OrToAnd));
+    }
+
+    #[test]
+    fn bool_test_records_stuck_ats() {
+        let p = compile(
+            "int flag;
+             void main() { if (flag) { print_int(1); } }",
+        )
+        .unwrap();
+        let site = &p.debug.checks[0];
+        assert_eq!(site.op, debug::CheckOp::BoolTest);
+        let kinds: Vec<_> = site.mutations.iter().map(|(e, _)| *e).collect();
+        assert!(kinds.contains(&debug::CheckErrorType::TrueToFalse));
+        assert!(kinds.contains(&debug::CheckErrorType::FalseToTrue));
+    }
+
+    #[test]
+    fn array_checks_record_index_mutations() {
+        let p = compile(
+            "int seen[10];
+             void main() {
+               int i;
+               i = 3;
+               if (seen[i] == 0) { seen[i] = 1; }
+             }",
+        )
+        .unwrap();
+        let site = &p.debug.checks[0];
+        let kinds: Vec<_> = site.mutations.iter().map(|(e, _)| *e).collect();
+        assert!(kinds.contains(&debug::CheckErrorType::IndexPlus));
+        assert!(kinds.contains(&debug::CheckErrorType::IndexMinus));
+        // Index mutations carry the ±element-size byte delta.
+        let (_, m) = site
+            .mutations
+            .iter()
+            .find(|(e, _)| *e == debug::CheckErrorType::IndexPlus)
+            .unwrap();
+        match m {
+            debug::CheckMutation::AdjustLoadAddr { delta, .. } => assert_eq!(*delta, 4),
+            other => panic!("expected AdjustLoadAddr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn functions_cover_all_code() {
+        let p = compile(
+            "int f(int x) { return x + 1; }
+             void main() { print_int(f(1)); }",
+        )
+        .unwrap();
+        assert_eq!(p.debug.functions.len(), 2);
+        let f = p.debug.function_at(p.debug.functions[0].start_addr).unwrap();
+        assert_eq!(f.name, "f");
+    }
+
+    #[test]
+    fn line_map_is_monotonic() {
+        let p = compile(
+            "void main() {
+               int a;
+               a = 1;
+               a = 2;
+               print_int(a);
+             }",
+        )
+        .unwrap();
+        let addrs: Vec<u32> = p.debug.line_map.iter().map(|&(a, _)| a).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(addrs, sorted);
+        assert!(p.debug.line_at(p.debug.assigns[0].store_addr).is_some());
+    }
+
+    #[test]
+    fn mutated_word_differs_only_semantically() {
+        // Applying a recorded mutation word changes program behaviour the
+        // way the source-level operator change would.
+        let src = "void main() {
+                     int i;
+                     for (i = 0; i < 3; i = i + 1) { print_int(i); }
+                   }";
+        let p = compile(src).unwrap();
+        let site = &p.debug.checks[0];
+        let (_, m) = site
+            .mutations
+            .iter()
+            .find(|(e, _)| *e == debug::CheckErrorType::LtToLe)
+            .unwrap();
+        let (addr, word) = match m {
+            debug::CheckMutation::ReplaceWord { addr, word } => (*addr, *word),
+            other => panic!("unexpected mutation {other:?}"),
+        };
+        let mut m2 = Machine::new(MachineConfig::default());
+        m2.load(&p.image);
+        m2.poke_u32(addr, word).unwrap();
+        // `i < 3` became `i <= 3`: one extra iteration.
+        assert_eq!(m2.run(&mut Noop).output(), b"0123");
+    }
+
+    #[test]
+    fn error_reporting_includes_lines() {
+        let e = compile("void main() {\n  x = 1;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let e = compile("int f() { return 1; }").unwrap_err();
+        assert!(e.msg.contains("main"));
+    }
+
+    #[test]
+    fn main_signature_enforced() {
+        let e = compile("int main() { return 1; }").unwrap_err();
+        assert!(e.msg.contains("void main"));
+    }
+
+    #[test]
+    fn multicore_program_compiles_and_barriers() {
+        let src = "int partial[4];
+                   void main() {
+                     int id; int i; int total;
+                     id = core_id();
+                     partial[id] = (id + 1) * 10;
+                     barrier();
+                     if (id == 0) {
+                       total = 0;
+                       for (i = 0; i < num_cores(); i = i + 1) { total = total + partial[i]; }
+                       print_int(total);
+                     }
+                   }";
+        let p = compile(src).unwrap();
+        let mut m = Machine::new(MachineConfig { num_cores: 4, ..MachineConfig::default() });
+        m.load(&p.image);
+        assert_eq!(m.run(&mut Noop).output(), b"100");
+    }
+}

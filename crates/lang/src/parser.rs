@@ -1,0 +1,655 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::lexer::{lex, CompileError, Kw, Punct, Spanned, Tok};
+
+/// Parse MiniC source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] with the offending source line for lexical and
+/// syntactic errors.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, next_id: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    next_id: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::new(self.line(), msg))
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), CompileError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{p:?}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn mk(&mut self, line: u32, kind: ExprKind) -> Expr {
+        let id = self.next_id;
+        self.next_id += 1;
+        Expr { id, line, kind }
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(self.peek(), Tok::Kw(Kw::Int | Kw::Char | Kw::Void | Kw::Struct))
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while self.peek() != &Tok::Eof {
+            if self.peek() == &Tok::Kw(Kw::Struct) && matches!(self.peek2(), Tok::Ident(_)) {
+                // Could be a struct definition or a struct-typed declaration;
+                // a definition has `{` after the tag.
+                if self.toks.get(self.pos + 2).map(|s| &s.tok) == Some(&Tok::Punct(Punct::LBrace)) {
+                    prog.structs.push(self.struct_def()?);
+                    continue;
+                }
+            }
+            if !self.at_type() {
+                return self.err(format!(
+                    "expected declaration or function, found `{}`",
+                    self.peek()
+                ));
+            }
+            let line = self.line();
+            let base = self.base_type()?;
+            let mut ptr_depth = 0;
+            while self.eat_punct(Punct::Star) {
+                ptr_depth += 1;
+            }
+            let name = self.expect_ident()?;
+            if self.peek() == &Tok::Punct(Punct::LParen) {
+                prog.functions.push(self.function(base, ptr_depth, name, line)?);
+            } else {
+                let dims = self.dims()?;
+                let ty = TypeExpr { base, ptr_depth, dims };
+                let init = if self.eat_punct(Punct::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(Punct::Semi)?;
+                prog.globals.push(VarDecl { name, ty, init, line });
+            }
+        }
+        Ok(prog)
+    }
+
+    fn base_type(&mut self) -> Result<BaseType, CompileError> {
+        match self.bump() {
+            Tok::Kw(Kw::Int) => Ok(BaseType::Int),
+            Tok::Kw(Kw::Char) => Ok(BaseType::Char),
+            Tok::Kw(Kw::Void) => Ok(BaseType::Void),
+            Tok::Kw(Kw::Struct) => {
+                let name = self.expect_ident()?;
+                Ok(BaseType::Struct(name))
+            }
+            other => Err(CompileError::new(self.line(), format!("expected type, found `{other}`"))),
+        }
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, CompileError> {
+        let base = self.base_type()?;
+        let mut ptr_depth = 0;
+        while self.eat_punct(Punct::Star) {
+            ptr_depth += 1;
+        }
+        Ok(TypeExpr { base, ptr_depth, dims: Vec::new() })
+    }
+
+    fn dims(&mut self) -> Result<Vec<usize>, CompileError> {
+        let mut dims = Vec::new();
+        while self.eat_punct(Punct::LBracket) {
+            match self.bump() {
+                Tok::Int(v) if v > 0 => dims.push(v as usize),
+                other => {
+                    return Err(CompileError::new(
+                        self.line(),
+                        format!("array dimension must be a positive integer, found `{other}`"),
+                    ));
+                }
+            }
+            self.expect_punct(Punct::RBracket)?;
+        }
+        Ok(dims)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, CompileError> {
+        let line = self.line();
+        self.bump(); // struct
+        let name = self.expect_ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &Tok::Punct(Punct::RBrace) {
+            let mut ty = self.type_expr()?;
+            let fname = self.expect_ident()?;
+            ty.dims = self.dims()?;
+            self.expect_punct(Punct::Semi)?;
+            fields.push((fname, ty));
+        }
+        self.expect_punct(Punct::RBrace)?;
+        self.expect_punct(Punct::Semi)?;
+        Ok(StructDef { name, fields, line })
+    }
+
+    fn function(
+        &mut self,
+        base: BaseType,
+        ptr_depth: u32,
+        name: String,
+        line: u32,
+    ) -> Result<Function, CompileError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                if self.peek() == &Tok::Kw(Kw::Void) && self.peek2() == &Tok::Punct(Punct::RParen) {
+                    self.bump();
+                    self.expect_punct(Punct::RParen)?;
+                    break;
+                }
+                let mut ty = self.type_expr()?;
+                let pname = self.expect_ident()?;
+                ty.dims = self.dims()?;
+                params.push((pname, ty));
+                if self.eat_punct(Punct::Comma) {
+                    continue;
+                }
+                self.expect_punct(Punct::RParen)?;
+                break;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, ret: TypeExpr { base, ptr_depth, dims: Vec::new() }, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut block = Block::default();
+        // C89: declarations first.
+        while self.at_type() {
+            let line = self.line();
+            let mut ty = self.type_expr()?;
+            let name = self.expect_ident()?;
+            ty.dims = self.dims()?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(Punct::Semi)?;
+            block.decls.push(VarDecl { name, ty, init, line });
+        }
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_type() {
+                return self.err("declarations must precede statements (C89 style)");
+            }
+            block.stmts.push(self.stmt()?);
+        }
+        Ok(block)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_blk = self.block_or_stmt()?;
+                let else_blk = if self.peek() == &Tok::Kw(Kw::Else) {
+                    self.bump();
+                    if self.peek() == &Tok::Kw(Kw::If) {
+                        // else-if chains: wrap the nested if in a block.
+                        let nested = self.stmt()?;
+                        Some(Block { decls: vec![], stmts: vec![nested] })
+                    } else {
+                        Some(self.block_or_stmt()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_blk, else_blk, line })
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect_punct(Punct::Semi)?;
+                let cond = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                let step = if self.peek() == &Tok::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::For { init, cond, step, body, line })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let value = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            Tok::Punct(Punct::LBrace) => Ok(Stmt::Block(self.block()?)),
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A statement without trailing `;`: assignment or expression.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let e = self.expr()?;
+        if self.eat_punct(Punct::Assign) {
+            let value = self.expr()?;
+            Ok(Stmt::Assign { target: e, value, line })
+        } else {
+            Ok(Stmt::Expr { expr: e, line })
+        }
+    }
+
+    /// A block, or a single statement promoted to a block.
+    fn block_or_stmt(&mut self) -> Result<Block, CompileError> {
+        if self.peek() == &Tok::Punct(Punct::LBrace) {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            Ok(Block { decls: vec![], stmts: vec![s] })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let line = cond.line;
+            let then_e = self.expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_e = self.ternary()?;
+            Ok(self.mk(
+                line,
+                ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then_e: Box::new(then_e),
+                    else_e: Box::new(else_e),
+                },
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct(Punct::OrOr) => (BinOp::Or, 1),
+                Tok::Punct(Punct::AndAnd) => (BinOp::And, 2),
+                Tok::Punct(Punct::Pipe) => (BinOp::BitOr, 3),
+                Tok::Punct(Punct::Caret) => (BinOp::BitXor, 4),
+                Tok::Punct(Punct::Amp) => (BinOp::BitAnd, 5),
+                Tok::Punct(Punct::EqEq) => (BinOp::Eq, 6),
+                Tok::Punct(Punct::Ne) => (BinOp::Ne, 6),
+                Tok::Punct(Punct::Lt) => (BinOp::Lt, 7),
+                Tok::Punct(Punct::Le) => (BinOp::Le, 7),
+                Tok::Punct(Punct::Gt) => (BinOp::Gt, 7),
+                Tok::Punct(Punct::Ge) => (BinOp::Ge, 7),
+                Tok::Punct(Punct::Shl) => (BinOp::Shl, 8),
+                Tok::Punct(Punct::Shr) => (BinOp::Shr, 8),
+                Tok::Punct(Punct::Plus) => (BinOp::Add, 9),
+                Tok::Punct(Punct::Minus) => (BinOp::Sub, 9),
+                Tok::Punct(Punct::Star) => (BinOp::Mul, 10),
+                Tok::Punct(Punct::Slash) => (BinOp::Div, 10),
+                Tok::Punct(Punct::Percent) => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            let line = lhs.line;
+            lhs = self.mk(line, ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let op = match self.peek() {
+            Tok::Punct(Punct::Minus) => Some(UnOp::Neg),
+            Tok::Punct(Punct::Bang) => Some(UnOp::Not),
+            Tok::Punct(Punct::Star) => Some(UnOp::Deref),
+            Tok::Punct(Punct::Amp) => Some(UnOp::Addr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(self.mk(line, ExprKind::Unary { op, operand: Box::new(operand) }));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct(Punct::LBracket) {
+                let index = self.expr()?;
+                self.expect_punct(Punct::RBracket)?;
+                e = self.mk(line, ExprKind::Index { base: Box::new(e), index: Box::new(index) });
+            } else if self.eat_punct(Punct::Dot) {
+                let field = self.expect_ident()?;
+                e = self.mk(line, ExprKind::Field { base: Box::new(e), field, arrow: false });
+            } else if self.eat_punct(Punct::Arrow) {
+                let field = self.expect_ident()?;
+                e = self.mk(line, ExprKind::Field { base: Box::new(e), field, arrow: true });
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => {
+                let v = i32::try_from(v).map_err(|_| {
+                    CompileError::new(line, format!("integer literal `{v}` out of 32-bit range"))
+                })?;
+                Ok(self.mk(line, ExprKind::IntLit(v)))
+            }
+            Tok::Char(c) => Ok(self.mk(line, ExprKind::CharLit(c))),
+            Tok::Str(s) => Ok(self.mk(line, ExprKind::StrLit(s))),
+            Tok::Ident(name) => {
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(Punct::Comma) {
+                                continue;
+                            }
+                            self.expect_punct(Punct::RParen)?;
+                            break;
+                        }
+                    }
+                    Ok(self.mk(line, ExprKind::Call { name, args }))
+                } else {
+                    Ok(self.mk(line, ExprKind::Var(name)))
+                }
+            }
+            Tok::Punct(Punct::LParen) => {
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(line, format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_main() {
+        let p = parse("void main() { }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+    }
+
+    #[test]
+    fn parses_globals_and_arrays() {
+        let p = parse("int n; int board[8][8]; char buf[81]; void main() {}").unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[1].ty.dims, vec![8, 8]);
+        assert_eq!(p.globals[2].ty.dims, vec![81]);
+    }
+
+    #[test]
+    fn parses_struct_and_pointers() {
+        let p = parse(
+            "struct node { int val; struct node *next; };
+             struct node *head;
+             void main() {}",
+        )
+        .unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.globals[0].ty.ptr_depth, 1);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse(
+            "void main() {
+               int i;
+               for (i = 0; i < 10; i = i + 1) {
+                 if (i == 5) { break; } else { continue; }
+               }
+               while (i > 0) i = i - 1;
+             }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.body.stmts.len(), 2);
+        assert!(matches!(f.body.stmts[0], Stmt::For { .. }));
+        assert!(matches!(f.body.stmts[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("void main() { int x; x = 1 + 2 * 3; }").unwrap();
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Assign { value, .. } => match &value.kind {
+                ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("wrong shape: {other:?}"),
+            },
+            other => panic!("not an assign: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_over_logical() {
+        let p = parse("void main() { if (1 < 2 && 3 == 3) { } }").unwrap();
+        match &p.functions[0].body.stmts[0] {
+            Stmt::If { cond, .. } => match &cond.kind {
+                ExprKind::Binary { op: BinOp::And, lhs, rhs } => {
+                    assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Lt, .. }));
+                    assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Eq, .. }));
+                }
+                other => panic!("wrong shape: {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ternary_parses_right_associative() {
+        let p = parse("void main() { int d; d = (d > 0) ? d : -d; }").unwrap();
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value.kind, ExprKind::Ternary { .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse(
+            "void main() { int x; if (x == 1) { } else if (x == 2) { } else { x = 3; } }",
+        )
+        .unwrap();
+        match &p.functions[0].body.stmts[0] {
+            Stmt::If { else_blk: Some(b), .. } => {
+                assert!(matches!(b.stmts[0], Stmt::If { .. }));
+            }
+            _ => panic!("missing else-if"),
+        }
+    }
+
+    #[test]
+    fn member_access_forms() {
+        let p = parse("struct s { int v; }; void main() { struct s *p; int x; x = p->v; }")
+            .unwrap();
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(&value.kind, ExprKind::Field { arrow: true, .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn decl_after_stmt_rejected() {
+        let e = parse("void main() { int x; x = 1; int y; }").unwrap_err();
+        assert!(e.msg.contains("precede"));
+    }
+
+    #[test]
+    fn expr_ids_are_unique() {
+        let p = parse("void main() { int x; x = 1 + 2 * (3 - x); }").unwrap();
+        let mut ids = Vec::new();
+        crate::ast::visit_exprs(&p.functions[0].body, &mut |e| ids.push(e.id));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn call_statement_and_args() {
+        let p = parse("void main() { print_int(1 + 2); }").unwrap();
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Expr { expr, .. } => match &expr.kind {
+                ExprKind::Call { name, args } => {
+                    assert_eq!(name, "print_int");
+                    assert_eq!(args.len(), 1);
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let e = parse("void main() {\n  int x\n}").unwrap_err();
+        assert_eq!(e.line, 3); // missing `;` detected at `}`
+    }
+
+    #[test]
+    fn negative_literal_via_unary() {
+        let p = parse("int g = 0; void main() { g = -5; }").unwrap();
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value.kind, ExprKind::Unary { op: UnOp::Neg, .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn void_param_list() {
+        let p = parse("int f(void) { return 1; } void main() {}").unwrap();
+        assert!(p.functions[0].params.is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Pretty-printer: AST → canonical MiniC source.
+//!
+//! Used for diagnostics (showing the source form of a fault location), for
+//! the parse → print → parse round-trip property tests, and by tools that
+//! transform programs (e.g. mutation studies at source level).
+
+use std::fmt::Write;
+
+use crate::ast::*;
+
+/// Render a whole program as canonical MiniC source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.structs {
+        print_struct(&mut out, s);
+        out.push('\n');
+    }
+    for g in &p.globals {
+        print_var_decl(&mut out, g, 0);
+    }
+    if !p.globals.is_empty() {
+        out.push('\n');
+    }
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(&mut out, f);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn type_prefix(t: &TypeExpr) -> String {
+    let base = match &t.base {
+        BaseType::Int => "int".to_string(),
+        BaseType::Char => "char".to_string(),
+        BaseType::Void => "void".to_string(),
+        BaseType::Struct(n) => format!("struct {n}"),
+    };
+    format!("{}{}", base, "*".repeat(t.ptr_depth as usize))
+}
+
+fn dims_suffix(t: &TypeExpr) -> String {
+    t.dims.iter().map(|d| format!("[{d}]")).collect()
+}
+
+fn print_struct(out: &mut String, s: &StructDef) {
+    let _ = writeln!(out, "struct {} {{", s.name);
+    for (name, ty) in &s.fields {
+        let _ = writeln!(out, "    {} {}{};", type_prefix(ty), name, dims_suffix(ty));
+    }
+    out.push_str("};\n");
+}
+
+fn print_var_decl(out: &mut String, d: &VarDecl, level: usize) {
+    indent(out, level);
+    let _ = write!(out, "{} {}{}", type_prefix(&d.ty), d.name, dims_suffix(&d.ty));
+    if let Some(init) = &d.init {
+        let _ = write!(out, " = {}", print_expr(init));
+    }
+    out.push_str(";\n");
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    let params = if f.params.is_empty() {
+        String::new()
+    } else {
+        f.params
+            .iter()
+            .map(|(n, t)| format!("{} {n}", type_prefix(t)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(out, "{} {}({}) {{", type_prefix(&f.ret), f.name, params);
+    print_block_body(out, &f.body, 1);
+    out.push_str("}\n");
+}
+
+fn print_block_body(out: &mut String, b: &Block, level: usize) {
+    for d in &b.decls {
+        print_var_decl(out, d, level);
+    }
+    for s in &b.stmts {
+        print_stmt(out, s, level);
+    }
+}
+
+fn print_braced(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    print_block_body(out, b, level + 1);
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Assign { target, value, .. } => {
+            let _ = writeln!(out, "{} = {};", print_expr(target), print_expr(value));
+        }
+        Stmt::Expr { expr, .. } => {
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+        Stmt::If { cond, then_blk, else_blk, .. } => {
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_braced(out, then_blk, level);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                print_braced(out, e, level);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = write!(out, "while ({}) ", print_expr(cond));
+            print_braced(out, body, level);
+            out.push('\n');
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                out.push_str(&print_simple_stmt(i));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&print_expr(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                out.push_str(&print_simple_stmt(st));
+            }
+            out.push_str(") ");
+            print_braced(out, body, level);
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "return {};", print_expr(v));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Break { .. } => out.push_str("break;\n"),
+        Stmt::Continue { .. } => out.push_str("continue;\n"),
+        Stmt::Block(b) => {
+            print_braced(out, b, level);
+            out.push('\n');
+        }
+    }
+}
+
+fn print_simple_stmt(s: &Stmt) -> String {
+    match s {
+        Stmt::Assign { target, value, .. } => {
+            format!("{} = {}", print_expr(target), print_expr(value))
+        }
+        Stmt::Expr { expr, .. } => print_expr(expr),
+        other => unreachable!("for-header statements are simple: {other:?}"),
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::BitAnd => "&",
+        BinOp::BitOr => "|",
+        BinOp::BitXor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+/// Render one expression (fully parenthesised, so precedence never
+/// changes the reading).
+pub fn print_expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::CharLit(c) => match *c {
+            b'\n' => "'\\n'".to_string(),
+            b'\t' => "'\\t'".to_string(),
+            b'\r' => "'\\r'".to_string(),
+            0 => "'\\0'".to_string(),
+            b'\\' => "'\\\\'".to_string(),
+            b'\'' => "'\\''".to_string(),
+            c if (32..127).contains(&c) => format!("'{}'", c as char),
+            c => c.to_string(), // non-printable: fall back to the number
+        },
+        ExprKind::StrLit(s) => {
+            let mut out = String::from("\"");
+            for &b in s {
+                match b {
+                    b'\n' => out.push_str("\\n"),
+                    b'\t' => out.push_str("\\t"),
+                    b'"' => out.push_str("\\\""),
+                    b'\\' => out.push_str("\\\\"),
+                    0 => out.push_str("\\0"),
+                    b => out.push(b as char),
+                }
+            }
+            out.push('"');
+            out
+        }
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::Index { base, index } => {
+            format!("{}[{}]", print_expr(base), print_expr(index))
+        }
+        ExprKind::Field { base, field, arrow } => {
+            format!("{}{}{}", print_expr(base), if *arrow { "->" } else { "." }, field)
+        }
+        ExprKind::Unary { op, operand } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::Deref => "*",
+                UnOp::Addr => "&",
+            };
+            format!("{sym}({})", print_expr(operand))
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), binop_str(*op), print_expr(rhs))
+        }
+        ExprKind::Ternary { cond, then_e, else_e } => {
+            format!(
+                "({} ? {} : {})",
+                print_expr(cond),
+                print_expr(then_e),
+                print_expr(else_e)
+            )
+        }
+        ExprKind::Call { name, args } => {
+            let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({args})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Structural equality that ignores expression ids and line numbers:
+    /// compare canonical printed forms.
+    fn canon(src: &str) -> String {
+        print_program(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let srcs = [
+            "int g = 4; void main() { int x; x = g * (2 + 1); print_int(x); }",
+            "struct n { int v; struct n *next; };
+             void main() { struct n *p; p = malloc(8); p->v = 1; free(p); }",
+            "void main() {
+               int i;
+               for (i = 0; i < 10; i = i + 1) {
+                 if (i % 2 == 0 && i > 2) { continue; } else { break; }
+               }
+               while (!(i == 0)) { i = i - 1; }
+             }",
+            "int f(int a, char b) { return (a > b) ? a : -a; }
+             void main() { print_int(f(1, 'x')); }",
+            "char buf[8]; void main() { buf[0] = '\\n'; print_str(\"a\\\"b\"); }",
+        ];
+        for src in srcs {
+            let once = canon(src);
+            let twice = canon(&once);
+            assert_eq!(once, twice, "printing is not a fixpoint for:\n{src}");
+        }
+    }
+
+    #[test]
+    fn vendored_programs_round_trip() {
+        // The big one: every vendored target program must survive
+        // parse → print → parse → print unchanged.
+        // (Exercised here on the compiler's own test corpus to keep the
+        // crate dependency graph acyclic; the programs crate re-runs this
+        // over the roster.)
+        let src = "int kd[64][64];
+            void explore(int src, int r, int c, int d) {
+                int k;
+                if (d >= kd[src][r * 8 + c]) { return; }
+                kd[src][r * 8 + c] = d;
+                for (k = 0; k < 8; k = k + 1) { explore(src, r, c, d + 1); }
+            }
+            void main() { explore(0, 0, 0, 0); }";
+        let once = canon(src);
+        assert_eq!(once, canon(&once));
+    }
+
+    #[test]
+    fn printed_source_compiles_equivalently() {
+        use swifi_vm::machine::{Machine, MachineConfig};
+        use swifi_vm::Noop;
+        let src = "void main() {
+                     int i; int s;
+                     s = 0;
+                     for (i = 1; i <= 6; i = i + 1) { s = s + i * i; }
+                     print_int(s);
+                   }";
+        let printed = canon(src);
+        let run = |s: &str| {
+            let p = crate::compile(s).expect("compiles");
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&p.image);
+            m.run(&mut Noop).output().to_vec()
+        };
+        assert_eq!(run(src), run(&printed));
+    }
+
+    #[test]
+    fn expr_forms() {
+        let p = parse("void main() { int x; x = -(1) + 2 * 3; }").unwrap();
+        match &p.functions[0].body.stmts[0] {
+            crate::ast::Stmt::Assign { value, .. } => {
+                assert_eq!(print_expr(value), "(-(1) + (2 * 3))");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

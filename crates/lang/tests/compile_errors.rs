@@ -1,0 +1,101 @@
+//! Golden tests for compiler diagnostics: every rejection carries the
+//! right source line and a message a user can act on.
+
+use swifi_lang::compile;
+
+/// Assert compilation fails on `line` with a message containing `needle`.
+fn rejects(src: &str, line: u32, needle: &str) {
+    match compile(src) {
+        Ok(_) => panic!("expected a compile error containing `{needle}`:\n{src}"),
+        Err(e) => {
+            assert!(
+                e.msg.contains(needle),
+                "expected `{needle}` in `{}` for:\n{src}",
+                e.msg
+            );
+            assert_eq!(e.line, line, "wrong line for `{}`:\n{src}", e.msg);
+        }
+    }
+}
+
+#[test]
+fn lexical_errors() {
+    rejects("void main() { int x@; }", 1, "unexpected character");
+    rejects("void main() {\n  print_str(\"unterminated);\n}", 2, "unterminated string");
+    rejects("/* comment never ends\nvoid main() {}", 1, "unterminated block comment");
+}
+
+#[test]
+fn syntax_errors() {
+    rejects("void main() { int x \n x = 1; }", 2, "expected");
+    rejects("void main() { if x > 1 { } }", 1, "expected");
+    rejects("void main() { for (;;) }", 1, "expected");
+    rejects("int a[0]; void main() {}", 1, "positive");
+    rejects("void main() { x = ; }", 1, "expected expression");
+}
+
+#[test]
+fn name_resolution_errors() {
+    rejects("void main() { y = 1; }", 1, "unknown variable");
+    rejects("void main() { frob(); }", 1, "unknown function");
+    rejects("struct missing *p; void main() {}", 1, "unknown struct");
+    rejects("void main() { int x; int x; }", 1, "duplicate variable");
+    rejects("int g; int g; void main() {}", 1, "duplicate global");
+}
+
+#[test]
+fn type_errors() {
+    rejects("void main() { int *p; p = 3; }", 1, "cannot assign");
+    rejects("void main() { int x; x = \"str\"; }", 1, "cannot assign");
+    rejects("void main() { int x; x = *x; }", 1, "dereference");
+    rejects("struct s { int v; }; void main() { struct s a; a.w = 1; }", 1, "no field");
+    rejects("void main() { int a[3]; int b[3]; a = b; }", 1, "array");
+    rejects("int f() { return; } void main() {}", 1, "must return a value");
+    rejects("void g() { return 5; } void main() {}", 1, "cannot return");
+}
+
+#[test]
+fn structural_errors() {
+    rejects("void main() { break; }", 1, "outside");
+    rejects("void main() { continue; }", 1, "outside");
+    rejects("int f(int a) { return a; } void main() { int x; x = f(); }", 1, "expects 1");
+    rejects("void main() { int x; x + 1; }", 1, "function calls");
+    rejects("void main() { 3 = 4; }", 1, "not an lvalue");
+}
+
+#[test]
+fn resource_limit_errors() {
+    rejects("int f() { return 1; }", 0, "no `main`");
+    rejects("int main() { return 0; }", 1, "void main");
+    // Frame too large: a giant local array.
+    rejects(
+        "void main() { int big[20000]; big[0] = 1; }",
+        1,
+        "too large",
+    );
+    // More than 8 parameters.
+    rejects(
+        "int f(int a, int b, int c, int d, int e, int f2, int g, int h, int i) { return a; }
+         void main() {}",
+        1,
+        "at most 8",
+    );
+}
+
+#[test]
+fn error_lines_track_multiline_programs() {
+    rejects(
+        "int g;\n\nvoid main() {\n  int x;\n  x = unknown_var;\n}",
+        5,
+        "unknown variable",
+    );
+}
+
+#[test]
+fn helpful_c89_decl_message() {
+    rejects(
+        "void main() {\n  int x;\n  x = 1;\n  int y;\n}",
+        4,
+        "precede",
+    );
+}

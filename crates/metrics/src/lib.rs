@@ -1,0 +1,598 @@
+//! # swifi-metrics — software metrics to steer fault injection
+//!
+//! §6.1 of the reproduced paper argues that when field data on real faults
+//! is unavailable, *software complexity metrics* can take its place for
+//! the two things field data is used for: choosing the modules to inject
+//! into and deciding how many faults each gets. This crate computes
+//! classic static metrics over MiniC ASTs and turns them into injection
+//! allocations.
+//!
+//! Implemented metrics (per function and per program):
+//!
+//! - lines of code (non-blank, non-comment),
+//! - McCabe cyclomatic complexity,
+//! - Halstead vocabulary/length/volume/difficulty/effort,
+//! - maximum statement nesting depth,
+//! - statement and call counts,
+//! - recursion detection (via call-graph cycles) and dynamic-structure
+//!   usage (`malloc`/`free`) — the program *features* of the paper's
+//!   Table 2.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use swifi_lang::ast::{self, BinOp, Block, Expr, ExprKind, Program, Stmt, UnOp};
+
+/// Halstead software-science measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Halstead {
+    /// Distinct operators (η₁).
+    pub distinct_operators: usize,
+    /// Distinct operands (η₂).
+    pub distinct_operands: usize,
+    /// Total operator occurrences (N₁).
+    pub total_operators: usize,
+    /// Total operand occurrences (N₂).
+    pub total_operands: usize,
+}
+
+impl Halstead {
+    /// Vocabulary η = η₁ + η₂.
+    pub fn vocabulary(&self) -> usize {
+        self.distinct_operators + self.distinct_operands
+    }
+
+    /// Length N = N₁ + N₂.
+    pub fn length(&self) -> usize {
+        self.total_operators + self.total_operands
+    }
+
+    /// Volume V = N · log₂(η); zero for empty vocabularies.
+    pub fn volume(&self) -> f64 {
+        let eta = self.vocabulary();
+        if eta == 0 {
+            0.0
+        } else {
+            self.length() as f64 * (eta as f64).log2()
+        }
+    }
+
+    /// Difficulty D = (η₁ / 2) · (N₂ / η₂); zero when no operands exist.
+    pub fn difficulty(&self) -> f64 {
+        if self.distinct_operands == 0 {
+            0.0
+        } else {
+            (self.distinct_operators as f64 / 2.0)
+                * (self.total_operands as f64 / self.distinct_operands as f64)
+        }
+    }
+
+    /// Effort E = D · V.
+    pub fn effort(&self) -> f64 {
+        self.difficulty() * self.volume()
+    }
+}
+
+/// Metrics for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionMetrics {
+    /// Function name.
+    pub name: String,
+    /// McCabe cyclomatic complexity (1 + decision points).
+    pub cyclomatic: usize,
+    /// Number of statements (nested included).
+    pub statements: usize,
+    /// Maximum nesting depth of control structures.
+    pub max_nesting: usize,
+    /// Number of call expressions.
+    pub calls: usize,
+    /// Halstead measures.
+    pub halstead: Halstead,
+    /// Whether the function participates in a call-graph cycle.
+    pub recursive: bool,
+    /// Whether the function calls `malloc`/`free`.
+    pub dynamic_structures: bool,
+}
+
+impl FunctionMetrics {
+    /// A fault-proneness score in the spirit of the EMERALD-style
+    /// predictors the paper cites: complexity-dominated, volume-seasoned.
+    ///
+    /// The absolute scale is meaningless; only ratios between functions
+    /// are used (to apportion injections).
+    pub fn proneness(&self) -> f64 {
+        self.cyclomatic as f64 + self.halstead.volume() / 100.0 + self.max_nesting as f64 / 2.0
+    }
+}
+
+/// Metrics for a whole program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramMetrics {
+    /// Non-blank, non-comment source lines.
+    pub loc: usize,
+    /// Per-function metrics.
+    pub functions: Vec<FunctionMetrics>,
+    /// Number of global variables.
+    pub globals: usize,
+    /// Number of struct definitions.
+    pub structs: usize,
+}
+
+impl ProgramMetrics {
+    /// Sum of cyclomatic complexities.
+    pub fn total_cyclomatic(&self) -> usize {
+        self.functions.iter().map(|f| f.cyclomatic).sum()
+    }
+
+    /// Whether any function is recursive (a Table 2 feature).
+    pub fn any_recursive(&self) -> bool {
+        self.functions.iter().any(|f| f.recursive)
+    }
+
+    /// Whether the program uses dynamic structures (a Table 2 feature).
+    pub fn uses_dynamic_structures(&self) -> bool {
+        self.functions.iter().any(|f| f.dynamic_structures)
+    }
+}
+
+/// Count non-blank, non-comment lines (`//` and `/* */` aware).
+pub fn lines_of_code(src: &str) -> usize {
+    let mut in_block = false;
+    let mut loc = 0;
+    for line in src.lines() {
+        let mut meaningful = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    in_block = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                break;
+            } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                in_block = true;
+                i += 2;
+            } else {
+                if !bytes[i].is_ascii_whitespace() {
+                    meaningful = true;
+                }
+                i += 1;
+            }
+        }
+        if meaningful {
+            loc += 1;
+        }
+    }
+    loc
+}
+
+/// Compute all metrics for a parsed program plus its source text.
+pub fn measure(src: &str, prog: &Program) -> ProgramMetrics {
+    // Call graph for recursion detection.
+    let mut callees: HashMap<&str, HashSet<String>> = HashMap::new();
+    for f in &prog.functions {
+        let mut set = HashSet::new();
+        ast::visit_exprs(&f.body, &mut |e| {
+            if let ExprKind::Call { name, .. } = &e.kind {
+                set.insert(name.clone());
+            }
+        });
+        callees.insert(&f.name, set);
+    }
+    let recursive: HashSet<String> = prog
+        .functions
+        .iter()
+        .filter(|f| reaches(&callees, &f.name, &f.name, &mut HashSet::new()))
+        .map(|f| f.name.clone())
+        .collect();
+
+    let functions = prog
+        .functions
+        .iter()
+        .map(|f| {
+            let mut m = FunctionMetrics {
+                name: f.name.clone(),
+                cyclomatic: 1,
+                statements: 0,
+                max_nesting: 0,
+                calls: 0,
+                halstead: Halstead::default(),
+                recursive: recursive.contains(&f.name),
+                dynamic_structures: false,
+            };
+            let mut h = HalsteadCounter::default();
+            walk_block(&f.body, 0, &mut m, &mut h);
+            m.halstead = h.finish();
+            m.dynamic_structures = callees[f.name.as_str()]
+                .iter()
+                .any(|c| c == "malloc" || c == "free");
+            m
+        })
+        .collect();
+
+    ProgramMetrics {
+        loc: lines_of_code(src),
+        functions,
+        globals: prog.globals.len(),
+        structs: prog.structs.len(),
+    }
+}
+
+fn reaches(
+    callees: &HashMap<&str, HashSet<String>>,
+    from: &str,
+    target: &str,
+    seen: &mut HashSet<String>,
+) -> bool {
+    let Some(next) = callees.get(from) else { return false };
+    for callee in next {
+        if callee == target {
+            return true;
+        }
+        if seen.insert(callee.clone()) && reaches(callees, callee, target, seen) {
+            return true;
+        }
+    }
+    false
+}
+
+#[derive(Default)]
+struct HalsteadCounter {
+    operators: HashMap<String, usize>,
+    operands: HashMap<String, usize>,
+}
+
+impl HalsteadCounter {
+    fn operator(&mut self, name: &str) {
+        *self.operators.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn operand(&mut self, name: String) {
+        *self.operands.entry(name).or_insert(0) += 1;
+    }
+
+    fn finish(self) -> Halstead {
+        Halstead {
+            distinct_operators: self.operators.len(),
+            distinct_operands: self.operands.len(),
+            total_operators: self.operators.values().sum(),
+            total_operands: self.operands.values().sum(),
+        }
+    }
+}
+
+fn walk_block(b: &Block, depth: usize, m: &mut FunctionMetrics, h: &mut HalsteadCounter) {
+    for d in &b.decls {
+        if let Some(init) = &d.init {
+            m.statements += 1;
+            h.operator("=");
+            h.operand(d.name.clone());
+            walk_expr(init, m, h);
+        }
+    }
+    for s in &b.stmts {
+        walk_stmt(s, depth, m, h);
+    }
+}
+
+fn walk_stmt(s: &Stmt, depth: usize, m: &mut FunctionMetrics, h: &mut HalsteadCounter) {
+    m.statements += 1;
+    m.max_nesting = m.max_nesting.max(depth);
+    match s {
+        Stmt::Assign { target, value, .. } => {
+            h.operator("=");
+            walk_expr(target, m, h);
+            walk_expr(value, m, h);
+        }
+        Stmt::Expr { expr, .. } => walk_expr(expr, m, h),
+        Stmt::If { cond, then_blk, else_blk, .. } => {
+            m.cyclomatic += 1;
+            h.operator("if");
+            walk_expr(cond, m, h);
+            walk_block(then_blk, depth + 1, m, h);
+            if let Some(e) = else_blk {
+                h.operator("else");
+                walk_block(e, depth + 1, m, h);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            m.cyclomatic += 1;
+            h.operator("while");
+            walk_expr(cond, m, h);
+            walk_block(body, depth + 1, m, h);
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            m.cyclomatic += 1;
+            h.operator("for");
+            if let Some(i) = init {
+                walk_stmt(i, depth, m, h);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, m, h);
+            }
+            if let Some(st) = step {
+                walk_stmt(st, depth, m, h);
+            }
+            walk_block(body, depth + 1, m, h);
+        }
+        Stmt::Return { value, .. } => {
+            h.operator("return");
+            if let Some(v) = value {
+                walk_expr(v, m, h);
+            }
+        }
+        Stmt::Break { .. } => h.operator("break"),
+        Stmt::Continue { .. } => h.operator("continue"),
+        Stmt::Block(b) => walk_block(b, depth + 1, m, h),
+    }
+}
+
+fn walk_expr(e: &Expr, m: &mut FunctionMetrics, h: &mut HalsteadCounter) {
+    match &e.kind {
+        ExprKind::IntLit(v) => h.operand(v.to_string()),
+        ExprKind::CharLit(c) => h.operand(format!("'{c}'")),
+        ExprKind::StrLit(s) => h.operand(format!("{s:?}")),
+        ExprKind::Var(n) => h.operand(n.clone()),
+        ExprKind::Index { base, index } => {
+            h.operator("[]");
+            walk_expr(base, m, h);
+            walk_expr(index, m, h);
+        }
+        ExprKind::Field { base, field, arrow } => {
+            h.operator(if *arrow { "->" } else { "." });
+            h.operand(field.clone());
+            walk_expr(base, m, h);
+        }
+        ExprKind::Unary { op, operand } => {
+            h.operator(match op {
+                UnOp::Neg => "neg",
+                UnOp::Not => "!",
+                UnOp::Deref => "*u",
+                UnOp::Addr => "&u",
+            });
+            walk_expr(operand, m, h);
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            if matches!(op, BinOp::And | BinOp::Or) {
+                m.cyclomatic += 1;
+            }
+            h.operator(&format!("{op:?}"));
+            walk_expr(lhs, m, h);
+            walk_expr(rhs, m, h);
+        }
+        ExprKind::Ternary { cond, then_e, else_e } => {
+            m.cyclomatic += 1;
+            h.operator("?:");
+            walk_expr(cond, m, h);
+            walk_expr(then_e, m, h);
+            walk_expr(else_e, m, h);
+        }
+        ExprKind::Call { name, args } => {
+            m.calls += 1;
+            h.operator("call");
+            h.operand(name.clone());
+            for a in args {
+                walk_expr(a, m, h);
+            }
+        }
+    }
+}
+
+/// How to distribute a fault budget over a program's functions (§6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AllocationStrategy {
+    /// Every function equally likely — "all the possible software faults
+    /// and locations are equally likely".
+    Uniform,
+    /// Proportional to the metrics-based fault-proneness score.
+    MetricsGuided,
+    /// Proportional to externally supplied per-function weights (the
+    /// field-data case; weights normalise internally).
+    FieldData(HashMap<String, f64>),
+}
+
+/// Apportion `n` injections over functions with largest-remainder
+/// rounding; the result sums exactly to `n`.
+///
+/// Functions with zero weight receive no faults. If all weights are zero,
+/// falls back to uniform.
+pub fn allocate(
+    metrics: &ProgramMetrics,
+    strategy: &AllocationStrategy,
+    n: usize,
+) -> Vec<(String, usize)> {
+    let weights: Vec<(String, f64)> = metrics
+        .functions
+        .iter()
+        .map(|f| {
+            let w = match strategy {
+                AllocationStrategy::Uniform => 1.0,
+                AllocationStrategy::MetricsGuided => f.proneness(),
+                AllocationStrategy::FieldData(map) => map.get(&f.name).copied().unwrap_or(0.0),
+            };
+            (f.name.clone(), w.max(0.0))
+        })
+        .collect();
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let weights: Vec<(String, f64)> = if total <= 0.0 {
+        let k = weights.len().max(1) as f64;
+        weights.into_iter().map(|(n, _)| (n, 1.0 / k)).collect()
+    } else {
+        weights.into_iter().map(|(n, w)| (n, w / total)).collect()
+    };
+    let mut out: Vec<(String, usize, f64)> = weights
+        .iter()
+        .map(|(name, w)| {
+            let exact = w * n as f64;
+            (name.clone(), exact.floor() as usize, exact - exact.floor())
+        })
+        .collect();
+    let assigned: usize = out.iter().map(|&(_, c, _)| c).sum();
+    let mut leftover = n.saturating_sub(assigned);
+    let mut order: Vec<usize> = (0..out.len()).collect();
+    order.sort_by(|&a, &b| out[b].2.partial_cmp(&out[a].2).unwrap());
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        out[i].1 += 1;
+        leftover -= 1;
+    }
+    out.into_iter().map(|(n, c, _)| (n, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_lang::parser::parse;
+
+    fn metrics_of(src: &str) -> ProgramMetrics {
+        measure(src, &parse(src).unwrap())
+    }
+
+    #[test]
+    fn loc_skips_blanks_and_comments() {
+        let src = "int a;\n\n// comment only\nint b; // trailing\n/* block\n   spans */\nint c;";
+        assert_eq!(lines_of_code(src), 3);
+    }
+
+    #[test]
+    fn straight_line_code_has_cyclomatic_one() {
+        let m = metrics_of("void main() { int x; x = 1; x = 2; print_int(x); }");
+        assert_eq!(m.functions[0].cyclomatic, 1);
+        assert_eq!(m.functions[0].statements, 3);
+    }
+
+    #[test]
+    fn decisions_raise_cyclomatic() {
+        let m = metrics_of(
+            "void main() {
+               int x;
+               x = 0;
+               if (x > 0 && x < 10) { x = 1; }        // +1 if, +1 &&
+               while (x < 5) { x = x + 1; }            // +1
+               for (x = 0; x < 3; x = x + 1) { }       // +1
+               x = (x > 0) ? x : 1;                    // +1
+             }",
+        );
+        assert_eq!(m.functions[0].cyclomatic, 1 + 5);
+    }
+
+    #[test]
+    fn nesting_depth_measured() {
+        let m = metrics_of(
+            "void main() {
+               int i; int j;
+               for (i = 0; i < 2; i = i + 1) {
+                 for (j = 0; j < 2; j = j + 1) {
+                   if (i == j) { print_int(i); }
+                 }
+               }
+             }",
+        );
+        assert_eq!(m.functions[0].max_nesting, 3);
+    }
+
+    #[test]
+    fn direct_recursion_detected() {
+        let m = metrics_of(
+            "int f(int n) { if (n < 1) { return 0; } return f(n - 1); }
+             void main() { print_int(f(3)); }",
+        );
+        assert!(m.functions[0].recursive);
+        assert!(!m.functions[1].recursive);
+        assert!(m.any_recursive());
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let src = "int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+                   int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+                   void main() { print_int(even(4)); }";
+        let m = metrics_of(src);
+        assert!(m.functions[0].recursive);
+        assert!(m.functions[1].recursive);
+    }
+
+    #[test]
+    fn dynamic_structures_flagged() {
+        let m = metrics_of(
+            "void main() { int *p; p = malloc(8); free(p); }",
+        );
+        assert!(m.functions[0].dynamic_structures);
+        assert!(m.uses_dynamic_structures());
+    }
+
+    #[test]
+    fn halstead_counts_accumulate() {
+        let m = metrics_of("void main() { int x; x = 1 + 2 + 1; }");
+        let h = &m.functions[0].halstead;
+        // operators: =, Add(×2 occurrences, 1 distinct); operands: x, 1(×2), 2.
+        assert_eq!(h.distinct_operators, 2);
+        assert_eq!(h.total_operators, 3);
+        assert_eq!(h.distinct_operands, 3);
+        assert_eq!(h.total_operands, 4);
+        assert!(h.volume() > 0.0);
+        assert!(h.difficulty() > 0.0);
+        assert!(h.effort() > 0.0);
+    }
+
+    #[test]
+    fn allocation_sums_to_n_and_tracks_weights() {
+        let m = metrics_of(
+            "int simple(int a) { return a; }
+             int hairy(int a) {
+               int i; int s;
+               s = 0;
+               for (i = 0; i < a; i = i + 1) {
+                 if (i % 2 == 0 && i > 2) { s = s + i; }
+                 while (s > 100) { s = s - 10; }
+               }
+               return s;
+             }
+             void main() { print_int(hairy(simple(5))); }",
+        );
+        for strategy in [AllocationStrategy::Uniform, AllocationStrategy::MetricsGuided] {
+            let alloc = allocate(&m, &strategy, 30);
+            assert_eq!(alloc.iter().map(|&(_, c)| c).sum::<usize>(), 30, "{strategy:?}");
+        }
+        let guided = allocate(&m, &AllocationStrategy::MetricsGuided, 30);
+        let count = |name: &str, a: &[(String, usize)]| {
+            a.iter().find(|(n, _)| n == name).unwrap().1
+        };
+        assert!(
+            count("hairy", &guided) > count("simple", &guided),
+            "complex functions should attract more injections: {guided:?}"
+        );
+    }
+
+    #[test]
+    fn field_data_allocation_uses_weights() {
+        let m = metrics_of(
+            "int a() { return 1; } int b() { return 2; } void main() { print_int(a() + b()); }",
+        );
+        let mut weights = HashMap::new();
+        weights.insert("a".to_string(), 3.0);
+        weights.insert("b".to_string(), 1.0);
+        let alloc = allocate(&m, &AllocationStrategy::FieldData(weights), 8);
+        let count =
+            |name: &str| alloc.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(count("a"), 6);
+        assert_eq!(count("b"), 2);
+        assert_eq!(count("main"), 0);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let m = metrics_of("int a() { return 1; } void main() { print_int(a()); }");
+        let alloc = allocate(&m, &AllocationStrategy::FieldData(HashMap::new()), 4);
+        assert_eq!(alloc.iter().map(|&(_, c)| c).sum::<usize>(), 4);
+        assert!(alloc.iter().all(|&(_, c)| c == 2));
+    }
+}

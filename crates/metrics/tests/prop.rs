@@ -1,0 +1,91 @@
+//! Property tests for metric computation and injection allocation.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use swifi_lang::parser::parse;
+use swifi_metrics::{allocate, lines_of_code, measure, AllocationStrategy};
+
+/// Generate a small random MiniC program: `nf` trivial functions plus
+/// main, each with `stmts` assignments and `ifs` conditionals.
+fn gen_program(nf: usize, stmts: usize, ifs: usize) -> String {
+    let mut src = String::new();
+    for f in 0..nf {
+        src.push_str(&format!("int f{f}(int a) {{\n  int x;\n"));
+        for s in 0..stmts {
+            src.push_str(&format!("  x = a + {s};\n"));
+        }
+        for i in 0..ifs {
+            src.push_str(&format!("  if (x > {i}) {{ x = x - 1; }}\n"));
+        }
+        src.push_str("  return x;\n}\n");
+    }
+    src.push_str("void main() {\n  int r;\n  r = 0;\n");
+    for f in 0..nf {
+        src.push_str(&format!("  r = r + f{f}(r);\n"));
+    }
+    src.push_str("  print_int(r);\n}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cyclomatic complexity is exactly 1 + decisions for the generated
+    /// shape, for every function.
+    #[test]
+    fn cyclomatic_matches_construction(nf in 1usize..5, stmts in 0usize..6, ifs in 0usize..6) {
+        let src = gen_program(nf, stmts, ifs);
+        let ast = parse(&src).unwrap();
+        let m = measure(&src, &ast);
+        for f in &m.functions {
+            if f.name.starts_with('f') {
+                prop_assert_eq!(f.cyclomatic, 1 + ifs, "{}", f.name);
+            }
+        }
+    }
+
+    /// Allocation always sums to the budget, for every strategy, on
+    /// arbitrary generated programs.
+    #[test]
+    fn allocation_sums(nf in 1usize..6, budget in 0usize..100) {
+        let src = gen_program(nf, 2, 2);
+        let ast = parse(&src).unwrap();
+        let m = measure(&src, &ast);
+        for strategy in [
+            AllocationStrategy::Uniform,
+            AllocationStrategy::MetricsGuided,
+            AllocationStrategy::FieldData(HashMap::new()),
+        ] {
+            let alloc = allocate(&m, &strategy, budget);
+            prop_assert_eq!(alloc.iter().map(|&(_, c)| c).sum::<usize>(), budget);
+            prop_assert_eq!(alloc.len(), m.functions.len());
+        }
+    }
+
+    /// LoC counting is insensitive to appended comments and blank lines.
+    #[test]
+    fn loc_ignores_comment_noise(blank in 0usize..5, comments in 0usize..5) {
+        let base = gen_program(2, 2, 1);
+        let mut noisy = base.clone();
+        for _ in 0..blank {
+            noisy.push('\n');
+        }
+        for i in 0..comments {
+            noisy.push_str(&format!("// trailing comment {i}\n"));
+        }
+        noisy.push_str("/* block\n comment */\n");
+        prop_assert_eq!(lines_of_code(&base), lines_of_code(&noisy));
+    }
+
+    /// Halstead length and vocabulary grow monotonically with statements.
+    #[test]
+    fn halstead_grows_with_code(stmts in 1usize..6) {
+        let small = gen_program(1, stmts, 0);
+        let big = gen_program(1, stmts + 1, 0);
+        let hm = |s: &str| {
+            let ast = parse(s).unwrap();
+            measure(s, &ast).functions[0].halstead.length()
+        };
+        prop_assert!(hm(&big) > hm(&small));
+    }
+}

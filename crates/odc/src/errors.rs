@@ -1,0 +1,167 @@
+//! The paper's Table 3: the subset of error types injected to emulate
+//! assignment- and checking-class software faults.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment error types (Table 3 / Figure 9 of the paper).
+///
+/// Applied to the store instruction that commits an assignment statement:
+/// the three value corruptions ride the data bus; `NoAssign` erases the
+/// store itself.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum AssignErrorType {
+    /// `value` → `value + 1`.
+    ValuePlusOne,
+    /// `value` → `value - 1`.
+    ValueMinusOne,
+    /// `value` → unassigned (the store never happens).
+    NoAssign,
+    /// `value` → random value.
+    Random,
+}
+
+impl AssignErrorType {
+    /// All four types in the paper's Figure 9 order.
+    pub const ALL: [AssignErrorType; 4] = [
+        AssignErrorType::ValuePlusOne,
+        AssignErrorType::ValueMinusOne,
+        AssignErrorType::NoAssign,
+        AssignErrorType::Random,
+    ];
+
+    /// Display label matching the paper's Figure 9 x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            AssignErrorType::ValuePlusOne => "value +1",
+            AssignErrorType::ValueMinusOne => "value -1",
+            AssignErrorType::NoAssign => "no assign",
+            AssignErrorType::Random => "random",
+        }
+    }
+}
+
+impl fmt::Display for AssignErrorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Checking error types (Table 3 / Figure 10 of the paper), named by the
+/// `original → injected` operator pairs on the Figure 10 x-axis.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum CheckErrorType {
+    /// `<=` → `<`
+    LeToLt,
+    /// `<` → `<=`
+    LtToLe,
+    /// `>` → `>=`
+    GtToGe,
+    /// `>=` → `>`
+    GeToGt,
+    /// `=` → `!=`
+    EqToNe,
+    /// `=` → `>=`
+    EqToGe,
+    /// `=` → `<=`
+    EqToLe,
+    /// `!=` → `=`
+    NeToEq,
+    /// `&&` → `||`
+    AndToOr,
+    /// `||` → `&&`
+    OrToAnd,
+    /// condition stuck at false (`true` → `false`)
+    TrueToFalse,
+    /// condition stuck at true (`false` → `true`)
+    FalseToTrue,
+    /// array index in a check: `[i]` → `[i+1]` (only for checking over
+    /// arrays, per Table 3)
+    IndexPlus,
+    /// array index in a check: `[i]` → `[i-1]`
+    IndexMinus,
+}
+
+impl CheckErrorType {
+    /// All error types, in the paper's Figure 10 presentation order.
+    pub const ALL: [CheckErrorType; 14] = [
+        CheckErrorType::LeToLt,
+        CheckErrorType::LtToLe,
+        CheckErrorType::EqToNe,
+        CheckErrorType::EqToGe,
+        CheckErrorType::EqToLe,
+        CheckErrorType::AndToOr,
+        CheckErrorType::OrToAnd,
+        CheckErrorType::IndexPlus,
+        CheckErrorType::IndexMinus,
+        CheckErrorType::TrueToFalse,
+        CheckErrorType::FalseToTrue,
+        CheckErrorType::NeToEq,
+        CheckErrorType::GtToGe,
+        CheckErrorType::GeToGt,
+    ];
+
+    /// Display label in the paper's pair notation (e.g. `"<= <"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckErrorType::LeToLt => "<= <",
+            CheckErrorType::LtToLe => "< <=",
+            CheckErrorType::GtToGe => "> >=",
+            CheckErrorType::GeToGt => ">= >",
+            CheckErrorType::EqToNe => "= !=",
+            CheckErrorType::EqToGe => "= >=",
+            CheckErrorType::EqToLe => "= <=",
+            CheckErrorType::NeToEq => "!= =",
+            CheckErrorType::AndToOr => "and or",
+            CheckErrorType::OrToAnd => "or and",
+            CheckErrorType::TrueToFalse => "true false",
+            CheckErrorType::FalseToTrue => "false true",
+            CheckErrorType::IndexPlus => "[i] [i+1]",
+            CheckErrorType::IndexMinus => "[i] [i-1]",
+        }
+    }
+}
+
+impl fmt::Display for CheckErrorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_labels_unique() {
+        let mut labels: Vec<_> = CheckErrorType::ALL.iter().map(|t| t.label()).collect();
+        labels.extend(AssignErrorType::ALL.iter().map(|t| t.label()));
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn counts_match_paper_tables() {
+        assert_eq!(AssignErrorType::ALL.len(), 4, "Figure 9 has four assignment error types");
+        assert_eq!(CheckErrorType::ALL.len(), 14);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for t in CheckErrorType::ALL {
+            let json = serde_json::to_string(&t).unwrap();
+            assert_eq!(t, serde_json::from_str::<CheckErrorType>(&json).unwrap());
+        }
+        for t in AssignErrorType::ALL {
+            let json = serde_json::to_string(&t).unwrap();
+            assert_eq!(t, serde_json::from_str::<AssignErrorType>(&json).unwrap());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The fault-exposure probability chain of the paper's Figure 2.
+//!
+//! A software fault leads to a failure only through the chain
+//!
+//! ```text
+//! software fault ──p1──▶ faulty code executed ──p2──▶ errors generated
+//!                ──p3──▶ failure
+//! ```
+//!
+//! Injecting *errors* rather than faults short-circuits the chain by
+//! forcing `p1 = p2 = 1` — the acceleration that raises the paper's
+//! representativeness question, and the quantitative reason injected
+//! faults hit so much harder than real ones (§6.4).
+
+use serde::{Deserialize, Serialize};
+
+/// The `p1·p2·p3` exposure model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExposureModel {
+    /// Probability the faulty code is executed.
+    pub p1: f64,
+    /// Probability execution of the faulty code generates errors.
+    pub p2: f64,
+    /// Probability generated errors result in a failure.
+    pub p3: f64,
+}
+
+impl ExposureModel {
+    /// Build a model; each probability must lie in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the offending value otherwise.
+    pub fn new(p1: f64, p2: f64, p3: f64) -> Result<ExposureModel, String> {
+        for (name, v) in [("p1", p1), ("p2", p2), ("p3", p3)] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(format!("{name} = {v} is not a probability"));
+            }
+        }
+        Ok(ExposureModel { p1, p2, p3 })
+    }
+
+    /// Probability that the fault results in a failure: `p1·p2·p3`.
+    pub fn failure_probability(&self) -> f64 {
+        self.p1 * self.p2 * self.p3
+    }
+
+    /// The model after error injection accelerates the chain
+    /// (`p1 = p2 = 1`), leaving only `p3`.
+    pub fn accelerated(&self) -> ExposureModel {
+        ExposureModel { p1: 1.0, p2: 1.0, p3: self.p3 }
+    }
+
+    /// Factor by which injection inflates the failure probability
+    /// (`∞`-free: returns `None` when the original probability is zero).
+    pub fn acceleration_factor(&self) -> Option<f64> {
+        let orig = self.failure_probability();
+        if orig == 0.0 {
+            None
+        } else {
+            Some(self.accelerated().failure_probability() / orig)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_multiplies() {
+        let m = ExposureModel::new(0.5, 0.4, 0.25).unwrap();
+        assert!((m.failure_probability() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceleration_forces_execution_and_error() {
+        let m = ExposureModel::new(0.1, 0.2, 0.3).unwrap();
+        let a = m.accelerated();
+        assert_eq!((a.p1, a.p2), (1.0, 1.0));
+        assert!((a.failure_probability() - 0.3).abs() < 1e-12);
+        assert!((m.acceleration_factor().unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exposure_has_no_factor() {
+        let m = ExposureModel::new(0.0, 0.5, 0.5).unwrap();
+        assert_eq!(m.acceleration_factor(), None);
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        assert!(ExposureModel::new(-0.1, 0.5, 0.5).is_err());
+        assert!(ExposureModel::new(0.5, 1.5, 0.5).is_err());
+        assert!(ExposureModel::new(0.5, 0.5, f64::NAN).is_err());
+    }
+}

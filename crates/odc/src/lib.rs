@@ -1,0 +1,28 @@
+//! # swifi-odc — Orthogonal Defect Classification and error-type taxonomy
+//!
+//! The conceptual vocabulary of *Madeira, Costa, Vieira — "On the Emulation
+//! of Software Faults by Software Fault Injection" (DSN 2000)*:
+//!
+//! - the ODC defect **types** and system-test **triggers** (§3 of the
+//!   paper),
+//! - the paper's **Table 3** subset of injectable error types, split into
+//!   assignment errors ([`AssignErrorType`]) and checking errors
+//!   ([`CheckErrorType`]),
+//! - an approximate ODC **field distribution** ([`FieldDistribution`])
+//!   standing in for the Christmansson & Chillarege field data the paper
+//!   cites (reference \[5\]), including the "algorithm + function ≈ 44 % of
+//!   faults cannot be emulated" headline,
+//! - the **fault-exposure chain** `p1·p2·p3` of the paper's Figure 2
+//!   ([`ExposureModel`]).
+
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod exposure;
+pub mod field;
+pub mod types;
+
+pub use errors::{AssignErrorType, CheckErrorType};
+pub use exposure::ExposureModel;
+pub use field::FieldDistribution;
+pub use types::{DefectType, SystemTestTrigger};

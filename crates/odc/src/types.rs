@@ -1,0 +1,153 @@
+//! ODC defect types and system-test triggers (paper §3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The six code-related ODC defect types, as enumerated in §3 of the paper.
+///
+/// A defect's *type* describes the change in the source code needed to
+/// correct it; the paper's central result is that SWIFI tools can emulate
+/// some types ([`DefectType::Assignment`], [`DefectType::Checking`]) but
+/// not others ([`DefectType::Algorithm`], [`DefectType::Function`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DefectType {
+    /// Values assigned incorrectly or not assigned.
+    Assignment,
+    /// Missing or incorrect validation of data, or incorrect loop or
+    /// conditional statements.
+    Checking,
+    /// Errors in the interaction among components, modules, device
+    /// drivers, call statements, etc.
+    Interface,
+    /// Missing or incorrect serialization of shared resources.
+    TimingSerialization,
+    /// Incorrect or missing implementation fixable by re-implementing an
+    /// algorithm or data structure, without a design change.
+    Algorithm,
+    /// Incorrect or missing implementation of a capability requiring a
+    /// formal design change.
+    Function,
+}
+
+impl DefectType {
+    /// All six types in the paper's order.
+    pub const ALL: [DefectType; 6] = [
+        DefectType::Assignment,
+        DefectType::Checking,
+        DefectType::Interface,
+        DefectType::TimingSerialization,
+        DefectType::Algorithm,
+        DefectType::Function,
+    ];
+
+    /// The paper's §5 verdict on machine-code-level SWIFI emulability of
+    /// this defect type.
+    pub fn swifi_emulable(self) -> Emulability {
+        match self {
+            DefectType::Assignment | DefectType::Checking => Emulability::Emulable,
+            DefectType::Interface => Emulability::Partially,
+            DefectType::TimingSerialization => Emulability::Partially,
+            DefectType::Algorithm | DefectType::Function => Emulability::NotEmulable,
+        }
+    }
+}
+
+impl fmt::Display for DefectType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DefectType::Assignment => "assignment",
+            DefectType::Checking => "checking",
+            DefectType::Interface => "interface",
+            DefectType::TimingSerialization => "timing/serialization",
+            DefectType::Algorithm => "algorithm",
+            DefectType::Function => "function",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Summary emulability verdict for a whole defect type (paper §5,
+/// conclusions A/B/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Emulability {
+    /// Generally emulable with instruction/operand-level corruption.
+    Emulable,
+    /// Emulable for some faults of the type, depending on specifics.
+    Partially,
+    /// Beyond any machine-code-level SWIFI tool.
+    NotEmulable,
+}
+
+/// ODC *system test* trigger classes — the broad operational conditions
+/// under which field faults surface (paper §3). All experiments in the
+/// paper (and here) run under [`SystemTestTrigger::NormalMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemTestTrigger {
+    /// Fault exposed during startup or restart.
+    StartupRestart,
+    /// Exposed under workload volume/stress.
+    WorkloadStress,
+    /// Exposed during recovery or exception handling.
+    RecoveryException,
+    /// Exposed by a particular hardware/software configuration.
+    HardwareSoftwareConfig,
+    /// Exposed when everything was supposed to work normally.
+    NormalMode,
+}
+
+impl SystemTestTrigger {
+    /// All trigger classes.
+    pub const ALL: [SystemTestTrigger; 5] = [
+        SystemTestTrigger::StartupRestart,
+        SystemTestTrigger::WorkloadStress,
+        SystemTestTrigger::RecoveryException,
+        SystemTestTrigger::HardwareSoftwareConfig,
+        SystemTestTrigger::NormalMode,
+    ];
+}
+
+impl fmt::Display for SystemTestTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SystemTestTrigger::StartupRestart => "startup/restart",
+            SystemTestTrigger::WorkloadStress => "workload volume/stress",
+            SystemTestTrigger::RecoveryException => "recovery/exception",
+            SystemTestTrigger::HardwareSoftwareConfig => "hardware/software configuration",
+            SystemTestTrigger::NormalMode => "normal mode",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emulability_matches_paper_verdicts() {
+        use Emulability::*;
+        assert_eq!(DefectType::Assignment.swifi_emulable(), Emulable);
+        assert_eq!(DefectType::Checking.swifi_emulable(), Emulable);
+        assert_eq!(DefectType::Algorithm.swifi_emulable(), NotEmulable);
+        assert_eq!(DefectType::Function.swifi_emulable(), NotEmulable);
+        assert_eq!(DefectType::Interface.swifi_emulable(), Partially);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        for t in DefectType::ALL {
+            let s = t.to_string();
+            assert_eq!(s, s.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for t in DefectType::ALL {
+            let json = serde_json::to_string(&t).unwrap();
+            let back: DefectType = serde_json::from_str(&json).unwrap();
+            assert_eq!(t, back);
+        }
+    }
+}

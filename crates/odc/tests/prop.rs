@@ -1,0 +1,85 @@
+//! Property tests for the ODC taxonomy utilities.
+
+use proptest::prelude::*;
+use swifi_odc::{AssignErrorType, CheckErrorType, DefectType, ExposureModel, FieldDistribution};
+
+fn arb_fractions() -> impl Strategy<Value = [f64; 6]> {
+    // Six non-negative weights, normalised to sum to 1.
+    proptest::array::uniform6(0.0f64..100.0).prop_filter_map("non-degenerate", |w| {
+        let sum: f64 = w.iter().sum();
+        if sum <= 0.0 {
+            return None;
+        }
+        let mut out = [0.0; 6];
+        for (o, v) in out.iter_mut().zip(&w) {
+            *o = v / sum;
+        }
+        Some(out)
+    })
+}
+
+fn dist_from(fracs: [f64; 6]) -> FieldDistribution {
+    let pairs: Vec<(DefectType, f64)> =
+        DefectType::ALL.iter().copied().zip(fracs.iter().copied()).collect();
+    FieldDistribution::new(pairs.try_into().expect("six entries")).expect("normalised")
+}
+
+proptest! {
+    /// Apportioning any normalised distribution over any total yields
+    /// counts that sum exactly to the total.
+    #[test]
+    fn apportion_is_exact(fracs in arb_fractions(), n in 0usize..5000) {
+        let d = dist_from(fracs);
+        let parts = d.apportion(n);
+        prop_assert_eq!(parts.iter().map(|&(_, c)| c).sum::<usize>(), n);
+    }
+
+    /// Largest-remainder apportioning never misses an exact share by more
+    /// than one unit.
+    #[test]
+    fn apportion_is_fair(fracs in arb_fractions(), n in 1usize..5000) {
+        let d = dist_from(fracs);
+        for (t, c) in d.apportion(n) {
+            let exact = d.fraction(t) * n as f64;
+            prop_assert!(
+                (c as f64 - exact).abs() <= 1.0,
+                "{t}: {c} vs exact {exact}"
+            );
+        }
+    }
+
+    /// The not-emulable fraction is always the algorithm+function mass.
+    #[test]
+    fn not_emulable_is_algorithm_plus_function(fracs in arb_fractions()) {
+        let d = dist_from(fracs);
+        let expect = d.fraction(DefectType::Algorithm) + d.fraction(DefectType::Function);
+        prop_assert!((d.not_emulable_fraction() - expect).abs() < 1e-12);
+    }
+
+    /// Exposure acceleration never decreases failure probability, and the
+    /// accelerated model's probability is exactly p3.
+    #[test]
+    fn acceleration_monotone(
+        p1 in 0.0f64..=1.0,
+        p2 in 0.0f64..=1.0,
+        p3 in 0.0f64..=1.0,
+    ) {
+        let m = ExposureModel::new(p1, p2, p3).unwrap();
+        let a = m.accelerated();
+        prop_assert!(a.failure_probability() >= m.failure_probability() - 1e-15);
+        prop_assert!((a.failure_probability() - p3).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn error_type_orderings_are_total_and_stable() {
+    // BTreeMap keys in campaign results rely on Ord being consistent.
+    let mut check = CheckErrorType::ALL.to_vec();
+    check.sort();
+    check.dedup();
+    assert_eq!(check.len(), CheckErrorType::ALL.len());
+    let mut assign = AssignErrorType::ALL.to_vec();
+    assign.sort();
+    assign.dedup();
+    assert_eq!(assign.len(), AssignErrorType::ALL.len());
+}

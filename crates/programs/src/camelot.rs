@@ -1,0 +1,1215 @@
+//! The Camelot program family: eight independently designed MiniC
+//! implementations of the gathering problem (paper §4.2), five of them
+//! with the real software faults analysed in the paper's §5.
+//!
+//! Problem: an 8×8 board holds one king and up to six knights. Compute the
+//! minimum total number of moves to gather every piece on one square. A
+//! knight may meet the king on a square and carry it from there at no
+//! extra cost for the king.
+//!
+//! The designs deliberately differ in control and data structures — the
+//! diversity axis the paper exploits: recursion (team1, team10), iterative
+//! BFS with array queues (team2, team5, team8), frontier-swap BFS (team4),
+//! relaxation sweeps (team3), and heap-allocated linked structures
+//! (team9).
+
+
+
+// The two team1 variants share everything except the gather-loop bound,
+// so the bodies live in macros to keep the fault a one-token change.
+macro_rules! CAMELOT_TEAM1_PREFIX {
+    () => {
+        r#"
+// C.team1 - Camelot, recursive distance exploration
+int kd[64][64];
+int px[8];
+int py[8];
+int ps[8];
+int n;
+int drow[8];
+int dcol[8];
+
+void setup_moves() {
+    drow[0] = 1;  dcol[0] = 2;
+    drow[1] = 1;  dcol[1] = -2;
+    drow[2] = -1; dcol[2] = 2;
+    drow[3] = -1; dcol[3] = -2;
+    drow[4] = 2;  dcol[4] = 1;
+    drow[5] = 2;  dcol[5] = -1;
+    drow[6] = -2; dcol[6] = 1;
+    drow[7] = -2; dcol[7] = -1;
+}
+
+void explore(int src, int r, int c, int d) {
+    int k;
+    int nr;
+    int nc;
+    if (d >= kd[src][r * 8 + c]) {
+        return;
+    }
+    kd[src][r * 8 + c] = d;
+    for (k = 0; k < 8; k = k + 1) {
+        nr = r + drow[k];
+        nc = c + dcol[k];
+        if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+            explore(src, nr, nc, d + 1);
+        }
+    }
+}
+
+int cheb(int a, int b) {
+    int ar;
+    int ac;
+    int br;
+    int bc;
+    int dr;
+    int dc;
+    ar = a / 8;
+    ac = a % 8;
+    br = b / 8;
+    bc = b % 8;
+    dr = ar - br;
+    if (dr < 0) { dr = -dr; }
+    dc = ac - bc;
+    if (dc < 0) { dc = -dc; }
+    if (dr > dc) { return dr; }
+    return dc;
+}
+
+void main() {
+    int i;
+    int g;
+    int m;
+    int k;
+    int base;
+    int extra;
+    int e;
+    int best;
+    int src;
+
+    setup_moves();
+    n = read_int();
+    for (i = 0; i < n; i = i + 1) {
+        px[i] = read_int();
+        py[i] = read_int();
+        ps[i] = px[i] * 8 + py[i];
+    }
+
+    for (src = 0; src < 64; src = src + 1) {
+        for (g = 0; g < 64; g = g + 1) { kd[src][g] = 7; }
+        explore(src, src / 8, src % 8, 0);
+    }
+
+    best = 1000000;
+"#
+    };
+}
+
+macro_rules! CAMELOT_TEAM1_SUFFIX {
+    () => {
+        r#"        base = 0;
+        for (i = 1; i < n; i = i + 1) { base = base + kd[ps[i]][g]; }
+        extra = cheb(ps[0], g);
+        for (k = 1; k < n; k = k + 1) {
+            for (m = 0; m < 64; m = m + 1) {
+                e = kd[ps[k]][m] + cheb(ps[0], m) + kd[m][g] - kd[ps[k]][g];
+                if (e < extra) { extra = e; }
+            }
+        }
+        if (base + extra < best) { best = base + extra; }
+    }
+    print_int(best);
+}
+"#
+    };
+}
+
+/// C.team1, corrected: recursive knight-distance exploration.
+pub const C_TEAM1_CORRECT: &str = concat!(
+    CAMELOT_TEAM1_PREFIX!(),
+    "    for (g = 0; g < 64; g = g + 1) {\n",
+    CAMELOT_TEAM1_SUFFIX!()
+);
+
+/// C.team1, the real fault: the gather loop's bound is wrong (`g < 48`
+/// where `g < 64` is required — a 6-rows-for-8 slip), silently skipping
+/// the last two board rows — a *checking* defect (ODC: "incorrect loop or
+/// conditional statements"), wrong only when every optimal gather square
+/// lies in rows 6–7. At machine level a single `cmpi` immediate differs
+/// (Figure 5 shape: one-word checking mutation).
+pub const C_TEAM1_FAULTY: &str = concat!(
+    CAMELOT_TEAM1_PREFIX!(),
+    "    for (g = 0; g < 48; g = g + 1) {\n",
+    CAMELOT_TEAM1_SUFFIX!()
+);
+
+/// C.team2, corrected: iterative BFS with an array queue, helper-function
+/// decomposition, and an iterative king walk.
+pub const C_TEAM2_CORRECT: &str = r#"
+// C.team2 - Camelot, iterative BFS, helper decomposition
+int dist[64][64];
+int queue[64];
+int qhead;
+int qtail;
+int sq[8];
+int count;
+int jump_r[8];
+int jump_c[8];
+
+void moves_init() {
+    jump_r[0] = 2;  jump_c[0] = 1;
+    jump_r[1] = 2;  jump_c[1] = -1;
+    jump_r[2] = -2; jump_c[2] = 1;
+    jump_r[3] = -2; jump_c[3] = -1;
+    jump_r[4] = 1;  jump_c[4] = 2;
+    jump_r[5] = 1;  jump_c[5] = -2;
+    jump_r[6] = -1; jump_c[6] = 2;
+    jump_r[7] = -1; jump_c[7] = -2;
+}
+
+void bfs(int start) {
+    int cur;
+    int k;
+    int rr;
+    int cc;
+    int nr;
+    int nc;
+    int j;
+    for (j = 0; j < 64; j = j + 1) { dist[start][j] = -1; }
+    qhead = 0;
+    qtail = 0;
+    queue[qtail] = start;
+    qtail = qtail + 1;
+    dist[start][start] = 0;
+    while (qhead < qtail) {
+        cur = queue[qhead];
+        qhead = qhead + 1;
+        rr = cur / 8;
+        cc = cur % 8;
+        for (k = 0; k < 8; k = k + 1) {
+            nr = rr + jump_r[k];
+            nc = cc + jump_c[k];
+            if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+                if (dist[start][nr * 8 + nc] == -1) {
+                    dist[start][nr * 8 + nc] = dist[start][cur] + 1;
+                    queue[qtail] = nr * 8 + nc;
+                    qtail = qtail + 1;
+                }
+            }
+        }
+    }
+}
+
+int king_steps(int from, int to) {
+    int r1;
+    int c1;
+    int r2;
+    int c2;
+    int steps;
+    r1 = from / 8;
+    c1 = from % 8;
+    r2 = to / 8;
+    c2 = to % 8;
+    steps = 0;
+    while (r1 != r2 || c1 != c2) {
+        if (r1 < r2) { r1 = r1 + 1; }
+        else if (r1 > r2) { r1 = r1 - 1; }
+        if (c1 < c2) { c1 = c1 + 1; }
+        else if (c1 > c2) { c1 = c1 - 1; }
+        steps = steps + 1;
+    }
+    return steps;
+}
+
+int pickup_gain(int knight, int g) {
+    int m;
+    int bestm;
+    int e;
+    bestm = 1000000;
+    for (m = 0; m < 64; m = m + 1) {
+        e = dist[sq[knight]][m] + king_steps(sq[0], m) + dist[m][g] - dist[sq[knight]][g];
+        if (e < bestm) { bestm = e; }
+    }
+    return bestm;
+}
+
+void main() {
+    int i;
+    int g;
+    int k;
+    int base;
+    int extra;
+    int e;
+    int answer;
+    int r;
+    int c;
+
+    moves_init();
+    count = read_int();
+    for (i = 0; i < count; i = i + 1) {
+        r = read_int();
+        c = read_int();
+        sq[i] = r * 8 + c;
+    }
+    for (i = 0; i < 64; i = i + 1) { bfs(i); }
+
+    answer = 1000000;
+    for (g = 0; g < 64; g = g + 1) {
+        base = 0;
+        for (i = 1; i < count; i = i + 1) { base = base + dist[sq[i]][g]; }
+        extra = king_steps(sq[0], g);
+        for (k = 1; k < count; k = k + 1) {
+            e = pickup_gain(k, g);
+            if (e < extra) { extra = e; }
+        }
+        if (base + extra < answer) { answer = base + extra; }
+    }
+    print_int(answer);
+}
+"#;
+
+/// C.team2, the real fault: only the *first* knight is ever considered as
+/// the king's carrier — the loop over candidate carriers is missing. An
+/// *algorithm* defect: the correction replaces the single `if` with a
+/// loop over all knights, restructuring the code.
+pub const C_TEAM2_FAULTY: &str = r#"
+// C.team2 - Camelot, iterative BFS, helper decomposition
+int dist[64][64];
+int queue[64];
+int qhead;
+int qtail;
+int sq[8];
+int count;
+int jump_r[8];
+int jump_c[8];
+
+void moves_init() {
+    jump_r[0] = 2;  jump_c[0] = 1;
+    jump_r[1] = 2;  jump_c[1] = -1;
+    jump_r[2] = -2; jump_c[2] = 1;
+    jump_r[3] = -2; jump_c[3] = -1;
+    jump_r[4] = 1;  jump_c[4] = 2;
+    jump_r[5] = 1;  jump_c[5] = -2;
+    jump_r[6] = -1; jump_c[6] = 2;
+    jump_r[7] = -1; jump_c[7] = -2;
+}
+
+void bfs(int start) {
+    int cur;
+    int k;
+    int rr;
+    int cc;
+    int nr;
+    int nc;
+    int j;
+    for (j = 0; j < 64; j = j + 1) { dist[start][j] = -1; }
+    qhead = 0;
+    qtail = 0;
+    queue[qtail] = start;
+    qtail = qtail + 1;
+    dist[start][start] = 0;
+    while (qhead < qtail) {
+        cur = queue[qhead];
+        qhead = qhead + 1;
+        rr = cur / 8;
+        cc = cur % 8;
+        for (k = 0; k < 8; k = k + 1) {
+            nr = rr + jump_r[k];
+            nc = cc + jump_c[k];
+            if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+                if (dist[start][nr * 8 + nc] == -1) {
+                    dist[start][nr * 8 + nc] = dist[start][cur] + 1;
+                    queue[qtail] = nr * 8 + nc;
+                    qtail = qtail + 1;
+                }
+            }
+        }
+    }
+}
+
+int king_steps(int from, int to) {
+    int r1;
+    int c1;
+    int r2;
+    int c2;
+    int steps;
+    r1 = from / 8;
+    c1 = from % 8;
+    r2 = to / 8;
+    c2 = to % 8;
+    steps = 0;
+    while (r1 != r2 || c1 != c2) {
+        if (r1 < r2) { r1 = r1 + 1; }
+        else if (r1 > r2) { r1 = r1 - 1; }
+        if (c1 < c2) { c1 = c1 + 1; }
+        else if (c1 > c2) { c1 = c1 - 1; }
+        steps = steps + 1;
+    }
+    return steps;
+}
+
+int pickup_gain(int knight, int g) {
+    int m;
+    int bestm;
+    int e;
+    bestm = 1000000;
+    for (m = 0; m < 64; m = m + 1) {
+        e = dist[sq[knight]][m] + king_steps(sq[0], m) + dist[m][g] - dist[sq[knight]][g];
+        if (e < bestm) { bestm = e; }
+    }
+    return bestm;
+}
+
+void main() {
+    int i;
+    int g;
+    int base;
+    int extra;
+    int e;
+    int answer;
+    int r;
+    int c;
+
+    moves_init();
+    count = read_int();
+    for (i = 0; i < count; i = i + 1) {
+        r = read_int();
+        c = read_int();
+        sq[i] = r * 8 + c;
+    }
+    for (i = 0; i < 64; i = i + 1) { bfs(i); }
+
+    answer = 1000000;
+    for (g = 0; g < 64; g = g + 1) {
+        base = 0;
+        for (i = 1; i < count; i = i + 1) { base = base + dist[sq[i]][g]; }
+        extra = king_steps(sq[0], g);
+        if (count > 1) {
+            e = pickup_gain(1, g);
+            if (e < extra) { extra = e; }
+        }
+        if (base + extra < answer) { answer = base + extra; }
+    }
+    print_int(answer);
+}
+"#;
+
+
+
+macro_rules! CAMELOT_TEAM3_PREFIX {
+    () => {
+        r#"
+// C.team3 - Camelot, distance computation by relaxation sweeps
+int wd[64][64];
+int spots[8];
+int total;
+int hop_r[8];
+int hop_c[8];
+
+void hops_init() {
+    hop_r[0] = 1;  hop_c[0] = 2;
+    hop_r[1] = 2;  hop_c[1] = 1;
+    hop_r[2] = -1; hop_c[2] = 2;
+    hop_r[3] = -2; hop_c[3] = 1;
+    hop_r[4] = 1;  hop_c[4] = -2;
+    hop_r[5] = 2;  hop_c[5] = -1;
+    hop_r[6] = -1; hop_c[6] = -2;
+    hop_r[7] = -2; hop_c[7] = -1;
+}
+
+int relax_pass(int s, int changed) {
+    int cur;
+    int k;
+    int rr;
+    int cc;
+    int nr;
+    int nc;
+    int cand;
+    for (cur = 0; cur < 64; cur = cur + 1) {
+        if (wd[s][cur] < 90) {
+            rr = cur / 8;
+            cc = cur % 8;
+            for (k = 0; k < 8; k = k + 1) {
+                nr = rr + hop_r[k];
+                nc = cc + hop_c[k];
+                if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+                    cand = wd[s][cur] + 1;
+                    if (cand < wd[s][nr * 8 + nc]) {
+                        wd[s][nr * 8 + nc] = cand;
+                        changed = 1;
+                    }
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+"#
+    };
+}
+
+macro_rules! CAMELOT_TEAM3_SUFFIX {
+    () => {
+        r#"
+int walk(int a, int b) {
+    int d1;
+    int d2;
+    d1 = a / 8 - b / 8;
+    if (d1 < 0) { d1 = -d1; }
+    d2 = a % 8 - b % 8;
+    if (d2 < 0) { d2 = -d2; }
+    if (d1 > d2) { return d1; }
+    return d2;
+}
+
+void main() {
+    int i;
+    int g;
+    int m;
+    int k;
+    int acc;
+    int carry;
+    int e;
+    int best;
+    int s;
+
+    hops_init();
+    total = read_int();
+    for (i = 0; i < total; i = i + 1) {
+        g = read_int();
+        m = read_int();
+        spots[i] = g * 8 + m;
+    }
+
+    for (s = 0; s < 64; s = s + 1) {
+        for (g = 0; g < 64; g = g + 1) { wd[s][g] = 99; }
+        wd[s][s] = 0;
+        relax_all(s);
+    }
+
+    best = 1000000;
+    for (g = 0; g < 64; g = g + 1) {
+        acc = 0;
+        for (i = 1; i < total; i = i + 1) { acc = acc + wd[spots[i]][g]; }
+        carry = walk(spots[0], g);
+        for (k = 1; k < total; k = k + 1) {
+            for (m = 0; m < 64; m = m + 1) {
+                e = wd[spots[k]][m] + walk(spots[0], m) + wd[m][g] - wd[spots[k]][g];
+                if (e < carry) { carry = e; }
+            }
+        }
+        if (acc + carry < best) { best = acc + carry; }
+    }
+    print_int(best);
+}
+"#
+    };
+}
+
+/// C.team3, corrected: knight distances by relaxation sweeps repeated
+/// *until stable*.
+pub const C_TEAM3_CORRECT: &str = concat!(
+    CAMELOT_TEAM3_PREFIX!(),
+    r#"void relax_all(int s) {
+    int changed;
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        changed = relax_pass(s, changed);
+    }
+}
+"#,
+    CAMELOT_TEAM3_SUFFIX!()
+);
+
+/// C.team3, the real fault: the relaxation runs a *fixed number of
+/// sweeps* instead of iterating until stable — an *algorithm* defect
+/// (`for` over a constant vs `while (changed)`), wrong only for the rare
+/// inputs whose shortest knight paths need more propagation than the
+/// fixed sweeps provide.
+pub const C_TEAM3_FAULTY: &str = concat!(
+    CAMELOT_TEAM3_PREFIX!(),
+    r#"void relax_all(int s) {
+    int pass;
+    for (pass = 0; pass < 3; pass = pass + 1) {
+        relax_pass(s, 0);
+    }
+}
+"#,
+    CAMELOT_TEAM3_SUFFIX!()
+);
+
+
+
+macro_rules! CAMELOT_TEAM4_PREFIX {
+    () => {
+        r#"
+// C.team4 - Camelot, frontier-swap BFS
+int steps[64][64];
+int pos[8];
+int np;
+int leap_r[8];
+int leap_c[8];
+
+void leaps() {
+    leap_r[0] = 1;  leap_c[0] = 2;
+    leap_r[1] = 1;  leap_c[1] = -2;
+    leap_r[2] = -1; leap_c[2] = 2;
+    leap_r[3] = -1; leap_c[3] = -2;
+    leap_r[4] = 2;  leap_c[4] = 1;
+    leap_r[5] = 2;  leap_c[5] = -1;
+    leap_r[6] = -2; leap_c[6] = 1;
+    leap_r[7] = -2; leap_c[7] = -1;
+}
+
+void wave(int origin) {
+    int frontier[64];
+    int incoming[64];
+    int fcount;
+    int icount;
+    int level;
+    int f;
+    int k;
+    int rr;
+    int cc;
+    int nr;
+    int nc;
+    int t;
+
+    for (f = 0; f < 64; f = f + 1) { steps[origin][f] = -1; }
+    steps[origin][origin] = 0;
+    frontier[0] = origin;
+    fcount = 1;
+    level = 0;
+    while (fcount > 0) {
+        icount = 0;
+        level = level + 1;
+        for (f = 0; f < fcount; f = f + 1) {
+            rr = frontier[f] / 8;
+            cc = frontier[f] % 8;
+            for (k = 0; k < 8; k = k + 1) {
+                nr = rr + leap_r[k];
+                nc = cc + leap_c[k];
+                if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+                    t = nr * 8 + nc;
+                    if (steps[origin][t] < 0) {
+                        steps[origin][t] = level;
+                        incoming[icount] = t;
+                        icount = icount + 1;
+                    }
+                }
+            }
+        }
+        for (f = 0; f < icount; f = f + 1) { frontier[f] = incoming[f]; }
+        fcount = icount;
+    }
+}
+
+int royal(int a, int b) {
+    int u;
+    int v;
+    u = a / 8 - b / 8;
+    if (u < 0) { u = 0 - u; }
+    v = a % 8 - b % 8;
+    if (v < 0) { v = 0 - v; }
+    if (u < v) { u = v; }
+    return u;
+}
+
+void main() {
+    int i;
+    int g;
+    int m;
+    int k;
+    int sum;
+    int ride;
+    int trial;
+    int best;
+
+    leaps();
+    np = read_int();
+    for (i = 0; i < np; i = i + 1) {
+        g = read_int();
+        m = read_int();
+        pos[i] = g * 8 + m;
+    }
+    for (i = 0; i < 64; i = i + 1) { wave(i); }
+
+    best = 1000000;
+    for (g = 0; g < 64; g = g + 1) {
+        sum = 0;
+        for (i = 1; i < np; i = i + 1) { sum = sum + steps[pos[i]][g]; }
+        ride = royal(pos[0], g);
+"#
+    };
+}
+
+macro_rules! CAMELOT_TEAM4_SUFFIX {
+    () => {
+        r#"            for (m = 0; m < 64; m = m + 1) {
+                trial = steps[pos[k]][m] + royal(pos[0], m) + steps[m][g] - steps[pos[k]][g];
+                if (trial < ride) { ride = trial; }
+            }
+        }
+        if (sum + ride < best) { best = sum + ride; }
+    }
+    print_int(best);
+}
+"#
+    };
+}
+
+/// C.team4, corrected: frontier-swap BFS and an explicit carrier loop
+/// starting at the first knight.
+pub const C_TEAM4_CORRECT: &str = concat!(
+    CAMELOT_TEAM4_PREFIX!(),
+    "        for (k = 1; k < np; k = k + 1) {\n",
+    CAMELOT_TEAM4_SUFFIX!()
+);
+
+/// C.team4, the real fault (paper Figure 3 shape): the carrier loop's
+/// initial assignment is off by one (`k = 2` where `k = 1` is required),
+/// so the first knight is never considered as the king's carrier — an
+/// *assignment* defect (a single `addi` immediate at machine level).
+pub const C_TEAM4_FAULTY: &str = concat!(
+    CAMELOT_TEAM4_PREFIX!(),
+    "        for (k = 2; k < np; k = k + 1) {\n",
+    CAMELOT_TEAM4_SUFFIX!()
+);
+
+
+
+macro_rules! CAMELOT_TEAM5_BODY {
+    () => {
+        r#"
+int reach[64][64];
+int ring[64];
+int where[8];
+int members;
+int kn_r[8];
+int kn_c[8];
+
+int walkway(int a, int b) {
+    int p;
+    int q;
+    p = a / 8 - b / 8;
+    if (p < 0) { p = -p; }
+    q = a % 8 - b % 8;
+    if (q < 0) { q = -q; }
+    if (p > q) { return p; }
+    return q;
+}
+
+void kn_init() {
+    kn_r[0] = 1;  kn_c[0] = 2;
+    kn_r[1] = 1;  kn_c[1] = -2;
+    kn_r[2] = -1; kn_c[2] = 2;
+    kn_r[3] = -1; kn_c[3] = -2;
+    kn_r[4] = 2;  kn_c[4] = 1;
+    kn_r[5] = 2;  kn_c[5] = -1;
+    kn_r[6] = -2; kn_c[6] = 1;
+    kn_r[7] = -2; kn_c[7] = -1;
+}
+
+void span(int from) {
+    int head;
+    int tail;
+    int cur;
+    int k;
+    int rr;
+    int cc;
+    int nr;
+    int nc;
+    int j;
+    for (j = 0; j < 64; j = j + 1) { reach[from][j] = -1; }
+    reach[from][from] = 0;
+    ring[0] = from;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        cur = ring[head];
+        head = head + 1;
+        rr = cur / 8;
+        cc = cur % 8;
+        for (k = 0; k < 8; k = k + 1) {
+            nr = rr + kn_r[k];
+            nc = cc + kn_c[k];
+            if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+                if (reach[from][nr * 8 + nc] < 0) {
+                    reach[from][nr * 8 + nc] = reach[from][cur] + 1;
+                    ring[tail] = nr * 8 + nc;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int meetway(int a, int b) {
+    return dist(a / 8, a % 8, b / 8, b % 8);
+}
+
+void main() {
+    int i;
+    int g;
+    int m;
+    int k;
+    int load;
+    int aid;
+    int e;
+    int best;
+
+    kn_init();
+    members = read_int();
+    for (i = 0; i < members; i = i + 1) {
+        g = read_int();
+        m = read_int();
+        where[i] = g * 8 + m;
+    }
+    for (i = 0; i < 64; i = i + 1) { span(i); }
+
+    best = 1000000;
+    for (g = 0; g < 64; g = g + 1) {
+        load = 0;
+        for (i = 1; i < members; i = i + 1) { load = load + reach[where[i]][g]; }
+        aid = walkway(where[0], g);
+        for (k = 1; k < members; k = k + 1) {
+            for (m = 0; m < 64; m = m + 1) {
+                e = reach[where[k]][m] + meetway(where[0], m) + reach[m][g] - reach[where[k]][g];
+                if (e < aid) { aid = e; }
+            }
+        }
+        if (load + aid < best) { best = load + aid; }
+    }
+    print_int(best);
+}
+"#
+    };
+}
+
+/// C.team5, corrected: clean iterative implementation whose king-distance
+/// helper takes the maximum of the two axis distances (paper Figure 6's
+/// corrected `max` form).
+pub const C_TEAM5_CORRECT: &str = concat!(
+    r#"
+// C.team5 - Camelot, iterative, distance helper per Figure 6
+int maxv(int a, int b) {
+    if (a > b) { return a; }
+    return b;
+}
+
+int dist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    return maxv((dx > 0) ? dx : -dx, (dy > 0) ? dy : -dy);
+}
+"#,
+    CAMELOT_TEAM5_BODY!()
+);
+
+/// C.team5, the real fault (paper Figure 6, verbatim shape): the `dist`
+/// helper used to evaluate meeting squares returns the *sum* of the two
+/// axis distances instead of the larger one — an *algorithm* defect; the
+/// correction introduces the `maxv` call and changes the generated code's
+/// size. It surfaces only when the best plan needs the king to walk to a
+/// meeting square away from its own position.
+pub const C_TEAM5_FAULTY: &str = concat!(
+    r#"
+// C.team5 - Camelot, iterative, distance helper per Figure 6
+int dist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    return ((dx > 0) ? dx : -dx) + ((dy > 0) ? dy : -dy);
+}
+"#,
+    CAMELOT_TEAM5_BODY!()
+);
+
+/// C.team8: while-loop style with precomputed per-square base sums (no
+/// real fault; §6 target).
+pub const C_TEAM8: &str = r#"
+// C.team8 - Camelot, while-loop style, precomputed base sums
+int hops[64][64];
+int basecost[64];
+int fifo[64];
+int seat[8];
+int crowd;
+int vr[8];
+int vc[8];
+
+void vinit() {
+    vr[0] = 2;  vc[0] = 1;
+    vr[1] = 2;  vc[1] = -1;
+    vr[2] = -2; vc[2] = 1;
+    vr[3] = -2; vc[3] = -1;
+    vr[4] = 1;  vc[4] = 2;
+    vr[5] = 1;  vc[5] = -2;
+    vr[6] = -1; vc[6] = 2;
+    vr[7] = -1; vc[7] = -2;
+}
+
+void flood(int root) {
+    int take;
+    int put;
+    int node;
+    int k;
+    int a;
+    int b;
+    int na;
+    int nb;
+    int j;
+    j = 0;
+    while (j < 64) {
+        hops[root][j] = -1;
+        j = j + 1;
+    }
+    hops[root][root] = 0;
+    fifo[0] = root;
+    take = 0;
+    put = 1;
+    while (take < put) {
+        node = fifo[take];
+        take = take + 1;
+        a = node / 8;
+        b = node % 8;
+        k = 0;
+        while (k < 8) {
+            na = a + vr[k];
+            nb = b + vc[k];
+            if (na >= 0 && na < 8 && nb >= 0 && nb < 8) {
+                if (hops[root][na * 8 + nb] < 0) {
+                    hops[root][na * 8 + nb] = hops[root][node] + 1;
+                    fifo[put] = na * 8 + nb;
+                    put = put + 1;
+                }
+            }
+            k = k + 1;
+        }
+    }
+}
+
+int crown(int s, int t) {
+    int p;
+    int q;
+    p = s / 8 - t / 8;
+    if (p < 0) { p = -p; }
+    q = s % 8 - t % 8;
+    if (q < 0) { q = -q; }
+    if (p > q) { return p; }
+    return q;
+}
+
+void main() {
+    int i;
+    int g;
+    int m;
+    int k;
+    int lift;
+    int e;
+    int result;
+
+    vinit();
+    crowd = read_int();
+    i = 0;
+    while (i < crowd) {
+        g = read_int();
+        m = read_int();
+        seat[i] = g * 8 + m;
+        i = i + 1;
+    }
+
+    i = 0;
+    while (i < 64) {
+        flood(i);
+        i = i + 1;
+    }
+
+    g = 0;
+    while (g < 64) {
+        basecost[g] = 0;
+        i = 1;
+        while (i < crowd) {
+            basecost[g] = basecost[g] + hops[seat[i]][g];
+            i = i + 1;
+        }
+        g = g + 1;
+    }
+
+    result = 1000000;
+    g = 0;
+    while (g < 64) {
+        lift = crown(seat[0], g);
+        k = 1;
+        while (k < crowd) {
+            m = 0;
+            while (m < 64) {
+                e = hops[seat[k]][m] + crown(seat[0], m) + hops[m][g] - hops[seat[k]][g];
+                if (e < lift) { lift = e; }
+                m = m + 1;
+            }
+            k = k + 1;
+        }
+        if (basecost[g] + lift < result) { result = basecost[g] + lift; }
+        g = g + 1;
+    }
+    print_int(result);
+}
+"#;
+
+/// C.team9: heap-allocated data structures throughout — linked-list BFS
+/// queue, per-source distance rows behind a pointer table (no real fault;
+/// the paper's crash-prone dynamic-structure §6 target).
+pub const C_TEAM9: &str = r#"
+// C.team9 - Camelot, dynamic structures: linked-list queue, heap tables
+struct cell {
+    int square;
+    struct cell *next;
+};
+
+struct cell *qfront;
+struct cell *qback;
+int *table[64];
+int station[8];
+int heads;
+int gr[8];
+int gc[8];
+
+void gen_moves() {
+    gr[0] = 1;  gc[0] = 2;
+    gr[1] = 1;  gc[1] = -2;
+    gr[2] = -1; gc[2] = 2;
+    gr[3] = -1; gc[3] = -2;
+    gr[4] = 2;  gc[4] = 1;
+    gr[5] = 2;  gc[5] = -1;
+    gr[6] = -2; gc[6] = 1;
+    gr[7] = -2; gc[7] = -1;
+}
+
+void push_back(int s) {
+    struct cell *node;
+    node = malloc(8);
+    node->square = s;
+    node->next = 0;
+    if (qback == 0) {
+        qfront = node;
+        qback = node;
+    } else {
+        qback->next = node;
+        qback = node;
+    }
+}
+
+int pop_front() {
+    struct cell *node;
+    int s;
+    node = qfront;
+    s = node->square;
+    qfront = node->next;
+    if (qfront == 0) { qback = 0; }
+    free(node);
+    return s;
+}
+
+void explore_from(int origin) {
+    int *row;
+    int cur;
+    int k;
+    int rr;
+    int cc;
+    int nr;
+    int nc;
+    int j;
+    row = table[origin];
+    for (j = 0; j < 64; j = j + 1) { row[j] = -1; }
+    row[origin] = 0;
+    qfront = 0;
+    qback = 0;
+    push_back(origin);
+    while (qfront != 0) {
+        cur = pop_front();
+        rr = cur / 8;
+        cc = cur % 8;
+        for (k = 0; k < 8; k = k + 1) {
+            nr = rr + gr[k];
+            nc = cc + gc[k];
+            if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+                if (row[nr * 8 + nc] < 0) {
+                    row[nr * 8 + nc] = row[cur] + 1;
+                    push_back(nr * 8 + nc);
+                }
+            }
+        }
+    }
+}
+
+int regal(int a, int b) {
+    int h;
+    int w;
+    h = a / 8 - b / 8;
+    if (h < 0) { h = -h; }
+    w = a % 8 - b % 8;
+    if (w < 0) { w = -w; }
+    if (h > w) { return h; }
+    return w;
+}
+
+void main() {
+    int i;
+    int g;
+    int m;
+    int k;
+    int body;
+    int help;
+    int e;
+    int champion;
+    int *krow;
+    int *mrow;
+
+    gen_moves();
+    heads = read_int();
+    for (i = 0; i < heads; i = i + 1) {
+        g = read_int();
+        m = read_int();
+        station[i] = g * 8 + m;
+    }
+
+    for (i = 0; i < 64; i = i + 1) {
+        table[i] = malloc(256);
+        explore_from(i);
+    }
+
+    champion = 1000000;
+    for (g = 0; g < 64; g = g + 1) {
+        body = 0;
+        for (i = 1; i < heads; i = i + 1) {
+            krow = table[station[i]];
+            body = body + krow[g];
+        }
+        help = regal(station[0], g);
+        for (k = 1; k < heads; k = k + 1) {
+            krow = table[station[k]];
+            for (m = 0; m < 64; m = m + 1) {
+                mrow = table[m];
+                e = krow[m] + regal(station[0], m) + mrow[g] - krow[g];
+                if (e < help) { help = e; }
+            }
+        }
+        if (body + help < champion) { champion = body + help; }
+    }
+
+    for (i = 0; i < 64; i = i + 1) { free(table[i]); }
+    print_int(champion);
+}
+"#;
+
+/// C.team10: a second recursive design — recursion over both the move
+/// list and the gather-square search (no real fault; §6 target).
+pub const C_TEAM10: &str = r#"
+// C.team10 - Camelot, doubly-recursive design
+int span[64][64];
+int post[8];
+int band;
+int mr[8];
+int mc[8];
+
+void mtab() {
+    mr[0] = 1;  mc[0] = 2;
+    mr[1] = 1;  mc[1] = -2;
+    mr[2] = -1; mc[2] = 2;
+    mr[3] = -1; mc[3] = -2;
+    mr[4] = 2;  mc[4] = 1;
+    mr[5] = 2;  mc[5] = -1;
+    mr[6] = -2; mc[6] = 1;
+    mr[7] = -2; mc[7] = -1;
+}
+
+void spread(int s, int r, int c, int d) {
+    if (d >= span[s][r * 8 + c]) {
+        return;
+    }
+    span[s][r * 8 + c] = d;
+    visit(s, r, c, d, 0);
+}
+
+void visit(int s, int r, int c, int d, int k) {
+    int nr;
+    int nc;
+    if (k == 8) {
+        return;
+    }
+    nr = r + mr[k];
+    nc = c + mc[k];
+    if (nr >= 0 && nr < 8 && nc >= 0 && nc < 8) {
+        spread(s, nr, nc, d + 1);
+    }
+    visit(s, r, c, d, k + 1);
+}
+
+int throne(int a, int b) {
+    int y;
+    int x;
+    y = a / 8 - b / 8;
+    if (y < 0) { y = -y; }
+    x = a % 8 - b % 8;
+    if (x < 0) { x = -x; }
+    if (y > x) { return y; }
+    return x;
+}
+
+int score(int g) {
+    int i;
+    int k;
+    int m;
+    int tally;
+    int boost;
+    int e;
+    tally = 0;
+    for (i = 1; i < band; i = i + 1) { tally = tally + span[post[i]][g]; }
+    boost = throne(post[0], g);
+    for (k = 1; k < band; k = k + 1) {
+        for (m = 0; m < 64; m = m + 1) {
+            e = span[post[k]][m] + throne(post[0], m) + span[m][g] - span[post[k]][g];
+            if (e < boost) { boost = e; }
+        }
+    }
+    return tally + boost;
+}
+
+int hunt(int g) {
+    int here;
+    int there;
+    if (g == 64) {
+        return 1000000;
+    }
+    here = score(g);
+    there = hunt(g + 1);
+    if (here < there) { return here; }
+    return there;
+}
+
+void main() {
+    int i;
+    int r;
+    int c;
+    int s;
+    int g;
+
+    mtab();
+    band = read_int();
+    for (i = 0; i < band; i = i + 1) {
+        r = read_int();
+        c = read_int();
+        post[i] = r * 8 + c;
+    }
+    for (s = 0; s < 64; s = s + 1) {
+        for (g = 0; g < 64; g = g + 1) { span[s][g] = 7; }
+        spread(s, s / 8, s % 8, 0);
+    }
+    print_int(hunt(0));
+}
+"#;

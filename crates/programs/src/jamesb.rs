@@ -1,0 +1,291 @@
+//! The JamesB program family: three independently designed MiniC
+//! implementations of the string-coding specification (paper §4.2: "about
+//! 100 code lines" each).
+//!
+//! Specification (all teams must match [`crate::oracle::jamesb_output`]):
+//! read a seed and a line (≤ 80 chars); print the coded line, a newline,
+//! and a position-weighted checksum of the input mod 9973. Printable
+//! characters are rotated within the 95-char printable window by
+//! `seed % 95` plus the character position; other bytes pass through.
+
+/// JB.team6, corrected version: index-based, arrays sized 81 so an
+/// 80-character line plus terminator fits.
+pub const JB_TEAM6_CORRECT: &str = r#"
+// JB.team6 - string coder, index-based implementation
+void main() {
+    char phrase[81];
+    char phrase2[81];
+    int check;
+    int len;
+    int seed;
+    int s;
+    int i;
+    int c;
+    int x;
+
+    seed = read_int();
+    len = 0;
+    c = read_byte();
+    while (c != '\n' && c != -1 && len < 80) {
+        phrase[len] = c;
+        len = len + 1;
+        c = read_byte();
+    }
+    phrase[len] = 0;
+
+    check = 0;
+    for (i = 0; i < len; i = i + 1) {
+        check = check + phrase[i] * (i + 1);
+    }
+    check = check % 9973;
+
+    s = seed % 95;
+    for (i = 0; i < len; i = i + 1) {
+        x = phrase[i];
+        if (x < 32 || x > 126) {
+            phrase2[i] = x;
+        } else {
+            phrase2[i] = 32 + (x - 32 + s + i) % 95;
+        }
+    }
+    phrase2[len] = 0;
+
+    print_str(phrase2);
+    print_char('\n');
+    print_int(check);
+}
+"#;
+
+/// JB.team6, the real fault: both buffers declared one byte short
+/// (`[80]`, should be `[81]`). When the input line is exactly 80
+/// characters long, `phrase2[len] = 0` lands one byte past the buffer —
+/// in the corrected build that byte is padding, in the faulty build it is
+/// the low byte of `check`, which is then printed corrupted.
+///
+/// This is the paper's Figure 4 fault: an *assignment* defect whose
+/// machine-level footprint is a shift of every later stack displacement,
+/// needing far more fault triggers than the two hardware breakpoint
+/// registers provide.
+pub const JB_TEAM6_FAULTY: &str = r#"
+// JB.team6 - string coder, index-based implementation
+void main() {
+    char phrase[80];
+    char phrase2[80];
+    int check;
+    int len;
+    int seed;
+    int s;
+    int i;
+    int c;
+    int x;
+
+    seed = read_int();
+    len = 0;
+    c = read_byte();
+    while (c != '\n' && c != -1 && len < 80) {
+        phrase[len] = c;
+        len = len + 1;
+        c = read_byte();
+    }
+    phrase[len] = 0;
+
+    check = 0;
+    for (i = 0; i < len; i = i + 1) {
+        check = check + phrase[i] * (i + 1);
+    }
+    check = check % 9973;
+
+    s = seed % 95;
+    for (i = 0; i < len; i = i + 1) {
+        x = phrase[i];
+        if (x < 32 || x > 126) {
+            phrase2[i] = x;
+        } else {
+            phrase2[i] = 32 + (x - 32 + s + i) % 95;
+        }
+    }
+    phrase2[len] = 0;
+
+    print_str(phrase2);
+    print_char('\n');
+    print_int(check);
+}
+"#;
+
+/// JB.team7, corrected version: helper-function design with add-then-wrap
+/// coding and a running checksum reduced at the end.
+pub const JB_TEAM7_CORRECT: &str = r#"
+// JB.team7 - string coder, helper-function implementation
+int wrap_code(int x, int k) {
+    int y;
+    if (x < 32) { return x; }
+    if (x > 126) { return x; }
+    y = x + k;
+    while (y > 126) {
+        y = y - 95;
+    }
+    return y;
+}
+
+void main() {
+    char line[81];
+    char coded[81];
+    int total;
+    int n;
+    int key;
+    int pos;
+    int ch;
+
+    key = read_int();
+    key = key % 95;
+
+    n = 0;
+    ch = read_byte();
+    while (ch != '\n' && ch != -1 && n < 80) {
+        line[n] = ch;
+        n = n + 1;
+        ch = read_byte();
+    }
+
+    total = 0;
+    for (pos = 0; pos < n; pos = pos + 1) {
+        total = total + line[pos] * (pos + 1);
+    }
+    total = total % 9973;
+
+    for (pos = 0; pos < n; pos = pos + 1) {
+        coded[pos] = wrap_code(line[pos], (key + pos) % 95);
+    }
+    coded[n] = 0;
+
+    print_str(coded);
+    print_char('\n');
+    print_int(total);
+}
+"#;
+
+/// JB.team7, the real fault: the final `total = total % 9973;` statement
+/// is missing — an *algorithm* defect (the correction adds code, changing
+/// the instruction count, which no SWIFI tool can emulate). The output is
+/// wrong only when the raw weighted sum reaches 9973, i.e. on the rarer
+/// longer lines.
+pub const JB_TEAM7_FAULTY: &str = r#"
+// JB.team7 - string coder, helper-function implementation
+int wrap_code(int x, int k) {
+    int y;
+    if (x < 32) { return x; }
+    if (x > 126) { return x; }
+    y = x + k;
+    while (y > 126) {
+        y = y - 95;
+    }
+    return y;
+}
+
+void main() {
+    char line[81];
+    char coded[81];
+    int total;
+    int n;
+    int key;
+    int pos;
+    int ch;
+
+    key = read_int();
+    key = key % 95;
+
+    n = 0;
+    ch = read_byte();
+    while (ch != '\n' && ch != -1 && n < 80) {
+        line[n] = ch;
+        n = n + 1;
+        ch = read_byte();
+    }
+
+    total = 0;
+    for (pos = 0; pos < n; pos = pos + 1) {
+        total = total + line[pos] * (pos + 1);
+    }
+
+    for (pos = 0; pos < n; pos = pos + 1) {
+        coded[pos] = wrap_code(line[pos], (key + pos) % 95);
+    }
+    coded[n] = 0;
+
+    print_str(coded);
+    print_char('\n');
+    print_int(total);
+}
+"#;
+
+/// JB.team11: a third design (no real fault; §6 target). Pointer-walk
+/// style: reads and encodes through explicit pointers into heap buffers.
+pub const JB_TEAM11: &str = r#"
+// JB.team11 - string coder, pointer-walk implementation over heap buffers
+int is_printable(int v) {
+    if (v >= 32 && v <= 126) { return 1; }
+    return 0;
+}
+
+void main() {
+    char *src;
+    char *dst;
+    char *p;
+    char *q;
+    int count;
+    int shift;
+    int idx;
+    int v;
+    int sum;
+
+    src = malloc(81);
+    dst = malloc(81);
+
+    shift = read_int();
+    shift = shift % 95;
+
+    count = 0;
+    p = src;
+    v = read_byte();
+    while (v != '\n' && v != -1 && count < 80) {
+        *p = v;
+        p = p + 1;
+        count = count + 1;
+        v = read_byte();
+    }
+    *p = 0;
+
+    sum = 0;
+    idx = 0;
+    p = src;
+    while (idx < count) {
+        sum = sum + *p * (idx + 1);
+        p = p + 1;
+        idx = idx + 1;
+    }
+    sum = sum % 9973;
+
+    p = src;
+    q = dst;
+    idx = 0;
+    while (idx < count) {
+        v = *p;
+        if (is_printable(v)) {
+            *q = 32 + (v - 32 + shift + idx) % 95;
+        } else {
+            *q = v;
+        }
+        p = p + 1;
+        q = q + 1;
+        idx = idx + 1;
+    }
+    *q = 0;
+
+    print_str(dst);
+    print_char('\n');
+    print_int(sum);
+
+    free(src);
+    free(dst);
+}
+"#;

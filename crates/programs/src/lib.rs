@@ -1,0 +1,579 @@
+//! # swifi-programs — the reproduction's target programs
+//!
+//! The paper (§4.2, Table 2) drew its targets from two sources: many
+//! independently written contest solutions of two IOI-style problems
+//! (*Camelot* and *JamesB*) and one "real life" parallel program (*SOR*).
+//! Since the original 1998 contest submissions are unobtainable, this
+//! crate re-creates the setting: independently *designed* MiniC
+//! implementations of the same specifications, spanning the same diversity
+//! axes the paper calls out (recursive vs. iterative, dynamic structures,
+//! code size, parallelism), with the §5 real faults planted as one-token
+//! or one-statement source changes.
+//!
+//! Every program reads from the VM input tape and prints a deterministic
+//! result; [`input::TestInput`] generates random inputs per family and
+//! knows the correct output via the independent Rust oracles in
+//! [`oracle`].
+
+#![warn(missing_docs)]
+
+pub mod camelot;
+pub mod input;
+pub mod jamesb;
+pub mod oracle;
+pub mod sor;
+
+use swifi_odc::DefectType;
+
+pub use input::{Family, TestInput};
+
+/// Description of one planted real software fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealFault {
+    /// ODC classification of the defect.
+    pub defect_type: DefectType,
+    /// What the fault is, in the paper's terms.
+    pub description: &'static str,
+}
+
+/// One target program of the study.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetProgram {
+    /// Paper-style name (`C.team1`, `JB.team6`, `SOR`).
+    pub name: &'static str,
+    /// Program family (shared input generator / oracle).
+    pub family: Family,
+    /// Table 2 feature description.
+    pub features: &'static str,
+    /// Corrected MiniC source.
+    pub source_correct: &'static str,
+    /// Source with the planted real fault, if this program has one.
+    pub source_faulty: Option<&'static str>,
+    /// The real fault's classification.
+    pub real_fault: Option<RealFault>,
+    /// Whether the program is a §6 class-campaign target (Table 2).
+    pub section6_target: bool,
+}
+
+/// The complete program roster.
+///
+/// §5 (real-fault emulation) uses the seven programs with
+/// `source_faulty`; §6 (class campaigns) uses the eight
+/// `section6_target` programs — the paper's Table 2 row set.
+pub fn all_programs() -> Vec<TargetProgram> {
+    vec![
+        TargetProgram {
+            name: "C.team1",
+            family: Family::Camelot,
+            features: "Recursive algorithm, 1 real fault (corrected)",
+            source_correct: camelot::C_TEAM1_CORRECT,
+            source_faulty: Some(camelot::C_TEAM1_FAULTY),
+            real_fault: Some(RealFault {
+                defect_type: DefectType::Checking,
+                description: "gather loop bound skips the last board rows (Fig. 5 shape)",
+            }),
+            section6_target: true,
+        },
+        TargetProgram {
+            name: "C.team2",
+            family: Family::Camelot,
+            features: "Non-recursive algorithm, helper decomposition",
+            source_correct: camelot::C_TEAM2_CORRECT,
+            source_faulty: Some(camelot::C_TEAM2_FAULTY),
+            real_fault: Some(RealFault {
+                defect_type: DefectType::Algorithm,
+                description: "carrier loop missing: only the first knight is ever a carrier",
+            }),
+            section6_target: true,
+        },
+        TargetProgram {
+            name: "C.team3",
+            family: Family::Camelot,
+            features: "Non-recursive, relaxation sweeps",
+            source_correct: camelot::C_TEAM3_CORRECT,
+            source_faulty: Some(camelot::C_TEAM3_FAULTY),
+            real_fault: Some(RealFault {
+                defect_type: DefectType::Algorithm,
+                description: "fixed sweep count instead of iterate-until-stable",
+            }),
+            section6_target: false,
+        },
+        TargetProgram {
+            name: "C.team4",
+            family: Family::Camelot,
+            features: "Non-recursive, frontier-swap BFS",
+            source_correct: camelot::C_TEAM4_CORRECT,
+            source_faulty: Some(camelot::C_TEAM4_FAULTY),
+            real_fault: Some(RealFault {
+                defect_type: DefectType::Assignment,
+                description: "carrier loop init off by one (`k = 2` for `k = 1`; Fig. 3 shape)",
+            }),
+            section6_target: false,
+        },
+        TargetProgram {
+            name: "C.team5",
+            family: Family::Camelot,
+            features: "Non-recursive, Figure-6 distance helper",
+            source_correct: camelot::C_TEAM5_CORRECT,
+            source_faulty: Some(camelot::C_TEAM5_FAULTY),
+            real_fault: Some(RealFault {
+                defect_type: DefectType::Algorithm,
+                description: "meeting-square king distance is sum of axes instead of max (Fig. 6)",
+            }),
+            section6_target: false,
+        },
+        TargetProgram {
+            name: "C.team8",
+            family: Family::Camelot,
+            features: "Non-recursive algorithm, while-loop style",
+            source_correct: camelot::C_TEAM8,
+            source_faulty: None,
+            real_fault: None,
+            section6_target: true,
+        },
+        TargetProgram {
+            name: "C.team9",
+            family: Family::Camelot,
+            features: "Non-recursive, many dynamic structures (heap lists/tables)",
+            source_correct: camelot::C_TEAM9,
+            source_faulty: None,
+            real_fault: None,
+            section6_target: true,
+        },
+        TargetProgram {
+            name: "C.team10",
+            family: Family::Camelot,
+            features: "Recursive algorithm (distances and search)",
+            source_correct: camelot::C_TEAM10,
+            source_faulty: None,
+            real_fault: None,
+            section6_target: true,
+        },
+        TargetProgram {
+            name: "JB.team6",
+            family: Family::JamesB,
+            features: "Non-recursive, 1 real fault (corrected), about 100 lines",
+            source_correct: jamesb::JB_TEAM6_CORRECT,
+            source_faulty: Some(jamesb::JB_TEAM6_FAULTY),
+            real_fault: Some(RealFault {
+                defect_type: DefectType::Assignment,
+                description: "buffers one byte short ([80] for [81]); stack shift (Fig. 4)",
+            }),
+            section6_target: true,
+        },
+        TargetProgram {
+            name: "JB.team7",
+            family: Family::JamesB,
+            features: "Non-recursive, helper functions, about 100 lines",
+            source_correct: jamesb::JB_TEAM7_CORRECT,
+            source_faulty: Some(jamesb::JB_TEAM7_FAULTY),
+            real_fault: Some(RealFault {
+                defect_type: DefectType::Algorithm,
+                description: "final checksum modulo statement missing",
+            }),
+            section6_target: false,
+        },
+        TargetProgram {
+            name: "JB.team11",
+            family: Family::JamesB,
+            features: "Non-recursive (different design from JB.team6), pointer walk",
+            source_correct: jamesb::JB_TEAM11,
+            source_faulty: None,
+            real_fault: None,
+            section6_target: true,
+        },
+        TargetProgram {
+            name: "SOR",
+            family: Family::Sor,
+            features: "Parallel program, real-life style, largest size",
+            source_correct: sor::SOR,
+            source_faulty: None,
+            real_fault: None,
+            section6_target: true,
+        },
+    ]
+}
+
+/// Look a program up by its paper name.
+pub fn program(name: &str) -> Option<TargetProgram> {
+    all_programs().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swifi_lang::compile;
+    use swifi_vm::machine::{Machine, MachineConfig, RunOutcome};
+    use swifi_vm::Noop;
+
+    fn run_program(src: &str, family: Family, input: &TestInput) -> RunOutcome {
+        let p = compile(src).unwrap_or_else(|e| panic!("compile error: {e}"));
+        let mut m = Machine::new(MachineConfig {
+            num_cores: family.cores(),
+            budget: family.run_budget(),
+            ..MachineConfig::default()
+        });
+        m.load(&p.image);
+        m.set_input(input.to_tape());
+        m.run(&mut Noop)
+    }
+
+    #[test]
+    fn roster_shape_matches_paper() {
+        let all = all_programs();
+        assert_eq!(all.len(), 12);
+        // Seven §5 real faults.
+        assert_eq!(all.iter().filter(|p| p.source_faulty.is_some()).count(), 7);
+        // Eight §6 Table-2 targets.
+        assert_eq!(all.iter().filter(|p| p.section6_target).count(), 8);
+        // Fault classes: 2 assignment, 1 checking, 4 algorithm.
+        let count = |t: DefectType| {
+            all.iter()
+                .filter(|p| p.real_fault.is_some_and(|f| f.defect_type == t))
+                .count()
+        };
+        assert_eq!(count(DefectType::Assignment), 2);
+        assert_eq!(count(DefectType::Checking), 1);
+        assert_eq!(count(DefectType::Algorithm), 4);
+    }
+
+    #[test]
+    fn every_source_compiles() {
+        for p in all_programs() {
+            compile(p.source_correct)
+                .unwrap_or_else(|e| panic!("{} corrected does not compile: {e}", p.name));
+            if let Some(f) = p.source_faulty {
+                compile(f).unwrap_or_else(|e| panic!("{} faulty does not compile: {e}", p.name));
+            }
+        }
+    }
+
+    /// Every corrected program must agree with the oracle on a batch of
+    /// random inputs — the core validity requirement of the whole study.
+    #[test]
+    fn corrected_programs_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(777);
+        for p in all_programs() {
+            let runs = match p.family {
+                Family::Camelot => 12,
+                Family::JamesB => 40,
+                Family::Sor => 8,
+            };
+            for i in 0..runs {
+                let input = p.family.gen_input(&mut rng);
+                let out = run_program(p.source_correct, p.family, &input);
+                match &out {
+                    RunOutcome::Completed { exit_code: 0, output } => {
+                        assert_eq!(
+                            output,
+                            &input.expected_output(),
+                            "{} run {i} disagrees with oracle on {input:?}",
+                            p.name
+                        );
+                    }
+                    other => panic!("{} run {i} abnormal: {other:?} on {input:?}", p.name, i = i),
+                }
+            }
+        }
+    }
+
+    /// Every faulty program must terminate normally on random inputs (the
+    /// paper observed no hangs or crashes from the real faults — Table 1).
+    #[test]
+    fn faulty_programs_never_crash_or_hang() {
+        for p in all_programs() {
+            let Some(faulty) = p.source_faulty else { continue };
+            let mut rng = StdRng::seed_from_u64(1234);
+            for _ in 0..40 {
+                let input = p.family.gen_input(&mut rng);
+                match run_program(faulty, p.family, &input) {
+                    RunOutcome::Completed { exit_code: 0, .. } => {}
+                    other => panic!("{} faulty crashed/hung: {other:?}", p.name),
+                }
+            }
+        }
+    }
+
+    /// Rust-side models of the Camelot faults, used to *search* for
+    /// fault-exposing inputs quickly, which are then confirmed on the VM.
+    mod fault_models {
+        use crate::oracle::{king_dist, knight_distances, BOARD};
+
+        /// Parameterised Camelot solver modelling the planted faults:
+        /// carriers considered are the knights numbered
+        /// `carrier_from ..= carrier_to` (team4's fault starts at 2,
+        /// team2's fault stops at 1), `manhattan_meet` inflates the king
+        /// distance used for *meeting squares only* (team5's fault),
+        /// `g_limit` bounds the gather loop (team1's fault: 48), and `kd`
+        /// is the knight-distance table (team3's fault supplies
+        /// under-propagated sweeps).
+        #[allow(clippy::too_many_arguments)]
+        pub fn solve(
+            pieces: &[(i32, i32)],
+            kd: &[Vec<i32>],
+            carrier_from: usize,
+            carrier_to: usize,
+            manhattan_meet: bool,
+            g_limit: usize,
+        ) -> i32 {
+            let idx = |(r, c): (i32, i32)| (r as usize) * BOARD + c as usize;
+            let meet = |a: usize, b: usize| {
+                if manhattan_meet {
+                    let (ar, ac) = ((a / 8) as i32, (a % 8) as i32);
+                    let (br, bc) = ((b / 8) as i32, (b % 8) as i32);
+                    (ar - br).abs() + (ac - bc).abs()
+                } else {
+                    king_dist(a, b)
+                }
+            };
+            let king = idx(pieces[0]);
+            let knights: Vec<usize> = pieces[1..].iter().map(|&p| idx(p)).collect();
+            let mut best = i32::MAX;
+            for g in 0..g_limit {
+                let base: i32 = knights.iter().map(|&p| kd[p][g]).sum();
+                let mut extra = king_dist(king, g);
+                for (ki, &p) in knights.iter().enumerate() {
+                    let num = ki + 1;
+                    if num < carrier_from || num > carrier_to {
+                        continue;
+                    }
+                    for m in 0..64 {
+                        let e = kd[p][m] + meet(king, m) + kd[m][g] - kd[p][g];
+                        extra = extra.min(e);
+                    }
+                }
+                best = best.min(base + extra);
+            }
+            best
+        }
+
+        /// team3's faulty distance table: exactly three relaxation sweeps
+        /// in the MiniC program's hop order and scan order.
+        pub fn sweep_distances(passes: usize) -> Vec<Vec<i32>> {
+            const HOP_R: [i32; 8] = [1, 2, -1, -2, 1, 2, -1, -2];
+            const HOP_C: [i32; 8] = [2, 1, 2, 1, -2, -1, -2, -1];
+            let n = 64;
+            let mut wd = vec![vec![99i32; n]; n];
+            for s in 0..n {
+                wd[s][s] = 0;
+                for _ in 0..passes {
+                    for cur in 0..n {
+                        if wd[s][cur] < 90 {
+                            let (rr, cc) = ((cur / 8) as i32, (cur % 8) as i32);
+                            for k in 0..8 {
+                                let (nr, nc) = (rr + HOP_R[k], cc + HOP_C[k]);
+                                if (0..8).contains(&nr) && (0..8).contains(&nc) {
+                                    let t = (nr * 8 + nc) as usize;
+                                    let cand = wd[s][cur] + 1;
+                                    if cand < wd[s][t] {
+                                        wd[s][t] = cand;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            wd
+        }
+
+        /// Reference solve (all options correct).
+        pub fn reference(pieces: &[(i32, i32)]) -> i32 {
+            solve(pieces, &knight_distances(), 1, usize::MAX, false, 64)
+        }
+    }
+
+    /// Search random family inputs until the fault model disagrees with
+    /// the oracle, then confirm both behaviours on the VM.
+    fn confirm_camelot_fault(
+        name: &str,
+        model: impl Fn(&[(i32, i32)]) -> i32,
+    ) {
+        let p = program(name).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut found = None;
+        for _ in 0..100_000 {
+            let input = Family::Camelot.gen_input(&mut rng);
+            let TestInput::Camelot { pieces } = &input else { unreachable!() };
+            let truth = fault_models::reference(pieces);
+            let faulty_prediction = model(pieces);
+            assert_eq!(
+                truth,
+                oracle::camelot_solve(pieces),
+                "internal: fault-model reference drifted from the oracle"
+            );
+            if faulty_prediction != truth {
+                found = Some((input, truth, faulty_prediction));
+                break;
+            }
+        }
+        let (input, truth, prediction) =
+            found.unwrap_or_else(|| panic!("{name}: no fault-exposing input in 100k candidates"));
+        let correct_out = run_program(p.source_correct, Family::Camelot, &input);
+        assert_eq!(
+            correct_out.output(),
+            truth.to_string().as_bytes(),
+            "{name} corrected build wrong on {input:?}"
+        );
+        let faulty_out = run_program(p.source_faulty.unwrap(), Family::Camelot, &input);
+        assert_eq!(
+            faulty_out.output(),
+            prediction.to_string().as_bytes(),
+            "{name} faulty build does not match its fault model on {input:?}"
+        );
+    }
+
+    #[test]
+    fn team1_fault_skips_last_rows() {
+        confirm_camelot_fault("C.team1", |pieces| {
+            fault_models::solve(pieces, &oracle::knight_distances(), 1, usize::MAX, false, 48)
+        });
+    }
+
+    #[test]
+    fn team2_fault_only_first_knight_carries() {
+        confirm_camelot_fault("C.team2", |pieces| {
+            fault_models::solve(pieces, &oracle::knight_distances(), 1, 1, false, 64)
+        });
+    }
+
+    #[test]
+    fn team3_fault_underpropagates_distances() {
+        let sweeps = fault_models::sweep_distances(3);
+        confirm_camelot_fault("C.team3", move |pieces| {
+            fault_models::solve(pieces, &sweeps, 1, usize::MAX, false, 64)
+        });
+    }
+
+    #[test]
+    fn team4_fault_ignores_first_knight() {
+        confirm_camelot_fault("C.team4", |pieces| {
+            fault_models::solve(pieces, &oracle::knight_distances(), 2, usize::MAX, false, 64)
+        });
+    }
+
+    #[test]
+    fn team5_fault_uses_manhattan_meeting_distance() {
+        confirm_camelot_fault("C.team5", |pieces| {
+            fault_models::solve(pieces, &oracle::knight_distances(), 1, usize::MAX, true, 64)
+        });
+    }
+
+    #[test]
+    fn jb_team7_fault_skips_final_modulo() {
+        // 16 tildes: weighted sum = 126 · 136 = 17136 ≥ 9973.
+        let input = TestInput::JamesB { seed: 3, line: vec![b'~'; 16] };
+        let p = program("JB.team7").unwrap();
+        let c = run_program(p.source_correct, Family::JamesB, &input);
+        assert_eq!(c.output(), input.expected_output());
+        let f = run_program(p.source_faulty.unwrap(), Family::JamesB, &input);
+        let expected_wrong: Vec<u8> = {
+            let (coded, _) = oracle::jamesb_encode(3, &vec![b'~'; 16]);
+            let mut o = coded;
+            o.push(b'\n');
+            o.extend(b"17136".iter());
+            o
+        };
+        assert_eq!(f.output(), expected_wrong);
+    }
+
+    #[test]
+    fn jb_team6_fault_fires_exactly_at_80_chars() {
+        let p = program("JB.team6").unwrap();
+        let boundary = TestInput::JamesB { seed: 17, line: vec![b'q'; 80] };
+        let shorter = TestInput::JamesB { seed: 17, line: vec![b'q'; 79] };
+        let faulty = p.source_faulty.unwrap();
+        // 79 chars: faulty build is still correct.
+        match run_program(faulty, Family::JamesB, &shorter) {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output, shorter.expected_output());
+            }
+            other => panic!("{other:?}"),
+        }
+        // 80 chars: the terminator overwrites the checksum's low byte.
+        match run_program(faulty, Family::JamesB, &boundary) {
+            RunOutcome::Completed { output, .. } => {
+                assert_ne!(output, boundary.expected_output());
+            }
+            other => panic!("{other:?}"),
+        }
+        // The corrected build handles the boundary fine.
+        match run_program(p.source_correct, Family::JamesB, &boundary) {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output, boundary.expected_output());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn team1_fault_misses_last_row_gather() {
+        // All pieces clustered at (7, 4): optimum is square 60, which the
+        // faulty gather loop (bounded at 56) skips.
+        let input = TestInput::Camelot { pieces: vec![(7, 4), (7, 4), (7, 4)] };
+        let p = program("C.team1").unwrap();
+        let correct_out = run_program(p.source_correct, Family::Camelot, &input);
+        assert_eq!(correct_out.output(), b"0");
+        let faulty_out = run_program(p.source_faulty.unwrap(), Family::Camelot, &input);
+        assert_ne!(faulty_out.output(), b"0");
+    }
+
+    #[test]
+    fn vendored_sources_survive_pretty_round_trip() {
+        use swifi_lang::parser::parse;
+        use swifi_lang::pretty::print_program;
+        for p in all_programs() {
+            for (label, src) in [("correct", Some(p.source_correct)), ("faulty", p.source_faulty)]
+            {
+                let Some(src) = src else { continue };
+                let printed = print_program(&parse(src).unwrap());
+                let reprinted = print_program(&parse(&printed).unwrap());
+                assert_eq!(printed, reprinted, "{} {label} not a fixpoint", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_reflect_table2_features() {
+        use swifi_lang::parser::parse;
+        let feature = |name: &str| {
+            let p = program(name).unwrap();
+            let ast = parse(p.source_correct).unwrap();
+            swifi_metrics_probe(p.source_correct, &ast)
+        };
+        let (t1_rec, _t1_dyn, _) = feature("C.team1");
+        assert!(t1_rec, "C.team1 is recursive");
+        let (t9_rec, t9_dyn, _) = feature("C.team9");
+        assert!(!t9_rec && t9_dyn, "C.team9 uses dynamic structures");
+        let (_, _, sor_loc) = feature("SOR");
+        let (_, _, jb_loc) = feature("JB.team6");
+        assert!(sor_loc > jb_loc, "SOR is the largest program");
+    }
+
+    // Minimal local re-implementation to avoid a dev-dependency cycle
+    // with swifi-metrics (which depends on swifi-lang only).
+    fn swifi_metrics_probe(
+        src: &str,
+        ast: &swifi_lang::ast::Program,
+    ) -> (bool, bool, usize) {
+        use swifi_lang::ast::{visit_exprs, ExprKind};
+        let mut recursive = false;
+        let mut dynamic = false;
+        for f in &ast.functions {
+            visit_exprs(&f.body, &mut |e| {
+                if let ExprKind::Call { name, .. } = &e.kind {
+                    if name == &f.name {
+                        recursive = true;
+                    }
+                    if name == "malloc" || name == "free" {
+                        dynamic = true;
+                    }
+                }
+            });
+        }
+        let loc = src.lines().filter(|l| !l.trim().is_empty()).count();
+        (recursive, dynamic, loc)
+    }
+}

@@ -1,0 +1,299 @@
+//! Reference implementations ("oracles") for the three program families.
+//!
+//! An injected run is classified *correct results* or *incorrect results*
+//! by comparing its output against these independent Rust implementations
+//! — the role the contest judges' test cases played in the paper.
+
+/// Board side for Camelot.
+pub const BOARD: usize = 8;
+
+/// Chebyshev (king-move) distance between two squares.
+pub fn king_dist(a: usize, b: usize) -> i32 {
+    let (ar, ac) = ((a / BOARD) as i32, (a % BOARD) as i32);
+    let (br, bc) = ((b / BOARD) as i32, (b % BOARD) as i32);
+    (ar - br).abs().max((ac - bc).abs())
+}
+
+/// Knight-move displacement table (shared with the MiniC programs).
+pub const KNIGHT_DR: [i32; 8] = [1, 1, -1, -1, 2, 2, -2, -2];
+/// Knight-move displacement table, column component.
+pub const KNIGHT_DC: [i32; 8] = [2, -2, 2, -2, 1, -1, 1, -1];
+
+/// All-pairs knight distances on the 8×8 board via BFS.
+pub fn knight_distances() -> Vec<Vec<i32>> {
+    let n = BOARD * BOARD;
+    let mut kd = vec![vec![0i32; n]; n];
+    for (src, row) in kd.iter_mut().enumerate() {
+        let mut dist = vec![-1i32; n];
+        let mut queue = vec![src];
+        dist[src] = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            let (r, c) = ((cur / BOARD) as i32, (cur % BOARD) as i32);
+            for k in 0..8 {
+                let (nr, nc) = (r + KNIGHT_DR[k], c + KNIGHT_DC[k]);
+                if (0..BOARD as i32).contains(&nr) && (0..BOARD as i32).contains(&nc) {
+                    let nxt = (nr as usize) * BOARD + nc as usize;
+                    if dist[nxt] < 0 {
+                        dist[nxt] = dist[cur] + 1;
+                        queue.push(nxt);
+                    }
+                }
+            }
+        }
+        row.copy_from_slice(&dist);
+    }
+    kd
+}
+
+/// Solve a Camelot instance: minimum total moves to gather all pieces on
+/// one square. `pieces[0]` is the king (as `(row, col)`), the rest are
+/// knights. A knight may pick the king up at a meeting square and carry it
+/// for free from there.
+pub fn camelot_solve(pieces: &[(i32, i32)]) -> i32 {
+    assert!(!pieces.is_empty(), "need at least the king");
+    let idx = |(r, c): (i32, i32)| (r as usize) * BOARD + c as usize;
+    let kd = knight_distances();
+    let king = idx(pieces[0]);
+    let knights: Vec<usize> = pieces[1..].iter().map(|&p| idx(p)).collect();
+    let mut best = i32::MAX;
+    for g in 0..BOARD * BOARD {
+        let base: i32 = knights.iter().map(|&p| kd[p][g]).sum();
+        // Option 1: the king walks to the gather square alone.
+        let mut extra = king_dist(king, g);
+        // Option 2: knight `p` detours via meeting square `m`, picks the
+        // king up, and carries it to `g`.
+        for &p in &knights {
+            for m in 0..BOARD * BOARD {
+                let e = kd[p][m] + king_dist(king, m) + kd[m][g] - kd[p][g];
+                extra = extra.min(e);
+            }
+        }
+        best = best.min(base + extra);
+    }
+    best
+}
+
+/// Maximum JamesB input line length the programs accept.
+pub const JAMESB_MAX: usize = 80;
+
+/// Encode a JamesB line: printable characters are rotated within the
+/// 95-character printable range by `seed % 95` plus the character's
+/// position; everything else passes through.
+///
+/// Returns `(coded bytes, checksum)` where the checksum is the
+/// position-weighted byte sum of the *input*, mod 9973.
+pub fn jamesb_encode(seed: i32, line: &[u8]) -> (Vec<u8>, i32) {
+    let len = line.len().min(JAMESB_MAX);
+    let s = seed % 95;
+    let mut out = Vec::with_capacity(len);
+    for (i, &x) in line[..len].iter().enumerate() {
+        let coded = if !(32..=126).contains(&x) {
+            x
+        } else {
+            32 + ((x as i32 - 32 + s + i as i32) % 95) as u8
+        };
+        out.push(coded);
+    }
+    let check: i32 = line[..len]
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c as i32 * (i as i32 + 1))
+        .sum::<i32>()
+        % 9973;
+    (out, check)
+}
+
+/// Full JamesB program output for a given input: the coded line, a
+/// newline, and the checksum.
+pub fn jamesb_output(seed: i32, line: &[u8]) -> Vec<u8> {
+    let (coded, check) = jamesb_encode(seed, line);
+    let mut out = coded;
+    out.push(b'\n');
+    out.extend(check.to_string().into_bytes());
+    out
+}
+
+/// Maximum SOR interior grid size.
+pub const SOR_MAX_N: usize = 24;
+
+/// The SOR report: checksum, interior minimum/maximum, and L1 residual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SorReport {
+    /// Sum of interior cells.
+    pub checksum: i32,
+    /// Smallest interior cell.
+    pub min: i32,
+    /// Largest interior cell.
+    pub max: i32,
+    /// Σ |neighbour-average − cell| over the interior.
+    pub residual: i32,
+}
+
+impl SorReport {
+    /// The program's printed form: `checksum min max residual`.
+    pub fn to_output(self) -> Vec<u8> {
+        format!("{} {} {} {}", self.checksum, self.min, self.max, self.residual).into_bytes()
+    }
+}
+
+/// Fixed-point red-black successive over-relaxation, matching the MiniC
+/// SOR program's integer arithmetic exactly (ω = 1.5 realised as
+/// `x + 3·(avg−x)/2` with truncating division). Inputs are clamped the
+/// way the program's `clamp_input` does.
+pub fn sor_solve_full(
+    n: usize,
+    iters: i32,
+    top: i32,
+    bottom: i32,
+    left: i32,
+    right: i32,
+) -> SorReport {
+    let n = n.clamp(1, SOR_MAX_N);
+    let iters = iters.clamp(0, 500);
+    let w = n + 2;
+    let mut g = vec![vec![0i32; w]; w];
+    for j in 0..w {
+        g[0][j] = top;
+        g[n + 1][j] = bottom;
+    }
+    for row in g.iter_mut().take(n + 1).skip(1) {
+        row[0] = left;
+        row[n + 1] = right;
+    }
+    for _ in 0..iters {
+        for parity in 0..2 {
+            for i in 1..=n {
+                for j in 1..=n {
+                    if (i + j) % 2 == parity {
+                        let avg = (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]) / 4;
+                        g[i][j] += 3 * (avg - g[i][j]) / 2;
+                    }
+                }
+            }
+        }
+    }
+    let mut checksum = 0i32;
+    let mut min = g[1][1];
+    let mut max = g[1][1];
+    let mut residual = 0i32;
+    for i in 1..=n {
+        for j in 1..=n {
+            let v = g[i][j];
+            checksum = checksum.wrapping_add(v);
+            min = min.min(v);
+            max = max.max(v);
+            let avg = (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]) / 4;
+            residual = residual.wrapping_add((avg - v).abs());
+        }
+    }
+    SorReport { checksum, min, max, residual }
+}
+
+/// Checksum-only convenience wrapper around [`sor_solve_full`].
+pub fn sor_solve(n: usize, iters: i32, top: i32, bottom: i32, left: i32, right: i32) -> i32 {
+    sor_solve_full(n, iters, top, bottom, left, right).checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knight_distances_symmetric_and_connected() {
+        let kd = knight_distances();
+        for a in 0..64 {
+            assert_eq!(kd[a][a], 0);
+            for b in 0..64 {
+                assert_eq!(kd[a][b], kd[b][a]);
+                assert!(kd[a][b] >= 0, "board is knight-connected");
+                assert!(kd[a][b] <= 6, "8x8 knight diameter is 6");
+            }
+        }
+        // Classic corner-to-adjacent anomaly: (0,0) → (1,1) takes 4 moves.
+        assert_eq!(kd[0][9], 4);
+    }
+
+    #[test]
+    fn king_dist_is_chebyshev() {
+        assert_eq!(king_dist(0, 63), 7);
+        assert_eq!(king_dist(0, 7), 7);
+        assert_eq!(king_dist(0, 9), 1);
+        assert_eq!(king_dist(27, 27), 0);
+    }
+
+    #[test]
+    fn lone_king_costs_nothing() {
+        assert_eq!(camelot_solve(&[(3, 3)]), 0);
+    }
+
+    #[test]
+    fn king_and_adjacent_knight() {
+        // Knight on the same square as the gather point: king gets picked
+        // up at its own square when beneficial.
+        // King (0,0), knight (1,2): knight can step to (0,0) in 1 move,
+        // pick the king up there, total 1 move? Picking up at (0,0) and
+        // gathering at (0,0): kd(knight,(0,0)) = 1, king moves 0. Total 1.
+        assert_eq!(camelot_solve(&[(0, 0), (1, 2)]), 1);
+    }
+
+    #[test]
+    fn pickup_beats_walking() {
+        // King far in a corner, knight nearby: carrying must not cost more
+        // than the king walking alone.
+        let with_pickup = camelot_solve(&[(7, 7), (6, 5)]);
+        let king_walk_alone = {
+            // Force-walk estimate: gather at knight's square.
+            king_dist(63, 6 * 8 + 5)
+        };
+        assert!(with_pickup <= king_walk_alone + 0);
+    }
+
+    #[test]
+    fn jamesb_seed_zero_shifts_by_position() {
+        let (coded, _) = jamesb_encode(0, b"AAA");
+        assert_eq!(coded, vec![b'A', b'B', b'C']);
+    }
+
+    #[test]
+    fn jamesb_wraps_printable_range() {
+        let (coded, _) = jamesb_encode(0, b"~~");
+        // '~' = 126; +0 stays, +1 wraps to ' ' (32).
+        assert_eq!(coded, vec![126, 32]);
+    }
+
+    #[test]
+    fn jamesb_checksum_position_weighted() {
+        let (_, check) = jamesb_encode(5, b"ab");
+        assert_eq!(check, (97 + 98 * 2) % 9973);
+    }
+
+    #[test]
+    fn jamesb_caps_at_80() {
+        let long = vec![b'x'; 200];
+        let (coded, _) = jamesb_encode(1, &long);
+        assert_eq!(coded.len(), 80);
+    }
+
+    #[test]
+    fn sor_constant_boundary_converges_to_constant() {
+        // All boundaries at the same value: interior should head toward it.
+        let sum = sor_solve(4, 30, 1000, 1000, 1000, 1000);
+        // 16 interior cells × 1000 when fully converged.
+        assert!((sum - 16_000).abs() < 200, "sum = {sum}");
+    }
+
+    #[test]
+    fn sor_zero_everything_stays_zero() {
+        assert_eq!(sor_solve(6, 10, 0, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn sor_is_deterministic() {
+        let a = sor_solve(10, 12, 500, 100, 900, 300);
+        let b = sor_solve(10, 12, 500, 100, 900, 300);
+        assert_eq!(a, b);
+    }
+}

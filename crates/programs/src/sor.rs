@@ -1,0 +1,267 @@
+//! SOR: the "real life" parallel program of the paper's Table 2 — a
+//! red-black successive over-relaxation Laplace solver running on all four
+//! cores of the machine, with barrier synchronisation between phases.
+//!
+//! Fixed-point integer arithmetic (ω = 1.5 as `x + 3·(avg−x)/2`) keeps the
+//! computation exact and deterministic, matching
+//! [`crate::oracle::sor_solve_full`] cell for cell. Core 0 reads the input
+//! and prints the report; rows are partitioned across cores in contiguous
+//! bands. After the relaxation iterations every core computes its band's
+//! residual contribution, and core 0 aggregates and prints
+//! `checksum min max residual`.
+//!
+//! As in the paper, SOR is the largest target program by a wide margin.
+
+/// The SOR program (no planted fault; §6 target only).
+pub const SOR: &str = r#"
+// SOR - parallel Laplace solver, red-black over-relaxation, 4 cores.
+// Fixed-point integers; omega = 1.5 implemented as x + 3*(avg - x)/2.
+// Report: checksum, interior minimum, interior maximum, L1 residual.
+
+int grid[26][26];
+int n;
+int iters;
+int top_v;
+int bottom_v;
+int left_v;
+int right_v;
+int partial_res[8];
+int band_lo[8];
+int band_hi[8];
+
+void read_input() {
+    n = read_int();
+    iters = read_int();
+    top_v = read_int();
+    bottom_v = read_int();
+    left_v = read_int();
+    right_v = read_int();
+}
+
+void clamp_input() {
+    if (n < 1) {
+        n = 1;
+    }
+    if (n > 24) {
+        n = 24;
+    }
+    if (iters < 0) {
+        iters = 0;
+    }
+    if (iters > 500) {
+        iters = 500;
+    }
+}
+
+void clear_interior() {
+    int i;
+    int j;
+    for (i = 1; i <= n; i = i + 1) {
+        for (j = 1; j <= n; j = j + 1) {
+            grid[i][j] = 0;
+        }
+    }
+}
+
+void set_top_boundary() {
+    int j;
+    for (j = 0; j <= n + 1; j = j + 1) {
+        grid[0][j] = top_v;
+    }
+}
+
+void set_bottom_boundary() {
+    int j;
+    for (j = 0; j <= n + 1; j = j + 1) {
+        grid[n + 1][j] = bottom_v;
+    }
+}
+
+void set_side_boundaries() {
+    int i;
+    for (i = 1; i <= n; i = i + 1) {
+        grid[i][0] = left_v;
+        grid[i][n + 1] = right_v;
+    }
+}
+
+void init_grid() {
+    clear_interior();
+    set_top_boundary();
+    set_bottom_boundary();
+    set_side_boundaries();
+}
+
+void plan_bands() {
+    int c;
+    int p;
+    p = num_cores();
+    for (c = 0; c < p; c = c + 1) {
+        band_lo[c] = 1 + (n * c) / p;
+        band_hi[c] = 1 + (n * (c + 1)) / p;
+        partial_res[c] = 0;
+    }
+}
+
+int neighbor_avg(int i, int j) {
+    int above;
+    int below;
+    int before;
+    int after;
+    above = grid[i - 1][j];
+    below = grid[i + 1][j];
+    before = grid[i][j - 1];
+    after = grid[i][j + 1];
+    return (above + below + before + after) / 4;
+}
+
+int relax_cell(int i, int j) {
+    int avg;
+    int old;
+    int next;
+    avg = neighbor_avg(i, j);
+    old = grid[i][j];
+    next = old + (3 * (avg - old)) / 2;
+    return next;
+}
+
+void relax_row(int i, int parity) {
+    int j;
+    for (j = 1; j <= n; j = j + 1) {
+        if ((i + j) % 2 == parity) {
+            grid[i][j] = relax_cell(i, j);
+        }
+    }
+}
+
+void relax_band(int lo, int hi, int parity) {
+    int i;
+    for (i = lo; i < hi; i = i + 1) {
+        relax_row(i, parity);
+    }
+}
+
+int cell_residual(int i, int j) {
+    int avg;
+    int diff;
+    avg = neighbor_avg(i, j);
+    diff = avg - grid[i][j];
+    if (diff < 0) {
+        diff = -diff;
+    }
+    return diff;
+}
+
+int band_residual(int lo, int hi) {
+    int i;
+    int j;
+    int acc;
+    acc = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        for (j = 1; j <= n; j = j + 1) {
+            acc = acc + cell_residual(i, j);
+        }
+    }
+    return acc;
+}
+
+int checksum() {
+    int i;
+    int j;
+    int sum;
+    sum = 0;
+    for (i = 1; i <= n; i = i + 1) {
+        for (j = 1; j <= n; j = j + 1) {
+            sum = sum + grid[i][j];
+        }
+    }
+    return sum;
+}
+
+int interior_min() {
+    int i;
+    int j;
+    int lowest;
+    lowest = grid[1][1];
+    for (i = 1; i <= n; i = i + 1) {
+        for (j = 1; j <= n; j = j + 1) {
+            if (grid[i][j] < lowest) {
+                lowest = grid[i][j];
+            }
+        }
+    }
+    return lowest;
+}
+
+int interior_max() {
+    int i;
+    int j;
+    int highest;
+    highest = grid[1][1];
+    for (i = 1; i <= n; i = i + 1) {
+        for (j = 1; j <= n; j = j + 1) {
+            if (grid[i][j] > highest) {
+                highest = grid[i][j];
+            }
+        }
+    }
+    return highest;
+}
+
+int total_residual() {
+    int c;
+    int p;
+    int acc;
+    p = num_cores();
+    acc = 0;
+    for (c = 0; c < p; c = c + 1) {
+        acc = acc + partial_res[c];
+    }
+    return acc;
+}
+
+void report() {
+    print_int(checksum());
+    print_char(' ');
+    print_int(interior_min());
+    print_char(' ');
+    print_int(interior_max());
+    print_char(' ');
+    print_int(total_residual());
+}
+
+void main() {
+    int id;
+    int it;
+    int par;
+    int lo;
+    int hi;
+
+    id = core_id();
+
+    if (id == 0) {
+        read_input();
+        clamp_input();
+        init_grid();
+        plan_bands();
+    }
+    barrier();
+
+    lo = band_lo[id];
+    hi = band_hi[id];
+
+    for (it = 0; it < iters; it = it + 1) {
+        for (par = 0; par < 2; par = par + 1) {
+            relax_band(lo, hi, par);
+            barrier();
+        }
+    }
+
+    partial_res[id] = band_residual(lo, hi);
+    barrier();
+
+    if (id == 0) {
+        report();
+    }
+}
+"#;

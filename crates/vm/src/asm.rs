@@ -1,0 +1,840 @@
+//! Two-pass textual assembler and programmatic code builder.
+//!
+//! The textual syntax matches the `Display` output of [`Instr`], plus
+//! labels, data directives, numeric *word* branch offsets, and a few
+//! pseudo-instructions:
+//!
+//! ```text
+//! loop:                       ; label
+//!     li   r5, 100000         ; load 32-bit immediate (1–2 words)
+//!     la   r4, table          ; load address of a label (2 words)
+//!     mr   r6, r5             ; register move
+//!     nop
+//!     cmpi cr0, r5, 0
+//!     bc   cr0.eq, 1, done    ; branch to label (or numeric word offset)
+//!     addi r5, r5, -1
+//!     b    loop
+//! done:
+//!     halt
+//! .data
+//! table: .word 1, 2, 3
+//! msg:   .asciz "hello"
+//! buf:   .space 64
+//! ```
+//!
+//! Comments start with `;` or `#`. The [`CodeBuilder`] offers the same
+//! capabilities to code generators (the MiniC compiler) without text
+//! round-trips.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{encode, AluOp, CrBit, Instr, Syscall, NOP};
+use crate::mem::{Image, CODE_BASE};
+
+/// Error produced while assembling, with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the assembly source.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// A pending branch/address reference to a label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fixup {
+    /// `b`/`bl` word offset (26-bit).
+    Branch26 { at: usize, label: String, link: bool, line: usize },
+    /// `bc` word offset (16-bit).
+    Branch16 { at: usize, label: String, crf: u8, bit: CrBit, expect: bool, line: usize },
+    /// `la` 32-bit absolute address across two words (`addis`+`ori`).
+    Addr32 { at: usize, rd: u8, label: String, line: usize },
+}
+
+/// Incremental machine-code builder with labels and fixups.
+///
+/// Used directly by code generators; the textual [`assemble`] function is a
+/// thin parser on top of it.
+///
+/// # Examples
+///
+/// ```
+/// use swifi_vm::asm::CodeBuilder;
+/// use swifi_vm::isa::Instr;
+///
+/// let mut b = CodeBuilder::new();
+/// b.label("start");
+/// b.push(Instr::Addi { rd: 3, ra: 0, imm: 1 });
+/// b.branch_to("start", false);
+/// let image = b.finish()?;
+/// assert_eq!(image.code.len(), 2);
+/// # Ok::<(), swifi_vm::asm::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CodeBuilder {
+    code: Vec<u32>,
+    data: Vec<u8>,
+    labels: HashMap<String, LabelValue>,
+    fixups: Vec<Fixup>,
+    line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LabelValue {
+    Code(usize),
+    Data(usize),
+}
+
+impl CodeBuilder {
+    /// Empty builder.
+    pub fn new() -> CodeBuilder {
+        CodeBuilder::default()
+    }
+
+    /// Current instruction index (== address offset in words from
+    /// [`CODE_BASE`]).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Guest address of instruction index `i`.
+    pub fn addr_of(&self, i: usize) -> u32 {
+        CODE_BASE + i as u32 * 4
+    }
+
+    /// Set the source line used for subsequent error reports.
+    pub fn set_line(&mut self, line: usize) {
+        self.line = line;
+    }
+
+    /// Append an encoded instruction; returns its instruction index.
+    pub fn push(&mut self, i: Instr) -> usize {
+        self.code.push(encode(i));
+        self.code.len() - 1
+    }
+
+    /// Append a raw word (tests and deliberate illegal encodings).
+    pub fn push_raw(&mut self, w: u32) -> usize {
+        self.code.push(w);
+        self.code.len() - 1
+    }
+
+    /// Bind `name` to the current code position.
+    pub fn label(&mut self, name: impl Into<String>) {
+        self.labels.insert(name.into(), LabelValue::Code(self.code.len()));
+    }
+
+    /// Bind `name` to the current data position.
+    pub fn data_label(&mut self, name: impl Into<String>) {
+        self.labels.insert(name.into(), LabelValue::Data(self.data.len()));
+    }
+
+    /// Append bytes to the data segment; returns their data offset.
+    pub fn push_data(&mut self, bytes: &[u8]) -> usize {
+        let at = self.data.len();
+        self.data.extend_from_slice(bytes);
+        at
+    }
+
+    /// Word-align the data segment.
+    pub fn align_data(&mut self) {
+        while self.data.len() % 4 != 0 {
+            self.data.push(0);
+        }
+    }
+
+    /// Emit `b label` / `bl label` (fixed up at [`CodeBuilder::finish`]);
+    /// returns the instruction index.
+    pub fn branch_to(&mut self, label: impl Into<String>, link: bool) -> usize {
+        let at = self.code.len();
+        self.code.push(0);
+        self.fixups.push(Fixup::Branch26 { at, label: label.into(), link, line: self.line });
+        at
+    }
+
+    /// Emit `bc crf.bit, expect, label`; returns the instruction index.
+    pub fn cond_branch_to(
+        &mut self,
+        crf: u8,
+        bit: CrBit,
+        expect: bool,
+        label: impl Into<String>,
+    ) -> usize {
+        let at = self.code.len();
+        self.code.push(0);
+        self.fixups.push(Fixup::Branch16 {
+            at,
+            label: label.into(),
+            crf,
+            bit,
+            expect,
+            line: self.line,
+        });
+        at
+    }
+
+    /// Emit a 2-word `la rd, label` sequence; returns the index of the
+    /// first word.
+    pub fn load_addr(&mut self, rd: u8, label: impl Into<String>) -> usize {
+        let at = self.code.len();
+        self.code.push(0);
+        self.code.push(0);
+        self.fixups.push(Fixup::Addr32 { at, rd, label: label.into(), line: self.line });
+        at
+    }
+
+    /// Emit a minimal `li rd, value` (1 word if `value` fits in a signed
+    /// 16-bit immediate, else 2); returns the index of the first word.
+    pub fn load_imm(&mut self, rd: u8, value: i32) -> usize {
+        let at = self.code.len();
+        if let Ok(imm) = i16::try_from(value) {
+            self.push(Instr::Addi { rd, ra: 0, imm });
+        } else {
+            emit_imm32(&mut self.code, rd, value as u32);
+        }
+        at
+    }
+
+    /// Whether `name` has been bound.
+    pub fn has_label(&self, name: &str) -> bool {
+        self.labels.contains_key(name)
+    }
+
+    /// Instruction index a code label is bound to (`None` for unbound or
+    /// data labels). Used by the MiniC compiler to compute the alternative
+    /// branch targets stored in debug info.
+    pub fn label_code_index(&self, name: &str) -> Option<usize> {
+        match self.labels.get(name) {
+            Some(LabelValue::Code(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Resolve all fixups and produce the final [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for references to labels that were never bound
+    /// or branches whose displacement does not fit its field.
+    pub fn finish(mut self) -> Result<Image, AsmError> {
+        self.align_data();
+        let code_len = self.code.len();
+        let resolve = |labels: &HashMap<String, LabelValue>,
+                       name: &str,
+                       line: usize|
+         -> Result<u32, AsmError> {
+            match labels.get(name) {
+                Some(LabelValue::Code(i)) => Ok(CODE_BASE + *i as u32 * 4),
+                Some(LabelValue::Data(off)) => Ok(CODE_BASE + code_len as u32 * 4 + *off as u32),
+                None => err(line, format!("undefined label `{name}`")),
+            }
+        };
+        for fx in std::mem::take(&mut self.fixups) {
+            match fx {
+                Fixup::Branch26 { at, label, link, line } => {
+                    let target = resolve(&self.labels, &label, line)?;
+                    let from = CODE_BASE + at as u32 * 4;
+                    let off = (target as i64 - from as i64) / 4;
+                    if off < -(1 << 25) || off >= (1 << 25) {
+                        return err(line, "branch out of range");
+                    }
+                    let off = off as i32;
+                    self.code[at] =
+                        encode(if link { Instr::Bl { off } } else { Instr::B { off } });
+                }
+                Fixup::Branch16 { at, label, crf, bit, expect, line } => {
+                    let target = resolve(&self.labels, &label, line)?;
+                    let from = CODE_BASE + at as u32 * 4;
+                    let off = (target as i64 - from as i64) / 4;
+                    let off = i16::try_from(off)
+                        .map_err(|_| AsmError { line, msg: "bc branch out of range".into() })?;
+                    self.code[at] = encode(Instr::Bc { crf, bit, expect, off });
+                }
+                Fixup::Addr32 { at, rd, label, line } => {
+                    let target = resolve(&self.labels, &label, line)?;
+                    let mut words = Vec::with_capacity(2);
+                    emit_imm32(&mut words, rd, target);
+                    debug_assert_eq!(words.len(), 2);
+                    self.code[at] = words[0];
+                    self.code[at + 1] = words[1];
+                }
+            }
+        }
+        Ok(Image { code: self.code, data: self.data, entry: CODE_BASE })
+    }
+}
+
+/// Emit a fixed 2-word sequence loading the 32-bit `value` into `rd`
+/// (`addis` + `ori`).
+fn emit_imm32(out: &mut Vec<u32>, rd: u8, value: u32) {
+    let hi = (value >> 16) as i16;
+    let lo = (value & 0xFFFF) as u16;
+    out.push(encode(Instr::Addis { rd, ra: 0, imm: hi }));
+    out.push(encode(Instr::Ori { rd, ra: rd, imm: lo }));
+}
+
+/// Assemble a textual program into an [`Image`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for syntax errors,
+/// unknown mnemonics/labels, and out-of-range operands.
+///
+/// # Examples
+///
+/// ```
+/// let image = swifi_vm::asm::assemble("addi r3, r0, 1\nhalt")?;
+/// assert_eq!(image.code.len(), 2);
+/// # Ok::<(), swifi_vm::asm::AsmError>(())
+/// ```
+pub fn assemble(src: &str) -> Result<Image, AsmError> {
+    let mut b = CodeBuilder::new();
+    let mut in_data = false;
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        b.set_line(lineno);
+        let mut line = raw_line;
+        if let Some(p) = line.find([';', '#']) {
+            line = &line[..p];
+        }
+        let mut line = line.trim();
+        // Labels (possibly followed by an instruction/directive).
+        while let Some(colon) = line.find(':') {
+            let (name, rest) = line.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return err(lineno, format!("bad label `{name}`"));
+            }
+            if b.has_label(name) {
+                return err(lineno, format!("duplicate label `{name}`"));
+            }
+            if in_data {
+                b.data_label(name);
+            } else {
+                b.label(name);
+            }
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".data" {
+            in_data = true;
+            continue;
+        }
+        if in_data {
+            parse_data_directive(&mut b, line, lineno)?;
+        } else {
+            parse_instr(&mut b, line, lineno)?;
+        }
+    }
+    b.finish()
+}
+
+fn parse_data_directive(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), AsmError> {
+    let (dir, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    match dir {
+        ".word" => {
+            b.align_data();
+            for part in rest.split(',') {
+                let v = parse_int(part.trim(), lineno)?;
+                b.push_data(&(v as u32).to_le_bytes());
+            }
+            Ok(())
+        }
+        ".byte" => {
+            for part in rest.split(',') {
+                let v = parse_int(part.trim(), lineno)?;
+                b.push_data(&[(v as u32 & 0xFF) as u8]);
+            }
+            Ok(())
+        }
+        ".asciz" => {
+            let s = rest.trim();
+            if s.len() < 2 || !s.starts_with('"') || !s.ends_with('"') {
+                return err(lineno, ".asciz needs a double-quoted string");
+            }
+            let mut bytes = unescape(&s[1..s.len() - 1], lineno)?;
+            bytes.push(0);
+            b.push_data(&bytes);
+            Ok(())
+        }
+        ".space" => {
+            let n = parse_int(rest.trim(), lineno)?;
+            if n < 0 {
+                return err(lineno, ".space needs a non-negative size");
+            }
+            b.push_data(&vec![0u8; n as usize]);
+            Ok(())
+        }
+        _ => err(lineno, format!("unknown data directive `{dir}`")),
+    }
+}
+
+fn unescape(s: &str, lineno: usize) -> Result<Vec<u8>, AsmError> {
+    let mut out = Vec::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            other => return err(lineno, format!("bad escape `\\{other:?}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_int(s: &str, lineno: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(hex) = s.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).map(|v| -v)
+    } else {
+        s.parse::<i64>()
+    };
+    parsed.map_err(|_| AsmError { line: lineno, msg: format!("bad integer `{s}`") })
+}
+
+fn parse_reg(s: &str, lineno: usize) -> Result<u8, AsmError> {
+    let s = s.trim();
+    let n = s
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| AsmError { line: lineno, msg: format!("bad register `{s}`") })?;
+    Ok(n)
+}
+
+fn parse_crf(s: &str, lineno: usize) -> Result<u8, AsmError> {
+    s.trim()
+        .strip_prefix("cr")
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 8)
+        .ok_or_else(|| AsmError { line: lineno, msg: format!("bad CR field `{s}`") })
+}
+
+fn parse_i16(s: &str, lineno: usize) -> Result<i16, AsmError> {
+    let v = parse_int(s, lineno)?;
+    i16::try_from(v).map_err(|_| AsmError { line: lineno, msg: format!("immediate `{v}` out of range") })
+}
+
+fn parse_u16(s: &str, lineno: usize) -> Result<u16, AsmError> {
+    let v = parse_int(s, lineno)?;
+    if (0..=0xFFFF).contains(&v) {
+        Ok(v as u16)
+    } else {
+        err(lineno, format!("immediate `{v}` out of range for unsigned 16-bit"))
+    }
+}
+
+/// Parse `d(rA)` memory operand syntax.
+fn parse_mem(s: &str, lineno: usize) -> Result<(i16, u8), AsmError> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| AsmError {
+        line: lineno,
+        msg: format!("expected `disp(rN)` operand, got `{s}`"),
+    })?;
+    if !s.ends_with(')') {
+        return err(lineno, format!("expected `disp(rN)` operand, got `{s}`"));
+    }
+    let d = if s[..open].trim().is_empty() { 0 } else { parse_i16(&s[..open], lineno)? };
+    let ra = parse_reg(&s[open + 1..s.len() - 1], lineno)?;
+    Ok((d, ra))
+}
+
+fn is_label_token(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), AsmError> {
+    let (mn, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let ops: Vec<&str> = if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let argc = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(lineno, format!("`{mn}` expects {n} operands, got {}", ops.len()))
+        }
+    };
+    match mn {
+        "addi" | "addis" | "andi" | "ori" | "xori" => {
+            argc(3)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            let ra = parse_reg(ops[1], lineno)?;
+            let i = match mn {
+                "addi" => Instr::Addi { rd, ra, imm: parse_i16(ops[2], lineno)? },
+                "addis" => Instr::Addis { rd, ra, imm: parse_i16(ops[2], lineno)? },
+                "andi" => Instr::Andi { rd, ra, imm: parse_u16(ops[2], lineno)? },
+                "ori" => Instr::Ori { rd, ra, imm: parse_u16(ops[2], lineno)? },
+                _ => Instr::Xori { rd, ra, imm: parse_u16(ops[2], lineno)? },
+            };
+            b.push(i);
+        }
+        "cmpi" => {
+            argc(3)?;
+            b.push(Instr::Cmpi {
+                crf: parse_crf(ops[0], lineno)?,
+                ra: parse_reg(ops[1], lineno)?,
+                imm: parse_i16(ops[2], lineno)?,
+            });
+        }
+        "cmp" => {
+            argc(3)?;
+            b.push(Instr::Cmp {
+                crf: parse_crf(ops[0], lineno)?,
+                ra: parse_reg(ops[1], lineno)?,
+                rb: parse_reg(ops[2], lineno)?,
+            });
+        }
+        "add" | "sub" | "mullw" | "divw" | "divwu" | "remw" | "and" | "or" | "xor" | "nand"
+        | "nor" | "slw" | "srw" | "sraw" => {
+            argc(3)?;
+            let op = match mn {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "mullw" => AluOp::Mullw,
+                "divw" => AluOp::Divw,
+                "divwu" => AluOp::Divwu,
+                "remw" => AluOp::Remw,
+                "and" => AluOp::And,
+                "or" => AluOp::Or,
+                "xor" => AluOp::Xor,
+                "nand" => AluOp::Nand,
+                "nor" => AluOp::Nor,
+                "slw" => AluOp::Slw,
+                "srw" => AluOp::Srw,
+                _ => AluOp::Sraw,
+            };
+            b.push(Instr::Alu {
+                op,
+                rd: parse_reg(ops[0], lineno)?,
+                ra: parse_reg(ops[1], lineno)?,
+                rb: parse_reg(ops[2], lineno)?,
+            });
+        }
+        "neg" | "not" => {
+            if ops.len() != 2 && ops.len() != 3 {
+                return err(lineno, format!("`{mn}` expects 2 or 3 operands, got {}", ops.len()));
+            }
+            b.push(Instr::Alu {
+                op: if mn == "neg" { AluOp::Neg } else { AluOp::Not },
+                rd: parse_reg(ops[0], lineno)?,
+                ra: parse_reg(ops[1], lineno)?,
+                rb: if ops.len() == 3 { parse_reg(ops[2], lineno)? } else { 0 },
+            });
+        }
+        "lwz" | "lbz" | "stw" | "stb" => {
+            argc(2)?;
+            let r = parse_reg(ops[0], lineno)?;
+            let (d, ra) = parse_mem(ops[1], lineno)?;
+            let i = match mn {
+                "lwz" => Instr::Lwz { rd: r, ra, d },
+                "lbz" => Instr::Lbz { rd: r, ra, d },
+                "stw" => Instr::Stw { rs: r, ra, d },
+                _ => Instr::Stb { rs: r, ra, d },
+            };
+            b.push(i);
+        }
+        "b" | "bl" => {
+            argc(1)?;
+            if is_label_token(ops[0]) {
+                b.branch_to(ops[0], mn == "bl");
+            } else {
+                let off = parse_int(ops[0], lineno)? as i32;
+                b.push(if mn == "b" { Instr::B { off } } else { Instr::Bl { off } });
+            }
+        }
+        "bc" => {
+            argc(3)?;
+            let cond = ops[0];
+            let dot = cond.find('.').ok_or_else(|| AsmError {
+                line: lineno,
+                msg: format!("bc condition must be crN.bit, got `{cond}`"),
+            })?;
+            let crf = parse_crf(&cond[..dot], lineno)?;
+            let bit = match &cond[dot + 1..] {
+                "lt" => CrBit::Lt,
+                "gt" => CrBit::Gt,
+                "eq" => CrBit::Eq,
+                "so" => CrBit::So,
+                other => return err(lineno, format!("bad CR bit `{other}`")),
+            };
+            let expect = match ops[1] {
+                "0" => false,
+                "1" => true,
+                other => return err(lineno, format!("bc expect must be 0 or 1, got `{other}`")),
+            };
+            if is_label_token(ops[2]) {
+                b.cond_branch_to(crf, bit, expect, ops[2]);
+            } else {
+                let off = parse_i16(ops[2], lineno)?;
+                b.push(Instr::Bc { crf, bit, expect, off });
+            }
+        }
+        "blr" => {
+            argc(0)?;
+            b.push(Instr::Blr);
+        }
+        "mflr" => {
+            argc(1)?;
+            b.push(Instr::Mflr { rd: parse_reg(ops[0], lineno)? });
+        }
+        "mtlr" => {
+            argc(1)?;
+            b.push(Instr::Mtlr { ra: parse_reg(ops[0], lineno)? });
+        }
+        "sc" => {
+            argc(1)?;
+            let call = match ops[0] {
+                "exit" => Syscall::Exit,
+                "print_int" => Syscall::PrintInt,
+                "print_char" => Syscall::PrintChar,
+                "print_str" => Syscall::PrintStr,
+                "read_int" => Syscall::ReadInt,
+                "read_byte" => Syscall::ReadByte,
+                "malloc" => Syscall::Malloc,
+                "free" => Syscall::Free,
+                "core_id" => Syscall::CoreId,
+                "num_cores" => Syscall::NumCores,
+                "barrier" => Syscall::Barrier,
+                other => return err(lineno, format!("unknown syscall `{other}`")),
+            };
+            b.push(Instr::Sc { call });
+        }
+        "halt" => {
+            argc(0)?;
+            b.push(Instr::Halt);
+        }
+        "nop" => {
+            argc(0)?;
+            b.push_raw(NOP);
+        }
+        "li" => {
+            argc(2)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            let v = parse_int(ops[1], lineno)?;
+            let v = i32::try_from(v)
+                .map_err(|_| AsmError { line: lineno, msg: format!("li value `{v}` out of range") })?;
+            b.load_imm(rd, v);
+        }
+        "la" => {
+            argc(2)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            if !is_label_token(ops[1]) {
+                return err(lineno, "la needs a label operand");
+            }
+            b.load_addr(rd, ops[1]);
+        }
+        "mr" => {
+            argc(2)?;
+            b.push(Instr::Addi {
+                rd: parse_reg(ops[0], lineno)?,
+                ra: parse_reg(ops[1], lineno)?,
+                imm: 0,
+            });
+        }
+        other => return err(lineno, format!("unknown mnemonic `{other}`")),
+    }
+    Ok(())
+}
+
+/// Disassemble an image's code segment to one string per instruction.
+///
+/// Undecodable words render as `.word 0x…`, so disassembly never fails —
+/// useful when inspecting injected corruption.
+pub fn disassemble(image: &Image) -> Vec<String> {
+    image
+        .code
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let addr = image.addr_of(i);
+            match crate::isa::decode(w) {
+                Ok(ins) => format!("{addr:#010x}: {ins}"),
+                Err(_) => format!("{addr:#010x}: .word {w:#010x}"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspect::Noop;
+    use crate::machine::{Machine, MachineConfig, RunOutcome};
+
+    fn run(img: &Image) -> RunOutcome {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(img);
+        m.run(&mut Noop)
+    }
+
+    #[test]
+    fn labels_forward_and_backward() {
+        let img = assemble(
+            "start:
+                li r5, 3
+             loop:
+                cmpi cr0, r5, 0
+                bc cr0.eq, 1, done
+                addi r5, r5, -1
+                b loop
+             done:
+                addi r3, r0, 0
+                halt",
+        )
+        .unwrap();
+        assert!(run(&img).is_normal());
+    }
+
+    #[test]
+    fn li_small_is_one_word() {
+        let img = assemble("li r3, 5\nhalt").unwrap();
+        assert_eq!(img.code.len(), 2);
+    }
+
+    #[test]
+    fn li_large_is_two_words() {
+        let img = assemble("li r3, 100000\nsc print_int\nli r3, 0\nhalt").unwrap();
+        assert_eq!(img.code.len(), 5);
+        assert_eq!(run(&img).output(), b"100000");
+    }
+
+    #[test]
+    fn li_negative_large() {
+        let img = assemble("li r3, -100000\nsc print_int\nli r3, 0\nhalt").unwrap();
+        assert_eq!(run(&img).output(), b"-100000");
+    }
+
+    #[test]
+    fn data_words_and_la() {
+        let img = assemble(
+            "la r4, tbl
+             lwz r3, 4(r4)
+             sc print_int
+             li r3, 0
+             halt
+             .data
+             tbl: .word 10, 20, 30",
+        )
+        .unwrap();
+        assert_eq!(run(&img).output(), b"20");
+    }
+
+    #[test]
+    fn asciz_and_print_str() {
+        let img = assemble(
+            "la r3, msg
+             sc print_str
+             li r3, 0
+             halt
+             .data
+             msg: .asciz \"hi\\n\"",
+        )
+        .unwrap();
+        assert_eq!(run(&img).output(), b"hi\n");
+    }
+
+    #[test]
+    fn space_reserves_zeroed_bytes() {
+        let img = assemble(
+            "la r4, buf
+             lbz r3, 7(r4)
+             sc print_int
+             li r3, 0
+             halt
+             .data
+             buf: .space 8",
+        )
+        .unwrap();
+        assert_eq!(run(&img).output(), b"0");
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let e = assemble("b nowhere\nhalt").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let e = assemble("x:\nx:\nhalt").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_errors() {
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert!(e.msg.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn bad_register_errors() {
+        assert!(assemble("addi r32, r0, 1").is_err());
+        assert!(assemble("addi rx, r0, 1").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let img = assemble("; leading comment\nhalt ; trailing\n# hash comment").unwrap();
+        assert_eq!(img.code.len(), 1);
+    }
+
+    #[test]
+    fn mem_operand_parses() {
+        let img = assemble("lwz r3, -8(r1)\nstw r3, (r1)\nhalt").unwrap();
+        assert_eq!(img.code.len(), 3);
+    }
+
+    #[test]
+    fn mr_and_nop() {
+        let img = assemble("li r5, 4\nmr r3, r5\nnop\nsc print_int\nli r3, 0\nhalt").unwrap();
+        assert_eq!(run(&img).output(), b"4");
+    }
+
+    #[test]
+    fn disassemble_round_trips_through_assembler() {
+        let src = "addi r3, r0, 7\ncmp cr1, r3, r4\nbc cr1.gt, 1, 2\nblr\nhalt";
+        let img = assemble(src).unwrap();
+        let dis = disassemble(&img);
+        assert_eq!(dis.len(), 5);
+        // Strip the address prefix and re-assemble.
+        let src2: String =
+            dis.iter().map(|l| l.split(": ").nth(1).unwrap()).collect::<Vec<_>>().join("\n");
+        let img2 = assemble(&src2).unwrap();
+        assert_eq!(img.code, img2.code);
+    }
+
+    #[test]
+    fn numeric_bc_offset_still_works() {
+        let img = assemble("cmpi cr0, r0, 0\nbc cr0.eq, 1, 2\nhalt\nli r3, 0\nhalt").unwrap();
+        assert_eq!(img.code.len(), 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Execution hooks — the fault-injection surface of the virtual machine.
+//!
+//! The Xception tool described in the reproduced paper corrupts a running
+//! program through the processor's architectural interfaces: the instruction
+//! fetched from memory, the operand travelling on the data bus, the address
+//! on the address bus, and the general-purpose registers. [`Inspector`]
+//! exposes exactly those interception points. Every hook receives mutable
+//! access to the in-flight value, so an implementation can corrupt it —
+//! that *is* the injection mechanism — or merely observe it (tracing,
+//! coverage, trigger monitoring).
+//!
+//! The machine is generic over the inspector type, so the common no-op case
+//! ([`Noop`]) compiles away entirely.
+
+/// Observation and corruption hooks invoked by the interpreter core.
+///
+/// All methods have empty default bodies; implement only what you need.
+/// `core` identifies the executing core on multi-core machines and `pc` the
+/// address of the instruction being executed.
+pub trait Inspector {
+    /// An instruction word has been fetched from `pc` but not yet decoded.
+    ///
+    /// Mutating `word` emulates an instruction-bus fault (Xception's
+    /// "opcode fetch" corruption): the copy in memory is unchanged, but the
+    /// processor executes the corrupted word.
+    #[inline]
+    fn on_fetch(&mut self, core: usize, pc: u32, word: &mut u32) {
+        let _ = (core, pc, word);
+    }
+
+    /// A load instruction computed effective address `addr`, before the
+    /// memory access. Mutating it emulates an address-bus fault.
+    #[inline]
+    fn on_load_addr(&mut self, core: usize, pc: u32, addr: &mut u32) {
+        let _ = (core, pc, addr);
+    }
+
+    /// A value arrived from memory for a load. Mutating it emulates a
+    /// data-bus fault on the inbound path.
+    #[inline]
+    fn on_load_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
+        let _ = (core, pc, addr, value);
+    }
+
+    /// A store instruction computed effective address `addr`, before the
+    /// memory access. Mutating it emulates an address-bus fault.
+    #[inline]
+    fn on_store_addr(&mut self, core: usize, pc: u32, addr: &mut u32) {
+        let _ = (core, pc, addr);
+    }
+
+    /// A value is about to be written to memory by a store. Mutating it
+    /// emulates a data-bus fault on the outbound path.
+    #[inline]
+    fn on_store_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
+        let _ = (core, pc, addr, value);
+    }
+
+    /// A general-purpose register is about to be written (by ALU results,
+    /// immediates, and loads alike). Mutating `value` emulates a fault in
+    /// the register write-back path / integer unit.
+    #[inline]
+    fn on_reg_write(&mut self, core: usize, pc: u32, reg: u8, value: &mut u32) {
+        let _ = (core, pc, reg, value);
+    }
+
+    /// An instruction at `pc` finished executing. Used by temporal fault
+    /// triggers ("after N instructions") and by profiling.
+    #[inline]
+    fn on_retire(&mut self, core: usize, pc: u32) {
+        let _ = (core, pc);
+    }
+}
+
+/// The do-nothing inspector; running with it is fault-free execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Noop;
+
+impl Inspector for Noop {}
+
+/// Counts executed instructions and records the set of executed code
+/// addresses. Useful for coverage-style analyses such as checking whether a
+/// fault location was ever reached (the paper's dormant-fault discussion).
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    /// Total retired instructions across all cores.
+    pub retired: u64,
+    /// Sorted, deduplicated executed addresses (filled on [`Profiler::finish`]).
+    executed: Vec<u32>,
+    dirty: bool,
+}
+
+impl Profiler {
+    /// Create an empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Whether the instruction at `addr` was executed at least once.
+    pub fn executed(&mut self, addr: u32) -> bool {
+        self.finish();
+        self.executed.binary_search(&addr).is_ok()
+    }
+
+    /// Number of distinct executed instruction addresses.
+    pub fn coverage(&mut self) -> usize {
+        self.finish();
+        self.executed.len()
+    }
+
+    fn finish(&mut self) {
+        if self.dirty {
+            self.executed.sort_unstable();
+            self.executed.dedup();
+            self.dirty = false;
+        }
+    }
+}
+
+impl Inspector for Profiler {
+    #[inline]
+    fn on_retire(&mut self, _core: usize, pc: u32) {
+        self.retired += 1;
+        self.executed.push(pc);
+        self.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Noop>(), 0);
+    }
+
+    #[test]
+    fn profiler_dedups_addresses() {
+        let mut p = Profiler::new();
+        p.on_retire(0, 0x100);
+        p.on_retire(0, 0x104);
+        p.on_retire(0, 0x100);
+        assert_eq!(p.retired, 3);
+        assert_eq!(p.coverage(), 2);
+        assert!(p.executed(0x104));
+        assert!(!p.executed(0x108));
+    }
+}

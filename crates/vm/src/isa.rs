@@ -1,0 +1,652 @@
+//! The P601-lite instruction set.
+//!
+//! P601-lite is a fixed-width 32-bit RISC ISA loosely modelled on the
+//! PowerPC 601, the processor targeted by the Xception fault injector in the
+//! reproduced paper. The modelling goal is *not* binary compatibility but
+//! architectural-state compatibility: the same fault surface (instruction
+//! words fetched from memory, operand loads/stores on a data bus, general
+//! purpose registers, condition register fields) that Xception corrupts on
+//! the real 601 exists here with the same shape.
+//!
+//! Encoding: the top 6 bits of every word hold the primary opcode. The
+//! all-zero word is deliberately an illegal instruction so that jumps into
+//! zeroed memory trap instead of silently executing.
+//!
+//! # Examples
+//!
+//! ```
+//! use swifi_vm::isa::{Instr, decode, encode};
+//!
+//! let i = Instr::Addi { rd: 3, ra: 0, imm: -1 };
+//! let w = encode(i);
+//! assert_eq!(decode(w), Ok(i));
+//! ```
+
+use std::fmt;
+
+/// A condition-register bit within a 4-bit CR field.
+///
+/// `cmp`/`cmpi` set `Lt`, `Gt` and `Eq` according to the signed comparison;
+/// `So` is a sticky summary-overflow bit that this implementation keeps
+/// cleared (it exists so that single-bit corruption of a `bc` word can
+/// retarget a branch onto a never-set bit, as on the real machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrBit {
+    /// Less-than (bit 0 of the field).
+    Lt,
+    /// Greater-than (bit 1).
+    Gt,
+    /// Equal (bit 2).
+    Eq,
+    /// Summary overflow (bit 3); never set by `cmp` here.
+    So,
+}
+
+impl CrBit {
+    /// Bit index within the CR field (0..=3).
+    pub fn index(self) -> u32 {
+        match self {
+            CrBit::Lt => 0,
+            CrBit::Gt => 1,
+            CrBit::Eq => 2,
+            CrBit::So => 3,
+        }
+    }
+
+    /// Inverse of [`CrBit::index`].
+    ///
+    /// Returns `None` for out-of-range values.
+    pub fn from_index(i: u32) -> Option<CrBit> {
+        match i {
+            0 => Some(CrBit::Lt),
+            1 => Some(CrBit::Gt),
+            2 => Some(CrBit::Eq),
+            3 => Some(CrBit::So),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CrBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CrBit::Lt => "lt",
+            CrBit::Gt => "gt",
+            CrBit::Eq => "eq",
+            CrBit::So => "so",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Register-register ALU operations (secondary opcode of [`Instr::Alu`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Low 32 bits of the signed product.
+    Mullw,
+    /// Signed division; division by zero traps.
+    Divw,
+    /// Unsigned division; division by zero traps.
+    Divwu,
+    /// Signed remainder; division by zero traps.
+    Remw,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NAND.
+    Nand,
+    /// Bitwise NOR.
+    Nor,
+    /// Logical shift left by `rb & 31`.
+    Slw,
+    /// Logical shift right by `rb & 31`.
+    Srw,
+    /// Arithmetic shift right by `rb & 31`.
+    Sraw,
+    /// Two's-complement negation of `ra` (`rb` ignored).
+    Neg,
+    /// Bitwise complement of `ra` (`rb` ignored).
+    Not,
+}
+
+impl AluOp {
+    /// Secondary-opcode encoding (low 11 bits of the instruction word).
+    pub fn code(self) -> u32 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Sub => 1,
+            AluOp::Mullw => 2,
+            AluOp::Divw => 3,
+            AluOp::Divwu => 4,
+            AluOp::Remw => 5,
+            AluOp::And => 6,
+            AluOp::Or => 7,
+            AluOp::Xor => 8,
+            AluOp::Nand => 9,
+            AluOp::Nor => 10,
+            AluOp::Slw => 11,
+            AluOp::Srw => 12,
+            AluOp::Sraw => 13,
+            AluOp::Neg => 14,
+            AluOp::Not => 15,
+        }
+    }
+
+    /// Inverse of [`AluOp::code`].
+    pub fn from_code(c: u32) -> Option<AluOp> {
+        Some(match c {
+            0 => AluOp::Add,
+            1 => AluOp::Sub,
+            2 => AluOp::Mullw,
+            3 => AluOp::Divw,
+            4 => AluOp::Divwu,
+            5 => AluOp::Remw,
+            6 => AluOp::And,
+            7 => AluOp::Or,
+            8 => AluOp::Xor,
+            9 => AluOp::Nand,
+            10 => AluOp::Nor,
+            11 => AluOp::Slw,
+            12 => AluOp::Srw,
+            13 => AluOp::Sraw,
+            14 => AluOp::Neg,
+            15 => AluOp::Not,
+            _ => return None,
+        })
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mullw => "mullw",
+            AluOp::Divw => "divw",
+            AluOp::Divwu => "divwu",
+            AluOp::Remw => "remw",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nand => "nand",
+            AluOp::Nor => "nor",
+            AluOp::Slw => "slw",
+            AluOp::Srw => "srw",
+            AluOp::Sraw => "sraw",
+            AluOp::Neg => "neg",
+            AluOp::Not => "not",
+        }
+    }
+}
+
+/// System-call numbers carried in the immediate field of [`Instr::Sc`].
+///
+/// Arguments are passed in `r3..=r6`, the result (if any) is returned in
+/// `r3`, following the convention of the Parix-like runtime described in
+/// the paper's experimental setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Syscall {
+    /// Terminate the calling core with exit code `r3`.
+    Exit,
+    /// Print `r3` as a signed decimal integer to the output stream.
+    PrintInt,
+    /// Print the low byte of `r3` as a character.
+    PrintChar,
+    /// Print the NUL-terminated string at guest address `r3`.
+    PrintStr,
+    /// Read the next integer from the input tape into `r3` (0 at EOF,
+    /// with `r4` set to 1).
+    ReadInt,
+    /// Read the next raw byte from the input tape into `r3` (-1 at EOF).
+    ReadByte,
+    /// Allocate `r3` bytes from the guest heap; pointer (or 0) in `r3`.
+    Malloc,
+    /// Release the heap block at `r3`; invalid pointers trap `HeapFault`.
+    Free,
+    /// Identifier of the calling core in `r3`.
+    CoreId,
+    /// Number of cores of the machine in `r3`.
+    NumCores,
+    /// Block until every live core has reached a barrier.
+    Barrier,
+}
+
+impl Syscall {
+    /// Immediate-field encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            Syscall::Exit => 0,
+            Syscall::PrintInt => 1,
+            Syscall::PrintChar => 2,
+            Syscall::PrintStr => 3,
+            Syscall::ReadInt => 4,
+            Syscall::ReadByte => 5,
+            Syscall::Malloc => 6,
+            Syscall::Free => 7,
+            Syscall::CoreId => 8,
+            Syscall::NumCores => 9,
+            Syscall::Barrier => 10,
+        }
+    }
+
+    /// Inverse of [`Syscall::code`].
+    pub fn from_code(c: u32) -> Option<Syscall> {
+        Some(match c {
+            0 => Syscall::Exit,
+            1 => Syscall::PrintInt,
+            2 => Syscall::PrintChar,
+            3 => Syscall::PrintStr,
+            4 => Syscall::ReadInt,
+            5 => Syscall::ReadByte,
+            6 => Syscall::Malloc,
+            7 => Syscall::Free,
+            8 => Syscall::CoreId,
+            9 => Syscall::NumCores,
+            10 => Syscall::Barrier,
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Syscall::Exit => "exit",
+            Syscall::PrintInt => "print_int",
+            Syscall::PrintChar => "print_char",
+            Syscall::PrintStr => "print_str",
+            Syscall::ReadInt => "read_int",
+            Syscall::ReadByte => "read_byte",
+            Syscall::Malloc => "malloc",
+            Syscall::Free => "free",
+            Syscall::CoreId => "core_id",
+            Syscall::NumCores => "num_cores",
+            Syscall::Barrier => "barrier",
+        }
+    }
+}
+
+/// A decoded P601-lite instruction.
+///
+/// All branch displacements are in *words* relative to the address of the
+/// branch instruction itself (PC-relative), so relocating a block of code
+/// does not change intra-block branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field names (rd/ra/rb/imm/d/off) follow PowerPC conventions
+pub enum Instr {
+    /// `rd <- ra + sign_extend(imm)`. With `ra == 0` reads register r0
+    /// normally (r0 is a real register here, unlike PowerPC's addi quirk).
+    Addi { rd: u8, ra: u8, imm: i16 },
+    /// `rd <- ra + (imm << 16)`.
+    Addis { rd: u8, ra: u8, imm: i16 },
+    /// `rd <- ra & zero_extend(imm)`.
+    Andi { rd: u8, ra: u8, imm: u16 },
+    /// `rd <- ra | zero_extend(imm)`.
+    Ori { rd: u8, ra: u8, imm: u16 },
+    /// `rd <- ra ^ zero_extend(imm)`.
+    Xori { rd: u8, ra: u8, imm: u16 },
+    /// Signed compare of `ra` against the immediate, writing CR field `crf`.
+    Cmpi { crf: u8, ra: u8, imm: i16 },
+    /// Signed compare of `ra` against `rb`, writing CR field `crf`.
+    Cmp { crf: u8, ra: u8, rb: u8 },
+    /// Register-register ALU operation.
+    Alu { op: AluOp, rd: u8, ra: u8, rb: u8 },
+    /// Load word: `rd <- mem32[ra + d]`.
+    Lwz { rd: u8, ra: u8, d: i16 },
+    /// Store word: `mem32[ra + d] <- rs`.
+    Stw { rs: u8, ra: u8, d: i16 },
+    /// Load zero-extended byte.
+    Lbz { rd: u8, ra: u8, d: i16 },
+    /// Store byte.
+    Stb { rs: u8, ra: u8, d: i16 },
+    /// Unconditional PC-relative branch (`off` in words, ±2^25).
+    B { off: i32 },
+    /// Branch and link: as [`Instr::B`] but saves the return address in LR.
+    Bl { off: i32 },
+    /// Conditional branch: taken when bit `bit` of CR field `crf` equals
+    /// `expect`.
+    Bc { crf: u8, bit: CrBit, expect: bool, off: i16 },
+    /// Branch to LR (function return).
+    Blr,
+    /// Move from link register: `rd <- LR`.
+    Mflr { rd: u8 },
+    /// Move to link register: `LR <- ra`.
+    Mtlr { ra: u8 },
+    /// System call; see [`Syscall`].
+    Sc { call: Syscall },
+    /// Stop the calling core with exit code `r3`.
+    Halt,
+}
+
+/// Primary opcodes (top 6 bits).
+mod op {
+    pub const ADDI: u32 = 0x01;
+    pub const ADDIS: u32 = 0x02;
+    pub const ANDI: u32 = 0x04;
+    pub const ORI: u32 = 0x05;
+    pub const XORI: u32 = 0x06;
+    pub const CMPI: u32 = 0x07;
+    pub const LWZ: u32 = 0x08;
+    pub const STW: u32 = 0x09;
+    pub const LBZ: u32 = 0x0A;
+    pub const STB: u32 = 0x0B;
+    pub const B: u32 = 0x0C;
+    pub const BL: u32 = 0x0D;
+    pub const BC: u32 = 0x0E;
+    pub const ALU: u32 = 0x0F;
+    pub const CMP: u32 = 0x10;
+    pub const BLR: u32 = 0x11;
+    pub const SC: u32 = 0x12;
+    pub const HALT: u32 = 0x13;
+    pub const MFLR: u32 = 0x14;
+    pub const MTLR: u32 = 0x15;
+}
+
+/// Error returned by [`decode`] for words that are not valid instructions.
+///
+/// Fetching such a word at runtime raises the `IllegalInstruction` trap,
+/// one of the crash failure modes of the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn field_rd(w: u32) -> u8 {
+    ((w >> 21) & 0x1F) as u8
+}
+#[inline]
+fn field_ra(w: u32) -> u8 {
+    ((w >> 16) & 0x1F) as u8
+}
+#[inline]
+fn field_rb(w: u32) -> u8 {
+    ((w >> 11) & 0x1F) as u8
+}
+#[inline]
+fn field_imm(w: u32) -> u16 {
+    (w & 0xFFFF) as u16
+}
+
+/// Encode an instruction into its 32-bit word.
+///
+/// `encode` and [`decode`] are exact inverses for every valid instruction;
+/// this is covered by a property test.
+pub fn encode(i: Instr) -> u32 {
+    fn itype(opc: u32, rd: u8, ra: u8, imm: u16) -> u32 {
+        (opc << 26) | ((rd as u32) << 21) | ((ra as u32) << 16) | imm as u32
+    }
+    match i {
+        Instr::Addi { rd, ra, imm } => itype(op::ADDI, rd, ra, imm as u16),
+        Instr::Addis { rd, ra, imm } => itype(op::ADDIS, rd, ra, imm as u16),
+        Instr::Andi { rd, ra, imm } => itype(op::ANDI, rd, ra, imm),
+        Instr::Ori { rd, ra, imm } => itype(op::ORI, rd, ra, imm),
+        Instr::Xori { rd, ra, imm } => itype(op::XORI, rd, ra, imm),
+        Instr::Cmpi { crf, ra, imm } => itype(op::CMPI, crf & 0x7, ra, imm as u16),
+        Instr::Lwz { rd, ra, d } => itype(op::LWZ, rd, ra, d as u16),
+        Instr::Stw { rs, ra, d } => itype(op::STW, rs, ra, d as u16),
+        Instr::Lbz { rd, ra, d } => itype(op::LBZ, rd, ra, d as u16),
+        Instr::Stb { rs, ra, d } => itype(op::STB, rs, ra, d as u16),
+        Instr::B { off } => (op::B << 26) | ((off as u32) & 0x03FF_FFFF),
+        Instr::Bl { off } => (op::BL << 26) | ((off as u32) & 0x03FF_FFFF),
+        Instr::Bc { crf, bit, expect, off } => {
+            let rd = ((crf as u32 & 0x7) << 2) | bit.index();
+            let ra = expect as u32;
+            (op::BC << 26) | (rd << 21) | (ra << 16) | (off as u16) as u32
+        }
+        Instr::Alu { op: a, rd, ra, rb } => {
+            (op::ALU << 26)
+                | ((rd as u32) << 21)
+                | ((ra as u32) << 16)
+                | ((rb as u32) << 11)
+                | a.code()
+        }
+        Instr::Cmp { crf, ra, rb } => {
+            (op::CMP << 26) | ((crf as u32 & 0x7) << 21) | ((ra as u32) << 16) | ((rb as u32) << 11)
+        }
+        Instr::Blr => op::BLR << 26,
+        Instr::Mflr { rd } => (op::MFLR << 26) | ((rd as u32) << 21),
+        Instr::Mtlr { ra } => (op::MTLR << 26) | ((ra as u32) << 16),
+        Instr::Sc { call } => (op::SC << 26) | call.code(),
+        Instr::Halt => op::HALT << 26,
+    }
+}
+
+/// Decode a 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word does not encode a valid instruction
+/// (unknown primary/secondary opcode or syscall number, or non-zero bits in
+/// fields an instruction does not use).
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    let opc = w >> 26;
+    let err = Err(DecodeError { word: w });
+    let i = match opc {
+        op::ADDI => Instr::Addi { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) as i16 },
+        op::ADDIS => Instr::Addis { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) as i16 },
+        op::ANDI => Instr::Andi { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) },
+        op::ORI => Instr::Ori { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) },
+        op::XORI => Instr::Xori { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) },
+        op::CMPI => {
+            if field_rd(w) > 7 {
+                return err;
+            }
+            Instr::Cmpi { crf: field_rd(w), ra: field_ra(w), imm: field_imm(w) as i16 }
+        }
+        op::LWZ => Instr::Lwz { rd: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
+        op::STW => Instr::Stw { rs: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
+        op::LBZ => Instr::Lbz { rd: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
+        op::STB => Instr::Stb { rs: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
+        op::B | op::BL => {
+            let raw = w & 0x03FF_FFFF;
+            // Sign-extend the 26-bit field.
+            let off = ((raw << 6) as i32) >> 6;
+            if opc == op::B {
+                Instr::B { off }
+            } else {
+                Instr::Bl { off }
+            }
+        }
+        op::BC => {
+            let rd = field_rd(w) as u32;
+            let crf = (rd >> 2) as u8;
+            let bit = match CrBit::from_index(rd & 0x3) {
+                Some(b) => b,
+                None => return err,
+            };
+            let expect_field = field_ra(w);
+            if expect_field > 1 {
+                return err;
+            }
+            Instr::Bc { crf, bit, expect: expect_field == 1, off: field_imm(w) as i16 }
+        }
+        op::ALU => {
+            let a = match AluOp::from_code(w & 0x7FF) {
+                Some(a) => a,
+                None => return err,
+            };
+            Instr::Alu { op: a, rd: field_rd(w), ra: field_ra(w), rb: field_rb(w) }
+        }
+        op::CMP => {
+            if field_rd(w) > 7 || (w & 0x7FF) != 0 {
+                return err;
+            }
+            Instr::Cmp { crf: field_rd(w), ra: field_ra(w), rb: field_rb(w) }
+        }
+        op::BLR => {
+            if w != op::BLR << 26 {
+                return err;
+            }
+            Instr::Blr
+        }
+        op::SC => match Syscall::from_code(w & 0xFFFF) {
+            Some(call) if (w >> 16) & 0x3FF == 0 => Instr::Sc { call },
+            _ => return err,
+        },
+        op::HALT => {
+            if w != op::HALT << 26 {
+                return err;
+            }
+            Instr::Halt
+        }
+        op::MFLR => {
+            if w & 0x001F_FFFF != 0 {
+                return err;
+            }
+            Instr::Mflr { rd: field_rd(w) }
+        }
+        op::MTLR => {
+            if w & 0x03E0_FFFF != 0 {
+                return err;
+            }
+            Instr::Mtlr { ra: field_ra(w) }
+        }
+        _ => return err,
+    };
+    Ok(i)
+}
+
+impl fmt::Display for Instr {
+    /// Renders the instruction in the assembler's textual syntax, so that
+    /// `Display` output can be fed back through the assembler.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Addi { rd, ra, imm } => write!(f, "addi r{rd}, r{ra}, {imm}"),
+            Instr::Addis { rd, ra, imm } => write!(f, "addis r{rd}, r{ra}, {imm}"),
+            Instr::Andi { rd, ra, imm } => write!(f, "andi r{rd}, r{ra}, {imm}"),
+            Instr::Ori { rd, ra, imm } => write!(f, "ori r{rd}, r{ra}, {imm}"),
+            Instr::Xori { rd, ra, imm } => write!(f, "xori r{rd}, r{ra}, {imm}"),
+            Instr::Cmpi { crf, ra, imm } => write!(f, "cmpi cr{crf}, r{ra}, {imm}"),
+            Instr::Cmp { crf, ra, rb } => write!(f, "cmp cr{crf}, r{ra}, r{rb}"),
+            Instr::Alu { op, rd, ra, rb } => match op {
+                // rb is architecturally ignored by neg/not but still part of
+                // the encoding; print it only when non-zero so the text form
+                // stays lossless.
+                AluOp::Neg | AluOp::Not if rb == 0 => {
+                    write!(f, "{} r{rd}, r{ra}", op.mnemonic())
+                }
+                _ => write!(f, "{} r{rd}, r{ra}, r{rb}", op.mnemonic()),
+            },
+            Instr::Lwz { rd, ra, d } => write!(f, "lwz r{rd}, {d}(r{ra})"),
+            Instr::Stw { rs, ra, d } => write!(f, "stw r{rs}, {d}(r{ra})"),
+            Instr::Lbz { rd, ra, d } => write!(f, "lbz r{rd}, {d}(r{ra})"),
+            Instr::Stb { rs, ra, d } => write!(f, "stb r{rs}, {d}(r{ra})"),
+            Instr::B { off } => write!(f, "b {off}"),
+            Instr::Bl { off } => write!(f, "bl {off}"),
+            Instr::Bc { crf, bit, expect, off } => {
+                write!(f, "bc cr{crf}.{bit}, {}, {off}", expect as u8)
+            }
+            Instr::Blr => f.write_str("blr"),
+            Instr::Mflr { rd } => write!(f, "mflr r{rd}"),
+            Instr::Mtlr { ra } => write!(f, "mtlr r{ra}"),
+            Instr::Sc { call } => write!(f, "sc {}", call.name()),
+            Instr::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// A no-operation encoding (`ori r0, r0, 0`), used by the injector to erase
+/// an instruction ("value unassigned" assignment faults).
+pub const NOP: u32 = (op::ORI << 26) | 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_word_is_illegal() {
+        assert!(decode(0).is_err());
+    }
+
+    #[test]
+    fn nop_is_ori_zero() {
+        assert_eq!(decode(NOP), Ok(Instr::Ori { rd: 0, ra: 0, imm: 0 }));
+    }
+
+    #[test]
+    fn branch_offsets_sign_extend() {
+        for off in [-1_000_000, -1, 0, 1, 1_000_000] {
+            let w = encode(Instr::B { off });
+            assert_eq!(decode(w), Ok(Instr::B { off }));
+            let w = encode(Instr::Bl { off });
+            assert_eq!(decode(w), Ok(Instr::Bl { off }));
+        }
+    }
+
+    #[test]
+    fn bc_fields_round_trip() {
+        for crf in 0..8u8 {
+            for bit in [CrBit::Lt, CrBit::Gt, CrBit::Eq, CrBit::So] {
+                for expect in [false, true] {
+                    for off in [-32768i16, -1, 0, 5, 32767] {
+                        let i = Instr::Bc { crf, bit, expect, off };
+                        assert_eq!(decode(encode(i)), Ok(i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_syscalls_round_trip() {
+        for c in 0..=10 {
+            let call = Syscall::from_code(c).unwrap();
+            assert_eq!(call.code(), c);
+            let i = Instr::Sc { call };
+            assert_eq!(decode(encode(i)), Ok(i));
+        }
+        assert_eq!(Syscall::from_code(11), None);
+    }
+
+    #[test]
+    fn all_alu_ops_round_trip() {
+        for c in 0..16 {
+            let a = AluOp::from_code(c).unwrap();
+            assert_eq!(a.code(), c);
+            let i = Instr::Alu { op: a, rd: 31, ra: 17, rb: 9 };
+            assert_eq!(decode(encode(i)), Ok(i));
+        }
+        assert_eq!(AluOp::from_code(16), None);
+    }
+
+    #[test]
+    fn cmpi_rejects_bad_crf() {
+        // Hand-build a cmpi with crf field 8 (>7).
+        let w = (0x07 << 26) | (8 << 21);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(encode(Instr::Addi { rd: 3, ra: 1, imm: -4 }).to_string().is_empty(), false);
+        assert_eq!(Instr::Addi { rd: 3, ra: 1, imm: -4 }.to_string(), "addi r3, r1, -4");
+        assert_eq!(
+            Instr::Bc { crf: 0, bit: CrBit::Lt, expect: true, off: -3 }.to_string(),
+            "bc cr0.lt, 1, -3"
+        );
+        assert_eq!(Instr::Sc { call: Syscall::Malloc }.to_string(), "sc malloc");
+    }
+
+    #[test]
+    fn reserved_bits_reject() {
+        // blr with a stray bit set is illegal.
+        assert!(decode((0x11 << 26) | 1).is_err());
+        // cmp with non-zero secondary bits is illegal.
+        assert!(decode((0x10 << 26) | 3).is_err());
+        // mflr with stray low bits.
+        assert!(decode((0x14 << 26) | (3 << 21) | 7).is_err());
+    }
+}

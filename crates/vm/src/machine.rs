@@ -1,0 +1,920 @@
+//! The P601-lite machine: cores, scheduler, syscalls, and run outcomes.
+//!
+//! A [`Machine`] owns guest memory, one or more [`Cpu`] cores, a guest heap
+//! [`Allocator`](crate::mem::Allocator), an input tape, and an output
+//! stream. One *run* executes a loaded [`Image`](crate::mem::Image) from
+//! scratch until every core halts, a core traps, or the instruction budget
+//! is exhausted — yielding the paper's four failure-mode observables
+//! (correct/incorrect output, crash, hang) via [`RunOutcome`].
+//!
+//! A fresh `Machine` is built per experiment run; this models the paper's
+//! "the target system is rebooted between injections to assure a clean
+//! state".
+//!
+//! # Examples
+//!
+//! ```
+//! use swifi_vm::asm::assemble;
+//! use swifi_vm::machine::{Machine, MachineConfig, RunOutcome};
+//! use swifi_vm::inspect::Noop;
+//!
+//! let image = assemble(
+//!     "
+//!     addi r3, r0, 21
+//!     addi r4, r0, 2
+//!     mullw r3, r3, r4
+//!     sc print_int
+//!     addi r3, r0, 0
+//!     halt
+//!     ",
+//! )?;
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.load(&image);
+//! let outcome = m.run(&mut Noop);
+//! assert_eq!(outcome, RunOutcome::Completed { exit_code: 0, output: b"42".to_vec() });
+//! # Ok::<(), swifi_vm::asm::AsmError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::inspect::Inspector;
+use crate::isa::{self, AluOp, CrBit, Instr, Syscall};
+use crate::mem::{Allocator, Image, Memory, CODE_BASE};
+
+/// A hardware-detected error condition; the *crash* failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// The fetched word does not decode to a valid instruction.
+    IllegalInstruction {
+        /// The offending word.
+        word: u32,
+    },
+    /// Access to the null page or beyond the end of memory.
+    Unmapped {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Word access at a non-word-aligned address.
+    Misaligned {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// `divw`/`divwu`/`remw` with a zero divisor.
+    DivideByZero,
+    /// The stack pointer (r1) was moved below the core's stack floor,
+    /// typically by runaway recursion.
+    StackOverflow,
+    /// Heap-interface misuse: wild or double `free`.
+    HeapFault {
+        /// The pointer passed to `free`.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalInstruction { word } => write!(f, "illegal instruction {word:#010x}"),
+            Trap::Unmapped { addr } => write!(f, "unmapped address {addr:#010x}"),
+            Trap::Misaligned { addr } => write!(f, "misaligned access {addr:#010x}"),
+            Trap::DivideByZero => f.write_str("division by zero"),
+            Trap::StackOverflow => f.write_str("stack overflow"),
+            Trap::HeapFault { addr } => write!(f, "heap fault freeing {addr:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Scheduling state of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    Running,
+    WaitingBarrier,
+    Halted(i32),
+}
+
+/// Architectural state of one core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers; r1 is the stack pointer by convention.
+    pub regs: [u32; 32],
+    /// Link register.
+    pub lr: u32,
+    /// Condition register: eight 4-bit fields (LT, GT, EQ, SO).
+    pub cr: u32,
+    /// Program counter.
+    pub pc: u32,
+    stack_floor: u32,
+    state: CoreState,
+}
+
+impl Cpu {
+    fn new(entry: u32, stack_top: u32, stack_floor: u32, core_id: u32) -> Cpu {
+        let mut regs = [0u32; 32];
+        regs[1] = stack_top;
+        regs[3] = core_id;
+        Cpu { regs, lr: 0, cr: 0, pc: entry, stack_floor, state: CoreState::Running }
+    }
+
+    /// Value of a condition-register bit.
+    #[inline]
+    pub fn cr_bit(&self, crf: u8, bit: CrBit) -> bool {
+        (self.cr >> ((crf as u32 & 7) * 4 + bit.index())) & 1 == 1
+    }
+
+    #[inline]
+    fn set_cr_field(&mut self, crf: u8, lt: bool, gt: bool, eq: bool) {
+        let shift = (crf as u32 & 7) * 4;
+        self.cr &= !(0xF << shift);
+        let v = (lt as u32) | ((gt as u32) << 1) | ((eq as u32) << 2);
+        self.cr |= v << shift;
+    }
+}
+
+/// Sizing and limits for a [`Machine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Guest memory size in bytes (word-aligned; default 1 MiB).
+    pub mem_size: u32,
+    /// Number of cores (default 1).
+    pub num_cores: usize,
+    /// Stack bytes reserved per core at the top of memory (default 64 KiB).
+    pub stack_size: u32,
+    /// Total retired-instruction budget before the run is declared a hang
+    /// (default 50 million).
+    pub budget: u64,
+    /// Output-stream cap in bytes; exceeding it also counts as a hang
+    /// (a dead loop that prints; default 1 MiB).
+    pub output_limit: usize,
+    /// Instructions per scheduling quantum on multi-core machines
+    /// (default 64).
+    pub quantum: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mem_size: 1 << 20,
+            num_cores: 1,
+            stack_size: 64 << 10,
+            budget: 50_000_000,
+            output_limit: 1 << 20,
+            quantum: 64,
+        }
+    }
+}
+
+/// The observable result of one program run — the paper's failure modes.
+///
+/// `Completed` still has to be checked against an output oracle to decide
+/// between the *correct* and *incorrect results* failure modes; the machine
+/// cannot know what the right answer was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every core halted normally.
+    Completed {
+        /// Exit code of core 0.
+        exit_code: i32,
+        /// Everything the program printed.
+        output: Vec<u8>,
+    },
+    /// A core raised a [`Trap`] — the *crash* failure mode.
+    Trapped {
+        /// The error condition.
+        trap: Trap,
+        /// Address of the faulting instruction.
+        pc: u32,
+        /// Which core trapped.
+        core: usize,
+        /// Output produced before the crash.
+        output: Vec<u8>,
+    },
+    /// The instruction budget or output cap was exhausted — the *hang*
+    /// failure mode (the paper's experiment manager killed such runs after
+    /// a timeout).
+    Hang {
+        /// Output produced before the timeout.
+        output: Vec<u8>,
+    },
+}
+
+impl RunOutcome {
+    /// The program output regardless of how the run ended.
+    pub fn output(&self) -> &[u8] {
+        match self {
+            RunOutcome::Completed { output, .. }
+            | RunOutcome::Trapped { output, .. }
+            | RunOutcome::Hang { output } => output,
+        }
+    }
+
+    /// Whether the run terminated normally (exit code 0 and no trap/hang).
+    pub fn is_normal(&self) -> bool {
+        matches!(self, RunOutcome::Completed { exit_code: 0, .. })
+    }
+}
+
+/// Input tape feeding the `read_int` / `read_byte` syscalls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputTape {
+    ints: VecDeque<i32>,
+    bytes: VecDeque<u8>,
+}
+
+impl InputTape {
+    /// Empty tape.
+    pub fn new() -> InputTape {
+        InputTape::default()
+    }
+
+    /// Append integers consumed by `read_int`.
+    pub fn push_ints<I: IntoIterator<Item = i32>>(&mut self, ints: I) -> &mut InputTape {
+        self.ints.extend(ints);
+        self
+    }
+
+    /// Append raw bytes consumed by `read_byte`.
+    pub fn push_bytes<I: IntoIterator<Item = u8>>(&mut self, bytes: I) -> &mut InputTape {
+        self.bytes.extend(bytes);
+        self
+    }
+
+    /// Append a string plus newline to the byte stream.
+    pub fn push_line(&mut self, line: &str) -> &mut InputTape {
+        self.bytes.extend(line.bytes());
+        self.bytes.push_back(b'\n');
+        self
+    }
+}
+
+enum Progress {
+    Continue,
+    StateChange,
+}
+
+/// A complete P601-lite machine. See the [module docs](self) for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    mem: Memory,
+    cores: Vec<Cpu>,
+    alloc: Allocator,
+    input: InputTape,
+    output: Vec<u8>,
+    retired: u64,
+    loaded: bool,
+}
+
+impl Machine {
+    /// Build a machine per `config` with empty memory and input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero cores, or stacks
+    /// that do not fit in memory) — configuration errors, not guest faults.
+    pub fn new(config: MachineConfig) -> Machine {
+        assert!(config.num_cores >= 1, "need at least one core");
+        let stacks = config.stack_size as u64 * config.num_cores as u64;
+        assert!(
+            stacks < config.mem_size as u64 / 2,
+            "stacks ({stacks} bytes) must fit in half of memory"
+        );
+        let mem = Memory::new(config.mem_size);
+        Machine {
+            config,
+            mem,
+            cores: Vec::new(),
+            alloc: Allocator::new(CODE_BASE, CODE_BASE),
+            input: InputTape::new(),
+            output: Vec::new(),
+            retired: 0,
+            loaded: false,
+        }
+    }
+
+    /// Load an image: copy code and data into memory, set up the heap
+    /// between the static footprint and the stacks, and reset every core to
+    /// the entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit below the stack region.
+    pub fn load(&mut self, image: &Image) {
+        let stacks_base =
+            self.config.mem_size - self.config.stack_size * self.config.num_cores as u32;
+        assert!(
+            image.static_end() <= stacks_base,
+            "image static footprint {:#x} collides with stacks at {:#x}",
+            image.static_end(),
+            stacks_base
+        );
+        for (i, &w) in image.code.iter().enumerate() {
+            self.mem.write_u32(image.addr_of(i), w).expect("code fits");
+        }
+        self.mem.write_bytes(image.data_base(), &image.data).expect("data fits");
+        self.alloc = Allocator::new(image.static_end(), stacks_base);
+        self.cores = (0..self.config.num_cores)
+            .map(|i| {
+                let top = self.config.mem_size - self.config.stack_size * i as u32;
+                Cpu::new(image.entry, top, top - self.config.stack_size, i as u32)
+            })
+            .collect();
+        self.loaded = true;
+    }
+
+    /// Replace the input tape (before running).
+    pub fn set_input(&mut self, input: InputTape) {
+        self.input = input;
+    }
+
+    /// Direct memory read (for loaders, injectors and tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same traps as guest accesses.
+    pub fn peek_u32(&self, addr: u32) -> Result<u32, Trap> {
+        self.mem.read_u32(addr)
+    }
+
+    /// Direct memory write (for loaders, injectors and tests). This is how
+    /// Xception's "error inserted in memory at the location of the
+    /// instruction" fault model is realised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same traps as guest accesses.
+    pub fn poke_u32(&mut self, addr: u32, value: u32) -> Result<(), Trap> {
+        self.mem.write_u32(addr, value)
+    }
+
+    /// Architectural state of a core (diagnostics, assertions in tests).
+    pub fn core(&self, i: usize) -> &Cpu {
+        &self.cores[i]
+    }
+
+    /// Total retired instructions so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Heap allocator statistics (for leak assertions in tests).
+    pub fn allocator(&self) -> &Allocator {
+        &self.alloc
+    }
+
+    /// Execute until completion, trap, or budget/output exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no image has been loaded.
+    pub fn run<I: Inspector>(&mut self, inspector: &mut I) -> RunOutcome {
+        assert!(self.loaded, "Machine::load must be called before run");
+        loop {
+            if self.retired >= self.config.budget || self.output.len() > self.config.output_limit {
+                return RunOutcome::Hang { output: std::mem::take(&mut self.output) };
+            }
+            let mut any_running = false;
+            for c in 0..self.cores.len() {
+                if self.cores[c].state != CoreState::Running {
+                    continue;
+                }
+                any_running = true;
+                let quantum = self.config.quantum;
+                for _ in 0..quantum {
+                    if self.retired >= self.config.budget {
+                        break;
+                    }
+                    match self.step(c, inspector) {
+                        Ok(Progress::Continue) => {}
+                        Ok(Progress::StateChange) => break,
+                        Err((trap, pc)) => {
+                            return RunOutcome::Trapped {
+                                trap,
+                                pc,
+                                core: c,
+                                output: std::mem::take(&mut self.output),
+                            };
+                        }
+                    }
+                }
+            }
+            // Barrier release: *every* core of the machine must arrive. A
+            // halted (or crashed) partner therefore deadlocks the barrier,
+            // which the budget turns into the hang failure mode — matching
+            // the global-barrier semantics of the paper's Parix target.
+            let waiting =
+                self.cores.iter().filter(|c| c.state == CoreState::WaitingBarrier).count();
+            if waiting > 0 && waiting == self.cores.len() {
+                for c in &mut self.cores {
+                    if c.state == CoreState::WaitingBarrier {
+                        c.state = CoreState::Running;
+                    }
+                }
+                continue;
+            }
+            if self.cores.iter().all(|c| matches!(c.state, CoreState::Halted(_))) {
+                let exit_code = match self.cores[0].state {
+                    CoreState::Halted(code) => code,
+                    _ => unreachable!(),
+                };
+                return RunOutcome::Completed {
+                    exit_code,
+                    output: std::mem::take(&mut self.output),
+                };
+            }
+            if !any_running {
+                // Deadlock (e.g. barrier with a halted partner): burn budget
+                // so the run ends as a hang, like the paper's watchdog.
+                self.retired += self.cores.len() as u64 * self.config.quantum as u64;
+            }
+        }
+    }
+
+    fn step<I: Inspector>(&mut self, c: usize, insp: &mut I) -> Result<Progress, (Trap, u32)> {
+        let pc = self.cores[c].pc;
+        let mut word = self.mem.read_u32(pc).map_err(|t| (t, pc))?;
+        insp.on_fetch(c, pc, &mut word);
+        let instr = isa::decode(word).map_err(|e| (Trap::IllegalInstruction { word: e.word }, pc))?;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut progress = Progress::Continue;
+
+        macro_rules! set_reg {
+            ($rd:expr, $val:expr) => {{
+                let mut v: u32 = $val;
+                insp.on_reg_write(c, pc, $rd, &mut v);
+                self.cores[c].regs[$rd as usize] = v;
+                // Guard-page model: moving the stack pointer below the
+                // core's stack floor traps (runaway recursion ⇒ crash).
+                if $rd == 1 && v < self.cores[c].stack_floor {
+                    return Err((Trap::StackOverflow, pc));
+                }
+            }};
+        }
+
+        match instr {
+            Instr::Addi { rd, ra, imm } => {
+                set_reg!(rd, self.cores[c].regs[ra as usize].wrapping_add(imm as i32 as u32));
+            }
+            Instr::Addis { rd, ra, imm } => {
+                set_reg!(rd, self.cores[c].regs[ra as usize].wrapping_add((imm as i32 as u32) << 16));
+            }
+            Instr::Andi { rd, ra, imm } => {
+                set_reg!(rd, self.cores[c].regs[ra as usize] & imm as u32);
+            }
+            Instr::Ori { rd, ra, imm } => {
+                set_reg!(rd, self.cores[c].regs[ra as usize] | imm as u32);
+            }
+            Instr::Xori { rd, ra, imm } => {
+                set_reg!(rd, self.cores[c].regs[ra as usize] ^ imm as u32);
+            }
+            Instr::Cmpi { crf, ra, imm } => {
+                let a = self.cores[c].regs[ra as usize] as i32;
+                let b = imm as i32;
+                self.cores[c].set_cr_field(crf, a < b, a > b, a == b);
+            }
+            Instr::Cmp { crf, ra, rb } => {
+                let a = self.cores[c].regs[ra as usize] as i32;
+                let b = self.cores[c].regs[rb as usize] as i32;
+                self.cores[c].set_cr_field(crf, a < b, a > b, a == b);
+            }
+            Instr::Alu { op, rd, ra, rb } => {
+                let a = self.cores[c].regs[ra as usize];
+                let b = self.cores[c].regs[rb as usize];
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mullw => (a as i32).wrapping_mul(b as i32) as u32,
+                    AluOp::Divw => {
+                        if b == 0 {
+                            return Err((Trap::DivideByZero, pc));
+                        }
+                        (a as i32).wrapping_div(b as i32) as u32
+                    }
+                    AluOp::Divwu => {
+                        if b == 0 {
+                            return Err((Trap::DivideByZero, pc));
+                        }
+                        a / b
+                    }
+                    AluOp::Remw => {
+                        if b == 0 {
+                            return Err((Trap::DivideByZero, pc));
+                        }
+                        (a as i32).wrapping_rem(b as i32) as u32
+                    }
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Nand => !(a & b),
+                    AluOp::Nor => !(a | b),
+                    AluOp::Slw => a.wrapping_shl(b & 31),
+                    AluOp::Srw => a.wrapping_shr(b & 31),
+                    AluOp::Sraw => ((a as i32).wrapping_shr(b & 31)) as u32,
+                    AluOp::Neg => (a as i32).wrapping_neg() as u32,
+                    AluOp::Not => !a,
+                };
+                set_reg!(rd, v);
+            }
+            Instr::Lwz { rd, ra, d } => {
+                let mut addr = self.cores[c].regs[ra as usize].wrapping_add(d as i32 as u32);
+                insp.on_load_addr(c, pc, &mut addr);
+                let mut v = self.mem.read_u32(addr).map_err(|t| (t, pc))?;
+                insp.on_load_value(c, pc, addr, &mut v);
+                set_reg!(rd, v);
+            }
+            Instr::Lbz { rd, ra, d } => {
+                let mut addr = self.cores[c].regs[ra as usize].wrapping_add(d as i32 as u32);
+                insp.on_load_addr(c, pc, &mut addr);
+                let mut v = self.mem.read_u8(addr).map_err(|t| (t, pc))? as u32;
+                insp.on_load_value(c, pc, addr, &mut v);
+                set_reg!(rd, v);
+            }
+            Instr::Stw { rs, ra, d } => {
+                let mut addr = self.cores[c].regs[ra as usize].wrapping_add(d as i32 as u32);
+                insp.on_store_addr(c, pc, &mut addr);
+                let mut v = self.cores[c].regs[rs as usize];
+                insp.on_store_value(c, pc, addr, &mut v);
+                self.mem.write_u32(addr, v).map_err(|t| (t, pc))?;
+            }
+            Instr::Stb { rs, ra, d } => {
+                let mut addr = self.cores[c].regs[ra as usize].wrapping_add(d as i32 as u32);
+                insp.on_store_addr(c, pc, &mut addr);
+                let mut v = self.cores[c].regs[rs as usize] & 0xFF;
+                insp.on_store_value(c, pc, addr, &mut v);
+                self.mem.write_u8(addr, v as u8).map_err(|t| (t, pc))?;
+            }
+            Instr::B { off } => {
+                next_pc = pc.wrapping_add((off as u32).wrapping_mul(4));
+            }
+            Instr::Bl { off } => {
+                self.cores[c].lr = pc.wrapping_add(4);
+                next_pc = pc.wrapping_add((off as u32).wrapping_mul(4));
+            }
+            Instr::Bc { crf, bit, expect, off } => {
+                if self.cores[c].cr_bit(crf, bit) == expect {
+                    next_pc = pc.wrapping_add((off as i32 as u32).wrapping_mul(4));
+                }
+            }
+            Instr::Blr => {
+                next_pc = self.cores[c].lr;
+            }
+            Instr::Mflr { rd } => {
+                set_reg!(rd, self.cores[c].lr);
+            }
+            Instr::Mtlr { ra } => {
+                self.cores[c].lr = self.cores[c].regs[ra as usize];
+            }
+            Instr::Halt => {
+                self.cores[c].state = CoreState::Halted(self.cores[c].regs[3] as i32);
+                progress = Progress::StateChange;
+            }
+            Instr::Sc { call } => {
+                self.syscall(c, call, pc).map_err(|t| (t, pc))?;
+                if self.cores[c].state != CoreState::Running {
+                    progress = Progress::StateChange;
+                }
+            }
+        }
+        self.cores[c].pc = next_pc;
+        self.retired += 1;
+        insp.on_retire(c, pc);
+        Ok(progress)
+    }
+
+    fn syscall(&mut self, c: usize, call: Syscall, _pc: u32) -> Result<(), Trap> {
+        match call {
+            Syscall::Exit => {
+                self.cores[c].state = CoreState::Halted(self.cores[c].regs[3] as i32);
+            }
+            Syscall::PrintInt => {
+                let v = self.cores[c].regs[3] as i32;
+                self.output.extend_from_slice(v.to_string().as_bytes());
+            }
+            Syscall::PrintChar => {
+                self.output.push(self.cores[c].regs[3] as u8);
+            }
+            Syscall::PrintStr => {
+                let s = self.mem.read_cstr(self.cores[c].regs[3], 1 << 16)?;
+                self.output.extend_from_slice(&s);
+            }
+            Syscall::ReadInt => match self.input.ints.pop_front() {
+                Some(v) => {
+                    self.cores[c].regs[3] = v as u32;
+                    self.cores[c].regs[4] = 0;
+                }
+                None => {
+                    self.cores[c].regs[3] = 0;
+                    self.cores[c].regs[4] = 1;
+                }
+            },
+            Syscall::ReadByte => match self.input.bytes.pop_front() {
+                Some(b) => self.cores[c].regs[3] = b as u32,
+                None => self.cores[c].regs[3] = u32::MAX,
+            },
+            Syscall::Malloc => {
+                let size = self.cores[c].regs[3];
+                self.cores[c].regs[3] = self.alloc.malloc(size);
+            }
+            Syscall::Free => {
+                self.alloc.free(self.cores[c].regs[3])?;
+            }
+            Syscall::CoreId => {
+                self.cores[c].regs[3] = c as u32;
+            }
+            Syscall::NumCores => {
+                self.cores[c].regs[3] = self.cores.len() as u32;
+            }
+            Syscall::Barrier => {
+                self.cores[c].state = CoreState::WaitingBarrier;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::inspect::Noop;
+
+    fn run_src(src: &str) -> RunOutcome {
+        run_src_with(src, InputTape::new(), MachineConfig::default())
+    }
+
+    fn run_src_with(src: &str, input: InputTape, config: MachineConfig) -> RunOutcome {
+        let image = assemble(src).expect("assembles");
+        let mut m = Machine::new(config);
+        m.load(&image);
+        m.set_input(input);
+        m.run(&mut Noop)
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run_src(
+            "addi r3, r0, 7
+             addi r4, r0, 6
+             mullw r3, r3, r4
+             sc print_int
+             addi r3, r0, 0
+             halt",
+        );
+        assert_eq!(out, RunOutcome::Completed { exit_code: 0, output: b"42".to_vec() });
+    }
+
+    #[test]
+    fn exit_code_propagates() {
+        let out = run_src("addi r3, r0, 3\nhalt");
+        assert!(matches!(out, RunOutcome::Completed { exit_code: 3, .. }));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let out = run_src("addi r3, r0, 1\naddi r4, r0, 0\ndivw r3, r3, r4\nhalt");
+        assert!(matches!(out, RunOutcome::Trapped { trap: Trap::DivideByZero, .. }));
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let out = run_src("addi r4, r0, 0\nlwz r3, 0(r4)\nhalt");
+        assert!(matches!(out, RunOutcome::Trapped { trap: Trap::Unmapped { addr: 0 }, .. }));
+    }
+
+    #[test]
+    fn wild_store_traps() {
+        let out = run_src("addis r4, r0, 4096\nstw r3, 0(r4)\nhalt");
+        assert!(matches!(out, RunOutcome::Trapped { trap: Trap::Unmapped { .. }, .. }));
+    }
+
+    #[test]
+    fn misaligned_word_traps() {
+        let out = run_src("addi r4, r0, 258\nlwz r3, 0(r4)\nhalt");
+        assert!(matches!(out, RunOutcome::Trapped { trap: Trap::Misaligned { .. }, .. }));
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        // Branch into the zeroed data area past the code.
+        let out = run_src("b 4\nhalt");
+        assert!(matches!(
+            out,
+            RunOutcome::Trapped { trap: Trap::IllegalInstruction { word: 0 }, .. }
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_hangs() {
+        let config = MachineConfig { budget: 10_000, ..MachineConfig::default() };
+        let out = run_src_with("b 0", InputTape::new(), config);
+        assert!(matches!(out, RunOutcome::Hang { .. }));
+    }
+
+    #[test]
+    fn print_loop_hits_output_cap() {
+        let config =
+            MachineConfig { budget: u64::MAX / 2, output_limit: 4096, ..MachineConfig::default() };
+        let out = run_src_with(
+            "addi r3, r0, 65
+             sc print_char
+             b -1",
+            InputTape::new(),
+            config,
+        );
+        assert!(matches!(out, RunOutcome::Hang { .. }));
+    }
+
+    #[test]
+    fn loop_with_branch_counts_down() {
+        // r5 = 5; while (r5 != 0) { print '.'; r5--; }
+        let out = run_src(
+            "addi r5, r0, 5
+             cmpi cr0, r5, 0
+             bc cr0.eq, 1, 5
+             addi r3, r0, 46
+             sc print_char
+             addi r5, r5, -1
+             b -5
+             addi r3, r0, 0
+             halt",
+        );
+        assert_eq!(out, RunOutcome::Completed { exit_code: 0, output: b".....".to_vec() });
+    }
+
+    #[test]
+    fn call_and_return() {
+        // main: bl f; print r3; halt.  f: r3 = 9; blr
+        let out = run_src(
+            "bl 4
+             sc print_int
+             addi r3, r0, 0
+             halt
+             nop
+             addi r3, r0, 9
+             blr",
+        );
+        assert_eq!(out, RunOutcome::Completed { exit_code: 0, output: b"9".to_vec() });
+    }
+
+    #[test]
+    fn read_int_and_eof_flag() {
+        let mut input = InputTape::new();
+        input.push_ints([11, 22]);
+        let out = run_src_with(
+            "sc read_int
+             sc print_int
+             sc read_int
+             sc print_int
+             sc read_int
+             addi r3, r4, 0
+             sc print_int
+             addi r3, r0, 0
+             halt",
+            input,
+            MachineConfig::default(),
+        );
+        // Third read hits EOF: value 0, r4 (eof flag) = 1.
+        assert_eq!(out, RunOutcome::Completed { exit_code: 0, output: b"11221".to_vec() });
+    }
+
+    #[test]
+    fn read_byte_eof_is_minus_one() {
+        let out = run_src(
+            "sc read_byte
+             sc print_int
+             addi r3, r0, 0
+             halt",
+        );
+        assert_eq!(out, RunOutcome::Completed { exit_code: 0, output: b"-1".to_vec() });
+    }
+
+    #[test]
+    fn malloc_free_and_heap_fault() {
+        let out = run_src(
+            "addi r3, r0, 64
+             sc malloc
+             addi r5, r3, 0
+             sc free
+             addi r3, r5, 0
+             sc free
+             halt",
+        );
+        assert!(matches!(out, RunOutcome::Trapped { trap: Trap::HeapFault { .. }, .. }));
+    }
+
+    #[test]
+    fn malloc_store_load_round_trip() {
+        let out = run_src(
+            "addi r3, r0, 8
+             sc malloc
+             addi r6, r0, 77
+             stw r6, 4(r3)
+             lwz r3, 4(r3)
+             sc print_int
+             addi r3, r0, 0
+             halt",
+        );
+        assert_eq!(out, RunOutcome::Completed { exit_code: 0, output: b"77".to_vec() });
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        // Infinitely push the stack down.
+        let out = run_src(
+            "addi r1, r1, -1024
+             b -1",
+        );
+        assert!(matches!(out, RunOutcome::Trapped { trap: Trap::StackOverflow, .. }));
+    }
+
+    #[test]
+    fn stack_use_within_bounds_ok() {
+        let out = run_src(
+            "addi r1, r1, -16
+             addi r6, r0, 5
+             stw r6, 0(r1)
+             lwz r3, 0(r1)
+             sc print_int
+             addi r1, r1, 16
+             addi r3, r0, 0
+             halt",
+        );
+        assert_eq!(out, RunOutcome::Completed { exit_code: 0, output: b"5".to_vec() });
+    }
+
+    #[test]
+    fn multicore_barrier_and_core_id() {
+        // Each core prints its id, barriers, then core 0 prints "done".
+        let src = "
+            sc core_id
+            sc print_int
+            sc barrier
+            sc core_id
+            cmpi cr0, r3, 0
+            bc cr0.eq, 0, 4
+            addi r3, r0, 33
+            sc print_char
+            addi r3, r0, 0
+            halt";
+        let image = assemble(src).unwrap();
+        let mut m =
+            Machine::new(MachineConfig { num_cores: 2, quantum: 1, ..MachineConfig::default() });
+        m.load(&image);
+        let out = m.run(&mut Noop);
+        match out {
+            RunOutcome::Completed { exit_code: 0, output } => {
+                let s = String::from_utf8(output).unwrap();
+                // Both ids print before the barrier; '!' printed once after.
+                assert_eq!(s.matches('!').count(), 1);
+                assert!(s.contains('0') && s.contains('1'));
+                assert!(s.ends_with('!'));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_deadlock_hangs() {
+        // Core 1 halts immediately; core 0 waits forever at the barrier.
+        let src = "
+            sc core_id
+            cmpi cr0, r3, 0
+            bc cr0.eq, 0, 3
+            sc barrier
+            addi r3, r0, 0
+            halt
+            addi r3, r0, 0
+            halt";
+        let image = assemble(src).unwrap();
+        let mut m = Machine::new(MachineConfig {
+            num_cores: 2,
+            budget: 100_000,
+            ..MachineConfig::default()
+        });
+        m.load(&image);
+        assert!(matches!(m.run(&mut Noop), RunOutcome::Hang { .. }));
+    }
+
+    #[test]
+    fn fresh_machine_is_deterministic() {
+        let src = "addi r3, r0, 1\nsc print_int\naddi r3, r0, 0\nhalt";
+        let a = run_src(src);
+        let b = run_src(src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poke_changes_executed_code() {
+        use crate::isa::{encode, Instr};
+        let image = assemble("addi r3, r0, 1\nsc print_int\naddi r3, r0, 0\nhalt").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        // Overwrite the first instruction: r3 = 9 instead of 1.
+        m.poke_u32(0x100, encode(Instr::Addi { rd: 3, ra: 0, imm: 9 })).unwrap();
+        let out = m.run(&mut Noop);
+        assert_eq!(out.output(), b"9");
+    }
+}

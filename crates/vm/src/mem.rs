@@ -1,0 +1,412 @@
+//! Guest memory, executable images, and the guest heap allocator.
+//!
+//! The address space is flat and byte-addressed:
+//!
+//! ```text
+//! 0x0000_0000 ┌──────────────┐
+//!             │  null page   │  unmapped — dereferencing a corrupted/null
+//! 0x0000_0100 ├──────────────┤  pointer traps (crash failure mode)
+//!             │  code        │
+//!             ├──────────────┤
+//!             │  data        │  globals + string literals
+//!             ├──────────────┤
+//!             │  heap   ↓    │  malloc/free arena
+//!             ├──────────────┤
+//!             │  stacks ↑    │  one fixed-size stack per core, at the top
+//!  mem_size   └──────────────┘
+//! ```
+//!
+//! Words are stored little-endian. (The real PowerPC 601 is big-endian; the
+//! choice is irrelevant to the reproduced experiments, which never depend on
+//! byte order, and is documented here for completeness.)
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::machine::Trap;
+
+/// First mapped address; everything below is the trapping null page.
+pub const NULL_PAGE_END: u32 = 0x100;
+
+/// Default load address for code (start of mapped memory).
+pub const CODE_BASE: u32 = NULL_PAGE_END;
+
+/// Flat guest memory with null-page protection.
+///
+/// All accessors return [`Trap`]-typed errors rather than panicking so that
+/// wild accesses caused by injected faults surface as the paper's *crash*
+/// failure mode.
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory").field("size", &self.bytes.len()).finish()
+    }
+}
+
+impl Memory {
+    /// Create a zeroed memory of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is smaller than one page (256 bytes) or not
+    /// word-aligned; these are configuration errors, not runtime faults.
+    pub fn new(size: u32) -> Memory {
+        assert!(size >= 2 * NULL_PAGE_END, "memory too small: {size}");
+        assert_eq!(size % 4, 0, "memory size must be word aligned");
+        Memory { bytes: vec![0; size as usize] }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    #[inline]
+    fn check(&self, addr: u32, len: u32) -> Result<(), Trap> {
+        if addr < NULL_PAGE_END || (addr as u64) + (len as u64) > self.bytes.len() as u64 {
+            return Err(Trap::Unmapped { addr });
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Unmapped`] outside the mapped range, [`Trap::Misaligned`] for
+    /// non-word-aligned addresses.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> Result<u32, Trap> {
+        if addr % 4 != 0 {
+            return Err(Trap::Misaligned { addr });
+        }
+        self.check(addr, 4)?;
+        let i = addr as usize;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Write a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read_u32`].
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), Trap> {
+        if addr % 4 != 0 {
+            return Err(Trap::Misaligned { addr });
+        }
+        self.check(addr, 4)?;
+        self.bytes[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Unmapped`] outside the mapped range.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> Result<u8, Trap> {
+        self.check(addr, 1)?;
+        Ok(self.bytes[addr as usize])
+    }
+
+    /// Write one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Unmapped`] outside the mapped range.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), Trap> {
+        self.check(addr, 1)?;
+        self.bytes[addr as usize] = value;
+        Ok(())
+    }
+
+    /// Copy a byte slice into memory.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Unmapped`] if any byte of the destination is unmapped.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), Trap> {
+        self.check(addr, data.len() as u32)?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read a NUL-terminated string starting at `addr`, up to `max` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Unmapped`] if the string runs off mapped memory before a NUL.
+    pub fn read_cstr(&self, addr: u32, max: u32) -> Result<Vec<u8>, Trap> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        while out.len() < max as usize {
+            let b = self.read_u8(a)?;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            a = a.wrapping_add(1);
+        }
+        Ok(out)
+    }
+}
+
+/// A linked executable: code, initialised data, and layout bookkeeping.
+///
+/// Produced by the assembler ([`crate::asm`]) or the MiniC compiler, and
+/// consumed by [`crate::machine::Machine::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Instruction words, loaded at [`CODE_BASE`].
+    pub code: Vec<u32>,
+    /// Initialised data bytes, loaded immediately after the code
+    /// (word-aligned).
+    pub data: Vec<u8>,
+    /// Entry point (defaults to [`CODE_BASE`]).
+    pub entry: u32,
+}
+
+impl Image {
+    /// Address at which the data segment is loaded.
+    pub fn data_base(&self) -> u32 {
+        CODE_BASE + self.code.len() as u32 * 4
+    }
+
+    /// First address past the static footprint, i.e. the heap base
+    /// (word-aligned).
+    pub fn static_end(&self) -> u32 {
+        let end = self.data_base() + self.data.len() as u32;
+        (end + 3) & !3
+    }
+
+    /// Address of the instruction at word index `i`.
+    pub fn addr_of(&self, i: usize) -> u32 {
+        CODE_BASE + i as u32 * 4
+    }
+}
+
+/// First-fit guest heap allocator with host-side bookkeeping.
+///
+/// Block metadata lives outside guest memory so that memory corruption
+/// cannot break the allocator itself, but misuse of the *interface*
+/// (freeing an invalid pointer, double free) traps with
+/// [`Trap::HeapFault`] — mirroring how a hardened `libc` aborts. Corrupted
+/// pointers that are merely *dereferenced* still fault through the ordinary
+/// memory checks, which is how the paper's dynamic-structure-heavy program
+/// (C.team9) earns its high crash rate.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    base: u32,
+    limit: u32,
+    brk: u32,
+    live: BTreeMap<u32, u32>,
+    free: BTreeMap<u32, u32>,
+}
+
+impl Allocator {
+    /// Create an allocator over the guest range `[base, limit)`.
+    pub fn new(base: u32, limit: u32) -> Allocator {
+        let base = (base + 7) & !7;
+        Allocator { base, limit, brk: base, live: BTreeMap::new(), free: BTreeMap::new() }
+    }
+
+    /// Allocate `size` bytes (8-byte aligned); returns the guest address or
+    /// `0` when the arena is exhausted (like a C `malloc` returning NULL).
+    pub fn malloc(&mut self, size: u32) -> u32 {
+        let size = ((size.max(1)) + 7) & !7;
+        // First fit from the free list.
+        if let Some((&addr, &fsize)) = self.free.iter().find(|&(_, &s)| s >= size) {
+            self.free.remove(&addr);
+            if fsize > size {
+                self.free.insert(addr + size, fsize - size);
+            }
+            self.live.insert(addr, size);
+            return addr;
+        }
+        // Bump allocation.
+        if self.brk.checked_add(size).is_none_or(|end| end > self.limit) {
+            return 0;
+        }
+        let addr = self.brk;
+        self.brk += size;
+        self.live.insert(addr, size);
+        addr
+    }
+
+    /// Release a block previously returned by [`Allocator::malloc`].
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::HeapFault`] if `ptr` is not the base of a live block
+    /// (wild free, double free).
+    pub fn free(&mut self, ptr: u32) -> Result<(), Trap> {
+        match self.live.remove(&ptr) {
+            Some(size) => {
+                // Coalesce with right neighbour.
+                let mut addr = ptr;
+                let mut size = size;
+                if let Some(&next) = self.free.get(&(addr + size)) {
+                    self.free.remove(&(addr + size));
+                    size += next;
+                }
+                // Coalesce with left neighbour.
+                if let Some((&prev, &psize)) = self.free.range(..addr).next_back() {
+                    if prev + psize == addr {
+                        self.free.remove(&prev);
+                        addr = prev;
+                        size += psize;
+                    }
+                }
+                self.free.insert(addr, size);
+                Ok(())
+            }
+            None => Err(Trap::HeapFault { addr: ptr }),
+        }
+    }
+
+    /// Base address of the arena.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of live blocks (diagnostic).
+    pub fn live_blocks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total bytes currently allocated (diagnostic).
+    pub fn live_bytes(&self) -> u64 {
+        self.live.values().map(|&s| s as u64).sum()
+    }
+
+    /// Whether `addr` falls strictly inside a live block's payload.
+    pub fn owns(&self, addr: u32) -> bool {
+        self.live
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(&base, &size)| addr >= base && addr < base + size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_page_traps() {
+        let m = Memory::new(4096);
+        assert_eq!(m.read_u32(0), Err(Trap::Unmapped { addr: 0 }));
+        assert_eq!(m.read_u8(0xFF), Err(Trap::Unmapped { addr: 0xFF }));
+        assert!(m.read_u8(0x100).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_traps() {
+        let mut m = Memory::new(4096);
+        assert!(m.read_u32(4096).is_err());
+        assert!(m.read_u32(4094).is_err()); // straddles the end
+        assert!(m.write_u8(4095, 1).is_ok());
+    }
+
+    #[test]
+    fn misaligned_word_traps() {
+        let m = Memory::new(4096);
+        assert_eq!(m.read_u32(0x102), Err(Trap::Misaligned { addr: 0x102 }));
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut m = Memory::new(4096);
+        m.write_u32(0x200, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read_u32(0x200).unwrap(), 0xDEADBEEF);
+        assert_eq!(m.read_u8(0x200).unwrap(), 0xEF); // little-endian
+    }
+
+    #[test]
+    fn cstr_reads_until_nul() {
+        let mut m = Memory::new(4096);
+        m.write_bytes(0x300, b"hi\0zz").unwrap();
+        assert_eq!(m.read_cstr(0x300, 64).unwrap(), b"hi".to_vec());
+    }
+
+    #[test]
+    fn image_layout() {
+        let img = Image { code: vec![0; 10], data: vec![1, 2, 3], entry: CODE_BASE };
+        assert_eq!(img.data_base(), 0x100 + 40);
+        assert_eq!(img.static_end(), 0x100 + 44); // 43 rounded up
+        assert_eq!(img.addr_of(2), 0x108);
+    }
+
+    #[test]
+    fn alloc_basic_and_reuse() {
+        let mut a = Allocator::new(0x1000, 0x2000);
+        let p1 = a.malloc(16);
+        let p2 = a.malloc(16);
+        assert_ne!(p1, 0);
+        assert_ne!(p2, 0);
+        assert_ne!(p1, p2);
+        a.free(p1).unwrap();
+        let p3 = a.malloc(8);
+        assert_eq!(p3, p1, "freed block is reused first-fit");
+    }
+
+    #[test]
+    fn alloc_exhaustion_returns_null() {
+        let mut a = Allocator::new(0x1000, 0x1040);
+        assert_ne!(a.malloc(32), 0);
+        assert_ne!(a.malloc(32), 0);
+        assert_eq!(a.malloc(8), 0);
+    }
+
+    #[test]
+    fn double_free_traps() {
+        let mut a = Allocator::new(0x1000, 0x2000);
+        let p = a.malloc(8);
+        a.free(p).unwrap();
+        assert_eq!(a.free(p), Err(Trap::HeapFault { addr: p }));
+    }
+
+    #[test]
+    fn wild_free_traps() {
+        let mut a = Allocator::new(0x1000, 0x2000);
+        let _ = a.malloc(8);
+        assert!(a.free(0x1004).is_err());
+        assert!(a.free(0xBEEF).is_err());
+    }
+
+    #[test]
+    fn coalescing_allows_big_realloc() {
+        let mut a = Allocator::new(0x1000, 0x1080);
+        let p1 = a.malloc(64);
+        let p2 = a.malloc(64);
+        assert_ne!(p2, 0);
+        assert_eq!(a.malloc(8), 0, "arena full");
+        a.free(p1).unwrap();
+        a.free(p2).unwrap();
+        // After coalescing both halves, a 128-byte block must fit again.
+        assert_ne!(a.malloc(128), 0);
+    }
+
+    #[test]
+    fn owns_tracks_payload() {
+        let mut a = Allocator::new(0x1000, 0x2000);
+        let p = a.malloc(16);
+        assert!(a.owns(p));
+        assert!(a.owns(p + 15));
+        assert!(!a.owns(p + 16));
+        a.free(p).unwrap();
+        assert!(!a.owns(p));
+    }
+}

@@ -1,0 +1,302 @@
+//! Bounded execution tracing — the monitoring side of the Xception model.
+//!
+//! Xception "monitors the activation of the faults and their impact on the
+//! target system behavior". [`Tracer`] records a bounded window of
+//! architectural events (fetches, loads, stores, register writes) so that
+//! an experiment can show *how* an injected error propagated — e.g. the
+//! first wild store after a corrupted pointer assignment.
+
+use std::collections::VecDeque;
+
+use crate::inspect::Inspector;
+
+/// One recorded architectural event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Instruction word fetched.
+    Fetch {
+        /// Core that fetched.
+        core: usize,
+        /// Address fetched from.
+        pc: u32,
+        /// The (possibly already corrupted) word.
+        word: u32,
+    },
+    /// Word/byte loaded from memory.
+    Load {
+        /// Executing core.
+        core: usize,
+        /// Instruction address.
+        pc: u32,
+        /// Effective address.
+        addr: u32,
+        /// Loaded value.
+        value: u32,
+    },
+    /// Word/byte stored to memory.
+    Store {
+        /// Executing core.
+        core: usize,
+        /// Instruction address.
+        pc: u32,
+        /// Effective address.
+        addr: u32,
+        /// Stored value.
+        value: u32,
+    },
+    /// Register written back.
+    RegWrite {
+        /// Executing core.
+        core: usize,
+        /// Instruction address.
+        pc: u32,
+        /// Register number.
+        reg: u8,
+        /// New value.
+        value: u32,
+    },
+}
+
+impl Event {
+    /// The instruction address the event belongs to.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            Event::Fetch { pc, .. }
+            | Event::Load { pc, .. }
+            | Event::Store { pc, .. }
+            | Event::RegWrite { pc, .. } => pc,
+        }
+    }
+}
+
+/// Event classes a [`Tracer`] can record, as a simple filter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Record instruction fetches (very high volume).
+    pub fetches: bool,
+    /// Record loads.
+    pub loads: bool,
+    /// Record stores.
+    pub stores: bool,
+    /// Record register write-backs (high volume).
+    pub reg_writes: bool,
+}
+
+impl TraceFilter {
+    /// Loads and stores only — the usual propagation-analysis filter.
+    pub fn memory_only() -> TraceFilter {
+        TraceFilter { fetches: false, loads: true, stores: true, reg_writes: false }
+    }
+
+    /// Everything (use a small capacity).
+    pub fn everything() -> TraceFilter {
+        TraceFilter { fetches: true, loads: true, stores: true, reg_writes: true }
+    }
+}
+
+/// An [`Inspector`] that keeps the last `capacity` matching events.
+///
+/// The window is bounded so that tracing a hanging run cannot exhaust host
+/// memory; older events are dropped (the count of drops is kept).
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    filter: TraceFilter,
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Create a tracer keeping the last `capacity` events matching
+    /// `filter`.
+    pub fn new(filter: TraceFilter, capacity: usize) -> Tracer {
+        Tracer { filter, capacity: capacity.max(1), events: VecDeque::new(), dropped: 0 }
+    }
+
+    fn push(&mut self, e: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// The recorded window, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events dropped from the front of the window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// First recorded store to an address outside `[lo, hi)` — the classic
+    /// "where did the wild write go" question after pointer corruption.
+    pub fn first_store_outside(&self, lo: u32, hi: u32) -> Option<Event> {
+        self.events
+            .iter()
+            .find(|e| matches!(e, Event::Store { addr, .. } if *addr < lo || *addr >= hi))
+            .copied()
+    }
+}
+
+impl Inspector for Tracer {
+    fn on_fetch(&mut self, core: usize, pc: u32, word: &mut u32) {
+        if self.filter.fetches {
+            self.push(Event::Fetch { core, pc, word: *word });
+        }
+    }
+
+    fn on_load_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if self.filter.loads {
+            self.push(Event::Load { core, pc, addr, value: *value });
+        }
+    }
+
+    fn on_store_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if self.filter.stores {
+            self.push(Event::Store { core, pc, addr, value: *value });
+        }
+    }
+
+    fn on_reg_write(&mut self, core: usize, pc: u32, reg: u8, value: &mut u32) {
+        if self.filter.reg_writes {
+            self.push(Event::RegWrite { core, pc, reg, value: *value });
+        }
+    }
+}
+
+/// Compose two inspectors: both observe every event, in order. The primary
+/// runs first, so a [`Tracer`] as `secondary` sees values *after* an
+/// injector's corruption — exactly what propagation analysis wants.
+#[derive(Debug)]
+pub struct Pair<'a, A, B> {
+    /// Runs first (e.g. an injector).
+    pub primary: &'a mut A,
+    /// Runs second (e.g. a tracer).
+    pub secondary: &'a mut B,
+}
+
+impl<A: Inspector, B: Inspector> Inspector for Pair<'_, A, B> {
+    fn on_fetch(&mut self, core: usize, pc: u32, word: &mut u32) {
+        self.primary.on_fetch(core, pc, word);
+        self.secondary.on_fetch(core, pc, word);
+    }
+
+    fn on_load_addr(&mut self, core: usize, pc: u32, addr: &mut u32) {
+        self.primary.on_load_addr(core, pc, addr);
+        self.secondary.on_load_addr(core, pc, addr);
+    }
+
+    fn on_load_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
+        self.primary.on_load_value(core, pc, addr, value);
+        self.secondary.on_load_value(core, pc, addr, value);
+    }
+
+    fn on_store_addr(&mut self, core: usize, pc: u32, addr: &mut u32) {
+        self.primary.on_store_addr(core, pc, addr);
+        self.secondary.on_store_addr(core, pc, addr);
+    }
+
+    fn on_store_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
+        self.primary.on_store_value(core, pc, addr, value);
+        self.secondary.on_store_value(core, pc, addr, value);
+    }
+
+    fn on_reg_write(&mut self, core: usize, pc: u32, reg: u8, value: &mut u32) {
+        self.primary.on_reg_write(core, pc, reg, value);
+        self.secondary.on_reg_write(core, pc, reg, value);
+    }
+
+    fn on_retire(&mut self, core: usize, pc: u32) {
+        self.primary.on_retire(core, pc);
+        self.secondary.on_retire(core, pc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::machine::{Machine, MachineConfig};
+
+    const SRC: &str = "
+        li r5, 7
+        la r4, slot
+        stw r5, 0(r4)
+        lwz r6, 0(r4)
+        li r3, 0
+        halt
+        .data
+        slot: .word 0";
+
+    #[test]
+    fn records_loads_and_stores() {
+        let image = assemble(SRC).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let mut t = Tracer::new(TraceFilter::memory_only(), 16);
+        assert!(m.run(&mut t).is_normal());
+        let events: Vec<&Event> = t.events().collect();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Store { value: 7, .. }));
+        assert!(matches!(events[1], Event::Load { value: 7, .. }));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let image = assemble(
+            "li r5, 100
+             la r4, slot
+             loop:
+             stw r5, 0(r4)
+             addi r5, r5, -1
+             cmpi cr0, r5, 0
+             bc cr0.gt, 1, loop
+             li r3, 0
+             halt
+             .data
+             slot: .word 0",
+        )
+        .unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let mut t = Tracer::new(TraceFilter::memory_only(), 10);
+        assert!(m.run(&mut t).is_normal());
+        assert_eq!(t.events().count(), 10);
+        assert_eq!(t.dropped(), 90);
+        // The window holds the *last* stores: values 10..1.
+        assert!(matches!(t.events().next(), Some(Event::Store { value: 10, .. })));
+    }
+
+    #[test]
+    fn pair_composes_injector_like_mutation_with_tracing() {
+        struct Bump;
+        impl Inspector for Bump {
+            fn on_store_value(&mut self, _c: usize, _pc: u32, _a: u32, value: &mut u32) {
+                *value += 1;
+            }
+        }
+        let image = assemble(SRC).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let mut bump = Bump;
+        let mut tracer = Tracer::new(TraceFilter::memory_only(), 8);
+        let mut pair = Pair { primary: &mut bump, secondary: &mut tracer };
+        assert!(m.run(&mut pair).is_normal());
+        // The tracer observed the corrupted value, not the original.
+        assert!(matches!(tracer.events().next(), Some(Event::Store { value: 8, .. })));
+    }
+
+    #[test]
+    fn wild_store_detection() {
+        let mut t = Tracer::new(TraceFilter::memory_only(), 8);
+        t.push(Event::Store { core: 0, pc: 0x100, addr: 0x5000, value: 1 });
+        t.push(Event::Store { core: 0, pc: 0x104, addr: 0xFFFF_0000, value: 2 });
+        let wild = t.first_store_outside(0x1000, 0x10000).unwrap();
+        assert!(matches!(wild, Event::Store { addr: 0xFFFF_0000, .. }));
+        assert_eq!(wild.pc(), 0x104);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the P601-lite ISA, assembler, allocator, and
+//! machine determinism.
+
+use proptest::prelude::*;
+use swifi_vm::asm::{assemble, CodeBuilder};
+use swifi_vm::inspect::Noop;
+use swifi_vm::isa::{decode, encode, AluOp, CrBit, Instr, Syscall};
+use swifi_vm::machine::{Machine, MachineConfig, RunOutcome};
+use swifi_vm::mem::Allocator;
+
+fn arb_reg() -> impl Strategy<Value = u8> {
+    0u8..32
+}
+
+fn arb_crf() -> impl Strategy<Value = u8> {
+    0u8..8
+}
+
+fn arb_crbit() -> impl Strategy<Value = CrBit> {
+    prop_oneof![Just(CrBit::Lt), Just(CrBit::Gt), Just(CrBit::Eq), Just(CrBit::So)]
+}
+
+fn arb_aluop() -> impl Strategy<Value = AluOp> {
+    (0u32..16).prop_map(|c| AluOp::from_code(c).unwrap())
+}
+
+fn arb_syscall() -> impl Strategy<Value = Syscall> {
+    (0u32..=10).prop_map(|c| Syscall::from_code(c).unwrap())
+}
+
+prop_compose! {
+    fn arb_instr()(
+        sel in 0usize..19,
+        rd in arb_reg(),
+        ra in arb_reg(),
+        rb in arb_reg(),
+        simm in any::<i16>(),
+        uimm in any::<u16>(),
+        off26 in -(1i32 << 25)..(1i32 << 25),
+        crf in arb_crf(),
+        bit in arb_crbit(),
+        expect in any::<bool>(),
+        alu in arb_aluop(),
+        call in arb_syscall(),
+    ) -> Instr {
+        match sel {
+            0 => Instr::Addi { rd, ra, imm: simm },
+            1 => Instr::Addis { rd, ra, imm: simm },
+            2 => Instr::Andi { rd, ra, imm: uimm },
+            3 => Instr::Ori { rd, ra, imm: uimm },
+            4 => Instr::Xori { rd, ra, imm: uimm },
+            5 => Instr::Cmpi { crf, ra, imm: simm },
+            6 => Instr::Cmp { crf, ra, rb },
+            7 => Instr::Alu { op: alu, rd, ra, rb },
+            8 => Instr::Lwz { rd, ra, d: simm },
+            9 => Instr::Stw { rs: rd, ra, d: simm },
+            10 => Instr::Lbz { rd, ra, d: simm },
+            11 => Instr::Stb { rs: rd, ra, d: simm },
+            12 => Instr::B { off: off26 },
+            13 => Instr::Bl { off: off26 },
+            14 => Instr::Bc { crf, bit, expect, off: simm },
+            15 => Instr::Blr,
+            16 => Instr::Mflr { rd },
+            17 => Instr::Mtlr { ra },
+            18 => Instr::Sc { call },
+            _ => Instr::Halt,
+        }
+    }
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on valid instructions.
+    #[test]
+    fn encode_decode_round_trip(i in arb_instr()) {
+        prop_assert_eq!(decode(encode(i)), Ok(i));
+    }
+
+    /// Any word that decodes re-encodes to itself: the decoder accepts no
+    /// non-canonical encodings (important for the injector, which diffs
+    /// instruction words).
+    #[test]
+    fn decode_is_canonical(w in any::<u32>()) {
+        if let Ok(i) = decode(w) {
+            prop_assert_eq!(encode(i), w);
+        }
+    }
+
+    /// The assembler parses the `Display` form of any instruction back to
+    /// the same word (numeric branch offsets included).
+    #[test]
+    fn display_assembles_back(i in arb_instr()) {
+        let text = i.to_string();
+        let mut b = CodeBuilder::new();
+        b.push(i);
+        let direct = b.finish().unwrap();
+        let via_text = assemble(&text).unwrap();
+        prop_assert_eq!(direct.code, via_text.code, "text was `{}`", text);
+    }
+
+    /// Random malloc/free sequences keep the allocator's invariants: no
+    /// overlap between live blocks, everything inside the arena, frees of
+    /// live pointers always succeed.
+    #[test]
+    fn allocator_invariants(ops in proptest::collection::vec((any::<bool>(), 1u32..512), 1..200)) {
+        let base = 0x1000u32;
+        let limit = 0x9000u32;
+        let mut a = Allocator::new(base, limit);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for (do_free, size) in ops {
+            if do_free && !live.is_empty() {
+                let (ptr, _) = live.swap_remove(live.len() / 2);
+                prop_assert!(a.free(ptr).is_ok());
+            } else {
+                let p = a.malloc(size);
+                if p != 0 {
+                    prop_assert!(p >= base && p + size <= limit, "block in arena");
+                    prop_assert_eq!(p % 8, 0, "aligned");
+                    for &(q, qs) in &live {
+                        prop_assert!(p + size <= q || q + qs <= p, "no overlap");
+                    }
+                    live.push((p, size));
+                }
+            }
+        }
+        prop_assert_eq!(a.live_blocks(), live.len());
+    }
+
+    /// Running the same image twice on fresh machines gives identical
+    /// outcomes — the determinism the reboot-per-injection methodology
+    /// relies on. Uses random (usually trapping) code.
+    #[test]
+    fn machine_is_deterministic(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let image = swifi_vm::Image { code: words, data: vec![], entry: swifi_vm::CODE_BASE };
+        let cfg = MachineConfig { budget: 10_000, ..MachineConfig::default() };
+        let run = || {
+            let mut m = Machine::new(cfg.clone());
+            m.load(&image);
+            m.run(&mut Noop)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The machine never panics on arbitrary code — every abnormal path is
+    /// a typed outcome. (Running random words is exactly what heavy fault
+    /// injection does.)
+    #[test]
+    fn machine_total_on_garbage(words in proptest::collection::vec(any::<u32>(), 1..256)) {
+        let image = swifi_vm::Image { code: words, data: vec![], entry: swifi_vm::CODE_BASE };
+        let mut m = Machine::new(MachineConfig { budget: 20_000, ..MachineConfig::default() });
+        m.load(&image);
+        match m.run(&mut Noop) {
+            RunOutcome::Completed { .. } | RunOutcome::Trapped { .. } | RunOutcome::Hang { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Run a class-based fault-injection campaign (the paper's Section 6) on
+//! one target program and print its failure-mode profile.
+//!
+//! ```text
+//! cargo run --release -p swifi-campaign --example class_campaign [program] [inputs]
+//! ```
+//!
+//! Defaults to `C.team9` (the crash-prone dynamic-structures target) with
+//! 10 inputs per fault.
+
+use swifi_campaign::report::{mode_cells, render_table, MODE_HEADERS};
+use swifi_campaign::section6::{class_campaign, CampaignScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("C.team9");
+    let inputs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let target = swifi_programs::program(name).unwrap_or_else(|| {
+        eprintln!("unknown program `{name}`; known programs:");
+        for p in swifi_programs::all_programs() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    });
+
+    println!("campaign on {name} ({inputs} inputs per fault)...");
+    let result = class_campaign(&target, CampaignScale { inputs_per_fault: inputs }, 2024);
+
+    println!(
+        "\nlocations: {} of {} assignment, {} of {} checking",
+        result.plan.chosen_assign.len(),
+        result.plan.possible_assign,
+        result.plan.chosen_check.len(),
+        result.plan.possible_check,
+    );
+    println!(
+        "generated faults: {} assignment, {} checking; total runs: {}",
+        result.assign_fault_count, result.check_fault_count, result.total_runs
+    );
+
+    let mut headers = vec!["Fault class"];
+    headers.extend(MODE_HEADERS);
+    let mut rows = Vec::new();
+    let mut assign_row = vec!["assignment".to_string()];
+    assign_row.extend(mode_cells(&result.assign_modes));
+    rows.push(assign_row);
+    let mut check_row = vec!["checking".to_string()];
+    check_row.extend(mode_cells(&result.check_modes));
+    rows.push(check_row);
+    println!("\n{}", render_table(&headers, &rows));
+
+    let mut type_rows = Vec::new();
+    for (t, counts) in &result.by_assign_type {
+        let mut row = vec![t.label().to_string()];
+        row.extend(mode_cells(counts));
+        type_rows.push(row);
+    }
+    for (t, counts) in &result.by_check_type {
+        let mut row = vec![t.label().to_string()];
+        row.extend(mode_cells(counts));
+        type_rows.push(row);
+    }
+    let mut type_headers = vec!["Error type"];
+    type_headers.extend(MODE_HEADERS);
+    println!("{}", render_table(&type_headers, &type_rows));
+
+    println!(
+        "dormant (never-fired) runs: {}/{}",
+        result.dormant_runs, result.total_runs
+    );
+}

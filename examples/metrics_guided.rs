@@ -1,0 +1,67 @@
+//! Section 6.1 of the paper: steering fault injection with software
+//! metrics when no field data exists. Computes the metrics for every
+//! target program and shows how a 20-fault budget would be allocated
+//! under each strategy.
+//!
+//! ```text
+//! cargo run --release -p swifi-campaign --example metrics_guided
+//! ```
+
+use swifi_campaign::report::render_table;
+use swifi_lang::parser::parse;
+use swifi_metrics::{allocate, measure, AllocationStrategy};
+
+fn main() {
+    // Per-program metric summary (Table 2 enriched).
+    let mut rows = Vec::new();
+    for p in swifi_programs::all_programs() {
+        let ast = parse(p.source_correct).expect("vendored source parses");
+        let m = measure(p.source_correct, &ast);
+        let cyclo = m.total_cyclomatic();
+        let vol: f64 = m.functions.iter().map(|f| f.halstead.volume()).sum();
+        rows.push(vec![
+            p.name.to_string(),
+            m.loc.to_string(),
+            m.functions.len().to_string(),
+            cyclo.to_string(),
+            format!("{vol:.0}"),
+            if m.any_recursive() { "yes" } else { "no" }.to_string(),
+            if m.uses_dynamic_structures() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Program", "LoC", "Functions", "Cyclomatic", "Halstead vol.", "Recursive", "Dynamic"],
+            &rows
+        )
+    );
+
+    // Allocation comparison on the largest program.
+    let sor = swifi_programs::program("SOR").expect("exists");
+    let ast = parse(sor.source_correct).expect("parses");
+    let metrics = measure(sor.source_correct, &ast);
+    println!("allocating a 20-fault budget over SOR's functions:\n");
+    let mut alloc_rows = Vec::new();
+    let uniform = allocate(&metrics, &AllocationStrategy::Uniform, 20);
+    let guided = allocate(&metrics, &AllocationStrategy::MetricsGuided, 20);
+    for ((name, u), (_, g)) in uniform.iter().zip(&guided) {
+        let f = metrics.functions.iter().find(|f| &f.name == name).expect("same order");
+        alloc_rows.push(vec![
+            name.clone(),
+            f.cyclomatic.to_string(),
+            format!("{:.1}", f.proneness()),
+            u.to_string(),
+            g.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Function", "Cyclomatic", "Proneness", "Uniform", "Metrics-guided"],
+            &alloc_rows
+        )
+    );
+    println!("the metrics-guided strategy concentrates injections in complex functions,");
+    println!("mirroring how the paper's field data concentrated faults in fault-prone modules");
+}

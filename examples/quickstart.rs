@@ -1,0 +1,86 @@
+//! Quickstart: compile a MiniC program, enumerate its fault locations,
+//! inject one checking error, and observe the failure mode.
+//!
+//! ```text
+//! cargo run --release -p swifi-campaign --example quickstart
+//! ```
+
+use swifi_campaign::{execute, FailureMode};
+use swifi_core::injector::{Injector, TriggerMode};
+use swifi_core::locations::generate_error_set;
+use swifi_lang::compile;
+use swifi_programs::{Family, TestInput};
+use swifi_vm::machine::{Machine, MachineConfig};
+use swifi_vm::Noop;
+
+fn main() {
+    // 1. Compile a small program with the MiniC compiler.
+    let program = compile(
+        "void main() {
+           int i;
+           int sum;
+           sum = 0;
+           for (i = 1; i <= 10; i = i + 1) {
+             sum = sum + i;
+           }
+           print_int(sum);
+         }",
+    )
+    .expect("compiles");
+
+    // 2. Fault-free run on the P601-lite VM.
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&program.image);
+    let clean = machine.run(&mut Noop);
+    println!("clean run output: {}", String::from_utf8_lossy(clean.output()));
+
+    // 3. The compiler's debug info is the fault-location catalogue.
+    println!(
+        "fault locations: {} assignment site(s), {} checking site(s)",
+        program.debug.assigns.len(),
+        program.debug.checks.len()
+    );
+
+    // 4. Generate every applicable Table-3 error type for the sites
+    //    (the paper's Section 6.3 procedure) and inject one.
+    let set = generate_error_set(&program.debug, 4, 1, 42);
+    let fault = set
+        .check_faults
+        .iter()
+        .find(|f| f.error.label() == "<= <")
+        .expect("the loop condition offers a `<= <` error");
+    println!(
+        "injecting `{}` at line {} (branch at {:#x})",
+        fault.error.label(),
+        fault.line,
+        fault.site_addr
+    );
+    let mut injector =
+        Injector::new(vec![fault.spec], TriggerMode::Hardware, 7).expect("within budget");
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&program.image);
+    injector.prepare(&mut machine).expect("prepare");
+    let faulted = machine.run(&mut injector);
+    println!(
+        "injected run output: {} (fault fired: {})",
+        String::from_utf8_lossy(faulted.output()),
+        injector.any_fired()
+    );
+
+    // 5. Or let the campaign runner classify outcomes against an oracle.
+    let target = swifi_programs::program("JB.team11").expect("exists");
+    let compiled = compile(target.source_correct).expect("compiles");
+    let input = TestInput::JamesB { seed: 9, line: b"hello swifi".to_vec() };
+    let (mode, _) = execute(&compiled, Family::JamesB, &input, Some(&fault_spec_for(&compiled)), 1);
+    println!("JB.team11 under a `no assign` error: {:?}", mode);
+    assert!(FailureMode::ALL.contains(&mode));
+}
+
+fn fault_spec_for(compiled: &swifi_lang::Program) -> swifi_core::fault::FaultSpec {
+    let set = generate_error_set(&compiled.debug, 3, 0, 5);
+    set.assign_faults
+        .iter()
+        .find(|f| f.error.label() == "no assign")
+        .expect("assignment sites exist")
+        .spec
+}

@@ -1,0 +1,244 @@
+//! Cross-crate integration: metrics over the vendored programs, ODC
+//! apportioning driving location selection, and debug-info consistency
+//! between the compiler and the injector.
+
+use swifi_core::locations::{choose_locations, generate_error_set, restrict_to_functions};
+use swifi_lang::compile;
+use swifi_lang::parser::parse;
+use swifi_metrics::{allocate, measure, AllocationStrategy};
+use swifi_odc::{DefectType, FieldDistribution};
+use swifi_programs::all_programs;
+
+/// Metrics over the roster reproduce the Table 2 feature matrix.
+#[test]
+fn metrics_match_roster_features() {
+    for p in all_programs() {
+        let ast = parse(p.source_correct).unwrap();
+        let m = measure(p.source_correct, &ast);
+        match p.name {
+            "C.team1" | "C.team10" => assert!(m.any_recursive(), "{} recursive", p.name),
+            "C.team9" => assert!(m.uses_dynamic_structures()),
+            "SOR" => {
+                assert!(!m.any_recursive());
+                assert!(m.functions.len() >= 15, "SOR is heavily decomposed");
+            }
+            _ => {}
+        }
+        assert!(m.loc > 0);
+        assert!(m.total_cyclomatic() >= m.functions.len(), "every function is at least 1");
+    }
+}
+
+/// SOR is the largest program, as in the paper's Table 2.
+#[test]
+fn sor_is_largest() {
+    let locs: Vec<(String, usize)> = all_programs()
+        .iter()
+        .map(|p| {
+            let ast = parse(p.source_correct).unwrap();
+            (p.name.to_string(), measure(p.source_correct, &ast).loc)
+        })
+        .collect();
+    let sor = locs.iter().find(|(n, _)| n == "SOR").unwrap().1;
+    for (name, loc) in &locs {
+        assert!(name == "SOR" || *loc < sor, "{name} ({loc}) >= SOR ({sor})");
+    }
+}
+
+/// Debug-info sites always point at real instructions of the right shape
+/// (stores for assignments, branches for checks) in every program.
+#[test]
+fn debug_sites_point_at_correct_instructions() {
+    use swifi_vm::isa::{decode, Instr};
+    for p in all_programs() {
+        let compiled = compile(p.source_correct).unwrap();
+        let word_at = |addr: u32| {
+            compiled.image.code[((addr - swifi_vm::CODE_BASE) / 4) as usize]
+        };
+        for a in &compiled.debug.assigns {
+            let i = decode(word_at(a.store_addr)).expect("valid instruction");
+            match (a.is_byte, i) {
+                (true, Instr::Stb { .. }) | (false, Instr::Stw { .. }) => {}
+                other => panic!("{}: assignment site is {other:?}", p.name),
+            }
+        }
+        for c in &compiled.debug.checks {
+            let i = decode(word_at(c.branch_addr)).expect("valid instruction");
+            assert!(
+                matches!(i, Instr::Bc { .. }),
+                "{}: check site at {:#x} is `{}`",
+                p.name,
+                c.branch_addr,
+                i
+            );
+        }
+    }
+}
+
+/// Every debug site belongs to the function debug info says it does.
+#[test]
+fn sites_lie_within_their_functions() {
+    for p in all_programs() {
+        let compiled = compile(p.source_correct).unwrap();
+        for a in &compiled.debug.assigns {
+            let f = compiled.debug.function_at(a.store_addr).expect("inside a function");
+            assert_eq!(f.name, a.func, "{}", p.name);
+        }
+        for c in &compiled.debug.checks {
+            let f = compiled.debug.function_at(c.branch_addr).expect("inside a function");
+            assert_eq!(f.name, c.func, "{}", p.name);
+        }
+    }
+}
+
+/// ODC field-data apportioning and metrics-guided allocation compose with
+/// location selection into runnable fault sets.
+#[test]
+fn field_data_to_locations_pipeline() {
+    let dist = FieldDistribution::approx_field_data();
+    let parts = dist.apportion(100);
+    let assignment_share =
+        parts.iter().find(|(t, _)| *t == DefectType::Assignment).unwrap().1;
+    assert!(assignment_share > 0);
+
+    let p = swifi_programs::program("C.team8").unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let ast = parse(p.source_correct).unwrap();
+    let metrics = measure(p.source_correct, &ast);
+    let alloc = allocate(&metrics, &AllocationStrategy::MetricsGuided, assignment_share);
+    // Use the allocation to restrict location choice per function.
+    let mut planned = 0;
+    for (func, n) in alloc {
+        if n == 0 {
+            continue;
+        }
+        let mut plan = choose_locations(&compiled.debug, n, 0, 7);
+        restrict_to_functions(&compiled.debug, &mut plan, &[func]);
+        planned += plan.chosen_assign.len();
+    }
+    assert!(planned > 0, "the pipeline must yield injectable locations");
+}
+
+/// Error sets generated from different programs never alias: every fault
+/// spec's trigger address lies inside its own program's code.
+#[test]
+fn error_sets_are_program_local() {
+    for p in all_programs() {
+        let compiled = compile(p.source_correct).unwrap();
+        let set = generate_error_set(&compiled.debug, 6, 6, 5);
+        let code_end = swifi_vm::CODE_BASE + compiled.image.code.len() as u32 * 4;
+        for f in set.assign_faults.iter().chain(&set.check_faults) {
+            match f.spec.trigger {
+                swifi_core::fault::Trigger::OpcodeFetch(a) => {
+                    assert!(
+                        (swifi_vm::CODE_BASE..code_end).contains(&a),
+                        "{}: trigger outside code",
+                        p.name
+                    );
+                }
+                other => panic!("unexpected trigger {other:?}"),
+            }
+        }
+    }
+}
+
+/// The exposure model quantifies why error injection over-accelerates:
+/// a typical real fault here has a tiny p1·p2·p3 product.
+#[test]
+fn exposure_model_quantifies_acceleration() {
+    use swifi_odc::ExposureModel;
+    // The JB.team6 fault: faulty code always executes (p1 = 1), errors are
+    // generated only on 80-char lines (p2 ≈ 0.001), and generated errors
+    // nearly always corrupt the checksum (p3 ≈ 0.996).
+    let m = ExposureModel::new(1.0, 0.001, 0.996).unwrap();
+    assert!(m.failure_probability() < 0.0011);
+    let accel = m.acceleration_factor().unwrap();
+    assert!(accel > 900.0, "injection inflates exposure ~1000x: {accel}");
+}
+
+/// The paper notes interface faults (wrong interactions at call
+/// boundaries) are "somehow similar to assignment faults and some of them
+/// can be emulated". Demonstrate: swapping two call arguments produces a
+/// small word-level diff that the emulation planner classifies as
+/// hardware-emulable.
+#[test]
+fn interface_fault_swapped_arguments_is_emulable() {
+    use swifi_core::emulate::{emulation_faults, EmulationStrategy, EmulationVerdict};
+    use swifi_core::injector::{Injector, TriggerMode};
+    use swifi_vm::machine::{Machine, MachineConfig};
+    use swifi_vm::Noop;
+
+    let corrected = compile(
+        "int sub2(int a, int b) { return a - b; }
+         void main() { print_int(sub2(10, 3)); }",
+    )
+    .unwrap();
+    let faulty = compile(
+        "int sub2(int a, int b) { return a - b; }
+         void main() { print_int(sub2(3, 10)); }",
+    )
+    .unwrap();
+    match swifi_core::emulate::plan_emulation(&corrected.image, &faulty.image) {
+        EmulationVerdict::Emulable { diffs } => {
+            assert!(diffs.len() <= 2, "swapped literals are a small diff: {diffs:?}");
+            // And the emulation really reproduces the faulty behaviour.
+            let specs = emulation_faults(&diffs, EmulationStrategy::FetchCorruption);
+            let mut inj = Injector::new(specs, TriggerMode::Hardware, 0).unwrap();
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&corrected.image);
+            inj.prepare(&mut m).unwrap();
+            assert_eq!(m.run(&mut inj).output(), b"-7");
+            let mut m2 = Machine::new(MachineConfig::default());
+            m2.load(&faulty.image);
+            assert_eq!(m2.run(&mut Noop).output(), b"-7");
+        }
+        other => panic!("expected class A for a swapped-argument interface fault, got {other:?}"),
+    }
+}
+
+/// Composing the injector with the tracer shows error propagation: after
+/// a random-value pointer corruption, the wild address is visible in the
+/// trace before the crash.
+#[test]
+fn tracer_captures_error_propagation() {
+    use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+    use swifi_core::injector::{Injector, TriggerMode};
+    use swifi_vm::machine::{Machine, MachineConfig, RunOutcome};
+    use swifi_vm::trace::{Pair, TraceFilter, Tracer};
+
+    let p = compile(
+        "struct n { int v; struct n *next; };
+         void main() {
+           struct n *a;
+           a = malloc(8);
+           a->v = 5;
+           a->next = 0;
+           print_int(a->v);
+           free(a);
+         }",
+    )
+    .unwrap();
+    // Corrupt the pointer assignment's store data with a random value.
+    let site = p.debug.assigns.iter().find(|a| a.is_pointer).expect("pointer assignment");
+    let spec = FaultSpec {
+        what: ErrorOp::Replace(0x7FFF_FF00),
+        target: Target::DataBusStore,
+        trigger: Trigger::OpcodeFetch(site.store_addr),
+        when: Firing::EveryTime,
+    };
+    let mut inj = Injector::new(vec![spec], TriggerMode::Hardware, 1).unwrap();
+    let mut tracer = Tracer::new(TraceFilter::memory_only(), 64);
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&p.image);
+    inj.prepare(&mut m).unwrap();
+    let outcome = {
+        let mut pair = Pair { primary: &mut inj, secondary: &mut tracer };
+        m.run(&mut pair)
+    };
+    // `a = malloc(8)` got the wild pointer; the store *through* it traps.
+    assert!(matches!(outcome, RunOutcome::Trapped { .. }), "expected a crash: {outcome:?}");
+    let wild = tracer
+        .events()
+        .find(|e| matches!(e, swifi_vm::trace::Event::Store { value: 0x7FFF_FF00, .. }));
+    assert!(wild.is_some(), "the corrupted store must be visible in the trace");
+}

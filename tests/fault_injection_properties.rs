@@ -1,0 +1,156 @@
+//! Property-based integration tests: the injection machinery is total,
+//! deterministic, and faithful under arbitrary fault specifications.
+
+use proptest::prelude::*;
+use swifi_campaign::runner::{execute, FailureMode};
+use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+use swifi_core::injector::{Injector, TriggerMode};
+use swifi_lang::compile;
+use swifi_programs::{program, Family, TestInput};
+use swifi_vm::machine::{Machine, MachineConfig};
+
+fn arb_error_op() -> impl Strategy<Value = ErrorOp> {
+    prop_oneof![
+        any::<u32>().prop_map(ErrorOp::Xor),
+        any::<u32>().prop_map(ErrorOp::And),
+        any::<u32>().prop_map(ErrorOp::Or),
+        any::<i32>().prop_map(ErrorOp::Add),
+        any::<u32>().prop_map(ErrorOp::Replace),
+        Just(ErrorOp::ReplaceRandom),
+    ]
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    prop_oneof![
+        Just(Target::InstrBus),
+        Just(Target::InstrMemory),
+        Just(Target::DataBusLoad),
+        Just(Target::DataBusStore),
+        Just(Target::LoadAddress),
+        Just(Target::StoreAddress),
+        (0u8..32).prop_map(Target::Gpr),
+    ]
+}
+
+fn arb_firing() -> impl Strategy<Value = Firing> {
+    prop_oneof![Just(Firing::First), Just(Firing::EveryTime), (1u64..50).prop_map(Firing::Nth)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Injecting ANY single fault anywhere in JB.team11's code never
+    /// panics the host: every outcome is one of the four failure modes.
+    /// (This is the safety property the whole campaign rests on.)
+    #[test]
+    fn arbitrary_faults_are_total(
+        word_index in 0usize..600,
+        op in arb_error_op(),
+        target in arb_target(),
+        when in arb_firing(),
+        seed in any::<u64>(),
+    ) {
+        let p = program("JB.team11").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let addr = swifi_vm::CODE_BASE
+            + ((word_index % compiled.image.code.len()) as u32) * 4;
+        let spec = FaultSpec { what: op, target, trigger: Trigger::OpcodeFetch(addr), when };
+        let input = TestInput::JamesB { seed: 7, line: b"property test".to_vec() };
+        let (mode, _) = execute(&compiled, Family::JamesB, &input, Some(&spec), seed);
+        prop_assert!(FailureMode::ALL.contains(&mode));
+    }
+
+    /// Identical (spec, input, seed) triples give identical outcomes —
+    /// the determinism that makes campaigns reproducible.
+    #[test]
+    fn injection_is_deterministic(
+        word_index in 0usize..600,
+        op in arb_error_op(),
+        seed in any::<u64>(),
+    ) {
+        let p = program("JB.team6").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let addr = swifi_vm::CODE_BASE
+            + ((word_index % compiled.image.code.len()) as u32) * 4;
+        let spec = FaultSpec {
+            what: op,
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(addr),
+            when: Firing::EveryTime,
+        };
+        let input = TestInput::JamesB { seed: 1, line: b"determinism".to_vec() };
+        let a = execute(&compiled, Family::JamesB, &input, Some(&spec), seed);
+        let b = execute(&compiled, Family::JamesB, &input, Some(&spec), seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A fault whose trigger address is never fetched stays dormant and
+    /// leaves the outcome untouched.
+    #[test]
+    fn dormant_faults_do_not_perturb(op in arb_error_op(), seed in any::<u64>()) {
+        let p = program("JB.team11").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        // Trigger far past the code segment (data area): never fetched.
+        let addr = swifi_vm::CODE_BASE + compiled.image.code.len() as u32 * 4 + 0x400;
+        let spec = FaultSpec {
+            what: op,
+            target: Target::DataBusStore,
+            trigger: Trigger::OpcodeFetch(addr),
+            when: Firing::EveryTime,
+        };
+        let input = TestInput::JamesB { seed: 2, line: b"dormant".to_vec() };
+        let (mode, fired) = execute(&compiled, Family::JamesB, &input, Some(&spec), seed);
+        prop_assert!(!fired);
+        prop_assert_eq!(mode, FailureMode::Correct);
+    }
+
+    /// XOR-mask instruction-bus faults are self-inverse: applying the mask
+    /// twice (two identical faults on the same fetch) restores behaviour.
+    #[test]
+    fn xor_faults_cancel_pairwise(mask in 1u32..=u32::MAX, word_index in 0usize..100) {
+        let p = program("JB.team11").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let addr = swifi_vm::CODE_BASE
+            + ((word_index % compiled.image.code.len()) as u32) * 4;
+        let mk_spec = || FaultSpec {
+            what: ErrorOp::Xor(mask),
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(addr),
+            when: Firing::EveryTime,
+        };
+        let input = TestInput::JamesB { seed: 3, line: b"xor".to_vec() };
+        let run = |specs: Vec<FaultSpec>| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&compiled.image);
+            m.set_input(input.to_tape());
+            let mut inj = Injector::new(specs, TriggerMode::IntrusiveTraps, 0).unwrap();
+            inj.prepare(&mut m).unwrap();
+            m.run(&mut inj).output().to_vec()
+        };
+        let clean = run(vec![]);
+        let double = run(vec![mk_spec(), mk_spec()]);
+        prop_assert_eq!(clean, double);
+    }
+
+    /// The generated error sets scale linearly with chosen locations: the
+    /// §6.3 accounting identity (`faults = Σ applicable types`).
+    #[test]
+    fn error_set_accounting(n_assign in 0usize..12, n_check in 0usize..12, seed in any::<u64>()) {
+        let p = program("C.team8").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let set = swifi_core::locations::generate_error_set(
+            &compiled.debug, n_assign, n_check, seed);
+        prop_assert_eq!(
+            set.assign_faults.len(),
+            set.plan.chosen_assign.len() * 4,
+            "four error types per assignment location"
+        );
+        let expected: usize = set
+            .plan
+            .chosen_check
+            .iter()
+            .map(|&i| compiled.debug.checks[i].mutations.len())
+            .sum();
+        prop_assert_eq!(set.check_faults.len(), expected);
+    }
+}
