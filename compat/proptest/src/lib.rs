@@ -1,0 +1,739 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal property-testing harness exposing the subset of proptest's API
+//! that this repository's tests use: the [`Strategy`] trait with
+//! `prop_map`/`prop_filter_map`/`boxed`, range and tuple strategies,
+//! [`Just`], [`any`], `collection::vec`, `array::uniform6`, and the
+//! `proptest!`, `prop_compose!`, `prop_oneof!`, and `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted for a test
+//! harness that must build offline:
+//!
+//! - **No shrinking.** A failing case panics with the sampled inputs
+//!   visible in the assertion message rather than a minimised example.
+//! - **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so failures reproduce exactly across runs; set
+//!   `PROPTEST_CASES` to change the case count globally.
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 RNG used to drive all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an explicit value.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Seed deterministically from a test name (FNV-1a hash).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Subset of proptest's run configuration: just the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// Apply the `PROPTEST_CASES` environment override, if set.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real crate defaults to 256; 64 keeps offline CI fast while
+        // still exercising each property broadly. Override with
+        // PROPTEST_CASES for deeper runs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values the function maps to `Some`, resampling otherwise.
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Keep only values satisfying the predicate, resampling otherwise.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        for _ in 0..10_000 {
+            if let Some(u) = (self.f)(self.inner.sample(rng)) {
+                return u;
+            }
+        }
+        panic!(
+            "prop_filter_map({:?}) rejected 10000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 10000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy defined by an arbitrary sampling closure; the expansion
+/// target of `prop_compose!`.
+pub struct SampledWith<T, F: Fn(&mut TestRng) -> T>(F);
+
+impl<T, F: Fn(&mut TestRng) -> T> SampledWith<T, F> {
+    /// Wrap a sampling closure.
+    pub fn new(f: F) -> SampledWith<T, F> {
+        SampledWith(f)
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for SampledWith<T, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives; the expansion target of
+/// `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among the given alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+/// Types with a full-domain default strategy (`any::<T>()`).
+pub trait ArbValue: Sized {
+    /// Draw an arbitrary value.
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbValue for $t {
+            fn arb(rng: &mut TestRng) -> $t { rng.next_u64() as $t }
+        }
+    )*};
+}
+
+impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbValue for bool {
+    fn arb(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbValue for char {
+    fn arb(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32(rng.next_u32() % 0x11_0000) {
+                return c;
+            }
+        }
+    }
+}
+
+impl ArbValue for f64 {
+    fn arb(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit_f64() * 2.0 - 1.0) * 1e9;
+        mag + rng.unit_f64()
+    }
+}
+
+impl ArbValue for f32 {
+    fn arb(rng: &mut TestRng) -> f32 {
+        f64::arb(rng) as f32
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: ArbValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arb(rng)
+    }
+}
+
+/// Full-domain strategy for a primitive type.
+pub fn any<T: ArbValue>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span.max(1));
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generate vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform_fn {
+        ($name:ident, $n:expr) => {
+            /// Strategy for `[T; N]` sampling each element independently.
+            pub fn $name<S: Strategy>(element: S) -> Uniform<S, $n> {
+                Uniform { element }
+            }
+        };
+    }
+
+    /// Array strategy produced by the `uniformN` constructors.
+    pub struct Uniform<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for Uniform<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    uniform_fn!(uniform2, 2);
+    uniform_fn!(uniform3, 3);
+    uniform_fn!(uniform4, 4);
+    uniform_fn!(uniform6, 6);
+    uniform_fn!(uniform8, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Case-context plumbing for failure reporting
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_CASE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record the current case index (used by the `proptest!` expansion so
+/// panic messages identify the failing case).
+pub fn set_current_case(i: u64) {
+    CURRENT_CASE.with(|c| c.set(i));
+}
+
+/// The case index most recently recorded on this thread.
+pub fn current_case() -> u64 {
+    CURRENT_CASE.with(|c| c.get())
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times over freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test function in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.resolved_cases() {
+                $crate::set_current_case(__case as u64);
+                $(
+                    let $arg = {
+                        let __s = $strat;
+                        $crate::Strategy::sample(&__s, &mut __rng)
+                    };
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Define a named strategy-building function from sampled bindings.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($earg:ident : $ety:ty),* $(,)?)
+                 ($($arg:ident in $strat:expr),+ $(,)?)
+                 -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($earg: $ety),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::SampledWith::new(move |__rng: &mut $crate::TestRng| {
+                $(
+                    let $arg = {
+                        let __s = $strat;
+                        $crate::Strategy::sample(&__s, __rng)
+                    };
+                )+
+                $body
+            })
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert within a property; failure panics with the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed (case {})", $crate::current_case())
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b, "property failed (case {})", $crate::current_case())
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b, "property failed (case {})", $crate::current_case())
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        ArbValue, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.0f64..=1.0).sample(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let neg = (-(1i32 << 25)..(1i32 << 25)).sample(&mut rng);
+            assert!((-(1i32 << 25)..(1i32 << 25)).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_alternatives() {
+        let s = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)];
+        let mut rng = crate::TestRng::new(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            match s.sample(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                5 => seen[2] = true,
+                6 => seen[3] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn filter_map_resamples() {
+        let s = (0u32..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let s = crate::collection::vec((any::<bool>(), 1u32..512), 1..200);
+        let mut rng = crate::TestRng::new(4);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..200).contains(&v.len()));
+            assert!(v.iter().all(|&(_, n)| (1..512).contains(&n)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro surface itself works end to end.
+        #[test]
+        fn macro_surface(a in 0usize..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(u8::from(b), b as u8);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(x in 0u8..4, y in 0u8..4) -> (u8, u8) {
+            (x, y)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_surface(p in arb_pair()) {
+            prop_assert!(p.0 < 4 && p.1 < 4);
+        }
+    }
+}

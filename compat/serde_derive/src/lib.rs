@@ -1,0 +1,394 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate depends on `syn`/`quote`, which are unavailable without
+//! registry access, so this macro parses the derive input token stream by
+//! hand. It supports exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields (no generics),
+//! - enums with unit, tuple, and struct variants (no generics).
+//!
+//! Generated impls target the Value-tree model of the companion `serde`
+//! stand-in and follow serde_json's externally-tagged enum conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+/// The parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive stand-in generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive stand-in generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive stand-in: `{name}` has no braced body"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skip attributes (`#[...]`), visibility (`pub`, `pub(crate)`), and
+/// default/const qualifiers before the item keyword.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields, returning the names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stand-in: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stand-in: expected `:` after `{name}`, found {other}"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parse enum variants.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stand-in: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the separating comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Count tuple-variant fields: top-level commas (angle-depth 0) delimit them.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pairs = String::new();
+    for f in fields {
+        pairs.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\")?)?,"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                     format!(\"expected object for {name}, found {{__v:?}}\")))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+            )),
+            VariantKind::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(__f0) => ::serde::Value::Object(vec![\
+                     (::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),"
+            )),
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                          ::serde::Value::Array(vec![{}]))]),",
+                    binds.join(","),
+                    elems.join(",")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds = fields.join(",");
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                          ::serde::Value::Object(vec![{}]))]),",
+                    pairs.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+            )),
+            VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__payload)?)),"
+            )),
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __arr = __payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array payload for {name}::{vn}\"))?;\n\
+                         if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong payload arity for {name}::{vn}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                     }},",
+                    elems.join(",")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object payload for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                     }},",
+                    inits.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__k, __payload) = &__pairs[0];\n\
+                         match __k.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"bad value for enum {name}: {{__other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,8 +1,11 @@
 //! Criterion performance benches for the substrate: VM interpreter
-//! throughput, compiler speed, injector hook overhead, and end-to-end
-//! campaign run rate.
+//! throughput, compiler speed, injector hook overhead, end-to-end
+//! campaign run rate, and the warm-reboot vs cold-boot comparison that
+//! backs `BENCH_warm_reboot.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use swifi_campaign::section6::chosen_locations;
+use swifi_campaign::RunSession;
 use swifi_core::fault::FaultSpec;
 use swifi_core::injector::{Injector, TriggerMode};
 use swifi_lang::compile;
@@ -74,20 +77,205 @@ fn bench_compiler(c: &mut Criterion) {
 fn bench_campaign_run(c: &mut Criterion) {
     let p = program("JB.team11").unwrap();
     let compiled = compile(p.source_correct).unwrap();
-    let input = TestInput::JamesB { seed: 7, line: b"benchmark line".to_vec() };
+    let input = TestInput::JamesB {
+        seed: 7,
+        line: b"benchmark line".to_vec(),
+    };
     let set = swifi_core::locations::generate_error_set(&compiled.debug, 3, 3, 1);
     let fault = set.assign_faults[0].spec;
     c.bench_function("campaign/one_injected_run_jamesb", |b| {
-        b.iter(|| {
-            swifi_campaign::execute(&compiled, Family::JamesB, &input, Some(&fault), 1)
-        })
+        b.iter(|| swifi_campaign::execute(&compiled, Family::JamesB, &input, Some(&fault), 1))
     });
     let cam = program("C.team8").unwrap();
     let cam_compiled = compile(cam.source_correct).unwrap();
-    let cam_input = TestInput::Camelot { pieces: vec![(0, 0), (3, 4), (6, 2)] };
+    let cam_input = TestInput::Camelot {
+        pieces: vec![(0, 0), (3, 4), (6, 2)],
+    };
     c.bench_function("campaign/one_clean_run_camelot", |b| {
         b.iter(|| swifi_campaign::execute(&cam_compiled, Family::Camelot, &cam_input, None, 1))
     });
+}
+
+/// One JB-family program's cold-vs-warm measurement.
+struct RebootMeasurement {
+    program: &'static str,
+    runs: u64,
+    cold_runs_per_sec: f64,
+    warm_runs_per_sec: f64,
+    /// Per-run reboot overhead, cold lifecycle: `Machine::new` + `load` +
+    /// `Injector::new` + `prepare` (everything except guest execution).
+    cold_reboot_ns: f64,
+    /// Per-run reboot overhead, warm lifecycle: `restore` + `reset` +
+    /// `prepare`.
+    warm_reboot_ns: f64,
+}
+
+impl RebootMeasurement {
+    fn speedup(&self) -> f64 {
+        self.warm_runs_per_sec / self.cold_runs_per_sec
+    }
+
+    fn reboot_speedup(&self) -> f64 {
+        self.cold_reboot_ns / self.warm_reboot_ns
+    }
+}
+
+/// Replay one program's class-campaign schedule (every generated fault ×
+/// every shared input, exactly the §6 loop) through a lifecycle `run`
+/// closure, returning runs/second.
+fn time_schedule(
+    faults: &[swifi_core::locations::GeneratedFault],
+    inputs: &[TestInput],
+    seed: u64,
+    mut run: impl FnMut(&TestInput, &FaultSpec, u64),
+) -> f64 {
+    let t0 = std::time::Instant::now();
+    let mut runs = 0u64;
+    for fault in faults {
+        for (i, input) in inputs.iter().enumerate() {
+            let run_seed = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(fault.site_addr as u64)
+                .wrapping_add(i as u64);
+            run(input, &fault.spec, run_seed);
+            runs += 1;
+        }
+    }
+    runs as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Time just the reboot portion of both lifecycles (no guest execution):
+/// cold = `Machine::new` + `load` + `Injector::new` + `prepare` per run;
+/// warm = `restore` + `reset` + `prepare` per run.
+fn measure_reboot_overhead(
+    compiled: &swifi_lang::Program,
+    family: Family,
+    spec: FaultSpec,
+) -> (f64, f64) {
+    use swifi_campaign::runner::campaign_config;
+    const N: u32 = 2000;
+    let t0 = std::time::Instant::now();
+    for i in 0..N {
+        let mut m = Machine::new(campaign_config(family));
+        m.load(&compiled.image);
+        let mut inj = Injector::new(vec![spec], TriggerMode::Hardware, i as u64).unwrap();
+        inj.set_reference_dispatch(true);
+        inj.prepare(&mut m).unwrap();
+        criterion::black_box(&m);
+    }
+    let cold_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+
+    let mut m = Machine::new(campaign_config(family));
+    m.load(&compiled.image);
+    let snap = m.snapshot();
+    let mut inj = Injector::new(vec![spec], TriggerMode::Hardware, 0).unwrap();
+    let t0 = std::time::Instant::now();
+    for i in 0..N {
+        m.restore(&snap);
+        inj.reset(i as u64);
+        inj.prepare(&mut m).unwrap();
+        criterion::black_box(&m);
+    }
+    let warm_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+    (cold_ns, warm_ns)
+}
+
+/// Measure the §6 class campaign for one JB program under both machine
+/// lifecycles: cold boot (fresh machine + fresh injector per run, the
+/// pre-`RunSession` engine) and warm reboot (one session, snapshot
+/// restore between runs).
+fn measure_reboot(name: &'static str, seed: u64) -> RebootMeasurement {
+    let p = program(name).unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let (n_assign, n_check) = chosen_locations(name);
+    let set = swifi_core::locations::generate_error_set(&compiled.debug, n_assign, n_check, seed);
+    let faults: Vec<_> = set
+        .assign_faults
+        .iter()
+        .chain(set.check_faults.iter())
+        .cloned()
+        .collect();
+    let inputs = p.family.test_case(6, seed ^ 0x5EED);
+
+    // Warm-up pass so page-cache / allocator effects hit both sides evenly.
+    let mut session = RunSession::new(&compiled, p.family);
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        session.run(input, Some(spec), s);
+    });
+
+    let cold_runs_per_sec = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        swifi_campaign::execute_cold(&compiled, p.family, input, Some(spec), s);
+    });
+    let mut session = RunSession::new(&compiled, p.family);
+    let warm_runs_per_sec = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        session.run(input, Some(spec), s);
+    });
+    let (cold_reboot_ns, warm_reboot_ns) =
+        measure_reboot_overhead(&compiled, p.family, faults[0].spec);
+    RebootMeasurement {
+        program: name,
+        runs: faults.len() as u64 * inputs.len() as u64,
+        cold_runs_per_sec,
+        warm_runs_per_sec,
+        cold_reboot_ns,
+        warm_reboot_ns,
+    }
+}
+
+/// Warm-reboot headline bench: §6 class campaigns for the JB family under
+/// both lifecycles, recorded to `BENCH_warm_reboot.json` at the repo root.
+fn bench_warm_reboot(_c: &mut Criterion) {
+    let measurements: Vec<RebootMeasurement> = ["JB.team6", "JB.team11"]
+        .iter()
+        .map(|name| measure_reboot(name, 0xB007))
+        .collect();
+    let mut rows = String::new();
+    for m in &measurements {
+        println!(
+            "{:<42} cold: {:>8.1} runs/s   warm: {:>8.1} runs/s   campaign speedup: {:.1}x",
+            format!("reboot/class_campaign_{}", m.program),
+            m.cold_runs_per_sec,
+            m.warm_runs_per_sec,
+            m.speedup()
+        );
+        println!(
+            "{:<42} cold: {:>8.2} us/run  warm: {:>8.2} us/run  reboot speedup: {:.0}x",
+            format!("reboot/lifecycle_overhead_{}", m.program),
+            m.cold_reboot_ns / 1000.0,
+            m.warm_reboot_ns / 1000.0,
+            m.reboot_speedup()
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"program\": \"{}\", \"runs\": {}, \"cold_runs_per_sec\": {:.1}, \
+             \"warm_runs_per_sec\": {:.1}, \"campaign_speedup\": {:.2}, \
+             \"cold_reboot_us_per_run\": {:.3}, \"warm_reboot_us_per_run\": {:.3}, \
+             \"reboot_overhead_speedup\": {:.1}}}",
+            m.program,
+            m.runs,
+            m.cold_runs_per_sec,
+            m.warm_runs_per_sec,
+            m.speedup(),
+            m.cold_reboot_ns / 1000.0,
+            m.warm_reboot_ns / 1000.0,
+            m.reboot_speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"warm_reboot\",\n  \"schedule\": \"section6 class campaign, all \
+         generated faults x 6 shared inputs\",\n  \"cold\": \"seed lifecycle: fresh Machine + \
+         load + fresh Injector (reference dispatch) per run\",\n  \"warm\": \"one RunSession: \
+         snapshot restore + injector reset per run, hot-path dispatch\",\n  \
+         \"reboot_overhead\": \"per-run lifecycle cost excluding guest execution; the campaign \
+         speedup is Amdahl-capped by guest execution time\",\n  \"programs\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_warm_reboot.json");
+    std::fs::write(&path, json).expect("write BENCH_warm_reboot.json");
+    println!("wrote {}", path.display());
 }
 
 criterion_group!(
@@ -95,6 +283,7 @@ criterion_group!(
     bench_vm_throughput,
     bench_injector_overhead,
     bench_compiler,
-    bench_campaign_run
+    bench_campaign_run,
+    bench_warm_reboot
 );
 criterion_main!(benches);

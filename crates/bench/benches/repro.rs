@@ -28,7 +28,10 @@ use swifi_odc::{AssignErrorType, CheckErrorType};
 const SEED: u64 = 20000625;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     let full = std::env::var_os("REPRO_FULL").is_some();
 
@@ -51,7 +54,9 @@ fn main() {
         run_table3();
     }
     // The class campaign feeds table4 and figures 7-10; run it once.
-    let campaign_needed = ["table4", "fig7", "fig8", "fig9", "fig10"].iter().any(|a| want(a));
+    let campaign_needed = ["table4", "fig7", "fig8", "fig9", "fig10"]
+        .iter()
+        .any(|a| want(a));
     if campaign_needed {
         let scale = CampaignScale::from_env();
         println!(
@@ -126,7 +131,13 @@ fn run_table1(full: bool) {
     println!(
         "{}",
         render_table(
-            &["Program", "Fault type", "% Wrong results", "% Correct results", "paper % wrong"],
+            &[
+                "Program",
+                "Fault type",
+                "% Wrong results",
+                "% Correct results",
+                "paper % wrong"
+            ],
             &table_rows
         )
     );
@@ -156,7 +167,15 @@ fn run_section5() {
     println!(
         "{}",
         render_table(
-            &["Program", "Fault type", "Class", "Word diffs", "Triggers", "Emulation acc.", "Mode"],
+            &[
+                "Program",
+                "Fault type",
+                "Class",
+                "Word diffs",
+                "Triggers",
+                "Emulation acc.",
+                "Mode"
+            ],
             &table_rows
         )
     );
@@ -183,7 +202,12 @@ fn run_table2() {
                 if r.recursive { "yes" } else { "no" }.to_string(),
                 if r.dynamic_structures { "yes" } else { "no" }.to_string(),
                 r.cores.to_string(),
-                if r.had_real_fault { "1 (corrected)" } else { "-" }.to_string(),
+                if r.had_real_fault {
+                    "1 (corrected)"
+                } else {
+                    "-"
+                }
+                .to_string(),
                 r.features.clone(),
             ]
         })
@@ -191,7 +215,15 @@ fn run_table2() {
     println!(
         "{}",
         render_table(
-            &["Program", "LoC", "Recursive", "Dynamic", "Cores", "Real faults", "Features"],
+            &[
+                "Program",
+                "LoC",
+                "Recursive",
+                "Dynamic",
+                "Cores",
+                "Real faults",
+                "Features"
+            ],
             &table_rows
         )
     );
@@ -209,7 +241,10 @@ fn run_table3() {
             .iter()
             .map(|t| vec!["Checking".to_string(), t.label().to_string()]),
     );
-    println!("{}", render_table(&["Fault class", "Error type (original -> injected)"], &rows));
+    println!(
+        "{}",
+        render_table(&["Fault class", "Error type (original -> injected)"], &rows)
+    );
     println!("index errors ([i] -> [i±1]) apply only to checking over arrays, per the paper\n");
 }
 
@@ -256,11 +291,24 @@ fn fig_row(name: &str, counts: &ModeCounts) -> Vec<String> {
 }
 
 fn run_fig_by_program(campaigns: &[ProgramCampaign], assign: bool) {
-    let (fig, class) = if assign { ("Figure 7", "assignment") } else { ("Figure 8", "checking") };
+    let (fig, class) = if assign {
+        ("Figure 7", "assignment")
+    } else {
+        ("Figure 8", "checking")
+    };
     println!("-- {fig}: failure modes per program, {class} faults --");
     let rows: Vec<Vec<String>> = campaigns
         .iter()
-        .map(|c| fig_row(&c.program, if assign { &c.assign_modes } else { &c.check_modes }))
+        .map(|c| {
+            fig_row(
+                &c.program,
+                if assign {
+                    &c.assign_modes
+                } else {
+                    &c.check_modes
+                },
+            )
+        })
         .collect();
     let mut headers = vec!["Program"];
     headers.extend(MODE_HEADERS);
@@ -295,9 +343,17 @@ fn run_fig10(check: &BTreeMap<CheckErrorType, ModeCounts>) {
     println!("{}", render_table(&headers, &rows));
     // The paper's headline contrasts: != -> = and true -> false barely
     // ever stay correct; < -> <= often does.
-    for t in [CheckErrorType::NeToEq, CheckErrorType::TrueToFalse, CheckErrorType::LtToLe] {
+    for t in [
+        CheckErrorType::NeToEq,
+        CheckErrorType::TrueToFalse,
+        CheckErrorType::LtToLe,
+    ] {
         if let Some(c) = check.get(&t) {
-            println!("  `{}` correct rate: {}", t.label(), pct(c.pct(FailureMode::Correct)));
+            println!(
+                "  `{}` correct rate: {}",
+                t.label(),
+                pct(c.pct(FailureMode::Correct))
+            );
         }
     }
     println!();
@@ -306,7 +362,9 @@ fn run_fig10(check: &BTreeMap<CheckErrorType, ModeCounts>) {
 fn run_hwcompare() {
     println!("-- Hardware-fault baseline (sec. 6.4): random bit flips vs software errors --");
     let target = swifi_programs::program("JB.team11").expect("exists");
-    let scale = CampaignScale { inputs_per_fault: 10 };
+    let scale = CampaignScale {
+        inputs_per_fault: 10,
+    };
     let t0 = Instant::now();
     let hw = swifi_campaign::hardware::hardware_campaign(&target, 30, scale, SEED);
     let sw = swifi_campaign::section6::class_campaign(&target, scale, SEED);
@@ -336,7 +394,9 @@ fn run_hwcompare() {
 fn run_triggers() {
     println!("-- Trigger-sparsity ablation (the paper's closing future-work question) --");
     let target = swifi_programs::program("JB.team11").expect("exists");
-    let scale = CampaignScale { inputs_per_fault: 10 };
+    let scale = CampaignScale {
+        inputs_per_fault: 10,
+    };
     let t0 = Instant::now();
     let rows = swifi_campaign::triggers::trigger_ablation(&target, scale, SEED);
     let table_rows: Vec<Vec<String>> = rows
@@ -360,7 +420,11 @@ fn run_triggers() {
 
 fn run_exposure() {
     println!("-- Figure 2 (empirical): exposure chains of the addressable real faults --");
-    let runs = if std::env::var_os("REPRO_FULL").is_some() { 2_000 } else { 300 };
+    let runs = if std::env::var_os("REPRO_FULL").is_some() {
+        2_000
+    } else {
+        300
+    };
     let t0 = Instant::now();
     let rows = swifi_campaign::exposure::estimate_exposure(runs, SEED);
     let table_rows: Vec<Vec<String>> = rows
@@ -379,7 +443,13 @@ fn run_exposure() {
     println!(
         "{}",
         render_table(
-            &["Program", "p1 (executed)", "p2*p3 (fail|exec)", "failure rate", "min accel."],
+            &[
+                "Program",
+                "p1 (executed)",
+                "p2*p3 (fail|exec)",
+                "failure rate",
+                "min accel."
+            ],
             &table_rows
         )
     );
@@ -392,9 +462,13 @@ fn run_ablation() {
     println!("-- Section 6.1 ablation: injection allocation strategies (SOR) --");
     let target = swifi_programs::program("SOR").expect("SOR exists");
     let scale = if std::env::var_os("REPRO_FULL").is_some() {
-        CampaignScale { inputs_per_fault: 25 }
+        CampaignScale {
+            inputs_per_fault: 25,
+        }
     } else {
-        CampaignScale { inputs_per_fault: 5 }
+        CampaignScale {
+            inputs_per_fault: 5,
+        }
     };
     let t0 = Instant::now();
     let rows = ablation(&target, 12, scale, SEED);

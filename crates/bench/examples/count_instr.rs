@@ -1,10 +1,12 @@
+use std::time::Instant;
 use swifi_lang::compile;
 use swifi_vm::machine::{Machine, MachineConfig};
 use swifi_vm::Noop;
-use std::time::Instant;
 
 fn main() {
-    for name in ["C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "SOR"] {
+    for name in [
+        "C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "SOR",
+    ] {
         let p = swifi_programs::program(name).unwrap();
         let c = compile(p.source_correct).unwrap();
         let inputs = p.family.test_case(5, 7);
@@ -22,7 +24,12 @@ fn main() {
             total += m.retired();
         }
         let dt = t0.elapsed().as_secs_f64();
-        println!("{:10} avg {:>10} instr/run, {:>6.1} ms/run, {:.0}M instr/s",
-            name, total / 5, dt * 200.0, total as f64 / dt / 1e6);
+        println!(
+            "{:10} avg {:>10} instr/run, {:>6.1} ms/run, {:.0}M instr/s",
+            name,
+            total / 5,
+            dt * 200.0,
+            total as f64 / dt / 1e6
+        );
     }
 }

@@ -1,0 +1,61 @@
+//! One-off profiling helper: where does a campaign run's time go?
+//! (cold boot pieces vs warm-reboot pieces). Not part of the test suite.
+
+use std::time::Instant;
+use swifi_campaign::runner::campaign_config;
+use swifi_campaign::RunSession;
+use swifi_core::injector::{Injector, TriggerMode};
+use swifi_lang::compile;
+use swifi_programs::{program, Family};
+use swifi_vm::machine::Machine;
+
+fn time<R>(label: &str, iters: u64, mut f: impl FnMut() -> R) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:<40} {:.2} us", ns / 1000.0);
+}
+
+fn main() {
+    for name in ["JB.team6", "JB.team11"] {
+        println!("== {name}");
+        let p = program(name).unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let inputs = p.family.test_case(6, 0xB007 ^ 0x5EED);
+        let set = swifi_core::locations::generate_error_set(&compiled.debug, 5, 5, 0xB007);
+        let spec = set.assign_faults[0].spec;
+
+        time("Machine::new(campaign_config)", 2000, || {
+            Machine::new(campaign_config(Family::JamesB))
+        });
+        let mut m = Machine::new(campaign_config(Family::JamesB));
+        time("load(image)", 2000, || m.load(&compiled.image));
+        time("Machine::new + load", 2000, || {
+            let mut m = Machine::new(campaign_config(Family::JamesB));
+            m.load(&compiled.image);
+            m
+        });
+        time("snapshot", 200, || m.snapshot());
+        let snap = m.snapshot();
+        time("restore (clean)", 2000, || m.restore(&snap));
+        time("Injector::new(1 fault)", 2000, || {
+            Injector::new(vec![spec], TriggerMode::Hardware, 1).unwrap()
+        });
+        time("expected_output", 2000, || inputs[0].expected_output());
+        time("to_tape", 2000, || inputs[0].to_tape());
+
+        let mut session = RunSession::new(&compiled, Family::JamesB);
+        time("warm clean run", 500, || session.run_clean(&inputs[0]));
+        time("warm injected run", 500, || {
+            session.run(&inputs[0], Some(&spec), 1)
+        });
+        time("cold injected run (execute_cold)", 500, || {
+            swifi_campaign::execute_cold(&compiled, Family::JamesB, &inputs[0], Some(&spec), 1)
+        });
+        time("one-shot session run (execute)", 500, || {
+            swifi_campaign::execute(&compiled, Family::JamesB, &inputs[0], Some(&spec), 1)
+        });
+    }
+}

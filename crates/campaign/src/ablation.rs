@@ -22,9 +22,10 @@ use swifi_lang::compile;
 use swifi_metrics::{allocate, measure, AllocationStrategy};
 use swifi_programs::TargetProgram;
 
-use crate::pool::parallel_map;
-use crate::runner::{execute, ModeCounts};
+use crate::pool::parallel_map_with;
+use crate::runner::ModeCounts;
 use crate::section6::CampaignScale;
+use crate::session::RunSession;
 
 /// Results for one allocation strategy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,11 +72,19 @@ pub fn ablation(
 
     let strategies: Vec<(String, AllocationStrategy)> = vec![
         ("uniform".to_string(), AllocationStrategy::Uniform),
-        ("metrics-guided".to_string(), AllocationStrategy::MetricsGuided),
-        ("field-data".to_string(), AllocationStrategy::FieldData(field)),
+        (
+            "metrics-guided".to_string(),
+            AllocationStrategy::MetricsGuided,
+        ),
+        (
+            "field-data".to_string(),
+            AllocationStrategy::FieldData(field),
+        ),
     ];
 
-    let inputs = target.family.test_case(scale.inputs_per_fault, seed ^ 0xAB1A);
+    let inputs = target
+        .family
+        .test_case(scale.inputs_per_fault, seed ^ 0xAB1A);
     strategies
         .into_iter()
         .map(|(label, strategy)| {
@@ -87,7 +96,7 @@ pub fn ablation(
                     continue;
                 }
                 let mut plan = choose_locations(&compiled.debug, *n, *n, seed);
-                restrict_to_functions(&compiled.debug, &mut plan, &[func.clone()]);
+                restrict_to_functions(&compiled.debug, &mut plan, std::slice::from_ref(func));
                 // Refill up to n from this function's own sites.
                 let assign_sites: Vec<usize> = compiled
                     .debug
@@ -114,31 +123,35 @@ pub fn ablation(
                     faults.extend(check_faults_for(&compiled.debug.checks[i]));
                 }
             }
-            let per_fault = parallel_map(&faults, |fault| {
-                let mut counts = ModeCounts::default();
-                let mut dormant = 0u64;
-                for (i, input) in inputs.iter().enumerate() {
-                    let (mode, fired) = execute(
-                        &compiled,
-                        target.family,
-                        input,
-                        Some(&fault.spec),
-                        seed.wrapping_add(i as u64),
-                    );
-                    counts.add(mode);
-                    if !fired {
-                        dormant += 1;
+            let (per_fault, _sessions) = parallel_map_with(
+                &faults,
+                || RunSession::new(&compiled, target.family),
+                |session, fault| {
+                    let mut counts = ModeCounts::default();
+                    let mut dormant = 0u64;
+                    for (i, input) in inputs.iter().enumerate() {
+                        let (mode, fired) =
+                            session.run(input, Some(&fault.spec), seed.wrapping_add(i as u64));
+                        counts.add(mode);
+                        if !fired {
+                            dormant += 1;
+                        }
                     }
-                }
-                (counts, dormant)
-            });
+                    (counts, dormant)
+                },
+            );
             let mut modes = ModeCounts::default();
             let mut dormant_runs = 0;
             for (c, d) in per_fault {
                 modes.merge(&c);
                 dormant_runs += d;
             }
-            AblationRow { strategy: label, allocation, modes, dormant_runs }
+            AblationRow {
+                strategy: label,
+                allocation,
+                modes,
+                dormant_runs,
+            }
         })
         .collect()
 }
@@ -151,7 +164,14 @@ mod tests {
     #[test]
     fn three_strategies_reported() {
         let target = program("JB.team11").unwrap();
-        let rows = ablation(&target, 4, CampaignScale { inputs_per_fault: 2 }, 9);
+        let rows = ablation(
+            &target,
+            4,
+            CampaignScale {
+                inputs_per_fault: 2,
+            },
+            9,
+        );
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert_eq!(
@@ -167,7 +187,14 @@ mod tests {
     #[test]
     fn strategies_differ_in_where_they_inject() {
         let target = program("SOR").unwrap();
-        let rows = ablation(&target, 8, CampaignScale { inputs_per_fault: 1 }, 2);
+        let rows = ablation(
+            &target,
+            8,
+            CampaignScale {
+                inputs_per_fault: 1,
+            },
+            2,
+        );
         let uniform = &rows[0].allocation;
         let guided = &rows[1].allocation;
         assert_ne!(uniform, guided, "metrics should reshape the allocation");

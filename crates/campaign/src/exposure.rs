@@ -16,10 +16,10 @@ use swifi_core::emulate::{plan_emulation, EmulationVerdict};
 use swifi_lang::compile;
 use swifi_programs::all_programs;
 use swifi_vm::inspect::Profiler;
-use swifi_vm::machine::{Machine, RunOutcome};
+use swifi_vm::machine::RunOutcome;
 
-use crate::pool::parallel_map;
-use crate::runner::campaign_config;
+use crate::pool::parallel_map_with;
+use crate::session::RunSession;
 
 /// Measured exposure chain for one real fault.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,7 +55,9 @@ impl ExposureEstimate {
 pub fn estimate_exposure(runs: usize, seed: u64) -> Vec<ExposureEstimate> {
     let mut out = Vec::new();
     for p in all_programs() {
-        let Some(faulty_src) = p.source_faulty else { continue };
+        let Some(faulty_src) = p.source_faulty else {
+            continue;
+        };
         let corrected = compile(p.source_correct).expect("compiles");
         let faulty = compile(faulty_src).expect("compiles");
         let diffs = match plan_emulation(&corrected.image, &faulty.image) {
@@ -66,21 +68,23 @@ pub fn estimate_exposure(runs: usize, seed: u64) -> Vec<ExposureEstimate> {
         };
         let addrs: Vec<u32> = diffs.iter().map(|d| d.addr).collect();
         let inputs = p.family.test_case(runs, seed);
-        let per_run = parallel_map(&inputs, |input| {
-            let mut m = Machine::new(campaign_config(p.family));
-            m.load(&faulty.image);
-            m.set_input(input.to_tape());
-            let mut prof = Profiler::new();
-            let outcome = m.run(&mut prof);
-            let executed = addrs.iter().any(|&a| prof.executed(a));
-            let failed = match outcome {
-                RunOutcome::Completed { exit_code: 0, output } => {
-                    output != input.expected_output()
-                }
-                _ => true,
-            };
-            (executed, failed)
-        });
+        let (per_run, _sessions) = parallel_map_with(
+            &inputs,
+            || RunSession::new(&faulty, p.family),
+            |session, input| {
+                let mut prof = Profiler::new();
+                let outcome = session.run_with(input, &mut prof);
+                let executed = addrs.iter().any(|&a| prof.executed(a));
+                let failed = match outcome {
+                    RunOutcome::Completed {
+                        exit_code: 0,
+                        output,
+                    } => output != input.expected_output(),
+                    _ => true,
+                };
+                (executed, failed)
+            },
+        );
         let executed = per_run.iter().filter(|&&(e, _)| e).count();
         let failed = per_run.iter().filter(|&&(_, f)| f).count();
         let failed_and_executed = per_run.iter().filter(|&&(e, f)| e && f).count();

@@ -20,9 +20,10 @@ use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
 use swifi_lang::compile;
 use swifi_programs::TargetProgram;
 
-use crate::pool::parallel_map;
-use crate::runner::{execute, ModeCounts};
+use crate::pool::parallel_map_with;
+use crate::runner::ModeCounts;
 use crate::section6::CampaignScale;
+use crate::session::RunSession;
 
 /// Hardware-fault flavours injected by [`hardware_campaign`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,8 +39,11 @@ pub enum HwFaultKind {
 
 impl HwFaultKind {
     /// All flavours.
-    pub const ALL: [HwFaultKind; 3] =
-        [HwFaultKind::TransientInstr, HwFaultKind::IntermittentInstr, HwFaultKind::TransientGpr];
+    pub const ALL: [HwFaultKind; 3] = [
+        HwFaultKind::TransientInstr,
+        HwFaultKind::IntermittentInstr,
+        HwFaultKind::TransientGpr,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -74,7 +78,7 @@ pub fn random_hw_faults(
     (0..count)
         .map(|_| {
             let addr = swifi_vm::CODE_BASE + rng.gen_range(0..code_words as u32) * 4;
-            let bit = rng.gen_range(0..32);
+            let bit: u32 = rng.gen_range(0..32);
             match kind {
                 HwFaultKind::TransientInstr => FaultSpec {
                     what: ErrorOp::Xor(1 << bit),
@@ -108,37 +112,41 @@ pub fn hardware_campaign(
     seed: u64,
 ) -> Vec<HardwareRow> {
     let compiled = compile(target.source_correct).expect("vendored source compiles");
-    let inputs = target.family.test_case(scale.inputs_per_fault, seed ^ 0x44D);
+    let inputs = target
+        .family
+        .test_case(scale.inputs_per_fault, seed ^ 0x44D);
     HwFaultKind::ALL
         .iter()
         .map(|&kind| {
-            let faults =
-                random_hw_faults(kind, compiled.image.code.len(), faults_per_kind, seed);
-            let per_fault = parallel_map(&faults, |spec| {
-                let mut counts = ModeCounts::default();
-                let mut dormant = 0u64;
-                for (i, input) in inputs.iter().enumerate() {
-                    let (mode, fired) = execute(
-                        &compiled,
-                        target.family,
-                        input,
-                        Some(spec),
-                        seed.wrapping_add(i as u64),
-                    );
-                    counts.add(mode);
-                    if !fired {
-                        dormant += 1;
+            let faults = random_hw_faults(kind, compiled.image.code.len(), faults_per_kind, seed);
+            let (per_fault, _sessions) = parallel_map_with(
+                &faults,
+                || RunSession::new(&compiled, target.family),
+                |session, spec| {
+                    let mut counts = ModeCounts::default();
+                    let mut dormant = 0u64;
+                    for (i, input) in inputs.iter().enumerate() {
+                        let (mode, fired) =
+                            session.run(input, Some(spec), seed.wrapping_add(i as u64));
+                        counts.add(mode);
+                        if !fired {
+                            dormant += 1;
+                        }
                     }
-                }
-                (counts, dormant)
-            });
+                    (counts, dormant)
+                },
+            );
             let mut modes = ModeCounts::default();
             let mut dormant_runs = 0;
             for (c, d) in per_fault {
                 modes.merge(&c);
                 dormant_runs += d;
             }
-            HardwareRow { kind, modes, dormant_runs }
+            HardwareRow {
+                kind,
+                modes,
+                dormant_runs,
+            }
         })
         .collect()
 }
@@ -172,11 +180,20 @@ mod tests {
         // more often than semantics-preserving software errors do: the
         // crash share must be visible even in a small sample.
         let target = program("JB.team11").unwrap();
-        let rows =
-            hardware_campaign(&target, 40, CampaignScale { inputs_per_fault: 3 }, 99);
+        let rows = hardware_campaign(
+            &target,
+            40,
+            CampaignScale {
+                inputs_per_fault: 3,
+            },
+            99,
+        );
         assert_eq!(rows.len(), 3);
         let total_crashes: u64 = rows.iter().map(|r| r.modes.crash).sum();
-        assert!(total_crashes > 0, "bit flips should crash sometimes: {rows:?}");
+        assert!(
+            total_crashes > 0,
+            "bit flips should crash sometimes: {rows:?}"
+        );
         for r in &rows {
             assert!(r.modes.total() == 40 * 3);
             assert!(FailureMode::ALL.len() == 4);

@@ -9,8 +9,9 @@ use serde::{Deserialize, Serialize};
 use swifi_lang::compile;
 use swifi_programs::all_programs;
 
-use crate::pool::parallel_map;
-use crate::runner::{execute, FailureMode, ModeCounts};
+use crate::pool::parallel_map_with;
+use crate::runner::{FailureMode, ModeCounts};
+use crate::session::RunSession;
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,19 +43,27 @@ impl Table1Row {
 pub fn table1(runs: usize, seed: u64) -> Vec<Table1Row> {
     let mut rows = Vec::new();
     for p in all_programs() {
-        let Some(faulty_src) = p.source_faulty else { continue };
+        let Some(faulty_src) = p.source_faulty else {
+            continue;
+        };
         let compiled = compile(faulty_src).expect("faulty source compiles");
         let inputs = p.family.test_case(runs, seed);
-        let modes = parallel_map(&inputs, |input| {
-            execute(&compiled, p.family, input, None, 0).0
-        });
+        let (modes, _sessions) = parallel_map_with(
+            &inputs,
+            || RunSession::new(&compiled, p.family),
+            |session, input| session.run(input, None, 0).0,
+        );
         let mut counts = ModeCounts::default();
         for m in modes {
             counts.add(m);
         }
         rows.push(Table1Row {
             program: p.name.to_string(),
-            defect_type: p.real_fault.expect("faulty implies fault").defect_type.to_string(),
+            defect_type: p
+                .real_fault
+                .expect("faulty implies fault")
+                .defect_type
+                .to_string(),
             counts,
         });
     }
@@ -70,8 +79,9 @@ mod tests {
         let rows = table1(3, 1);
         assert_eq!(rows.len(), 7);
         let names: Vec<&str> = rows.iter().map(|r| r.program.as_str()).collect();
-        for expect in ["C.team1", "C.team2", "C.team3", "C.team4", "C.team5", "JB.team6", "JB.team7"]
-        {
+        for expect in [
+            "C.team1", "C.team2", "C.team3", "C.team4", "C.team5", "JB.team6", "JB.team7",
+        ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
         for r in &rows {

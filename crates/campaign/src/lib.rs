@@ -19,7 +19,10 @@
 //! - [`hardware`] — the §6.4 baseline: random bit-flip (hardware) faults
 //!   to compare against the rule-generated software errors;
 //! - [`runner`] — single-run execution and the four failure modes;
-//! - [`pool`] — order-preserving parallel map over independent runs;
+//! - [`session`] — the warm-reboot run engine: one machine + clean
+//!   snapshot per worker, restored (not rebuilt) between runs;
+//! - [`pool`] — order-preserving parallel map over independent runs, with
+//!   per-worker state carrying the warm sessions;
 //! - [`report`] — paper-style text tables.
 //!
 //! # Quick start
@@ -45,7 +48,9 @@ pub mod report;
 pub mod runner;
 pub mod section5;
 pub mod section6;
+pub mod session;
 pub mod triggers;
 
-pub use runner::{execute, FailureMode, ModeCounts};
+pub use runner::{classify_outcome, execute, execute_cold, FailureMode, ModeCounts};
 pub use section6::{campaign_all, class_campaign, CampaignScale, ProgramCampaign};
+pub use session::{RunSession, SessionStats, Throughput};

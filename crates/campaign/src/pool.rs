@@ -1,50 +1,136 @@
 //! A minimal deterministic parallel-map over independent runs.
 //!
-//! Campaign runs are embarrassingly parallel (one fresh machine each);
-//! wall-clock matters because a full reproduction executes 10⁴–10⁵ VM
-//! runs. Results are returned in input order regardless of scheduling.
+//! Campaign runs are embarrassingly parallel; wall-clock matters because a
+//! full reproduction executes 10⁴–10⁵ VM runs. Results are returned in
+//! input order regardless of scheduling, and each worker thread can carry
+//! reusable state (a warm [`crate::session::RunSession`]) across the items
+//! it processes — the warm-reboot engine's "one session per worker, not
+//! per run" contract.
+//!
+//! Worker panics are propagated to the caller with the index of the item
+//! that failed, instead of surfacing as a misleading "every index
+//! produced" unwind from the collection path.
 
-use crossbeam_channel::unbounded;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Map `f` over `items` on up to `available_parallelism` worker threads,
 /// returning results in input order.
+///
+/// # Panics
+/// If `f` panics for some item, the panic is re-raised on the calling
+/// thread, prefixed with the failing item's index.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    parallel_map_with(items, || (), |(), item| f(item)).0
+}
+
+/// Like [`parallel_map`], but each worker thread owns a state value built
+/// once by `init` and threaded through every item that worker processes.
+///
+/// Returns the in-order results plus the final worker states (one per
+/// worker actually spawned; callers wanting aggregate counters fold over
+/// them). Results must not depend on which worker handled which item —
+/// the warm-reboot equivalence property is exactly what licenses this.
+pub fn parallel_map_with<T, S, R, I, F>(items: &[T], init: I, f: F) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let workers = workers.min(items.len().max(1));
     if workers <= 1 || items.len() < 2 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, item))) {
+                Ok(r) => out.push(r),
+                Err(payload) => raise_with_index(i, payload),
+            }
+        }
+        return (out, vec![state]);
     }
+
     let next = AtomicUsize::new(0);
-    let (tx, rx) = unbounded::<(usize, R)>();
+    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
     std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            let init = &init;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = catch_unwind(AssertUnwindSafe(|| f(&mut state, &items[i])));
+                    let panicked = r.is_err();
+                    if tx.send((i, r)).is_err() || panicked {
+                        // After a panic the worker state may be arbitrary;
+                        // stop this worker. Remaining items are picked up
+                        // by the other workers (the caller re-raises the
+                        // panic regardless).
+                        break;
+                    }
                 }
-                let r = f(&items[i]);
-                if tx.send((i, r)).is_err() {
-                    break;
-                }
-            });
+                state
+            }));
         }
         drop(tx);
+
         let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut failure: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
         for (i, r) in rx {
-            out[i] = Some(r);
+            match r {
+                Ok(v) => out[i] = Some(v),
+                Err(payload) => match &failure {
+                    Some((j, _)) if *j <= i => {}
+                    _ => failure = Some((i, payload)),
+                },
+            }
         }
-        out.into_iter().map(|r| r.expect("every index produced")).collect()
+        let states: Vec<S> = handles.into_iter().filter_map(|h| h.join().ok()).collect();
+
+        if let Some((i, payload)) = failure {
+            raise_with_index(i, payload);
+        }
+
+        let results = out
+            .into_iter()
+            .map(|r| r.expect("all indices complete when no worker panicked"))
+            .collect();
+        (results, states)
     })
+}
+
+/// Re-raise a caught worker panic, prefixing the failing item's index so
+/// campaign logs identify which fault/input pair blew up.
+fn raise_with_index(i: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned());
+    match msg {
+        Some(m) => panic!("parallel_map worker panicked on item {i}: {m}"),
+        None => {
+            eprintln!("parallel_map worker panicked on item {i} (opaque payload)");
+            resume_unwind(payload);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -70,5 +156,60 @@ mod tests {
         let out = parallel_map(&items, |&x| (0..10_000).fold(x, |a, b| a.wrapping_add(b)));
         assert_eq!(out.len(), 64);
         assert_eq!(out[0], (0..10_000).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker() {
+        // Each worker counts how many items it processed; the counts must
+        // sum to the item count no matter how the scheduler split them.
+        let items: Vec<u32> = (0..500).collect();
+        let (out, states) = parallel_map_with(
+            &items,
+            || 0u32,
+            |count, &x| {
+                *count += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=500).collect::<Vec<u32>>());
+        assert_eq!(states.iter().sum::<u32>(), 500);
+        assert!(!states.is_empty());
+    }
+
+    #[test]
+    fn propagates_panic_with_item_index() {
+        let items: Vec<u32> = (0..256).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                if x == 97 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        })
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(
+            msg.contains("item 97"),
+            "message should name the item: {msg}"
+        );
+        assert!(
+            msg.contains("boom at 97"),
+            "message should keep the cause: {msg}"
+        );
+    }
+
+    #[test]
+    fn propagates_panic_on_sequential_path() {
+        let err = std::panic::catch_unwind(|| parallel_map(&[1u32], |_| panic!("single")))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("wrapped message");
+        assert!(
+            msg.contains("item 0") && msg.contains("single"),
+            "got: {msg}"
+        );
     }
 }

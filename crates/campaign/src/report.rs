@@ -2,6 +2,7 @@
 //! paper's tables (percentages to one decimal, like Table 1's "7.3%").
 
 use crate::runner::{FailureMode, ModeCounts};
+use crate::session::Throughput;
 
 /// Render an aligned text table.
 ///
@@ -63,11 +64,27 @@ pub fn pct(v: f64) -> String {
 /// Render one failure-mode distribution as the four percentage cells used
 /// by Figures 7–10.
 pub fn mode_cells(counts: &ModeCounts) -> Vec<String> {
-    FailureMode::ALL.iter().map(|&m| pct(counts.pct(m))).collect()
+    FailureMode::ALL
+        .iter()
+        .map(|&m| pct(counts.pct(m)))
+        .collect()
 }
 
 /// Headers matching [`mode_cells`].
 pub const MODE_HEADERS: [&str; 4] = ["Correct", "Incorrect", "Hang", "Crash"];
+
+/// One-line summary of a campaign's run-engine throughput, e.g.
+/// `4200 runs in 1.3s (3230.8 runs/s), 3900 fired / 300 dormant`.
+pub fn throughput_line(tp: &Throughput) -> String {
+    format!(
+        "{} runs in {:.1}s ({:.1} runs/s), {} fired / {} dormant",
+        tp.runs,
+        tp.elapsed_secs,
+        tp.runs_per_sec(),
+        tp.fired_runs,
+        tp.dormant_runs
+    )
+}
 
 #[cfg(test)]
 mod tests {
@@ -96,6 +113,20 @@ mod tests {
         assert_eq!(pct(0.05), "0.05%");
         assert_eq!(pct(0.0), "0.0%");
         assert_eq!(pct(100.0), "100.0%");
+    }
+
+    #[test]
+    fn throughput_line_reports_rate() {
+        let tp = Throughput {
+            runs: 100,
+            fired_runs: 90,
+            dormant_runs: 10,
+            elapsed_secs: 2.0,
+        };
+        let line = throughput_line(&tp);
+        assert!(line.contains("100 runs"), "{line}");
+        assert!(line.contains("50.0 runs/s"), "{line}");
+        assert!(line.contains("90 fired / 10 dormant"), "{line}");
     }
 
     #[test]

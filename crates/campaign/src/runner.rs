@@ -1,17 +1,22 @@
 //! Single-run execution and failure-mode classification.
 //!
-//! One *run* = one fresh machine ("the target system is rebooted between
-//! injections to assure a clean state"), one input data set, and at most
-//! one injected fault. The outcome is classified into the paper's four
-//! failure modes (§6.2).
+//! One *run* = one clean-booted machine ("the target system is rebooted
+//! between injections to assure a clean state"), one input data set, and
+//! at most one injected fault. The outcome is classified into the paper's
+//! four failure modes (§6.2).
+//!
+//! [`execute`] is the cold-boot convenience entry point: it builds a
+//! one-shot [`crate::session::RunSession`] per call. Campaign drivers
+//! that execute thousands of runs hold a long-lived session per worker
+//! instead (the warm-reboot engine) and get identical results faster.
 
 use serde::{Deserialize, Serialize};
 use swifi_core::fault::FaultSpec;
-use swifi_core::injector::{Injector, TriggerMode};
 use swifi_lang::Program;
 use swifi_programs::input::TestInput;
-use swifi_vm::machine::{Machine, MachineConfig, RunOutcome};
-use swifi_vm::Noop;
+use swifi_vm::machine::{MachineConfig, RunOutcome};
+
+use crate::session::RunSession;
 
 /// The paper's failure modes (§6.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -28,8 +33,12 @@ pub enum FailureMode {
 
 impl FailureMode {
     /// All four modes in the paper's presentation order.
-    pub const ALL: [FailureMode; 4] =
-        [FailureMode::Correct, FailureMode::Incorrect, FailureMode::Hang, FailureMode::Crash];
+    pub const ALL: [FailureMode; 4] = [
+        FailureMode::Correct,
+        FailureMode::Incorrect,
+        FailureMode::Hang,
+        FailureMode::Crash,
+    ];
 
     /// Table/figure label.
     pub fn label(self) -> &'static str {
@@ -108,11 +117,37 @@ pub fn campaign_config(family: swifi_programs::Family) -> MachineConfig {
     }
 }
 
-/// Execute one run of a compiled program on `input`, optionally with one
-/// injected fault, and classify the outcome.
+/// Classify one raw [`RunOutcome`] against the oracle's expected output.
+///
+/// Abnormal exit codes count as crashes (system-detected error), matching
+/// the paper's observables.
+pub fn classify_outcome(outcome: &RunOutcome, expected: &[u8]) -> FailureMode {
+    match outcome {
+        RunOutcome::Completed {
+            exit_code: 0,
+            output,
+        } => {
+            if output.as_slice() == expected {
+                FailureMode::Correct
+            } else {
+                FailureMode::Incorrect
+            }
+        }
+        RunOutcome::Completed { .. } => FailureMode::Crash,
+        RunOutcome::Trapped { .. } => FailureMode::Crash,
+        RunOutcome::Hang { .. } => FailureMode::Hang,
+    }
+}
+
+/// Execute one cold-boot run of a compiled program on `input`, optionally
+/// with one injected fault, and classify the outcome.
 ///
 /// Returns the failure mode and whether the fault actually fired
 /// (injected runs only; fault-free runs report `false`).
+///
+/// This is a thin wrapper over a one-shot [`RunSession`]; the session's
+/// warm-reboot path is observably identical (a tested invariant), so
+/// campaign code uses long-lived sessions instead.
 pub fn execute(
     program: &Program,
     family: swifi_programs::Family,
@@ -120,35 +155,42 @@ pub fn execute(
     fault: Option<&FaultSpec>,
     seed: u64,
 ) -> (FailureMode, bool) {
+    RunSession::new(program, family).run(input, fault, seed)
+}
+
+/// The pre-session cold-boot lifecycle, kept as the benchmark baseline for
+/// the warm-reboot engine: a fresh machine (zeroing all guest memory), a
+/// fresh image load, a freshly compiled injector for every single run, and
+/// the injector's exhaustive reference dispatch (no hot-path filters).
+///
+/// Observably identical to [`execute`] (same classification, same fired
+/// flag) — just slower, which is the point of keeping it around.
+pub fn execute_cold(
+    program: &Program,
+    family: swifi_programs::Family,
+    input: &TestInput,
+    fault: Option<&FaultSpec>,
+    seed: u64,
+) -> (FailureMode, bool) {
+    use swifi_core::injector::{Injector, TriggerMode};
+    use swifi_vm::machine::Machine;
+    use swifi_vm::Noop;
+
     let mut machine = Machine::new(campaign_config(family));
     machine.load(&program.image);
     machine.set_input(input.to_tape());
     let expected = input.expected_output();
-    let classify = |outcome: RunOutcome| match outcome {
-        RunOutcome::Completed { exit_code: 0, output } => {
-            if output == expected {
-                FailureMode::Correct
-            } else {
-                FailureMode::Incorrect
-            }
-        }
-        // Abnormal exit codes count as crashes (system-detected error).
-        RunOutcome::Completed { .. } => FailureMode::Crash,
-        RunOutcome::Trapped { .. } => FailureMode::Crash,
-        RunOutcome::Hang { .. } => FailureMode::Hang,
-    };
     match fault {
-        None => (classify(machine.run(&mut Noop)), false),
+        None => (classify_outcome(&machine.run(&mut Noop), &expected), false),
         Some(spec) => {
-            // One fault per run always fits the hardware budget; the
-            // paper's §6 campaigns never needed the intrusive mode.
             let mut injector = Injector::new(vec![*spec], TriggerMode::Hardware, seed)
-                .expect("single fault fits the breakpoint budget");
+                .expect("a single fault fits the hardware trigger budget");
+            injector.set_reference_dispatch(true);
             injector
                 .prepare(&mut machine)
                 .expect("fault addresses lie in mapped memory");
-            let mode = classify(machine.run(&mut injector));
-            (mode, injector.any_fired())
+            let outcome = machine.run(&mut injector);
+            (classify_outcome(&outcome, &expected), injector.any_fired())
         }
     }
 }
@@ -162,7 +204,11 @@ mod tests {
     #[test]
     fn mode_counts_accumulate_and_percentage() {
         let mut c = ModeCounts::default();
-        for m in [FailureMode::Correct, FailureMode::Correct, FailureMode::Crash] {
+        for m in [
+            FailureMode::Correct,
+            FailureMode::Correct,
+            FailureMode::Crash,
+        ] {
             c.add(m);
         }
         assert_eq!(c.total(), 3);
@@ -178,10 +224,38 @@ mod tests {
     fn clean_run_classifies_correct() {
         let p = swifi_programs::program("JB.team11").unwrap();
         let compiled = compile(p.source_correct).unwrap();
-        let input = TestInput::JamesB { seed: 5, line: b"hello".to_vec() };
+        let input = TestInput::JamesB {
+            seed: 5,
+            line: b"hello".to_vec(),
+        };
         let (mode, fired) = execute(&compiled, Family::JamesB, &input, None, 0);
         assert_eq!(mode, FailureMode::Correct);
         assert!(!fired);
+    }
+
+    #[test]
+    fn cold_baseline_matches_session_execute() {
+        use swifi_core::locations::generate_error_set;
+        let p = swifi_programs::program("JB.team11").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let input = TestInput::JamesB {
+            seed: 2,
+            line: b"baseline".to_vec(),
+        };
+        let set = generate_error_set(&compiled.debug, 3, 3, 17);
+        for (i, f) in set
+            .assign_faults
+            .iter()
+            .chain(&set.check_faults)
+            .enumerate()
+        {
+            let a = execute(&compiled, Family::JamesB, &input, Some(&f.spec), i as u64);
+            let b = execute_cold(&compiled, Family::JamesB, &input, Some(&f.spec), i as u64);
+            assert_eq!(a, b, "fault {i}");
+        }
+        let a = execute(&compiled, Family::JamesB, &input, None, 0);
+        let b = execute_cold(&compiled, Family::JamesB, &input, None, 0);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -189,7 +263,10 @@ mod tests {
         use swifi_core::locations::generate_error_set;
         let p = swifi_programs::program("JB.team6").unwrap();
         let compiled = compile(p.source_correct).unwrap();
-        let input = TestInput::JamesB { seed: 5, line: b"hello world".to_vec() };
+        let input = TestInput::JamesB {
+            seed: 5,
+            line: b"hello world".to_vec(),
+        };
         let set = generate_error_set(&compiled.debug, 8, 8, 3);
         // At least one generated fault must change the outcome.
         let mut any_noncorrect = false;

@@ -9,14 +9,12 @@
 
 use serde::{Deserialize, Serialize};
 use swifi_core::emulate::{emulation_faults, plan_emulation, EmulationStrategy, EmulationVerdict};
-use swifi_core::injector::{Injector, TriggerMode};
+use swifi_core::injector::TriggerMode;
 use swifi_lang::compile;
 use swifi_programs::all_programs;
-use swifi_vm::machine::Machine;
-use swifi_vm::Noop;
 
-use crate::pool::parallel_map;
-use crate::runner::campaign_config;
+use crate::pool::parallel_map_with;
+use crate::session::RunSession;
 
 /// One §5 result row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,7 +45,9 @@ pub struct Section5Row {
 pub fn section5(inputs_per_fault: usize, seed: u64) -> Vec<Section5Row> {
     let mut rows = Vec::new();
     for p in all_programs() {
-        let Some(faulty_src) = p.source_faulty else { continue };
+        let Some(faulty_src) = p.source_faulty else {
+            continue;
+        };
         let fault = p.real_fault.expect("faulty implies fault");
         let corrected = compile(p.source_correct).expect("corrected compiles");
         let faulty = compile(faulty_src).expect("faulty compiles");
@@ -57,30 +57,39 @@ pub fn section5(inputs_per_fault: usize, seed: u64) -> Vec<Section5Row> {
             EmulationVerdict::Emulable { diffs } => {
                 ('A', diffs.clone(), diffs.len(), Some(TriggerMode::Hardware))
             }
-            EmulationVerdict::BreakpointBudgetExceeded { diffs, required_triggers } => {
-                ('B', diffs.clone(), *required_triggers, Some(TriggerMode::IntrusiveTraps))
-            }
+            EmulationVerdict::BreakpointBudgetExceeded {
+                diffs,
+                required_triggers,
+            } => (
+                'B',
+                diffs.clone(),
+                *required_triggers,
+                Some(TriggerMode::IntrusiveTraps),
+            ),
             EmulationVerdict::NotEmulable { .. } => ('C', vec![], 0, None),
         };
         let accuracy = mode.map(|trigger_mode| {
             let specs = emulation_faults(&diffs, EmulationStrategy::FetchCorruption);
             let inputs = p.family.test_case(inputs_per_fault, seed);
-            let matches = parallel_map(&inputs, |input| {
-                // Emulated run: corrected binary + injected faults.
-                let mut m = Machine::new(campaign_config(p.family));
-                m.load(&corrected.image);
-                m.set_input(input.to_tape());
-                let mut inj = Injector::new(specs.clone(), trigger_mode, seed)
-                    .expect("verdict guarantees the mode fits");
-                inj.prepare(&mut m).expect("diff addresses are mapped");
-                let emulated = m.run(&mut inj);
-                // Reference run: the real faulty binary.
-                let mut m2 = Machine::new(campaign_config(p.family));
-                m2.load(&faulty.image);
-                m2.set_input(input.to_tape());
-                let real = m2.run(&mut Noop);
-                emulated.output() == real.output()
-            });
+            // Each worker carries a warm session pair: the corrected
+            // binary (for the emulated runs) and the real faulty binary
+            // (the reference), both restored between inputs.
+            let (matches, _sessions) = parallel_map_with(
+                &inputs,
+                || {
+                    (
+                        RunSession::new(&corrected, p.family),
+                        RunSession::new(&faulty, p.family),
+                    )
+                },
+                |(emulated_s, real_s), input| {
+                    // Emulated run: corrected binary + injected faults.
+                    let (emulated, _) = emulated_s.run_injected(input, &specs, trigger_mode, seed);
+                    // Reference run: the real faulty binary.
+                    let real = real_s.run_clean(input);
+                    emulated.output() == real.output()
+                },
+            );
             let ok = matches.iter().filter(|&&b| b).count();
             ok as f64 * 100.0 / matches.len().max(1) as f64
         });

@@ -16,8 +16,9 @@ use swifi_lang::compile;
 use swifi_odc::{AssignErrorType, CheckErrorType};
 use swifi_programs::{all_programs, TargetProgram};
 
-use crate::pool::parallel_map;
-use crate::runner::{execute, ModeCounts};
+use crate::pool::parallel_map_with;
+use crate::runner::ModeCounts;
+use crate::session::{RunSession, Throughput};
 
 /// Campaign sizing. The paper used 300 inputs per fault and hand-picked
 /// location counts; [`CampaignScale::paper`] reproduces those counts,
@@ -32,14 +33,18 @@ pub struct CampaignScale {
 impl CampaignScale {
     /// The paper's scale (300 inputs per fault — hours of wall clock).
     pub fn paper() -> CampaignScale {
-        CampaignScale { inputs_per_fault: 300 }
+        CampaignScale {
+            inputs_per_fault: 300,
+        }
     }
 
     /// The default reproduction scale (kept small so the whole harness
     /// finishes in minutes on a laptop; the recorded EXPERIMENTS.md run
     /// used 25).
     pub fn reduced() -> CampaignScale {
-        CampaignScale { inputs_per_fault: 12 }
+        CampaignScale {
+            inputs_per_fault: 12,
+        }
     }
 
     /// Honour the `REPRO_FULL` environment variable.
@@ -90,6 +95,9 @@ pub struct ProgramCampaign {
     pub dormant_runs: u64,
     /// Total injected-fault runs.
     pub total_runs: u64,
+    /// Run-engine throughput for the whole campaign (equality ignores
+    /// wall-clock; see [`Throughput`]).
+    pub throughput: Throughput,
 }
 
 impl ProgramCampaign {
@@ -110,39 +118,47 @@ impl ProgramCampaign {
 ///
 /// Panics if the program's corrected source fails to compile (programs are
 /// vendored; this is a build error, not an input error).
-pub fn class_campaign(
-    target: &TargetProgram,
-    scale: CampaignScale,
-    seed: u64,
-) -> ProgramCampaign {
+pub fn class_campaign(target: &TargetProgram, scale: CampaignScale, seed: u64) -> ProgramCampaign {
     let compiled = compile(target.source_correct).expect("vendored source compiles");
     let (n_assign, n_check) = chosen_locations(target.name);
     let set = generate_error_set(&compiled.debug, n_assign, n_check, seed);
-    let inputs = target.family.test_case(scale.inputs_per_fault, seed ^ 0x5EED);
+    let inputs = target
+        .family
+        .test_case(scale.inputs_per_fault, seed ^ 0x5EED);
 
-    let run_batch = |faults: &[GeneratedFault]| -> Vec<(ErrorClass, ModeCounts, u64)> {
-        // One work item per fault: runs the whole shared test case.
-        parallel_map(faults, |fault| {
-            let mut counts = ModeCounts::default();
-            let mut dormant = 0;
-            for (i, input) in inputs.iter().enumerate() {
-                let run_seed = seed
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(fault.site_addr as u64)
-                    .wrapping_add(i as u64);
-                let (mode, fired) =
-                    execute(&compiled, target.family, input, Some(&fault.spec), run_seed);
-                counts.add(mode);
-                if !fired {
-                    dormant += 1;
-                }
-            }
-            (fault.error, counts, dormant)
-        })
-    };
+    let run_batch =
+        |faults: &[GeneratedFault]| -> (Vec<(ErrorClass, ModeCounts, u64)>, Throughput) {
+            // One work item per fault: runs the whole shared test case. Each
+            // worker thread owns a warm-reboot session reused across all the
+            // faults it processes (one session per worker, not per run).
+            let t0 = std::time::Instant::now();
+            let (per_fault, sessions) = parallel_map_with(
+                faults,
+                || RunSession::new(&compiled, target.family),
+                |session, fault| {
+                    let mut counts = ModeCounts::default();
+                    let mut dormant = 0;
+                    for (i, input) in inputs.iter().enumerate() {
+                        let run_seed = seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add(fault.site_addr as u64)
+                            .wrapping_add(i as u64);
+                        let (mode, fired) = session.run(input, Some(&fault.spec), run_seed);
+                        counts.add(mode);
+                        if !fired {
+                            dormant += 1;
+                        }
+                    }
+                    (fault.error, counts, dormant)
+                },
+            );
+            (per_fault, Throughput::collect(&sessions, t0.elapsed()))
+        };
 
-    let assign_results = run_batch(&set.assign_faults);
-    let check_results = run_batch(&set.check_faults);
+    let (assign_results, assign_tp) = run_batch(&set.assign_faults);
+    let (check_results, check_tp) = run_batch(&set.check_faults);
+    let mut throughput = assign_tp;
+    throughput.merge(&check_tp);
 
     let mut out = ProgramCampaign {
         program: target.name.to_string(),
@@ -155,6 +171,7 @@ pub fn class_campaign(
         by_check_type: BTreeMap::new(),
         dormant_runs: 0,
         total_runs: 0,
+        throughput,
     };
     for (err, counts, dormant) in assign_results {
         out.assign_modes.merge(&counts);
@@ -188,7 +205,10 @@ pub fn campaign_all(scale: CampaignScale, seed: u64) -> Vec<ProgramCampaign> {
 /// Figures 9 and 10 ("all faults").
 pub fn merge_by_error_type(
     campaigns: &[ProgramCampaign],
-) -> (BTreeMap<AssignErrorType, ModeCounts>, BTreeMap<CheckErrorType, ModeCounts>) {
+) -> (
+    BTreeMap<AssignErrorType, ModeCounts>,
+    BTreeMap<CheckErrorType, ModeCounts>,
+) {
     let mut assign: BTreeMap<AssignErrorType, ModeCounts> = BTreeMap::new();
     let mut check: BTreeMap<CheckErrorType, ModeCounts> = BTreeMap::new();
     for c in campaigns {
@@ -265,7 +285,9 @@ mod tests {
     #[test]
     fn small_campaign_produces_full_accounting() {
         let target = program("JB.team11").unwrap();
-        let scale = CampaignScale { inputs_per_fault: 3 };
+        let scale = CampaignScale {
+            inputs_per_fault: 3,
+        };
         let c = class_campaign(&target, scale, 11);
         assert_eq!(c.plan.chosen_assign.len(), 5);
         assert_eq!(c.plan.chosen_check.len(), 5);
@@ -283,7 +305,9 @@ mod tests {
     #[test]
     fn campaign_is_seed_deterministic() {
         let target = program("JB.team6").unwrap();
-        let scale = CampaignScale { inputs_per_fault: 2 };
+        let scale = CampaignScale {
+            inputs_per_fault: 2,
+        };
         let a = class_campaign(&target, scale, 5);
         let b = class_campaign(&target, scale, 5);
         assert_eq!(a, b);
@@ -292,10 +316,16 @@ mod tests {
     #[test]
     fn merge_by_error_type_sums_totals() {
         let target = program("JB.team11").unwrap();
-        let scale = CampaignScale { inputs_per_fault: 2 };
+        let scale = CampaignScale {
+            inputs_per_fault: 2,
+        };
         let c = class_campaign(&target, scale, 3);
         let (assign, check) = merge_by_error_type(std::slice::from_ref(&c));
-        let merged: u64 = assign.values().chain(check.values()).map(ModeCounts::total).sum();
+        let merged: u64 = assign
+            .values()
+            .chain(check.values())
+            .map(ModeCounts::total)
+            .sum();
         assert_eq!(merged, c.total_runs);
     }
 }

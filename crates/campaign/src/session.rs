@@ -1,0 +1,415 @@
+//! The warm-reboot run engine: snapshot/restore machine lifecycle unified
+//! behind a [`RunSession`].
+//!
+//! The paper's methodology demands that "the target system is rebooted
+//! between injections to assure a clean state". The seed implementation
+//! honoured that by building a fresh [`Machine`] per run — zeroing
+//! 512 KiB of guest memory, re-copying the image, and recompiling the
+//! injector's trigger tables tens of thousands of times per campaign.
+//!
+//! A `RunSession` keeps the reboot *semantics* while dropping the cost:
+//!
+//! 1. build the machine and [`Machine::load`] the program **once**;
+//! 2. take a [`MachineSnapshot`](swifi_vm::MachineSnapshot) of the clean
+//!    post-load state **once**;
+//! 3. for every run: [`Machine::restore`] (copies only the pages the
+//!    previous run dirtied), re-arm the injector with
+//!    [`Injector::reset`], and run.
+//!
+//! The campaign drivers hold **one session per worker thread, not one per
+//! run** (see [`crate::pool::parallel_map_with`]); the equivalence of a
+//! restored machine and a freshly booted one is a tested invariant (VM
+//! unit tests plus the property suite in `tests/fault_injection_properties.rs`),
+//! which is exactly what licenses the reuse.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use swifi_core::fault::FaultSpec;
+use swifi_core::injector::{Injector, TriggerMode};
+use swifi_lang::Program;
+use swifi_programs::input::TestInput;
+use swifi_programs::Family;
+use swifi_vm::inspect::Inspector;
+use swifi_vm::machine::{Machine, MachineSnapshot, RunOutcome};
+use swifi_vm::Noop;
+
+use crate::runner::{campaign_config, classify_outcome, FailureMode};
+
+/// Per-session run counters, folded into a campaign-level [`Throughput`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Total runs executed by this session (clean + injected).
+    pub runs: u64,
+    /// Runs that had a fault set armed.
+    pub injected_runs: u64,
+    /// Injected runs where at least one fault fired.
+    pub fired_runs: u64,
+    /// Injected runs where no fault fired (dormant faults).
+    pub dormant_runs: u64,
+    /// Times the injector had to be rebuilt because the fault set changed
+    /// (diagnostic: a low number means the reset fast path is working).
+    pub injector_rebuilds: u64,
+}
+
+impl SessionStats {
+    /// Fold another session's counters in.
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.runs += other.runs;
+        self.injected_runs += other.injected_runs;
+        self.fired_runs += other.fired_runs;
+        self.dormant_runs += other.dormant_runs;
+        self.injector_rebuilds += other.injector_rebuilds;
+    }
+}
+
+/// Aggregate campaign throughput: run counts plus wall-clock, surfaced in
+/// reports and the `swifi campaign` command.
+///
+/// `PartialEq` deliberately **ignores** `elapsed_secs`: two campaigns with
+/// identical seeds must compare equal even though their wall-clock differs
+/// (the seed-determinism tests rely on this).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Total runs executed.
+    pub runs: u64,
+    /// Injected runs where the fault fired.
+    pub fired_runs: u64,
+    /// Injected runs where the fault stayed dormant.
+    pub dormant_runs: u64,
+    /// Wall-clock seconds for the measured region.
+    pub elapsed_secs: f64,
+}
+
+impl PartialEq for Throughput {
+    fn eq(&self, other: &Throughput) -> bool {
+        self.runs == other.runs
+            && self.fired_runs == other.fired_runs
+            && self.dormant_runs == other.dormant_runs
+    }
+}
+
+impl Throughput {
+    /// Aggregate the stats of the sessions that executed a measured region.
+    pub fn collect(sessions: &[RunSession], elapsed: std::time::Duration) -> Throughput {
+        let mut stats = SessionStats::default();
+        for s in sessions {
+            stats.merge(&s.stats());
+        }
+        Throughput {
+            runs: stats.runs,
+            fired_runs: stats.fired_runs,
+            dormant_runs: stats.dormant_runs,
+            elapsed_secs: elapsed.as_secs_f64(),
+        }
+    }
+
+    /// Runs per wall-clock second (0 when nothing was measured).
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.runs as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold another region's throughput in (wall-clock adds, matching the
+    /// sequential composition of campaign phases).
+    pub fn merge(&mut self, other: &Throughput) {
+        self.runs += other.runs;
+        self.fired_runs += other.fired_runs;
+        self.dormant_runs += other.dormant_runs;
+        self.elapsed_secs += other.elapsed_secs;
+    }
+}
+
+/// Cached injector, keyed by the fault set it was compiled from.
+struct CachedInjector {
+    specs: Vec<FaultSpec>,
+    mode: TriggerMode,
+    injector: Injector,
+}
+
+/// A reusable run engine for one compiled program: one machine, one clean
+/// snapshot, one (cached) injector — many runs.
+///
+/// # Examples
+///
+/// ```
+/// use swifi_campaign::session::RunSession;
+/// use swifi_lang::compile;
+/// use swifi_programs::{program, Family};
+///
+/// let target = program("JB.team11").unwrap();
+/// let compiled = compile(target.source_correct).unwrap();
+/// let inputs = target.family.test_case(3, 7);
+/// let mut session = RunSession::new(&compiled, target.family);
+/// for input in &inputs {
+///     let (mode, fired) = session.run(input, None, 0);
+///     assert!(!fired);
+///     assert_eq!(mode, swifi_campaign::FailureMode::Correct);
+/// }
+/// assert_eq!(session.stats().runs, 3);
+/// ```
+pub struct RunSession {
+    family: Family,
+    machine: Machine,
+    snapshot: MachineSnapshot,
+    cached: Option<CachedInjector>,
+    stats: SessionStats,
+    started: Instant,
+}
+
+impl std::fmt::Debug for RunSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSession")
+            .field("family", &self.family)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RunSession {
+    /// Boot a machine for `family`, load `program`, and snapshot the clean
+    /// state. All subsequent runs warm-reboot from that snapshot.
+    pub fn new(program: &Program, family: Family) -> RunSession {
+        let mut machine = Machine::new(campaign_config(family));
+        machine.load(&program.image);
+        let snapshot = machine.snapshot();
+        RunSession {
+            family,
+            machine,
+            snapshot,
+            cached: None,
+            stats: SessionStats::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The program family this session runs.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Seconds since the session was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Warm-reboot to the clean snapshot and mount `input`.
+    fn begin(&mut self, input: &TestInput) {
+        self.machine.restore(&self.snapshot);
+        self.machine.set_input(input.to_tape());
+        self.stats.runs += 1;
+    }
+
+    /// One fault-free run.
+    pub fn run_clean(&mut self, input: &TestInput) -> RunOutcome {
+        self.begin(input);
+        self.machine.run(&mut Noop)
+    }
+
+    /// One run observed by a caller-supplied inspector (profilers etc.).
+    pub fn run_with<I: Inspector>(&mut self, input: &TestInput, inspector: &mut I) -> RunOutcome {
+        self.begin(input);
+        self.machine.run(inspector)
+    }
+
+    /// One run with a full fault set under an explicit trigger mode.
+    ///
+    /// The compiled injector is cached: consecutive runs with the same
+    /// fault set (the common campaign shape — one fault, many inputs)
+    /// reuse it via [`Injector::reset`] instead of rebuilding the trigger
+    /// routing tables.
+    ///
+    /// Returns the raw outcome plus whether any fault fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault set does not fit `mode`'s breakpoint budget or
+    /// addresses unmapped memory — campaign generators never produce
+    /// either.
+    pub fn run_injected(
+        &mut self,
+        input: &TestInput,
+        specs: &[FaultSpec],
+        mode: TriggerMode,
+        seed: u64,
+    ) -> (RunOutcome, bool) {
+        self.begin(input);
+        let reusable = self
+            .cached
+            .as_ref()
+            .is_some_and(|c| c.mode == mode && c.specs.as_slice() == specs);
+        if !reusable {
+            let injector = Injector::new(specs.to_vec(), mode, seed)
+                .expect("campaign fault sets fit their trigger mode");
+            self.cached = Some(CachedInjector {
+                specs: specs.to_vec(),
+                mode,
+                injector,
+            });
+            self.stats.injector_rebuilds += 1;
+        }
+        let cached = self.cached.as_mut().expect("cache populated above");
+        cached.injector.reset(seed);
+        cached
+            .injector
+            .prepare(&mut self.machine)
+            .expect("fault addresses lie in mapped memory");
+        let outcome = self.machine.run(&mut cached.injector);
+        let fired = cached.injector.any_fired();
+        self.stats.injected_runs += 1;
+        if fired {
+            self.stats.fired_runs += 1;
+        } else {
+            self.stats.dormant_runs += 1;
+        }
+        (outcome, fired)
+    }
+
+    /// One classified campaign run: at most one fault, hardware triggers —
+    /// the contract of [`crate::runner::execute`], warm.
+    pub fn run(
+        &mut self,
+        input: &TestInput,
+        fault: Option<&FaultSpec>,
+        seed: u64,
+    ) -> (FailureMode, bool) {
+        let expected = input.expected_output();
+        match fault {
+            None => (classify_outcome(&self.run_clean(input), &expected), false),
+            Some(spec) => {
+                let (outcome, fired) = self.run_injected(
+                    input,
+                    std::slice::from_ref(spec),
+                    TriggerMode::Hardware,
+                    seed,
+                );
+                (classify_outcome(&outcome, &expected), fired)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_core::locations::generate_error_set;
+    use swifi_lang::compile;
+    use swifi_programs::program;
+
+    #[test]
+    fn warm_session_matches_cold_execute() {
+        // The equivalence contract at campaign granularity: a session run
+        // over many (fault, input) pairs must agree with the cold-boot
+        // `execute` for every pair, in any interleaving.
+        let target = program("JB.team6").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let set = generate_error_set(&compiled.debug, 4, 4, 9);
+        let faults: Vec<_> = set.assign_faults.iter().chain(&set.check_faults).collect();
+        let inputs = target.family.test_case(2, 31);
+        let mut session = RunSession::new(&compiled, target.family);
+        for (fi, fault) in faults.iter().enumerate() {
+            for (i, input) in inputs.iter().enumerate() {
+                let seed = (fi as u64) << 8 | i as u64;
+                let warm = session.run(input, Some(&fault.spec), seed);
+                let cold = crate::runner::execute(
+                    &compiled,
+                    target.family,
+                    input,
+                    Some(&fault.spec),
+                    seed,
+                );
+                assert_eq!(warm, cold, "fault {fi} input {i}");
+            }
+        }
+        // Interleave clean runs too.
+        for input in &inputs {
+            let warm = session.run(input, None, 0);
+            let cold = crate::runner::execute(&compiled, target.family, input, None, 0);
+            assert_eq!(warm, cold);
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_run() {
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let set = generate_error_set(&compiled.debug, 2, 2, 1);
+        let inputs = target.family.test_case(3, 5);
+        let mut session = RunSession::new(&compiled, target.family);
+        let mut expected_runs = 0u64;
+        for fault in set.assign_faults.iter().chain(&set.check_faults) {
+            for input in &inputs {
+                session.run(input, Some(&fault.spec), 7);
+                expected_runs += 1;
+            }
+        }
+        for input in &inputs {
+            session.run_clean(input);
+            expected_runs += 1;
+        }
+        let s = session.stats();
+        assert_eq!(s.runs, expected_runs);
+        assert_eq!(s.injected_runs, expected_runs - inputs.len() as u64);
+        assert_eq!(s.fired_runs + s.dormant_runs, s.injected_runs);
+        assert!(session.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn injector_cache_hits_on_repeated_fault() {
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let set = generate_error_set(&compiled.debug, 2, 0, 1);
+        let inputs = target.family.test_case(4, 5);
+        let mut session = RunSession::new(&compiled, target.family);
+        // Campaign shape: outer loop faults, inner loop inputs.
+        for fault in &set.assign_faults {
+            for input in &inputs {
+                session.run(input, Some(&fault.spec), 3);
+            }
+        }
+        let s = session.stats();
+        // One rebuild per distinct fault spec, not per run.
+        assert!(
+            s.injector_rebuilds as usize <= set.assign_faults.len(),
+            "rebuilds {} > distinct faults {}",
+            s.injector_rebuilds,
+            set.assign_faults.len()
+        );
+        assert_eq!(
+            s.injected_runs,
+            (set.assign_faults.len() * inputs.len()) as u64
+        );
+    }
+
+    #[test]
+    fn throughput_equality_ignores_wall_clock() {
+        let a = Throughput {
+            runs: 10,
+            fired_runs: 6,
+            dormant_runs: 4,
+            elapsed_secs: 1.0,
+        };
+        let b = Throughput {
+            runs: 10,
+            fired_runs: 6,
+            dormant_runs: 4,
+            elapsed_secs: 9.0,
+        };
+        assert_eq!(a, b);
+        let c = Throughput { runs: 11, ..a };
+        assert_ne!(a, c);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.runs, 20);
+        assert!((m.elapsed_secs - 10.0).abs() < 1e-12);
+        assert!(m.runs_per_sec() > 0.0);
+    }
+}

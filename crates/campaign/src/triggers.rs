@@ -18,9 +18,10 @@ use swifi_core::locations::generate_error_set;
 use swifi_lang::compile;
 use swifi_programs::TargetProgram;
 
-use crate::pool::parallel_map;
-use crate::runner::{execute, ModeCounts};
+use crate::pool::parallel_map_with;
+use crate::runner::ModeCounts;
 use crate::section6::CampaignScale;
+use crate::session::RunSession;
 
 /// Results for one firing policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,7 +43,9 @@ pub fn trigger_ablation(
     let compiled = compile(target.source_correct).expect("vendored source compiles");
     let set = generate_error_set(&compiled.debug, 8, 8, seed);
     let faults: Vec<_> = set.assign_faults.iter().chain(&set.check_faults).collect();
-    let inputs = target.family.test_case(scale.inputs_per_fault, seed ^ 0x7219);
+    let inputs = target
+        .family
+        .test_case(scale.inputs_per_fault, seed ^ 0x7219);
 
     let policies: Vec<(String, Firing)> = vec![
         ("every occurrence (paper)".to_string(), Firing::EveryTime),
@@ -54,33 +57,36 @@ pub fn trigger_ablation(
     policies
         .into_iter()
         .map(|(label, when)| {
-            let per_fault = parallel_map(&faults, |fault| {
-                let mut spec = fault.spec;
-                spec.when = when;
-                let mut counts = ModeCounts::default();
-                let mut dormant = 0u64;
-                for (i, input) in inputs.iter().enumerate() {
-                    let (mode, fired) = execute(
-                        &compiled,
-                        target.family,
-                        input,
-                        Some(&spec),
-                        seed.wrapping_add(i as u64),
-                    );
-                    counts.add(mode);
-                    if !fired {
-                        dormant += 1;
+            let (per_fault, _sessions) = parallel_map_with(
+                &faults,
+                || RunSession::new(&compiled, target.family),
+                |session, fault| {
+                    let mut spec = fault.spec;
+                    spec.when = when;
+                    let mut counts = ModeCounts::default();
+                    let mut dormant = 0u64;
+                    for (i, input) in inputs.iter().enumerate() {
+                        let (mode, fired) =
+                            session.run(input, Some(&spec), seed.wrapping_add(i as u64));
+                        counts.add(mode);
+                        if !fired {
+                            dormant += 1;
+                        }
                     }
-                }
-                (counts, dormant)
-            });
+                    (counts, dormant)
+                },
+            );
             let mut modes = ModeCounts::default();
             let mut dormant_runs = 0;
             for (c, d) in per_fault {
                 modes.merge(&c);
                 dormant_runs += d;
             }
-            TriggerRow { policy: label, modes, dormant_runs }
+            TriggerRow {
+                policy: label,
+                modes,
+                dormant_runs,
+            }
         })
         .collect()
 }
@@ -94,7 +100,13 @@ mod tests {
     #[test]
     fn sparser_triggers_soften_impact() {
         let target = program("JB.team11").unwrap();
-        let rows = trigger_ablation(&target, CampaignScale { inputs_per_fault: 6 }, 11);
+        let rows = trigger_ablation(
+            &target,
+            CampaignScale {
+                inputs_per_fault: 6,
+            },
+            11,
+        );
         assert_eq!(rows.len(), 4);
         let every = &rows[0];
         let nth50 = &rows[3];
@@ -114,9 +126,18 @@ mod tests {
         // At the EveryTime end, the ablation is just the §6 campaign shape:
         // few dormant faults.
         let target = program("JB.team6").unwrap();
-        let rows = trigger_ablation(&target, CampaignScale { inputs_per_fault: 4 }, 7);
+        let rows = trigger_ablation(
+            &target,
+            CampaignScale {
+                inputs_per_fault: 4,
+            },
+            7,
+        );
         let every = &rows[0];
         let dormancy = every.dormant_runs as f64 / every.modes.total() as f64;
-        assert!(dormancy < 0.5, "always-on triggers should rarely stay dormant: {dormancy}");
+        assert!(
+            dormancy < 0.5,
+            "always-on triggers should rarely stay dormant: {dormancy}"
+        );
     }
 }

@@ -26,7 +26,11 @@ impl ParsedArgs {
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
                 let takes_value = it.peek().is_some_and(|n| !n.starts_with("--"));
-                let value = if takes_value { it.next().unwrap() } else { String::new() };
+                let value = if takes_value {
+                    it.next().unwrap()
+                } else {
+                    String::new()
+                };
                 out.options.entry(key.to_string()).or_default().push(value);
             } else if out.command.is_empty() {
                 out.command = a;
@@ -39,7 +43,10 @@ impl ParsedArgs {
 
     /// Last value of an option, if present.
     pub fn opt(&self, key: &str) -> Option<&str> {
-        self.options.get(key).and_then(|v| v.last()).map(String::as_str)
+        self.options
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
     }
 
     /// Whether a bare flag (or option) was given.
@@ -49,7 +56,10 @@ impl ParsedArgs {
 
     /// All values of a repeatable option.
     pub fn all(&self, key: &str) -> Vec<&str> {
-        self.options.get(key).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
+        self.options
+            .get(key)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
     }
 
     /// Parse an option as an integer with a default.
@@ -60,7 +70,9 @@ impl ParsedArgs {
     pub fn int_opt(&self, key: &str, default: i64) -> Result<i64, String> {
         match self.opt(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Implementations of the `swifi` subcommands.
 
-use swifi_campaign::report::{mode_cells, render_table, MODE_HEADERS};
+use swifi_campaign::report::{mode_cells, render_table, throughput_line, MODE_HEADERS};
 use swifi_campaign::section6::{class_campaign, CampaignScale};
 use swifi_core::emulate::{plan_emulation, EmulationVerdict};
 use swifi_core::injector::{Injector, TriggerMode};
@@ -48,7 +48,9 @@ fn read_source(parsed: &ParsedArgs) -> Result<(String, String), String> {
 fn input_from_args(parsed: &ParsedArgs) -> Result<InputTape, String> {
     let mut tape = InputTape::new();
     for v in parsed.all("int") {
-        let n: i32 = v.parse().map_err(|_| format!("--int expects integers, got `{v}`"))?;
+        let n: i32 = v
+            .parse()
+            .map_err(|_| format!("--int expects integers, got `{v}`"))?;
         tape.push_ints([n]);
     }
     if let Some(line) = parsed.opt("line") {
@@ -76,7 +78,13 @@ pub fn list() -> CmdResult {
     print!(
         "{}",
         render_table(
-            &["Program", "Family", "Real fault", "Sec.6 target", "Features"],
+            &[
+                "Program",
+                "Family",
+                "Real fault",
+                "Sec.6 target",
+                "Features"
+            ],
             &rows
         )
     );
@@ -152,7 +160,12 @@ fn report_outcome(out: RunOutcome) {
             println!("{}", String::from_utf8_lossy(&output));
             println!("[exit code {exit_code}]");
         }
-        RunOutcome::Trapped { trap, pc, core, output } => {
+        RunOutcome::Trapped {
+            trap,
+            pc,
+            core,
+            output,
+        } => {
             println!("{}", String::from_utf8_lossy(&output));
             println!("[CRASH on core {core} at {pc:#010x}: {trap}]");
         }
@@ -183,7 +196,10 @@ pub fn inject(parsed: &ParsedArgs) -> CmdResult {
     }
     let n = parsed.int_opt("fault", -1)?;
     if n < 0 {
-        println!("{} generated faults; pick one with --fault N:", faults.len());
+        println!(
+            "{} generated faults; pick one with --fault N:",
+            faults.len()
+        );
         for (i, f) in faults.iter().enumerate() {
             println!(
                 "  {i:<4} {:<10} line {:<4} {:<12} @ {:#010x}",
@@ -204,8 +220,8 @@ pub fn inject(parsed: &ParsedArgs) -> CmdResult {
         fault.line,
         fault.func
     );
-    let mut inj = Injector::new(vec![fault.spec], TriggerMode::Hardware, seed)
-        .map_err(|e| e.to_string())?;
+    let mut inj =
+        Injector::new(vec![fault.spec], TriggerMode::Hardware, seed).map_err(|e| e.to_string())?;
     let mut m = Machine::new(MachineConfig::default());
     m.load(&p.image);
     m.set_input(input_from_args(parsed)?);
@@ -227,7 +243,10 @@ pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
         .source_faulty
         .ok_or_else(|| format!("{name} has no recorded real fault"))?;
     let fault = p.real_fault.expect("faulty implies fault");
-    println!("{name}: {} fault — {}", fault.defect_type, fault.description);
+    println!(
+        "{name}: {} fault — {}",
+        fault.defect_type, fault.description
+    );
     let corrected = compile(p.source_correct).map_err(|e| e.to_string())?;
     let faulty = compile(faulty_src).map_err(|e| e.to_string())?;
     match plan_emulation(&corrected.image, &faulty.image) {
@@ -238,17 +257,26 @@ pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
                 diffs.len()
             );
             for d in diffs {
-                println!("  {:#010x}: {:#010x} -> {:#010x}", d.addr, d.corrected, d.faulty);
+                println!(
+                    "  {:#010x}: {:#010x} -> {:#010x}",
+                    d.addr, d.corrected, d.faulty
+                );
             }
         }
-        EmulationVerdict::BreakpointBudgetExceeded { diffs, required_triggers } => {
+        EmulationVerdict::BreakpointBudgetExceeded {
+            diffs,
+            required_triggers,
+        } => {
             println!(
                 "class B: needs {required_triggers} triggers for {} diffs — beyond the 2 \
                  hardware breakpoint registers; intrusive traps required",
                 diffs.len()
             );
         }
-        EmulationVerdict::NotEmulable { corrected_len, faulty_len } => {
+        EmulationVerdict::NotEmulable {
+            corrected_len,
+            faulty_len,
+        } => {
             println!(
                 "class C: structural change ({faulty_len} -> {corrected_len} instructions); \
                  not emulable by any SWIFI tool"
@@ -269,7 +297,13 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     let inputs = parsed.int_opt("inputs", 10)? as usize;
     let seed = parsed.int_opt("seed", 2024)? as u64;
     println!("campaign on {name} ({inputs} inputs per fault, seed {seed})...");
-    let c = class_campaign(&target, CampaignScale { inputs_per_fault: inputs.max(1) }, seed);
+    let c = class_campaign(
+        &target,
+        CampaignScale {
+            inputs_per_fault: inputs.max(1),
+        },
+        seed,
+    );
     let mut headers = vec!["Fault class"];
     headers.extend(MODE_HEADERS);
     let mut assign_row = vec!["assignment".to_string()];
@@ -278,6 +312,7 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     check_row.extend(mode_cells(&c.check_modes));
     print!("{}", render_table(&headers, &[assign_row, check_row]));
     println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
+    println!("throughput: {}", throughput_line(&c.throughput));
     Ok(())
 }
 
@@ -286,7 +321,10 @@ pub fn metrics_cmd(parsed: &ParsedArgs) -> CmdResult {
     let (path, src) = read_source(parsed)?;
     let ast = swifi_lang::parser::parse(&src).map_err(|e| format!("{path}: {e}"))?;
     let m = swifi_metrics::measure(&src, &ast);
-    println!("{path}: {} LoC, {} globals, {} structs", m.loc, m.globals, m.structs);
+    println!(
+        "{path}: {} LoC, {} globals, {} structs",
+        m.loc, m.globals, m.structs
+    );
     let rows: Vec<Vec<String>> = m
         .functions
         .iter()
@@ -305,7 +343,15 @@ pub fn metrics_cmd(parsed: &ParsedArgs) -> CmdResult {
     print!(
         "{}",
         render_table(
-            &["Function", "Cyclo", "Stmts", "Nesting", "Volume", "Proneness", "Recursive"],
+            &[
+                "Function",
+                "Cyclo",
+                "Stmts",
+                "Nesting",
+                "Volume",
+                "Proneness",
+                "Recursive"
+            ],
             &rows
         )
     );

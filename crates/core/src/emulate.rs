@@ -90,7 +90,11 @@ pub fn plan_emulation(corrected: &Image, faulty: &Image) -> EmulationVerdict {
     let mut diffs = Vec::new();
     for (i, (&c, &f)) in corrected.code.iter().zip(&faulty.code).enumerate() {
         if c != f {
-            diffs.push(WordDiff { addr: corrected.addr_of(i), corrected: c, faulty: f });
+            diffs.push(WordDiff {
+                addr: corrected.addr_of(i),
+                corrected: c,
+                faulty: f,
+            });
         }
     }
     // Differing initialised data would also require memory faults; treat a
@@ -108,7 +112,10 @@ pub fn plan_emulation(corrected: &Image, faulty: &Image) -> EmulationVerdict {
     if required <= HW_BREAKPOINTS && data_diffs == 0 {
         EmulationVerdict::Emulable { diffs }
     } else {
-        EmulationVerdict::BreakpointBudgetExceeded { diffs, required_triggers: required }
+        EmulationVerdict::BreakpointBudgetExceeded {
+            diffs,
+            required_triggers: required,
+        }
     }
 }
 
@@ -159,20 +166,21 @@ mod tests {
     fn identical_programs() {
         let a = compile("void main() { print_int(1); }").unwrap();
         let b = compile("void main() { print_int(1); }").unwrap();
-        assert_eq!(plan_emulation(&a.image, &b.image), EmulationVerdict::Identical);
+        assert_eq!(
+            plan_emulation(&a.image, &b.image),
+            EmulationVerdict::Identical
+        );
     }
 
     #[test]
     fn single_constant_fault_is_class_a() {
         // The C.team4 shape: an off-by-one loop bound — one word differs.
-        let corrected = compile(
-            "void main() { int i; for (i = 0; i < 5; i = i + 1) { print_int(i); } }",
-        )
-        .unwrap();
-        let faulty = compile(
-            "void main() { int i; for (i = 1; i < 5; i = i + 1) { print_int(i); } }",
-        )
-        .unwrap();
+        let corrected =
+            compile("void main() { int i; for (i = 0; i < 5; i = i + 1) { print_int(i); } }")
+                .unwrap();
+        let faulty =
+            compile("void main() { int i; for (i = 1; i < 5; i = i + 1) { print_int(i); } }")
+                .unwrap();
         match plan_emulation(&corrected.image, &faulty.image) {
             EmulationVerdict::Emulable { diffs } => assert_eq!(diffs.len(), 1),
             other => panic!("expected class A, got {other:?}"),
@@ -182,14 +190,12 @@ mod tests {
     #[test]
     fn checking_operator_fault_is_class_a() {
         // The C.team1 shape: `<` vs `<=` — one bc word differs.
-        let corrected = compile(
-            "void main() { int i; for (i = 0; i <= 5; i = i + 1) { print_int(i); } }",
-        )
-        .unwrap();
-        let faulty = compile(
-            "void main() { int i; for (i = 0; i < 5; i = i + 1) { print_int(i); } }",
-        )
-        .unwrap();
+        let corrected =
+            compile("void main() { int i; for (i = 0; i <= 5; i = i + 1) { print_int(i); } }")
+                .unwrap();
+        let faulty =
+            compile("void main() { int i; for (i = 0; i < 5; i = i + 1) { print_int(i); } }")
+                .unwrap();
         match plan_emulation(&corrected.image, &faulty.image) {
             EmulationVerdict::Emulable { diffs } => assert_eq!(diffs.len(), 1),
             other => panic!("expected class A, got {other:?}"),
@@ -221,7 +227,9 @@ mod tests {
         )
         .unwrap();
         match plan_emulation(&corrected.image, &faulty.image) {
-            EmulationVerdict::BreakpointBudgetExceeded { required_triggers, .. } => {
+            EmulationVerdict::BreakpointBudgetExceeded {
+                required_triggers, ..
+            } => {
                 assert!(required_triggers > 2, "stack shift needs many triggers");
             }
             other => panic!("expected class B, got {other:?}"),
@@ -253,7 +261,10 @@ mod tests {
         )
         .unwrap();
         match plan_emulation(&corrected.image, &faulty.image) {
-            EmulationVerdict::NotEmulable { corrected_len, faulty_len } => {
+            EmulationVerdict::NotEmulable {
+                corrected_len,
+                faulty_len,
+            } => {
                 assert_ne!(corrected_len, faulty_len);
             }
             other => panic!("expected class C, got {other:?}"),
@@ -266,19 +277,20 @@ mod tests {
         use swifi_vm::machine::{Machine, MachineConfig};
         use swifi_vm::Noop;
 
-        let corrected = compile(
-            "void main() { int i; for (i = 0; i <= 4; i = i + 1) { print_int(i); } }",
-        )
-        .unwrap();
-        let faulty = compile(
-            "void main() { int i; for (i = 1; i <= 4; i = i + 1) { print_int(i); } }",
-        )
-        .unwrap();
+        let corrected =
+            compile("void main() { int i; for (i = 0; i <= 4; i = i + 1) { print_int(i); } }")
+                .unwrap();
+        let faulty =
+            compile("void main() { int i; for (i = 1; i <= 4; i = i + 1) { print_int(i); } }")
+                .unwrap();
         let diffs = match plan_emulation(&corrected.image, &faulty.image) {
             EmulationVerdict::Emulable { diffs } => diffs,
             other => panic!("{other:?}"),
         };
-        for strategy in [EmulationStrategy::MemoryResident, EmulationStrategy::FetchCorruption] {
+        for strategy in [
+            EmulationStrategy::MemoryResident,
+            EmulationStrategy::FetchCorruption,
+        ] {
             let faults = emulation_faults(&diffs, strategy);
             let mut inj = Injector::new(faults, TriggerMode::Hardware, 0).unwrap();
             let mut m = Machine::new(MachineConfig::default());
@@ -298,12 +310,19 @@ mod tests {
         assert_eq!(EmulationVerdict::Identical.class(), '-');
         assert_eq!(EmulationVerdict::Emulable { diffs: vec![] }.class(), 'A');
         assert_eq!(
-            EmulationVerdict::BreakpointBudgetExceeded { diffs: vec![], required_triggers: 5 }
-                .class(),
+            EmulationVerdict::BreakpointBudgetExceeded {
+                diffs: vec![],
+                required_triggers: 5
+            }
+            .class(),
             'B'
         );
         assert_eq!(
-            EmulationVerdict::NotEmulable { corrected_len: 10, faulty_len: 12 }.class(),
+            EmulationVerdict::NotEmulable {
+                corrected_len: 10,
+                faulty_len: 12
+            }
+            .class(),
             'C'
         );
     }

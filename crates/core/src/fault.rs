@@ -170,9 +170,10 @@ impl FaultSpec {
     /// needs an instruction or temporal trigger that can observe it).
     pub fn validate(&self) -> Result<(), String> {
         match (self.target, self.trigger) {
-            (Target::InstrBus | Target::InstrMemory, Trigger::OperandLoad(_) | Trigger::OperandStore(_)) => {
-                Err("instruction targets cannot use data-address triggers".to_string())
-            }
+            (
+                Target::InstrBus | Target::InstrMemory,
+                Trigger::OperandLoad(_) | Trigger::OperandStore(_),
+            ) => Err("instruction targets cannot use data-address triggers".to_string()),
             (Target::Memory(_), Trigger::Always) => {
                 Err("memory-resident faults need a concrete trigger".to_string())
             }
@@ -210,7 +211,10 @@ mod tests {
             Trigger::OpcodeFetch(0x100).breakpoint_class(),
             Some(BreakpointClass::Instruction)
         );
-        assert_eq!(Trigger::OperandLoad(0x200).breakpoint_class(), Some(BreakpointClass::Data));
+        assert_eq!(
+            Trigger::OperandLoad(0x200).breakpoint_class(),
+            Some(BreakpointClass::Data)
+        );
         assert_eq!(Trigger::AfterInstructions(5).breakpoint_class(), None);
     }
 

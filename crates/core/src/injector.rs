@@ -55,7 +55,10 @@ pub enum InjectorError {
 impl std::fmt::Display for InjectorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            InjectorError::BreakpointBudget { required, available } => write!(
+            InjectorError::BreakpointBudget {
+                required,
+                available,
+            } => write!(
                 f,
                 "fault set needs {required} breakpoint registers but only {available} exist"
             ),
@@ -68,6 +71,61 @@ impl std::fmt::Display for InjectorError {
 }
 
 impl std::error::Error for InjectorError {}
+
+/// Record of the guest-memory writes performed by [`Injector::prepare`]
+/// for memory-resident faults.
+///
+/// The warm-reboot engine snapshots the machine *before* `prepare`, so
+/// these writes land on pages the dirty tracker sees and a
+/// [`swifi_vm::Machine::restore`] rolls them back automatically. The
+/// record exists so callers can observe what was patched (and, for cold
+/// lifecycles without a snapshot, [`PreparedWrites::undo`] them by hand).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreparedWrites {
+    writes: Vec<PreparedWrite>,
+}
+
+/// One guest-memory word patched during fault preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedWrite {
+    /// Patched address.
+    pub addr: u32,
+    /// Word that was there before preparation.
+    pub old: u32,
+    /// Word written by the fault's error operation.
+    pub new: u32,
+}
+
+impl PreparedWrites {
+    /// Number of words patched.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether preparation touched guest memory at all.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// The individual patches, in application order.
+    pub fn writes(&self) -> &[PreparedWrite] {
+        &self.writes
+    }
+
+    /// Manually revert the patches (cold lifecycle without a snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`swifi_vm::Trap`] if an address became unmapped, which
+    /// cannot happen when undoing onto the same machine.
+    pub fn undo(&self, machine: &mut Machine) -> Result<(), swifi_vm::Trap> {
+        // Reverse order so overlapping patches unwind correctly.
+        for w in self.writes.iter().rev() {
+            machine.poke_u32(w.addr, w.old)?;
+        }
+        Ok(())
+    }
+}
 
 /// An armed set of faults, pluggable into
 /// [`Machine::run`](swifi_vm::machine::Machine::run) as an inspector.
@@ -107,6 +165,46 @@ pub struct Injector {
     fired: Vec<u64>,
     retired: u64,
     rng: StdRng,
+    /// Exact trigger-address sets mirroring the `by_*` table keys, used by
+    /// the hooks to reject uninteresting fetches/loads/stores in a couple
+    /// of integer compares instead of a hash lookup per event. Purely an
+    /// accelerator: membership is exact, so dispatch is unchanged.
+    hot_fetch: AddrSet,
+    hot_load: AddrSet,
+    hot_store: AddrSet,
+    /// When set, skip the fast-rejection filters and walk the dispatch
+    /// tables on every event — the seed implementation's behaviour, kept
+    /// for differential testing and as the benchmark baseline.
+    reference_dispatch: bool,
+}
+
+/// A tiny exact address set: range pre-check plus a linear scan. Campaign
+/// fault sets carry at most a handful of trigger addresses (hardware mode
+/// allows two), so misses cost one or two compares.
+#[derive(Debug, Clone, Default)]
+struct AddrSet {
+    addrs: Vec<u32>,
+    lo: u32,
+    hi: u32,
+}
+
+impl AddrSet {
+    fn build(keys: impl Iterator<Item = u32>) -> AddrSet {
+        let mut addrs: Vec<u32> = keys.collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        let (lo, hi) = match (addrs.first(), addrs.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            // Empty: an impossible range so `contains` is always false.
+            _ => (1, 0),
+        };
+        AddrSet { addrs, lo, hi }
+    }
+
+    #[inline]
+    fn contains(&self, a: u32) -> bool {
+        a >= self.lo && a <= self.hi && (self.addrs.len() == 1 || self.addrs.contains(&a))
+    }
 }
 
 impl Injector {
@@ -160,6 +258,10 @@ impl Injector {
             retired: 0,
             rng: StdRng::seed_from_u64(seed),
             specs,
+            hot_fetch: AddrSet::default(),
+            hot_load: AddrSet::default(),
+            hot_store: AddrSet::default(),
+            reference_dispatch: false,
         };
         for (i, s) in inj.specs.iter().enumerate() {
             if matches!(s.target, Target::Memory(_)) {
@@ -174,27 +276,68 @@ impl Injector {
                 Trigger::Always => inj.always.push(i),
             }
         }
+        inj.hot_fetch = AddrSet::build(inj.by_fetch.keys().copied());
+        inj.hot_load = AddrSet::build(inj.by_load.keys().copied());
+        inj.hot_store = AddrSet::build(inj.by_store.keys().copied());
         Ok(inj)
+    }
+
+    /// Disable (or re-enable) the hot-path address filters, falling back to
+    /// the exhaustive table walk of the original implementation.
+    ///
+    /// The filters are exact, so both dispatchers are observably identical
+    /// (a tested invariant); the reference mode exists for differential
+    /// testing and as the cold-boot benchmark baseline.
+    pub fn set_reference_dispatch(&mut self, on: bool) {
+        self.reference_dispatch = on;
     }
 
     /// Apply memory-resident faults ([`Target::Memory`]) to the loaded
     /// machine — the paper's "error inserted in memory" fault model, which
     /// Xception realises by triggering at the first program instruction.
     ///
+    /// Returns the [`PreparedWrites`] record of every word patched, so the
+    /// run lifecycle can undo them: under the warm-reboot engine the
+    /// machine snapshot is taken *before* `prepare`, which makes
+    /// [`swifi_vm::Machine::restore`] revert these writes for free via the
+    /// dirty-page tracker.
+    ///
     /// # Errors
     ///
     /// Propagates [`swifi_vm::Trap`] if a fault addresses unmapped memory.
-    pub fn prepare(&mut self, machine: &mut Machine) -> Result<(), swifi_vm::Trap> {
+    pub fn prepare(&mut self, machine: &mut Machine) -> Result<PreparedWrites, swifi_vm::Trap> {
+        let mut writes = PreparedWrites::default();
         for &i in &self.memory_faults.clone() {
             let spec = self.specs[i];
             if let Target::Memory(addr) = spec.target {
                 let old = machine.peek_u32(addr)?;
                 let random = self.rng.next_u32();
-                machine.poke_u32(addr, spec.what.apply(old, random))?;
+                let new = spec.what.apply(old, random);
+                machine.poke_u32(addr, new)?;
+                writes.writes.push(PreparedWrite { addr, old, new });
                 self.fired[i] += 1;
             }
         }
-        Ok(())
+        Ok(writes)
+    }
+
+    /// Re-arm the injector for another run without recompiling the trigger
+    /// routing tables: clears all occurrence/armed/latched/fired state and
+    /// reseeds the random stream.
+    ///
+    /// This is the injector half of the warm-reboot contract — a session
+    /// calls `reset` + [`swifi_vm::Machine::restore`] between runs, and the
+    /// pair must be observably identical to building a fresh
+    /// [`Injector::new`] against a freshly loaded machine (the routing
+    /// tables depend only on the immutable fault set, so resetting the
+    /// per-run state is exhaustive).
+    pub fn reset(&mut self, seed: u64) {
+        self.occurrences.iter_mut().for_each(|o| *o = 0);
+        self.armed.iter_mut().for_each(|a| *a = false);
+        self.latched.iter_mut().for_each(|l| *l = false);
+        self.fired.iter_mut().for_each(|f| *f = 0);
+        self.retired = 0;
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Number of times fault `i` actually corrupted state.
@@ -231,6 +374,13 @@ impl Injector {
 
 impl Inspector for Injector {
     fn on_fetch(&mut self, _core: usize, pc: u32, word: &mut u32) {
+        if !self.reference_dispatch
+            && self.temporal.is_empty()
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+        {
+            return;
+        }
         // Temporal triggers: occurrence = any fetch once the retired count
         // has passed the threshold.
         for k in 0..self.temporal.len() {
@@ -253,16 +403,14 @@ impl Inspector for Injector {
                 self.fire_value(i, word);
             }
         }
-        let Some(idxs) = self.by_fetch.get(&pc) else { return };
+        let Some(idxs) = self.by_fetch.get(&pc) else {
+            return;
+        };
         for i in idxs.clone() {
             let fires = self.occur(i);
             self.armed[i] = fires;
             match self.specs[i].target {
-                Target::InstrBus => {
-                    if fires {
-                        self.fire_value(i, word);
-                    }
-                }
+                Target::InstrBus if fires => self.fire_value(i, word),
                 Target::InstrMemory => {
                     // Once fired, the corruption is resident: it affects
                     // every later fetch of this address too.
@@ -279,6 +427,13 @@ impl Inspector for Injector {
     }
 
     fn on_load_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_load.contains(*addr)
+        {
+            return;
+        }
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::LoadAddress) {
@@ -304,6 +459,13 @@ impl Inspector for Injector {
     }
 
     fn on_load_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_load.contains(addr)
+        {
+            return;
+        }
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::DataBusLoad) {
@@ -327,6 +489,13 @@ impl Inspector for Injector {
     }
 
     fn on_store_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_store.contains(*addr)
+        {
+            return;
+        }
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::StoreAddress) {
@@ -352,6 +521,13 @@ impl Inspector for Injector {
     }
 
     fn on_store_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_store.contains(addr)
+        {
+            return;
+        }
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::DataBusStore) {
@@ -375,6 +551,9 @@ impl Inspector for Injector {
     }
 
     fn on_reg_write(&mut self, _core: usize, pc: u32, reg: u8, value: &mut u32) {
+        if !self.reference_dispatch && !self.hot_fetch.contains(pc) {
+            return;
+        }
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] {
@@ -424,6 +603,58 @@ mod tests {
         halt";
 
     #[test]
+    fn fast_dispatch_matches_reference_dispatch() {
+        // The hot-path address filters must be invisible: for a spread of
+        // targets and triggers, the filtered dispatcher and the exhaustive
+        // reference dispatcher produce identical runs.
+        let image = assemble(COUNT_SRC).unwrap();
+        let specs = [
+            FaultSpec::replace_instr(
+                0x108,
+                encode(Instr::Addi {
+                    rd: 6,
+                    ra: 6,
+                    imm: 2,
+                }),
+            ),
+            FaultSpec {
+                what: ErrorOp::Xor(0x0000_00FF),
+                target: Target::InstrMemory,
+                trigger: Trigger::OpcodeFetch(0x10C),
+                when: Firing::First,
+            },
+            FaultSpec {
+                what: ErrorOp::Add(3),
+                target: Target::Gpr(5),
+                trigger: Trigger::OpcodeFetch(0x10C),
+                when: Firing::EveryTime,
+            },
+            FaultSpec {
+                what: ErrorOp::Or(1),
+                target: Target::InstrBus,
+                trigger: Trigger::AfterInstructions(10),
+                when: Firing::Nth(2),
+            },
+        ];
+        for (k, spec) in specs.iter().enumerate() {
+            let mut results = Vec::new();
+            for reference in [false, true] {
+                let mut inj = Injector::new(vec![*spec], TriggerMode::Hardware, 42).unwrap();
+                inj.set_reference_dispatch(reference);
+                let mut m = Machine::new(MachineConfig::default());
+                m.load(&image);
+                inj.prepare(&mut m).unwrap();
+                let out = m.run(&mut inj);
+                results.push((out.output().to_vec(), inj.any_fired()));
+            }
+            assert_eq!(
+                results[0], results[1],
+                "spec {k} diverged between dispatchers"
+            );
+        }
+    }
+
+    #[test]
     fn clean_run_baseline() {
         let (out, fired) = run_with_faults(COUNT_SRC, vec![], TriggerMode::Hardware);
         assert_eq!(out.output(), b"5");
@@ -433,8 +664,14 @@ mod tests {
     #[test]
     fn instr_bus_replace_changes_behavior() {
         // Replace `addi r6, r6, 1` (index 2, addr 0x108) with +2.
-        let fault =
-            FaultSpec::replace_instr(0x108, encode(Instr::Addi { rd: 6, ra: 6, imm: 2 }));
+        let fault = FaultSpec::replace_instr(
+            0x108,
+            encode(Instr::Addi {
+                rd: 6,
+                ra: 6,
+                imm: 2,
+            }),
+        );
         let (out, fired) = run_with_faults(COUNT_SRC, vec![fault], TriggerMode::Hardware);
         assert_eq!(out.output(), b"10");
         assert!(fired);
@@ -443,7 +680,11 @@ mod tests {
     #[test]
     fn firing_first_applies_once() {
         let fault = FaultSpec {
-            what: ErrorOp::Replace(encode(Instr::Addi { rd: 6, ra: 6, imm: 2 })),
+            what: ErrorOp::Replace(encode(Instr::Addi {
+                rd: 6,
+                ra: 6,
+                imm: 2,
+            })),
             target: Target::InstrBus,
             trigger: Trigger::OpcodeFetch(0x108),
             when: Firing::First,
@@ -455,7 +696,11 @@ mod tests {
     #[test]
     fn firing_nth_applies_to_that_occurrence_only() {
         let fault = FaultSpec {
-            what: ErrorOp::Replace(encode(Instr::Addi { rd: 6, ra: 6, imm: 2 })),
+            what: ErrorOp::Replace(encode(Instr::Addi {
+                rd: 6,
+                ra: 6,
+                imm: 2,
+            })),
             target: Target::InstrBus,
             trigger: Trigger::OpcodeFetch(0x108),
             when: Firing::Nth(3),
@@ -469,7 +714,11 @@ mod tests {
         // Fire once (First), but because the corruption is memory-resident
         // it keeps affecting every later iteration.
         let fault = FaultSpec {
-            what: ErrorOp::Replace(encode(Instr::Addi { rd: 6, ra: 6, imm: 2 })),
+            what: ErrorOp::Replace(encode(Instr::Addi {
+                rd: 6,
+                ra: 6,
+                imm: 2,
+            })),
             target: Target::InstrMemory,
             trigger: Trigger::OpcodeFetch(0x108),
             when: Firing::First,
@@ -615,15 +864,19 @@ mod tests {
             FaultSpec::replace_instr(0x108, 0),
         ];
         match Injector::new(faults, TriggerMode::Hardware, 0) {
-            Err(InjectorError::BreakpointBudget { required: 3, available: 2 }) => {}
+            Err(InjectorError::BreakpointBudget {
+                required: 3,
+                available: 2,
+            }) => {}
             other => panic!("expected budget error, got {other:?}"),
         }
     }
 
     #[test]
     fn intrusive_mode_lifts_budget() {
-        let faults: Vec<FaultSpec> =
-            (0..10).map(|i| FaultSpec::replace_instr(0x100 + i * 4, 0)).collect();
+        let faults: Vec<FaultSpec> = (0..10)
+            .map(|i| FaultSpec::replace_instr(0x100 + i * 4, 0))
+            .collect();
         assert!(Injector::new(faults, TriggerMode::IntrusiveTraps, 0).is_ok());
     }
 
@@ -674,6 +927,93 @@ mod tests {
         };
         assert_eq!(mk(1), mk(1));
         assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn prepare_records_and_undoes_writes() {
+        let image = assemble(STORE_SRC).unwrap();
+        let slot_addr = image.data_base();
+        let fault = FaultSpec {
+            what: ErrorOp::Replace(123),
+            target: Target::Memory(slot_addr),
+            trigger: Trigger::OpcodeFetch(0x100),
+            when: Firing::First,
+        };
+        let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, 7).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let before = m.peek_u32(slot_addr).unwrap();
+        let writes = inj.prepare(&mut m).unwrap();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(
+            writes.writes()[0],
+            PreparedWrite {
+                addr: slot_addr,
+                old: before,
+                new: 123
+            }
+        );
+        assert_eq!(m.peek_u32(slot_addr).unwrap(), 123);
+        writes.undo(&mut m).unwrap();
+        assert_eq!(m.peek_u32(slot_addr).unwrap(), before);
+    }
+
+    #[test]
+    fn reset_matches_fresh_injector() {
+        // Run a ReplaceRandom fault twice through one injector with
+        // reset(), and once through a fresh injector: identical outputs.
+        let fault = FaultSpec {
+            what: ErrorOp::ReplaceRandom,
+            target: Target::DataBusStore,
+            trigger: Trigger::OpcodeFetch(0x10C),
+            when: Firing::EveryTime,
+        };
+        let image = assemble(STORE_SRC).unwrap();
+
+        let fresh = |seed: u64| {
+            let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, seed).unwrap();
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            let out = m.run(&mut inj).output().to_vec();
+            (out, inj.any_fired())
+        };
+
+        let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, 11).unwrap();
+        for seed in [11u64, 99, 11] {
+            inj.reset(seed);
+            assert!(!inj.any_fired(), "reset must clear fired counters");
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            let out = m.run(&mut inj).output().to_vec();
+            assert_eq!((out, inj.any_fired()), fresh(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_latched_instr_memory_state() {
+        // An InstrMemory fault latches after firing; reset must unlatch it
+        // so the next run starts clean.
+        let fault = FaultSpec {
+            what: ErrorOp::Replace(encode(Instr::Addi {
+                rd: 6,
+                ra: 6,
+                imm: 2,
+            })),
+            target: Target::InstrMemory,
+            trigger: Trigger::OpcodeFetch(0x108),
+            when: Firing::Nth(3),
+        };
+        let image = assemble(COUNT_SRC).unwrap();
+        let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, 0).unwrap();
+        let run = |inj: &mut Injector| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            m.run(inj).output().to_vec()
+        };
+        let first = run(&mut inj);
+        inj.reset(0);
+        let second = run(&mut inj);
+        assert_eq!(first, second, "reset run must replay identically");
     }
 
     #[test]

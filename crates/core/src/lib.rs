@@ -53,5 +53,7 @@ pub mod locations;
 
 pub use emulate::{emulation_faults, plan_emulation, EmulationStrategy, EmulationVerdict};
 pub use fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
-pub use injector::{Injector, InjectorError, TriggerMode, HW_BREAKPOINTS};
+pub use injector::{
+    Injector, InjectorError, PreparedWrite, PreparedWrites, TriggerMode, HW_BREAKPOINTS,
+};
 pub use locations::{generate_error_set, ErrorClass, ErrorSet, GeneratedFault, LocationPlan};

@@ -98,8 +98,10 @@ pub fn choose_locations(
 /// Restrict a plan's chosen sites to the given functions (used by the
 /// §6.1 metrics-guided and field-data-guided allocation strategies).
 pub fn restrict_to_functions(debug: &DebugInfo, plan: &mut LocationPlan, funcs: &[String]) {
-    plan.chosen_assign.retain(|&i| funcs.contains(&debug.assigns[i].func));
-    plan.chosen_check.retain(|&i| funcs.contains(&debug.checks[i].func));
+    plan.chosen_assign
+        .retain(|&i| funcs.contains(&debug.assigns[i].func));
+    plan.chosen_check
+        .retain(|&i| funcs.contains(&debug.checks[i].func));
 }
 
 /// All four assignment error types for one assignment location
@@ -207,7 +209,11 @@ pub fn generate_error_set(
         .iter()
         .flat_map(|&i| check_faults_for(&debug.checks[i]))
         .collect();
-    ErrorSet { plan, assign_faults, check_faults }
+    ErrorSet {
+        plan,
+        assign_faults,
+        check_faults,
+    }
 }
 
 #[cfg(test)]
@@ -254,9 +260,13 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let p = compile(SRC).unwrap();
-        let picks: Vec<_> =
-            (0..20).map(|s| choose_locations(&p.debug, 2, 2, s).chosen_assign).collect();
-        assert!(picks.windows(2).any(|w| w[0] != w[1]), "selection should vary with seed");
+        let picks: Vec<_> = (0..20)
+            .map(|s| choose_locations(&p.debug, 2, 2, s).chosen_assign)
+            .collect();
+        assert!(
+            picks.windows(2).any(|w| w[0] != w[1]),
+            "selection should vary with seed"
+        );
     }
 
     #[test]
@@ -264,7 +274,11 @@ mod tests {
         let p = compile(SRC).unwrap();
         for site in &p.debug.assigns {
             let faults = assign_faults_for(site);
-            assert_eq!(faults.len(), 4, "paper: four faults per assignment location");
+            assert_eq!(
+                faults.len(),
+                4,
+                "paper: four faults per assignment location"
+            );
             // All four trigger on the same store instruction.
             for f in &faults {
                 assert_eq!(f.spec.trigger, Trigger::OpcodeFetch(site.store_addr));
@@ -276,8 +290,12 @@ mod tests {
     #[test]
     fn checking_error_count_depends_on_condition() {
         let p = compile(SRC).unwrap();
-        let counts: Vec<usize> =
-            p.debug.checks.iter().map(|c| check_faults_for(c).len()).collect();
+        let counts: Vec<usize> = p
+            .debug
+            .checks
+            .iter()
+            .map(|c| check_faults_for(c).len())
+            .collect();
         // The `==`-over-array condition must offer more error types than
         // the simple `<` loop condition.
         let lt_site = check_faults_for(&p.debug.checks[0]).len();

@@ -210,7 +210,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether this is one of the six comparison operators.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// Whether this is `&&` or `||`.
@@ -309,7 +312,8 @@ pub fn visit_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
     fn expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
         f(e);
         match &e.kind {
-            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) | ExprKind::Var(_) => {}
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) | ExprKind::Var(_) => {
+            }
             ExprKind::Index { base, index } => {
                 expr(base, f);
                 expr(index, f);
@@ -320,7 +324,11 @@ pub fn visit_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
                 expr(lhs, f);
                 expr(rhs, f);
             }
-            ExprKind::Ternary { cond, then_e, else_e } => {
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 expr(cond, f);
                 expr(then_e, f);
                 expr(else_e, f);
@@ -339,7 +347,12 @@ pub fn visit_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
                 expr(value, f);
             }
             Stmt::Expr { expr: e, .. } => expr(e, f),
-            Stmt::If { cond, then_blk, else_blk, .. } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
                 expr(cond, f);
                 visit_exprs(then_blk, f);
                 if let Some(b) = else_blk {
@@ -350,7 +363,13 @@ pub fn visit_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
                 expr(cond, f);
                 visit_exprs(body, f);
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(s) = init {
                     stmt(s, f);
                 }
@@ -386,14 +405,18 @@ pub fn visit_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
     for s in &block.stmts {
         f(s);
         match s {
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 visit_stmts(then_blk, f);
                 if let Some(b) = else_blk {
                     visit_stmts(b, f);
                 }
             }
             Stmt::While { body, .. } => visit_stmts(body, f),
-            Stmt::For { init, step, body, .. } => {
+            Stmt::For {
+                init, step, body, ..
+            } => {
                 if let Some(i) = init {
                     f(i);
                 }

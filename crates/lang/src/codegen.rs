@@ -15,8 +15,8 @@
 //!   machine footprint.
 
 use swifi_vm::asm::CodeBuilder;
-use swifi_vm::isa::{decode, encode, AluOp, Instr, NOP};
 use swifi_vm::isa::Syscall;
+use swifi_vm::isa::{decode, encode, AluOp, Instr, NOP};
 use swifi_vm::mem::Image;
 
 use crate::ast::*;
@@ -44,11 +44,29 @@ pub struct Compiled {
 
 #[derive(Debug)]
 enum PendingMut {
-    Swap { bc_idx: usize, err: CheckErrorType, to: (swifi_vm::isa::CrBit, bool) },
-    Retarget { bc_idx: usize, err: CheckErrorType, target: String },
-    Uncond { bc_idx: usize, err: CheckErrorType, target: String },
-    Nop { bc_idx: usize, err: CheckErrorType },
-    Index { load_idx: usize, elem: u32 },
+    Swap {
+        bc_idx: usize,
+        err: CheckErrorType,
+        to: (swifi_vm::isa::CrBit, bool),
+    },
+    Retarget {
+        bc_idx: usize,
+        err: CheckErrorType,
+        target: String,
+    },
+    Uncond {
+        bc_idx: usize,
+        err: CheckErrorType,
+        target: String,
+    },
+    Nop {
+        bc_idx: usize,
+        err: CheckErrorType,
+    },
+    Index {
+        load_idx: usize,
+        elem: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -99,7 +117,11 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
         .iter()
         .find(|f| f.name == "main")
         .ok_or_else(|| CompileError::new(0, "program has no `main` function"))?;
-    let main_layout = &sema.functions[prog.functions.iter().position(|f| f.name == "main").unwrap()];
+    let main_layout = &sema.functions[prog
+        .functions
+        .iter()
+        .position(|f| f.name == "main")
+        .unwrap()];
     if main_layout.ret != Type::Void || !main_layout.params.is_empty() {
         return Err(CompileError::new(main.line, "`main` must be `void main()`"));
     }
@@ -123,7 +145,11 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
 
     // Entry stub: every core calls main, then halts with exit code 0.
     g.b.branch_to("fn_main", true);
-    g.b.push(Instr::Addi { rd: 3, ra: 0, imm: 0 });
+    g.b.push(Instr::Addi {
+        rd: 3,
+        ra: 0,
+        imm: 0,
+    });
     g.b.push(Instr::Halt);
 
     for (i, f) in prog.functions.iter().enumerate() {
@@ -138,27 +164,57 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
         let mut rm = Vec::new();
         for m in &pc.muts {
             let r = match m {
-                PendingMut::Swap { bc_idx, err, to } => {
-                    (*err, ResolvedMut::Swap { bc_idx: *bc_idx, to: *to })
-                }
-                PendingMut::Retarget { bc_idx, err, target } => {
+                PendingMut::Swap { bc_idx, err, to } => (
+                    *err,
+                    ResolvedMut::Swap {
+                        bc_idx: *bc_idx,
+                        to: *to,
+                    },
+                ),
+                PendingMut::Retarget {
+                    bc_idx,
+                    err,
+                    target,
+                } => {
                     let t = g.b.label_code_index(target).expect("label bound");
-                    (*err, ResolvedMut::Retarget { bc_idx: *bc_idx, target: t })
+                    (
+                        *err,
+                        ResolvedMut::Retarget {
+                            bc_idx: *bc_idx,
+                            target: t,
+                        },
+                    )
                 }
-                PendingMut::Uncond { bc_idx, err, target } => {
+                PendingMut::Uncond {
+                    bc_idx,
+                    err,
+                    target,
+                } => {
                     let t = g.b.label_code_index(target).expect("label bound");
-                    (*err, ResolvedMut::Uncond { bc_idx: *bc_idx, target: t })
+                    (
+                        *err,
+                        ResolvedMut::Uncond {
+                            bc_idx: *bc_idx,
+                            target: t,
+                        },
+                    )
                 }
                 PendingMut::Nop { bc_idx, err } => (*err, ResolvedMut::Nop { bc_idx: *bc_idx }),
                 PendingMut::Index { load_idx, elem } => {
                     // One pending entry expands to both [i+1] and [i-1].
                     rm.push((
                         CheckErrorType::IndexPlus,
-                        ResolvedMut::Index { load_idx: *load_idx, delta: *elem as i32 },
+                        ResolvedMut::Index {
+                            load_idx: *load_idx,
+                            delta: *elem as i32,
+                        },
                     ));
                     (
                         CheckErrorType::IndexMinus,
-                        ResolvedMut::Index { load_idx: *load_idx, delta: -(*elem as i32) },
+                        ResolvedMut::Index {
+                            load_idx: *load_idx,
+                            delta: -(*elem as i32),
+                        },
                     )
                 }
             };
@@ -170,7 +226,9 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
     let fn_ranges = std::mem::take(&mut g.fn_ranges);
     let line_map = std::mem::take(&mut g.line_map);
 
-    let image = g.b.finish().map_err(|e| CompileError::new(e.line as u32, e.msg))?;
+    let image =
+        g.b.finish()
+            .map_err(|e| CompileError::new(e.line as u32, e.msg))?;
     let addr = |i: usize| image.addr_of(i);
 
     let mut debug = DebugInfo::default();
@@ -211,7 +269,12 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
                     match decode(w) {
                         Ok(Instr::Bc { crf, off, .. }) => CheckMutation::ReplaceWord {
                             addr: addr(bc_idx),
-                            word: encode(Instr::Bc { crf, bit: to.0, expect: to.1, off }),
+                            word: encode(Instr::Bc {
+                                crf,
+                                bit: to.0,
+                                expect: to.1,
+                                off,
+                            }),
                         },
                         other => unreachable!("swap target is not a bc: {other:?}"),
                     }
@@ -219,14 +282,21 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
                 ResolvedMut::Retarget { bc_idx, target } => {
                     let w = image.code[bc_idx];
                     match decode(w) {
-                        Ok(Instr::Bc { crf, bit, expect, .. }) => {
+                        Ok(Instr::Bc {
+                            crf, bit, expect, ..
+                        }) => {
                             let off = target as i64 - bc_idx as i64;
                             let off = i16::try_from(off).map_err(|_| {
                                 CompileError::new(pc.line, "condition too far for mutation")
                             })?;
                             CheckMutation::ReplaceWord {
                                 addr: addr(bc_idx),
-                                word: encode(Instr::Bc { crf, bit, expect: !expect, off }),
+                                word: encode(Instr::Bc {
+                                    crf,
+                                    bit,
+                                    expect: !expect,
+                                    off,
+                                }),
                             }
                         }
                         other => unreachable!("retarget target is not a bc: {other:?}"),
@@ -234,14 +304,18 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
                 }
                 ResolvedMut::Uncond { bc_idx, target } => CheckMutation::ReplaceWord {
                     addr: addr(bc_idx),
-                    word: encode(Instr::B { off: target as i32 - bc_idx as i32 }),
+                    word: encode(Instr::B {
+                        off: target as i32 - bc_idx as i32,
+                    }),
                 },
-                ResolvedMut::Nop { bc_idx } => {
-                    CheckMutation::ReplaceWord { addr: addr(bc_idx), word: NOP }
-                }
-                ResolvedMut::Index { load_idx, delta } => {
-                    CheckMutation::AdjustLoadAddr { addr: addr(load_idx), delta }
-                }
+                ResolvedMut::Nop { bc_idx } => CheckMutation::ReplaceWord {
+                    addr: addr(bc_idx),
+                    word: NOP,
+                },
+                ResolvedMut::Index { load_idx, delta } => CheckMutation::AdjustLoadAddr {
+                    addr: addr(load_idx),
+                    delta,
+                },
             };
             out.push((err, cm));
         }
@@ -259,11 +333,25 @@ pub fn generate(prog: &Program, sema: &SemaOutput) -> Result<Compiled, CompileEr
 }
 
 enum ResolvedMut {
-    Swap { bc_idx: usize, to: (swifi_vm::isa::CrBit, bool) },
-    Retarget { bc_idx: usize, target: usize },
-    Uncond { bc_idx: usize, target: usize },
-    Nop { bc_idx: usize },
-    Index { load_idx: usize, delta: i32 },
+    Swap {
+        bc_idx: usize,
+        to: (swifi_vm::isa::CrBit, bool),
+    },
+    Retarget {
+        bc_idx: usize,
+        target: usize,
+    },
+    Uncond {
+        bc_idx: usize,
+        target: usize,
+    },
+    Nop {
+        bc_idx: usize,
+    },
+    Index {
+        load_idx: usize,
+        delta: i32,
+    },
 }
 
 impl<'a> Gen<'a> {
@@ -274,7 +362,10 @@ impl<'a> Gen<'a> {
 
     fn alloc(&mut self, line: u32) -> Result<u8, CompileError> {
         if self.depth >= EVAL_REGS.len() {
-            return Err(CompileError::new(line, "expression too complex (register pressure)"));
+            return Err(CompileError::new(
+                line,
+                "expression too complex (register pressure)",
+            ));
         }
         let r = EVAL_REGS[self.depth];
         self.depth += 1;
@@ -283,7 +374,10 @@ impl<'a> Gen<'a> {
 
     fn free(&mut self, r: u8) {
         self.depth -= 1;
-        debug_assert_eq!(EVAL_REGS[self.depth], r, "eval registers freed out of order");
+        debug_assert_eq!(
+            EVAL_REGS[self.depth], r,
+            "eval registers freed out of order"
+        );
     }
 
     fn ty(&self, e: &Expr) -> Type {
@@ -310,7 +404,10 @@ impl<'a> Gen<'a> {
         if frame > 30000 {
             return Err(CompileError::new(
                 f.line,
-                format!("frame of `{}` too large ({frame} bytes); make arrays global", f.name),
+                format!(
+                    "frame of `{}` too large ({frame} bytes); make arrays global",
+                    f.name
+                ),
             ));
         }
         self.cur_fn = f.name.clone();
@@ -319,19 +416,39 @@ impl<'a> Gen<'a> {
         self.b.label(format!("fn_{}", f.name));
         // Prologue.
         self.b.push(Instr::Mflr { rd: 12 });
-        self.b.push(Instr::Addi { rd: 1, ra: 1, imm: -(frame as i32) as i16 });
-        self.b.push(Instr::Stw { rs: 12, ra: 1, d: 0 });
+        self.b.push(Instr::Addi {
+            rd: 1,
+            ra: 1,
+            imm: -(frame as i32) as i16,
+        });
+        self.b.push(Instr::Stw {
+            rs: 12,
+            ra: 1,
+            d: 0,
+        });
         for (i, &r) in EVAL_REGS.iter().enumerate() {
-            self.b.push(Instr::Stw { rs: r, ra: 1, d: 4 + 4 * i as i16 });
+            self.b.push(Instr::Stw {
+                rs: r,
+                ra: 1,
+                d: 4 + 4 * i as i16,
+            });
         }
         // Spill parameters into their slots.
         for (i, off) in layout.param_offsets.clone().iter().enumerate() {
             let ty = &layout.params[i];
             let d = (LOCALS_BASE + off) as i16;
             if *ty == Type::Char {
-                self.b.push(Instr::Stb { rs: 3 + i as u8, ra: 1, d });
+                self.b.push(Instr::Stb {
+                    rs: 3 + i as u8,
+                    ra: 1,
+                    d,
+                });
             } else {
-                self.b.push(Instr::Stw { rs: 3 + i as u8, ra: 1, d });
+                self.b.push(Instr::Stw {
+                    rs: 3 + i as u8,
+                    ra: 1,
+                    d,
+                });
             }
         }
         let epilogue = format!("ep_{}", f.name);
@@ -340,11 +457,23 @@ impl<'a> Gen<'a> {
         // Epilogue.
         self.b.label(epilogue);
         for (i, &r) in EVAL_REGS.iter().enumerate() {
-            self.b.push(Instr::Lwz { rd: r, ra: 1, d: 4 + 4 * i as i16 });
+            self.b.push(Instr::Lwz {
+                rd: r,
+                ra: 1,
+                d: 4 + 4 * i as i16,
+            });
         }
-        self.b.push(Instr::Lwz { rd: 12, ra: 1, d: 0 });
+        self.b.push(Instr::Lwz {
+            rd: 12,
+            ra: 1,
+            d: 0,
+        });
         self.b.push(Instr::Mtlr { ra: 12 });
-        self.b.push(Instr::Addi { rd: 1, ra: 1, imm: frame as i16 });
+        self.b.push(Instr::Addi {
+            rd: 1,
+            ra: 1,
+            imm: frame as i16,
+        });
         self.b.push(Instr::Blr);
         let end = self.b.here();
         self.fn_ranges.push((f.name.clone(), start, end, f.line));
@@ -389,14 +518,26 @@ impl<'a> Gen<'a> {
                 // ODC terms; sema recorded the slot under the initializer's
                 // expression id.
                 self.mark_line(d.line);
-                let (off, ty) =
-                    self.sema.decl_slots.get(&init.id).cloned().expect("sema recorded the slot");
+                let (off, ty) = self
+                    .sema
+                    .decl_slots
+                    .get(&init.id)
+                    .cloned()
+                    .expect("sema recorded the slot");
                 let vreg = self.expr(init)?;
                 let d16 = (LOCALS_BASE + off) as i16;
                 let store_idx = if ty == Type::Char {
-                    self.b.push(Instr::Stb { rs: vreg, ra: 1, d: d16 })
+                    self.b.push(Instr::Stb {
+                        rs: vreg,
+                        ra: 1,
+                        d: d16,
+                    })
                 } else {
-                    self.b.push(Instr::Stw { rs: vreg, ra: 1, d: d16 })
+                    self.b.push(Instr::Stw {
+                        rs: vreg,
+                        ra: 1,
+                        d: d16,
+                    })
                 };
                 self.free(vreg);
                 self.pending_assigns.push(PendingAssign {
@@ -416,7 +557,11 @@ impl<'a> Gen<'a> {
 
     fn stmt(&mut self, s: &'a Stmt) -> Result<(), CompileError> {
         match s {
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 self.mark_line(*line);
                 self.assign(target, value, *line)
             }
@@ -433,10 +578,19 @@ impl<'a> Gen<'a> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_blk, else_blk, line } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                line,
+            } => {
                 self.mark_line(*line);
                 let lend = self.fresh("Lend");
-                let lelse = if else_blk.is_some() { self.fresh("Lelse") } else { lend.clone() };
+                let lelse = if else_blk.is_some() {
+                    self.fresh("Lelse")
+                } else {
+                    lend.clone()
+                };
                 self.checked_cond_false(cond, &lelse, *line)?;
                 self.block(then_blk)?;
                 if let Some(eb) = else_blk {
@@ -460,7 +614,13 @@ impl<'a> Gen<'a> {
                 self.b.label(&lend);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -487,7 +647,11 @@ impl<'a> Gen<'a> {
                 self.mark_line(*line);
                 if let Some(v) = value {
                     let r = self.expr(v)?;
-                    self.b.push(Instr::Addi { rd: 3, ra: r, imm: 0 });
+                    self.b.push(Instr::Addi {
+                        rd: 3,
+                        ra: r,
+                        imm: 0,
+                    });
                     self.free(r);
                 }
                 self.b.branch_to(format!("ep_{}", self.cur_fn), false);
@@ -545,9 +709,17 @@ impl<'a> Gen<'a> {
         let (areg, ty) = self.addr(target)?;
         let vreg = self.expr(value)?;
         let store_idx = if ty == Type::Char {
-            self.b.push(Instr::Stb { rs: vreg, ra: areg, d: 0 })
+            self.b.push(Instr::Stb {
+                rs: vreg,
+                ra: areg,
+                d: 0,
+            })
         } else {
-            self.b.push(Instr::Stw { rs: vreg, ra: areg, d: 0 })
+            self.b.push(Instr::Stw {
+                rs: vreg,
+                ra: areg,
+                d: 0,
+            })
         };
         self.free(vreg);
         self.free(areg);
@@ -628,27 +800,50 @@ impl<'a> Gen<'a> {
                 let lreg = self.expr(lhs)?;
                 match const_i16(rhs) {
                     Some(imm) => {
-                        self.b.push(Instr::Cmpi { crf: 0, ra: lreg, imm });
+                        self.b.push(Instr::Cmpi {
+                            crf: 0,
+                            ra: lreg,
+                            imm,
+                        });
                         self.free(lreg);
                     }
                     None => {
                         let rreg = self.expr(rhs)?;
-                        self.b.push(Instr::Cmp { crf: 0, ra: lreg, rb: rreg });
+                        self.b.push(Instr::Cmp {
+                            crf: 0,
+                            ra: lreg,
+                            rb: rreg,
+                        });
                         self.free(rreg);
                         self.free(lreg);
                     }
                 }
-                let (bit, expect) =
-                    if branch_when { src.true_branch() } else { src.false_branch() };
+                let (bit, expect) = if branch_when {
+                    src.true_branch()
+                } else {
+                    src.false_branch()
+                };
                 let idx = self.b.cond_branch_to(0, bit, expect, label);
                 self.note_bc(idx);
                 for (err, to) in swaps_for(src) {
-                    let enc = if branch_when { to.true_branch() } else { to.false_branch() };
-                    self.collect(PendingMut::Swap { bc_idx: idx, err, to: enc });
+                    let enc = if branch_when {
+                        to.true_branch()
+                    } else {
+                        to.false_branch()
+                    };
+                    self.collect(PendingMut::Swap {
+                        bc_idx: idx,
+                        err,
+                        to: enc,
+                    });
                 }
                 Ok(Some(idx))
             }
-            ExprKind::Binary { op: BinOp::And, lhs, rhs } => {
+            ExprKind::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 if branch_when {
                     // branch to label iff (lhs && rhs)
                     let skip = self.fresh("Land");
@@ -680,7 +875,11 @@ impl<'a> Gen<'a> {
                 }
                 Ok(None)
             }
-            ExprKind::Binary { op: BinOp::Or, lhs, rhs } => {
+            ExprKind::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
                 if branch_when {
                     let l_idx = self.cond_true(lhs, label)?;
                     self.cond_true(rhs, label)?;
@@ -712,9 +911,10 @@ impl<'a> Gen<'a> {
                 }
                 Ok(None)
             }
-            ExprKind::Unary { op: UnOp::Not, operand } => {
-                self.cond_branch(operand, label, !branch_when)
-            }
+            ExprKind::Unary {
+                op: UnOp::Not,
+                operand,
+            } => self.cond_branch(operand, label, !branch_when),
             ExprKind::IntLit(v) => {
                 let truth = *v != 0;
                 if truth == branch_when {
@@ -732,16 +932,25 @@ impl<'a> Gen<'a> {
             _ => {
                 // Plain boolean test: compare against zero.
                 let r = self.expr(e)?;
-                self.b.push(Instr::Cmpi { crf: 0, ra: r, imm: 0 });
+                self.b.push(Instr::Cmpi {
+                    crf: 0,
+                    ra: r,
+                    imm: 0,
+                });
                 self.free(r);
                 // branch_when=true: branch if value != 0 → bc eq,0.
-                let idx = self.b.cond_branch_to(0, swifi_vm::isa::CrBit::Eq, !branch_when, label);
+                let idx = self
+                    .b
+                    .cond_branch_to(0, swifi_vm::isa::CrBit::Eq, !branch_when, label);
                 self.note_bc(idx);
                 // Stuck-at mutations: which word forces the condition
                 // depends on whether this bc fires on true or false.
                 if branch_when {
                     // bc branches when condition TRUE.
-                    self.collect(PendingMut::Nop { bc_idx: idx, err: CheckErrorType::TrueToFalse });
+                    self.collect(PendingMut::Nop {
+                        bc_idx: idx,
+                        err: CheckErrorType::TrueToFalse,
+                    });
                     self.collect(PendingMut::Uncond {
                         bc_idx: idx,
                         err: CheckErrorType::FalseToTrue,
@@ -753,7 +962,10 @@ impl<'a> Gen<'a> {
                         err: CheckErrorType::TrueToFalse,
                         target: label.to_string(),
                     });
-                    self.collect(PendingMut::Nop { bc_idx: idx, err: CheckErrorType::FalseToTrue });
+                    self.collect(PendingMut::Nop {
+                        bc_idx: idx,
+                        err: CheckErrorType::FalseToTrue,
+                    });
                 }
                 Ok(Some(idx))
             }
@@ -787,13 +999,23 @@ impl<'a> Gen<'a> {
                 Ok(r)
             }
             ExprKind::Var(_) => {
-                match self.sema.var_refs.get(&e.id).cloned().expect("sema resolved") {
+                match self
+                    .sema
+                    .var_refs
+                    .get(&e.id)
+                    .cloned()
+                    .expect("sema resolved")
+                {
                     VarRef::Local { offset, ty } => {
                         let r = self.alloc(e.line)?;
                         let d = (LOCALS_BASE + offset) as i16;
                         match ty {
                             Type::Array(..) | Type::Struct(_) => {
-                                self.b.push(Instr::Addi { rd: r, ra: 1, imm: d });
+                                self.b.push(Instr::Addi {
+                                    rd: r,
+                                    ra: 1,
+                                    imm: d,
+                                });
                             }
                             Type::Char => {
                                 self.b.push(Instr::Lbz { rd: r, ra: 1, d });
@@ -839,16 +1061,34 @@ impl<'a> Gen<'a> {
             ExprKind::Unary { op, operand } => match op {
                 UnOp::Neg => {
                     let r = self.expr(operand)?;
-                    self.b.push(Instr::Alu { op: AluOp::Neg, rd: r, ra: r, rb: 0 });
+                    self.b.push(Instr::Alu {
+                        op: AluOp::Neg,
+                        rd: r,
+                        ra: r,
+                        rb: 0,
+                    });
                     Ok(r)
                 }
                 UnOp::Not => {
                     let r = self.expr(operand)?;
                     let lend = self.fresh("Lnot");
-                    self.b.push(Instr::Cmpi { crf: 0, ra: r, imm: 0 });
-                    self.b.push(Instr::Addi { rd: r, ra: 0, imm: 1 });
-                    self.b.cond_branch_to(0, swifi_vm::isa::CrBit::Eq, true, &lend);
-                    self.b.push(Instr::Addi { rd: r, ra: 0, imm: 0 });
+                    self.b.push(Instr::Cmpi {
+                        crf: 0,
+                        ra: r,
+                        imm: 0,
+                    });
+                    self.b.push(Instr::Addi {
+                        rd: r,
+                        ra: 0,
+                        imm: 1,
+                    });
+                    self.b
+                        .cond_branch_to(0, swifi_vm::isa::CrBit::Eq, true, &lend);
+                    self.b.push(Instr::Addi {
+                        rd: r,
+                        ra: 0,
+                        imm: 0,
+                    });
                     self.b.label(&lend);
                     Ok(r)
                 }
@@ -904,11 +1144,20 @@ impl<'a> Gen<'a> {
                     BinOp::Shr => AluOp::Sraw,
                     _ => unreachable!("comparisons handled above"),
                 };
-                self.b.push(Instr::Alu { op: alu, rd: lreg, ra: lreg, rb: rreg });
+                self.b.push(Instr::Alu {
+                    op: alu,
+                    rd: lreg,
+                    ra: lreg,
+                    rb: rreg,
+                });
                 self.free(rreg);
                 Ok(lreg)
             }
-            ExprKind::Ternary { cond, then_e, else_e } => {
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let r = self.alloc(e.line)?;
                 let lelse = self.fresh("Ltern");
                 let lend = self.fresh("Lend");
@@ -918,19 +1167,25 @@ impl<'a> Gen<'a> {
                 self.cond_false(cond, &lelse)?;
                 self.collector = saved;
                 let tr = self.expr(then_e)?;
-                self.b.push(Instr::Addi { rd: r, ra: tr, imm: 0 });
+                self.b.push(Instr::Addi {
+                    rd: r,
+                    ra: tr,
+                    imm: 0,
+                });
                 self.free(tr);
                 self.b.branch_to(&lend, false);
                 self.b.label(&lelse);
                 let er = self.expr(else_e)?;
-                self.b.push(Instr::Addi { rd: r, ra: er, imm: 0 });
+                self.b.push(Instr::Addi {
+                    rd: r,
+                    ra: er,
+                    imm: 0,
+                });
                 self.free(er);
                 self.b.label(&lend);
                 Ok(r)
             }
-            ExprKind::Call { .. } => {
-                self.call_with_result(e)
-            }
+            ExprKind::Call { .. } => self.call_with_result(e),
         }
     }
 
@@ -941,10 +1196,18 @@ impl<'a> Gen<'a> {
         let saved = self.collector.take();
         self.cond_true(e, &ltrue)?;
         self.collector = saved;
-        self.b.push(Instr::Addi { rd: r, ra: 0, imm: 0 });
+        self.b.push(Instr::Addi {
+            rd: r,
+            ra: 0,
+            imm: 0,
+        });
         self.b.branch_to(&lend, false);
         self.b.label(&ltrue);
-        self.b.push(Instr::Addi { rd: r, ra: 0, imm: 1 });
+        self.b.push(Instr::Addi {
+            rd: r,
+            ra: 0,
+            imm: 1,
+        });
         self.b.label(&lend);
         Ok(r)
     }
@@ -955,7 +1218,12 @@ impl<'a> Gen<'a> {
         }
         let tmp = self.alloc(line)?;
         self.b.load_imm(tmp, size as i32);
-        self.b.push(Instr::Alu { op: AluOp::Mullw, rd: reg, ra: reg, rb: tmp });
+        self.b.push(Instr::Alu {
+            op: AluOp::Mullw,
+            rd: reg,
+            ra: reg,
+            rb: tmp,
+        });
         self.free(tmp);
         Ok(())
     }
@@ -970,10 +1238,20 @@ impl<'a> Gen<'a> {
     fn addr(&mut self, e: &'a Expr) -> Result<(u8, Type), CompileError> {
         match &e.kind {
             ExprKind::Var(_) => {
-                match self.sema.var_refs.get(&e.id).cloned().expect("sema resolved") {
+                match self
+                    .sema
+                    .var_refs
+                    .get(&e.id)
+                    .cloned()
+                    .expect("sema resolved")
+                {
                     VarRef::Local { offset, ty } => {
                         let r = self.alloc(e.line)?;
-                        self.b.push(Instr::Addi { rd: r, ra: 1, imm: (LOCALS_BASE + offset) as i16 });
+                        self.b.push(Instr::Addi {
+                            rd: r,
+                            ra: 1,
+                            imm: (LOCALS_BASE + offset) as i16,
+                        });
                         Ok((r, ty))
                     }
                     VarRef::Global(i) => {
@@ -998,7 +1276,12 @@ impl<'a> Gen<'a> {
                 };
                 let ireg = self.expr(index)?;
                 self.scale(ireg, self.struct_size(&elem_ty), e.line)?;
-                self.b.push(Instr::Alu { op: AluOp::Add, rd: breg, ra: breg, rb: ireg });
+                self.b.push(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: breg,
+                    ra: breg,
+                    rb: ireg,
+                });
                 self.free(ireg);
                 Ok((breg, elem_ty))
             }
@@ -1026,11 +1309,18 @@ impl<'a> Gen<'a> {
                     .expect("sema checked field");
                 let (off, fty) = (f.offset, f.ty.clone());
                 if off != 0 {
-                    self.b.push(Instr::Addi { rd: breg, ra: breg, imm: off as i16 });
+                    self.b.push(Instr::Addi {
+                        rd: breg,
+                        ra: breg,
+                        imm: off as i16,
+                    });
                 }
                 Ok((breg, fty))
             }
-            ExprKind::Unary { op: UnOp::Deref, operand } => {
+            ExprKind::Unary {
+                op: UnOp::Deref,
+                operand,
+            } => {
                 let r = self.expr(operand)?;
                 match self.ty(operand).decay() {
                     Type::Ptr(t) => Ok((r, *t)),
@@ -1049,7 +1339,11 @@ impl<'a> Gen<'a> {
     fn call_with_result(&mut self, e: &'a Expr) -> Result<u8, CompileError> {
         self.emit_call(e)?;
         let r = self.alloc(e.line)?;
-        self.b.push(Instr::Addi { rd: r, ra: 3, imm: 0 });
+        self.b.push(Instr::Addi {
+            rd: r,
+            ra: 3,
+            imm: 0,
+        });
         Ok(r)
     }
 
@@ -1063,7 +1357,11 @@ impl<'a> Gen<'a> {
             regs.push(self.expr(a)?);
         }
         for (i, &r) in regs.iter().enumerate() {
-            self.b.push(Instr::Addi { rd: 3 + i as u8, ra: r, imm: 0 });
+            self.b.push(Instr::Addi {
+                rd: 3 + i as u8,
+                ra: r,
+                imm: 0,
+            });
         }
         for &r in regs.iter().rev() {
             self.free(r);

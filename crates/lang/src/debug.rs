@@ -156,7 +156,14 @@ mod tests {
 
     #[test]
     fn branch_encodings_complement() {
-        for op in [CheckOp::Lt, CheckOp::Le, CheckOp::Gt, CheckOp::Ge, CheckOp::Eq, CheckOp::Ne] {
+        for op in [
+            CheckOp::Lt,
+            CheckOp::Le,
+            CheckOp::Gt,
+            CheckOp::Ge,
+            CheckOp::Eq,
+            CheckOp::Ne,
+        ] {
             let (bt, et) = op.true_branch();
             let (bf, ef) = op.false_branch();
             assert_eq!(bt, bf);

@@ -115,7 +115,10 @@ pub struct CompileError {
 impl CompileError {
     /// Construct an error at `line`.
     pub fn new(line: u32, msg: impl Into<String>) -> CompileError {
-        CompileError { line, msg: msg.into() }
+        CompileError {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -194,7 +197,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                     }
                     let v = i64::from_str_radix(&src[start + 2..i], 16)
                         .map_err(|_| CompileError::new(line, "bad hex literal"))?;
-                    out.push(Spanned { tok: Tok::Int(v), line });
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                 } else {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -202,7 +208,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                     let v = src[start..i]
                         .parse::<i64>()
                         .map_err(|_| CompileError::new(line, "bad integer literal"))?;
-                    out.push(Spanned { tok: Tok::Int(v), line });
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
@@ -225,7 +234,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                     return Err(CompileError::new(line, "unterminated char literal"));
                 }
                 i += 1;
-                out.push(Spanned { tok: Tok::Char(b), line });
+                out.push(Spanned {
+                    tok: Tok::Char(b),
+                    line,
+                });
             }
             b'"' => {
                 i += 1;
@@ -246,10 +258,17 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), line });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
             }
             _ => {
-                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
                 let (p, used) = match two {
                     "<=" => (Punct::Le, 2),
                     ">=" => (Punct::Ge, 2),
@@ -295,19 +314,28 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                         (p, 1)
                     }
                 };
-                out.push(Spanned { tok: Tok::Punct(p), line });
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += used;
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
 /// Read one (possibly escaped) character; returns (byte, bytes consumed).
 fn read_char(bytes: &[u8], i: usize, line: u32) -> Result<(u8, usize), CompileError> {
     match bytes.get(i) {
-        None => Err(CompileError::new(line, "unexpected end of input in literal")),
+        None => Err(CompileError::new(
+            line,
+            "unexpected end of input in literal",
+        )),
         Some(&b'\\') => {
             let b = match bytes.get(i + 1) {
                 Some(&b'n') => b'\n',
@@ -348,14 +376,22 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 0x1F"), vec![Tok::Int(42), Tok::Int(0x1F), Tok::Eof]);
+        assert_eq!(
+            toks("42 0x1F"),
+            vec![Tok::Int(42), Tok::Int(0x1F), Tok::Eof]
+        );
     }
 
     #[test]
     fn char_and_string_literals() {
         assert_eq!(
             toks(r#"'a' '\n' "hi\n""#),
-            vec![Tok::Char(b'a'), Tok::Char(b'\n'), Tok::Str(b"hi\n".to_vec()), Tok::Eof]
+            vec![
+                Tok::Char(b'a'),
+                Tok::Char(b'\n'),
+                Tok::Str(b"hi\n".to_vec()),
+                Tok::Eof
+            ]
         );
     }
 

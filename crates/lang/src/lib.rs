@@ -83,7 +83,12 @@ pub fn compile(src: &str) -> Result<Program, CompileError> {
     let ast = parser::parse(src)?;
     let sema = sema::analyze(&ast)?;
     let out = codegen::generate(&ast, &sema)?;
-    Ok(Program { image: out.image, debug: out.debug, ast, sema })
+    Ok(Program {
+        image: out.image,
+        debug: out.debug,
+        ast,
+        sema,
+    })
 }
 
 #[cfg(test)]
@@ -103,7 +108,10 @@ mod tests {
         m.load(&p.image);
         m.set_input(input);
         match m.run(&mut Noop) {
-            RunOutcome::Completed { exit_code: 0, output } => String::from_utf8(output).unwrap(),
+            RunOutcome::Completed {
+                exit_code: 0,
+                output,
+            } => String::from_utf8(output).unwrap(),
             other => panic!("abnormal outcome: {other:?}"),
         }
     }
@@ -133,8 +141,14 @@ mod tests {
 
     #[test]
     fn comparisons_as_values() {
-        assert_eq!(run("void main() { print_int(3 < 4); print_int(4 < 3); }"), "10");
-        assert_eq!(run("void main() { print_int(1 && 0); print_int(1 || 0); }"), "01");
+        assert_eq!(
+            run("void main() { print_int(3 < 4); print_int(4 < 3); }"),
+            "10"
+        );
+        assert_eq!(
+            run("void main() { print_int(1 && 0); print_int(1 || 0); }"),
+            "01"
+        );
         assert_eq!(run("void main() { print_int(!5); print_int(!0); }"), "01");
     }
 
@@ -198,10 +212,12 @@ mod tests {
     #[test]
     fn eight_parameters() {
         assert_eq!(
-            run("int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+            run(
+                "int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
                    return a + b + c + d + e + f + g + h;
                  }
-                 void main() { print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); }"),
+                 void main() { print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); }"
+            ),
             "36"
         );
     }
@@ -240,13 +256,15 @@ mod tests {
     #[test]
     fn pointers_and_address_of() {
         assert_eq!(
-            run("void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }
+            run(
+                "void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }
                  void main() {
                    int x; int y;
                    x = 1; y = 2;
                    swap(&x, &y);
                    print_int(x); print_int(y);
-                 }"),
+                 }"
+            ),
             "21"
         );
     }
@@ -441,22 +459,25 @@ mod tests {
         let mut m = Machine::new(MachineConfig::default());
         m.load(&p.image);
         match m.run(&mut Noop) {
-            RunOutcome::Trapped { trap: swifi_vm::Trap::StackOverflow, .. } => {}
+            RunOutcome::Trapped {
+                trap: swifi_vm::Trap::StackOverflow,
+                ..
+            } => {}
             other => panic!("expected stack overflow, got {other:?}"),
         }
     }
 
     #[test]
     fn null_deref_crashes() {
-        let p = compile(
-            "void main() { int *p; p = 0; print_int(*p); }",
-        )
-        .unwrap();
+        let p = compile("void main() { int *p; p = 0; print_int(*p); }").unwrap();
         let mut m = Machine::new(MachineConfig::default());
         m.load(&p.image);
         assert!(matches!(
             m.run(&mut Noop),
-            RunOutcome::Trapped { trap: swifi_vm::Trap::Unmapped { addr: 0 }, .. }
+            RunOutcome::Trapped {
+                trap: swifi_vm::Trap::Unmapped { addr: 0 },
+                ..
+            }
         ));
     }
 
@@ -464,10 +485,7 @@ mod tests {
 
     #[test]
     fn assign_sites_are_stores() {
-        let p = compile(
-            "void main() { int x; int *q; x = 1; q = 0; }",
-        )
-        .unwrap();
+        let p = compile("void main() { int x; int *q; x = 1; q = 0; }").unwrap();
         assert_eq!(p.debug.assigns.len(), 2);
         assert!(!p.debug.assigns[0].is_pointer);
         assert!(p.debug.assigns[1].is_pointer);
@@ -518,12 +536,22 @@ mod tests {
              }",
         )
         .unwrap();
-        let and_site = p.debug.checks.iter().find(|c| c.op == debug::CheckOp::And).unwrap();
+        let and_site = p
+            .debug
+            .checks
+            .iter()
+            .find(|c| c.op == debug::CheckOp::And)
+            .unwrap();
         assert!(and_site
             .mutations
             .iter()
             .any(|(e, _)| *e == debug::CheckErrorType::AndToOr));
-        let or_site = p.debug.checks.iter().find(|c| c.op == debug::CheckOp::Or).unwrap();
+        let or_site = p
+            .debug
+            .checks
+            .iter()
+            .find(|c| c.op == debug::CheckOp::Or)
+            .unwrap();
         assert!(or_site
             .mutations
             .iter()
@@ -579,7 +607,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.debug.functions.len(), 2);
-        let f = p.debug.function_at(p.debug.functions[0].start_addr).unwrap();
+        let f = p
+            .debug
+            .function_at(p.debug.functions[0].start_addr)
+            .unwrap();
         assert_eq!(f.name, "f");
     }
 
@@ -660,7 +691,10 @@ mod tests {
                      }
                    }";
         let p = compile(src).unwrap();
-        let mut m = Machine::new(MachineConfig { num_cores: 4, ..MachineConfig::default() });
+        let mut m = Machine::new(MachineConfig {
+            num_cores: 4,
+            ..MachineConfig::default()
+        });
         m.load(&p.image);
         assert_eq!(m.run(&mut Noop).output(), b"100");
     }

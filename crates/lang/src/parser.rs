@@ -11,7 +11,11 @@ use crate::lexer::{lex, CompileError, Kw, Punct, Spanned, Tok};
 /// syntactic errors.
 pub fn parse(src: &str) -> Result<Program, CompileError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, next_id: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        next_id: 0,
+    };
     p.program()
 }
 
@@ -81,7 +85,10 @@ impl Parser {
     }
 
     fn at_type(&self) -> bool {
-        matches!(self.peek(), Tok::Kw(Kw::Int | Kw::Char | Kw::Void | Kw::Struct))
+        matches!(
+            self.peek(),
+            Tok::Kw(Kw::Int | Kw::Char | Kw::Void | Kw::Struct)
+        )
     }
 
     fn program(&mut self) -> Result<Program, CompileError> {
@@ -109,17 +116,27 @@ impl Parser {
             }
             let name = self.expect_ident()?;
             if self.peek() == &Tok::Punct(Punct::LParen) {
-                prog.functions.push(self.function(base, ptr_depth, name, line)?);
+                prog.functions
+                    .push(self.function(base, ptr_depth, name, line)?);
             } else {
                 let dims = self.dims()?;
-                let ty = TypeExpr { base, ptr_depth, dims };
+                let ty = TypeExpr {
+                    base,
+                    ptr_depth,
+                    dims,
+                };
                 let init = if self.eat_punct(Punct::Assign) {
                     Some(self.expr()?)
                 } else {
                     None
                 };
                 self.expect_punct(Punct::Semi)?;
-                prog.globals.push(VarDecl { name, ty, init, line });
+                prog.globals.push(VarDecl {
+                    name,
+                    ty,
+                    init,
+                    line,
+                });
             }
         }
         Ok(prog)
@@ -134,7 +151,10 @@ impl Parser {
                 let name = self.expect_ident()?;
                 Ok(BaseType::Struct(name))
             }
-            other => Err(CompileError::new(self.line(), format!("expected type, found `{other}`"))),
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected type, found `{other}`"),
+            )),
         }
     }
 
@@ -144,7 +164,11 @@ impl Parser {
         while self.eat_punct(Punct::Star) {
             ptr_depth += 1;
         }
-        Ok(TypeExpr { base, ptr_depth, dims: Vec::new() })
+        Ok(TypeExpr {
+            base,
+            ptr_depth,
+            dims: Vec::new(),
+        })
     }
 
     fn dims(&mut self) -> Result<Vec<usize>, CompileError> {
@@ -210,7 +234,17 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(Function { name, ret: TypeExpr { base, ptr_depth, dims: Vec::new() }, params, body, line })
+        Ok(Function {
+            name,
+            ret: TypeExpr {
+                base,
+                ptr_depth,
+                dims: Vec::new(),
+            },
+            params,
+            body,
+            line,
+        })
     }
 
     fn block(&mut self) -> Result<Block, CompileError> {
@@ -228,7 +262,12 @@ impl Parser {
                 None
             };
             self.expect_punct(Punct::Semi)?;
-            block.decls.push(VarDecl { name, ty, init, line });
+            block.decls.push(VarDecl {
+                name,
+                ty,
+                init,
+                line,
+            });
         }
         while !self.eat_punct(Punct::RBrace) {
             if self.at_type() {
@@ -253,14 +292,22 @@ impl Parser {
                     if self.peek() == &Tok::Kw(Kw::If) {
                         // else-if chains: wrap the nested if in a block.
                         let nested = self.stmt()?;
-                        Some(Block { decls: vec![], stmts: vec![nested] })
+                        Some(Block {
+                            decls: vec![],
+                            stmts: vec![nested],
+                        })
                     } else {
                         Some(self.block_or_stmt()?)
                     }
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_blk, else_blk, line })
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    line,
+                })
             }
             Tok::Kw(Kw::While) => {
                 self.bump();
@@ -292,7 +339,13 @@ impl Parser {
                 };
                 self.expect_punct(Punct::RParen)?;
                 let body = self.block_or_stmt()?;
-                Ok(Stmt::For { init, cond, step, body, line })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    line,
+                })
             }
             Tok::Kw(Kw::Return) => {
                 self.bump();
@@ -329,7 +382,11 @@ impl Parser {
         let e = self.expr()?;
         if self.eat_punct(Punct::Assign) {
             let value = self.expr()?;
-            Ok(Stmt::Assign { target: e, value, line })
+            Ok(Stmt::Assign {
+                target: e,
+                value,
+                line,
+            })
         } else {
             Ok(Stmt::Expr { expr: e, line })
         }
@@ -341,7 +398,10 @@ impl Parser {
             self.block()
         } else {
             let s = self.stmt()?;
-            Ok(Block { decls: vec![], stmts: vec![s] })
+            Ok(Block {
+                decls: vec![],
+                stmts: vec![s],
+            })
         }
     }
 
@@ -400,7 +460,14 @@ impl Parser {
             self.bump();
             let rhs = self.binary(prec + 1)?;
             let line = lhs.line;
-            lhs = self.mk(line, ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            lhs = self.mk(
+                line,
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            );
         }
         Ok(lhs)
     }
@@ -417,7 +484,13 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let operand = self.unary()?;
-            return Ok(self.mk(line, ExprKind::Unary { op, operand: Box::new(operand) }));
+            return Ok(self.mk(
+                line,
+                ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+            ));
         }
         self.postfix()
     }
@@ -429,13 +502,33 @@ impl Parser {
             if self.eat_punct(Punct::LBracket) {
                 let index = self.expr()?;
                 self.expect_punct(Punct::RBracket)?;
-                e = self.mk(line, ExprKind::Index { base: Box::new(e), index: Box::new(index) });
+                e = self.mk(
+                    line,
+                    ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    },
+                );
             } else if self.eat_punct(Punct::Dot) {
                 let field = self.expect_ident()?;
-                e = self.mk(line, ExprKind::Field { base: Box::new(e), field, arrow: false });
+                e = self.mk(
+                    line,
+                    ExprKind::Field {
+                        base: Box::new(e),
+                        field,
+                        arrow: false,
+                    },
+                );
             } else if self.eat_punct(Punct::Arrow) {
                 let field = self.expect_ident()?;
-                e = self.mk(line, ExprKind::Field { base: Box::new(e), field, arrow: true });
+                e = self.mk(
+                    line,
+                    ExprKind::Field {
+                        base: Box::new(e),
+                        field,
+                        arrow: true,
+                    },
+                );
             } else {
                 break;
             }
@@ -477,7 +570,10 @@ impl Parser {
                 self.expect_punct(Punct::RParen)?;
                 Ok(e)
             }
-            other => Err(CompileError::new(line, format!("expected expression, found `{other}`"))),
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found `{other}`"),
+            )),
         }
     }
 }
@@ -537,7 +633,11 @@ mod tests {
         let p = parse("void main() { int x; x = 1 + 2 * 3; }").unwrap();
         match &p.functions[0].body.stmts[0] {
             Stmt::Assign { value, .. } => match &value.kind {
-                ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                ExprKind::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("wrong shape: {other:?}"),
@@ -551,7 +651,11 @@ mod tests {
         let p = parse("void main() { if (1 < 2 && 3 == 3) { } }").unwrap();
         match &p.functions[0].body.stmts[0] {
             Stmt::If { cond, .. } => match &cond.kind {
-                ExprKind::Binary { op: BinOp::And, lhs, rhs } => {
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs,
+                    rhs,
+                } => {
                     assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Lt, .. }));
                     assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Eq, .. }));
                 }
@@ -574,12 +678,13 @@ mod tests {
 
     #[test]
     fn else_if_chain() {
-        let p = parse(
-            "void main() { int x; if (x == 1) { } else if (x == 2) { } else { x = 3; } }",
-        )
-        .unwrap();
+        let p =
+            parse("void main() { int x; if (x == 1) { } else if (x == 2) { } else { x = 3; } }")
+                .unwrap();
         match &p.functions[0].body.stmts[0] {
-            Stmt::If { else_blk: Some(b), .. } => {
+            Stmt::If {
+                else_blk: Some(b), ..
+            } => {
                 assert!(matches!(b.stmts[0], Stmt::If { .. }));
             }
             _ => panic!("missing else-if"),
@@ -588,8 +693,8 @@ mod tests {
 
     #[test]
     fn member_access_forms() {
-        let p = parse("struct s { int v; }; void main() { struct s *p; int x; x = p->v; }")
-            .unwrap();
+        let p =
+            parse("struct s { int v; }; void main() { struct s *p; int x; x = p->v; }").unwrap();
         match &p.functions[0].body.stmts[0] {
             Stmt::Assign { value, .. } => {
                 assert!(matches!(&value.kind, ExprKind::Field { arrow: true, .. }));

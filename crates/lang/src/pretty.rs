@@ -60,7 +60,13 @@ fn print_struct(out: &mut String, s: &StructDef) {
 
 fn print_var_decl(out: &mut String, d: &VarDecl, level: usize) {
     indent(out, level);
-    let _ = write!(out, "{} {}{}", type_prefix(&d.ty), d.name, dims_suffix(&d.ty));
+    let _ = write!(
+        out,
+        "{} {}{}",
+        type_prefix(&d.ty),
+        d.name,
+        dims_suffix(&d.ty)
+    );
     if let Some(init) = &d.init {
         let _ = write!(out, " = {}", print_expr(init));
     }
@@ -107,7 +113,12 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
         Stmt::Expr { expr, .. } => {
             let _ = writeln!(out, "{};", print_expr(expr));
         }
-        Stmt::If { cond, then_blk, else_blk, .. } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
             let _ = write!(out, "if ({}) ", print_expr(cond));
             print_braced(out, then_blk, level);
             if let Some(e) = else_blk {
@@ -121,7 +132,13 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             print_braced(out, body, level);
             out.push('\n');
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             out.push_str("for (");
             if let Some(i) = init {
                 out.push_str(&print_simple_stmt(i));
@@ -221,7 +238,12 @@ pub fn print_expr(e: &Expr) -> String {
             format!("{}[{}]", print_expr(base), print_expr(index))
         }
         ExprKind::Field { base, field, arrow } => {
-            format!("{}{}{}", print_expr(base), if *arrow { "->" } else { "." }, field)
+            format!(
+                "{}{}{}",
+                print_expr(base),
+                if *arrow { "->" } else { "." },
+                field
+            )
         }
         ExprKind::Unary { op, operand } => {
             let sym = match op {
@@ -233,9 +255,18 @@ pub fn print_expr(e: &Expr) -> String {
             format!("{sym}({})", print_expr(operand))
         }
         ExprKind::Binary { op, lhs, rhs } => {
-            format!("({} {} {})", print_expr(lhs), binop_str(*op), print_expr(rhs))
+            format!(
+                "({} {} {})",
+                print_expr(lhs),
+                binop_str(*op),
+                print_expr(rhs)
+            )
         }
-        ExprKind::Ternary { cond, then_e, else_e } => {
+        ExprKind::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             format!(
                 "({} ? {} : {})",
                 print_expr(cond),

@@ -164,7 +164,11 @@ fn builtins() -> Vec<(&'static str, Vec<Type>, Type)> {
     vec![
         ("print_int", vec![Type::Int], Type::Void),
         ("print_char", vec![Type::Int], Type::Void),
-        ("print_str", vec![Type::Ptr(Box::new(Type::Char))], Type::Void),
+        (
+            "print_str",
+            vec![Type::Ptr(Box::new(Type::Char))],
+            Type::Void,
+        ),
         ("read_int", vec![], Type::Int),
         ("read_byte", vec![], Type::Int),
         ("malloc", vec![Type::Int], Type::Ptr(Box::new(Type::Void))),
@@ -248,7 +252,10 @@ impl<'a> Sema<'a> {
     fn structs(&mut self) -> Result<(), CompileError> {
         for sd in &self.prog.structs {
             if self.struct_index.contains_key(&sd.name) {
-                return Err(CompileError::new(sd.line, format!("duplicate struct `{}`", sd.name)));
+                return Err(CompileError::new(
+                    sd.line,
+                    format!("duplicate struct `{}`", sd.name),
+                ));
             }
             // Reserve the index first so pointer fields can refer to the
             // struct being defined (linked lists).
@@ -278,12 +285,16 @@ impl<'a> Sema<'a> {
                 }
                 let a = ty.align(&self.out.structs);
                 let size = ty.size(&self.out.structs);
-                offset = (offset + a - 1) / a * a;
-                fields.push(FieldLayout { name: fname.clone(), ty, offset });
+                offset = offset.div_ceil(a) * a;
+                fields.push(FieldLayout {
+                    name: fname.clone(),
+                    ty,
+                    offset,
+                });
                 offset += size;
                 align = align.max(a);
             }
-            let size = (offset + align - 1) / align * align;
+            let size = offset.div_ceil(align) * align;
             let entry = &mut self.out.structs[idx];
             entry.fields = fields;
             entry.size = size.max(1);
@@ -295,7 +306,10 @@ impl<'a> Sema<'a> {
     fn globals(&mut self) -> Result<(), CompileError> {
         for g in &self.prog.globals {
             if self.global_index.contains_key(&g.name) {
-                return Err(CompileError::new(g.line, format!("duplicate global `{}`", g.name)));
+                return Err(CompileError::new(
+                    g.line,
+                    format!("duplicate global `{}`", g.name),
+                ));
             }
             let ty = self.resolve_type(&g.ty, g.line)?;
             if ty == Type::Void {
@@ -318,8 +332,12 @@ impl<'a> Sema<'a> {
                 };
                 self.out.expr_types.insert(init.id, t);
             }
-            self.global_index.insert(g.name.clone(), self.out.globals.len());
-            self.out.globals.push(GlobalLayout { name: g.name.clone(), ty });
+            self.global_index
+                .insert(g.name.clone(), self.out.globals.len());
+            self.out.globals.push(GlobalLayout {
+                name: g.name.clone(),
+                ty,
+            });
         }
         Ok(())
     }
@@ -336,7 +354,10 @@ impl<'a> Sema<'a> {
                 ));
             }
             if f.params.len() > 8 {
-                return Err(CompileError::new(f.line, "at most 8 parameters are supported"));
+                return Err(CompileError::new(
+                    f.line,
+                    "at most 8 parameters are supported",
+                ));
             }
             let ret = self.resolve_type(&f.ret, f.line)?;
             let mut params = Vec::new();
@@ -363,14 +384,20 @@ impl<'a> Sema<'a> {
 
     fn alloc_slot(&mut self, name: &str, ty: &Type, line: u32) -> Result<u32, CompileError> {
         if self.scopes.last().is_some_and(|s| s.contains_key(name)) {
-            return Err(CompileError::new(line, format!("duplicate variable `{name}`")));
+            return Err(CompileError::new(
+                line,
+                format!("duplicate variable `{name}`"),
+            ));
         }
         let a = ty.align(&self.out.structs);
         let size = ty.size(&self.out.structs);
-        self.next_offset = (self.next_offset + a - 1) / a * a;
+        self.next_offset = self.next_offset.div_ceil(a) * a;
         let off = self.next_offset;
         self.next_offset += size;
-        self.scopes.last_mut().unwrap().insert(name.to_string(), (off, ty.clone()));
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), (off, ty.clone()));
         self.slots.push((name.to_string(), ty.clone(), off));
         Ok(off)
     }
@@ -378,7 +405,10 @@ impl<'a> Sema<'a> {
     fn lookup(&self, name: &str) -> Option<VarRef> {
         for scope in self.scopes.iter().rev() {
             if let Some((off, ty)) = scope.get(name) {
-                return Some(VarRef::Local { offset: *off, ty: ty.clone() });
+                return Some(VarRef::Local {
+                    offset: *off,
+                    ty: ty.clone(),
+                });
             }
         }
         self.global_index.get(name).map(|&i| VarRef::Global(i))
@@ -438,7 +468,11 @@ impl<'a> Sema<'a> {
 
     fn stmt(&mut self, s: &'a Stmt) -> Result<(), CompileError> {
         match s {
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 let tt = self.lvalue(target)?;
                 if matches!(tt, Type::Array(..) | Type::Struct(_)) {
                     return Err(CompileError::new(
@@ -458,7 +492,12 @@ impl<'a> Sema<'a> {
                 }
                 self.expr(expr)?;
             }
-            Stmt::If { cond, then_blk, else_blk, line } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                line,
+            } => {
                 let ct = self.expr(cond)?;
                 if !ct.decay().is_scalar() {
                     return Err(CompileError::new(*line, "condition must be scalar"));
@@ -477,7 +516,13 @@ impl<'a> Sema<'a> {
                 self.block(body)?;
                 self.loop_depth -= 1;
             }
-            Stmt::For { init, cond, step, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -497,10 +542,16 @@ impl<'a> Sema<'a> {
             Stmt::Return { value, line } => match (&self.ret, value) {
                 (Type::Void, None) => {}
                 (Type::Void, Some(_)) => {
-                    return Err(CompileError::new(*line, "void function cannot return a value"));
+                    return Err(CompileError::new(
+                        *line,
+                        "void function cannot return a value",
+                    ));
                 }
                 (_, None) => {
-                    return Err(CompileError::new(*line, "non-void function must return a value"));
+                    return Err(CompileError::new(
+                        *line,
+                        "non-void function must return a value",
+                    ));
                 }
                 (ret, Some(v)) => {
                     let ret = ret.clone();
@@ -528,16 +579,17 @@ impl<'a> Sema<'a> {
         let src = src.decay();
         let ok = match (dst, &src) {
             (Type::Int | Type::Char, s) if s.is_arith() => true,
-            (Type::Ptr(a), Type::Ptr(b)) => {
-                a == b || **a == Type::Void || **b == Type::Void
-            }
+            (Type::Ptr(a), Type::Ptr(b)) => a == b || **a == Type::Void || **b == Type::Void,
             (Type::Ptr(_), Type::Int) => matches!(src_expr.kind, ExprKind::IntLit(0)),
             _ => false,
         };
         if ok {
             Ok(())
         } else {
-            Err(CompileError::new(line, format!("cannot assign `{src:?}` to `{dst:?}`")))
+            Err(CompileError::new(
+                line,
+                format!("cannot assign `{src:?}` to `{dst:?}`"),
+            ))
         }
     }
 
@@ -545,7 +597,9 @@ impl<'a> Sema<'a> {
     fn lvalue(&mut self, e: &'a Expr) -> Result<Type, CompileError> {
         match &e.kind {
             ExprKind::Var(_) | ExprKind::Index { .. } | ExprKind::Field { .. } => self.expr(e),
-            ExprKind::Unary { op: UnOp::Deref, .. } => self.expr(e),
+            ExprKind::Unary {
+                op: UnOp::Deref, ..
+            } => self.expr(e),
             _ => Err(CompileError::new(e.line, "not an lvalue")),
         }
     }
@@ -570,7 +624,10 @@ impl<'a> Sema<'a> {
                     self.out.var_refs.insert(e.id, r);
                     Ok(t)
                 }
-                None => Err(CompileError::new(e.line, format!("unknown variable `{name}`"))),
+                None => Err(CompileError::new(
+                    e.line,
+                    format!("unknown variable `{name}`"),
+                )),
             },
             ExprKind::Index { base, index } => {
                 let bt = self.expr(base)?;
@@ -594,10 +651,7 @@ impl<'a> Sema<'a> {
                     (Type::Ptr(p), true) => match **p {
                         Type::Struct(i) => i,
                         _ => {
-                            return Err(CompileError::new(
-                                e.line,
-                                "`->` needs a struct pointer",
-                            ));
+                            return Err(CompileError::new(e.line, "`->` needs a struct pointer"));
                         }
                     },
                     _ => {
@@ -607,11 +661,18 @@ impl<'a> Sema<'a> {
                         ));
                     }
                 };
-                match self.out.structs[sidx].fields.iter().find(|f| &f.name == field) {
+                match self.out.structs[sidx]
+                    .fields
+                    .iter()
+                    .find(|f| &f.name == field)
+                {
                     Some(f) => Ok(f.ty.clone()),
                     None => Err(CompileError::new(
                         e.line,
-                        format!("struct `{}` has no field `{field}`", self.out.structs[sidx].name),
+                        format!(
+                            "struct `{}` has no field `{field}`",
+                            self.out.structs[sidx].name
+                        ),
                     )),
                 }
             }
@@ -622,7 +683,10 @@ impl<'a> Sema<'a> {
                         if ot.is_arith() {
                             Ok(Type::Int)
                         } else {
-                            Err(CompileError::new(e.line, "cannot negate a non-arithmetic value"))
+                            Err(CompileError::new(
+                                e.line,
+                                "cannot negate a non-arithmetic value",
+                            ))
                         }
                     }
                     UnOp::Not => {
@@ -644,12 +708,11 @@ impl<'a> Sema<'a> {
                             ExprKind::Var(_)
                             | ExprKind::Index { .. }
                             | ExprKind::Field { .. }
-                            | ExprKind::Unary { op: UnOp::Deref, .. } => {}
+                            | ExprKind::Unary {
+                                op: UnOp::Deref, ..
+                            } => {}
                             _ => {
-                                return Err(CompileError::new(
-                                    e.line,
-                                    "`&` needs an lvalue",
-                                ));
+                                return Err(CompileError::new(e.line, "`&` needs an lvalue"));
                             }
                         }
                         Ok(Type::Ptr(Box::new(ot)))
@@ -665,8 +728,7 @@ impl<'a> Sema<'a> {
                             && (rt == lt
                                 || matches!(rhs.kind, ExprKind::IntLit(0))
                                 || matches!(rt, Type::Ptr(ref p) if **p == Type::Void)))
-                        || (matches!(rt, Type::Ptr(_))
-                            && matches!(lhs.kind, ExprKind::IntLit(0)));
+                        || (matches!(rt, Type::Ptr(_)) && matches!(lhs.kind, ExprKind::IntLit(0)));
                     if compatible {
                         Ok(Type::Int)
                     } else {
@@ -700,10 +762,17 @@ impl<'a> Sema<'a> {
                     }
                 }
             }
-            ExprKind::Ternary { cond, then_e, else_e } => {
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let ct = self.expr(cond)?;
                 if !ct.decay().is_scalar() {
-                    return Err(CompileError::new(e.line, "ternary condition must be scalar"));
+                    return Err(CompileError::new(
+                        e.line,
+                        "ternary condition must be scalar",
+                    ));
                 }
                 let tt = self.expr(then_e)?.decay();
                 let et = self.expr(else_e)?.decay();
@@ -712,7 +781,10 @@ impl<'a> Sema<'a> {
                 } else if tt == et {
                     Ok(tt)
                 } else {
-                    Err(CompileError::new(e.line, "ternary branches have different types"))
+                    Err(CompileError::new(
+                        e.line,
+                        "ternary branches have different types",
+                    ))
                 }
             }
             ExprKind::Call { name, args } => {
@@ -728,7 +800,11 @@ impl<'a> Sema<'a> {
                 if args.len() != params.len() {
                     return Err(CompileError::new(
                         e.line,
-                        format!("`{name}` expects {} arguments, got {}", params.len(), args.len()),
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            params.len(),
+                            args.len()
+                        ),
                     ));
                 }
                 for (a, p) in args.iter().zip(&params) {
@@ -818,7 +894,12 @@ mod tests {
         let a = ok("void main() { char p[80]; char q[80]; p[0] = 'a'; q[0] = 'b'; }");
         let b = ok("void main() { char p[81]; char q[80]; p[0] = 'a'; q[0] = 'b'; }");
         let off = |o: &SemaOutput, name: &str| {
-            o.functions[0].slots.iter().find(|(n, _, _)| n == name).unwrap().2
+            o.functions[0]
+                .slots
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .unwrap()
+                .2
         };
         assert_eq!(off(&a, "q"), 80);
         assert_eq!(off(&b, "q"), 81);
@@ -857,9 +938,15 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        assert!(fails("int g; int g; void main() {}").msg.contains("duplicate"));
-        assert!(fails("void main() { int x; int x; }").msg.contains("duplicate"));
-        assert!(fails("void f() {} void f() {} void main() {}").msg.contains("duplicate"));
+        assert!(fails("int g; int g; void main() {}")
+            .msg
+            .contains("duplicate"));
+        assert!(fails("void main() { int x; int x; }")
+            .msg
+            .contains("duplicate"));
+        assert!(fails("void f() {} void f() {} void main() {}")
+            .msg
+            .contains("duplicate"));
     }
 
     #[test]

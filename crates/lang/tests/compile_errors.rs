@@ -21,8 +21,16 @@ fn rejects(src: &str, line: u32, needle: &str) {
 #[test]
 fn lexical_errors() {
     rejects("void main() { int x@; }", 1, "unexpected character");
-    rejects("void main() {\n  print_str(\"unterminated);\n}", 2, "unterminated string");
-    rejects("/* comment never ends\nvoid main() {}", 1, "unterminated block comment");
+    rejects(
+        "void main() {\n  print_str(\"unterminated);\n}",
+        2,
+        "unterminated string",
+    );
+    rejects(
+        "/* comment never ends\nvoid main() {}",
+        1,
+        "unterminated block comment",
+    );
 }
 
 #[test]
@@ -48,9 +56,17 @@ fn type_errors() {
     rejects("void main() { int *p; p = 3; }", 1, "cannot assign");
     rejects("void main() { int x; x = \"str\"; }", 1, "cannot assign");
     rejects("void main() { int x; x = *x; }", 1, "dereference");
-    rejects("struct s { int v; }; void main() { struct s a; a.w = 1; }", 1, "no field");
+    rejects(
+        "struct s { int v; }; void main() { struct s a; a.w = 1; }",
+        1,
+        "no field",
+    );
     rejects("void main() { int a[3]; int b[3]; a = b; }", 1, "array");
-    rejects("int f() { return; } void main() {}", 1, "must return a value");
+    rejects(
+        "int f() { return; } void main() {}",
+        1,
+        "must return a value",
+    );
     rejects("void g() { return 5; } void main() {}", 1, "cannot return");
 }
 
@@ -58,7 +74,11 @@ fn type_errors() {
 fn structural_errors() {
     rejects("void main() { break; }", 1, "outside");
     rejects("void main() { continue; }", 1, "outside");
-    rejects("int f(int a) { return a; } void main() { int x; x = f(); }", 1, "expects 1");
+    rejects(
+        "int f(int a) { return a; } void main() { int x; x = f(); }",
+        1,
+        "expects 1",
+    );
     rejects("void main() { int x; x + 1; }", 1, "function calls");
     rejects("void main() { 3 = 4; }", 1, "not an lvalue");
 }

@@ -11,21 +11,46 @@ use swifi_vm::Noop;
 /// arithmetic with loops and conditionals over a fixed variable pool.
 #[derive(Debug, Clone)]
 enum GenStmt {
-    Assign { var: usize, a: usize, b: usize, op: usize, lit: i8 },
-    If { var: usize, cmp: usize, lit: i8, then_var: usize },
-    Loop { var: usize, bound: u8, body_var: usize },
-    Print { var: usize },
+    Assign {
+        var: usize,
+        a: usize,
+        b: usize,
+        op: usize,
+        lit: i8,
+    },
+    If {
+        var: usize,
+        cmp: usize,
+        lit: i8,
+        then_var: usize,
+    },
+    Loop {
+        var: usize,
+        bound: u8,
+        body_var: usize,
+    },
+    Print {
+        var: usize,
+    },
 }
 
 fn arb_stmt() -> impl Strategy<Value = GenStmt> {
     prop_oneof![
-        (0usize..4, 0usize..4, 0usize..4, 0usize..6, any::<i8>()).prop_map(
-            |(var, a, b, op, lit)| GenStmt::Assign { var, a, b, op, lit }
-        ),
-        (0usize..4, 0usize..6, any::<i8>(), 0usize..4)
-            .prop_map(|(var, cmp, lit, then_var)| GenStmt::If { var, cmp, lit, then_var }),
-        (0usize..4, 0u8..20, 0usize..4)
-            .prop_map(|(var, bound, body_var)| GenStmt::Loop { var, bound, body_var }),
+        (0usize..4, 0usize..4, 0usize..4, 0usize..6, any::<i8>())
+            .prop_map(|(var, a, b, op, lit)| GenStmt::Assign { var, a, b, op, lit }),
+        (0usize..4, 0usize..6, any::<i8>(), 0usize..4).prop_map(|(var, cmp, lit, then_var)| {
+            GenStmt::If {
+                var,
+                cmp,
+                lit,
+                then_var,
+            }
+        }),
+        (0usize..4, 0u8..20, 0usize..4).prop_map(|(var, bound, body_var)| GenStmt::Loop {
+            var,
+            bound,
+            body_var
+        }),
         (0usize..4).prop_map(|var| GenStmt::Print { var }),
     ]
 }
@@ -59,13 +84,22 @@ fn render(stmts: &[GenStmt]) -> String {
                     ));
                 }
             }
-            GenStmt::If { var, cmp, lit, then_var } => {
+            GenStmt::If {
+                var,
+                cmp,
+                lit,
+                then_var,
+            } => {
                 src.push_str(&format!(
                     "  if ({} {} {}) {{ {} = {} + 1; }}\n",
                     vars[*var], cmps[*cmp], lit, vars[*then_var], vars[*then_var]
                 ));
             }
-            GenStmt::Loop { var, bound, body_var } => {
+            GenStmt::Loop {
+                var,
+                bound,
+                body_var,
+            } => {
                 // Fresh counter per loop keeps termination trivial.
                 let c = format!("c{loop_var}");
                 loop_var += 1;

@@ -230,7 +230,9 @@ fn reaches(
     target: &str,
     seen: &mut HashSet<String>,
 ) -> bool {
-    let Some(next) = callees.get(from) else { return false };
+    let Some(next) = callees.get(from) else {
+        return false;
+    };
     for callee in next {
         if callee == target {
             return true;
@@ -291,7 +293,12 @@ fn walk_stmt(s: &Stmt, depth: usize, m: &mut FunctionMetrics, h: &mut HalsteadCo
             walk_expr(value, m, h);
         }
         Stmt::Expr { expr, .. } => walk_expr(expr, m, h),
-        Stmt::If { cond, then_blk, else_blk, .. } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
             m.cyclomatic += 1;
             h.operator("if");
             walk_expr(cond, m, h);
@@ -307,7 +314,13 @@ fn walk_stmt(s: &Stmt, depth: usize, m: &mut FunctionMetrics, h: &mut HalsteadCo
             walk_expr(cond, m, h);
             walk_block(body, depth + 1, m, h);
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             m.cyclomatic += 1;
             h.operator("for");
             if let Some(i) = init {
@@ -366,7 +379,11 @@ fn walk_expr(e: &Expr, m: &mut FunctionMetrics, h: &mut HalsteadCounter) {
             walk_expr(lhs, m, h);
             walk_expr(rhs, m, h);
         }
-        ExprKind::Ternary { cond, then_e, else_e } => {
+        ExprKind::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             m.cyclomatic += 1;
             h.operator("?:");
             walk_expr(cond, m, h);
@@ -522,9 +539,7 @@ mod tests {
 
     #[test]
     fn dynamic_structures_flagged() {
-        let m = metrics_of(
-            "void main() { int *p; p = malloc(8); free(p); }",
-        );
+        let m = metrics_of("void main() { int *p; p = malloc(8); free(p); }");
         assert!(m.functions[0].dynamic_structures);
         assert!(m.uses_dynamic_structures());
     }
@@ -558,14 +573,20 @@ mod tests {
              }
              void main() { print_int(hairy(simple(5))); }",
         );
-        for strategy in [AllocationStrategy::Uniform, AllocationStrategy::MetricsGuided] {
+        for strategy in [
+            AllocationStrategy::Uniform,
+            AllocationStrategy::MetricsGuided,
+        ] {
             let alloc = allocate(&m, &strategy, 30);
-            assert_eq!(alloc.iter().map(|&(_, c)| c).sum::<usize>(), 30, "{strategy:?}");
+            assert_eq!(
+                alloc.iter().map(|&(_, c)| c).sum::<usize>(),
+                30,
+                "{strategy:?}"
+            );
         }
         let guided = allocate(&m, &AllocationStrategy::MetricsGuided, 30);
-        let count = |name: &str, a: &[(String, usize)]| {
-            a.iter().find(|(n, _)| n == name).unwrap().1
-        };
+        let count =
+            |name: &str, a: &[(String, usize)]| a.iter().find(|(n, _)| n == name).unwrap().1;
         assert!(
             count("hairy", &guided) > count("simple", &guided),
             "complex functions should attract more injections: {guided:?}"
@@ -581,8 +602,7 @@ mod tests {
         weights.insert("a".to_string(), 3.0);
         weights.insert("b".to_string(), 1.0);
         let alloc = allocate(&m, &AllocationStrategy::FieldData(weights), 8);
-        let count =
-            |name: &str| alloc.iter().find(|(n, _)| n == name).unwrap().1;
+        let count = |name: &str| alloc.iter().find(|(n, _)| n == name).unwrap().1;
         assert_eq!(count("a"), 6);
         assert_eq!(count("b"), 2);
         assert_eq!(count("main"), 0);

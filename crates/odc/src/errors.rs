@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Applied to the store instruction that commits an assignment statement:
 /// the three value corruptions ride the data bus; `NoAssign` erases the
 /// store itself.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum AssignErrorType {
     /// `value` → `value + 1`.
     ValuePlusOne,
@@ -52,9 +50,7 @@ impl fmt::Display for AssignErrorType {
 
 /// Checking error types (Table 3 / Figure 10 of the paper), named by the
 /// `original → injected` operator pairs on the Figure 10 x-axis.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum CheckErrorType {
     /// `<=` → `<`
     LeToLt,
@@ -149,7 +145,11 @@ mod tests {
 
     #[test]
     fn counts_match_paper_tables() {
-        assert_eq!(AssignErrorType::ALL.len(), 4, "Figure 9 has four assignment error types");
+        assert_eq!(
+            AssignErrorType::ALL.len(),
+            4,
+            "Figure 9 has four assignment error types"
+        );
         assert_eq!(CheckErrorType::ALL.len(), 14);
     }
 

@@ -48,7 +48,11 @@ impl ExposureModel {
     /// The model after error injection accelerates the chain
     /// (`p1 = p2 = 1`), leaving only `p3`.
     pub fn accelerated(&self) -> ExposureModel {
-        ExposureModel { p1: 1.0, p2: 1.0, p3: self.p3 }
+        ExposureModel {
+            p1: 1.0,
+            p2: 1.0,
+            p3: self.p3,
+        }
     }
 
     /// Factor by which injection inflates the failure probability

@@ -69,7 +69,11 @@ impl FieldDistribution {
 
     /// Fraction of field faults of the given type.
     pub fn fraction(&self, t: DefectType) -> f64 {
-        self.fractions.iter().find(|&&(x, _)| x == t).map(|&(_, f)| f).unwrap_or(0.0)
+        self.fractions
+            .iter()
+            .find(|&&(x, _)| x == t)
+            .map(|&(_, f)| f)
+            .unwrap_or(0.0)
     }
 
     /// Fraction of field faults that *no* machine-code-level SWIFI tool can

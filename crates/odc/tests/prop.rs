@@ -19,8 +19,11 @@ fn arb_fractions() -> impl Strategy<Value = [f64; 6]> {
 }
 
 fn dist_from(fracs: [f64; 6]) -> FieldDistribution {
-    let pairs: Vec<(DefectType, f64)> =
-        DefectType::ALL.iter().copied().zip(fracs.iter().copied()).collect();
+    let pairs: Vec<(DefectType, f64)> = DefectType::ALL
+        .iter()
+        .copied()
+        .zip(fracs.iter().copied())
+        .collect();
     FieldDistribution::new(pairs.try_into().expect("six entries")).expect("normalised")
 }
 

@@ -13,8 +13,6 @@
 //! relaxation sweeps (team3), and heap-allocated linked structures
 //! (team9).
 
-
-
 // The two team1 variants share everything except the gather-loop bound,
 // so the bodies live in macros to keep the fault a one-token change.
 macro_rules! CAMELOT_TEAM1_PREFIX {
@@ -394,8 +392,6 @@ void main() {
 }
 "#;
 
-
-
 macro_rules! CAMELOT_TEAM3_PREFIX {
     () => {
         r#"
@@ -540,8 +536,6 @@ pub const C_TEAM3_FAULTY: &str = concat!(
     CAMELOT_TEAM3_SUFFIX!()
 );
 
-
-
 macro_rules! CAMELOT_TEAM4_PREFIX {
     () => {
         r#"
@@ -677,8 +671,6 @@ pub const C_TEAM4_FAULTY: &str = concat!(
     "        for (k = 2; k < np; k = k + 1) {\n",
     CAMELOT_TEAM4_SUFFIX!()
 );
-
-
 
 macro_rules! CAMELOT_TEAM5_BODY {
     () => {

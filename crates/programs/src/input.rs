@@ -84,9 +84,7 @@ impl TestInput {
     /// The correct program output for this input, per the oracle.
     pub fn expected_output(&self) -> Vec<u8> {
         match self {
-            TestInput::Camelot { pieces } => {
-                oracle::camelot_solve(pieces).to_string().into_bytes()
-            }
+            TestInput::Camelot { pieces } => oracle::camelot_solve(pieces).to_string().into_bytes(),
             TestInput::JamesB { seed, line } => oracle::jamesb_output(*seed, line),
             TestInput::Sor { n, iters, boundary } => oracle::sor_solve_full(
                 *n as usize,
@@ -232,7 +230,9 @@ mod tests {
 
     #[test]
     fn tape_round_trip_shape() {
-        let input = TestInput::Camelot { pieces: vec![(1, 2), (3, 4)] };
+        let input = TestInput::Camelot {
+            pieces: vec![(1, 2), (3, 4)],
+        };
         let tape = input.to_tape();
         // 1 count + 2 pairs of ints.
         let mut expect = InputTape::new();
@@ -242,7 +242,10 @@ mod tests {
 
     #[test]
     fn expected_output_matches_oracle() {
-        let input = TestInput::JamesB { seed: 0, line: b"AAA".to_vec() };
+        let input = TestInput::JamesB {
+            seed: 0,
+            line: b"AAA".to_vec(),
+        };
         // checksum = 65·1 + 65·2 + 65·3 = 390
         assert_eq!(input.expected_output(), b"ABC\n390".to_vec());
     }

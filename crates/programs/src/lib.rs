@@ -265,7 +265,10 @@ mod tests {
                 let input = p.family.gen_input(&mut rng);
                 let out = run_program(p.source_correct, p.family, &input);
                 match &out {
-                    RunOutcome::Completed { exit_code: 0, output } => {
+                    RunOutcome::Completed {
+                        exit_code: 0,
+                        output,
+                    } => {
                         assert_eq!(
                             output,
                             &input.expected_output(),
@@ -284,7 +287,9 @@ mod tests {
     #[test]
     fn faulty_programs_never_crash_or_hang() {
         for p in all_programs() {
-            let Some(faulty) = p.source_faulty else { continue };
+            let Some(faulty) = p.source_faulty else {
+                continue;
+            };
             let mut rng = StdRng::seed_from_u64(1234);
             for _ in 0..40 {
                 let input = p.family.gen_input(&mut rng);
@@ -356,6 +361,9 @@ mod tests {
             const HOP_C: [i32; 8] = [2, 1, 2, 1, -2, -1, -2, -1];
             let n = 64;
             let mut wd = vec![vec![99i32; n]; n];
+            // Indexing is clearer than iterators here: `s` names both the
+            // working row and the source square.
+            #[allow(clippy::needless_range_loop)]
             for s in 0..n {
                 wd[s][s] = 0;
                 for _ in 0..passes {
@@ -387,16 +395,15 @@ mod tests {
 
     /// Search random family inputs until the fault model disagrees with
     /// the oracle, then confirm both behaviours on the VM.
-    fn confirm_camelot_fault(
-        name: &str,
-        model: impl Fn(&[(i32, i32)]) -> i32,
-    ) {
+    fn confirm_camelot_fault(name: &str, model: impl Fn(&[(i32, i32)]) -> i32) {
         let p = program(name).unwrap();
         let mut rng = StdRng::seed_from_u64(99);
         let mut found = None;
         for _ in 0..100_000 {
             let input = Family::Camelot.gen_input(&mut rng);
-            let TestInput::Camelot { pieces } = &input else { unreachable!() };
+            let TestInput::Camelot { pieces } = &input else {
+                unreachable!()
+            };
             let truth = fault_models::reference(pieces);
             let faulty_prediction = model(pieces);
             assert_eq!(
@@ -428,7 +435,14 @@ mod tests {
     #[test]
     fn team1_fault_skips_last_rows() {
         confirm_camelot_fault("C.team1", |pieces| {
-            fault_models::solve(pieces, &oracle::knight_distances(), 1, usize::MAX, false, 48)
+            fault_models::solve(
+                pieces,
+                &oracle::knight_distances(),
+                1,
+                usize::MAX,
+                false,
+                48,
+            )
         });
     }
 
@@ -450,7 +464,14 @@ mod tests {
     #[test]
     fn team4_fault_ignores_first_knight() {
         confirm_camelot_fault("C.team4", |pieces| {
-            fault_models::solve(pieces, &oracle::knight_distances(), 2, usize::MAX, false, 64)
+            fault_models::solve(
+                pieces,
+                &oracle::knight_distances(),
+                2,
+                usize::MAX,
+                false,
+                64,
+            )
         });
     }
 
@@ -464,13 +485,16 @@ mod tests {
     #[test]
     fn jb_team7_fault_skips_final_modulo() {
         // 16 tildes: weighted sum = 126 · 136 = 17136 ≥ 9973.
-        let input = TestInput::JamesB { seed: 3, line: vec![b'~'; 16] };
+        let input = TestInput::JamesB {
+            seed: 3,
+            line: vec![b'~'; 16],
+        };
         let p = program("JB.team7").unwrap();
         let c = run_program(p.source_correct, Family::JamesB, &input);
         assert_eq!(c.output(), input.expected_output());
         let f = run_program(p.source_faulty.unwrap(), Family::JamesB, &input);
         let expected_wrong: Vec<u8> = {
-            let (coded, _) = oracle::jamesb_encode(3, &vec![b'~'; 16]);
+            let (coded, _) = oracle::jamesb_encode(3, &[b'~'; 16]);
             let mut o = coded;
             o.push(b'\n');
             o.extend(b"17136".iter());
@@ -482,8 +506,14 @@ mod tests {
     #[test]
     fn jb_team6_fault_fires_exactly_at_80_chars() {
         let p = program("JB.team6").unwrap();
-        let boundary = TestInput::JamesB { seed: 17, line: vec![b'q'; 80] };
-        let shorter = TestInput::JamesB { seed: 17, line: vec![b'q'; 79] };
+        let boundary = TestInput::JamesB {
+            seed: 17,
+            line: vec![b'q'; 80],
+        };
+        let shorter = TestInput::JamesB {
+            seed: 17,
+            line: vec![b'q'; 79],
+        };
         let faulty = p.source_faulty.unwrap();
         // 79 chars: faulty build is still correct.
         match run_program(faulty, Family::JamesB, &shorter) {
@@ -512,7 +542,9 @@ mod tests {
     fn team1_fault_misses_last_row_gather() {
         // All pieces clustered at (7, 4): optimum is square 60, which the
         // faulty gather loop (bounded at 56) skips.
-        let input = TestInput::Camelot { pieces: vec![(7, 4), (7, 4), (7, 4)] };
+        let input = TestInput::Camelot {
+            pieces: vec![(7, 4), (7, 4), (7, 4)],
+        };
         let p = program("C.team1").unwrap();
         let correct_out = run_program(p.source_correct, Family::Camelot, &input);
         assert_eq!(correct_out.output(), b"0");
@@ -525,8 +557,10 @@ mod tests {
         use swifi_lang::parser::parse;
         use swifi_lang::pretty::print_program;
         for p in all_programs() {
-            for (label, src) in [("correct", Some(p.source_correct)), ("faulty", p.source_faulty)]
-            {
+            for (label, src) in [
+                ("correct", Some(p.source_correct)),
+                ("faulty", p.source_faulty),
+            ] {
                 let Some(src) = src else { continue };
                 let printed = print_program(&parse(src).unwrap());
                 let reprinted = print_program(&parse(&printed).unwrap());
@@ -554,10 +588,7 @@ mod tests {
 
     // Minimal local re-implementation to avoid a dev-dependency cycle
     // with swifi-metrics (which depends on swifi-lang only).
-    fn swifi_metrics_probe(
-        src: &str,
-        ast: &swifi_lang::ast::Program,
-    ) -> (bool, bool, usize) {
+    fn swifi_metrics_probe(src: &str, ast: &swifi_lang::ast::Program) -> (bool, bool, usize) {
         use swifi_lang::ast::{visit_exprs, ExprKind};
         let mut recursive = false;
         let mut dynamic = false;

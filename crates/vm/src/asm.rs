@@ -50,18 +50,38 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// A pending branch/address reference to a label.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Fixup {
     /// `b`/`bl` word offset (26-bit).
-    Branch26 { at: usize, label: String, link: bool, line: usize },
+    Branch26 {
+        at: usize,
+        label: String,
+        link: bool,
+        line: usize,
+    },
     /// `bc` word offset (16-bit).
-    Branch16 { at: usize, label: String, crf: u8, bit: CrBit, expect: bool, line: usize },
+    Branch16 {
+        at: usize,
+        label: String,
+        crf: u8,
+        bit: CrBit,
+        expect: bool,
+        line: usize,
+    },
     /// `la` 32-bit absolute address across two words (`addis`+`ori`).
-    Addr32 { at: usize, rd: u8, label: String, line: usize },
+    Addr32 {
+        at: usize,
+        rd: u8,
+        label: String,
+        line: usize,
+    },
 }
 
 /// Incremental machine-code builder with labels and fixups.
@@ -134,12 +154,14 @@ impl CodeBuilder {
 
     /// Bind `name` to the current code position.
     pub fn label(&mut self, name: impl Into<String>) {
-        self.labels.insert(name.into(), LabelValue::Code(self.code.len()));
+        self.labels
+            .insert(name.into(), LabelValue::Code(self.code.len()));
     }
 
     /// Bind `name` to the current data position.
     pub fn data_label(&mut self, name: impl Into<String>) {
-        self.labels.insert(name.into(), LabelValue::Data(self.data.len()));
+        self.labels
+            .insert(name.into(), LabelValue::Data(self.data.len()));
     }
 
     /// Append bytes to the data segment; returns their data offset.
@@ -151,7 +173,7 @@ impl CodeBuilder {
 
     /// Word-align the data segment.
     pub fn align_data(&mut self) {
-        while self.data.len() % 4 != 0 {
+        while !self.data.len().is_multiple_of(4) {
             self.data.push(0);
         }
     }
@@ -161,7 +183,12 @@ impl CodeBuilder {
     pub fn branch_to(&mut self, label: impl Into<String>, link: bool) -> usize {
         let at = self.code.len();
         self.code.push(0);
-        self.fixups.push(Fixup::Branch26 { at, label: label.into(), link, line: self.line });
+        self.fixups.push(Fixup::Branch26 {
+            at,
+            label: label.into(),
+            link,
+            line: self.line,
+        });
         at
     }
 
@@ -192,7 +219,12 @@ impl CodeBuilder {
         let at = self.code.len();
         self.code.push(0);
         self.code.push(0);
-        self.fixups.push(Fixup::Addr32 { at, rd, label: label.into(), line: self.line });
+        self.fixups.push(Fixup::Addr32 {
+            at,
+            rd,
+            label: label.into(),
+            line: self.line,
+        });
         at
     }
 
@@ -244,26 +276,53 @@ impl CodeBuilder {
         };
         for fx in std::mem::take(&mut self.fixups) {
             match fx {
-                Fixup::Branch26 { at, label, link, line } => {
+                Fixup::Branch26 {
+                    at,
+                    label,
+                    link,
+                    line,
+                } => {
                     let target = resolve(&self.labels, &label, line)?;
                     let from = CODE_BASE + at as u32 * 4;
                     let off = (target as i64 - from as i64) / 4;
-                    if off < -(1 << 25) || off >= (1 << 25) {
+                    if !(-(1 << 25)..(1 << 25)).contains(&off) {
                         return err(line, "branch out of range");
                     }
                     let off = off as i32;
-                    self.code[at] =
-                        encode(if link { Instr::Bl { off } } else { Instr::B { off } });
+                    self.code[at] = encode(if link {
+                        Instr::Bl { off }
+                    } else {
+                        Instr::B { off }
+                    });
                 }
-                Fixup::Branch16 { at, label, crf, bit, expect, line } => {
+                Fixup::Branch16 {
+                    at,
+                    label,
+                    crf,
+                    bit,
+                    expect,
+                    line,
+                } => {
                     let target = resolve(&self.labels, &label, line)?;
                     let from = CODE_BASE + at as u32 * 4;
                     let off = (target as i64 - from as i64) / 4;
-                    let off = i16::try_from(off)
-                        .map_err(|_| AsmError { line, msg: "bc branch out of range".into() })?;
-                    self.code[at] = encode(Instr::Bc { crf, bit, expect, off });
+                    let off = i16::try_from(off).map_err(|_| AsmError {
+                        line,
+                        msg: "bc branch out of range".into(),
+                    })?;
+                    self.code[at] = encode(Instr::Bc {
+                        crf,
+                        bit,
+                        expect,
+                        off,
+                    });
                 }
-                Fixup::Addr32 { at, rd, label, line } => {
+                Fixup::Addr32 {
+                    at,
+                    rd,
+                    label,
+                    line,
+                } => {
                     let target = resolve(&self.labels, &label, line)?;
                     let mut words = Vec::with_capacity(2);
                     emit_imm32(&mut words, rd, target);
@@ -273,7 +332,11 @@ impl CodeBuilder {
                 }
             }
         }
-        Ok(Image { code: self.code, data: self.data, entry: CODE_BASE })
+        Ok(Image {
+            code: self.code,
+            data: self.data,
+            entry: CODE_BASE,
+        })
     }
 }
 
@@ -283,7 +346,11 @@ fn emit_imm32(out: &mut Vec<u32>, rd: u8, value: u32) {
     let hi = (value >> 16) as i16;
     let lo = (value & 0xFFFF) as u16;
     out.push(encode(Instr::Addis { rd, ra: 0, imm: hi }));
-    out.push(encode(Instr::Ori { rd, ra: rd, imm: lo }));
+    out.push(encode(Instr::Ori {
+        rd,
+        ra: rd,
+        imm: lo,
+    }));
 }
 
 /// Assemble a textual program into an [`Image`].
@@ -414,7 +481,10 @@ fn parse_int(s: &str, lineno: usize) -> Result<i64, AsmError> {
     } else {
         s.parse::<i64>()
     };
-    parsed.map_err(|_| AsmError { line: lineno, msg: format!("bad integer `{s}`") })
+    parsed.map_err(|_| AsmError {
+        line: lineno,
+        msg: format!("bad integer `{s}`"),
+    })
 }
 
 fn parse_reg(s: &str, lineno: usize) -> Result<u8, AsmError> {
@@ -423,7 +493,10 @@ fn parse_reg(s: &str, lineno: usize) -> Result<u8, AsmError> {
         .strip_prefix('r')
         .and_then(|n| n.parse::<u8>().ok())
         .filter(|&n| n < 32)
-        .ok_or_else(|| AsmError { line: lineno, msg: format!("bad register `{s}`") })?;
+        .ok_or_else(|| AsmError {
+            line: lineno,
+            msg: format!("bad register `{s}`"),
+        })?;
     Ok(n)
 }
 
@@ -432,12 +505,18 @@ fn parse_crf(s: &str, lineno: usize) -> Result<u8, AsmError> {
         .strip_prefix("cr")
         .and_then(|n| n.parse::<u8>().ok())
         .filter(|&n| n < 8)
-        .ok_or_else(|| AsmError { line: lineno, msg: format!("bad CR field `{s}`") })
+        .ok_or_else(|| AsmError {
+            line: lineno,
+            msg: format!("bad CR field `{s}`"),
+        })
 }
 
 fn parse_i16(s: &str, lineno: usize) -> Result<i16, AsmError> {
     let v = parse_int(s, lineno)?;
-    i16::try_from(v).map_err(|_| AsmError { line: lineno, msg: format!("immediate `{v}` out of range") })
+    i16::try_from(v).map_err(|_| AsmError {
+        line: lineno,
+        msg: format!("immediate `{v}` out of range"),
+    })
 }
 
 fn parse_u16(s: &str, lineno: usize) -> Result<u16, AsmError> {
@@ -445,7 +524,10 @@ fn parse_u16(s: &str, lineno: usize) -> Result<u16, AsmError> {
     if (0..=0xFFFF).contains(&v) {
         Ok(v as u16)
     } else {
-        err(lineno, format!("immediate `{v}` out of range for unsigned 16-bit"))
+        err(
+            lineno,
+            format!("immediate `{v}` out of range for unsigned 16-bit"),
+        )
     }
 }
 
@@ -459,13 +541,19 @@ fn parse_mem(s: &str, lineno: usize) -> Result<(i16, u8), AsmError> {
     if !s.ends_with(')') {
         return err(lineno, format!("expected `disp(rN)` operand, got `{s}`"));
     }
-    let d = if s[..open].trim().is_empty() { 0 } else { parse_i16(&s[..open], lineno)? };
+    let d = if s[..open].trim().is_empty() {
+        0
+    } else {
+        parse_i16(&s[..open], lineno)?
+    };
     let ra = parse_reg(&s[open + 1..s.len() - 1], lineno)?;
     Ok((d, ra))
 }
 
 fn is_label_token(s: &str) -> bool {
-    s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
 }
 
 fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), AsmError> {
@@ -479,7 +567,10 @@ fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), Asm
         if ops.len() == n {
             Ok(())
         } else {
-            err(lineno, format!("`{mn}` expects {n} operands, got {}", ops.len()))
+            err(
+                lineno,
+                format!("`{mn}` expects {n} operands, got {}", ops.len()),
+            )
         }
     };
     match mn {
@@ -488,11 +579,31 @@ fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), Asm
             let rd = parse_reg(ops[0], lineno)?;
             let ra = parse_reg(ops[1], lineno)?;
             let i = match mn {
-                "addi" => Instr::Addi { rd, ra, imm: parse_i16(ops[2], lineno)? },
-                "addis" => Instr::Addis { rd, ra, imm: parse_i16(ops[2], lineno)? },
-                "andi" => Instr::Andi { rd, ra, imm: parse_u16(ops[2], lineno)? },
-                "ori" => Instr::Ori { rd, ra, imm: parse_u16(ops[2], lineno)? },
-                _ => Instr::Xori { rd, ra, imm: parse_u16(ops[2], lineno)? },
+                "addi" => Instr::Addi {
+                    rd,
+                    ra,
+                    imm: parse_i16(ops[2], lineno)?,
+                },
+                "addis" => Instr::Addis {
+                    rd,
+                    ra,
+                    imm: parse_i16(ops[2], lineno)?,
+                },
+                "andi" => Instr::Andi {
+                    rd,
+                    ra,
+                    imm: parse_u16(ops[2], lineno)?,
+                },
+                "ori" => Instr::Ori {
+                    rd,
+                    ra,
+                    imm: parse_u16(ops[2], lineno)?,
+                },
+                _ => Instr::Xori {
+                    rd,
+                    ra,
+                    imm: parse_u16(ops[2], lineno)?,
+                },
             };
             b.push(i);
         }
@@ -540,13 +651,20 @@ fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), Asm
         }
         "neg" | "not" => {
             if ops.len() != 2 && ops.len() != 3 {
-                return err(lineno, format!("`{mn}` expects 2 or 3 operands, got {}", ops.len()));
+                return err(
+                    lineno,
+                    format!("`{mn}` expects 2 or 3 operands, got {}", ops.len()),
+                );
             }
             b.push(Instr::Alu {
                 op: if mn == "neg" { AluOp::Neg } else { AluOp::Not },
                 rd: parse_reg(ops[0], lineno)?,
                 ra: parse_reg(ops[1], lineno)?,
-                rb: if ops.len() == 3 { parse_reg(ops[2], lineno)? } else { 0 },
+                rb: if ops.len() == 3 {
+                    parse_reg(ops[2], lineno)?
+                } else {
+                    0
+                },
             });
         }
         "lwz" | "lbz" | "stw" | "stb" => {
@@ -567,7 +685,11 @@ fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), Asm
                 b.branch_to(ops[0], mn == "bl");
             } else {
                 let off = parse_int(ops[0], lineno)? as i32;
-                b.push(if mn == "b" { Instr::B { off } } else { Instr::Bl { off } });
+                b.push(if mn == "b" {
+                    Instr::B { off }
+                } else {
+                    Instr::Bl { off }
+                });
             }
         }
         "bc" => {
@@ -594,7 +716,12 @@ fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), Asm
                 b.cond_branch_to(crf, bit, expect, ops[2]);
             } else {
                 let off = parse_i16(ops[2], lineno)?;
-                b.push(Instr::Bc { crf, bit, expect, off });
+                b.push(Instr::Bc {
+                    crf,
+                    bit,
+                    expect,
+                    off,
+                });
             }
         }
         "blr" => {
@@ -603,11 +730,15 @@ fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), Asm
         }
         "mflr" => {
             argc(1)?;
-            b.push(Instr::Mflr { rd: parse_reg(ops[0], lineno)? });
+            b.push(Instr::Mflr {
+                rd: parse_reg(ops[0], lineno)?,
+            });
         }
         "mtlr" => {
             argc(1)?;
-            b.push(Instr::Mtlr { ra: parse_reg(ops[0], lineno)? });
+            b.push(Instr::Mtlr {
+                ra: parse_reg(ops[0], lineno)?,
+            });
         }
         "sc" => {
             argc(1)?;
@@ -639,8 +770,10 @@ fn parse_instr(b: &mut CodeBuilder, line: &str, lineno: usize) -> Result<(), Asm
             argc(2)?;
             let rd = parse_reg(ops[0], lineno)?;
             let v = parse_int(ops[1], lineno)?;
-            let v = i32::try_from(v)
-                .map_err(|_| AsmError { line: lineno, msg: format!("li value `{v}` out of range") })?;
+            let v = i32::try_from(v).map_err(|_| AsmError {
+                line: lineno,
+                msg: format!("li value `{v}` out of range"),
+            })?;
             b.load_imm(rd, v);
         }
         "la" => {
@@ -826,8 +959,11 @@ mod tests {
         let dis = disassemble(&img);
         assert_eq!(dis.len(), 5);
         // Strip the address prefix and re-assemble.
-        let src2: String =
-            dis.iter().map(|l| l.split(": ").nth(1).unwrap()).collect::<Vec<_>>().join("\n");
+        let src2: String = dis
+            .iter()
+            .map(|l| l.split(": ").nth(1).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
         let img2 = assemble(&src2).unwrap();
         assert_eq!(img.code, img2.code);
     }

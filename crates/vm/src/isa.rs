@@ -308,7 +308,12 @@ pub enum Instr {
     Bl { off: i32 },
     /// Conditional branch: taken when bit `bit` of CR field `crf` equals
     /// `expect`.
-    Bc { crf: u8, bit: CrBit, expect: bool, off: i16 },
+    Bc {
+        crf: u8,
+        bit: CrBit,
+        expect: bool,
+        off: i16,
+    },
     /// Branch to LR (function return).
     Blr,
     /// Move from link register: `rd <- LR`.
@@ -401,7 +406,12 @@ pub fn encode(i: Instr) -> u32 {
         Instr::Stb { rs, ra, d } => itype(op::STB, rs, ra, d as u16),
         Instr::B { off } => (op::B << 26) | ((off as u32) & 0x03FF_FFFF),
         Instr::Bl { off } => (op::BL << 26) | ((off as u32) & 0x03FF_FFFF),
-        Instr::Bc { crf, bit, expect, off } => {
+        Instr::Bc {
+            crf,
+            bit,
+            expect,
+            off,
+        } => {
             let rd = ((crf as u32 & 0x7) << 2) | bit.index();
             let ra = expect as u32;
             (op::BC << 26) | (rd << 21) | (ra << 16) | (off as u16) as u32
@@ -435,21 +445,61 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
     let opc = w >> 26;
     let err = Err(DecodeError { word: w });
     let i = match opc {
-        op::ADDI => Instr::Addi { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) as i16 },
-        op::ADDIS => Instr::Addis { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) as i16 },
-        op::ANDI => Instr::Andi { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) },
-        op::ORI => Instr::Ori { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) },
-        op::XORI => Instr::Xori { rd: field_rd(w), ra: field_ra(w), imm: field_imm(w) },
+        op::ADDI => Instr::Addi {
+            rd: field_rd(w),
+            ra: field_ra(w),
+            imm: field_imm(w) as i16,
+        },
+        op::ADDIS => Instr::Addis {
+            rd: field_rd(w),
+            ra: field_ra(w),
+            imm: field_imm(w) as i16,
+        },
+        op::ANDI => Instr::Andi {
+            rd: field_rd(w),
+            ra: field_ra(w),
+            imm: field_imm(w),
+        },
+        op::ORI => Instr::Ori {
+            rd: field_rd(w),
+            ra: field_ra(w),
+            imm: field_imm(w),
+        },
+        op::XORI => Instr::Xori {
+            rd: field_rd(w),
+            ra: field_ra(w),
+            imm: field_imm(w),
+        },
         op::CMPI => {
             if field_rd(w) > 7 {
                 return err;
             }
-            Instr::Cmpi { crf: field_rd(w), ra: field_ra(w), imm: field_imm(w) as i16 }
+            Instr::Cmpi {
+                crf: field_rd(w),
+                ra: field_ra(w),
+                imm: field_imm(w) as i16,
+            }
         }
-        op::LWZ => Instr::Lwz { rd: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
-        op::STW => Instr::Stw { rs: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
-        op::LBZ => Instr::Lbz { rd: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
-        op::STB => Instr::Stb { rs: field_rd(w), ra: field_ra(w), d: field_imm(w) as i16 },
+        op::LWZ => Instr::Lwz {
+            rd: field_rd(w),
+            ra: field_ra(w),
+            d: field_imm(w) as i16,
+        },
+        op::STW => Instr::Stw {
+            rs: field_rd(w),
+            ra: field_ra(w),
+            d: field_imm(w) as i16,
+        },
+        op::LBZ => Instr::Lbz {
+            rd: field_rd(w),
+            ra: field_ra(w),
+            d: field_imm(w) as i16,
+        },
+        op::STB => Instr::Stb {
+            rs: field_rd(w),
+            ra: field_ra(w),
+            d: field_imm(w) as i16,
+        },
         op::B | op::BL => {
             let raw = w & 0x03FF_FFFF;
             // Sign-extend the 26-bit field.
@@ -471,20 +521,34 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
             if expect_field > 1 {
                 return err;
             }
-            Instr::Bc { crf, bit, expect: expect_field == 1, off: field_imm(w) as i16 }
+            Instr::Bc {
+                crf,
+                bit,
+                expect: expect_field == 1,
+                off: field_imm(w) as i16,
+            }
         }
         op::ALU => {
             let a = match AluOp::from_code(w & 0x7FF) {
                 Some(a) => a,
                 None => return err,
             };
-            Instr::Alu { op: a, rd: field_rd(w), ra: field_ra(w), rb: field_rb(w) }
+            Instr::Alu {
+                op: a,
+                rd: field_rd(w),
+                ra: field_ra(w),
+                rb: field_rb(w),
+            }
         }
         op::CMP => {
             if field_rd(w) > 7 || (w & 0x7FF) != 0 {
                 return err;
             }
-            Instr::Cmp { crf: field_rd(w), ra: field_ra(w), rb: field_rb(w) }
+            Instr::Cmp {
+                crf: field_rd(w),
+                ra: field_ra(w),
+                rb: field_rb(w),
+            }
         }
         op::BLR => {
             if w != op::BLR << 26 {
@@ -546,7 +610,12 @@ impl fmt::Display for Instr {
             Instr::Stb { rs, ra, d } => write!(f, "stb r{rs}, {d}(r{ra})"),
             Instr::B { off } => write!(f, "b {off}"),
             Instr::Bl { off } => write!(f, "bl {off}"),
-            Instr::Bc { crf, bit, expect, off } => {
+            Instr::Bc {
+                crf,
+                bit,
+                expect,
+                off,
+            } => {
                 write!(f, "bc cr{crf}.{bit}, {}, {off}", expect as u8)
             }
             Instr::Blr => f.write_str("blr"),
@@ -560,7 +629,7 @@ impl fmt::Display for Instr {
 
 /// A no-operation encoding (`ori r0, r0, 0`), used by the injector to erase
 /// an instruction ("value unassigned" assignment faults).
-pub const NOP: u32 = (op::ORI << 26) | 0;
+pub const NOP: u32 = op::ORI << 26;
 
 #[cfg(test)]
 mod tests {
@@ -573,7 +642,14 @@ mod tests {
 
     #[test]
     fn nop_is_ori_zero() {
-        assert_eq!(decode(NOP), Ok(Instr::Ori { rd: 0, ra: 0, imm: 0 }));
+        assert_eq!(
+            decode(NOP),
+            Ok(Instr::Ori {
+                rd: 0,
+                ra: 0,
+                imm: 0
+            })
+        );
     }
 
     #[test]
@@ -592,7 +668,12 @@ mod tests {
             for bit in [CrBit::Lt, CrBit::Gt, CrBit::Eq, CrBit::So] {
                 for expect in [false, true] {
                     for off in [-32768i16, -1, 0, 5, 32767] {
-                        let i = Instr::Bc { crf, bit, expect, off };
+                        let i = Instr::Bc {
+                            crf,
+                            bit,
+                            expect,
+                            off,
+                        };
                         assert_eq!(decode(encode(i)), Ok(i));
                     }
                 }
@@ -616,7 +697,12 @@ mod tests {
         for c in 0..16 {
             let a = AluOp::from_code(c).unwrap();
             assert_eq!(a.code(), c);
-            let i = Instr::Alu { op: a, rd: 31, ra: 17, rb: 9 };
+            let i = Instr::Alu {
+                op: a,
+                rd: 31,
+                ra: 17,
+                rb: 9,
+            };
             assert_eq!(decode(encode(i)), Ok(i));
         }
         assert_eq!(AluOp::from_code(16), None);
@@ -631,13 +717,39 @@ mod tests {
 
     #[test]
     fn display_is_stable() {
-        assert_eq!(encode(Instr::Addi { rd: 3, ra: 1, imm: -4 }).to_string().is_empty(), false);
-        assert_eq!(Instr::Addi { rd: 3, ra: 1, imm: -4 }.to_string(), "addi r3, r1, -4");
+        assert!(!encode(Instr::Addi {
+            rd: 3,
+            ra: 1,
+            imm: -4
+        })
+        .to_string()
+        .is_empty());
         assert_eq!(
-            Instr::Bc { crf: 0, bit: CrBit::Lt, expect: true, off: -3 }.to_string(),
+            Instr::Addi {
+                rd: 3,
+                ra: 1,
+                imm: -4
+            }
+            .to_string(),
+            "addi r3, r1, -4"
+        );
+        assert_eq!(
+            Instr::Bc {
+                crf: 0,
+                bit: CrBit::Lt,
+                expect: true,
+                off: -3
+            }
+            .to_string(),
             "bc cr0.lt, 1, -3"
         );
-        assert_eq!(Instr::Sc { call: Syscall::Malloc }.to_string(), "sc malloc");
+        assert_eq!(
+            Instr::Sc {
+                call: Syscall::Malloc
+            }
+            .to_string(),
+            "sc malloc"
+        );
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub mod trace;
 
 pub use inspect::{Inspector, Noop};
 pub use isa::{decode, encode, Instr};
-pub use machine::{InputTape, Machine, MachineConfig, RunOutcome, Trap};
-pub use mem::{Image, CODE_BASE};
+pub use machine::{InputTape, Machine, MachineConfig, MachineSnapshot, RunOutcome, Trap};
+pub use mem::{Image, MemorySnapshot, CODE_BASE, PAGE_SIZE};

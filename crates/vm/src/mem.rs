@@ -31,19 +31,64 @@ pub const NULL_PAGE_END: u32 = 0x100;
 /// Default load address for code (start of mapped memory).
 pub const CODE_BASE: u32 = NULL_PAGE_END;
 
-/// Flat guest memory with null-page protection.
+/// log2 of the dirty-tracking page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Dirty-tracking page size in bytes.
+pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// Flat guest memory with null-page protection and dirty-page tracking.
 ///
 /// All accessors return [`Trap`]-typed errors rather than panicking so that
 /// wild accesses caused by injected faults surface as the paper's *crash*
 /// failure mode.
+///
+/// Every mutating accessor ([`Memory::write_u32`], [`Memory::write_u8`],
+/// [`Memory::write_bytes`] — there are no others) marks the touched
+/// [`PAGE_SIZE`]-byte page(s) in a fixed-size bitmap. A
+/// [`MemorySnapshot`] taken after program load can then be restored in
+/// O(pages touched since the snapshot) instead of O(memory size), which is
+/// what makes the warm-reboot run engine cheap: a typical run of the
+/// paper's workloads dirties a handful of stack/heap pages out of a
+/// 512 KiB–1 MiB address space.
 #[derive(Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
+    /// One bit per [`PAGE_SIZE`]-byte page, set by every write since the
+    /// last [`Memory::snapshot`] / [`Memory::restore_from`].
+    dirty: Vec<u64>,
+}
+
+/// A point-in-time full copy of guest memory, produced by
+/// [`Memory::snapshot`] and consumed by [`Memory::restore_from`].
+///
+/// The snapshot itself is a plain byte copy; the *restore* is what is
+/// incremental (only pages dirtied since the snapshot are copied back).
+#[derive(Clone)]
+pub struct MemorySnapshot {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for MemorySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySnapshot")
+            .field("size", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl MemorySnapshot {
+    /// Size of the snapshotted memory in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
 }
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Memory").field("size", &self.bytes.len()).finish()
+        f.debug_struct("Memory")
+            .field("size", &self.bytes.len())
+            .finish()
     }
 }
 
@@ -57,7 +102,11 @@ impl Memory {
     pub fn new(size: u32) -> Memory {
         assert!(size >= 2 * NULL_PAGE_END, "memory too small: {size}");
         assert_eq!(size % 4, 0, "memory size must be word aligned");
-        Memory { bytes: vec![0; size as usize] }
+        let pages = (size as usize).div_ceil(PAGE_SIZE as usize);
+        Memory {
+            bytes: vec![0; size as usize],
+            dirty: vec![0; pages.div_ceil(64)],
+        }
     }
 
     /// Total size in bytes.
@@ -73,6 +122,66 @@ impl Memory {
         Ok(())
     }
 
+    /// Mark the pages covering `[addr, addr + len)` dirty. Callers pass
+    /// already-bounds-checked ranges with `len >= 1`.
+    #[inline]
+    fn mark_dirty(&mut self, addr: u32, len: u32) {
+        let first = (addr >> PAGE_SHIFT) as usize;
+        let last = ((addr + len - 1) >> PAGE_SHIFT) as usize;
+        for page in first..=last {
+            self.dirty[page / 64] |= 1u64 << (page % 64);
+        }
+    }
+
+    /// Take a full-copy snapshot of the current contents and reset the
+    /// dirty bitmap, establishing the baseline that a later
+    /// [`Memory::restore_from`] rolls back to.
+    pub fn snapshot(&mut self) -> MemorySnapshot {
+        self.dirty.iter_mut().for_each(|w| *w = 0);
+        MemorySnapshot {
+            bytes: self.bytes.clone(),
+        }
+    }
+
+    /// Roll memory back to `snap`, copying **only the pages dirtied since
+    /// the snapshot was taken** (or since the last restore), then clear
+    /// the dirty bitmap.
+    ///
+    /// This is semantically identical to replacing the whole contents with
+    /// the snapshot — provided `snap` was taken from *this* memory and no
+    /// other snapshot baseline has been interleaved, which is the contract
+    /// the warm-reboot engine maintains (one snapshot per loaded machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` has a different size (a configuration error).
+    pub fn restore_from(&mut self, snap: &MemorySnapshot) {
+        assert_eq!(
+            self.bytes.len(),
+            snap.bytes.len(),
+            "snapshot/memory size mismatch: snapshot is for a different machine"
+        );
+        let size = self.bytes.len();
+        for (word_idx, word) in self.dirty.iter_mut().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let page = word_idx * 64 + bit;
+                let start = page << PAGE_SHIFT;
+                let end = (start + PAGE_SIZE as usize).min(size);
+                self.bytes[start..end].copy_from_slice(&snap.bytes[start..end]);
+            }
+            *word = 0;
+        }
+    }
+
+    /// Number of pages currently marked dirty (diagnostic: a warm restore
+    /// copies exactly this many pages).
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
     /// Read a little-endian word.
     ///
     /// # Errors
@@ -81,7 +190,7 @@ impl Memory {
     /// non-word-aligned addresses.
     #[inline]
     pub fn read_u32(&self, addr: u32) -> Result<u32, Trap> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(Trap::Misaligned { addr });
         }
         self.check(addr, 4)?;
@@ -101,10 +210,11 @@ impl Memory {
     /// Same conditions as [`Memory::read_u32`].
     #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), Trap> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(Trap::Misaligned { addr });
         }
         self.check(addr, 4)?;
+        self.mark_dirty(addr, 4);
         self.bytes[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
@@ -128,6 +238,7 @@ impl Memory {
     #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), Trap> {
         self.check(addr, 1)?;
+        self.mark_dirty(addr, 1);
         self.bytes[addr as usize] = value;
         Ok(())
     }
@@ -138,7 +249,11 @@ impl Memory {
     ///
     /// [`Trap::Unmapped`] if any byte of the destination is unmapped.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), Trap> {
+        if data.is_empty() {
+            return Ok(());
+        }
         self.check(addr, data.len() as u32)?;
+        self.mark_dirty(addr, data.len() as u32);
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -219,7 +334,13 @@ impl Allocator {
     /// Create an allocator over the guest range `[base, limit)`.
     pub fn new(base: u32, limit: u32) -> Allocator {
         let base = (base + 7) & !7;
-        Allocator { base, limit, brk: base, live: BTreeMap::new(), free: BTreeMap::new() }
+        Allocator {
+            base,
+            limit,
+            brk: base,
+            live: BTreeMap::new(),
+            free: BTreeMap::new(),
+        }
     }
 
     /// Allocate `size` bytes (8-byte aligned); returns the guest address or
@@ -236,7 +357,11 @@ impl Allocator {
             return addr;
         }
         // Bump allocation.
-        if self.brk.checked_add(size).is_none_or(|end| end > self.limit) {
+        if self
+            .brk
+            .checked_add(size)
+            .is_none_or(|end| end > self.limit)
+        {
             return 0;
         }
         let addr = self.brk;
@@ -342,8 +467,92 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_round_trip() {
+        let mut m = Memory::new(64 * 1024);
+        m.write_u32(0x200, 0x11111111).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(m.dirty_pages(), 0, "snapshot clears the dirty bitmap");
+
+        m.write_u32(0x200, 0x22222222).unwrap();
+        m.write_u8(0x5000, 7).unwrap();
+        m.write_bytes(0x8FFE, &[1, 2, 3, 4]).unwrap(); // straddles a page boundary
+        assert_eq!(m.dirty_pages(), 4);
+
+        m.restore_from(&snap);
+        assert_eq!(m.read_u32(0x200).unwrap(), 0x11111111);
+        assert_eq!(m.read_u8(0x5000).unwrap(), 0);
+        assert_eq!(m.read_u8(0x8FFF).unwrap(), 0);
+        assert_eq!(m.read_u8(0x9000).unwrap(), 0);
+        assert_eq!(m.dirty_pages(), 0, "restore clears the dirty bitmap");
+    }
+
+    #[test]
+    fn restore_is_equivalent_to_full_copy() {
+        // Dirty a pseudo-random set of locations, restore, and compare
+        // against a memory that never diverged.
+        let mut m = Memory::new(128 * 1024);
+        for i in 0..32u32 {
+            m.write_u32(0x100 + i * 4096, i).unwrap();
+        }
+        let snap = m.snapshot();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = 0x100 + (state >> 33) as u32 % (128 * 1024 - 0x110);
+            m.write_u8(addr, (state >> 16) as u8).unwrap();
+        }
+        m.restore_from(&snap);
+        for i in 0..32u32 {
+            assert_eq!(m.read_u32(0x100 + i * 4096).unwrap(), i);
+        }
+        // Every byte must match the snapshot, not just the probed words.
+        for addr in (0x100..128 * 1024).step_by(97) {
+            assert_eq!(m.read_u8(addr).unwrap(), snap.bytes[addr as usize]);
+        }
+    }
+
+    #[test]
+    fn repeated_restores_from_one_snapshot() {
+        let mut m = Memory::new(16 * 1024);
+        m.write_bytes(0x400, b"baseline").unwrap();
+        let snap = m.snapshot();
+        for round in 0..5u8 {
+            m.write_bytes(0x400, &[round; 8]).unwrap();
+            m.write_u8(0x3FF0 - u32::from(round) * 16, round + 1)
+                .unwrap();
+            m.restore_from(&snap);
+            assert_eq!(m.read_cstr(0x400, 16).unwrap(), b"baseline".to_vec());
+            assert_eq!(m.read_u8(0x3FF0 - u32::from(round) * 16).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn restore_rejects_foreign_snapshot() {
+        let mut a = Memory::new(4096);
+        let mut b = Memory::new(8192);
+        let snap = a.snapshot();
+        b.restore_from(&snap);
+    }
+
+    #[test]
+    fn empty_write_is_a_no_op() {
+        let mut m = Memory::new(4096);
+        let snap = m.snapshot();
+        m.write_bytes(0x200, &[]).unwrap();
+        assert_eq!(m.dirty_pages(), 0);
+        m.restore_from(&snap);
+    }
+
+    #[test]
     fn image_layout() {
-        let img = Image { code: vec![0; 10], data: vec![1, 2, 3], entry: CODE_BASE };
+        let img = Image {
+            code: vec![0; 10],
+            data: vec![1, 2, 3],
+            entry: CODE_BASE,
+        };
         assert_eq!(img.data_base(), 0x100 + 40);
         assert_eq!(img.static_end(), 0x100 + 44); // 43 rounded up
         assert_eq!(img.addr_of(2), 0x108);

@@ -85,12 +85,22 @@ pub struct TraceFilter {
 impl TraceFilter {
     /// Loads and stores only — the usual propagation-analysis filter.
     pub fn memory_only() -> TraceFilter {
-        TraceFilter { fetches: false, loads: true, stores: true, reg_writes: false }
+        TraceFilter {
+            fetches: false,
+            loads: true,
+            stores: true,
+            reg_writes: false,
+        }
     }
 
     /// Everything (use a small capacity).
     pub fn everything() -> TraceFilter {
-        TraceFilter { fetches: true, loads: true, stores: true, reg_writes: true }
+        TraceFilter {
+            fetches: true,
+            loads: true,
+            stores: true,
+            reg_writes: true,
+        }
     }
 }
 
@@ -110,7 +120,12 @@ impl Tracer {
     /// Create a tracer keeping the last `capacity` events matching
     /// `filter`.
     pub fn new(filter: TraceFilter, capacity: usize) -> Tracer {
-        Tracer { filter, capacity: capacity.max(1), events: VecDeque::new(), dropped: 0 }
+        Tracer {
+            filter,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
     }
 
     fn push(&mut self, e: Event) {
@@ -144,25 +159,44 @@ impl Tracer {
 impl Inspector for Tracer {
     fn on_fetch(&mut self, core: usize, pc: u32, word: &mut u32) {
         if self.filter.fetches {
-            self.push(Event::Fetch { core, pc, word: *word });
+            self.push(Event::Fetch {
+                core,
+                pc,
+                word: *word,
+            });
         }
     }
 
     fn on_load_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
         if self.filter.loads {
-            self.push(Event::Load { core, pc, addr, value: *value });
+            self.push(Event::Load {
+                core,
+                pc,
+                addr,
+                value: *value,
+            });
         }
     }
 
     fn on_store_value(&mut self, core: usize, pc: u32, addr: u32, value: &mut u32) {
         if self.filter.stores {
-            self.push(Event::Store { core, pc, addr, value: *value });
+            self.push(Event::Store {
+                core,
+                pc,
+                addr,
+                value: *value,
+            });
         }
     }
 
     fn on_reg_write(&mut self, core: usize, pc: u32, reg: u8, value: &mut u32) {
         if self.filter.reg_writes {
-            self.push(Event::RegWrite { core, pc, reg, value: *value });
+            self.push(Event::RegWrite {
+                core,
+                pc,
+                reg,
+                value: *value,
+            });
         }
     }
 }
@@ -268,7 +302,10 @@ mod tests {
         assert_eq!(t.events().count(), 10);
         assert_eq!(t.dropped(), 90);
         // The window holds the *last* stores: values 10..1.
-        assert!(matches!(t.events().next(), Some(Event::Store { value: 10, .. })));
+        assert!(matches!(
+            t.events().next(),
+            Some(Event::Store { value: 10, .. })
+        ));
     }
 
     #[test]
@@ -284,19 +321,41 @@ mod tests {
         m.load(&image);
         let mut bump = Bump;
         let mut tracer = Tracer::new(TraceFilter::memory_only(), 8);
-        let mut pair = Pair { primary: &mut bump, secondary: &mut tracer };
+        let mut pair = Pair {
+            primary: &mut bump,
+            secondary: &mut tracer,
+        };
         assert!(m.run(&mut pair).is_normal());
         // The tracer observed the corrupted value, not the original.
-        assert!(matches!(tracer.events().next(), Some(Event::Store { value: 8, .. })));
+        assert!(matches!(
+            tracer.events().next(),
+            Some(Event::Store { value: 8, .. })
+        ));
     }
 
     #[test]
     fn wild_store_detection() {
         let mut t = Tracer::new(TraceFilter::memory_only(), 8);
-        t.push(Event::Store { core: 0, pc: 0x100, addr: 0x5000, value: 1 });
-        t.push(Event::Store { core: 0, pc: 0x104, addr: 0xFFFF_0000, value: 2 });
+        t.push(Event::Store {
+            core: 0,
+            pc: 0x100,
+            addr: 0x5000,
+            value: 1,
+        });
+        t.push(Event::Store {
+            core: 0,
+            pc: 0x104,
+            addr: 0xFFFF_0000,
+            value: 2,
+        });
         let wild = t.first_store_outside(0x1000, 0x10000).unwrap();
-        assert!(matches!(wild, Event::Store { addr: 0xFFFF_0000, .. }));
+        assert!(matches!(
+            wild,
+            Event::Store {
+                addr: 0xFFFF_0000,
+                ..
+            }
+        ));
         assert_eq!(wild.pc(), 0x104);
     }
 }

@@ -10,35 +10,155 @@ use swifi_vm::isa::{decode, encode, AluOp, CrBit, Instr, Syscall, NOP};
 #[test]
 fn golden_words() {
     let cases: &[(Instr, u32)] = &[
-        (Instr::Addi { rd: 3, ra: 0, imm: 1 }, 0x0460_0001),
-        (Instr::Addi { rd: 1, ra: 1, imm: -64 }, 0x0421_FFC0),
-        (Instr::Addis { rd: 5, ra: 0, imm: 0x10 }, 0x08A0_0010),
-        (Instr::Andi { rd: 2, ra: 2, imm: 0xFF }, 0x1042_00FF),
-        (Instr::Ori { rd: 0, ra: 0, imm: 0 }, NOP),
-        (Instr::Xori { rd: 31, ra: 31, imm: 0xFFFF }, 0x1BFF_FFFF),
-        (Instr::Cmpi { crf: 0, ra: 5, imm: 63 }, 0x1C05_003F),
-        (Instr::Cmp { crf: 1, ra: 4, rb: 6 }, 0x4024_3000),
-        (Instr::Lwz { rd: 3, ra: 1, d: 36 }, 0x2061_0024),
-        (Instr::Stw { rs: 3, ra: 1, d: 36 }, 0x2461_0024),
-        (Instr::Lbz { rd: 7, ra: 9, d: -1 }, 0x28E9_FFFF),
-        (Instr::Stb { rs: 7, ra: 9, d: 80 }, 0x2CE9_0050),
+        (
+            Instr::Addi {
+                rd: 3,
+                ra: 0,
+                imm: 1,
+            },
+            0x0460_0001,
+        ),
+        (
+            Instr::Addi {
+                rd: 1,
+                ra: 1,
+                imm: -64,
+            },
+            0x0421_FFC0,
+        ),
+        (
+            Instr::Addis {
+                rd: 5,
+                ra: 0,
+                imm: 0x10,
+            },
+            0x08A0_0010,
+        ),
+        (
+            Instr::Andi {
+                rd: 2,
+                ra: 2,
+                imm: 0xFF,
+            },
+            0x1042_00FF,
+        ),
+        (
+            Instr::Ori {
+                rd: 0,
+                ra: 0,
+                imm: 0,
+            },
+            NOP,
+        ),
+        (
+            Instr::Xori {
+                rd: 31,
+                ra: 31,
+                imm: 0xFFFF,
+            },
+            0x1BFF_FFFF,
+        ),
+        (
+            Instr::Cmpi {
+                crf: 0,
+                ra: 5,
+                imm: 63,
+            },
+            0x1C05_003F,
+        ),
+        (
+            Instr::Cmp {
+                crf: 1,
+                ra: 4,
+                rb: 6,
+            },
+            0x4024_3000,
+        ),
+        (
+            Instr::Lwz {
+                rd: 3,
+                ra: 1,
+                d: 36,
+            },
+            0x2061_0024,
+        ),
+        (
+            Instr::Stw {
+                rs: 3,
+                ra: 1,
+                d: 36,
+            },
+            0x2461_0024,
+        ),
+        (
+            Instr::Lbz {
+                rd: 7,
+                ra: 9,
+                d: -1,
+            },
+            0x28E9_FFFF,
+        ),
+        (
+            Instr::Stb {
+                rs: 7,
+                ra: 9,
+                d: 80,
+            },
+            0x2CE9_0050,
+        ),
         (Instr::B { off: -5 }, 0x33FF_FFFB),
         (Instr::Bl { off: 1000 }, 0x3400_03E8),
         (
-            Instr::Bc { crf: 0, bit: CrBit::Lt, expect: false, off: 12 },
+            Instr::Bc {
+                crf: 0,
+                bit: CrBit::Lt,
+                expect: false,
+                off: 12,
+            },
             0x3800_000C,
         ),
         (
-            Instr::Bc { crf: 0, bit: CrBit::Gt, expect: true, off: 12 },
+            Instr::Bc {
+                crf: 0,
+                bit: CrBit::Gt,
+                expect: true,
+                off: 12,
+            },
             0x3821_000C,
         ),
-        (Instr::Alu { op: AluOp::Add, rd: 14, ra: 14, rb: 15 }, 0x3DCE_7800),
-        (Instr::Alu { op: AluOp::Mullw, rd: 20, ra: 21, rb: 22 }, 0x3E95_B002),
+        (
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: 14,
+                ra: 14,
+                rb: 15,
+            },
+            0x3DCE_7800,
+        ),
+        (
+            Instr::Alu {
+                op: AluOp::Mullw,
+                rd: 20,
+                ra: 21,
+                rb: 22,
+            },
+            0x3E95_B002,
+        ),
         (Instr::Blr, 0x4400_0000),
         (Instr::Mflr { rd: 12 }, 0x5180_0000),
         (Instr::Mtlr { ra: 12 }, 0x540C_0000),
-        (Instr::Sc { call: Syscall::PrintInt }, 0x4800_0001),
-        (Instr::Sc { call: Syscall::Barrier }, 0x4800_000A),
+        (
+            Instr::Sc {
+                call: Syscall::PrintInt,
+            },
+            0x4800_0001,
+        ),
+        (
+            Instr::Sc {
+                call: Syscall::Barrier,
+            },
+            0x4800_000A,
+        ),
         (Instr::Halt, 0x4C00_0000),
     ];
     for &(instr, word) in cases {
@@ -58,9 +178,23 @@ fn checking_mutations_differ_by_expected_fields() {
     // `<` false-branch is bc(lt, expect=1): mutating to `<=` false-branch
     // bc(gt, expect=0) must flip exactly the bit-selector and expect
     // fields — the single-word checking corruption of the paper's Fig. 5.
-    let lt_false = encode(Instr::Bc { crf: 0, bit: CrBit::Lt, expect: false, off: 8 });
-    let le_false = encode(Instr::Bc { crf: 0, bit: CrBit::Gt, expect: true, off: 8 });
+    let lt_false = encode(Instr::Bc {
+        crf: 0,
+        bit: CrBit::Lt,
+        expect: false,
+        off: 8,
+    });
+    let le_false = encode(Instr::Bc {
+        crf: 0,
+        bit: CrBit::Gt,
+        expect: true,
+        off: 8,
+    });
     let diff = lt_false ^ le_false;
     // Only bits inside the BO/BI-like fields (bits 16..26) may differ.
-    assert_eq!(diff & 0xFC00_FFFF, 0, "mutation leaked outside the condition fields: {diff:#x}");
+    assert_eq!(
+        diff & 0xFC00_FFFF,
+        0,
+        "mutation leaked outside the condition fields: {diff:#x}"
+    );
 }

@@ -17,7 +17,12 @@ fn arb_crf() -> impl Strategy<Value = u8> {
 }
 
 fn arb_crbit() -> impl Strategy<Value = CrBit> {
-    prop_oneof![Just(CrBit::Lt), Just(CrBit::Gt), Just(CrBit::Eq), Just(CrBit::So)]
+    prop_oneof![
+        Just(CrBit::Lt),
+        Just(CrBit::Gt),
+        Just(CrBit::Eq),
+        Just(CrBit::So)
+    ]
 }
 
 fn arb_aluop() -> impl Strategy<Value = AluOp> {

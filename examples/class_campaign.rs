@@ -25,7 +25,13 @@ fn main() {
     });
 
     println!("campaign on {name} ({inputs} inputs per fault)...");
-    let result = class_campaign(&target, CampaignScale { inputs_per_fault: inputs }, 2024);
+    let result = class_campaign(
+        &target,
+        CampaignScale {
+            inputs_per_fault: inputs,
+        },
+        2024,
+    );
 
     println!(
         "\nlocations: {} of {} assignment, {} of {} checking",

@@ -36,14 +36,22 @@ fn demo(name: &str) {
     match plan_emulation(&corrected.image, &faulty.image) {
         EmulationVerdict::Identical => println!("   binaries identical?!"),
         EmulationVerdict::Emulable { diffs } => {
-            println!("   class A: {} differing word(s) — emulable in hardware mode", diffs.len());
+            println!(
+                "   class A: {} differing word(s) — emulable in hardware mode",
+                diffs.len()
+            );
             for d in &diffs {
                 let dis = |w: u32| {
                     swifi_vm::decode(w)
                         .map(|i| i.to_string())
                         .unwrap_or_else(|_| format!(".word {w:#010x}"))
                 };
-                println!("     {:#010x}: `{}` -> `{}`", d.addr, dis(d.corrected), dis(d.faulty));
+                println!(
+                    "     {:#010x}: `{}` -> `{}`",
+                    d.addr,
+                    dis(d.corrected),
+                    dis(d.faulty)
+                );
             }
             // Verify the emulation end-to-end on one input.
             let inputs = p.family.test_case(1, 99);
@@ -63,7 +71,10 @@ fn demo(name: &str) {
                 emulated.output() == real.output()
             );
         }
-        EmulationVerdict::BreakpointBudgetExceeded { diffs, required_triggers } => {
+        EmulationVerdict::BreakpointBudgetExceeded {
+            diffs,
+            required_triggers,
+        } => {
             println!(
                 "   class B: {} differing words need {required_triggers} triggers, \
                  but the PowerPC 601 has only 2 breakpoint registers",
@@ -77,14 +88,20 @@ fn demo(name: &str) {
                 .collect();
             println!("     first shifted references at: {}", sample.join(", "));
         }
-        EmulationVerdict::NotEmulable { corrected_len, faulty_len } => {
+        EmulationVerdict::NotEmulable {
+            corrected_len,
+            faulty_len,
+        } => {
             println!(
                 "   class C: correction changes the code structure \
                  ({faulty_len} -> {corrected_len} instructions); beyond any SWIFI tool"
             );
             println!(
                 "     corrected tail: {:?}",
-                disassemble(&corrected.image).last().map(String::as_str).unwrap_or("")
+                disassemble(&corrected.image)
+                    .last()
+                    .map(String::as_str)
+                    .unwrap_or("")
             );
         }
     }

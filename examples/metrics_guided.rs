@@ -26,13 +26,26 @@ fn main() {
             cyclo.to_string(),
             format!("{vol:.0}"),
             if m.any_recursive() { "yes" } else { "no" }.to_string(),
-            if m.uses_dynamic_structures() { "yes" } else { "no" }.to_string(),
+            if m.uses_dynamic_structures() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["Program", "LoC", "Functions", "Cyclomatic", "Halstead vol.", "Recursive", "Dynamic"],
+            &[
+                "Program",
+                "LoC",
+                "Functions",
+                "Cyclomatic",
+                "Halstead vol.",
+                "Recursive",
+                "Dynamic"
+            ],
             &rows
         )
     );
@@ -46,7 +59,11 @@ fn main() {
     let uniform = allocate(&metrics, &AllocationStrategy::Uniform, 20);
     let guided = allocate(&metrics, &AllocationStrategy::MetricsGuided, 20);
     for ((name, u), (_, g)) in uniform.iter().zip(&guided) {
-        let f = metrics.functions.iter().find(|f| &f.name == name).expect("same order");
+        let f = metrics
+            .functions
+            .iter()
+            .find(|f| &f.name == name)
+            .expect("same order");
         alloc_rows.push(vec![
             name.clone(),
             f.cyclomatic.to_string(),
@@ -58,7 +75,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Function", "Cyclomatic", "Proneness", "Uniform", "Metrics-guided"],
+            &[
+                "Function",
+                "Cyclomatic",
+                "Proneness",
+                "Uniform",
+                "Metrics-guided"
+            ],
             &alloc_rows
         )
     );

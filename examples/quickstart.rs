@@ -32,7 +32,10 @@ fn main() {
     let mut machine = Machine::new(MachineConfig::default());
     machine.load(&program.image);
     let clean = machine.run(&mut Noop);
-    println!("clean run output: {}", String::from_utf8_lossy(clean.output()));
+    println!(
+        "clean run output: {}",
+        String::from_utf8_lossy(clean.output())
+    );
 
     // 3. The compiler's debug info is the fault-location catalogue.
     println!(
@@ -70,8 +73,17 @@ fn main() {
     // 5. Or let the campaign runner classify outcomes against an oracle.
     let target = swifi_programs::program("JB.team11").expect("exists");
     let compiled = compile(target.source_correct).expect("compiles");
-    let input = TestInput::JamesB { seed: 9, line: b"hello swifi".to_vec() };
-    let (mode, _) = execute(&compiled, Family::JamesB, &input, Some(&fault_spec_for(&compiled)), 1);
+    let input = TestInput::JamesB {
+        seed: 9,
+        line: b"hello swifi".to_vec(),
+    };
+    let (mode, _) = execute(
+        &compiled,
+        Family::JamesB,
+        &input,
+        Some(&fault_spec_for(&compiled)),
+        1,
+    );
     println!("JB.team11 under a `no assign` error: {:?}", mode);
     assert!(FailureMode::ALL.contains(&mode));
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline-friendly build + test, then formatting and lints.
+#
+# The workspace vendors all external dependencies under compat/, so every
+# step below runs without registry or network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -25,7 +25,10 @@ fn metrics_match_roster_features() {
             _ => {}
         }
         assert!(m.loc > 0);
-        assert!(m.total_cyclomatic() >= m.functions.len(), "every function is at least 1");
+        assert!(
+            m.total_cyclomatic() >= m.functions.len(),
+            "every function is at least 1"
+        );
     }
 }
 
@@ -52,9 +55,7 @@ fn debug_sites_point_at_correct_instructions() {
     use swifi_vm::isa::{decode, Instr};
     for p in all_programs() {
         let compiled = compile(p.source_correct).unwrap();
-        let word_at = |addr: u32| {
-            compiled.image.code[((addr - swifi_vm::CODE_BASE) / 4) as usize]
-        };
+        let word_at = |addr: u32| compiled.image.code[((addr - swifi_vm::CODE_BASE) / 4) as usize];
         for a in &compiled.debug.assigns {
             let i = decode(word_at(a.store_addr)).expect("valid instruction");
             match (a.is_byte, i) {
@@ -81,11 +82,17 @@ fn sites_lie_within_their_functions() {
     for p in all_programs() {
         let compiled = compile(p.source_correct).unwrap();
         for a in &compiled.debug.assigns {
-            let f = compiled.debug.function_at(a.store_addr).expect("inside a function");
+            let f = compiled
+                .debug
+                .function_at(a.store_addr)
+                .expect("inside a function");
             assert_eq!(f.name, a.func, "{}", p.name);
         }
         for c in &compiled.debug.checks {
-            let f = compiled.debug.function_at(c.branch_addr).expect("inside a function");
+            let f = compiled
+                .debug
+                .function_at(c.branch_addr)
+                .expect("inside a function");
             assert_eq!(f.name, c.func, "{}", p.name);
         }
     }
@@ -97,15 +104,22 @@ fn sites_lie_within_their_functions() {
 fn field_data_to_locations_pipeline() {
     let dist = FieldDistribution::approx_field_data();
     let parts = dist.apportion(100);
-    let assignment_share =
-        parts.iter().find(|(t, _)| *t == DefectType::Assignment).unwrap().1;
+    let assignment_share = parts
+        .iter()
+        .find(|(t, _)| *t == DefectType::Assignment)
+        .unwrap()
+        .1;
     assert!(assignment_share > 0);
 
     let p = swifi_programs::program("C.team8").unwrap();
     let compiled = compile(p.source_correct).unwrap();
     let ast = parse(p.source_correct).unwrap();
     let metrics = measure(p.source_correct, &ast);
-    let alloc = allocate(&metrics, &AllocationStrategy::MetricsGuided, assignment_share);
+    let alloc = allocate(
+        &metrics,
+        &AllocationStrategy::MetricsGuided,
+        assignment_share,
+    );
     // Use the allocation to restrict location choice per function.
     let mut planned = 0;
     for (func, n) in alloc {
@@ -180,7 +194,10 @@ fn interface_fault_swapped_arguments_is_emulable() {
     .unwrap();
     match swifi_core::emulate::plan_emulation(&corrected.image, &faulty.image) {
         EmulationVerdict::Emulable { diffs } => {
-            assert!(diffs.len() <= 2, "swapped literals are a small diff: {diffs:?}");
+            assert!(
+                diffs.len() <= 2,
+                "swapped literals are a small diff: {diffs:?}"
+            );
             // And the emulation really reproduces the faulty behaviour.
             let specs = emulation_faults(&diffs, EmulationStrategy::FetchCorruption);
             let mut inj = Injector::new(specs, TriggerMode::Hardware, 0).unwrap();
@@ -219,7 +236,12 @@ fn tracer_captures_error_propagation() {
     )
     .unwrap();
     // Corrupt the pointer assignment's store data with a random value.
-    let site = p.debug.assigns.iter().find(|a| a.is_pointer).expect("pointer assignment");
+    let site = p
+        .debug
+        .assigns
+        .iter()
+        .find(|a| a.is_pointer)
+        .expect("pointer assignment");
     let spec = FaultSpec {
         what: ErrorOp::Replace(0x7FFF_FF00),
         target: Target::DataBusStore,
@@ -232,13 +254,28 @@ fn tracer_captures_error_propagation() {
     m.load(&p.image);
     inj.prepare(&mut m).unwrap();
     let outcome = {
-        let mut pair = Pair { primary: &mut inj, secondary: &mut tracer };
+        let mut pair = Pair {
+            primary: &mut inj,
+            secondary: &mut tracer,
+        };
         m.run(&mut pair)
     };
     // `a = malloc(8)` got the wild pointer; the store *through* it traps.
-    assert!(matches!(outcome, RunOutcome::Trapped { .. }), "expected a crash: {outcome:?}");
-    let wild = tracer
-        .events()
-        .find(|e| matches!(e, swifi_vm::trace::Event::Store { value: 0x7FFF_FF00, .. }));
-    assert!(wild.is_some(), "the corrupted store must be visible in the trace");
+    assert!(
+        matches!(outcome, RunOutcome::Trapped { .. }),
+        "expected a crash: {outcome:?}"
+    );
+    let wild = tracer.events().find(|e| {
+        matches!(
+            e,
+            swifi_vm::trace::Event::Store {
+                value: 0x7FFF_FF00,
+                ..
+            }
+        )
+    });
+    assert!(
+        wild.is_some(),
+        "the corrupted store must be visible in the trace"
+    );
 }

@@ -14,7 +14,9 @@ use swifi_programs::{all_programs, program, Family, TestInput};
 fn real_faults_classify_per_paper() {
     use swifi_odc::DefectType;
     for p in all_programs() {
-        let Some(faulty_src) = p.source_faulty else { continue };
+        let Some(faulty_src) = p.source_faulty else {
+            continue;
+        };
         let corrected = compile(p.source_correct).unwrap();
         let faulty = compile(faulty_src).unwrap();
         let verdict = plan_emulation(&corrected.image, &faulty.image);
@@ -54,13 +56,17 @@ fn injected_faults_hit_harder_than_real_ones() {
     let inputs = Family::JamesB.test_case(150, 5);
     let real_failures = inputs
         .iter()
-        .filter(|i| {
-            execute(&faulty, Family::JamesB, i, None, 0).0 != FailureMode::Correct
-        })
+        .filter(|i| execute(&faulty, Family::JamesB, i, None, 0).0 != FailureMode::Correct)
         .count();
 
     // Injected faults: a small campaign on the corrected program.
-    let campaign = class_campaign(&target, CampaignScale { inputs_per_fault: 5 }, 3);
+    let campaign = class_campaign(
+        &target,
+        CampaignScale {
+            inputs_per_fault: 5,
+        },
+        3,
+    );
     let injected_total = campaign.total_runs;
     let injected_noncorrect =
         injected_total - campaign.assign_modes.correct - campaign.check_modes.correct;
@@ -92,7 +98,10 @@ fn all_failure_modes_reachable() {
         }
     }
     for mode in FailureMode::ALL {
-        assert!(seen.contains(&mode), "mode {mode:?} never observed; saw {seen:?}");
+        assert!(
+            seen.contains(&mode),
+            "mode {mode:?} never observed; saw {seen:?}"
+        );
     }
 }
 
@@ -101,7 +110,13 @@ fn all_failure_modes_reachable() {
 #[test]
 fn sor_parallel_campaign_smoke() {
     let target = program("SOR").unwrap();
-    let campaign = class_campaign(&target, CampaignScale { inputs_per_fault: 3 }, 41);
+    let campaign = class_campaign(
+        &target,
+        CampaignScale {
+            inputs_per_fault: 3,
+        },
+        41,
+    );
     assert!(campaign.total_runs > 0);
     // Injected faults must disturb the parallel execution: crashes from
     // wild values (random assignment errors into band bounds/indices) or
@@ -136,11 +151,26 @@ fn oracle_agreement_sampled() {
 #[test]
 fn manual_inputs_work_for_every_family() {
     let cases = vec![
-        ("C.team8", TestInput::Camelot { pieces: vec![(3, 3), (0, 0), (7, 7)] }),
-        ("JB.team11", TestInput::JamesB { seed: 42, line: b"end to end".to_vec() }),
+        (
+            "C.team8",
+            TestInput::Camelot {
+                pieces: vec![(3, 3), (0, 0), (7, 7)],
+            },
+        ),
+        (
+            "JB.team11",
+            TestInput::JamesB {
+                seed: 42,
+                line: b"end to end".to_vec(),
+            },
+        ),
         (
             "SOR",
-            TestInput::Sor { n: 8, iters: 6, boundary: [1000, 2000, 3000, 4000] },
+            TestInput::Sor {
+                n: 8,
+                iters: 6,
+                boundary: [1000, 2000, 3000, 4000],
+            },
         ),
     ];
     for (name, input) in cases {
@@ -161,7 +191,11 @@ fn sor_is_quantum_independent() {
     use swifi_vm::Noop;
     let p = program("SOR").unwrap();
     let compiled = compile(p.source_correct).unwrap();
-    let input = TestInput::Sor { n: 10, iters: 8, boundary: [7_000, 55_000, 13_000, 90_000] };
+    let input = TestInput::Sor {
+        n: 10,
+        iters: 8,
+        boundary: [7_000, 55_000, 13_000, 90_000],
+    };
     let run_with_quantum = |quantum: u32| {
         let mut m = Machine::new(MachineConfig {
             num_cores: 4,
@@ -176,7 +210,11 @@ fn sor_is_quantum_independent() {
     let reference = run_with_quantum(64);
     assert_eq!(reference, input.expected_output());
     for q in [1, 3, 17, 1000] {
-        assert_eq!(run_with_quantum(q), reference, "quantum {q} changed the SOR result");
+        assert_eq!(
+            run_with_quantum(q),
+            reference,
+            "quantum {q} changed the SOR result"
+        );
     }
 }
 
@@ -188,9 +226,15 @@ fn sor_is_quantum_independent() {
 fn faulty_programs_pass_a_weak_acceptance_test() {
     // A fixed 3-input acceptance suite, like the contest judges'.
     let acceptance: Vec<TestInput> = vec![
-        TestInput::Camelot { pieces: vec![(2, 2), (4, 4)] },
-        TestInput::Camelot { pieces: vec![(0, 0), (3, 3), (5, 5)] },
-        TestInput::Camelot { pieces: vec![(1, 6), (6, 1), (2, 2), (7, 0)] },
+        TestInput::Camelot {
+            pieces: vec![(2, 2), (4, 4)],
+        },
+        TestInput::Camelot {
+            pieces: vec![(0, 0), (3, 3), (5, 5)],
+        },
+        TestInput::Camelot {
+            pieces: vec![(1, 6), (6, 1), (2, 2), (7, 0)],
+        },
     ];
     for name in ["C.team1", "C.team4"] {
         let p = program(name).unwrap();

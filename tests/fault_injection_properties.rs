@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use swifi_campaign::runner::{execute, FailureMode};
+use swifi_campaign::RunSession;
 use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
 use swifi_core::injector::{Injector, TriggerMode};
 use swifi_lang::compile;
@@ -33,7 +34,11 @@ fn arb_target() -> impl Strategy<Value = Target> {
 }
 
 fn arb_firing() -> impl Strategy<Value = Firing> {
-    prop_oneof![Just(Firing::First), Just(Firing::EveryTime), (1u64..50).prop_map(Firing::Nth)]
+    prop_oneof![
+        Just(Firing::First),
+        Just(Firing::EveryTime),
+        (1u64..50).prop_map(Firing::Nth)
+    ]
 }
 
 proptest! {
@@ -130,6 +135,48 @@ proptest! {
         let clean = run(vec![]);
         let double = run(vec![mk_spec(), mk_spec()]);
         prop_assert_eq!(clean, double);
+    }
+
+    /// Warm reboots are invisible: replaying a (fault, input, seed) triple
+    /// through a *reused* [`RunSession`] — after earlier runs have dirtied
+    /// memory, consumed input, and (for memory-resident faults) patched the
+    /// code image in place — gives exactly the outcome a cold boot gives.
+    /// This is the invariant the whole snapshot/restore engine rests on.
+    #[test]
+    fn warm_reboot_matches_cold_boot(
+        word_index in 0usize..600,
+        op in arb_error_op(),
+        target in arb_target(),
+        when in arb_firing(),
+        seed in any::<u64>(),
+    ) {
+        let p = program("JB.team11").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let addr = swifi_vm::CODE_BASE
+            + ((word_index % compiled.image.code.len()) as u32) * 4;
+        let spec = FaultSpec { what: op, target, trigger: Trigger::OpcodeFetch(addr), when };
+        // A guaranteed memory-resident fault used to deliberately scar the
+        // session between measured runs: `prepare()` patches the code image,
+        // so restore must undo real damage, not just register state.
+        let scar = FaultSpec {
+            what: ErrorOp::Xor(0xFFFF_FFFF),
+            target: Target::InstrMemory,
+            trigger: Trigger::OpcodeFetch(addr),
+            when: Firing::First,
+        };
+        let inputs = [
+            TestInput::JamesB { seed: 7, line: b"warm boot one".to_vec() },
+            TestInput::JamesB { seed: 9, line: b"warm boot two".to_vec() },
+        ];
+        let mut session = RunSession::new(&compiled, Family::JamesB);
+        for input in &inputs {
+            // Dirty the session: a clean run, then a code-patching run.
+            let _ = session.run(input, None, seed);
+            let _ = session.run(input, Some(&scar), seed ^ 0xA5A5);
+            let warm = session.run(input, Some(&spec), seed);
+            let cold = execute(&compiled, Family::JamesB, input, Some(&spec), seed);
+            prop_assert_eq!(warm, cold);
+        }
     }
 
     /// The generated error sets scale linearly with chosen locations: the
