@@ -278,12 +278,237 @@ fn bench_warm_reboot(_c: &mut Criterion) {
     println!("wrote {}", path.display());
 }
 
+/// One program's cached-vs-reference interpreter measurement on the §6
+/// class-campaign schedule. Both sides use the warm-reboot lifecycle (the
+/// PR-1 engine); the only variable is the predecoded translation cache.
+struct CacheMeasurement {
+    program: &'static str,
+    runs: u64,
+    reference_instrs_per_sec: f64,
+    cached_instrs_per_sec: f64,
+    reference_runs_per_sec: f64,
+    cached_runs_per_sec: f64,
+    lines_built: u64,
+    invalidations: u64,
+    slow_fetches: u64,
+    retired_instrs: u64,
+}
+
+/// The PR-1 warm path's throughput on this same schedule, as committed in
+/// PR 1's BENCH_warm_reboot.json (`git show <pr1>:BENCH_warm_reboot.json`,
+/// `warm_runs_per_sec`). Kept here so the report can state the speedup
+/// against the actual PR-1 engine, not just against this tree's reference
+/// interpreter (which also gained from this PR's hook-dispatch work and
+/// therefore understates the PR-over-PR improvement). Instructions/s and
+/// runs/s ratios coincide: the schedule retires identical instruction
+/// counts whichever engine replays it.
+fn pr1_warm_runs_per_sec(program: &str) -> Option<f64> {
+    match program {
+        "JB.team6" => Some(72_518.4),
+        "JB.team11" => Some(5_258.9),
+        _ => None,
+    }
+}
+
+impl CacheMeasurement {
+    fn speedup(&self) -> f64 {
+        self.cached_instrs_per_sec / self.reference_instrs_per_sec
+    }
+
+    fn speedup_vs_pr1(&self) -> Option<f64> {
+        pr1_warm_runs_per_sec(self.program).map(|pr1| self.cached_runs_per_sec / pr1)
+    }
+
+    fn slow_fetch_pct(&self) -> f64 {
+        if self.retired_instrs == 0 {
+            return 0.0;
+        }
+        self.slow_fetches as f64 * 100.0 / self.retired_instrs as f64
+    }
+}
+
+/// One JB class campaign takes only a few milliseconds of wall clock —
+/// far too noisy a window to gate a speedup claim on — so each side is
+/// measured as [`INTERLEAVE_ROUNDS`] chunks of at least [`CHUNK_SECS`]
+/// each, *alternating* between the reference and cached sessions, and the
+/// fastest chunk wins. Alternation makes slow host drift land on both
+/// sides roughly equally; best-of is the right estimator on a shared box
+/// because external contention only ever slows a chunk down, so the
+/// fastest chunk is the least biased sample of true throughput.
+const CHUNK_SECS: f64 = 0.1;
+/// Alternating measurement rounds per interpreter side.
+const INTERLEAVE_ROUNDS: usize = 8;
+
+/// Best-chunk tracker for one side's measurement rounds.
+#[derive(Default)]
+struct Accum {
+    best_runs_per_sec: f64,
+    best_instrs_per_sec: f64,
+    retired: u64,
+}
+
+/// Replay the schedule through `session` until at least [`CHUNK_SECS`] of
+/// wall clock has elapsed; keep the chunk's rates if they are the best
+/// seen so far.
+fn time_schedule_chunk(
+    session: &mut RunSession,
+    faults: &[swifi_core::locations::GeneratedFault],
+    inputs: &[TestInput],
+    seed: u64,
+    acc: &mut Accum,
+) {
+    let before = session.stats().retired_instrs;
+    let mut runs = 0u64;
+    let t0 = std::time::Instant::now();
+    loop {
+        time_schedule(faults, inputs, seed, |input, spec, s| {
+            session.run(input, Some(spec), s);
+        });
+        runs += faults.len() as u64 * inputs.len() as u64;
+        if t0.elapsed().as_secs_f64() >= CHUNK_SECS {
+            break;
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let retired = session.stats().retired_instrs - before;
+    acc.retired += retired;
+    if retired as f64 / secs > acc.best_instrs_per_sec {
+        acc.best_instrs_per_sec = retired as f64 / secs;
+        acc.best_runs_per_sec = runs as f64 / secs;
+    }
+}
+
+/// Measure the §6 class campaign for one JB program under the cached and
+/// reference interpreters, both on warm-reboot sessions.
+fn measure_translation_cache(name: &'static str, seed: u64) -> CacheMeasurement {
+    let p = program(name).unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let (n_assign, n_check) = chosen_locations(name);
+    let set = swifi_core::locations::generate_error_set(&compiled.debug, n_assign, n_check, seed);
+    let faults: Vec<_> = set
+        .assign_faults
+        .iter()
+        .chain(set.check_faults.iter())
+        .cloned()
+        .collect();
+    let inputs = p.family.test_case(6, seed ^ 0x5EED);
+
+    let mut reference = RunSession::new(&compiled, p.family);
+    reference.set_reference_interp(true);
+    let mut cached = RunSession::new(&compiled, p.family);
+    // Warm-up pass on each side so allocator / page-cache effects and the
+    // first lazy decode of every line are off the measured clock.
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        reference.run(input, Some(spec), s);
+    });
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        cached.run(input, Some(spec), s);
+    });
+
+    let slow_before = cached.stats().slow_fetches;
+    let mut ref_acc = Accum::default();
+    let mut cached_acc = Accum::default();
+    for _ in 0..INTERLEAVE_ROUNDS {
+        time_schedule_chunk(&mut reference, &faults, &inputs, seed, &mut ref_acc);
+        time_schedule_chunk(&mut cached, &faults, &inputs, seed, &mut cached_acc);
+    }
+    let stats = cached.stats();
+    CacheMeasurement {
+        program: name,
+        runs: faults.len() as u64 * inputs.len() as u64,
+        reference_instrs_per_sec: ref_acc.best_instrs_per_sec,
+        cached_instrs_per_sec: cached_acc.best_instrs_per_sec,
+        reference_runs_per_sec: ref_acc.best_runs_per_sec,
+        cached_runs_per_sec: cached_acc.best_runs_per_sec,
+        lines_built: stats.decode_lines_built,
+        invalidations: stats.decode_invalidations,
+        slow_fetches: stats.slow_fetches - slow_before,
+        retired_instrs: cached_acc.retired,
+    }
+}
+
+/// Translation-cache headline bench: §6 class campaigns for the JB family
+/// under the cached and decode-every-fetch interpreters (both warm-reboot),
+/// recorded to `BENCH_translation_cache.json` at the repo root.
+fn bench_translation_cache(_c: &mut Criterion) {
+    let measurements: Vec<CacheMeasurement> = ["JB.team6", "JB.team11"]
+        .iter()
+        .map(|name| measure_translation_cache(name, 0xB007))
+        .collect();
+    let mut rows = String::new();
+    for m in &measurements {
+        println!(
+            "{:<42} ref: {:>6.1} Minstr/s  cached: {:>6.1} Minstr/s  speedup: {:.2}x ({}x vs PR-1 warm)",
+            format!("icache/class_campaign_{}", m.program),
+            m.reference_instrs_per_sec / 1e6,
+            m.cached_instrs_per_sec / 1e6,
+            m.speedup(),
+            m.speedup_vs_pr1()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "?".into())
+        );
+        println!(
+            "{:<42} {} lines built, {} invalidated, {} slow fetches ({:.3}% of {} instrs)",
+            format!("icache/cache_behaviour_{}", m.program),
+            m.lines_built,
+            m.invalidations,
+            m.slow_fetches,
+            m.slow_fetch_pct(),
+            m.retired_instrs
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"program\": \"{}\", \"runs\": {}, \
+             \"reference_instrs_per_sec\": {:.0}, \"cached_instrs_per_sec\": {:.0}, \
+             \"reference_runs_per_sec\": {:.1}, \"cached_runs_per_sec\": {:.1}, \
+             \"instr_throughput_speedup\": {:.2}, \
+             \"pr1_warm_runs_per_sec\": {:.1}, \"speedup_vs_pr1_warm\": {:.2}, \
+             \"decode_lines_built\": {}, \
+             \"decode_invalidations\": {}, \"slow_fetches\": {}, \
+             \"slow_fetch_pct\": {:.4}}}",
+            m.program,
+            m.runs,
+            m.reference_instrs_per_sec,
+            m.cached_instrs_per_sec,
+            m.reference_runs_per_sec,
+            m.cached_runs_per_sec,
+            m.speedup(),
+            pr1_warm_runs_per_sec(m.program).unwrap_or(f64::NAN),
+            m.speedup_vs_pr1().unwrap_or(f64::NAN),
+            m.lines_built,
+            m.invalidations,
+            m.slow_fetches,
+            m.slow_fetch_pct()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"translation_cache\",\n  \"schedule\": \"section6 class campaign, all \
+         generated faults x 6 shared inputs\",\n  \"reference\": \"warm RunSession, seed \
+         decode-every-fetch interpreter\",\n  \"cached\": \"warm RunSession, \
+         predecoded line cache; armed trigger PCs pinned to the slow path, writes into code \
+         invalidate covering lines\",\n  \"pr1_baseline\": \"warm_runs_per_sec from PR 1's \
+         committed BENCH_warm_reboot.json, same schedule; runs/s and instrs/s ratios coincide \
+         because both engines retire identical instruction counts\",\n  \"methodology\": \
+         \"interleaved best-of-{INTERLEAVE_ROUNDS} chunks of >={CHUNK_SECS}s per side; best-of \
+         because external contention only slows a chunk, never speeds it\",\n  \
+         \"programs\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_translation_cache.json");
+    std::fs::write(&path, json).expect("write BENCH_translation_cache.json");
+    println!("wrote {}", path.display());
+}
+
 criterion_group!(
     benches,
     bench_vm_throughput,
     bench_injector_overhead,
     bench_compiler,
     bench_campaign_run,
-    bench_warm_reboot
+    bench_warm_reboot,
+    bench_translation_cache
 );
 criterion_main!(benches);

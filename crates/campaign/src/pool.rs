@@ -212,4 +212,51 @@ mod tests {
             "got: {msg}"
         );
     }
+
+    #[test]
+    fn propagates_panic_through_stateful_path() {
+        // The warm-reboot engine routes everything through
+        // `parallel_map_with`; a run blowing up there must also name the
+        // failing item, not just the bare payload.
+        let items: Vec<u32> = (0..128).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map_with(
+                &items,
+                || 0u64,
+                |count, &x| {
+                    *count += 1;
+                    if x == 42 {
+                        panic!("session wedged on {x}");
+                    }
+                    x
+                },
+            )
+        })
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("wrapped message");
+        assert!(
+            msg.contains("item 42") && msg.contains("session wedged on 42"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn opaque_panic_payloads_survive_unwrapped() {
+        // A non-string payload can't be folded into the index message;
+        // it must be re-raised intact so callers can still downcast it.
+        #[derive(Debug, PartialEq)]
+        struct Diag(u32);
+        let items: Vec<u32> = (0..64).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                if x == 7 {
+                    std::panic::panic_any(Diag(x));
+                }
+                x
+            })
+        })
+        .expect_err("panic must propagate");
+        let diag = err.downcast_ref::<Diag>().expect("payload preserved");
+        assert_eq!(*diag, Diag(7));
+    }
 }

@@ -74,15 +74,34 @@ pub fn mode_cells(counts: &ModeCounts) -> Vec<String> {
 pub const MODE_HEADERS: [&str; 4] = ["Correct", "Incorrect", "Hang", "Crash"];
 
 /// One-line summary of a campaign's run-engine throughput, e.g.
-/// `4200 runs in 1.3s (3230.8 runs/s), 3900 fired / 300 dormant`.
+/// `4200 runs in 1.3s (3230.8 runs/s, 61.2 Minstr/s), 3900 fired / 300 dormant`.
 pub fn throughput_line(tp: &Throughput) -> String {
     format!(
-        "{} runs in {:.1}s ({:.1} runs/s), {} fired / {} dormant",
+        "{} runs in {:.1}s ({:.1} runs/s, {:.1} Minstr/s), {} fired / {} dormant",
         tp.runs,
         tp.elapsed_secs,
         tp.runs_per_sec(),
+        tp.instrs_per_sec() / 1e6,
         tp.fired_runs,
         tp.dormant_runs
+    )
+}
+
+/// One-line summary of the sessions' decode-cache behaviour, e.g.
+/// `icache: 1204 lines built, 96 invalidated, 812 slow fetches (0.01% of 9.1M instrs)`.
+pub fn decode_cache_line(tp: &Throughput) -> String {
+    let slow_pct = if tp.retired_instrs > 0 {
+        tp.slow_fetches as f64 * 100.0 / tp.retired_instrs as f64
+    } else {
+        0.0
+    };
+    format!(
+        "icache: {} lines built, {} invalidated, {} slow fetches ({:.2}% of {:.1}M instrs)",
+        tp.decode_lines_built,
+        tp.decode_invalidations,
+        tp.slow_fetches,
+        slow_pct,
+        tp.retired_instrs as f64 / 1e6,
     )
 }
 
@@ -122,11 +141,34 @@ mod tests {
             fired_runs: 90,
             dormant_runs: 10,
             elapsed_secs: 2.0,
+            retired_instrs: 8_000_000,
+            ..Throughput::default()
         };
         let line = throughput_line(&tp);
         assert!(line.contains("100 runs"), "{line}");
         assert!(line.contains("50.0 runs/s"), "{line}");
+        assert!(line.contains("4.0 Minstr/s"), "{line}");
         assert!(line.contains("90 fired / 10 dormant"), "{line}");
+    }
+
+    #[test]
+    fn decode_cache_line_reports_slow_fraction() {
+        let tp = Throughput {
+            retired_instrs: 2_000_000,
+            decode_lines_built: 1204,
+            decode_invalidations: 96,
+            slow_fetches: 20_000,
+            ..Throughput::default()
+        };
+        let line = decode_cache_line(&tp);
+        assert!(line.contains("1204 lines built"), "{line}");
+        assert!(line.contains("96 invalidated"), "{line}");
+        assert!(line.contains("20000 slow fetches"), "{line}");
+        assert!(line.contains("(1.00% of 2.0M instrs)"), "{line}");
+
+        // Degenerate case: no instructions measured.
+        let empty = decode_cache_line(&Throughput::default());
+        assert!(empty.contains("0.00%"), "{empty}");
     }
 
     #[test]

@@ -160,8 +160,9 @@ pub fn execute(
 
 /// The pre-session cold-boot lifecycle, kept as the benchmark baseline for
 /// the warm-reboot engine: a fresh machine (zeroing all guest memory), a
-/// fresh image load, a freshly compiled injector for every single run, and
-/// the injector's exhaustive reference dispatch (no hot-path filters).
+/// fresh image load, a freshly compiled injector for every single run, the
+/// injector's exhaustive reference dispatch (no hot-path filters), and the
+/// seed decode-every-fetch reference interpreter (no translation cache).
 ///
 /// Observably identical to [`execute`] (same classification, same fired
 /// flag) — just slower, which is the point of keeping it around.
@@ -177,6 +178,7 @@ pub fn execute_cold(
     use swifi_vm::Noop;
 
     let mut machine = Machine::new(campaign_config(family));
+    machine.set_reference_interp(true);
     machine.load(&program.image);
     machine.set_input(input.to_tape());
     let expected = input.expected_output();

@@ -22,6 +22,7 @@
 //! unit tests plus the property suite in `tests/fault_injection_properties.rs`),
 //! which is exactly what licenses the reuse.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,17 @@ pub struct SessionStats {
     /// Times the injector had to be rebuilt because the fault set changed
     /// (diagnostic: a low number means the reset fast path is working).
     pub injector_rebuilds: u64,
+    /// Guest instructions retired across all runs (the numerator of the
+    /// campaign's instructions-per-second figure).
+    pub retired_instrs: u64,
+    /// Translation-cache lines decoded by this session's machine.
+    pub decode_lines_built: u64,
+    /// Translation-cache lines invalidated by writes into the code region
+    /// (injector patches, guest stores, warm-reboot restores).
+    pub decode_invalidations: u64,
+    /// Instructions that took the slow fetch→`on_fetch`→decode path
+    /// (armed PCs, reference mode, PCs outside the cached code region).
+    pub slow_fetches: u64,
 }
 
 impl SessionStats {
@@ -60,15 +72,22 @@ impl SessionStats {
         self.fired_runs += other.fired_runs;
         self.dormant_runs += other.dormant_runs;
         self.injector_rebuilds += other.injector_rebuilds;
+        self.retired_instrs += other.retired_instrs;
+        self.decode_lines_built += other.decode_lines_built;
+        self.decode_invalidations += other.decode_invalidations;
+        self.slow_fetches += other.slow_fetches;
     }
 }
 
 /// Aggregate campaign throughput: run counts plus wall-clock, surfaced in
 /// reports and the `swifi campaign` command.
 ///
-/// `PartialEq` deliberately **ignores** `elapsed_secs`: two campaigns with
-/// identical seeds must compare equal even though their wall-clock differs
-/// (the seed-determinism tests rely on this).
+/// `PartialEq` deliberately **ignores** `elapsed_secs` and the
+/// interpreter-level counters (`retired_instrs`, `decode_*`,
+/// `slow_fetches`): two campaigns with identical seeds must compare equal
+/// even though their wall-clock differs and their sessions split the work
+/// (and hence the per-worker decode caches) differently — the
+/// seed-determinism tests rely on this.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Throughput {
     /// Total runs executed.
@@ -79,6 +98,14 @@ pub struct Throughput {
     pub dormant_runs: u64,
     /// Wall-clock seconds for the measured region.
     pub elapsed_secs: f64,
+    /// Guest instructions retired across all runs.
+    pub retired_instrs: u64,
+    /// Translation-cache lines decoded across all sessions.
+    pub decode_lines_built: u64,
+    /// Translation-cache lines invalidated across all sessions.
+    pub decode_invalidations: u64,
+    /// Instructions executed via the slow fetch path across all sessions.
+    pub slow_fetches: u64,
 }
 
 impl PartialEq for Throughput {
@@ -101,6 +128,10 @@ impl Throughput {
             fired_runs: stats.fired_runs,
             dormant_runs: stats.dormant_runs,
             elapsed_secs: elapsed.as_secs_f64(),
+            retired_instrs: stats.retired_instrs,
+            decode_lines_built: stats.decode_lines_built,
+            decode_invalidations: stats.decode_invalidations,
+            slow_fetches: stats.slow_fetches,
         }
     }
 
@@ -113,6 +144,16 @@ impl Throughput {
         }
     }
 
+    /// Guest instructions per wall-clock second (0 when nothing was
+    /// measured) — the figure the translation cache exists to raise.
+    pub fn instrs_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.retired_instrs as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
     /// Fold another region's throughput in (wall-clock adds, matching the
     /// sequential composition of campaign phases).
     pub fn merge(&mut self, other: &Throughput) {
@@ -120,6 +161,10 @@ impl Throughput {
         self.fired_runs += other.fired_runs;
         self.dormant_runs += other.dormant_runs;
         self.elapsed_secs += other.elapsed_secs;
+        self.retired_instrs += other.retired_instrs;
+        self.decode_lines_built += other.decode_lines_built;
+        self.decode_invalidations += other.decode_invalidations;
+        self.slow_fetches += other.slow_fetches;
     }
 }
 
@@ -156,6 +201,12 @@ pub struct RunSession {
     machine: Machine,
     snapshot: MachineSnapshot,
     cached: Option<CachedInjector>,
+    /// Oracle outputs memoized per input. A class campaign runs every
+    /// fault against the same shared input set, so each input's expected
+    /// output is recomputed once per session instead of once per run —
+    /// on the short JamesB runs the oracle call is a measurable slice of
+    /// the per-run wall clock.
+    expected: HashMap<TestInput, Vec<u8>>,
     stats: SessionStats,
     started: Instant,
 }
@@ -181,6 +232,7 @@ impl RunSession {
             machine,
             snapshot,
             cached: None,
+            expected: HashMap::new(),
             stats: SessionStats::default(),
             started: Instant::now(),
         }
@@ -191,9 +243,25 @@ impl RunSession {
         self.family
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far, with the machine's translation-cache
+    /// counters overlaid (those are cumulative in the machine itself —
+    /// warm reboots do not reset them, so the machine's totals *are* the
+    /// session's totals).
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        let mut s = self.stats;
+        let d = self.machine.decode_cache_stats();
+        s.decode_lines_built = d.lines_built;
+        s.decode_invalidations = d.lines_invalidated;
+        s.slow_fetches = d.slow_fetches;
+        s
+    }
+
+    /// Run this session's machine on the seed decode-every-fetch reference
+    /// interpreter (`true`) or the predecoded-cache interpreter (`false`,
+    /// the default). Used by the interpreter benchmarks and differential
+    /// tests; campaign drivers leave it off.
+    pub fn set_reference_interp(&mut self, reference: bool) {
+        self.machine.set_reference_interp(reference);
     }
 
     /// Seconds since the session was created.
@@ -211,13 +279,17 @@ impl RunSession {
     /// One fault-free run.
     pub fn run_clean(&mut self, input: &TestInput) -> RunOutcome {
         self.begin(input);
-        self.machine.run(&mut Noop)
+        let outcome = self.machine.run(&mut Noop);
+        self.stats.retired_instrs += self.machine.retired();
+        outcome
     }
 
     /// One run observed by a caller-supplied inspector (profilers etc.).
     pub fn run_with<I: Inspector>(&mut self, input: &TestInput, inspector: &mut I) -> RunOutcome {
         self.begin(input);
-        self.machine.run(inspector)
+        let outcome = self.machine.run(inspector);
+        self.stats.retired_instrs += self.machine.retired();
+        outcome
     }
 
     /// One run with a full fault set under an explicit trigger mode.
@@ -263,6 +335,7 @@ impl RunSession {
             .prepare(&mut self.machine)
             .expect("fault addresses lie in mapped memory");
         let outcome = self.machine.run(&mut cached.injector);
+        self.stats.retired_instrs += self.machine.retired();
         let fired = cached.injector.any_fired();
         self.stats.injected_runs += 1;
         if fired {
@@ -281,19 +354,25 @@ impl RunSession {
         fault: Option<&FaultSpec>,
         seed: u64,
     ) -> (FailureMode, bool) {
-        let expected = input.expected_output();
-        match fault {
-            None => (classify_outcome(&self.run_clean(input), &expected), false),
-            Some(spec) => {
-                let (outcome, fired) = self.run_injected(
-                    input,
-                    std::slice::from_ref(spec),
-                    TriggerMode::Hardware,
-                    seed,
-                );
-                (classify_outcome(&outcome, &expected), fired)
-            }
+        let outcome = match fault {
+            None => (self.run_clean(input), false),
+            Some(spec) => self.run_injected(
+                input,
+                std::slice::from_ref(spec),
+                TriggerMode::Hardware,
+                seed,
+            ),
+        };
+        let (outcome, fired) = outcome;
+        (classify_outcome(&outcome, self.expected_for(input)), fired)
+    }
+
+    /// The oracle's expected output for `input`, computed once per session.
+    fn expected_for(&mut self, input: &TestInput) -> &[u8] {
+        if !self.expected.contains_key(input) {
+            self.expected.insert(input.clone(), input.expected_output());
         }
+        &self.expected[input]
     }
 }
 
@@ -390,20 +469,73 @@ mod tests {
     }
 
     #[test]
+    fn session_stats_expose_interpreter_counters() {
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let inputs = target.family.test_case(3, 5);
+        let mut session = RunSession::new(&compiled, target.family);
+        for input in &inputs {
+            session.run_clean(input);
+        }
+        let s = session.stats();
+        assert!(s.retired_instrs > 0, "runs retire instructions");
+        assert!(s.decode_lines_built > 0, "clean runs populate the cache");
+        assert_eq!(s.slow_fetches, 0, "clean runs never take the slow path");
+
+        // The same workload on the reference interpreter decodes nothing
+        // and takes the slow path for every retired instruction.
+        let mut reference = RunSession::new(&compiled, target.family);
+        reference.set_reference_interp(true);
+        for input in &inputs {
+            reference.run_clean(input);
+        }
+        let r = reference.stats();
+        assert_eq!(
+            r.retired_instrs, s.retired_instrs,
+            "same instruction stream"
+        );
+        assert_eq!(r.decode_lines_built, 0);
+        assert_eq!(r.slow_fetches, r.retired_instrs);
+
+        // Injected runs with memory faults invalidate the patched lines on
+        // restore.
+        let set = generate_error_set(&compiled.debug, 2, 2, 1);
+        for fault in set.assign_faults.iter().chain(&set.check_faults) {
+            for input in &inputs {
+                session.run(input, Some(&fault.spec), 9);
+            }
+        }
+        let s2 = session.stats();
+        assert!(s2.retired_instrs > s.retired_instrs);
+
+        // Throughput carries the counters through.
+        let tp = Throughput::collect(
+            std::slice::from_ref(&session),
+            std::time::Duration::from_secs(1),
+        );
+        assert_eq!(tp.retired_instrs, s2.retired_instrs);
+        assert!(tp.instrs_per_sec() > 0.0);
+    }
+
+    #[test]
     fn throughput_equality_ignores_wall_clock() {
         let a = Throughput {
             runs: 10,
             fired_runs: 6,
             dormant_runs: 4,
             elapsed_secs: 1.0,
+            ..Throughput::default()
         };
         let b = Throughput {
             runs: 10,
             fired_runs: 6,
             dormant_runs: 4,
             elapsed_secs: 9.0,
+            retired_instrs: 1234,
+            slow_fetches: 55,
+            ..Throughput::default()
         };
-        assert_eq!(a, b);
+        assert_eq!(a, b, "interpreter counters do not affect equality");
         let c = Throughput { runs: 11, ..a };
         assert_ne!(a, c);
         let mut m = a;

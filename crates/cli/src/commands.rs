@@ -1,6 +1,8 @@
 //! Implementations of the `swifi` subcommands.
 
-use swifi_campaign::report::{mode_cells, render_table, throughput_line, MODE_HEADERS};
+use swifi_campaign::report::{
+    decode_cache_line, mode_cells, render_table, throughput_line, MODE_HEADERS,
+};
 use swifi_campaign::section6::{class_campaign, CampaignScale};
 use swifi_core::emulate::{plan_emulation, EmulationVerdict};
 use swifi_core::injector::{Injector, TriggerMode};
@@ -313,6 +315,7 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     print!("{}", render_table(&headers, &[assign_row, check_row]));
     println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
     println!("throughput: {}", throughput_line(&c.throughput));
+    println!("{}", decode_cache_line(&c.throughput));
     Ok(())
 }
 

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use swifi_vm::inspect::Inspector;
+use swifi_vm::inspect::{FetchPolicy, Inspector};
 use swifi_vm::machine::Machine;
 
 use crate::fault::{FaultSpec, Target, Trigger};
@@ -201,7 +201,7 @@ impl AddrSet {
         AddrSet { addrs, lo, hi }
     }
 
-    #[inline]
+    #[inline(always)]
     fn contains(&self, a: u32) -> bool {
         a >= self.lo && a <= self.hi && (self.addrs.len() == 1 || self.addrs.contains(&a))
     }
@@ -373,6 +373,28 @@ impl Injector {
 }
 
 impl Inspector for Injector {
+    /// Declare exactly which PCs the machine must route through the slow
+    /// fetch path so the predecoded translation cache can serve the rest.
+    ///
+    /// Every fetch-triggered spec — whatever its *target* — needs
+    /// `on_fetch` at its trigger address, because that call is where
+    /// occurrence counting and arming happen (a `Gpr`-target fault armed
+    /// at a fetch address fires later in `on_reg_write` only if the fetch
+    /// hook armed it). So the pin set is the `by_fetch` key set, not just
+    /// the instruction-bus faults. Temporal (`AfterInstructions`) and
+    /// `Always` triggers observe *every* fetch, and reference dispatch
+    /// promises seed-exact hook sequencing; those demand
+    /// [`FetchPolicy::All`].
+    fn fetch_policy(&self) -> FetchPolicy {
+        if self.reference_dispatch || !self.temporal.is_empty() || !self.always.is_empty() {
+            return FetchPolicy::All;
+        }
+        let mut pcs: Vec<u32> = self.by_fetch.keys().copied().collect();
+        pcs.sort_unstable();
+        FetchPolicy::Pcs(pcs)
+    }
+
+    #[inline]
     fn on_fetch(&mut self, _core: usize, pc: u32, word: &mut u32) {
         if !self.reference_dispatch
             && self.temporal.is_empty()
@@ -381,6 +403,79 @@ impl Inspector for Injector {
         {
             return;
         }
+        self.fetch_slow(pc, word);
+    }
+
+    #[inline]
+    fn on_load_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_load.contains(*addr)
+        {
+            return;
+        }
+        self.load_addr_slow(pc, addr);
+    }
+
+    #[inline]
+    fn on_load_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_load.contains(addr)
+        {
+            return;
+        }
+        self.load_value_slow(pc, addr, value);
+    }
+
+    #[inline]
+    fn on_store_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_store.contains(*addr)
+        {
+            return;
+        }
+        self.store_addr_slow(pc, addr);
+    }
+
+    #[inline]
+    fn on_store_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
+        if !self.reference_dispatch
+            && self.always.is_empty()
+            && !self.hot_fetch.contains(pc)
+            && !self.hot_store.contains(addr)
+        {
+            return;
+        }
+        self.store_value_slow(pc, addr, value);
+    }
+
+    #[inline]
+    fn on_reg_write(&mut self, _core: usize, pc: u32, reg: u8, value: &mut u32) {
+        if !self.reference_dispatch && !self.hot_fetch.contains(pc) {
+            return;
+        }
+        self.reg_write_slow(pc, reg, value);
+    }
+
+    #[inline]
+    fn on_retire(&mut self, _core: usize, _pc: u32) {
+        self.retired += 1;
+    }
+}
+
+/// The rarely-taken hook bodies, kept out of line so the `Inspector`
+/// methods above inline into the interpreter loops as a couple of
+/// compares. The fast-reject conditions in the trait impl are the exact
+/// complement of what these bodies can react to, so splitting them off is
+/// behaviour-preserving; the differential dispatch test below pins that.
+impl Injector {
+    #[inline(never)]
+    fn fetch_slow(&mut self, pc: u32, word: &mut u32) {
         // Temporal triggers: occurrence = any fetch once the retired count
         // has passed the threshold.
         for k in 0..self.temporal.len() {
@@ -426,14 +521,8 @@ impl Inspector for Injector {
         }
     }
 
-    fn on_load_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
-        if !self.reference_dispatch
-            && self.always.is_empty()
-            && !self.hot_fetch.contains(pc)
-            && !self.hot_load.contains(*addr)
-        {
-            return;
-        }
+    #[inline(never)]
+    fn load_addr_slow(&mut self, pc: u32, addr: &mut u32) {
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::LoadAddress) {
@@ -458,14 +547,8 @@ impl Inspector for Injector {
         }
     }
 
-    fn on_load_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
-        if !self.reference_dispatch
-            && self.always.is_empty()
-            && !self.hot_fetch.contains(pc)
-            && !self.hot_load.contains(addr)
-        {
-            return;
-        }
+    #[inline(never)]
+    fn load_value_slow(&mut self, pc: u32, addr: u32, value: &mut u32) {
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::DataBusLoad) {
@@ -488,14 +571,8 @@ impl Inspector for Injector {
         }
     }
 
-    fn on_store_addr(&mut self, _core: usize, pc: u32, addr: &mut u32) {
-        if !self.reference_dispatch
-            && self.always.is_empty()
-            && !self.hot_fetch.contains(pc)
-            && !self.hot_store.contains(*addr)
-        {
-            return;
-        }
+    #[inline(never)]
+    fn store_addr_slow(&mut self, pc: u32, addr: &mut u32) {
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::StoreAddress) {
@@ -520,14 +597,8 @@ impl Inspector for Injector {
         }
     }
 
-    fn on_store_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
-        if !self.reference_dispatch
-            && self.always.is_empty()
-            && !self.hot_fetch.contains(pc)
-            && !self.hot_store.contains(addr)
-        {
-            return;
-        }
+    #[inline(never)]
+    fn store_value_slow(&mut self, pc: u32, addr: u32, value: &mut u32) {
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] && matches!(self.specs[i].target, Target::DataBusStore) {
@@ -550,10 +621,8 @@ impl Inspector for Injector {
         }
     }
 
-    fn on_reg_write(&mut self, _core: usize, pc: u32, reg: u8, value: &mut u32) {
-        if !self.reference_dispatch && !self.hot_fetch.contains(pc) {
-            return;
-        }
+    #[inline(never)]
+    fn reg_write_slow(&mut self, pc: u32, reg: u8, value: &mut u32) {
         if let Some(idxs) = self.by_fetch.get(&pc) {
             for i in idxs.clone() {
                 if self.armed[i] {
@@ -565,10 +634,6 @@ impl Inspector for Injector {
                 }
             }
         }
-    }
-
-    fn on_retire(&mut self, _core: usize, _pc: u32) {
-        self.retired += 1;
     }
 }
 
@@ -650,6 +715,119 @@ mod tests {
             assert_eq!(
                 results[0], results[1],
                 "spec {k} diverged between dispatchers"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_policy_mirrors_trigger_routing() {
+        // Fetch-triggered faults (any target) pin exactly their trigger
+        // addresses; load/store/memory faults pin nothing.
+        let inj = Injector::new(
+            vec![
+                FaultSpec {
+                    what: ErrorOp::Or(1),
+                    target: Target::Gpr(5),
+                    trigger: Trigger::OpcodeFetch(0x10C),
+                    when: Firing::EveryTime,
+                },
+                FaultSpec::replace_instr(0x108, encode(Instr::Halt)),
+                FaultSpec {
+                    what: ErrorOp::Xor(4),
+                    target: Target::DataBusLoad,
+                    trigger: Trigger::OperandLoad(0x2000),
+                    when: Firing::First,
+                },
+            ],
+            TriggerMode::IntrusiveTraps,
+            1,
+        )
+        .unwrap();
+        assert_eq!(inj.fetch_policy(), FetchPolicy::Pcs(vec![0x108, 0x10C]));
+
+        // Memory-resident faults live in prepare(), not in on_fetch.
+        let mem_only = Injector::new(
+            vec![FaultSpec {
+                what: ErrorOp::Or(1),
+                target: Target::Memory(0x104),
+                trigger: Trigger::OpcodeFetch(0x100),
+                when: Firing::First,
+            }],
+            TriggerMode::Hardware,
+            1,
+        )
+        .unwrap();
+        assert_eq!(mem_only.fetch_policy(), FetchPolicy::Pcs(Vec::new()));
+
+        // Temporal triggers must observe every fetch.
+        let temporal = Injector::new(
+            vec![FaultSpec {
+                what: ErrorOp::Or(1),
+                target: Target::InstrBus,
+                trigger: Trigger::AfterInstructions(10),
+                when: Firing::First,
+            }],
+            TriggerMode::Hardware,
+            1,
+        )
+        .unwrap();
+        assert_eq!(temporal.fetch_policy(), FetchPolicy::All);
+
+        // Reference dispatch restores seed-exact hook sequencing.
+        let mut refmode = Injector::new(vec![], TriggerMode::Hardware, 1).unwrap();
+        assert_eq!(refmode.fetch_policy(), FetchPolicy::Pcs(Vec::new()));
+        refmode.set_reference_dispatch(true);
+        assert_eq!(refmode.fetch_policy(), FetchPolicy::All);
+    }
+
+    #[test]
+    fn injected_runs_identical_across_interpreters() {
+        // The cached interpreter with armed-PC pinning must reproduce the
+        // reference interpreter's outcome for fetch-triggered faults of
+        // every target kind.
+        let image = assemble(COUNT_SRC).unwrap();
+        let specs = [
+            FaultSpec::replace_instr(
+                0x108,
+                encode(Instr::Addi {
+                    rd: 6,
+                    ra: 6,
+                    imm: 2,
+                }),
+            ),
+            FaultSpec {
+                what: ErrorOp::Xor(0x0000_00FF),
+                target: Target::InstrMemory,
+                trigger: Trigger::OpcodeFetch(0x10C),
+                when: Firing::First,
+            },
+            FaultSpec {
+                what: ErrorOp::Add(3),
+                target: Target::Gpr(5),
+                trigger: Trigger::OpcodeFetch(0x10C),
+                when: Firing::EveryTime,
+            },
+            FaultSpec {
+                what: ErrorOp::Or(1),
+                target: Target::Memory(0x110),
+                trigger: Trigger::OpcodeFetch(0x100),
+                when: Firing::First,
+            },
+        ];
+        for (k, spec) in specs.iter().enumerate() {
+            let mut results = Vec::new();
+            for reference_interp in [false, true] {
+                let mut inj = Injector::new(vec![*spec], TriggerMode::Hardware, 42).unwrap();
+                let mut m = Machine::new(MachineConfig::default());
+                m.set_reference_interp(reference_interp);
+                m.load(&image);
+                inj.prepare(&mut m).unwrap();
+                let out = m.run(&mut inj);
+                results.push((out, inj.any_fired(), m.retired()));
+            }
+            assert_eq!(
+                results[0], results[1],
+                "spec {k} diverged between interpreters"
             );
         }
     }

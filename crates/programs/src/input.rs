@@ -23,7 +23,11 @@ pub enum Family {
 
 /// A structured test input: can be rendered to an [`InputTape`] and knows
 /// its correct output.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` + `Eq` allow run engines to memoize per-input derived data (the
+/// oracle's expected output, notably) across the many runs that share an
+/// input within a campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TestInput {
     /// Piece positions, king first.
     Camelot {

@@ -12,12 +12,51 @@
 //! The machine is generic over the inspector type, so the common no-op case
 //! ([`Noop`]) compiles away entirely.
 
+/// How an [`Inspector`] wants the machine to treat instruction fetch,
+/// declared once per run so the interpreter can route execution through its
+/// predecoded translation cache (see `crates/vm/src/mem.rs`).
+///
+/// The fetch hook is the only [`Inspector`] interception point that happens
+/// *before* decode, so it is the only one the decoded-line fast path cannot
+/// service: a cached line was decoded from the pristine code word and
+/// replaying it would silently skip an [`Inspector::on_fetch`] corruption.
+/// The policy tells [`crate::Machine::run`] which PCs must stay on the slow
+/// fetch→hook→decode path.
+///
+/// All post-decode hooks (`on_load_*`, `on_store_*`, `on_reg_write`,
+/// `on_retire`) are unaffected: they fire identically on both paths.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FetchPolicy {
+    /// The inspector never mutates fetched words; every PC may execute from
+    /// the decoded-line cache and `on_fetch` is never called.
+    None,
+    /// Only the listed PCs can be corrupted at fetch time; the machine pins
+    /// them to the slow path and dispatches every other PC from the cache.
+    Pcs(Vec<u32>),
+    /// Any PC may be corrupted (or the inspector wants to observe every
+    /// fetch, e.g. tracing); the machine disables the cache for the run.
+    #[default]
+    All,
+}
+
 /// Observation and corruption hooks invoked by the interpreter core.
 ///
 /// All methods have empty default bodies; implement only what you need.
 /// `core` identifies the executing core on multi-core machines and `pc` the
 /// address of the instruction being executed.
 pub trait Inspector {
+    /// Declare which PCs this inspector may corrupt or observe at fetch
+    /// time. Consulted once at the start of [`crate::Machine::run`].
+    ///
+    /// The conservative default is [`FetchPolicy::All`] (correct for any
+    /// inspector, forfeits the translation-cache speedup). Implementations
+    /// that never touch `on_fetch` should return [`FetchPolicy::None`];
+    /// implementations with a known trigger set should return
+    /// [`FetchPolicy::Pcs`].
+    fn fetch_policy(&self) -> FetchPolicy {
+        FetchPolicy::All
+    }
+
     /// An instruction word has been fetched from `pc` but not yet decoded.
     ///
     /// Mutating `word` emulates an instruction-bus fault (Xception's
@@ -76,7 +115,11 @@ pub trait Inspector {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Noop;
 
-impl Inspector for Noop {}
+impl Inspector for Noop {
+    fn fetch_policy(&self) -> FetchPolicy {
+        FetchPolicy::None
+    }
+}
 
 /// Counts executed instructions and records the set of executed code
 /// addresses. Useful for coverage-style analyses such as checking whether a
@@ -118,6 +161,12 @@ impl Profiler {
 }
 
 impl Inspector for Profiler {
+    fn fetch_policy(&self) -> FetchPolicy {
+        // Retirement is a post-decode event; the profiler never looks at
+        // fetched words, so every PC may run from the decoded-line cache.
+        FetchPolicy::None
+    }
+
     #[inline]
     fn on_retire(&mut self, _core: usize, pc: u32) {
         self.retired += 1;
@@ -133,6 +182,17 @@ mod tests {
     #[test]
     fn noop_is_zero_sized() {
         assert_eq!(std::mem::size_of::<Noop>(), 0);
+    }
+
+    #[test]
+    fn fetch_policies() {
+        assert_eq!(Noop.fetch_policy(), FetchPolicy::None);
+        assert_eq!(Profiler::new().fetch_policy(), FetchPolicy::None);
+
+        // The trait default is the conservative "disable the cache".
+        struct Custom;
+        impl Inspector for Custom {}
+        assert_eq!(Custom.fetch_policy(), FetchPolicy::All);
     }
 
     #[test]

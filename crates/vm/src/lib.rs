@@ -47,7 +47,7 @@ pub mod machine;
 pub mod mem;
 pub mod trace;
 
-pub use inspect::{Inspector, Noop};
+pub use inspect::{FetchPolicy, Inspector, Noop};
 pub use isa::{decode, encode, Instr};
 pub use machine::{InputTape, Machine, MachineConfig, MachineSnapshot, RunOutcome, Trap};
-pub use mem::{Image, MemorySnapshot, CODE_BASE, PAGE_SIZE};
+pub use mem::{DecodeCacheStats, Image, MemorySnapshot, CODE_BASE, PAGE_SIZE};

@@ -48,9 +48,9 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use crate::inspect::Inspector;
+use crate::inspect::{FetchPolicy, Inspector};
 use crate::isa::{self, AluOp, CrBit, Instr, Syscall};
-use crate::mem::{Allocator, Image, Memory, MemorySnapshot, CODE_BASE};
+use crate::mem::{Allocator, DecodeCacheStats, Image, Memory, MemorySnapshot, CODE_BASE};
 
 /// A hardware-detected error condition; the *crash* failure mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -269,6 +269,10 @@ impl InputTape {
 enum Progress {
     Continue,
     StateChange,
+    /// A syscall pushed the output stream past the configured cap; the run
+    /// ends as a hang. Checked only where output can grow (the syscall
+    /// path) so the hot loop does not pay for it per iteration.
+    OutputLimit,
 }
 
 /// A point-in-time capture of a loaded [`Machine`]: memory, cores, heap
@@ -308,6 +312,17 @@ pub struct Machine {
     output: Vec<u8>,
     retired: u64,
     loaded: bool,
+    /// Seed-compatible interpretation: decode every fetched word and call
+    /// `on_fetch` unconditionally, never consulting the translation cache.
+    /// The reference mode for differential testing and benchmarking.
+    reference_interp: bool,
+    /// When `true`, the active inspector declared [`FetchPolicy::All`]:
+    /// every PC takes the slow fetch path for this run.
+    pin_all: bool,
+    /// PCs pinned to the slow path for the current run (the active
+    /// inspector's [`FetchPolicy::Pcs`] set); unpinned when the next run
+    /// installs its own policy.
+    pinned_pcs: Vec<u32>,
 }
 
 impl Machine {
@@ -334,6 +349,9 @@ impl Machine {
             output: Vec::new(),
             retired: 0,
             loaded: false,
+            reference_interp: false,
+            pin_all: false,
+            pinned_pcs: Vec::new(),
         }
     }
 
@@ -366,6 +384,11 @@ impl Machine {
         self.mem
             .write_bytes(image.data_base(), &image.data)
             .expect("data fits");
+        // The translation cache covers exactly the code segment; PCs in the
+        // data region (or injected jumps into data) fall outside it and
+        // execute via the slow fetch→decode path, so self-generated code
+        // anywhere else still behaves.
+        self.mem.init_decode_cache(image.data_base());
         self.alloc = Allocator::new(image.static_end(), stacks_base);
         self.cores = (0..self.config.num_cores)
             .map(|i| {
@@ -373,6 +396,7 @@ impl Machine {
                 Cpu::new(image.entry, top, top - self.config.stack_size, i as u32)
             })
             .collect();
+        self.pinned_pcs.clear();
         self.loaded = true;
     }
 
@@ -469,6 +493,48 @@ impl Machine {
         &self.alloc
     }
 
+    /// Switch between the predecoded-cache interpreter (default) and the
+    /// seed's decode-every-fetch reference interpreter.
+    ///
+    /// In reference mode every instruction takes the slow
+    /// fetch→`on_fetch`→decode path regardless of the inspector's
+    /// [`FetchPolicy`] — byte-for-byte the seed interpreter's behaviour.
+    /// Used by differential tests and as the benchmark baseline.
+    pub fn set_reference_interp(&mut self, reference: bool) {
+        self.reference_interp = reference;
+    }
+
+    /// Whether the machine is in reference (decode-every-fetch) mode.
+    pub fn reference_interp(&self) -> bool {
+        self.reference_interp
+    }
+
+    /// Cumulative translation-cache counters since the last
+    /// [`Machine::load`] (warm reboots do not reset them).
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.mem.decode_cache_stats()
+    }
+
+    /// Install `policy` for the coming run: drop pins from the previous
+    /// run, then pin the PCs the new inspector may corrupt at fetch time.
+    fn apply_fetch_policy(&mut self, policy: FetchPolicy) {
+        let old = std::mem::take(&mut self.pinned_pcs);
+        for pc in old {
+            self.mem.unpin_fetch(pc);
+        }
+        match policy {
+            FetchPolicy::None => self.pin_all = false,
+            FetchPolicy::All => self.pin_all = true,
+            FetchPolicy::Pcs(pcs) => {
+                self.pin_all = false;
+                for &pc in &pcs {
+                    self.mem.pin_fetch_slow(pc);
+                }
+                self.pinned_pcs = pcs;
+            }
+        }
+    }
+
     /// Execute until completion, trap, or budget/output exhaustion.
     ///
     /// # Panics
@@ -476,8 +542,16 @@ impl Machine {
     /// Panics if no image has been loaded.
     pub fn run<I: Inspector>(&mut self, inspector: &mut I) -> RunOutcome {
         assert!(self.loaded, "Machine::load must be called before run");
+        self.apply_fetch_policy(inspector.fetch_policy());
+        // The cached interpreter runs whole quanta through the tight
+        // split-borrow executor; reference mode and `FetchPolicy::All`
+        // take the seed per-step loop below.
+        let cached = !self.reference_interp && !self.pin_all;
         loop {
-            if self.retired >= self.config.budget || self.output.len() > self.config.output_limit {
+            // The output cap is checked on the syscall path (the only place
+            // output grows — see `Progress::OutputLimit`), not here, so the
+            // hot loop pays for the budget comparison alone.
+            if self.retired >= self.config.budget {
                 return RunOutcome::Hang {
                     output: std::mem::take(&mut self.output),
                 };
@@ -488,6 +562,25 @@ impl Machine {
                     continue;
                 }
                 any_running = true;
+                if cached {
+                    match self.run_quantum_cached(c, inspector) {
+                        Ok(Progress::Continue | Progress::StateChange) => {}
+                        Ok(Progress::OutputLimit) => {
+                            return RunOutcome::Hang {
+                                output: std::mem::take(&mut self.output),
+                            };
+                        }
+                        Err((trap, pc)) => {
+                            return RunOutcome::Trapped {
+                                trap,
+                                pc,
+                                core: c,
+                                output: std::mem::take(&mut self.output),
+                            };
+                        }
+                    }
+                    continue;
+                }
                 let quantum = self.config.quantum;
                 for _ in 0..quantum {
                     if self.retired >= self.config.budget {
@@ -496,6 +589,11 @@ impl Machine {
                     match self.step(c, inspector) {
                         Ok(Progress::Continue) => {}
                         Ok(Progress::StateChange) => break,
+                        Ok(Progress::OutputLimit) => {
+                            return RunOutcome::Hang {
+                                output: std::mem::take(&mut self.output),
+                            };
+                        }
                         Err((trap, pc)) => {
                             return RunOutcome::Trapped {
                                 trap,
@@ -546,12 +644,342 @@ impl Machine {
         }
     }
 
-    fn step<I: Inspector>(&mut self, c: usize, insp: &mut I) -> Result<Progress, (Trap, u32)> {
-        let pc = self.cores[c].pc;
+    /// Execute up to one scheduling quantum on core `c` straight from the
+    /// decoded line cache — the cached interpreter's hot loop.
+    ///
+    /// The machine's borrows are split once per tight segment (`cores` /
+    /// `mem` / `retired`), the program counter lives in a register, and
+    /// register indices are masked to elide bounds checks; the segment runs
+    /// until something needs the full machine: a slow fetch (pinned PC,
+    /// missing/illegal line, PC outside the cache), a syscall, or a halt.
+    /// Those fall back to [`Machine::step`] — the seed interpreter — for
+    /// exactly one instruction, so every observable (traps, hook order,
+    /// `on_fetch` corruption, output) is produced by the same code on both
+    /// interpreters. The differential property suite pins the equivalence.
+    fn run_quantum_cached<I: Inspector>(
+        &mut self,
+        c: usize,
+        insp: &mut I,
+    ) -> Result<Progress, (Trap, u32)> {
+        // The scheduling quantum exists to interleave cores; with a single
+        // core there is nothing to interleave and no observable difference
+        // between quanta, so run until a state change or the budget ends
+        // instead of bouncing through the outer scheduler every 64 steps.
+        let quantum = if self.cores.len() == 1 {
+            u32::MAX
+        } else {
+            self.config.quantum
+        };
+        let budget = self.config.budget;
+        let output_limit = self.config.output_limit;
+        let mut steps: u32 = 0;
+        while steps < quantum {
+            let slow = 'tight: {
+                let Machine {
+                    cores,
+                    mem,
+                    retired,
+                    alloc,
+                    input,
+                    output,
+                    ..
+                } = &mut *self;
+                let num_cores = cores.len();
+                let core = &mut cores[c];
+                let mut pc = core.pc;
+                // Fuse the quantum and budget limits into one countdown
+                // register; the architectural `retired` counter is
+                // committed on every exit from the segment (the macro
+                // below and the explicit commits on the trap returns).
+                let seg: u64 = ((quantum - steps) as u64).min(budget.saturating_sub(*retired));
+                let mut left = seg;
+                macro_rules! commit {
+                    () => {{
+                        let done = seg - left;
+                        *retired += done;
+                        #[allow(unused_assignments)]
+                        {
+                            steps += done as u32;
+                        }
+                        core.pc = pc;
+                    }};
+                }
+                // On every exit the architectural `core.pc` is re-synced;
+                // on a trap it equals the faulting pc, exactly as the seed
+                // interpreter leaves it.
+                macro_rules! mem_op {
+                    ($e:expr) => {
+                        match $e {
+                            Ok(v) => v,
+                            Err(t) => {
+                                commit!();
+                                return Err((t, pc));
+                            }
+                        }
+                    };
+                }
+                macro_rules! reg {
+                    ($r:expr) => {
+                        core.regs[($r & 31) as usize]
+                    };
+                }
+                macro_rules! set_reg {
+                    ($rd:expr, $val:expr) => {{
+                        let mut v: u32 = $val;
+                        insp.on_reg_write(c, pc, $rd, &mut v);
+                        reg!($rd) = v;
+                        if $rd == 1 && v < core.stack_floor {
+                            commit!();
+                            return Err((Trap::StackOverflow, pc));
+                        }
+                    }};
+                }
+                while left > 0 {
+                    let instr = match mem.fetch_decoded(pc) {
+                        Some(i) => i,
+                        None => {
+                            commit!();
+                            break 'tight true;
+                        }
+                    };
+                    let mut next_pc = pc.wrapping_add(4);
+                    match instr {
+                        Instr::Addi { rd, ra, imm } => {
+                            set_reg!(rd, reg!(ra).wrapping_add(imm as i32 as u32));
+                        }
+                        Instr::Addis { rd, ra, imm } => {
+                            set_reg!(rd, reg!(ra).wrapping_add((imm as i32 as u32) << 16));
+                        }
+                        Instr::Andi { rd, ra, imm } => {
+                            set_reg!(rd, reg!(ra) & imm as u32);
+                        }
+                        Instr::Ori { rd, ra, imm } => {
+                            set_reg!(rd, reg!(ra) | imm as u32);
+                        }
+                        Instr::Xori { rd, ra, imm } => {
+                            set_reg!(rd, reg!(ra) ^ imm as u32);
+                        }
+                        Instr::Cmpi { crf, ra, imm } => {
+                            let a = reg!(ra) as i32;
+                            let b = imm as i32;
+                            core.set_cr_field(crf, a < b, a > b, a == b);
+                        }
+                        Instr::Cmp { crf, ra, rb } => {
+                            let a = reg!(ra) as i32;
+                            let b = reg!(rb) as i32;
+                            core.set_cr_field(crf, a < b, a > b, a == b);
+                        }
+                        Instr::Alu { op, rd, ra, rb } => {
+                            let a = reg!(ra);
+                            let b = reg!(rb);
+                            let v = match op {
+                                AluOp::Add => a.wrapping_add(b),
+                                AluOp::Sub => a.wrapping_sub(b),
+                                AluOp::Mullw => (a as i32).wrapping_mul(b as i32) as u32,
+                                AluOp::Divw => {
+                                    if b == 0 {
+                                        commit!();
+                                        return Err((Trap::DivideByZero, pc));
+                                    }
+                                    (a as i32).wrapping_div(b as i32) as u32
+                                }
+                                AluOp::Divwu => {
+                                    if b == 0 {
+                                        commit!();
+                                        return Err((Trap::DivideByZero, pc));
+                                    }
+                                    a / b
+                                }
+                                AluOp::Remw => {
+                                    if b == 0 {
+                                        commit!();
+                                        return Err((Trap::DivideByZero, pc));
+                                    }
+                                    (a as i32).wrapping_rem(b as i32) as u32
+                                }
+                                AluOp::And => a & b,
+                                AluOp::Or => a | b,
+                                AluOp::Xor => a ^ b,
+                                AluOp::Nand => !(a & b),
+                                AluOp::Nor => !(a | b),
+                                AluOp::Slw => a.wrapping_shl(b & 31),
+                                AluOp::Srw => a.wrapping_shr(b & 31),
+                                AluOp::Sraw => ((a as i32).wrapping_shr(b & 31)) as u32,
+                                AluOp::Neg => (a as i32).wrapping_neg() as u32,
+                                AluOp::Not => !a,
+                            };
+                            set_reg!(rd, v);
+                        }
+                        Instr::Lwz { rd, ra, d } => {
+                            let mut addr = reg!(ra).wrapping_add(d as i32 as u32);
+                            insp.on_load_addr(c, pc, &mut addr);
+                            let mut v = mem_op!(mem.read_u32(addr));
+                            insp.on_load_value(c, pc, addr, &mut v);
+                            set_reg!(rd, v);
+                        }
+                        Instr::Lbz { rd, ra, d } => {
+                            let mut addr = reg!(ra).wrapping_add(d as i32 as u32);
+                            insp.on_load_addr(c, pc, &mut addr);
+                            let mut v = mem_op!(mem.read_u8(addr)) as u32;
+                            insp.on_load_value(c, pc, addr, &mut v);
+                            set_reg!(rd, v);
+                        }
+                        Instr::Stw { rs, ra, d } => {
+                            let mut addr = reg!(ra).wrapping_add(d as i32 as u32);
+                            insp.on_store_addr(c, pc, &mut addr);
+                            let mut v = reg!(rs);
+                            insp.on_store_value(c, pc, addr, &mut v);
+                            mem_op!(mem.write_u32(addr, v));
+                        }
+                        Instr::Stb { rs, ra, d } => {
+                            let mut addr = reg!(ra).wrapping_add(d as i32 as u32);
+                            insp.on_store_addr(c, pc, &mut addr);
+                            let mut v = reg!(rs) & 0xFF;
+                            insp.on_store_value(c, pc, addr, &mut v);
+                            mem_op!(mem.write_u8(addr, v as u8));
+                        }
+                        Instr::B { off } => {
+                            next_pc = pc.wrapping_add((off as u32).wrapping_mul(4));
+                        }
+                        Instr::Bl { off } => {
+                            core.lr = pc.wrapping_add(4);
+                            next_pc = pc.wrapping_add((off as u32).wrapping_mul(4));
+                        }
+                        Instr::Bc {
+                            crf,
+                            bit,
+                            expect,
+                            off,
+                        } => {
+                            if core.cr_bit(crf, bit) == expect {
+                                next_pc = pc.wrapping_add((off as i32 as u32).wrapping_mul(4));
+                            }
+                        }
+                        Instr::Blr => {
+                            next_pc = core.lr;
+                        }
+                        Instr::Mflr { rd } => {
+                            set_reg!(rd, core.lr);
+                        }
+                        Instr::Mtlr { ra } => {
+                            core.lr = reg!(ra);
+                        }
+                        Instr::Sc { call } => {
+                            match call {
+                                // Core-state transitions: the outer
+                                // scheduler must observe them. Re-sync and
+                                // take the seed path for this instruction.
+                                Syscall::Exit | Syscall::Barrier => {
+                                    commit!();
+                                    break 'tight true;
+                                }
+                                Syscall::PrintInt => {
+                                    let v = reg!(3) as i32;
+                                    output.extend_from_slice(v.to_string().as_bytes());
+                                }
+                                Syscall::PrintChar => {
+                                    output.push(reg!(3) as u8);
+                                }
+                                Syscall::PrintStr => {
+                                    let s = mem_op!(mem.read_cstr(reg!(3), 1 << 16));
+                                    output.extend_from_slice(&s);
+                                }
+                                Syscall::ReadInt => match input.ints.pop_front() {
+                                    Some(v) => {
+                                        reg!(3) = v as u32;
+                                        reg!(4) = 0;
+                                    }
+                                    None => {
+                                        reg!(3) = 0;
+                                        reg!(4) = 1;
+                                    }
+                                },
+                                Syscall::ReadByte => match input.bytes.pop_front() {
+                                    Some(b) => reg!(3) = b as u32,
+                                    None => reg!(3) = u32::MAX,
+                                },
+                                Syscall::Malloc => {
+                                    reg!(3) = alloc.malloc(reg!(3));
+                                }
+                                Syscall::Free => {
+                                    mem_op!(alloc.free(reg!(3)));
+                                }
+                                Syscall::CoreId => {
+                                    reg!(3) = c as u32;
+                                }
+                                Syscall::NumCores => {
+                                    reg!(3) = num_cores as u32;
+                                }
+                            }
+                            // The output cap is only checked where output
+                            // can grow, mirroring `Machine::step`: the
+                            // syscall instruction itself still retires.
+                            if output.len() > output_limit {
+                                left -= 1;
+                                insp.on_retire(c, pc);
+                                pc = next_pc;
+                                commit!();
+                                return Ok(Progress::OutputLimit);
+                            }
+                        }
+                        Instr::Halt => {
+                            // Rare: a core-state transition the outer
+                            // scheduler must observe. Re-sync and take the
+                            // seed path for this instruction.
+                            commit!();
+                            break 'tight true;
+                        }
+                    }
+                    left -= 1;
+                    insp.on_retire(c, pc);
+                    pc = next_pc;
+                }
+                commit!();
+                false
+            };
+            if !slow {
+                // Quantum or budget exhausted; the outer scheduler decides.
+                return Ok(Progress::Continue);
+            }
+            match self.step(c, insp)? {
+                Progress::Continue => steps += 1,
+                p => return Ok(p),
+            }
+        }
+        Ok(Progress::Continue)
+    }
+
+    /// The seed fetch path: read the word, offer it to the inspector for
+    /// corruption, decode the (possibly corrupted) result. Taken for pinned
+    /// PCs, PCs outside the cached code region, words that do not decode,
+    /// and — for every PC — under `FetchPolicy::All` or reference mode.
+    #[inline]
+    fn fetch_slow<I: Inspector>(
+        &mut self,
+        c: usize,
+        pc: u32,
+        insp: &mut I,
+    ) -> Result<Instr, (Trap, u32)> {
+        self.mem.note_slow_fetch();
         let mut word = self.mem.read_u32(pc).map_err(|t| (t, pc))?;
         insp.on_fetch(c, pc, &mut word);
-        let instr =
-            isa::decode(word).map_err(|e| (Trap::IllegalInstruction { word: e.word }, pc))?;
+        isa::decode(word).map_err(|e| (Trap::IllegalInstruction { word: e.word }, pc))
+    }
+
+    fn step<I: Inspector>(&mut self, c: usize, insp: &mut I) -> Result<Progress, (Trap, u32)> {
+        let pc = self.cores[c].pc;
+        let instr = if self.reference_interp || self.pin_all {
+            self.fetch_slow(c, pc, insp)?
+        } else {
+            // Fast path: replay the predecoded line. `None` covers every
+            // case that needs fetch semantics (pin, illegal word, PC
+            // outside the cache, misalignment) — fall back to the exact
+            // seed path so traps and `on_fetch` corruption are identical.
+            match self.mem.fetch_decoded(pc) {
+                Some(i) => i,
+                None => self.fetch_slow(c, pc, insp)?,
+            }
+        };
         let mut next_pc = pc.wrapping_add(4);
         let mut progress = Progress::Continue;
 
@@ -698,7 +1126,9 @@ impl Machine {
             }
             Instr::Sc { call } => {
                 self.syscall(c, call, pc).map_err(|t| (t, pc))?;
-                if self.cores[c].state != CoreState::Running {
+                if self.output.len() > self.config.output_limit {
+                    progress = Progress::OutputLimit;
+                } else if self.cores[c].state != CoreState::Running {
                     progress = Progress::StateChange;
                 }
             }
@@ -1243,6 +1673,195 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(m.run(&mut Noop), cold);
             m.restore(&snap);
+        }
+    }
+
+    #[test]
+    fn cached_and_reference_interpreters_agree() {
+        // A program exercising arithmetic, branches, calls, memory and
+        // syscalls; run it under both interpreters and compare outcomes
+        // and retired-instruction counts exactly.
+        let src = "
+            addi r5, r0, 10
+            cmpi cr0, r5, 0
+            bc cr0.eq, 1, 6
+            addi r3, r5, 0
+            sc print_int
+            bl 3
+            addi r5, r5, -1
+            b -6
+            addi r3, r0, 0
+            halt
+            addi r6, r6, 1
+            blr";
+        let image = assemble(src).unwrap();
+        let run_mode = |reference: bool| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.set_reference_interp(reference);
+            m.load(&image);
+            let out = m.run(&mut Noop);
+            (out, m.retired())
+        };
+        let (cached_out, cached_retired) = run_mode(false);
+        let (ref_out, ref_retired) = run_mode(true);
+        assert_eq!(cached_out, ref_out);
+        assert_eq!(cached_retired, ref_retired);
+    }
+
+    #[test]
+    fn decode_cache_stats_reflect_execution() {
+        let image = assemble("addi r3, r0, 1\nsc print_int\naddi r3, r0, 0\nhalt").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let _ = m.run(&mut Noop);
+        let stats = m.decode_cache_stats();
+        assert_eq!(stats.lines_built, 4, "one line per executed instruction");
+        assert_eq!(stats.slow_fetches, 0, "Noop never forces the slow path");
+
+        // A second run from a snapshot reuses every line.
+        m.load(&image);
+        let snap = m.snapshot();
+        let _ = m.run(&mut Noop);
+        let first = m.decode_cache_stats().lines_built;
+        m.restore(&snap);
+        let _ = m.run(&mut Noop);
+        assert_eq!(
+            m.decode_cache_stats().lines_built,
+            first,
+            "warm rerun decodes nothing new"
+        );
+    }
+
+    #[test]
+    fn reference_mode_counts_slow_fetches() {
+        let image = assemble("addi r3, r0, 0\nhalt").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_reference_interp(true);
+        m.load(&image);
+        let _ = m.run(&mut Noop);
+        let stats = m.decode_cache_stats();
+        assert_eq!(stats.lines_built, 0);
+        assert_eq!(stats.slow_fetches, m.retired());
+    }
+
+    #[test]
+    fn fetch_policy_all_disables_cache_for_the_run() {
+        // An inspector with the default (All) policy must see on_fetch for
+        // every instruction even with the cache initialised.
+        struct CountFetches(u64);
+        impl Inspector for CountFetches {
+            fn on_fetch(&mut self, _c: usize, _pc: u32, _w: &mut u32) {
+                self.0 += 1;
+            }
+        }
+        let image = assemble("addi r3, r0, 1\nsc print_int\naddi r3, r0, 0\nhalt").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let mut insp = CountFetches(0);
+        let _ = m.run(&mut insp);
+        assert_eq!(insp.0, m.retired());
+
+        // A subsequent Noop run re-enables the cache.
+        m.load(&image);
+        let _ = m.run(&mut Noop);
+        assert_eq!(m.decode_cache_stats().slow_fetches, 0);
+    }
+
+    #[test]
+    fn fetch_policy_pcs_pins_only_armed_addresses() {
+        use crate::inspect::FetchPolicy;
+        // Corrupt the fetch at 0x104 (print_int → nop-like ori) while the
+        // rest of the program runs from the cache.
+        struct PinOne {
+            seen: u64,
+        }
+        impl Inspector for PinOne {
+            fn fetch_policy(&self) -> FetchPolicy {
+                FetchPolicy::Pcs(vec![0x104])
+            }
+            fn on_fetch(&mut self, _c: usize, pc: u32, word: &mut u32) {
+                assert_eq!(pc, 0x104, "only the pinned PC reaches on_fetch");
+                self.seen += 1;
+                *word = isa::NOP;
+            }
+        }
+        let image = assemble("addi r3, r0, 7\nsc print_int\naddi r3, r0, 0\nhalt").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let mut insp = PinOne { seen: 0 };
+        let out = m.run(&mut insp);
+        assert_eq!(insp.seen, 1);
+        assert_eq!(out.output(), b"", "print was corrupted away at fetch");
+        assert_eq!(m.decode_cache_stats().slow_fetches, 1);
+
+        // The pin is dropped for the next run: the pristine word executes.
+        m.load(&image);
+        let out = m.run(&mut Noop);
+        assert_eq!(out.output(), b"7");
+    }
+
+    #[test]
+    fn self_modifying_store_into_code_is_seen_by_cached_interpreter() {
+        // Execute the target instruction once (so its cache line is
+        // decoded), then store a `halt` word over it and re-enter it. With
+        // a stale cache the original benign word replays and the run
+        // hangs; with correct invalidation both interpreters complete.
+        //
+        // halt encodes as op::HALT << 26, and addis places its immediate
+        // in the upper halfword: r6 = (0x13 << 10) << 16 = halt.
+        let halt_hi = (isa::encode(Instr::Halt) >> 16) as i32;
+        let src = format!(
+            "addis r6, r0, {halt_hi}
+             nop
+             addi r7, r0, 280
+             b 3
+             stw r6, 0(r7)
+             b 1
+             addi r8, r0, 0
+             b -3"
+        );
+        // Layout: 0x10C branches to the target at 0x118 (decoding its
+        // line), 0x11C branches back to the stw at 0x110, which patches
+        // 0x118; 0x114 then re-enters 0x118, which must now be halt.
+        let image = assemble(&src).unwrap();
+        for reference in [false, true] {
+            let mut m = Machine::new(MachineConfig {
+                budget: 100_000,
+                ..MachineConfig::default()
+            });
+            m.set_reference_interp(reference);
+            m.load(&image);
+            let out = m.run(&mut Noop);
+            assert!(
+                matches!(out, RunOutcome::Completed { exit_code: 0, .. }),
+                "self-modified halt must execute (reference={reference}), got {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_limit_fires_from_syscall_path() {
+        // Regression for the hoisted output-limit check: the cap is now
+        // enforced on the syscall path, and a silent (non-printing) loop
+        // still hangs via the budget.
+        let config = MachineConfig {
+            budget: u64::MAX / 2,
+            output_limit: 64,
+            ..MachineConfig::default()
+        };
+        let out = run_src_with(
+            "addi r3, r0, 88
+             sc print_char
+             b -1",
+            InputTape::new(),
+            config,
+        );
+        match out {
+            RunOutcome::Hang { output } => {
+                assert_eq!(output.len(), 65, "hang fires on the first overflow");
+                assert!(output.iter().all(|&b| b == b'X'));
+            }
+            other => panic!("expected hang, got {other:?}"),
         }
     }
 

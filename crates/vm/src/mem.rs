@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::isa::{self, Instr};
 use crate::machine::Trap;
 
 /// First mapped address; everything below is the trapping null page.
@@ -36,6 +37,59 @@ pub const PAGE_SHIFT: u32 = 12;
 
 /// Dirty-tracking page size in bytes.
 pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// Counters describing the predecoded translation cache's behaviour.
+///
+/// Exposed per-machine through `Machine::decode_cache_stats` and rolled up
+/// per-session by the campaign layer. All counters are cumulative since the
+/// cache was (re)initialised by [`Memory::init_decode_cache`], i.e. since
+/// program load — warm reboots deliberately do *not* reset them, so a
+/// session's counters describe the whole campaign slice it executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Decoded lines materialised (including lines later invalidated and
+    /// rebuilt, and lines recording an illegal word).
+    pub lines_built: u64,
+    /// Decoded/illegal lines reset to empty by a write into the code
+    /// region (guest store, injector poke, or snapshot restore).
+    pub lines_invalidated: u64,
+    /// Instructions executed via the fetch→`on_fetch`→decode slow path
+    /// (pinned PCs, reference mode, misaligned/out-of-range PCs).
+    pub slow_fetches: u64,
+}
+
+/// One predecoded cache line, covering one word of the code region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Line {
+    /// Not decoded yet (or invalidated); next fetch decodes and fills it.
+    #[default]
+    Empty,
+    /// The word decoded cleanly; execute this without re-fetching.
+    Decoded(Instr),
+    /// The word does not decode; the slow path re-raises the precise trap.
+    Illegal,
+    /// An inspector may corrupt fetches from this PC: always take the slow
+    /// path. Pins survive invalidation — a guest store to a pinned address
+    /// changes the word but not the fact that the PC is armed.
+    Pinned,
+}
+
+/// Lazily built predecoded instruction cache over the code region.
+///
+/// Indexed by `(pc - CODE_BASE) / 4`. Lives *inside* [`Memory`] so that the
+/// only three mutating accessors ([`Memory::write_u32`],
+/// [`Memory::write_u8`], [`Memory::write_bytes`]) and the dirty-page
+/// rollback ([`Memory::restore_from`]) invalidate covering lines at the
+/// source — self-modifying guests, injector pokes, and warm-reboot restores
+/// all funnel through those four paths, so no staleness can escape.
+#[derive(Clone, Default)]
+struct ICache {
+    /// One line per code word; empty vector means the cache is disabled.
+    lines: Vec<Line>,
+    /// First address past the cached region (`CODE_BASE + 4 * lines.len()`).
+    limit: u32,
+    stats: DecodeCacheStats,
+}
 
 /// Flat guest memory with null-page protection and dirty-page tracking.
 ///
@@ -57,6 +111,9 @@ pub struct Memory {
     /// One bit per [`PAGE_SIZE`]-byte page, set by every write since the
     /// last [`Memory::snapshot`] / [`Memory::restore_from`].
     dirty: Vec<u64>,
+    /// Predecoded translation cache over the code region (disabled until
+    /// [`Memory::init_decode_cache`]).
+    icache: ICache,
 }
 
 /// A point-in-time full copy of guest memory, produced by
@@ -106,6 +163,7 @@ impl Memory {
         Memory {
             bytes: vec![0; size as usize],
             dirty: vec![0; pages.div_ceil(64)],
+            icache: ICache::default(),
         }
     }
 
@@ -162,17 +220,33 @@ impl Memory {
             "snapshot/memory size mismatch: snapshot is for a different machine"
         );
         let size = self.bytes.len();
-        for (word_idx, word) in self.dirty.iter_mut().enumerate() {
-            let mut w = *word;
+        for word_idx in 0..self.dirty.len() {
+            let mut w = self.dirty[word_idx];
+            self.dirty[word_idx] = 0;
             while w != 0 {
                 let bit = w.trailing_zeros() as usize;
                 w &= w - 1;
                 let page = word_idx * 64 + bit;
                 let start = page << PAGE_SHIFT;
                 let end = (start + PAGE_SIZE as usize).min(size);
+                if (start as u32) < self.icache.limit {
+                    // Rolling a code page back changes words just as stores
+                    // would — but the dirty bit is page-granular and most of
+                    // the page is usually byte-identical to the snapshot
+                    // (e.g. a single injector poke dirtied it). Diff word by
+                    // word *before* copying and invalidate only the words
+                    // that actually change, so one patched word costs one
+                    // rebuilt line, not a thousand.
+                    let mut a = start;
+                    while a < end {
+                        if self.bytes[a..a + 4] != snap.bytes[a..a + 4] {
+                            self.invalidate_decoded(a as u32, 4);
+                        }
+                        a += 4;
+                    }
+                }
                 self.bytes[start..end].copy_from_slice(&snap.bytes[start..end]);
             }
-            *word = 0;
         }
     }
 
@@ -180,6 +254,128 @@ impl Memory {
     /// copies exactly this many pages).
     pub fn dirty_pages(&self) -> usize {
         self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// (Re)initialise the predecoded translation cache over
+    /// `[CODE_BASE, code_end)`, clearing all lines, pins, and statistics.
+    ///
+    /// Called by `Machine::load` once the code words are in place. Decoding
+    /// is lazy: lines fill on first execution, so programs pay only for the
+    /// code they actually run.
+    pub fn init_decode_cache(&mut self, code_end: u32) {
+        let words = ((code_end.max(CODE_BASE) - CODE_BASE) / 4) as usize;
+        self.icache.lines.clear();
+        self.icache.lines.resize(words, Line::Empty);
+        self.icache.limit = CODE_BASE + words as u32 * 4;
+        self.icache.stats = DecodeCacheStats::default();
+    }
+
+    /// Fetch the decoded instruction at `pc` from the translation cache,
+    /// building the line on first touch.
+    ///
+    /// Returns `None` whenever the slow fetch→hook→decode path must run
+    /// instead: `pc` outside or misaligned within the cached region, a
+    /// pinned (fetch-armed) line, or a word that previously failed to
+    /// decode (the slow path re-raises the precise `IllegalInstruction`
+    /// trap with the offending word).
+    #[inline]
+    pub(crate) fn fetch_decoded(&mut self, pc: u32) -> Option<Instr> {
+        // `pc < CODE_BASE` wraps to a huge offset and `pc >= limit` lands
+        // past the vector, so a single length-checked `get` covers both
+        // range tests; only alignment needs an explicit check.
+        let off = pc.wrapping_sub(CODE_BASE);
+        if off & 3 != 0 {
+            return None;
+        }
+        let idx = (off >> 2) as usize;
+        match self.icache.lines.get(idx).copied() {
+            None => None,
+            Some(Line::Decoded(i)) => Some(i),
+            Some(Line::Empty) => self.build_line(pc, idx),
+            Some(Line::Illegal) | Some(Line::Pinned) => None,
+        }
+    }
+
+    /// Decode the code word at `pc` into line `idx` (first touch after
+    /// load or invalidation). Out of line so the hot
+    /// [`Memory::fetch_decoded`] path stays small enough to inline.
+    #[cold]
+    fn build_line(&mut self, pc: u32, idx: usize) -> Option<Instr> {
+        let b = pc as usize;
+        let word = u32::from_le_bytes([
+            self.bytes[b],
+            self.bytes[b + 1],
+            self.bytes[b + 2],
+            self.bytes[b + 3],
+        ]);
+        self.icache.stats.lines_built += 1;
+        match isa::decode(word) {
+            Ok(i) => {
+                self.icache.lines[idx] = Line::Decoded(i);
+                Some(i)
+            }
+            Err(_) => {
+                self.icache.lines[idx] = Line::Illegal;
+                None
+            }
+        }
+    }
+
+    /// Invalidate every decoded line covering `[addr, addr + len)`.
+    ///
+    /// Pinned lines stay pinned: a write to an armed PC changes the word
+    /// but not the fact that fetches from it must take the slow path.
+    /// The early-out makes this free for the overwhelmingly common case of
+    /// stores above the code region (data/heap/stack).
+    #[inline]
+    fn invalidate_decoded(&mut self, addr: u32, len: u32) {
+        if addr >= self.icache.limit || len == 0 || addr + len <= CODE_BASE {
+            return;
+        }
+        let first = (addr.max(CODE_BASE) - CODE_BASE) as usize / 4;
+        let last = (((addr + len - 1).min(self.icache.limit - 1)) - CODE_BASE) as usize / 4;
+        for line in &mut self.icache.lines[first..=last] {
+            match *line {
+                Line::Decoded(_) | Line::Illegal => {
+                    *line = Line::Empty;
+                    self.icache.stats.lines_invalidated += 1;
+                }
+                Line::Empty | Line::Pinned => {}
+            }
+        }
+    }
+
+    /// Pin `pc` to the slow fetch path (an inspector may corrupt fetches
+    /// from it). No-op outside the cached region — the slow path already
+    /// covers such PCs.
+    pub(crate) fn pin_fetch_slow(&mut self, pc: u32) {
+        if pc >= CODE_BASE && pc < self.icache.limit && pc.is_multiple_of(4) {
+            let idx = ((pc - CODE_BASE) / 4) as usize;
+            self.icache.lines[idx] = Line::Pinned;
+        }
+    }
+
+    /// Remove a pin installed by [`Memory::pin_fetch_slow`], returning the
+    /// line to the lazily-decoded state.
+    pub(crate) fn unpin_fetch(&mut self, pc: u32) {
+        if pc >= CODE_BASE && pc < self.icache.limit && pc.is_multiple_of(4) {
+            let idx = ((pc - CODE_BASE) / 4) as usize;
+            if self.icache.lines[idx] == Line::Pinned {
+                self.icache.lines[idx] = Line::Empty;
+            }
+        }
+    }
+
+    /// Record one slow-path (fetch→hook→decode) instruction fetch.
+    #[inline]
+    pub(crate) fn note_slow_fetch(&mut self) {
+        self.icache.stats.slow_fetches += 1;
+    }
+
+    /// Cumulative translation-cache counters since the last
+    /// [`Memory::init_decode_cache`].
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.icache.stats
     }
 
     /// Read a little-endian word.
@@ -215,6 +411,7 @@ impl Memory {
         }
         self.check(addr, 4)?;
         self.mark_dirty(addr, 4);
+        self.invalidate_decoded(addr, 4);
         self.bytes[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
@@ -239,6 +436,7 @@ impl Memory {
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), Trap> {
         self.check(addr, 1)?;
         self.mark_dirty(addr, 1);
+        self.invalidate_decoded(addr, 1);
         self.bytes[addr as usize] = value;
         Ok(())
     }
@@ -254,6 +452,7 @@ impl Memory {
         }
         self.check(addr, data.len() as u32)?;
         self.mark_dirty(addr, data.len() as u32);
+        self.invalidate_decoded(addr, data.len() as u32);
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -544,6 +743,109 @@ mod tests {
         m.write_bytes(0x200, &[]).unwrap();
         assert_eq!(m.dirty_pages(), 0);
         m.restore_from(&snap);
+    }
+
+    #[test]
+    fn decode_cache_builds_lazily_and_hits() {
+        let mut m = Memory::new(4096);
+        let nop = isa::NOP;
+        let nop_i = isa::decode(nop).unwrap();
+        m.write_u32(CODE_BASE, nop).unwrap();
+        m.write_u32(CODE_BASE + 4, nop).unwrap();
+        m.init_decode_cache(CODE_BASE + 8);
+
+        assert_eq!(m.decode_cache_stats().lines_built, 0);
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+        assert_eq!(m.decode_cache_stats().lines_built, 1);
+        // Second fetch is a hit: no new line built.
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+        assert_eq!(m.decode_cache_stats().lines_built, 1);
+        // Outside the cached region / misaligned → slow path.
+        assert_eq!(m.fetch_decoded(CODE_BASE + 8), None);
+        assert_eq!(m.fetch_decoded(CODE_BASE + 2), None);
+        assert_eq!(m.fetch_decoded(0), None);
+    }
+
+    #[test]
+    fn decode_cache_records_illegal_words() {
+        let mut m = Memory::new(4096);
+        m.write_u32(CODE_BASE, 0).unwrap(); // zero word is illegal
+        m.init_decode_cache(CODE_BASE + 4);
+        assert_eq!(m.fetch_decoded(CODE_BASE), None);
+        assert_eq!(m.decode_cache_stats().lines_built, 1);
+        // Stays on the slow path without rebuilding the line.
+        assert_eq!(m.fetch_decoded(CODE_BASE), None);
+        assert_eq!(m.decode_cache_stats().lines_built, 1);
+    }
+
+    #[test]
+    fn writes_into_code_invalidate_covering_lines() {
+        let mut m = Memory::new(4096);
+        let nop = isa::NOP;
+        let nop_i = isa::decode(nop).unwrap();
+        for i in 0..4 {
+            m.write_u32(CODE_BASE + i * 4, nop).unwrap();
+        }
+        m.init_decode_cache(CODE_BASE + 16);
+        for i in 0..4 {
+            assert!(m.fetch_decoded(CODE_BASE + i * 4).is_some());
+        }
+
+        // Word write: exactly one line invalidated, then rebuilt with the
+        // new contents.
+        let halt = isa::encode(isa::Instr::Halt);
+        m.write_u32(CODE_BASE + 4, halt).unwrap();
+        assert_eq!(m.decode_cache_stats().lines_invalidated, 1);
+        assert_eq!(m.fetch_decoded(CODE_BASE + 4), Some(isa::Instr::Halt));
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+
+        // Byte write invalidates the covering word line.
+        m.write_u8(CODE_BASE + 9, 0xFF).unwrap();
+        assert_eq!(m.decode_cache_stats().lines_invalidated, 2);
+
+        // Writes above the cached region never invalidate.
+        let before = m.decode_cache_stats().lines_invalidated;
+        m.write_u32(0x800, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.decode_cache_stats().lines_invalidated, before);
+    }
+
+    #[test]
+    fn restore_invalidates_restored_code_pages() {
+        let mut m = Memory::new(16 * 1024);
+        let nop = isa::NOP;
+        let nop_i = isa::decode(nop).unwrap();
+        m.write_u32(CODE_BASE, nop).unwrap();
+        m.init_decode_cache(CODE_BASE + 4);
+        let snap = m.snapshot();
+
+        // Patch the code, decode the patched word, then roll back.
+        m.write_u32(CODE_BASE, isa::encode(isa::Instr::Halt))
+            .unwrap();
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(isa::Instr::Halt));
+        m.restore_from(&snap);
+        // The restored word must be re-decoded, not served stale.
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+    }
+
+    #[test]
+    fn pinned_lines_stay_slow_and_survive_invalidation() {
+        let mut m = Memory::new(4096);
+        let nop = isa::NOP;
+        let nop_i = isa::decode(nop).unwrap();
+        m.write_u32(CODE_BASE, nop).unwrap();
+        m.init_decode_cache(CODE_BASE + 4);
+
+        m.pin_fetch_slow(CODE_BASE);
+        assert_eq!(m.fetch_decoded(CODE_BASE), None, "pinned → slow path");
+        // A write to the pinned word must not quietly unpin it.
+        m.write_u32(CODE_BASE, nop).unwrap();
+        assert_eq!(m.fetch_decoded(CODE_BASE), None, "pin survives writes");
+
+        m.unpin_fetch(CODE_BASE);
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+        // Unpinning a non-pinned (now decoded) line is a no-op.
+        m.unpin_fetch(CODE_BASE);
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
     }
 
     #[test]

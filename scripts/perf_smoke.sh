@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Perf smoke: non-gating sanity check that the predecoded translation
+# cache actually outruns the reference decode-every-fetch interpreter.
+#
+# Runs the count_instr example in `compare` mode, which
+#   1. asserts both interpreters retire identical instruction counts on
+#      every probe program (a cheap correctness differential), and
+#   2. prints the per-program and total wall-clock speedup.
+# The speedup floor below is deliberately loose (shared CI boxes are
+# noisy) — this script exists to catch the cache being *disabled or
+# pessimised by an order of magnitude*, not to re-certify the headline
+# number in BENCH_translation_cache.json (use `cargo bench -p swifi-bench`
+# for that, with its interleaved best-of-chunks methodology).
+#
+# Exit codes: 0 ok, 1 cached interpreter slower than the floor,
+# 2 harness failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLOOR="${SWIFI_PERF_SMOKE_FLOOR:-1.2}"
+
+cargo build --release -p swifi-bench --example count_instr
+
+out=$(SWIFI_INTERP=compare ./target/release/examples/count_instr) || exit 2
+echo "$out"
+
+# Line shape: "TOTAL compare: cached is 2.47x reference (wall clock)"
+total=$(echo "$out" | awk '/^TOTAL compare/ { sub(/x$/, "", $5); print $5 }')
+if [ -z "$total" ]; then
+  echo "perf_smoke: could not parse total speedup" >&2
+  exit 2
+fi
+
+ok=$(awk -v t="$total" -v f="$FLOOR" 'BEGIN { print (t >= f) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+  echo "perf_smoke: cached interpreter only ${total}x reference (floor ${FLOOR}x)" >&2
+  exit 1
+fi
+echo "perf_smoke: cached is ${total}x reference (floor ${FLOOR}x) - ok"

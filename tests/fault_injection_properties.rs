@@ -179,6 +179,88 @@ proptest! {
         }
     }
 
+    /// Differential property for the translation cache: a warm session on
+    /// the cached interpreter and a warm session on the seed
+    /// decode-every-fetch reference interpreter classify every (fault,
+    /// input, seed) triple identically — including code-patch faults
+    /// (`Target::InstrMemory`) applied *mid-campaign* through
+    /// [`Injector`]'s reset/prepare path after the cache is already warm,
+    /// which is exactly where a stale decoded line would diverge.
+    #[test]
+    fn cached_interpreter_matches_reference(
+        word_index in 0usize..600,
+        op in arb_error_op(),
+        target in arb_target(),
+        when in arb_firing(),
+        seed in any::<u64>(),
+    ) {
+        let p = program("JB.team11").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let addr = swifi_vm::CODE_BASE
+            + ((word_index % compiled.image.code.len()) as u32) * 4;
+        let spec = FaultSpec { what: op, target, trigger: Trigger::OpcodeFetch(addr), when };
+        // Guaranteed code patch: prepare() pokes the flipped word straight
+        // into instruction memory while the session's decode cache still
+        // holds lines built by the preceding clean run.
+        let patch = FaultSpec {
+            what: ErrorOp::Xor(0x0000_FFFF),
+            target: Target::InstrMemory,
+            trigger: Trigger::OpcodeFetch(addr),
+            when: Firing::First,
+        };
+        let input = TestInput::JamesB { seed: 4, line: b"differential".to_vec() };
+        let mut cached = RunSession::new(&compiled, Family::JamesB);
+        let mut reference = RunSession::new(&compiled, Family::JamesB);
+        reference.set_reference_interp(true);
+        let schedule: [(Option<&FaultSpec>, u64); 4] = [
+            (None, seed),                       // warms the decode cache
+            (Some(&patch), seed ^ 0x5A5A),      // mid-campaign code patch
+            (Some(&spec), seed),                // the random fault under test
+            (None, seed ^ 1),                   // restore must be clean again
+        ];
+        for (i, (fault, s)) in schedule.iter().enumerate() {
+            let warm = cached.run(&input, *fault, *s);
+            let refr = reference.run(&input, *fault, *s);
+            prop_assert_eq!(warm, refr, "run {} diverged", i);
+        }
+    }
+
+    /// Fetch-time corruption (`Target::InstrBus`) lives on the slow path:
+    /// the armed trigger PC is pinned out of the decode cache, so
+    /// `on_fetch` still sees — and may corrupt — the fetched word. The raw
+    /// [`swifi_vm::machine::RunOutcome`], fired flag, and retired
+    /// instruction count must all be bit-identical across interpreters.
+    #[test]
+    fn fetch_corruption_identical_across_interpreters(
+        word_index in 0usize..600,
+        op in arb_error_op(),
+        when in arb_firing(),
+        seed in any::<u64>(),
+    ) {
+        let p = program("JB.team6").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let addr = swifi_vm::CODE_BASE
+            + ((word_index % compiled.image.code.len()) as u32) * 4;
+        let spec = FaultSpec {
+            what: op,
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(addr),
+            when,
+        };
+        let input = TestInput::JamesB { seed: 6, line: b"fetch corruption".to_vec() };
+        let run = |reference: bool| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.set_reference_interp(reference);
+            m.load(&compiled.image);
+            m.set_input(input.to_tape());
+            let mut inj = Injector::new(vec![spec], TriggerMode::IntrusiveTraps, seed).unwrap();
+            inj.prepare(&mut m).unwrap();
+            let out = m.run(&mut inj);
+            (out, inj.any_fired(), m.retired())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
     /// The generated error sets scale linearly with chosen locations: the
     /// §6.3 accounting identity (`faults = Σ applicable types`).
     #[test]
