@@ -22,7 +22,7 @@ use swifi_lang::compile;
 use swifi_metrics::{allocate, measure, AllocationStrategy};
 use swifi_programs::TargetProgram;
 
-use crate::pool::parallel_map_with;
+use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
 use crate::runner::ModeCounts;
 use crate::section6::CampaignScale;
 use crate::session::RunSession;
@@ -39,6 +39,9 @@ pub struct AblationRow {
     /// Dormant (never-fired) runs — the interesting signal: locations in
     /// rarely executed functions stay dormant.
     pub dormant_runs: u64,
+    /// Work items that panicked out of the harness and were recorded as
+    /// abnormal instead of aborting the experiment.
+    pub abnormal: u64,
 }
 
 /// Run the ablation on one program with a total budget of `budget`
@@ -49,6 +52,23 @@ pub fn ablation(
     scale: CampaignScale,
     seed: u64,
 ) -> Vec<AblationRow> {
+    ablation_with(target, budget, scale, seed, &CampaignOptions::default())
+        .expect("no checkpoint configured")
+}
+
+/// [`ablation`] under explicit robustness options (checkpoint/resume,
+/// watchdog, chaos injection); each strategy is one checkpoint phase.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures and header/record corruption.
+pub fn ablation_with(
+    target: &TargetProgram,
+    budget: usize,
+    scale: CampaignScale,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<Vec<AblationRow>, String> {
     let compiled = compile(target.source_correct).expect("vendored source compiles");
     let ast = swifi_lang::parser::parse(target.source_correct).expect("parses");
     let metrics = measure(target.source_correct, &ast);
@@ -85,6 +105,13 @@ pub fn ablation(
     let inputs = target
         .family
         .test_case(scale.inputs_per_fault, seed ^ 0xAB1A);
+    let header = CheckpointHeader::new(
+        format!("ablation:{}", target.name),
+        seed,
+        scale.inputs_per_fault as u64,
+    );
+    let mut engine = CampaignEngine::new(header, opts)?;
+    let mut chaos_base = 0u64;
     strategies
         .into_iter()
         .map(|(label, strategy)| {
@@ -123,15 +150,25 @@ pub fn ablation(
                     faults.extend(check_faults_for(&compiled.debug.checks[i]));
                 }
             }
-            let (per_fault, _sessions) = parallel_map_with(
+            let base = chaos_base;
+            chaos_base += faults.len() as u64;
+            let (records, _sessions) = engine.run_phase(
+                &label,
                 &faults,
-                || RunSession::new(&compiled, target.family),
-                |session, fault| {
+                || {
+                    let mut s = RunSession::new(&compiled, target.family);
+                    s.set_watchdog(opts.watchdog);
+                    s
+                },
+                |session, i, fault| {
+                    if opts.chaos_panic == Some(base + i as u64) {
+                        panic!("chaos-panic injected at campaign item {}", base + i as u64);
+                    }
                     let mut counts = ModeCounts::default();
                     let mut dormant = 0u64;
-                    for (i, input) in inputs.iter().enumerate() {
+                    for (j, input) in inputs.iter().enumerate() {
                         let (mode, fired) =
-                            session.run(input, Some(&fault.spec), seed.wrapping_add(i as u64));
+                            session.run(input, Some(&fault.spec), seed.wrapping_add(j as u64));
                         counts.add(mode);
                         if !fired {
                             dormant += 1;
@@ -139,19 +176,22 @@ pub fn ablation(
                     }
                     (counts, dormant)
                 },
-            );
+                |i, fault| format!("fault #{i} at {:#x}", fault.site_addr),
+            )?;
+            let (per_fault, abnormal) = split_records(records);
             let mut modes = ModeCounts::default();
             let mut dormant_runs = 0;
-            for (c, d) in per_fault {
+            for (_, (c, d)) in per_fault {
                 modes.merge(&c);
                 dormant_runs += d;
             }
-            AblationRow {
+            Ok(AblationRow {
                 strategy: label,
                 allocation,
                 modes,
                 dormant_runs,
-            }
+                abnormal: abnormal.len() as u64,
+            })
         })
         .collect()
 }

@@ -18,7 +18,7 @@ use swifi_programs::all_programs;
 use swifi_vm::inspect::Profiler;
 use swifi_vm::machine::RunOutcome;
 
-use crate::pool::parallel_map_with;
+use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
 use crate::session::RunSession;
 
 /// Measured exposure chain for one real fault.
@@ -53,6 +53,26 @@ impl ExposureEstimate {
 /// Measure the exposure chain for every class A/B real fault over `runs`
 /// random inputs per program.
 pub fn estimate_exposure(runs: usize, seed: u64) -> Vec<ExposureEstimate> {
+    estimate_exposure_with(runs, seed, &CampaignOptions::default())
+        .expect("no checkpoint configured")
+}
+
+/// [`estimate_exposure`] under explicit robustness options; each program
+/// is one checkpoint phase and each profiled run one work item. Abnormal
+/// runs drop out of both numerator and denominator, keeping the measured
+/// probabilities consistent.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures and header/record corruption.
+pub fn estimate_exposure_with(
+    runs: usize,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<Vec<ExposureEstimate>, String> {
+    let header = CheckpointHeader::new("exposure", seed, runs as u64);
+    let mut engine = CampaignEngine::new(header, opts)?;
+    let mut chaos_base = 0u64;
     let mut out = Vec::new();
     for p in all_programs() {
         let Some(faulty_src) = p.source_faulty else {
@@ -68,10 +88,20 @@ pub fn estimate_exposure(runs: usize, seed: u64) -> Vec<ExposureEstimate> {
         };
         let addrs: Vec<u32> = diffs.iter().map(|d| d.addr).collect();
         let inputs = p.family.test_case(runs, seed);
-        let (per_run, _sessions) = parallel_map_with(
+        let base = chaos_base;
+        chaos_base += inputs.len() as u64;
+        let (records, _sessions) = engine.run_phase(
+            p.name,
             &inputs,
-            || RunSession::new(&faulty, p.family),
-            |session, input| {
+            || {
+                let mut s = RunSession::new(&faulty, p.family);
+                s.set_watchdog(opts.watchdog);
+                s
+            },
+            |session, i, input| {
+                if opts.chaos_panic == Some(base + i as u64) {
+                    panic!("chaos-panic injected at campaign item {}", base + i as u64);
+                }
                 let mut prof = Profiler::new();
                 let outcome = session.run_with(input, &mut prof);
                 let executed = addrs.iter().any(|&a| prof.executed(a));
@@ -84,23 +114,28 @@ pub fn estimate_exposure(runs: usize, seed: u64) -> Vec<ExposureEstimate> {
                 };
                 (executed, failed)
             },
-        );
-        let executed = per_run.iter().filter(|&&(e, _)| e).count();
-        let failed = per_run.iter().filter(|&&(_, f)| f).count();
-        let failed_and_executed = per_run.iter().filter(|&&(e, f)| e && f).count();
+            |i, _| format!("{} profiled input #{i}", p.name),
+        )?;
+        let (per_run, _abnormal) = split_records(records);
+        // Denominator = runs that actually completed; an abnormal run
+        // contributes to neither side of a probability.
+        let measured = per_run.len();
+        let executed = per_run.iter().filter(|&&(_, (e, _))| e).count();
+        let failed = per_run.iter().filter(|&&(_, (_, f))| f).count();
+        let failed_and_executed = per_run.iter().filter(|&&(_, (e, f))| e && f).count();
         out.push(ExposureEstimate {
             program: p.name.to_string(),
-            runs,
-            p1: executed as f64 / runs.max(1) as f64,
+            runs: measured,
+            p1: executed as f64 / measured.max(1) as f64,
             p23: if executed == 0 {
                 0.0
             } else {
                 failed_and_executed as f64 / executed as f64
             },
-            failure_rate: failed as f64 / runs.max(1) as f64,
+            failure_rate: failed as f64 / measured.max(1) as f64,
         });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
 use swifi_lang::compile;
 use swifi_programs::TargetProgram;
 
-use crate::pool::parallel_map_with;
+use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
 use crate::runner::ModeCounts;
 use crate::section6::CampaignScale;
 use crate::session::RunSession;
@@ -64,6 +64,8 @@ pub struct HardwareRow {
     pub modes: ModeCounts,
     /// Runs where the fault never fired.
     pub dormant_runs: u64,
+    /// Work items that panicked out of the harness (recorded, not fatal).
+    pub abnormal: u64,
 }
 
 /// Generate `count` random hardware faults of the given kind over a
@@ -111,23 +113,63 @@ pub fn hardware_campaign(
     scale: CampaignScale,
     seed: u64,
 ) -> Vec<HardwareRow> {
+    hardware_campaign_with(
+        target,
+        faults_per_kind,
+        scale,
+        seed,
+        &CampaignOptions::default(),
+    )
+    .expect("no checkpoint configured")
+}
+
+/// [`hardware_campaign`] under explicit robustness options; each fault
+/// flavour is one checkpoint phase.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures and header/record corruption.
+pub fn hardware_campaign_with(
+    target: &TargetProgram,
+    faults_per_kind: usize,
+    scale: CampaignScale,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<Vec<HardwareRow>, String> {
     let compiled = compile(target.source_correct).expect("vendored source compiles");
     let inputs = target
         .family
         .test_case(scale.inputs_per_fault, seed ^ 0x44D);
+    let header = CheckpointHeader::new(
+        format!("hardware:{}", target.name),
+        seed,
+        scale.inputs_per_fault as u64,
+    );
+    let mut engine = CampaignEngine::new(header, opts)?;
+    let mut chaos_base = 0u64;
     HwFaultKind::ALL
         .iter()
         .map(|&kind| {
             let faults = random_hw_faults(kind, compiled.image.code.len(), faults_per_kind, seed);
-            let (per_fault, _sessions) = parallel_map_with(
+            let base = chaos_base;
+            chaos_base += faults.len() as u64;
+            let (records, _sessions) = engine.run_phase(
+                kind.label(),
                 &faults,
-                || RunSession::new(&compiled, target.family),
-                |session, spec| {
+                || {
+                    let mut s = RunSession::new(&compiled, target.family);
+                    s.set_watchdog(opts.watchdog);
+                    s
+                },
+                |session, i, spec| {
+                    if opts.chaos_panic == Some(base + i as u64) {
+                        panic!("chaos-panic injected at campaign item {}", base + i as u64);
+                    }
                     let mut counts = ModeCounts::default();
                     let mut dormant = 0u64;
-                    for (i, input) in inputs.iter().enumerate() {
+                    for (j, input) in inputs.iter().enumerate() {
                         let (mode, fired) =
-                            session.run(input, Some(spec), seed.wrapping_add(i as u64));
+                            session.run(input, Some(spec), seed.wrapping_add(j as u64));
                         counts.add(mode);
                         if !fired {
                             dormant += 1;
@@ -135,18 +177,21 @@ pub fn hardware_campaign(
                     }
                     (counts, dormant)
                 },
-            );
+                |i, spec| format!("{} fault #{i}: {:?}", kind.label(), spec.trigger),
+            )?;
+            let (per_fault, abnormal) = split_records(records);
             let mut modes = ModeCounts::default();
             let mut dormant_runs = 0;
-            for (c, d) in per_fault {
+            for (_, (c, d)) in per_fault {
                 modes.merge(&c);
                 dormant_runs += d;
             }
-            HardwareRow {
+            Ok(HardwareRow {
                 kind,
                 modes,
                 dormant_runs,
-            }
+                abnormal: abnormal.len() as u64,
+            })
         })
         .collect()
 }

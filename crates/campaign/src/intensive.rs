@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use swifi_lang::compile;
 use swifi_programs::all_programs;
 
-use crate::pool::parallel_map_with;
+use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
 use crate::runner::{FailureMode, ModeCounts};
 use crate::session::RunSession;
 
@@ -22,6 +22,8 @@ pub struct Table1Row {
     pub defect_type: String,
     /// Outcome counts over the intensive test.
     pub counts: ModeCounts,
+    /// Runs that panicked out of the harness (recorded, not fatal).
+    pub abnormal: u64,
 }
 
 impl Table1Row {
@@ -41,6 +43,23 @@ impl Table1Row {
 /// The paper used more than 10 000 runs per program; the reproduction
 /// scales with `runs` (see EXPERIMENTS.md for the scale used on record).
 pub fn table1(runs: usize, seed: u64) -> Vec<Table1Row> {
+    table1_with(runs, seed, &CampaignOptions::default()).expect("no checkpoint configured")
+}
+
+/// [`table1`] under explicit robustness options; each faulty program is
+/// one checkpoint phase and each run is one work item.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures and header/record corruption.
+pub fn table1_with(
+    runs: usize,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<Vec<Table1Row>, String> {
+    let header = CheckpointHeader::new("intensive", seed, runs as u64);
+    let mut engine = CampaignEngine::new(header, opts)?;
+    let mut chaos_base = 0u64;
     let mut rows = Vec::new();
     for p in all_programs() {
         let Some(faulty_src) = p.source_faulty else {
@@ -48,13 +67,27 @@ pub fn table1(runs: usize, seed: u64) -> Vec<Table1Row> {
         };
         let compiled = compile(faulty_src).expect("faulty source compiles");
         let inputs = p.family.test_case(runs, seed);
-        let (modes, _sessions) = parallel_map_with(
+        let base = chaos_base;
+        chaos_base += inputs.len() as u64;
+        let (records, _sessions) = engine.run_phase(
+            p.name,
             &inputs,
-            || RunSession::new(&compiled, p.family),
-            |session, input| session.run(input, None, 0).0,
-        );
+            || {
+                let mut s = RunSession::new(&compiled, p.family);
+                s.set_watchdog(opts.watchdog);
+                s
+            },
+            |session, i, input| {
+                if opts.chaos_panic == Some(base + i as u64) {
+                    panic!("chaos-panic injected at campaign item {}", base + i as u64);
+                }
+                session.run(input, None, 0).0
+            },
+            |i, _| format!("{} input #{i}", p.name),
+        )?;
+        let (modes, abnormal) = split_records(records);
         let mut counts = ModeCounts::default();
-        for m in modes {
+        for (_, m) in modes {
             counts.add(m);
         }
         rows.push(Table1Row {
@@ -65,9 +98,10 @@ pub fn table1(runs: usize, seed: u64) -> Vec<Table1Row> {
                 .defect_type
                 .to_string(),
             counts,
+            abnormal: abnormal.len() as u64,
         });
     }
-    rows
+    Ok(rows)
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod engine;
 pub mod exposure;
 pub mod hardware;
 pub mod intensive;
@@ -51,6 +52,10 @@ pub mod section6;
 pub mod session;
 pub mod triggers;
 
+pub use engine::{
+    AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, CheckpointLog, RunRecord,
+    RunStatus,
+};
 pub use runner::{classify_outcome, execute, execute_cold, FailureMode, ModeCounts};
 pub use section6::{campaign_all, class_campaign, CampaignScale, ProgramCampaign};
 pub use session::{RunSession, SessionStats, Throughput};

@@ -14,6 +14,28 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The outcome of one item under [`parallel_map_resilient`]: the closure's
+/// return value, or the message of the panic it raised, plus the item's
+/// wall-clock cost. A panicking run is *data*, not a process abort.
+#[derive(Debug)]
+pub struct CaughtRun<R> {
+    /// Wall-clock time spent inside the closure for this item (including
+    /// an unwinding run's time up to the panic).
+    pub elapsed: Duration,
+    /// The closure's result, or the panic message (`Err`).
+    pub result: Result<R, String>,
+}
+
+/// Render a caught panic payload as a message for [`CaughtRun::result`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<opaque panic payload>".to_string())
+}
 
 /// Map `f` over `items` on up to `available_parallelism` worker threads,
 /// returning results in input order.
@@ -103,15 +125,158 @@ where
                 },
             }
         }
-        let states: Vec<S> = handles.into_iter().filter_map(|h| h.join().ok()).collect();
+        // Join every worker. A join error means the worker thread itself
+        // panicked outside the per-item `catch_unwind` (only `init` can do
+        // that); swallowing it with `.ok()` would silently drop the worker's
+        // state — and its `SessionStats` counters — undercounting campaign
+        // totals. Keep the states that did survive and re-raise the panic
+        // after the per-item failure (which names the item) gets priority.
+        let mut states: Vec<S> = Vec::with_capacity(handles.len());
+        let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(s) => states.push(s),
+                Err(payload) => worker_panic = Some(payload),
+            }
+        }
 
         if let Some((i, payload)) = failure {
             raise_with_index(i, payload);
+        }
+        if let Some(payload) = worker_panic {
+            eprintln!(
+                "parallel_map worker panicked during init ({} of {} states survive)",
+                states.len(),
+                workers
+            );
+            resume_unwind(payload);
         }
 
         let results = out
             .into_iter()
             .map(|r| r.expect("all indices complete when no worker panicked"))
+            .collect();
+        (results, states)
+    })
+}
+
+/// Like [`parallel_map_with`], but a panicking item is caught and returned
+/// as data (`Err(message)` in its [`CaughtRun`]) instead of being re-raised
+/// — the fault-tolerant path the campaign engine runs on. A reproduction
+/// that injects faults should survive the faults it injects: one wedged or
+/// panicking run must not discard the 10⁴ completed ones.
+///
+/// Semantics on a caught panic:
+///
+/// - the item's slot carries the panic message and elapsed time;
+/// - the worker *retires* its state (the unwound closure may have left it
+///   mid-run) and continues the remaining items on a fresh `init()` state;
+/// - retired states are still returned, so per-session counters survive.
+///
+/// `on_complete` is invoked on the **calling thread** as each item's
+/// result arrives (completion order, not input order) — the checkpoint
+/// hook: a campaign killed mid-flight keeps every completed record.
+///
+/// # Panics
+///
+/// A panic inside `init` itself is not an item failure and is re-raised
+/// (it means the run engine cannot be built at all).
+pub fn parallel_map_resilient<T, S, R, I, F, C>(
+    items: &[T],
+    init: I,
+    f: F,
+    mut on_complete: C,
+) -> (Vec<CaughtRun<R>>, Vec<S>)
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+    C: FnMut(usize, &CaughtRun<R>),
+{
+    let run_one = |state: &mut S, item: &T| -> CaughtRun<R> {
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| f(state, item)))
+            .map_err(|payload| panic_message(payload.as_ref()));
+        CaughtRun {
+            elapsed: t0.elapsed(),
+            result,
+        }
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let workers = workers.min(items.len().max(1));
+    if workers <= 1 || items.len() < 2 {
+        let mut states = Vec::new();
+        let mut state = init();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let run = run_one(&mut state, item);
+            if run.result.is_err() {
+                states.push(std::mem::replace(&mut state, init()));
+            }
+            on_complete(i, &run);
+            out.push(run);
+        }
+        states.push(state);
+        return (out, states);
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CaughtRun<R>)>();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let init = &init;
+            let run_one = &run_one;
+            handles.push(scope.spawn(move || {
+                let mut retired = Vec::new();
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let run = run_one(&mut state, &items[i]);
+                    if run.result.is_err() {
+                        // The unwound state may be arbitrary; retire it
+                        // (its counters still matter) and continue fresh.
+                        retired.push(std::mem::replace(&mut state, init()));
+                    }
+                    if tx.send((i, run)).is_err() {
+                        break;
+                    }
+                }
+                retired.push(state);
+                retired
+            }));
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<CaughtRun<R>>> = (0..items.len()).map(|_| None).collect();
+        for (i, run) in rx {
+            on_complete(i, &run);
+            out[i] = Some(run);
+        }
+        let mut states = Vec::new();
+        let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(s) => states.extend(s),
+                Err(payload) => worker_panic = Some(payload),
+            }
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+        let results = out
+            .into_iter()
+            .map(|r| r.expect("every index yields a caught run"))
             .collect();
         (results, states)
     })
@@ -238,6 +403,68 @@ mod tests {
             msg.contains("item 42") && msg.contains("session wedged on 42"),
             "got: {msg}"
         );
+    }
+
+    #[test]
+    fn resilient_map_turns_panics_into_data() {
+        let items: Vec<u32> = (0..256).collect();
+        let (out, states) = parallel_map_resilient(
+            &items,
+            || 0u64,
+            |count, &x| {
+                *count += 1;
+                if x % 100 == 97 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            },
+            |_, _| {},
+        );
+        assert_eq!(out.len(), 256);
+        for (i, run) in out.iter().enumerate() {
+            if i % 100 == 97 {
+                let msg = run.result.as_ref().expect_err("item must have panicked");
+                assert!(msg.contains(&format!("boom at {i}")), "got: {msg}");
+            } else {
+                assert_eq!(*run.result.as_ref().expect("item succeeded"), i as u32 * 2);
+            }
+        }
+        // Every item was attempted exactly once: retired states (from the
+        // panicked items) plus live states account for all 256 attempts.
+        assert_eq!(states.iter().sum::<u64>(), 256);
+    }
+
+    #[test]
+    fn resilient_map_reports_completions_in_arrival_order() {
+        let items: Vec<u32> = (0..64).collect();
+        let mut seen = Vec::new();
+        let (out, _) = parallel_map_resilient(
+            &items,
+            || (),
+            |(), &x| x,
+            |i, run| {
+                assert!(run.result.is_ok());
+                seen.push(i);
+            },
+        );
+        assert_eq!(out.len(), 64);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<usize>>(), "each item once");
+    }
+
+    #[test]
+    fn resilient_map_survives_single_item_panic() {
+        // The sequential path (1 item) must also catch, not abort.
+        let (out, states) = parallel_map_resilient(
+            &[7u32],
+            || 1u32,
+            |_, _| -> u32 { panic!("single wedge") },
+            |_, _| {},
+        );
+        assert!(out[0].result.as_ref().unwrap_err().contains("single wedge"));
+        // One retired (wedged) state plus the fresh replacement.
+        assert_eq!(states.len(), 2);
     }
 
     #[test]

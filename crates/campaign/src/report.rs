@@ -41,7 +41,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     out.push('\n');
-    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    // saturating: an empty header list must yield an empty table, not an
+    // underflow panic.
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
     for row in rows {
@@ -124,6 +126,41 @@ mod tests {
         let col = lines[0].find("LongHeader").unwrap();
         assert_eq!(lines[2].find('1').unwrap(), col);
         assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn empty_table_does_not_panic() {
+        // Regression: the separator width computed `2 * (cols - 1)`,
+        // which underflowed for a zero-column table.
+        let t = render_table(&[], &[]);
+        assert_eq!(t, "\n\n");
+        let t = render_table(&["Only"], &[]);
+        assert!(t.starts_with("Only"));
+    }
+
+    #[test]
+    fn degenerate_throughput_never_prints_nan() {
+        // Regression: empty / clean-only regions must render 0-valued
+        // figures, not NaN% (division by zero runs or zero instructions).
+        for line in [
+            throughput_line(&Throughput::default()),
+            decode_cache_line(&Throughput::default()),
+        ] {
+            assert!(!line.contains("NaN"), "{line}");
+            assert!(!line.contains("inf"), "{line}");
+        }
+        // Slow fetches with zero retired instructions (clean-only region
+        // measured on a reference-mode session): still no NaN.
+        let odd = Throughput {
+            slow_fetches: 5,
+            ..Throughput::default()
+        };
+        assert!(!decode_cache_line(&odd).contains("NaN"));
+        // And the percentage helper itself guards the empty distribution.
+        assert_eq!(
+            mode_cells(&ModeCounts::default()).join(" "),
+            "0.0% 0.0% 0.0% 0.0%"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use swifi_core::injector::TriggerMode;
 use swifi_lang::compile;
 use swifi_programs::all_programs;
 
-use crate::pool::parallel_map_with;
+use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
 use crate::session::RunSession;
 
 /// One §5 result row.
@@ -43,6 +43,25 @@ pub struct Section5Row {
 /// Run the §5 experiment: emulability analysis plus behavioural
 /// verification over `inputs_per_fault` random inputs for each fault.
 pub fn section5(inputs_per_fault: usize, seed: u64) -> Vec<Section5Row> {
+    section5_with(inputs_per_fault, seed, &CampaignOptions::default())
+        .expect("no checkpoint configured")
+}
+
+/// [`section5`] under explicit robustness options; each program's
+/// verification batch is one checkpoint phase. Abnormal runs drop out of
+/// the accuracy denominator.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures and header/record corruption.
+pub fn section5_with(
+    inputs_per_fault: usize,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<Vec<Section5Row>, String> {
+    let header = CheckpointHeader::new("section5", seed, inputs_per_fault as u64);
+    let mut engine = CampaignEngine::new(header, opts)?;
+    let mut chaos_base = 0u64;
     let mut rows = Vec::new();
     for p in all_programs() {
         let Some(faulty_src) = p.source_faulty else {
@@ -68,31 +87,44 @@ pub fn section5(inputs_per_fault: usize, seed: u64) -> Vec<Section5Row> {
             ),
             EmulationVerdict::NotEmulable { .. } => ('C', vec![], 0, None),
         };
-        let accuracy = mode.map(|trigger_mode| {
-            let specs = emulation_faults(&diffs, EmulationStrategy::FetchCorruption);
-            let inputs = p.family.test_case(inputs_per_fault, seed);
-            // Each worker carries a warm session pair: the corrected
-            // binary (for the emulated runs) and the real faulty binary
-            // (the reference), both restored between inputs.
-            let (matches, _sessions) = parallel_map_with(
-                &inputs,
-                || {
-                    (
-                        RunSession::new(&corrected, p.family),
-                        RunSession::new(&faulty, p.family),
-                    )
-                },
-                |(emulated_s, real_s), input| {
-                    // Emulated run: corrected binary + injected faults.
-                    let (emulated, _) = emulated_s.run_injected(input, &specs, trigger_mode, seed);
-                    // Reference run: the real faulty binary.
-                    let real = real_s.run_clean(input);
-                    emulated.output() == real.output()
-                },
-            );
-            let ok = matches.iter().filter(|&&b| b).count();
-            ok as f64 * 100.0 / matches.len().max(1) as f64
-        });
+        let accuracy = match mode {
+            None => None,
+            Some(trigger_mode) => {
+                let specs = emulation_faults(&diffs, EmulationStrategy::FetchCorruption);
+                let inputs = p.family.test_case(inputs_per_fault, seed);
+                let base = chaos_base;
+                chaos_base += inputs.len() as u64;
+                // Each worker carries a warm session pair: the corrected
+                // binary (for the emulated runs) and the real faulty binary
+                // (the reference), both restored between inputs.
+                let (records, _sessions) = engine.run_phase(
+                    p.name,
+                    &inputs,
+                    || {
+                        let mut emulated_s = RunSession::new(&corrected, p.family);
+                        let mut real_s = RunSession::new(&faulty, p.family);
+                        emulated_s.set_watchdog(opts.watchdog);
+                        real_s.set_watchdog(opts.watchdog);
+                        (emulated_s, real_s)
+                    },
+                    |(emulated_s, real_s), i, input| {
+                        if opts.chaos_panic == Some(base + i as u64) {
+                            panic!("chaos-panic injected at campaign item {}", base + i as u64);
+                        }
+                        // Emulated run: corrected binary + injected faults.
+                        let (emulated, _) =
+                            emulated_s.run_injected(input, &specs, trigger_mode, seed);
+                        // Reference run: the real faulty binary.
+                        let real = real_s.run_clean(input);
+                        emulated.output() == real.output()
+                    },
+                    |i, _| format!("{} verification input #{i}", p.name),
+                )?;
+                let (matches, _abnormal) = split_records(records);
+                let ok = matches.iter().filter(|&&(_, b)| b).count();
+                Some(ok as f64 * 100.0 / matches.len().max(1) as f64)
+            }
+        };
         rows.push(Section5Row {
             program: p.name.to_string(),
             defect_type: fault.defect_type.to_string(),
@@ -104,7 +136,7 @@ pub fn section5(inputs_per_fault: usize, seed: u64) -> Vec<Section5Row> {
             mode: mode.map(|m| format!("{m:?}")),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// The §5 headline: fraction of field faults beyond SWIFI emulation

@@ -16,7 +16,9 @@ use swifi_lang::compile;
 use swifi_odc::{AssignErrorType, CheckErrorType};
 use swifi_programs::{all_programs, TargetProgram};
 
-use crate::pool::parallel_map_with;
+use crate::engine::{
+    split_records, AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader,
+};
 use crate::runner::ModeCounts;
 use crate::session::{RunSession, Throughput};
 
@@ -96,8 +98,13 @@ pub struct ProgramCampaign {
     /// Total injected-fault runs.
     pub total_runs: u64,
     /// Run-engine throughput for the whole campaign (equality ignores
-    /// wall-clock; see [`Throughput`]).
+    /// wall-clock; see [`Throughput`]). Run counts are folded from the
+    /// per-fault records, so a resumed campaign reports the same totals
+    /// as an uninterrupted one.
     pub throughput: Throughput,
+    /// Work items that panicked out of the harness — the paper's
+    /// "abnormal outcome" bucket. The campaign completes around them.
+    pub abnormal: Vec<AbnormalRun>,
 }
 
 impl ProgramCampaign {
@@ -119,6 +126,34 @@ impl ProgramCampaign {
 /// Panics if the program's corrected source fails to compile (programs are
 /// vendored; this is a build error, not an input error).
 pub fn class_campaign(target: &TargetProgram, scale: CampaignScale, seed: u64) -> ProgramCampaign {
+    class_campaign_with(target, scale, seed, &CampaignOptions::default())
+        .expect("no checkpoint configured")
+}
+
+/// Run the class campaign for one program under explicit robustness
+/// options: checkpoint/resume, per-run watchdog, chaos injection.
+///
+/// Each fault is one work item; a fault whose runs panic the harness is
+/// recorded as [`AbnormalRun`] and the campaign continues. With
+/// [`CampaignOptions::checkpoint`] set, every completed fault appends to
+/// the JSONL checkpoint as it finishes, and with `resume` the recorded
+/// faults replay from disk instead of re-running — the resumed campaign
+/// compares equal (per the seed-determinism [`Throughput`]/report
+/// equality) to an uninterrupted one.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures and header/record corruption.
+///
+/// # Panics
+///
+/// Panics if the program's corrected source fails to compile.
+pub fn class_campaign_with(
+    target: &TargetProgram,
+    scale: CampaignScale,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<ProgramCampaign, String> {
     let compiled = compile(target.source_correct).expect("vendored source compiles");
     let (n_assign, n_check) = chosen_locations(target.name);
     let set = generate_error_set(&compiled.debug, n_assign, n_check, seed);
@@ -126,23 +161,46 @@ pub fn class_campaign(target: &TargetProgram, scale: CampaignScale, seed: u64) -
         .family
         .test_case(scale.inputs_per_fault, seed ^ 0x5EED);
 
-    let run_batch =
-        |faults: &[GeneratedFault]| -> (Vec<(ErrorClass, ModeCounts, u64)>, Throughput) {
-            // One work item per fault: runs the whole shared test case. Each
-            // worker thread owns a warm-reboot session reused across all the
-            // faults it processes (one session per worker, not per run).
-            let t0 = std::time::Instant::now();
-            let (per_fault, sessions) = parallel_map_with(
+    let header = CheckpointHeader::new(
+        format!("section6:{}", target.name),
+        seed,
+        scale.inputs_per_fault as u64,
+    );
+    let mut engine = CampaignEngine::new(header, opts)?;
+    let t0 = std::time::Instant::now();
+    let mut sessions: Vec<RunSession> = Vec::new();
+
+    // One work item per fault: runs the whole shared test case. Each
+    // worker thread owns a warm-reboot session reused across all the
+    // faults it processes (one session per worker, not per run);
+    // `chaos_base` makes `CampaignOptions::chaos_panic` a global item
+    // index across the two phases.
+    // One phase's outcome: the ok per-fault results plus the abnormal runs.
+    type PhaseBatch = (Vec<(ErrorClass, ModeCounts, u64)>, Vec<AbnormalRun>);
+    let mut run_batch =
+        |phase: &str, faults: &[GeneratedFault], chaos_base: u64| -> Result<PhaseBatch, String> {
+            let (records, mut batch_sessions) = engine.run_phase(
+                phase,
                 faults,
-                || RunSession::new(&compiled, target.family),
-                |session, fault| {
+                || {
+                    let mut s = RunSession::new(&compiled, target.family);
+                    s.set_watchdog(opts.watchdog);
+                    s
+                },
+                |session, i, fault| {
+                    if opts.chaos_panic == Some(chaos_base + i as u64) {
+                        panic!(
+                            "chaos-panic injected at campaign item {}",
+                            chaos_base + i as u64
+                        );
+                    }
                     let mut counts = ModeCounts::default();
                     let mut dormant = 0;
-                    for (i, input) in inputs.iter().enumerate() {
+                    for (j, input) in inputs.iter().enumerate() {
                         let run_seed = seed
                             .wrapping_mul(0x9E3779B97F4A7C15)
                             .wrapping_add(fault.site_addr as u64)
-                            .wrapping_add(i as u64);
+                            .wrapping_add(j as u64);
                         let (mode, fired) = session.run(input, Some(&fault.spec), run_seed);
                         counts.add(mode);
                         if !fired {
@@ -151,14 +209,36 @@ pub fn class_campaign(target: &TargetProgram, scale: CampaignScale, seed: u64) -
                     }
                     (fault.error, counts, dormant)
                 },
-            );
-            (per_fault, Throughput::collect(&sessions, t0.elapsed()))
+                |i, fault| {
+                    format!(
+                        "{phase} fault #{i}: {:?} at {:#x}",
+                        fault.error, fault.site_addr
+                    )
+                },
+            )?;
+            sessions.append(&mut batch_sessions);
+            let (ok, abnormal) = split_records(records);
+            Ok((ok.into_iter().map(|(_, r)| r).collect(), abnormal))
         };
 
-    let (assign_results, assign_tp) = run_batch(&set.assign_faults);
-    let (check_results, check_tp) = run_batch(&set.check_faults);
-    let mut throughput = assign_tp;
-    throughput.merge(&check_tp);
+    let (assign_results, assign_abnormal) = run_batch("assign", &set.assign_faults, 0)?;
+    let (check_results, check_abnormal) =
+        run_batch("check", &set.check_faults, set.assign_faults.len() as u64)?;
+
+    // Fold the run totals from the records, not the live sessions: on
+    // resume the replayed faults never touch a session, and the totals
+    // must not depend on where the previous process died. Wall-clock and
+    // interpreter counters (ignored by `Throughput` equality) still come
+    // from the sessions that actually ran.
+    let mut throughput = Throughput::collect(&sessions, t0.elapsed());
+    throughput.runs = 0;
+    throughput.fired_runs = 0;
+    throughput.dormant_runs = 0;
+    for (_, counts, dormant) in assign_results.iter().chain(&check_results) {
+        throughput.runs += counts.total();
+        throughput.fired_runs += counts.total() - dormant;
+        throughput.dormant_runs += dormant;
+    }
 
     let mut out = ProgramCampaign {
         program: target.name.to_string(),
@@ -172,6 +252,7 @@ pub fn class_campaign(target: &TargetProgram, scale: CampaignScale, seed: u64) -
         dormant_runs: 0,
         total_runs: 0,
         throughput,
+        abnormal: assign_abnormal.into_iter().chain(check_abnormal).collect(),
     };
     for (err, counts, dormant) in assign_results {
         out.assign_modes.merge(&counts);
@@ -189,7 +270,7 @@ pub fn class_campaign(target: &TargetProgram, scale: CampaignScale, seed: u64) -
             out.by_check_type.entry(t).or_default().merge(&counts);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Run the campaign over all eight Table-2 targets.

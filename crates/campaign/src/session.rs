@@ -23,7 +23,7 @@
 //! which is exactly what licenses the reuse.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use swifi_core::fault::FaultSpec;
@@ -209,6 +209,10 @@ pub struct RunSession {
     expected: HashMap<TestInput, Vec<u8>>,
     stats: SessionStats,
     started: Instant,
+    /// Per-run wall-clock budget; armed on the machine at the start of
+    /// every run when set. Expired runs come back as
+    /// [`RunOutcome::Hang`] and classify as [`FailureMode::Hang`].
+    watchdog: Option<Duration>,
 }
 
 impl std::fmt::Debug for RunSession {
@@ -235,7 +239,16 @@ impl RunSession {
             expected: HashMap::new(),
             stats: SessionStats::default(),
             started: Instant::now(),
+            watchdog: None,
         }
+    }
+
+    /// Arm a per-run wall-clock watchdog: any subsequent run still
+    /// executing after `budget` wall-clock time is cut off and classified
+    /// as a hang — defense in depth above the instruction budget, for runs
+    /// that are pathologically *slow* rather than long. `None` disarms.
+    pub fn set_watchdog(&mut self, budget: Option<Duration>) {
+        self.watchdog = budget;
     }
 
     /// The program family this session runs.
@@ -273,6 +286,8 @@ impl RunSession {
     fn begin(&mut self, input: &TestInput) {
         self.machine.restore(&self.snapshot);
         self.machine.set_input(input.to_tape());
+        self.machine
+            .set_deadline(self.watchdog.map(|d| Instant::now() + d));
         self.stats.runs += 1;
     }
 
@@ -515,6 +530,27 @@ mod tests {
         );
         assert_eq!(tp.retired_instrs, s2.retired_instrs);
         assert!(tp.instrs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn watchdog_expiry_classifies_as_hang() {
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let input = &target.family.test_case(1, 5)[0];
+        let mut session = RunSession::new(&compiled, target.family);
+        // A zero budget fires deterministically before execution starts.
+        session.set_watchdog(Some(Duration::ZERO));
+        let (mode, fired) = session.run(input, None, 0);
+        assert_eq!(mode, FailureMode::Hang);
+        assert!(!fired);
+        // Disarming restores normal behaviour on the same warm session.
+        session.set_watchdog(None);
+        let (mode, _) = session.run(input, None, 0);
+        assert_eq!(mode, FailureMode::Correct);
+        // A generous budget leaves short runs untouched.
+        session.set_watchdog(Some(Duration::from_secs(3600)));
+        let (mode, _) = session.run(input, None, 0);
+        assert_eq!(mode, FailureMode::Correct);
     }
 
     #[test]

@@ -27,8 +27,12 @@ impl ParsedArgs {
             if let Some(key) = a.strip_prefix("--") {
                 let takes_value = it.peek().is_some_and(|n| !n.starts_with("--"));
                 let value = if takes_value {
-                    it.next().unwrap()
+                    it.next().unwrap_or_default()
                 } else {
+                    // Bare flag (`--asm`, or `--seed` at the end of the
+                    // line): recorded with an empty value. Accessors that
+                    // *need* a value turn this into a usage error naming
+                    // the flag instead of parsing the empty string.
                     String::new()
                 };
                 out.options.entry(key.to_string()).or_default().push(value);
@@ -62,13 +66,28 @@ impl ParsedArgs {
             .unwrap_or_default()
     }
 
+    /// Last value of an option, as a usage error when the option was given
+    /// without one (e.g. `swifi campaign --seed` with nothing after).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when it was given bare.
+    pub fn value_opt(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some("") => Err(format!("--{key} requires a value (e.g. `--{key} VALUE`)")),
+            Some(v) => Ok(Some(v)),
+        }
+    }
+
     /// Parse an option as an integer with a default.
     ///
     /// # Errors
     ///
-    /// Returns a message when the value is present but not an integer.
+    /// Returns a message when the option was given without a value or the
+    /// value is not an integer.
     pub fn int_opt(&self, key: &str, default: i64) -> Result<i64, String> {
-        match self.opt(key) {
+        match self.value_opt(key)? {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -117,6 +136,24 @@ mod tests {
         let p = parse("x --n abc");
         // "abc" does not start with --, so it is the value of --n.
         assert!(p.int_opt("n", 1).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_a_usage_error_naming_the_flag() {
+        // Regression: `swifi campaign --seed` used to silently record an
+        // empty value and fail later with a confusing parse error.
+        let p = parse("campaign SOR --seed");
+        let err = p.int_opt("seed", 7).unwrap_err();
+        assert!(err.contains("--seed"), "error must name the flag: {err}");
+        assert!(err.contains("requires a value"), "{err}");
+        let err = p.value_opt("seed").unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        // Bare boolean flags are still fine through `flag()`.
+        assert!(p.flag("seed"));
+        // And options that do have values are unaffected.
+        let p = parse("campaign SOR --seed 9");
+        assert_eq!(p.int_opt("seed", 7), Ok(9));
+        assert_eq!(p.value_opt("seed"), Ok(Some("9")));
     }
 
     #[test]

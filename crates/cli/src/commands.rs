@@ -3,7 +3,8 @@
 use swifi_campaign::report::{
     decode_cache_line, mode_cells, render_table, throughput_line, MODE_HEADERS,
 };
-use swifi_campaign::section6::{class_campaign, CampaignScale};
+use swifi_campaign::section6::{class_campaign_with, CampaignScale};
+use swifi_campaign::CampaignOptions;
 use swifi_core::emulate::{plan_emulation, EmulationVerdict};
 use swifi_core::injector::{Injector, TriggerMode};
 use swifi_core::locations::generate_error_set;
@@ -28,6 +29,13 @@ USAGE:
   swifi emulate NAME                         emulability analysis (paper sec. 5)
   swifi campaign NAME [--inputs N]           class campaign (paper sec. 6)
   swifi metrics FILE|NAME                    software complexity metrics
+
+CAMPAIGN OPTIONS:
+  --seed N          campaign seed (default 2024)
+  --checkpoint F    append completed run records to the JSONL file F
+  --resume          resume from F: recorded runs replay instead of re-running
+  --watchdog-ms N   per-run wall-clock budget; slower runs classify as Hang
+  --chaos-panic N   panic the worker on campaign item N (harness self-test)
 
 FILE is a MiniC source path; NAME is a roster program (see `swifi list`).
 ";
@@ -288,7 +296,8 @@ pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
-/// `swifi campaign NAME [--inputs N] [--seed N]`
+/// `swifi campaign NAME [--inputs N] [--seed N] [--checkpoint F [--resume]]
+/// [--watchdog-ms N] [--chaos-panic N]`
 pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     let name = parsed
         .positional
@@ -298,14 +307,30 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
         program(name).ok_or_else(|| format!("unknown program `{name}` (see `swifi list`)"))?;
     let inputs = parsed.int_opt("inputs", 10)? as usize;
     let seed = parsed.int_opt("seed", 2024)? as u64;
+    let mut opts = CampaignOptions {
+        checkpoint: parsed.value_opt("checkpoint")?.map(Into::into),
+        resume: parsed.flag("resume"),
+        ..CampaignOptions::default()
+    };
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint FILE".to_string());
+    }
+    let watchdog_ms = parsed.int_opt("watchdog-ms", 0)?;
+    if watchdog_ms > 0 {
+        opts.watchdog = Some(std::time::Duration::from_millis(watchdog_ms as u64));
+    }
+    if parsed.flag("chaos-panic") {
+        opts.chaos_panic = Some(parsed.int_opt("chaos-panic", 0)? as u64);
+    }
     println!("campaign on {name} ({inputs} inputs per fault, seed {seed})...");
-    let c = class_campaign(
+    let c = class_campaign_with(
         &target,
         CampaignScale {
             inputs_per_fault: inputs.max(1),
         },
         seed,
-    );
+        &opts,
+    )?;
     let mut headers = vec!["Fault class"];
     headers.extend(MODE_HEADERS);
     let mut assign_row = vec!["assignment".to_string()];
@@ -316,6 +341,12 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
     println!("throughput: {}", throughput_line(&c.throughput));
     println!("{}", decode_cache_line(&c.throughput));
+    for a in &c.abnormal {
+        println!(
+            "abnormal: {}#{} — {} ({})",
+            a.phase, a.index, a.message, a.detail
+        );
+    }
     Ok(())
 }
 

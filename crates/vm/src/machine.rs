@@ -47,6 +47,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::time::Instant;
 
 use crate::inspect::{FetchPolicy, Inspector};
 use crate::isa::{self, AluOp, CrBit, Instr, Syscall};
@@ -323,6 +324,11 @@ pub struct Machine {
     /// inspector's [`FetchPolicy::Pcs`] set); unpinned when the next run
     /// installs its own policy.
     pinned_pcs: Vec<u32>,
+    /// Wall-clock watchdog for the current run: when set, [`Machine::run`]
+    /// returns [`RunOutcome::Hang`] once the deadline passes — defense in
+    /// depth above the instruction budget for runs that are slow rather
+    /// than long (e.g. pathological slow-path behaviour under injection).
+    deadline: Option<Instant>,
 }
 
 impl Machine {
@@ -352,6 +358,7 @@ impl Machine {
             reference_interp: false,
             pin_all: false,
             pinned_pcs: Vec::new(),
+            deadline: None,
         }
     }
 
@@ -493,6 +500,18 @@ impl Machine {
         &self.alloc
     }
 
+    /// Arm (or disarm, with `None`) the wall-clock watchdog for subsequent
+    /// runs: a run still executing past `deadline` returns
+    /// [`RunOutcome::Hang`], exactly like instruction-budget exhaustion.
+    ///
+    /// The deadline is polled between scheduler rounds (every
+    /// `cores × quantum` retired instructions at most), so expiry is
+    /// detected promptly without a clock read in the hot loop. Callers
+    /// re-arm per run; [`Machine::restore`] leaves the setting alone.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
     /// Switch between the predecoded-cache interpreter (default) and the
     /// seed's decode-every-fetch reference interpreter.
     ///
@@ -547,6 +566,10 @@ impl Machine {
         // split-borrow executor; reference mode and `FetchPolicy::All`
         // take the seed per-step loop below.
         let cached = !self.reference_interp && !self.pin_all;
+        // The watchdog polls the wall clock every 64th scheduler round,
+        // starting with round 0 so a zero-length deadline (tests, CI
+        // smoke) fires deterministically before any instruction retires.
+        let mut wd_round: u32 = 0;
         loop {
             // The output cap is checked on the syscall path (the only place
             // output grows — see `Progress::OutputLimit`), not here, so the
@@ -555,6 +578,14 @@ impl Machine {
                 return RunOutcome::Hang {
                     output: std::mem::take(&mut self.output),
                 };
+            }
+            if let Some(deadline) = self.deadline {
+                if wd_round == 0 && Instant::now() >= deadline {
+                    return RunOutcome::Hang {
+                        output: std::mem::take(&mut self.output),
+                    };
+                }
+                wd_round = (wd_round + 1) % 64;
             }
             let mut any_running = false;
             for c in 0..self.cores.len() {
@@ -1302,6 +1333,30 @@ mod tests {
         };
         let out = run_src_with("b 0", InputTape::new(), config);
         assert!(matches!(out, RunOutcome::Hang { .. }));
+    }
+
+    #[test]
+    fn expired_watchdog_deadline_hangs() {
+        // A zero-length deadline fires on scheduler round 0, before any
+        // instruction retires — the deterministic form of "the run blew
+        // its wall-clock budget".
+        let image = assemble("addi r3, r0, 0\nhalt").expect("assembles");
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        m.set_deadline(Some(Instant::now()));
+        let out = m.run(&mut Noop);
+        assert!(matches!(out, RunOutcome::Hang { .. }));
+        assert_eq!(m.retired(), 0, "watchdog fired before execution");
+
+        // Disarming restores normal completion on the same machine.
+        m.load(&image);
+        m.set_deadline(None);
+        assert!(matches!(m.run(&mut Noop), RunOutcome::Completed { .. }));
+
+        // A generous deadline does not perturb a short run.
+        m.load(&image);
+        m.set_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        assert!(matches!(m.run(&mut Noop), RunOutcome::Completed { .. }));
     }
 
     #[test]

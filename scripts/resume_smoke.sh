@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Resume smoke test: run a campaign to a JSONL checkpoint, simulate a
+# mid-campaign kill by truncating the checkpoint (keeping a torn final
+# line, exactly what a kill -9 mid-append leaves), resume, and require
+# the resumed report to equal the uninterrupted one. Also checks that a
+# deliberately injected worker panic surfaces as one Abnormal record
+# instead of aborting the campaign.
+#
+# tests/campaign_resilience.rs pins the same invariants in-process; this
+# script exercises them end-to-end through the CLI and the real files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/swifi
+if [[ ! -x "$BIN" ]]; then
+  cargo build --release -p swifi-cli
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+CKPT="$TMP/campaign.jsonl"
+
+run() { "$BIN" campaign JB.team11 --inputs 3 --seed 7 "$@"; }
+
+# Strip the wall-clock-dependent lines; everything else in the campaign
+# report is seed-deterministic.
+report() { grep -v -e '^throughput:' -e '^icache:'; }
+
+run | report > "$TMP/reference.txt"
+
+# Checkpointing must not perturb the report.
+run --checkpoint "$CKPT" | report > "$TMP/full.txt"
+diff -u "$TMP/reference.txt" "$TMP/full.txt"
+
+# Simulate the kill: keep the header plus the first 5 records, then a
+# torn partial line.
+head -n 6 "$CKPT" > "$TMP/torn.jsonl"
+printf '{"phase":"assign","ind' >> "$TMP/torn.jsonl"
+mv "$TMP/torn.jsonl" "$CKPT"
+
+# Resume: recorded runs replay from disk, the rest re-run, and the
+# report must come out equal.
+run --checkpoint "$CKPT" --resume | report > "$TMP/resumed.txt"
+diff -u "$TMP/reference.txt" "$TMP/resumed.txt"
+
+# A worker panic mid-campaign is one Abnormal record, not an abort.
+run --chaos-panic 2 > "$TMP/chaos.txt"
+grep -q 'abnormal: assign#2' "$TMP/chaos.txt"
+
+echo "resume smoke: OK"

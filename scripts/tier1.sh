@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline-friendly build + test, then formatting and lints.
+# Tier-1 gate: offline-friendly build + test, then formatting, lints,
+# and the checkpoint/resume smoke test.
 #
 # The workspace vendors all external dependencies under compat/, so every
 # step below runs without registry or network access.
@@ -10,3 +11,4 @@ cargo build --release
 cargo test -q
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+./scripts/resume_smoke.sh

@@ -1,0 +1,203 @@
+//! Integration tests for the fault-tolerant campaign engine: JSONL
+//! checkpoint/resume, the per-run wall-clock watchdog, and
+//! panic-to-`Abnormal` recovery. The seed-determinism report equality
+//! (`ProgramCampaign`/`Throughput` `PartialEq`) is the oracle throughout:
+//! a resumed campaign must be indistinguishable from an uninterrupted one.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use swifi_campaign::section6::{class_campaign_with, CampaignScale};
+use swifi_campaign::CampaignOptions;
+use swifi_programs::program;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "swifi-resilience-{tag}-{}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Keep the checkpoint header plus the first `keep` records, then append a
+/// torn partial line — the on-disk state a `kill -9` mid-append leaves.
+fn truncate_checkpoint(path: &PathBuf, keep: usize) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap().to_string();
+    let kept: Vec<&str> = lines.take(keep).collect();
+    let mut f = std::fs::File::create(path).unwrap();
+    writeln!(f, "{header}").unwrap();
+    for l in kept {
+        writeln!(f, "{l}").unwrap();
+    }
+    write!(f, "{{\"phase\":\"assign\",\"ind").unwrap();
+}
+
+#[test]
+fn killed_campaign_resumes_to_an_equal_report() {
+    let target = program("JB.team11").unwrap();
+    let scale = CampaignScale {
+        inputs_per_fault: 2,
+    };
+    let seed = 41;
+
+    // The reference: one uninterrupted run, no checkpoint at all.
+    let uninterrupted =
+        class_campaign_with(&target, scale, seed, &CampaignOptions::default()).unwrap();
+
+    // The same campaign recorded to a checkpoint, then "killed": only the
+    // first 7 completed records (plus a torn partial line) survive.
+    let path = temp_path("resume");
+    let full = class_campaign_with(
+        &target,
+        scale,
+        seed,
+        &CampaignOptions::with_checkpoint(&path, false),
+    )
+    .unwrap();
+    assert_eq!(full, uninterrupted, "checkpointing must not perturb");
+    truncate_checkpoint(&path, 7);
+
+    // Resume: the 7 recorded faults replay from disk, the rest re-run.
+    let resumed = class_campaign_with(
+        &target,
+        scale,
+        seed,
+        &CampaignOptions::with_checkpoint(&path, true),
+    )
+    .unwrap();
+    assert_eq!(resumed, uninterrupted, "resumed report must be equal");
+
+    // A second resume replays everything and still folds to equality.
+    let replayed = class_campaign_with(
+        &target,
+        scale,
+        seed,
+        &CampaignOptions::with_checkpoint(&path, true),
+    )
+    .unwrap();
+    assert_eq!(replayed, uninterrupted);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_under_a_different_seed_is_refused() {
+    let target = program("JB.team11").unwrap();
+    let scale = CampaignScale {
+        inputs_per_fault: 1,
+    };
+    let path = temp_path("seed-mismatch");
+    class_campaign_with(
+        &target,
+        scale,
+        3,
+        &CampaignOptions::with_checkpoint(&path, false),
+    )
+    .unwrap();
+    let err = class_campaign_with(
+        &target,
+        scale,
+        4,
+        &CampaignOptions::with_checkpoint(&path, true),
+    )
+    .unwrap_err();
+    assert!(err.contains("different campaign"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn watchdog_zero_budget_classifies_every_run_as_hang() {
+    let target = program("JB.team11").unwrap();
+    let scale = CampaignScale {
+        inputs_per_fault: 2,
+    };
+    let opts = CampaignOptions {
+        watchdog: Some(Duration::ZERO),
+        ..CampaignOptions::default()
+    };
+    let c = class_campaign_with(&target, scale, 9, &opts).unwrap();
+    // Every run blew its (zero) wall-clock budget before retiring an
+    // instruction: all hangs, nothing fired, nothing abnormal.
+    assert!(c.total_runs > 0);
+    assert_eq!(c.assign_modes.hang, c.assign_modes.total());
+    assert_eq!(c.check_modes.hang, c.check_modes.total());
+    assert_eq!(c.dormant_runs, c.total_runs);
+    assert!(c.abnormal.is_empty());
+
+    // A generous watchdog leaves the report identical to no watchdog.
+    let generous = CampaignOptions {
+        watchdog: Some(Duration::from_secs(3600)),
+        ..CampaignOptions::default()
+    };
+    let a = class_campaign_with(&target, scale, 9, &generous).unwrap();
+    let b = class_campaign_with(&target, scale, 9, &CampaignOptions::default()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mid_campaign_panic_becomes_one_abnormal_record() {
+    let target = program("JB.team6").unwrap();
+    let scale = CampaignScale {
+        inputs_per_fault: 2,
+    };
+    let seed = 17;
+    let clean = class_campaign_with(&target, scale, seed, &CampaignOptions::default()).unwrap();
+
+    // Chaos: the worker processing campaign item #3 panics mid-campaign.
+    let opts = CampaignOptions {
+        chaos_panic: Some(3),
+        ..CampaignOptions::default()
+    };
+    let c = class_campaign_with(&target, scale, seed, &opts).unwrap();
+    assert_eq!(c.abnormal.len(), 1, "exactly one abnormal record");
+    assert_eq!(c.abnormal[0].phase, "assign");
+    assert_eq!(c.abnormal[0].index, 3);
+    assert!(
+        c.abnormal[0].message.contains("chaos-panic"),
+        "{:?}",
+        c.abnormal[0]
+    );
+    assert!(!c.abnormal[0].detail.is_empty());
+    // Completed results are NOT discarded: everything except the panicked
+    // fault's runs is still accounted for.
+    assert_eq!(
+        c.total_runs,
+        clean.total_runs - scale.inputs_per_fault as u64
+    );
+    assert_eq!(c.check_modes, clean.check_modes, "other phase untouched");
+}
+
+#[test]
+fn abnormal_records_replay_on_resume() {
+    let target = program("JB.team6").unwrap();
+    let scale = CampaignScale {
+        inputs_per_fault: 2,
+    };
+    let seed = 23;
+    let path = temp_path("abnormal-replay");
+    let chaos = CampaignOptions {
+        chaos_panic: Some(2),
+        ..CampaignOptions::with_checkpoint(&path, false)
+    };
+    let first = class_campaign_with(&target, scale, seed, &chaos).unwrap();
+    assert_eq!(first.abnormal.len(), 1);
+
+    // Resume with chaos DISABLED: the abnormal record replays from disk
+    // (nothing re-runs), so the report still carries it — a resumed
+    // campaign is equal to the uninterrupted one, abnormal bucket and all.
+    let resumed = class_campaign_with(
+        &target,
+        scale,
+        seed,
+        &CampaignOptions::with_checkpoint(&path, true),
+    )
+    .unwrap();
+    assert_eq!(resumed, first);
+    assert_eq!(resumed.abnormal, first.abnormal);
+
+    std::fs::remove_file(&path).ok();
+}
