@@ -502,6 +502,212 @@ fn bench_translation_cache(_c: &mut Criterion) {
     println!("wrote {}", path.display());
 }
 
+/// One program's fork-on vs fork-off measurement on the §6 class-campaign
+/// schedule. Both sides are warm-reboot sessions with the predecoded
+/// translation cache (the PR-2 engine); the only variable is the
+/// prefix-fork cache.
+struct ForkMeasurement {
+    program: &'static str,
+    runs: u64,
+    full_runs_per_sec: f64,
+    forked_runs_per_sec: f64,
+    snapshots_built: u64,
+    fork_hits: u64,
+    dormant_short_circuits: u64,
+    instrs_skipped: u64,
+    instrs_executed: u64,
+}
+
+/// The PR-2 cached warm path's throughput on this same schedule, as
+/// committed in PR 2's BENCH_translation_cache.json
+/// (`cached_runs_per_sec`). Only the JB schedules were measured then;
+/// for the Camelot schedule the fork-off session — which *is* the PR-2
+/// engine, measured interleaved on the same box — is the baseline.
+fn pr2_cached_runs_per_sec(program: &str) -> Option<f64> {
+    match program {
+        "JB.team6" => Some(156_069.4),
+        "JB.team11" => Some(11_382.6),
+        _ => None,
+    }
+}
+
+impl ForkMeasurement {
+    fn speedup(&self) -> f64 {
+        self.forked_runs_per_sec / self.full_runs_per_sec
+    }
+
+    fn speedup_vs_pr2(&self) -> Option<f64> {
+        pr2_cached_runs_per_sec(self.program).map(|pr2| self.forked_runs_per_sec / pr2)
+    }
+
+    fn skipped_pct(&self) -> f64 {
+        let total = self.instrs_skipped + self.instrs_executed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.instrs_skipped as f64 * 100.0 / total as f64
+    }
+}
+
+/// Replay the schedule through `session` until at least [`CHUNK_SECS`] of
+/// wall clock has elapsed, keeping the best runs/s chunk. Runs/s — not
+/// instrs/s — is the honest metric here: forked runs retire fewer
+/// instructions *by design*, so instruction throughput would understate
+/// (full side) or overstate nothing for the fork side.
+fn time_schedule_chunk_runs(
+    session: &mut RunSession,
+    faults: &[swifi_core::locations::GeneratedFault],
+    inputs: &[TestInput],
+    seed: u64,
+    best_runs_per_sec: &mut f64,
+) {
+    let mut runs = 0u64;
+    let t0 = std::time::Instant::now();
+    loop {
+        time_schedule(faults, inputs, seed, |input, spec, s| {
+            session.run(input, Some(spec), s);
+        });
+        runs += faults.len() as u64 * inputs.len() as u64;
+        if t0.elapsed().as_secs_f64() >= CHUNK_SECS {
+            break;
+        }
+    }
+    let rate = runs as f64 / t0.elapsed().as_secs_f64();
+    if rate > *best_runs_per_sec {
+        *best_runs_per_sec = rate;
+    }
+}
+
+/// Measure the §6 class campaign for one program with the prefix-fork
+/// cache on and off, both on warm cached-interpreter sessions.
+/// `n_inputs` is 6 for the fast JB schedules; the ~100ms-per-run Camelot
+/// schedule uses 2 so a measurement chunk stays a few seconds.
+fn measure_prefix_fork(name: &'static str, n_inputs: usize, seed: u64) -> ForkMeasurement {
+    let p = program(name).unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let (n_assign, n_check) = chosen_locations(name);
+    let set = swifi_core::locations::generate_error_set(&compiled.debug, n_assign, n_check, seed);
+    let faults: Vec<_> = set
+        .assign_faults
+        .iter()
+        .chain(set.check_faults.iter())
+        .cloned()
+        .collect();
+    let inputs = p.family.test_case(n_inputs, seed ^ 0x5EED);
+
+    let mut full = RunSession::new(&compiled, p.family);
+    let mut forked = RunSession::new(&compiled, p.family);
+    forked.set_prefix_cache(Some(swifi_campaign::PrefixCache::shared()));
+    // Warm-up pass on each side. On the fork side this is the
+    // capture-continue pass: it builds every (input, trigger-pc)
+    // snapshot, so the measured chunks below are pure fork hits and
+    // dormant short-circuits — the steady state of a long campaign.
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        full.run(input, Some(spec), s);
+    });
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        forked.run(input, Some(spec), s);
+    });
+
+    let mut full_best = 0.0f64;
+    let mut forked_best = 0.0f64;
+    for _ in 0..INTERLEAVE_ROUNDS {
+        time_schedule_chunk_runs(&mut full, &faults, &inputs, seed, &mut full_best);
+        time_schedule_chunk_runs(&mut forked, &faults, &inputs, seed, &mut forked_best);
+    }
+    let stats = forked.stats();
+    ForkMeasurement {
+        program: name,
+        runs: faults.len() as u64 * inputs.len() as u64,
+        full_runs_per_sec: full_best,
+        forked_runs_per_sec: forked_best,
+        snapshots_built: stats.prefix_snapshots_built,
+        fork_hits: stats.prefix_fork_hits,
+        dormant_short_circuits: stats.prefix_dormant_short_circuits,
+        instrs_skipped: stats.prefix_instrs_skipped,
+        instrs_executed: stats.retired_instrs,
+    }
+}
+
+/// Prefix-fork headline bench: §6 class campaigns for the JB family with
+/// the fork cache on vs off (both warm, cached interpreter), recorded to
+/// `BENCH_prefix_fork.json` at the repo root.
+fn bench_prefix_fork(_c: &mut Criterion) {
+    // JB schedules for continuity with the PR-1/PR-2 benches; C.team10 is
+    // the deep-trigger §6 schedule (its generated fault sites first fire
+    // ~halfway through the run, so forking skips ~half the instructions).
+    let measurements: Vec<ForkMeasurement> = [("JB.team6", 6), ("JB.team11", 6), ("C.team10", 2)]
+        .iter()
+        .map(|&(name, n_inputs)| measure_prefix_fork(name, n_inputs, 0xB007))
+        .collect();
+    let mut rows = String::new();
+    for m in &measurements {
+        println!(
+            "{:<42} full: {:>8.1} runs/s  forked: {:>8.1} runs/s  speedup: {:.2}x ({}x vs PR-2 cached)",
+            format!("prefix/class_campaign_{}", m.program),
+            m.full_runs_per_sec,
+            m.forked_runs_per_sec,
+            m.speedup(),
+            m.speedup_vs_pr2()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "?".into())
+        );
+        println!(
+            "{:<42} {} snapshots, {} fork hits, {} dormant short-circuits, {:.1}% of prefix instrs skipped",
+            format!("prefix/cache_behaviour_{}", m.program),
+            m.snapshots_built,
+            m.fork_hits,
+            m.dormant_short_circuits,
+            m.skipped_pct()
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let pr2 = match (pr2_cached_runs_per_sec(m.program), m.speedup_vs_pr2()) {
+            (Some(base), Some(s)) => {
+                format!("\"pr2_cached_runs_per_sec\": {base:.1}, \"speedup_vs_pr2_cached\": {s:.2}")
+            }
+            _ => "\"pr2_cached_runs_per_sec\": null, \"speedup_vs_pr2_cached\": null".into(),
+        };
+        rows.push_str(&format!(
+            "    {{\"program\": \"{}\", \"runs\": {}, \
+             \"full_runs_per_sec\": {:.1}, \"forked_runs_per_sec\": {:.1}, \
+             \"runs_speedup\": {:.2}, {pr2}, \
+             \"snapshots_built\": {}, \"fork_hits\": {}, \
+             \"dormant_short_circuits\": {}, \"instrs_skipped\": {}, \
+             \"instrs_skipped_pct\": {:.1}}}",
+            m.program,
+            m.runs,
+            m.full_runs_per_sec,
+            m.forked_runs_per_sec,
+            m.speedup(),
+            m.snapshots_built,
+            m.fork_hits,
+            m.dormant_short_circuits,
+            m.instrs_skipped,
+            m.skipped_pct()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"prefix_fork\",\n  \"schedule\": \"section6 class campaign, all \
+         generated faults x shared inputs (6 for JB, 2 for Camelot)\",\n  \"full\": \"warm RunSession, cached \
+         interpreter, --no-prefix-fork (every run executes its full prefix)\",\n  \"forked\": \
+         \"warm RunSession + shared PrefixCache: each run forks from a dirty-page snapshot \
+         captured at its trigger's firing occurrence; dormant faults short-circuit from the \
+         memoized golden run\",\n  \"pr2_baseline\": \"cached_runs_per_sec from PR 2's \
+         committed BENCH_translation_cache.json, same schedule\",\n  \"metric\": \"runs/s, not \
+         instrs/s: forked runs retire fewer instructions by design, which is the speedup\",\n  \
+         \"methodology\": \"interleaved best-of-{INTERLEAVE_ROUNDS} chunks of >={CHUNK_SECS}s \
+         per side; fork side warmed first so measured chunks are pure fork hits\",\n  \
+         \"programs\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_prefix_fork.json");
+    std::fs::write(&path, json).expect("write BENCH_prefix_fork.json");
+    println!("wrote {}", path.display());
+}
+
 criterion_group!(
     benches,
     bench_vm_throughput,
@@ -509,6 +715,7 @@ criterion_group!(
     bench_compiler,
     bench_campaign_run,
     bench_warm_reboot,
-    bench_translation_cache
+    bench_translation_cache,
+    bench_prefix_fork
 );
 criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Dev probe: steady-state prefix-fork savings per §6 schedule.
+//!
+//! For each single-core §6 target, replays the class-campaign schedule
+//! twice through a fork-enabled session (pass 1 captures snapshots,
+//! pass 2 is pure fork hits) and once through a fork-off session, then
+//! prints the share of prefix instructions skipped and the wall-clock
+//! ratio. Used to pick deep-trigger schedules for `bench_prefix_fork`.
+
+use swifi_campaign::section6::chosen_locations;
+use swifi_campaign::{PrefixCache, RunSession};
+use swifi_lang::compile;
+use swifi_programs::program;
+
+fn main() {
+    for name in ["C.team1", "C.team2", "C.team8", "C.team9", "C.team10"] {
+        let p = program(name).unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let (n_assign, n_check) = chosen_locations(name);
+        let seed = 0xB007u64;
+        let set =
+            swifi_core::locations::generate_error_set(&compiled.debug, n_assign, n_check, seed);
+        let faults: Vec<_> = set
+            .assign_faults
+            .iter()
+            .chain(set.check_faults.iter())
+            .cloned()
+            .collect();
+        let inputs = p.family.test_case(6, seed ^ 0x5EED);
+
+        let schedule = |session: &mut RunSession| {
+            let t0 = std::time::Instant::now();
+            for fault in &faults {
+                for (i, input) in inputs.iter().enumerate() {
+                    let run_seed = seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(fault.site_addr as u64)
+                        .wrapping_add(i as u64);
+                    session.run(input, Some(&fault.spec), run_seed);
+                }
+            }
+            t0.elapsed().as_secs_f64()
+        };
+
+        let mut full = RunSession::new(&compiled, p.family);
+        let mut forked = RunSession::new(&compiled, p.family);
+        forked.set_prefix_cache(Some(PrefixCache::shared()));
+        let _ = schedule(&mut full); // warm-up
+        let _ = schedule(&mut forked); // capture pass
+        let s1 = forked.stats();
+        let full_secs = schedule(&mut full);
+        let fork_secs = schedule(&mut forked);
+        let s2 = forked.stats();
+        let skipped = s2.prefix_instrs_skipped - s1.prefix_instrs_skipped;
+        let executed = s2.retired_instrs - s1.retired_instrs;
+        println!(
+            "{name:<10} runs {:>4}  skipped {:>5.1}%  hits {:>4}  dormant {:>3}  full {:>7.1} r/s  forked {:>7.1} r/s  ratio {:.2}x",
+            faults.len() * inputs.len(),
+            skipped as f64 * 100.0 / (skipped + executed).max(1) as f64,
+            s2.prefix_fork_hits - s1.prefix_fork_hits,
+            s2.prefix_dormant_short_circuits - s1.prefix_dormant_short_circuits,
+            (faults.len() * inputs.len()) as f64 / full_secs,
+            (faults.len() * inputs.len()) as f64 / fork_secs,
+            full_secs / fork_secs
+        );
+    }
+}

@@ -23,6 +23,7 @@ use swifi_metrics::{allocate, measure, AllocationStrategy};
 use swifi_programs::TargetProgram;
 
 use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
+use crate::prefix::PrefixCache;
 use crate::runner::ModeCounts;
 use crate::section6::CampaignScale;
 use crate::session::RunSession;
@@ -112,6 +113,9 @@ pub fn ablation_with(
     );
     let mut engine = CampaignEngine::new(header, opts)?;
     let mut chaos_base = 0u64;
+    // Shared across all three strategies: they run the same program on
+    // the same inputs, differing only in where the faults land.
+    let prefix = (!opts.no_prefix_fork).then(PrefixCache::shared);
     strategies
         .into_iter()
         .map(|(label, strategy)| {
@@ -158,6 +162,7 @@ pub fn ablation_with(
                 || {
                     let mut s = RunSession::new(&compiled, target.family);
                     s.set_watchdog(opts.watchdog);
+                    s.set_prefix_cache(prefix.clone());
                     s
                 },
                 |session, i, fault| {

@@ -341,6 +341,11 @@ pub struct CampaignOptions {
     /// index across phases) to demonstrate — and test — that a mid-campaign
     /// panic becomes one `Abnormal` record, not a lost campaign.
     pub chaos_panic: Option<u64>,
+    /// Disable the prefix-fork cache: every injected run executes its
+    /// full prefix from the clean snapshot. Reports are identical either
+    /// way (forking is an execution strategy, not a semantic change);
+    /// the flag exists for A/B measurement and as an escape hatch.
+    pub no_prefix_fork: bool,
 }
 
 impl CampaignOptions {

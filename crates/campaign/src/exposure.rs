@@ -19,6 +19,7 @@ use swifi_vm::inspect::Profiler;
 use swifi_vm::machine::RunOutcome;
 
 use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
+use crate::prefix::PrefixCache;
 use crate::session::RunSession;
 
 /// Measured exposure chain for one real fault.
@@ -90,12 +91,16 @@ pub fn estimate_exposure_with(
         let inputs = p.family.test_case(runs, seed);
         let base = chaos_base;
         chaos_base += inputs.len() as u64;
+        // Profiled runs never fork (they carry an inspector), but the
+        // shared cache still pools the per-input oracle memos.
+        let prefix = (!opts.no_prefix_fork).then(PrefixCache::shared);
         let (records, _sessions) = engine.run_phase(
             p.name,
             &inputs,
             || {
                 let mut s = RunSession::new(&faulty, p.family);
                 s.set_watchdog(opts.watchdog);
+                s.set_prefix_cache(prefix.clone());
                 s
             },
             |session, i, input| {

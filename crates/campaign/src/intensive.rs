@@ -10,6 +10,7 @@ use swifi_lang::compile;
 use swifi_programs::all_programs;
 
 use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
+use crate::prefix::PrefixCache;
 use crate::runner::{FailureMode, ModeCounts};
 use crate::session::RunSession;
 
@@ -69,12 +70,14 @@ pub fn table1_with(
         let inputs = p.family.test_case(runs, seed);
         let base = chaos_base;
         chaos_base += inputs.len() as u64;
+        let prefix = (!opts.no_prefix_fork).then(PrefixCache::shared);
         let (records, _sessions) = engine.run_phase(
             p.name,
             &inputs,
             || {
                 let mut s = RunSession::new(&compiled, p.family);
                 s.set_watchdog(opts.watchdog);
+                s.set_prefix_cache(prefix.clone());
                 s
             },
             |session, i, input| {

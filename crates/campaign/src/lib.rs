@@ -21,6 +21,9 @@
 //! - [`runner`] — single-run execution and the four failure modes;
 //! - [`session`] — the warm-reboot run engine: one machine + clean
 //!   snapshot per worker, restored (not rebuilt) between runs;
+//! - [`prefix`] — the prefix-fork cache: injected runs resume from a
+//!   shared snapshot of the fault-free prefix at their trigger point,
+//!   executing only the divergent suffix;
 //! - [`pool`] — order-preserving parallel map over independent runs, with
 //!   per-worker state carrying the warm sessions;
 //! - [`report`] — paper-style text tables.
@@ -45,6 +48,7 @@ pub mod exposure;
 pub mod hardware;
 pub mod intensive;
 pub mod pool;
+pub mod prefix;
 pub mod report;
 pub mod runner;
 pub mod section5;
@@ -56,6 +60,7 @@ pub use engine::{
     AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, CheckpointLog, RunRecord,
     RunStatus,
 };
+pub use prefix::{GoldenRun, PrefixCache};
 pub use runner::{classify_outcome, execute, execute_cold, FailureMode, ModeCounts};
 pub use section6::{campaign_all, class_campaign, CampaignScale, ProgramCampaign};
 pub use session::{RunSession, SessionStats, Throughput};

@@ -1,0 +1,262 @@
+//! The prefix-fork cache: share the fault-free prefix across injected
+//! runs.
+//!
+//! A §6 campaign runs one fault against many inputs, and many faults
+//! against the *same* inputs. For the dominant fault shape — an
+//! [`swifi_core::fault::Trigger::OpcodeFetch`] trigger with a
+//! non-memory target — every architectural effect of the fault is
+//! confined to the suffix that starts at the trigger's first firing
+//! occurrence: the prefix up to that point is bit-identical to the
+//! fault-free (golden) run. Re-executing that prefix for every injected
+//! run is pure waste.
+//!
+//! A [`PrefixCache`] eliminates it. For each `(input, trigger-pc,
+//! firing-occurrence)` key the first run pays for a golden execution
+//! paused at the trigger ([`swifi_vm::Machine::run_to_fetch`]) and
+//! captures a sparse [`ForkSnapshot`]; every later run with the same
+//! key restores the snapshot ([`swifi_vm::Machine::restore_fork`]) and
+//! executes only the divergent suffix. Two memoizations ride along:
+//!
+//! - **golden runs** — a capture run whose trigger never fires *is* a
+//!   complete fault-free run; its outcome and retired-instruction count
+//!   are recorded per input, so later clean runs (and dormant
+//!   classifications) are answered without executing;
+//! - **trigger totals** — the same finished capture proves how many
+//!   times the trigger PC executes in the golden run, so any fault
+//!   needing a later occurrence is classified dormant outright.
+//!
+//! The cache is owned by the campaign driver and shared across the
+//! worker pool behind an [`Arc`]: all sessions of one phase run the
+//! same compiled program with the same [`swifi_vm::MachineConfig`], so
+//! a snapshot captured by one worker restores onto any other worker's
+//! machine (a tested VM invariant). A cache is only valid for the
+//! `(program, config)` pair it was created for — drivers build one per
+//! compiled target and never share it across programs.
+//!
+//! Snapshot storage is bounded ([`PrefixCache::with_capacity`]): once
+//! full, new snapshots are simply not retained (runs fall back to full
+//! execution), so a pathological campaign cannot exhaust memory. The
+//! golden/total maps hold a few words per input and are unbounded.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use swifi_programs::input::TestInput;
+use swifi_vm::machine::RunOutcome;
+use swifi_vm::ForkSnapshot;
+
+/// A memoized fault-free run of the cached program on one input.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// How the fault-free run ended.
+    pub outcome: RunOutcome,
+    /// Guest instructions the fault-free run retired.
+    pub retired: u64,
+}
+
+/// Default bound on retained fork snapshots.
+const DEFAULT_MAX_SNAPSHOTS: usize = 1024;
+
+#[derive(Default)]
+struct Inner {
+    /// (input, trigger pc, firing occurrence) → paused golden state.
+    snapshots: HashMap<(TestInput, u32, u64), Arc<ForkSnapshot>>,
+    /// input → memoized fault-free run.
+    golden: HashMap<TestInput, GoldenRun>,
+    /// (input, trigger pc) → exact trigger-arrival count in the golden
+    /// run (recorded only when a capture run finishes without hitting,
+    /// which observes the full count).
+    totals: HashMap<(TestInput, u32), u64>,
+    /// input → host-oracle expected output, shared across sessions.
+    expected: HashMap<TestInput, Arc<Vec<u8>>>,
+}
+
+/// Bounded, shared store of golden prefixes for one compiled program.
+///
+/// All methods take `&self`; the cache is internally locked and is
+/// shared across the worker pool via [`Arc`].
+pub struct PrefixCache {
+    inner: Mutex<Inner>,
+    max_snapshots: usize,
+}
+
+impl std::fmt::Debug for PrefixCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("prefix cache poisoned");
+        f.debug_struct("PrefixCache")
+            .field("snapshots", &inner.snapshots.len())
+            .field("golden", &inner.golden.len())
+            .field("max_snapshots", &self.max_snapshots)
+            .finish()
+    }
+}
+
+impl Default for PrefixCache {
+    fn default() -> PrefixCache {
+        PrefixCache::new()
+    }
+}
+
+impl PrefixCache {
+    /// A cache with the default snapshot bound.
+    pub fn new() -> PrefixCache {
+        PrefixCache::with_capacity(DEFAULT_MAX_SNAPSHOTS)
+    }
+
+    /// A cache retaining at most `max_snapshots` fork snapshots. Golden
+    /// and trigger-total memos are not bounded (they are a few words per
+    /// input).
+    pub fn with_capacity(max_snapshots: usize) -> PrefixCache {
+        PrefixCache {
+            inner: Mutex::new(Inner::default()),
+            max_snapshots,
+        }
+    }
+
+    /// A fresh cache wrapped for sharing across a worker pool.
+    pub fn shared() -> Arc<PrefixCache> {
+        Arc::new(PrefixCache::new())
+    }
+
+    /// The cached fork snapshot for `(input, pc, occurrence)`, if any.
+    pub fn snapshot(&self, input: &TestInput, pc: u32, occ: u64) -> Option<Arc<ForkSnapshot>> {
+        let inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.snapshots.get(&(input.clone(), pc, occ)).cloned()
+    }
+
+    /// Retain a fork snapshot, unless the bound is reached. Returns
+    /// whether the snapshot was stored (an equal key may already be
+    /// present when two workers raced on the same miss; the first one
+    /// wins and the duplicate is dropped).
+    pub fn insert_snapshot(
+        &self,
+        input: &TestInput,
+        pc: u32,
+        occ: u64,
+        snapshot: Arc<ForkSnapshot>,
+    ) -> bool {
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        if inner.snapshots.len() >= self.max_snapshots {
+            return false;
+        }
+        let key = (input.clone(), pc, occ);
+        if inner.snapshots.contains_key(&key) {
+            return false;
+        }
+        inner.snapshots.insert(key, snapshot);
+        true
+    }
+
+    /// The memoized fault-free run for `input`, if one was recorded.
+    pub fn golden(&self, input: &TestInput) -> Option<GoldenRun> {
+        let inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.golden.get(input).cloned()
+    }
+
+    /// Record the fault-free run for `input` (first writer wins; a
+    /// duplicate from a racing worker is identical by determinism).
+    pub fn record_golden(&self, input: &TestInput, run: GoldenRun) {
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.golden.entry(input.clone()).or_insert(run);
+    }
+
+    /// The exact number of golden-run arrivals at trigger `pc` on
+    /// `input`, if a finished capture run has observed it.
+    pub fn total_occurrences(&self, input: &TestInput, pc: u32) -> Option<u64> {
+        let inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.totals.get(&(input.clone(), pc)).copied()
+    }
+
+    /// Record the golden-run arrival count for `(input, pc)`.
+    pub fn record_total(&self, input: &TestInput, pc: u32, total: u64) {
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.totals.entry((input.clone(), pc)).or_insert(total);
+    }
+
+    /// The host-oracle expected output for `input`, computed once across
+    /// all sessions sharing this cache.
+    pub fn expected_output(&self, input: &TestInput) -> Arc<Vec<u8>> {
+        if let Some(v) = self
+            .inner
+            .lock()
+            .expect("prefix cache poisoned")
+            .expected
+            .get(input)
+        {
+            return v.clone();
+        }
+        // Compute outside the lock: the oracle run can be slow and two
+        // workers racing here produce identical bytes.
+        let computed = Arc::new(input.expected_output());
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        inner
+            .expected
+            .entry(input.clone())
+            .or_insert(computed)
+            .clone()
+    }
+
+    /// Number of fork snapshots currently retained.
+    pub fn snapshot_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("prefix cache poisoned")
+            .snapshots
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_lang::compile;
+    use swifi_programs::program;
+    use swifi_vm::inspect::Noop;
+    use swifi_vm::machine::{Machine, MachineConfig};
+
+    fn tiny_fork(src: &str) -> ForkSnapshot {
+        let image = swifi_vm::asm::assemble(src).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        m.run(&mut Noop);
+        m.fork_snapshot()
+    }
+
+    #[test]
+    fn snapshot_store_is_bounded() {
+        let target = program("JB.team11").unwrap();
+        let _ = compile(target.source_correct).unwrap();
+        let inputs = target.family.test_case(3, 1);
+        let cache = PrefixCache::with_capacity(2);
+        let snap = Arc::new(tiny_fork("li r3, 0\nhalt"));
+        assert!(cache.insert_snapshot(&inputs[0], 0x100, 1, snap.clone()));
+        assert!(
+            !cache.insert_snapshot(&inputs[0], 0x100, 1, snap.clone()),
+            "duplicate key is dropped"
+        );
+        assert!(cache.insert_snapshot(&inputs[1], 0x100, 1, snap.clone()));
+        assert!(
+            !cache.insert_snapshot(&inputs[2], 0x100, 1, snap.clone()),
+            "bound reached"
+        );
+        assert_eq!(cache.snapshot_count(), 2);
+        assert!(cache.snapshot(&inputs[0], 0x100, 1).is_some());
+        assert!(cache.snapshot(&inputs[0], 0x104, 1).is_none());
+        assert!(cache.snapshot(&inputs[2], 0x100, 1).is_none());
+    }
+
+    #[test]
+    fn golden_and_totals_memoize_first_writer() {
+        let target = program("JB.team11").unwrap();
+        let input = &target.family.test_case(1, 2)[0];
+        let cache = PrefixCache::new();
+        assert!(cache.golden(input).is_none());
+        assert!(cache.total_occurrences(input, 0x100).is_none());
+        cache.record_total(input, 0x100, 7);
+        cache.record_total(input, 0x100, 99);
+        assert_eq!(cache.total_occurrences(input, 0x100), Some(7));
+        let expected = cache.expected_output(input);
+        assert_eq!(*expected, input.expected_output());
+        assert!(Arc::ptr_eq(&expected, &cache.expected_output(input)));
+    }
+}

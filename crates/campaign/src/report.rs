@@ -107,6 +107,27 @@ pub fn decode_cache_line(tp: &Throughput) -> String {
     )
 }
 
+/// One-line summary of the prefix-fork cache, e.g.
+/// `prefix-fork: 40 snapshots, 3960 fork hits, 120 dormant short-circuits,
+/// 6 golden hits, 12.3M instrs skipped (57.4% of total)`.
+pub fn prefix_fork_line(tp: &Throughput) -> String {
+    let total = tp.retired_instrs + tp.prefix_instrs_skipped;
+    let skipped_pct = if total > 0 {
+        tp.prefix_instrs_skipped as f64 * 100.0 / total as f64
+    } else {
+        0.0
+    };
+    format!(
+        "prefix-fork: {} snapshots, {} fork hits, {} dormant short-circuits, {} golden hits, {:.1}M instrs skipped ({:.1}% of total)",
+        tp.prefix_snapshots_built,
+        tp.prefix_fork_hits,
+        tp.prefix_dormant_short_circuits,
+        tp.prefix_golden_hits,
+        tp.prefix_instrs_skipped as f64 / 1e6,
+        skipped_pct,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +166,7 @@ mod tests {
         for line in [
             throughput_line(&Throughput::default()),
             decode_cache_line(&Throughput::default()),
+            prefix_fork_line(&Throughput::default()),
         ] {
             assert!(!line.contains("NaN"), "{line}");
             assert!(!line.contains("inf"), "{line}");
@@ -206,6 +228,28 @@ mod tests {
         // Degenerate case: no instructions measured.
         let empty = decode_cache_line(&Throughput::default());
         assert!(empty.contains("0.00%"), "{empty}");
+    }
+
+    #[test]
+    fn prefix_fork_line_reports_skipped_share() {
+        let tp = Throughput {
+            retired_instrs: 1_000_000,
+            prefix_snapshots_built: 40,
+            prefix_fork_hits: 3960,
+            prefix_instrs_skipped: 3_000_000,
+            prefix_dormant_short_circuits: 120,
+            prefix_golden_hits: 6,
+            ..Throughput::default()
+        };
+        let line = prefix_fork_line(&tp);
+        assert!(line.contains("40 snapshots"), "{line}");
+        assert!(line.contains("3960 fork hits"), "{line}");
+        assert!(line.contains("120 dormant short-circuits"), "{line}");
+        assert!(line.contains("6 golden hits"), "{line}");
+        assert!(
+            line.contains("3.0M instrs skipped (75.0% of total)"),
+            "{line}"
+        );
     }
 
     #[test]

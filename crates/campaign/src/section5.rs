@@ -14,6 +14,7 @@ use swifi_lang::compile;
 use swifi_programs::all_programs;
 
 use crate::engine::{split_records, CampaignEngine, CampaignOptions, CheckpointHeader};
+use crate::prefix::PrefixCache;
 use crate::session::RunSession;
 
 /// One §5 result row.
@@ -94,6 +95,10 @@ pub fn section5_with(
                 let inputs = p.family.test_case(inputs_per_fault, seed);
                 let base = chaos_base;
                 chaos_base += inputs.len() as u64;
+                // Caches are per compiled binary: the corrected and the
+                // real faulty program each get their own.
+                let emulated_prefix = (!opts.no_prefix_fork).then(PrefixCache::shared);
+                let real_prefix = (!opts.no_prefix_fork).then(PrefixCache::shared);
                 // Each worker carries a warm session pair: the corrected
                 // binary (for the emulated runs) and the real faulty binary
                 // (the reference), both restored between inputs.
@@ -105,6 +110,8 @@ pub fn section5_with(
                         let mut real_s = RunSession::new(&faulty, p.family);
                         emulated_s.set_watchdog(opts.watchdog);
                         real_s.set_watchdog(opts.watchdog);
+                        emulated_s.set_prefix_cache(emulated_prefix.clone());
+                        real_s.set_prefix_cache(real_prefix.clone());
                         (emulated_s, real_s)
                     },
                     |(emulated_s, real_s), i, input| {

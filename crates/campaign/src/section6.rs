@@ -19,6 +19,7 @@ use swifi_programs::{all_programs, TargetProgram};
 use crate::engine::{
     split_records, AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader,
 };
+use crate::prefix::PrefixCache;
 use crate::runner::ModeCounts;
 use crate::session::{RunSession, Throughput};
 
@@ -169,6 +170,10 @@ pub fn class_campaign_with(
     let mut engine = CampaignEngine::new(header, opts)?;
     let t0 = std::time::Instant::now();
     let mut sessions: Vec<RunSession> = Vec::new();
+    // One prefix-fork cache per compiled program, shared by every worker
+    // session of both phases: all runs of the campaign share the same
+    // input set, so each (input, trigger) golden prefix is paid for once.
+    let prefix = (!opts.no_prefix_fork).then(PrefixCache::shared);
 
     // One work item per fault: runs the whole shared test case. Each
     // worker thread owns a warm-reboot session reused across all the
@@ -185,6 +190,7 @@ pub fn class_campaign_with(
                 || {
                     let mut s = RunSession::new(&compiled, target.family);
                     s.set_watchdog(opts.watchdog);
+                    s.set_prefix_cache(prefix.clone());
                     s
                 },
                 |session, i, fault| {

@@ -23,6 +23,7 @@
 //! which is exactly what licenses the reuse.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -32,9 +33,10 @@ use swifi_lang::Program;
 use swifi_programs::input::TestInput;
 use swifi_programs::Family;
 use swifi_vm::inspect::Inspector;
-use swifi_vm::machine::{Machine, MachineSnapshot, RunOutcome};
+use swifi_vm::machine::{FetchStop, Machine, MachineSnapshot, RunOutcome};
 use swifi_vm::Noop;
 
+use crate::prefix::{GoldenRun, PrefixCache};
 use crate::runner::{campaign_config, classify_outcome, FailureMode};
 
 /// Per-session run counters, folded into a campaign-level [`Throughput`].
@@ -62,6 +64,20 @@ pub struct SessionStats {
     /// Instructions that took the slow fetch→`on_fetch`→decode path
     /// (armed PCs, reference mode, PCs outside the cached code region).
     pub slow_fetches: u64,
+    /// Golden prefixes captured (paused runs snapshotted) by this session.
+    pub prefix_snapshots_built: u64,
+    /// Injected runs resumed from a cached prefix snapshot.
+    pub prefix_fork_hits: u64,
+    /// Guest instructions *not* executed thanks to the prefix cache
+    /// (forked-over prefixes, memoized golden runs, dormant
+    /// short-circuits). Disjoint from `retired_instrs`, which counts only
+    /// instructions actually executed.
+    pub prefix_instrs_skipped: u64,
+    /// Injected runs classified dormant from the golden trigger-arrival
+    /// count, without executing anything.
+    pub prefix_dormant_short_circuits: u64,
+    /// Clean runs answered from the memoized golden run.
+    pub prefix_golden_hits: u64,
 }
 
 impl SessionStats {
@@ -76,6 +92,11 @@ impl SessionStats {
         self.decode_lines_built += other.decode_lines_built;
         self.decode_invalidations += other.decode_invalidations;
         self.slow_fetches += other.slow_fetches;
+        self.prefix_snapshots_built += other.prefix_snapshots_built;
+        self.prefix_fork_hits += other.prefix_fork_hits;
+        self.prefix_instrs_skipped += other.prefix_instrs_skipped;
+        self.prefix_dormant_short_circuits += other.prefix_dormant_short_circuits;
+        self.prefix_golden_hits += other.prefix_golden_hits;
     }
 }
 
@@ -83,11 +104,12 @@ impl SessionStats {
 /// reports and the `swifi campaign` command.
 ///
 /// `PartialEq` deliberately **ignores** `elapsed_secs` and the
-/// interpreter-level counters (`retired_instrs`, `decode_*`,
-/// `slow_fetches`): two campaigns with identical seeds must compare equal
-/// even though their wall-clock differs and their sessions split the work
-/// (and hence the per-worker decode caches) differently — the
-/// seed-determinism tests rely on this.
+/// engine-level counters (`retired_instrs`, `decode_*`, `slow_fetches`,
+/// `prefix_*`): two campaigns with identical seeds must compare equal
+/// even though their wall-clock differs, their sessions split the work
+/// (and hence the per-worker decode caches) differently, and the
+/// prefix-fork cache may or may not be enabled — the seed-determinism
+/// and fork-off/fork-on equivalence tests rely on this.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Throughput {
     /// Total runs executed.
@@ -106,6 +128,17 @@ pub struct Throughput {
     pub decode_invalidations: u64,
     /// Instructions executed via the slow fetch path across all sessions.
     pub slow_fetches: u64,
+    /// Golden prefixes captured across all sessions.
+    pub prefix_snapshots_built: u64,
+    /// Injected runs resumed from a cached prefix snapshot.
+    pub prefix_fork_hits: u64,
+    /// Guest instructions skipped by the prefix cache (not part of
+    /// `retired_instrs`).
+    pub prefix_instrs_skipped: u64,
+    /// Injected runs classified dormant without execution.
+    pub prefix_dormant_short_circuits: u64,
+    /// Clean runs answered from the memoized golden run.
+    pub prefix_golden_hits: u64,
 }
 
 impl PartialEq for Throughput {
@@ -132,6 +165,11 @@ impl Throughput {
             decode_lines_built: stats.decode_lines_built,
             decode_invalidations: stats.decode_invalidations,
             slow_fetches: stats.slow_fetches,
+            prefix_snapshots_built: stats.prefix_snapshots_built,
+            prefix_fork_hits: stats.prefix_fork_hits,
+            prefix_instrs_skipped: stats.prefix_instrs_skipped,
+            prefix_dormant_short_circuits: stats.prefix_dormant_short_circuits,
+            prefix_golden_hits: stats.prefix_golden_hits,
         }
     }
 
@@ -165,6 +203,11 @@ impl Throughput {
         self.decode_lines_built += other.decode_lines_built;
         self.decode_invalidations += other.decode_invalidations;
         self.slow_fetches += other.slow_fetches;
+        self.prefix_snapshots_built += other.prefix_snapshots_built;
+        self.prefix_fork_hits += other.prefix_fork_hits;
+        self.prefix_instrs_skipped += other.prefix_instrs_skipped;
+        self.prefix_dormant_short_circuits += other.prefix_dormant_short_circuits;
+        self.prefix_golden_hits += other.prefix_golden_hits;
     }
 }
 
@@ -205,10 +248,19 @@ pub struct RunSession {
     /// fault against the same shared input set, so each input's expected
     /// output is recomputed once per session instead of once per run —
     /// on the short JamesB runs the oracle call is a measurable slice of
-    /// the per-run wall clock.
-    expected: HashMap<TestInput, Vec<u8>>,
+    /// the per-run wall clock. When a [`PrefixCache`] is attached it acts
+    /// as a shared second level behind this per-session map.
+    expected: HashMap<TestInput, Arc<Vec<u8>>>,
+    /// Shared prefix-fork cache; `None` disables forking entirely (every
+    /// run executes from the clean snapshot).
+    prefix: Option<Arc<PrefixCache>>,
     stats: SessionStats,
     started: Instant,
+    /// Retired-instruction count of the most recent run, as a full
+    /// (unforked) run would report it — memoized answers report the
+    /// golden run's count. The forked-vs-full equivalence oracle pins
+    /// this.
+    last_retired: u64,
     /// Per-run wall-clock budget; armed on the machine at the start of
     /// every run when set. Expired runs come back as
     /// [`RunOutcome::Hang`] and classify as [`FailureMode::Hang`].
@@ -237,10 +289,26 @@ impl RunSession {
             snapshot,
             cached: None,
             expected: HashMap::new(),
+            prefix: None,
             stats: SessionStats::default(),
             started: Instant::now(),
+            last_retired: 0,
             watchdog: None,
         }
+    }
+
+    /// Attach a shared [`PrefixCache`]. The cache must have been created
+    /// for the same compiled program and machine configuration as this
+    /// session — snapshots restore across sessions only between
+    /// identically-built machines. `None` disables prefix forking.
+    pub fn set_prefix_cache(&mut self, cache: Option<Arc<PrefixCache>>) {
+        self.prefix = cache;
+    }
+
+    /// Retired-instruction count of the most recent run, as a full run
+    /// would report it (memoized/forked answers included).
+    pub fn last_retired(&self) -> u64 {
+        self.last_retired
     }
 
     /// Arm a per-run wall-clock watchdog: any subsequent run still
@@ -291,12 +359,43 @@ impl RunSession {
         self.stats.runs += 1;
     }
 
-    /// One fault-free run.
+    /// One fault-free run, answered from the shared golden memo when the
+    /// prefix cache already holds this input's fault-free run.
     pub fn run_clean(&mut self, input: &TestInput) -> RunOutcome {
+        if let Some(cache) = &self.prefix {
+            if let Some(golden) = cache.golden(input) {
+                self.stats.runs += 1;
+                self.stats.prefix_golden_hits += 1;
+                self.stats.prefix_instrs_skipped += golden.retired;
+                self.last_retired = golden.retired;
+                return golden.outcome;
+            }
+        }
         self.begin(input);
         let outcome = self.machine.run(&mut Noop);
-        self.stats.retired_instrs += self.machine.retired();
+        let retired = self.machine.retired();
+        self.stats.retired_instrs += retired;
+        self.last_retired = retired;
+        if let Some(cache) = &self.prefix {
+            if self.golden_memoizable(&outcome) {
+                cache.record_golden(
+                    input,
+                    GoldenRun {
+                        outcome: outcome.clone(),
+                        retired,
+                    },
+                );
+            }
+        }
         outcome
+    }
+
+    /// Whether a fault-free outcome is safe to memoize: with a wall-clock
+    /// watchdog armed, a `Hang` may be the (nondeterministic) deadline
+    /// rather than the (deterministic) instruction budget, and must not
+    /// be replayed as gospel.
+    fn golden_memoizable(&self, outcome: &RunOutcome) -> bool {
+        self.watchdog.is_none() || !matches!(outcome, RunOutcome::Hang { .. })
     }
 
     /// One run observed by a caller-supplied inspector (profilers etc.).
@@ -304,6 +403,7 @@ impl RunSession {
         self.begin(input);
         let outcome = self.machine.run(inspector);
         self.stats.retired_instrs += self.machine.retired();
+        self.last_retired = self.machine.retired();
         outcome
     }
 
@@ -328,7 +428,25 @@ impl RunSession {
         mode: TriggerMode,
         seed: u64,
     ) -> (RunOutcome, bool) {
+        if let Some((pc, occ)) = self.fork_plan(specs) {
+            return self.run_forked(input, specs, mode, seed, pc, occ);
+        }
         self.begin(input);
+        self.ensure_injector(specs, mode, seed);
+        let cached = self.cached.as_mut().expect("cache populated above");
+        cached.injector.reset(seed);
+        cached
+            .injector
+            .prepare(&mut self.machine)
+            .expect("fault addresses lie in mapped memory");
+        let outcome = self.machine.run(&mut cached.injector);
+        let fired = cached.injector.any_fired();
+        self.account_injected(self.machine.retired(), fired);
+        (outcome, fired)
+    }
+
+    /// (Re)compile the cached injector if the fault set changed.
+    fn ensure_injector(&mut self, specs: &[FaultSpec], mode: TriggerMode, seed: u64) {
         let reusable = self
             .cached
             .as_ref()
@@ -343,21 +461,143 @@ impl RunSession {
             });
             self.stats.injector_rebuilds += 1;
         }
-        let cached = self.cached.as_mut().expect("cache populated above");
-        cached.injector.reset(seed);
-        cached
-            .injector
-            .prepare(&mut self.machine)
-            .expect("fault addresses lie in mapped memory");
-        let outcome = self.machine.run(&mut cached.injector);
-        self.stats.retired_instrs += self.machine.retired();
-        let fired = cached.injector.any_fired();
+    }
+
+    /// Per-injected-run accounting shared by the cold and forked paths.
+    /// `retired` is what a full run would report; the caller has already
+    /// added the actually-executed share to `retired_instrs`.
+    fn account_injected_memoized(&mut self, retired: u64, fired: bool) {
+        self.last_retired = retired;
         self.stats.injected_runs += 1;
         if fired {
             self.stats.fired_runs += 1;
         } else {
             self.stats.dormant_runs += 1;
         }
+    }
+
+    /// Accounting for an injected run that executed on the machine.
+    fn account_injected(&mut self, retired: u64, fired: bool) {
+        self.stats.retired_instrs += retired;
+        self.account_injected_memoized(retired, fired);
+    }
+
+    /// Whether this fault set resumes from a cached golden prefix: a
+    /// prefix cache is attached, the machine is single-core (a fetch
+    /// breakpoint cannot capture a multi-core scheduler position), the
+    /// set is a single fault, and that fault has a
+    /// [`FaultSpec::fork_point`]. Anything else takes the full path.
+    fn fork_plan(&self, specs: &[FaultSpec]) -> Option<(u32, u64)> {
+        self.prefix.as_ref()?;
+        if self.machine.num_cores() != 1 {
+            return None;
+        }
+        let [spec] = specs else { return None };
+        spec.fork_point()
+    }
+
+    /// The prefix-fork run path. Three cases, cheapest first:
+    ///
+    /// 1. the golden run is known to reach the trigger fewer than `occ`
+    ///    times → the fault is **dormant**; replay the memoized golden
+    ///    outcome without executing anything;
+    /// 2. a snapshot for `(input, pc, occ)` is cached → restore it and
+    ///    execute only the divergent suffix, with the injector's
+    ///    occurrence counter pre-loaded to `occ - 1`
+    ///    ([`Injector::resume_occurrences`]);
+    /// 3. miss → run the *uninjected* prefix with a fetch breakpoint at
+    ///    `(pc, occ)`. A hit snapshots the paused state for future runs
+    ///    and continues in place as this injected run (the machine is
+    ///    already exactly at the fork point). A finished run never
+    ///    reached the trigger: it *is* the golden run (memoized, along
+    ///    with the trigger's exact arrival count) and this fault is
+    ///    dormant.
+    fn run_forked(
+        &mut self,
+        input: &TestInput,
+        specs: &[FaultSpec],
+        mode: TriggerMode,
+        seed: u64,
+        pc: u32,
+        occ: u64,
+    ) -> (RunOutcome, bool) {
+        let cache = self.prefix.clone().expect("fork plan requires a cache");
+
+        if let Some(total) = cache.total_occurrences(input, pc) {
+            if total < occ {
+                let golden = cache
+                    .golden(input)
+                    .expect("trigger totals are recorded together with the golden run");
+                self.stats.runs += 1;
+                self.stats.prefix_dormant_short_circuits += 1;
+                self.stats.prefix_instrs_skipped += golden.retired;
+                self.account_injected_memoized(golden.retired, false);
+                return (golden.outcome, false);
+            }
+        }
+
+        if let Some(fork) = cache.snapshot(input, pc, occ) {
+            self.machine.restore_fork(&self.snapshot, &fork);
+            self.machine
+                .set_deadline(self.watchdog.map(|d| Instant::now() + d));
+            self.stats.runs += 1;
+            self.stats.prefix_fork_hits += 1;
+            self.stats.prefix_instrs_skipped += fork.retired();
+            let (outcome, fired) = self.resume_injected(specs, mode, seed, occ);
+            self.stats.retired_instrs += self.machine.retired() - fork.retired();
+            self.account_injected_memoized(self.machine.retired(), fired);
+            return (outcome, fired);
+        }
+
+        self.begin(input);
+        let (stop, seen) = self.machine.run_to_fetch(pc, occ, &mut Noop);
+        match stop {
+            FetchStop::Finished(outcome) => {
+                let retired = self.machine.retired();
+                if self.golden_memoizable(&outcome) {
+                    cache.record_golden(
+                        input,
+                        GoldenRun {
+                            outcome: outcome.clone(),
+                            retired,
+                        },
+                    );
+                    cache.record_total(input, pc, seen);
+                }
+                self.account_injected(retired, false);
+                (outcome, false)
+            }
+            FetchStop::Hit => {
+                if cache.insert_snapshot(input, pc, occ, Arc::new(self.machine.fork_snapshot())) {
+                    self.stats.prefix_snapshots_built += 1;
+                }
+                let (outcome, fired) = self.resume_injected(specs, mode, seed, occ);
+                self.account_injected(self.machine.retired(), fired);
+                (outcome, fired)
+            }
+        }
+    }
+
+    /// Run the injected suffix from the machine's current state (paused
+    /// exactly before the trigger's `occ`-th fetch), arming the injector
+    /// as if it had observed the whole prefix.
+    fn resume_injected(
+        &mut self,
+        specs: &[FaultSpec],
+        mode: TriggerMode,
+        seed: u64,
+        occ: u64,
+    ) -> (RunOutcome, bool) {
+        self.ensure_injector(specs, mode, seed);
+        let cached = self.cached.as_mut().expect("cache populated above");
+        cached.injector.reset(seed);
+        cached.injector.resume_occurrences(0, occ - 1);
+        cached
+            .injector
+            .prepare(&mut self.machine)
+            .expect("fault addresses lie in mapped memory");
+        let outcome = self.machine.run(&mut cached.injector);
+        let fired = cached.injector.any_fired();
         (outcome, fired)
     }
 
@@ -382,12 +622,18 @@ impl RunSession {
         (classify_outcome(&outcome, self.expected_for(input)), fired)
     }
 
-    /// The oracle's expected output for `input`, computed once per session.
+    /// The oracle's expected output for `input`, computed once per
+    /// session — or once per *campaign* when a shared [`PrefixCache`]
+    /// backs the per-session map.
     fn expected_for(&mut self, input: &TestInput) -> &[u8] {
         if !self.expected.contains_key(input) {
-            self.expected.insert(input.clone(), input.expected_output());
+            let expected = match &self.prefix {
+                Some(cache) => cache.expected_output(input),
+                None => Arc::new(input.expected_output()),
+            };
+            self.expected.insert(input.clone(), expected);
         }
-        &self.expected[input]
+        self.expected[input].as_slice()
     }
 }
 
@@ -551,6 +797,147 @@ mod tests {
         session.set_watchdog(Some(Duration::from_secs(3600)));
         let (mode, _) = session.run(input, None, 0);
         assert_eq!(mode, FailureMode::Correct);
+    }
+
+    #[test]
+    fn forked_runs_match_full_runs_exactly() {
+        // The prefix-fork oracle at session granularity: every (fault,
+        // input) pair answered via the fork cache — capture-continue on
+        // first sight, fork-hit on the second — must match a fork-free
+        // session bit for bit: failure mode, fired flag, and the
+        // retired-instruction count a full run would report.
+        let target = program("JB.team6").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let set = generate_error_set(&compiled.debug, 4, 4, 13);
+        let faults: Vec<_> = set.assign_faults.iter().chain(&set.check_faults).collect();
+        let inputs = target.family.test_case(3, 17);
+
+        let mut full = RunSession::new(&compiled, target.family);
+        let mut forked = RunSession::new(&compiled, target.family);
+        forked.set_prefix_cache(Some(crate::prefix::PrefixCache::shared()));
+
+        for (fi, fault) in faults.iter().enumerate() {
+            for (i, input) in inputs.iter().enumerate() {
+                let seed = (fi as u64) << 8 | i as u64;
+                let want = full.run(input, Some(&fault.spec), seed);
+                let want_retired = full.last_retired();
+                for pass in ["capture", "fork-hit"] {
+                    let got = forked.run(input, Some(&fault.spec), seed);
+                    assert_eq!(got, want, "fault {fi} input {i} ({pass})");
+                    assert_eq!(
+                        forked.last_retired(),
+                        want_retired,
+                        "fault {fi} input {i} ({pass}) retired count"
+                    );
+                }
+            }
+        }
+        let s = forked.stats();
+        assert!(s.prefix_fork_hits > 0, "second passes must fork: {s:?}");
+        assert!(s.prefix_snapshots_built > 0, "{s:?}");
+        assert_eq!(s.runs, 2 * full.stats().runs);
+        assert_eq!(s.fired_runs + s.dormant_runs, s.injected_runs);
+    }
+
+    #[test]
+    fn nth_firing_counts_occurrences_across_the_fork_boundary() {
+        // A snapshot taken at occurrence k-1 must not double-count: the
+        // resumed injector sees the pending fetch as occurrence k exactly
+        // once. Sweep Nth(1..=6) over a trigger inside a loop so the
+        // occurrence arithmetic is exercised on both sides of the
+        // boundary, running each spec twice (capture, then fork).
+        use swifi_core::fault::Firing;
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let set = generate_error_set(&compiled.debug, 4, 0, 21);
+        let inputs = target.family.test_case(2, 23);
+
+        let mut full = RunSession::new(&compiled, target.family);
+        let mut forked = RunSession::new(&compiled, target.family);
+        forked.set_prefix_cache(Some(crate::prefix::PrefixCache::shared()));
+
+        for fault in &set.assign_faults {
+            for k in 1..=6u64 {
+                let mut spec = fault.spec;
+                spec.when = Firing::Nth(k);
+                for input in &inputs {
+                    let want = full.run(input, Some(&spec), k);
+                    for pass in ["capture", "fork-hit"] {
+                        let got = forked.run(input, Some(&spec), k);
+                        assert_eq!(got, want, "Nth({k}) {pass} at {:#x}", fault.site_addr);
+                        assert_eq!(forked.last_retired(), full.last_retired(), "Nth({k})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dormant_faults_short_circuit_after_the_golden_run() {
+        // A fault whose trigger occurs fewer than `occ` times in the
+        // golden run: the first encounter finishes the (golden) run and
+        // records the trigger total; every later encounter is classified
+        // dormant without executing a single instruction.
+        use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let input = &target.family.test_case(1, 29)[0];
+        let site = generate_error_set(&compiled.debug, 1, 0, 29).assign_faults[0].site_addr;
+        // Far beyond any plausible loop count for the short JamesB runs.
+        let spec = FaultSpec {
+            what: ErrorOp::Xor(1),
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(site),
+            when: Firing::Nth(1_000_000),
+        };
+
+        let mut full = RunSession::new(&compiled, target.family);
+        let mut forked = RunSession::new(&compiled, target.family);
+        forked.set_prefix_cache(Some(crate::prefix::PrefixCache::shared()));
+
+        let want = full.run(input, Some(&spec), 1);
+        assert!(!want.1, "the trigger cannot reach occurrence 10^6");
+        let first = forked.run(input, Some(&spec), 1);
+        assert_eq!(first, want);
+        let before = forked.stats();
+        assert_eq!(before.prefix_dormant_short_circuits, 0);
+
+        let second = forked.run(input, Some(&spec), 2);
+        assert_eq!(second, want);
+        assert_eq!(forked.last_retired(), full.last_retired());
+        let after = forked.stats();
+        assert_eq!(after.prefix_dormant_short_circuits, 1);
+        assert_eq!(
+            after.retired_instrs, before.retired_instrs,
+            "the short-circuited run must not execute"
+        );
+        assert_eq!(after.dormant_runs, 2);
+        assert!(after.prefix_instrs_skipped > before.prefix_instrs_skipped);
+    }
+
+    #[test]
+    fn clean_runs_hit_the_golden_memo() {
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let inputs = target.family.test_case(2, 31);
+        let mut a = RunSession::new(&compiled, target.family);
+        let mut b = RunSession::new(&compiled, target.family);
+        let cache = crate::prefix::PrefixCache::shared();
+        a.set_prefix_cache(Some(cache.clone()));
+        b.set_prefix_cache(Some(cache));
+        for input in &inputs {
+            let first = a.run_clean(input);
+            let full_retired = a.last_retired();
+            // Session b shares the cache: its "run" is answered without
+            // executing, but reports the same outcome and retired count.
+            let memo = b.run_clean(input);
+            assert_eq!(memo, first);
+            assert_eq!(b.last_retired(), full_retired);
+        }
+        let sb = b.stats();
+        assert_eq!(sb.prefix_golden_hits, inputs.len() as u64);
+        assert_eq!(sb.retired_instrs, 0, "memoized runs execute nothing");
+        assert_eq!(sb.runs, inputs.len() as u64, "memoized runs still count");
     }
 
     #[test]

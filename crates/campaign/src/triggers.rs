@@ -19,6 +19,7 @@ use swifi_lang::compile;
 use swifi_programs::TargetProgram;
 
 use crate::pool::parallel_map_with;
+use crate::prefix::PrefixCache;
 use crate::runner::ModeCounts;
 use crate::section6::CampaignScale;
 use crate::session::RunSession;
@@ -47,6 +48,11 @@ pub fn trigger_ablation(
         .family
         .test_case(scale.inputs_per_fault, seed ^ 0x7219);
 
+    // One cache across all four policies: they reuse the same trigger
+    // PCs at different firing occurrences, so the `Nth(k)` policies fork
+    // from prefixes whose totals the `EveryTime` pass already measured.
+    let prefix = PrefixCache::shared();
+
     let policies: Vec<(String, Firing)> = vec![
         ("every occurrence (paper)".to_string(), Firing::EveryTime),
         ("first occurrence only".to_string(), Firing::First),
@@ -59,7 +65,11 @@ pub fn trigger_ablation(
         .map(|(label, when)| {
             let (per_fault, _sessions) = parallel_map_with(
                 &faults,
-                || RunSession::new(&compiled, target.family),
+                || {
+                    let mut s = RunSession::new(&compiled, target.family);
+                    s.set_prefix_cache(Some(prefix.clone()));
+                    s
+                },
                 |session, fault| {
                     let mut spec = fault.spec;
                     spec.when = when;

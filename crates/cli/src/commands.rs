@@ -1,7 +1,7 @@
 //! Implementations of the `swifi` subcommands.
 
 use swifi_campaign::report::{
-    decode_cache_line, mode_cells, render_table, throughput_line, MODE_HEADERS,
+    decode_cache_line, mode_cells, prefix_fork_line, render_table, throughput_line, MODE_HEADERS,
 };
 use swifi_campaign::section6::{class_campaign_with, CampaignScale};
 use swifi_campaign::CampaignOptions;
@@ -36,6 +36,8 @@ CAMPAIGN OPTIONS:
   --resume          resume from F: recorded runs replay instead of re-running
   --watchdog-ms N   per-run wall-clock budget; slower runs classify as Hang
   --chaos-panic N   panic the worker on campaign item N (harness self-test)
+  --no-prefix-fork  disable the prefix-fork cache (full prefix per run;
+                    reported results are identical either way)
 
 FILE is a MiniC source path; NAME is a roster program (see `swifi list`).
 ";
@@ -297,7 +299,7 @@ pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
 }
 
 /// `swifi campaign NAME [--inputs N] [--seed N] [--checkpoint F [--resume]]
-/// [--watchdog-ms N] [--chaos-panic N]`
+/// [--watchdog-ms N] [--chaos-panic N] [--no-prefix-fork]`
 pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     let name = parsed
         .positional
@@ -310,6 +312,7 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     let mut opts = CampaignOptions {
         checkpoint: parsed.value_opt("checkpoint")?.map(Into::into),
         resume: parsed.flag("resume"),
+        no_prefix_fork: parsed.flag("no-prefix-fork"),
         ..CampaignOptions::default()
     };
     if opts.resume && opts.checkpoint.is_none() {
@@ -341,6 +344,7 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
     println!("throughput: {}", throughput_line(&c.throughput));
     println!("{}", decode_cache_line(&c.throughput));
+    println!("{}", prefix_fork_line(&c.throughput));
     for a in &c.abnormal {
         println!(
             "abnormal: {}#{} — {} ({})",

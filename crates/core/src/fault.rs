@@ -166,6 +166,32 @@ impl FaultSpec {
         }
     }
 
+    /// The prefix-fork resume point of this spec, if it has one: the
+    /// trigger PC and the (1-based) trigger occurrence at which the fault
+    /// first fires.
+    ///
+    /// A spec is forkable when its entire pre-first-fire behaviour is
+    /// architecturally invisible, so a golden run paused just before that
+    /// occurrence is state-identical to an injected run at the same
+    /// point. That requires an [`Trigger::OpcodeFetch`] trigger (purely
+    /// counting until it fires) and a non-[`Target::Memory`] target
+    /// (memory faults are pre-applied by `Injector::prepare` and perturb
+    /// the prefix itself). `Firing::Nth(0)` never fires and returns
+    /// `None`.
+    pub fn fork_point(&self) -> Option<(u32, u64)> {
+        if matches!(self.target, Target::Memory(_)) {
+            return None;
+        }
+        let Trigger::OpcodeFetch(pc) = self.trigger else {
+            return None;
+        };
+        match self.when {
+            Firing::First | Firing::EveryTime => Some((pc, 1)),
+            Firing::Nth(0) => None,
+            Firing::Nth(k) => Some((pc, k)),
+        }
+    }
+
     /// Whether this spec is internally consistent (e.g. a data-bus target
     /// needs an instruction or temporal trigger that can observe it).
     pub fn validate(&self) -> Result<(), String> {
@@ -228,6 +254,55 @@ mod tests {
         };
         assert!(bad.validate().is_err());
         assert!(FaultSpec::replace_instr(0x100, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn fork_points() {
+        let base = FaultSpec::replace_instr(0x104, 0);
+        assert_eq!(base.fork_point(), Some((0x104, 1)));
+        assert_eq!(
+            FaultSpec {
+                when: Firing::First,
+                ..base
+            }
+            .fork_point(),
+            Some((0x104, 1))
+        );
+        assert_eq!(
+            FaultSpec {
+                when: Firing::Nth(9),
+                ..base
+            }
+            .fork_point(),
+            Some((0x104, 9))
+        );
+        assert_eq!(
+            FaultSpec {
+                when: Firing::Nth(0),
+                ..base
+            }
+            .fork_point(),
+            None,
+            "Nth(0) never fires"
+        );
+        assert_eq!(
+            FaultSpec {
+                target: Target::Memory(0x8000),
+                ..base
+            }
+            .fork_point(),
+            None,
+            "memory faults perturb the prefix via prepare()"
+        );
+        assert_eq!(
+            FaultSpec {
+                trigger: Trigger::AfterInstructions(10),
+                ..base
+            }
+            .fork_point(),
+            None,
+            "only opcode-fetch triggers are forkable"
+        );
     }
 
     #[test]

@@ -340,6 +340,20 @@ impl Injector {
         self.rng = StdRng::seed_from_u64(seed);
     }
 
+    /// Arm-after-restore: preload the occurrence counter of spec `i` with
+    /// the `seen` trigger arrivals that happened in a forked-away prefix,
+    /// so the next matching event is counted as occurrence `seen + 1`.
+    ///
+    /// Call immediately after [`Injector::reset`], before the resumed
+    /// run. Sound only for specs with a fork point
+    /// ([`FaultSpec::fork_point`]): for those, every pre-first-fire hook
+    /// is an architectural no-op and no random values are drawn, so a
+    /// freshly reset injector with a preloaded counter is observably
+    /// identical to one that replayed the whole prefix.
+    pub fn resume_occurrences(&mut self, i: usize, seen: u64) {
+        self.occurrences[i] = seen;
+    }
+
     /// Number of times fault `i` actually corrupted state.
     pub fn fired_count(&self, i: usize) -> u64 {
         self.fired[i]
@@ -1207,5 +1221,37 @@ mod tests {
         let (out, fired) = run_with_faults(src, vec![fault], TriggerMode::Hardware);
         assert!(out.is_normal());
         assert!(!fired, "fault at unexecuted address must stay dormant");
+    }
+
+    #[test]
+    fn resume_occurrences_shifts_the_firing_window() {
+        // COUNT_SRC fetches 0x108 exactly 5 times, so a Nth(7) fault is
+        // dormant on a cold run. Preloading 4 prefix arrivals makes the
+        // same 5 fetches occurrences 5..=9, so occurrence 7 fires.
+        let fault = FaultSpec {
+            what: ErrorOp::Xor(1),
+            target: Target::Gpr(6),
+            trigger: Trigger::OpcodeFetch(0x108),
+            when: Firing::Nth(7),
+        };
+        let image = assemble(COUNT_SRC).unwrap();
+        let mut inj = Injector::new(vec![fault], TriggerMode::Hardware, 3).unwrap();
+        let run = |inj: &mut Injector| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            m.run(inj);
+        };
+
+        run(&mut inj);
+        assert_eq!(inj.fired_count(0), 0, "5 arrivals can't reach Nth(7)");
+
+        inj.reset(3);
+        inj.resume_occurrences(0, 4);
+        run(&mut inj);
+        assert_eq!(inj.fired_count(0), 1, "arrival 3 is occurrence 7");
+
+        inj.reset(3);
+        run(&mut inj);
+        assert_eq!(inj.fired_count(0), 0, "reset clears the preload");
     }
 }

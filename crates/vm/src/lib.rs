@@ -49,5 +49,7 @@ pub mod trace;
 
 pub use inspect::{FetchPolicy, Inspector, Noop};
 pub use isa::{decode, encode, Instr};
-pub use machine::{InputTape, Machine, MachineConfig, MachineSnapshot, RunOutcome, Trap};
-pub use mem::{DecodeCacheStats, Image, MemorySnapshot, CODE_BASE, PAGE_SIZE};
+pub use machine::{
+    FetchStop, ForkSnapshot, InputTape, Machine, MachineConfig, MachineSnapshot, RunOutcome, Trap,
+};
+pub use mem::{DecodeCacheStats, Image, MemoryDelta, MemorySnapshot, CODE_BASE, PAGE_SIZE};

@@ -51,7 +51,9 @@ use std::time::Instant;
 
 use crate::inspect::{FetchPolicy, Inspector};
 use crate::isa::{self, AluOp, CrBit, Instr, Syscall};
-use crate::mem::{Allocator, DecodeCacheStats, Image, Memory, MemorySnapshot, CODE_BASE};
+use crate::mem::{
+    Allocator, DecodeCacheStats, Image, Memory, MemoryDelta, MemorySnapshot, CODE_BASE,
+};
 
 /// A hardware-detected error condition; the *crash* failure mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -274,6 +276,84 @@ enum Progress {
     /// ends as a hang. Checked only where output can grow (the syscall
     /// path) so the hot loop does not pay for it per iteration.
     OutputLimit,
+    /// The armed fetch breakpoint was reached: the instruction at the
+    /// break PC has *not* been fetched or executed, `retired` has not
+    /// advanced, and `core.pc` still points at it.
+    Breakpoint,
+}
+
+/// How a [`Machine::run_inner`] loop ended: a finished run, or a pause at
+/// the armed fetch breakpoint.
+enum RunControl {
+    Done(RunOutcome),
+    Break,
+}
+
+/// An armed fetch breakpoint: pause the machine the `nth` time `pc` is
+/// about to be fetched. Only meaningful through [`Machine::run_to_fetch`].
+#[derive(Debug, Clone, Copy)]
+struct FetchBreak {
+    pc: u32,
+    nth: u64,
+    /// Arrivals at `pc` observed so far (equals the would-be trigger
+    /// occurrence count of an `OpcodeFetch` fault at `pc`).
+    seen: u64,
+}
+
+/// Result of [`Machine::run_to_fetch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchStop {
+    /// The breakpoint PC was about to be fetched for the `nth` time. The
+    /// machine is paused exactly *before* that fetch: the instruction has
+    /// not executed, no fetch hook has seen it, and `Machine::retired` has
+    /// not advanced past the prefix.
+    Hit,
+    /// The run finished (or hung/trapped) before `pc` was fetched `nth`
+    /// times — the outcome is exactly that of an ordinary [`Machine::run`].
+    Finished(RunOutcome),
+}
+
+/// A sparse capture of a paused run, relative to the base
+/// [`MachineSnapshot`]: the memory pages that diverge plus the (small)
+/// non-memory state — cores, allocator bookkeeping, the partially consumed
+/// input tape, output produced so far, and the retired-instruction count.
+///
+/// Taken with [`Machine::fork_snapshot`] (typically at a
+/// [`Machine::run_to_fetch`] pause) and resumed with
+/// [`Machine::restore_fork`]. Decoded-line state is *not* captured: the
+/// translation cache persists in the machine and restore invalidates
+/// exactly the code words a restore changes, so lines built during the
+/// prefix keep serving forked suffixes.
+///
+/// A fork snapshot may be restored on a *different* machine than it was
+/// captured on, provided both were built from the same config and image
+/// (byte-identical base snapshots) — how pooled campaign workers share one
+/// prefix cache.
+#[derive(Debug, Clone)]
+pub struct ForkSnapshot {
+    mem: MemoryDelta,
+    cores: Vec<Cpu>,
+    alloc: Allocator,
+    input: InputTape,
+    output: Vec<u8>,
+    retired: u64,
+}
+
+impl ForkSnapshot {
+    /// Instructions retired by the captured prefix.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Number of memory pages stored in the delta.
+    pub fn delta_pages(&self) -> usize {
+        self.mem.page_count()
+    }
+
+    /// Approximate heap footprint in bytes (for cache bounding).
+    pub fn byte_count(&self) -> usize {
+        self.mem.byte_count() + self.output.len()
+    }
 }
 
 /// A point-in-time capture of a loaded [`Machine`]: memory, cores, heap
@@ -329,6 +409,9 @@ pub struct Machine {
     /// depth above the instruction budget for runs that are slow rather
     /// than long (e.g. pathological slow-path behaviour under injection).
     deadline: Option<Instant>,
+    /// Armed fetch breakpoint for the current [`Machine::run_to_fetch`]
+    /// call; always `None` outside it, so ordinary runs pay nothing.
+    fetch_break: Option<FetchBreak>,
 }
 
 impl Machine {
@@ -359,6 +442,7 @@ impl Machine {
             pin_all: false,
             pinned_pcs: Vec::new(),
             deadline: None,
+            fetch_break: None,
         }
     }
 
@@ -451,6 +535,58 @@ impl Machine {
         self.output.clone_from(&snap.output);
         self.retired = snap.retired;
         self.loaded = true;
+    }
+
+    /// Capture the current state as a sparse [`ForkSnapshot`] relative to
+    /// the base snapshot (the last [`Machine::snapshot`]).
+    ///
+    /// Non-destructive: dirty tracking is left untouched, so the paused
+    /// run can simply continue afterwards — which is how a prefix capture
+    /// doubles as the first injected run of its trigger site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no image has been loaded.
+    pub fn fork_snapshot(&self) -> ForkSnapshot {
+        assert!(
+            self.loaded,
+            "Machine::load must be called before fork_snapshot"
+        );
+        ForkSnapshot {
+            mem: self.mem.fork_delta(),
+            cores: self.cores.clone(),
+            alloc: self.alloc.clone(),
+            input: self.input.clone(),
+            output: self.output.clone(),
+            retired: self.retired,
+        }
+    }
+
+    /// Resume from a prefix fork: roll the machine to `base` overlaid with
+    /// `fork` — the exact state the paused run had when
+    /// [`Machine::fork_snapshot`] captured it, including the partially
+    /// consumed input tape, output so far, and the retired counter.
+    ///
+    /// Memory cost is O(pages diverging from base + pages in the fork).
+    /// The caller does *not* call [`Machine::set_input`] afterwards: the
+    /// fork already contains the mid-run tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` or `fork` was taken from a different-size machine.
+    pub fn restore_fork(&mut self, base: &MachineSnapshot, fork: &ForkSnapshot) {
+        self.mem.restore_fork_from(&base.mem, &fork.mem);
+        self.cores.clone_from(&fork.cores);
+        self.alloc.clone_from(&fork.alloc);
+        self.input.clone_from(&fork.input);
+        self.output.clone_from(&fork.output);
+        self.retired = fork.retired;
+        self.loaded = true;
+    }
+
+    /// Number of cores the machine was configured with.
+    pub fn num_cores(&self) -> usize {
+        self.config.num_cores
     }
 
     /// Number of memory pages currently dirty relative to the last
@@ -562,6 +698,64 @@ impl Machine {
     pub fn run<I: Inspector>(&mut self, inspector: &mut I) -> RunOutcome {
         assert!(self.loaded, "Machine::load must be called before run");
         self.apply_fetch_policy(inspector.fetch_policy());
+        match self.run_inner(inspector) {
+            RunControl::Done(outcome) => outcome,
+            // No breakpoint is armed outside `run_to_fetch`.
+            RunControl::Break => unreachable!("fetch breakpoint outside run_to_fetch"),
+        }
+    }
+
+    /// Execute until `pc` is about to be fetched for the `nth` time (a
+    /// trigger-point breakpoint), or until the run ends first.
+    ///
+    /// On [`FetchStop::Hit`] the machine is paused *before* the fetch:
+    /// the instruction at `pc` has not executed, no fetch hook has seen
+    /// it, and an `OpcodeFetch`-triggered fault resumed from here observes
+    /// its `nth` occurrence on the very next fetch. The second return
+    /// value is the number of arrivals at `pc` observed — on
+    /// [`FetchStop::Finished`] this is the run's *total* occurrence count
+    /// for the trigger, which is what proves later faults dormant.
+    ///
+    /// The break PC is pinned to the slow fetch path for this run (and
+    /// unpinned when the next run installs its policy) so the cached
+    /// interpreter funnels every arrival through the step path where the
+    /// breakpoint is checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no image is loaded, if `nth == 0`, or on a multi-core
+    /// machine — a mid-quantum pause cannot capture the scheduler position
+    /// of the other cores, so prefix forking is single-core only.
+    pub fn run_to_fetch<I: Inspector>(
+        &mut self,
+        pc: u32,
+        nth: u64,
+        inspector: &mut I,
+    ) -> (FetchStop, u64) {
+        assert!(self.loaded, "Machine::load must be called before run");
+        assert!(nth >= 1, "occurrence counts are 1-based");
+        assert_eq!(
+            self.cores.len(),
+            1,
+            "fetch breakpoints require a single-core machine"
+        );
+        self.apply_fetch_policy(inspector.fetch_policy());
+        self.mem.pin_fetch_slow(pc);
+        if !self.pinned_pcs.contains(&pc) {
+            self.pinned_pcs.push(pc);
+        }
+        self.fetch_break = Some(FetchBreak { pc, nth, seen: 0 });
+        let control = self.run_inner(inspector);
+        let seen = self.fetch_break.take().map_or(0, |fb| fb.seen);
+        match control {
+            RunControl::Break => (FetchStop::Hit, seen),
+            RunControl::Done(outcome) => (FetchStop::Finished(outcome), seen),
+        }
+    }
+
+    /// The scheduler loop shared by [`Machine::run`] and
+    /// [`Machine::run_to_fetch`]; the fetch policy is already applied.
+    fn run_inner<I: Inspector>(&mut self, inspector: &mut I) -> RunControl {
         // The cached interpreter runs whole quanta through the tight
         // split-borrow executor; reference mode and `FetchPolicy::All`
         // take the seed per-step loop below.
@@ -575,15 +769,15 @@ impl Machine {
             // output grows — see `Progress::OutputLimit`), not here, so the
             // hot loop pays for the budget comparison alone.
             if self.retired >= self.config.budget {
-                return RunOutcome::Hang {
+                return RunControl::Done(RunOutcome::Hang {
                     output: std::mem::take(&mut self.output),
-                };
+                });
             }
             if let Some(deadline) = self.deadline {
                 if wd_round == 0 && Instant::now() >= deadline {
-                    return RunOutcome::Hang {
+                    return RunControl::Done(RunOutcome::Hang {
                         output: std::mem::take(&mut self.output),
-                    };
+                    });
                 }
                 wd_round = (wd_round + 1) % 64;
             }
@@ -596,18 +790,19 @@ impl Machine {
                 if cached {
                     match self.run_quantum_cached(c, inspector) {
                         Ok(Progress::Continue | Progress::StateChange) => {}
+                        Ok(Progress::Breakpoint) => return RunControl::Break,
                         Ok(Progress::OutputLimit) => {
-                            return RunOutcome::Hang {
+                            return RunControl::Done(RunOutcome::Hang {
                                 output: std::mem::take(&mut self.output),
-                            };
+                            });
                         }
                         Err((trap, pc)) => {
-                            return RunOutcome::Trapped {
+                            return RunControl::Done(RunOutcome::Trapped {
                                 trap,
                                 pc,
                                 core: c,
                                 output: std::mem::take(&mut self.output),
-                            };
+                            });
                         }
                     }
                     continue;
@@ -620,18 +815,19 @@ impl Machine {
                     match self.step(c, inspector) {
                         Ok(Progress::Continue) => {}
                         Ok(Progress::StateChange) => break,
+                        Ok(Progress::Breakpoint) => return RunControl::Break,
                         Ok(Progress::OutputLimit) => {
-                            return RunOutcome::Hang {
+                            return RunControl::Done(RunOutcome::Hang {
                                 output: std::mem::take(&mut self.output),
-                            };
+                            });
                         }
                         Err((trap, pc)) => {
-                            return RunOutcome::Trapped {
+                            return RunControl::Done(RunOutcome::Trapped {
                                 trap,
                                 pc,
                                 core: c,
                                 output: std::mem::take(&mut self.output),
-                            };
+                            });
                         }
                     }
                 }
@@ -662,10 +858,10 @@ impl Machine {
                     CoreState::Halted(code) => code,
                     _ => unreachable!(),
                 };
-                return RunOutcome::Completed {
+                return RunControl::Done(RunOutcome::Completed {
                     exit_code,
                     output: std::mem::take(&mut self.output),
-                };
+                });
             }
             if !any_running {
                 // Deadlock (e.g. barrier with a halted partner): burn budget
@@ -999,6 +1195,18 @@ impl Machine {
 
     fn step<I: Inspector>(&mut self, c: usize, insp: &mut I) -> Result<Progress, (Trap, u32)> {
         let pc = self.cores[c].pc;
+        // Fetch breakpoint (`run_to_fetch`): checked before the fetch so a
+        // hit pauses the machine with the trigger instruction unexecuted
+        // and unobserved. The break PC is pinned, so in cached mode every
+        // arrival funnels through this step path.
+        if let Some(fb) = &mut self.fetch_break {
+            if pc == fb.pc {
+                fb.seen += 1;
+                if fb.seen >= fb.nth {
+                    return Ok(Progress::Breakpoint);
+                }
+            }
+        }
         let instr = if self.reference_interp || self.pin_all {
             self.fetch_slow(c, pc, insp)?
         } else {
@@ -1918,6 +2126,138 @@ mod tests {
             }
             other => panic!("expected hang, got {other:?}"),
         }
+    }
+
+    /// Countdown loop used by the breakpoint/fork tests: prints '.' five
+    /// times. The loop body `addi r3, r0, 46` sits at `CODE_BASE + 12`.
+    const LOOP_SRC: &str = "addi r5, r0, 5
+         cmpi cr0, r5, 0
+         bc cr0.eq, 1, 5
+         addi r3, r0, 46
+         sc print_char
+         addi r5, r5, -1
+         b -5
+         addi r3, r0, 0
+         halt";
+
+    #[test]
+    fn run_to_fetch_counts_occurrences() {
+        let image = assemble(LOOP_SRC).expect("assembles");
+        let body = CODE_BASE + 12;
+
+        // Hit on the 3rd arrival: two dots printed, the 3rd unexecuted.
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let (stop, seen) = m.run_to_fetch(body, 3, &mut Noop);
+        assert_eq!(stop, FetchStop::Hit);
+        assert_eq!(seen, 3);
+        assert_eq!(m.core(0).pc, body, "paused at the break pc");
+
+        // Continuing runs exactly the tail of a full run, output included.
+        let out = m.run(&mut Noop);
+        assert_eq!(
+            out,
+            RunOutcome::Completed {
+                exit_code: 0,
+                output: b".....".to_vec()
+            }
+        );
+
+        // More occurrences than ever happen: the run finishes and reports
+        // the total arrival count (which proves sparser triggers dormant).
+        let mut m2 = Machine::new(MachineConfig::default());
+        m2.load(&image);
+        let (stop, seen) = m2.run_to_fetch(body, 99, &mut Noop);
+        assert!(matches!(
+            stop,
+            FetchStop::Finished(RunOutcome::Completed { exit_code: 0, .. })
+        ));
+        assert_eq!(seen, 5);
+
+        // A PC that is never fetched: Finished with zero arrivals.
+        let mut m3 = Machine::new(MachineConfig::default());
+        m3.load(&image);
+        let (stop, seen) = m3.run_to_fetch(0xF000, 1, &mut Noop);
+        assert!(matches!(stop, FetchStop::Finished(_)));
+        assert_eq!(seen, 0);
+    }
+
+    #[test]
+    fn run_to_fetch_matches_reference_interp_counts() {
+        let image = assemble(LOOP_SRC).expect("assembles");
+        let body = CODE_BASE + 12;
+        for reference in [false, true] {
+            let mut m = Machine::new(MachineConfig::default());
+            m.set_reference_interp(reference);
+            m.load(&image);
+            let (stop, seen) = m.run_to_fetch(body, 4, &mut Noop);
+            assert_eq!(stop, FetchStop::Hit, "reference={reference}");
+            assert_eq!(seen, 4);
+            let out = m.run(&mut Noop);
+            assert_eq!(out.output(), b".....", "reference={reference}");
+        }
+    }
+
+    #[test]
+    fn fork_snapshot_resumes_identically() {
+        // A loop that consumes input per iteration, so the fork must carry
+        // the half-consumed tape: read n, then read+print n more ints.
+        let src = "sc read_int
+             addi r5, r3, 0
+             cmpi cr0, r5, 0
+             bc cr0.eq, 1, 6
+             sc read_int
+             stw r3, -4(r1)
+             sc print_int
+             addi r5, r5, -1
+             b -6
+             addi r3, r0, 0
+             halt";
+        let image = assemble(src).unwrap();
+        let body = CODE_BASE + 16; // the in-loop `sc read_int`
+        let tape = || {
+            let mut t = InputTape::new();
+            t.push_ints([3, 10, 20, 30]);
+            t
+        };
+
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        m.set_input(tape());
+        let base = m.snapshot();
+        let full = m.run(&mut Noop);
+        let full_retired = m.retired();
+        assert_eq!(full.output(), b"102030");
+
+        // Capture at the 2nd loop read (10 printed, 20 unread), resume.
+        m.restore(&base);
+        let (stop, _) = m.run_to_fetch(body, 2, &mut Noop);
+        assert_eq!(stop, FetchStop::Hit);
+        let fork = m.fork_snapshot();
+        assert!(fork.retired() > 0 && fork.retired() < full_retired);
+        assert!(fork.delta_pages() > 0);
+
+        // Divert the machine first so the fork restore has real work.
+        let _ = m.run(&mut Noop);
+        m.restore_fork(&base, &fork);
+        assert_eq!(m.retired(), fork.retired());
+        let resumed = m.run(&mut Noop);
+        assert_eq!(resumed, full, "forked suffix diverged from full run");
+        assert_eq!(m.retired(), full_retired);
+
+        // The same fork restores onto an identically-built twin (how
+        // pooled campaign workers share one prefix cache).
+        let mut twin = Machine::new(MachineConfig::default());
+        twin.load(&image);
+        twin.set_input(tape());
+        let tbase = twin.snapshot();
+        twin.restore_fork(&tbase, &fork);
+        assert_eq!(twin.run(&mut Noop), full);
+        assert_eq!(twin.retired(), full_retired);
+
+        // And a plain restore after a fork restore recovers the baseline.
+        m.restore(&base);
+        assert_eq!(m.run(&mut Noop), full);
     }
 
     #[test]

@@ -111,9 +111,52 @@ pub struct Memory {
     /// One bit per [`PAGE_SIZE`]-byte page, set by every write since the
     /// last [`Memory::snapshot`] / [`Memory::restore_from`].
     dirty: Vec<u64>,
+    /// One bit per page overlaid by the last [`Memory::restore_fork_from`]:
+    /// pages whose *current* contents differ from the base snapshot even
+    /// though no write dirtied them afterwards. The next restore (plain or
+    /// fork) must treat them exactly like dirty pages.
+    restored_delta: Vec<u64>,
     /// Predecoded translation cache over the code region (disabled until
     /// [`Memory::init_decode_cache`]).
     icache: ICache,
+}
+
+/// A sparse copy of the pages that diverge from the base
+/// [`MemorySnapshot`], produced by [`Memory::fork_delta`] and overlaid by
+/// [`Memory::restore_fork_from`].
+///
+/// This is the memory half of a prefix-fork snapshot: a run paused at its
+/// trigger point has touched only a handful of stack/heap pages, so the
+/// delta stores just those pages instead of a second full-memory copy.
+#[derive(Clone)]
+pub struct MemoryDelta {
+    /// `(page index, page contents)`, sorted by page index.
+    pages: Vec<(u32, Box<[u8]>)>,
+    /// Size of the memory the delta was taken from, for compatibility
+    /// checks.
+    size: u32,
+}
+
+impl fmt::Debug for MemoryDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryDelta")
+            .field("pages", &self.pages.len())
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl MemoryDelta {
+    /// Number of pages stored in the delta.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Approximate heap footprint of the delta in bytes (for cache
+    /// bounding diagnostics).
+    pub fn byte_count(&self) -> usize {
+        self.pages.iter().map(|(_, b)| b.len()).sum()
+    }
 }
 
 /// A point-in-time full copy of guest memory, produced by
@@ -163,6 +206,7 @@ impl Memory {
         Memory {
             bytes: vec![0; size as usize],
             dirty: vec![0; pages.div_ceil(64)],
+            restored_delta: vec![0; pages.div_ceil(64)],
             icache: ICache::default(),
         }
     }
@@ -196,9 +240,27 @@ impl Memory {
     /// [`Memory::restore_from`] rolls back to.
     pub fn snapshot(&mut self) -> MemorySnapshot {
         self.dirty.iter_mut().for_each(|w| *w = 0);
+        self.restored_delta.iter_mut().for_each(|w| *w = 0);
         MemorySnapshot {
             bytes: self.bytes.clone(),
         }
+    }
+
+    /// Copy `src` (the target contents for `[start, end)`) into place,
+    /// word-diffing code pages first so only the lines whose words
+    /// actually change are invalidated — one patched word costs one
+    /// rebuilt line, not a whole page of them.
+    fn copy_page_checked(&mut self, start: usize, end: usize, src: &[u8]) {
+        if (start as u32) < self.icache.limit {
+            let mut a = start;
+            while a < end {
+                if self.bytes[a..a + 4] != src[a - start..a - start + 4] {
+                    self.invalidate_decoded(a as u32, 4);
+                }
+                a += 4;
+            }
+        }
+        self.bytes[start..end].copy_from_slice(src);
     }
 
     /// Roll memory back to `snap`, copying **only the pages dirtied since
@@ -221,32 +283,102 @@ impl Memory {
         );
         let size = self.bytes.len();
         for word_idx in 0..self.dirty.len() {
-            let mut w = self.dirty[word_idx];
+            // Pages overlaid by a fork restore diverge from the baseline
+            // even when nothing wrote to them afterwards; fold them in.
+            let mut w = self.dirty[word_idx] | self.restored_delta[word_idx];
             self.dirty[word_idx] = 0;
+            self.restored_delta[word_idx] = 0;
             while w != 0 {
                 let bit = w.trailing_zeros() as usize;
                 w &= w - 1;
                 let page = word_idx * 64 + bit;
                 let start = page << PAGE_SHIFT;
                 let end = (start + PAGE_SIZE as usize).min(size);
-                if (start as u32) < self.icache.limit {
-                    // Rolling a code page back changes words just as stores
-                    // would — but the dirty bit is page-granular and most of
-                    // the page is usually byte-identical to the snapshot
-                    // (e.g. a single injector poke dirtied it). Diff word by
-                    // word *before* copying and invalidate only the words
-                    // that actually change, so one patched word costs one
-                    // rebuilt line, not a thousand.
-                    let mut a = start;
-                    while a < end {
-                        if self.bytes[a..a + 4] != snap.bytes[a..a + 4] {
-                            self.invalidate_decoded(a as u32, 4);
-                        }
-                        a += 4;
-                    }
-                }
-                self.bytes[start..end].copy_from_slice(&snap.bytes[start..end]);
+                self.copy_page_checked(start, end, &snap.bytes[start..end]);
             }
+        }
+    }
+
+    /// Capture the pages that currently diverge from the base snapshot
+    /// (dirty since the last restore, plus any pages overlaid by a prior
+    /// [`Memory::restore_fork_from`]) as a sparse [`MemoryDelta`].
+    ///
+    /// Non-destructive: the dirty bitmaps are left untouched, so the run
+    /// that produced the state can simply continue.
+    pub fn fork_delta(&self) -> MemoryDelta {
+        let size = self.bytes.len();
+        let mut pages = Vec::new();
+        for word_idx in 0..self.dirty.len() {
+            let mut w = self.dirty[word_idx] | self.restored_delta[word_idx];
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let page = word_idx * 64 + bit;
+                let start = page << PAGE_SHIFT;
+                let end = (start + PAGE_SIZE as usize).min(size);
+                pages.push((
+                    page as u32,
+                    self.bytes[start..end].to_vec().into_boxed_slice(),
+                ));
+            }
+        }
+        MemoryDelta {
+            pages,
+            size: size as u32,
+        }
+    }
+
+    /// Restore to `base` *overlaid with* `delta`: the memory state a run
+    /// had when [`Memory::fork_delta`] was captured.
+    ///
+    /// Cost is O(pages currently diverging from base + pages in the
+    /// delta). Afterwards the dirty bitmap is clear and the delta's pages
+    /// are remembered in `restored_delta`, so the next restore (plain or
+    /// fork) knows to roll them back too. Decoded lines covering changed
+    /// code words are invalidated exactly as in [`Memory::restore_from`].
+    ///
+    /// `delta` may come from a *different* `Memory` as long as both were
+    /// loaded identically (same size, byte-identical base snapshot) —
+    /// which is how pooled campaign workers share one prefix cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` or `delta` was taken from a different-size memory.
+    pub fn restore_fork_from(&mut self, base: &MemorySnapshot, delta: &MemoryDelta) {
+        assert_eq!(
+            self.bytes.len(),
+            base.bytes.len(),
+            "snapshot/memory size mismatch: snapshot is for a different machine"
+        );
+        assert_eq!(
+            self.bytes.len() as u32,
+            delta.size,
+            "fork delta/memory size mismatch: delta is for a different machine"
+        );
+        let size = self.bytes.len();
+        let in_delta = |page: u32| delta.pages.binary_search_by_key(&page, |&(p, _)| p).is_ok();
+        for word_idx in 0..self.dirty.len() {
+            let mut w = self.dirty[word_idx] | self.restored_delta[word_idx];
+            self.dirty[word_idx] = 0;
+            self.restored_delta[word_idx] = 0;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let page = word_idx * 64 + bit;
+                if in_delta(page as u32) {
+                    continue; // overlaid below
+                }
+                let start = page << PAGE_SHIFT;
+                let end = (start + PAGE_SIZE as usize).min(size);
+                self.copy_page_checked(start, end, &base.bytes[start..end]);
+            }
+        }
+        for (page, bytes) in &delta.pages {
+            let page = *page as usize;
+            let start = page << PAGE_SHIFT;
+            let end = (start + PAGE_SIZE as usize).min(size);
+            self.copy_page_checked(start, end, bytes);
+            self.restored_delta[page / 64] |= 1u64 << (page % 64);
         }
     }
 
@@ -725,6 +857,90 @@ mod tests {
             assert_eq!(m.read_cstr(0x400, 16).unwrap(), b"baseline".to_vec());
             assert_eq!(m.read_u8(0x3FF0 - u32::from(round) * 16).unwrap(), 0);
         }
+    }
+
+    #[test]
+    fn fork_delta_round_trip() {
+        let mut m = Memory::new(64 * 1024);
+        m.write_bytes(0x400, b"base").unwrap();
+        let base = m.snapshot();
+
+        // "Prefix" run: dirty a couple of pages, capture the fork point.
+        m.write_bytes(0x400, b"frk!").unwrap();
+        m.write_u8(0x5000, 9).unwrap();
+        let delta = m.fork_delta();
+        assert_eq!(delta.page_count(), 2);
+        assert!(delta.byte_count() > 0);
+
+        // The capture is non-destructive: the run continues and dirties
+        // another page, which the fork restore must roll back.
+        m.write_u8(0x8000, 1).unwrap();
+
+        m.restore_fork_from(&base, &delta);
+        assert_eq!(m.read_cstr(0x400, 8).unwrap(), b"frk!".to_vec());
+        assert_eq!(m.read_u8(0x5000).unwrap(), 9);
+        assert_eq!(m.read_u8(0x8000).unwrap(), 0);
+        assert_eq!(m.dirty_pages(), 0, "fork restore clears the dirty bitmap");
+
+        // A plain restore afterwards recovers the baseline even though the
+        // delta pages were never re-dirtied.
+        m.restore_from(&base);
+        assert_eq!(m.read_cstr(0x400, 8).unwrap(), b"base".to_vec());
+        assert_eq!(m.read_u8(0x5000).unwrap(), 0);
+    }
+
+    #[test]
+    fn back_to_back_fork_restores() {
+        let mut m = Memory::new(64 * 1024);
+        let base = m.snapshot();
+        m.write_u8(0x5000, 1).unwrap();
+        let d1 = m.fork_delta();
+        m.restore_from(&base);
+        m.write_u8(0x9000, 2).unwrap();
+        let d2 = m.fork_delta();
+        m.restore_fork_from(&base, &d1);
+        // No plain restore in between: d1's overlay must be rolled back.
+        m.restore_fork_from(&base, &d2);
+        assert_eq!(m.read_u8(0x5000).unwrap(), 0, "d1 page rolled back");
+        assert_eq!(m.read_u8(0x9000).unwrap(), 2);
+    }
+
+    #[test]
+    fn fork_restore_invalidates_changed_code_words() {
+        let mut m = Memory::new(16 * 1024);
+        let nop = isa::NOP;
+        let nop_i = isa::decode(nop).unwrap();
+        m.write_u32(CODE_BASE, nop).unwrap();
+        m.init_decode_cache(CODE_BASE + 4);
+        let base = m.snapshot();
+        m.write_u32(CODE_BASE, isa::encode(isa::Instr::Halt))
+            .unwrap();
+        let delta = m.fork_delta();
+        m.restore_from(&base);
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+        m.restore_fork_from(&base, &delta);
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(isa::Instr::Halt));
+        m.restore_from(&base);
+        assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+    }
+
+    #[test]
+    fn foreign_fork_delta_applies_to_identical_twin() {
+        // Two identically-initialised memories (pooled workers): a delta
+        // captured on one must restore correctly on the other.
+        let mut a = Memory::new(32 * 1024);
+        let mut b = Memory::new(32 * 1024);
+        a.write_bytes(0x400, b"twin").unwrap();
+        b.write_bytes(0x400, b"twin").unwrap();
+        let _base_a = a.snapshot();
+        let base_b = b.snapshot();
+        a.write_u8(0x2000, 5).unwrap();
+        let delta = a.fork_delta();
+        b.write_u8(0x3000, 9).unwrap(); // b has its own divergence
+        b.restore_fork_from(&base_b, &delta);
+        assert_eq!(b.read_u8(0x2000).unwrap(), 5);
+        assert_eq!(b.read_u8(0x3000).unwrap(), 0);
+        assert_eq!(b.read_cstr(0x400, 8).unwrap(), b"twin".to_vec());
     }
 
     #[test]

@@ -12,3 +12,4 @@ cargo test -q
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 ./scripts/resume_smoke.sh
+./scripts/perf_smoke.sh equivalence

@@ -261,6 +261,47 @@ proptest! {
         prop_assert_eq!(run(false), run(true));
     }
 
+    /// The prefix-fork oracle: for arbitrary (fault, firing policy, seed)
+    /// triples — including `Firing::Nth` occurrences that land before,
+    /// on, and past the golden run's trigger count — a fork-enabled
+    /// session produces *bit-identical* failure-mode classifications,
+    /// fired flags, and full-run retired-instruction counts vs both a
+    /// fork-free warm session and a cold boot. Each triple runs twice on
+    /// the forked session so both fork paths are exercised: the first
+    /// pass captures (or finishes as the golden run), the second resumes
+    /// from the cached snapshot (or dormant-short-circuits).
+    #[test]
+    fn forked_runs_match_full_runs(
+        word_index in 0usize..600,
+        op in arb_error_op(),
+        target in arb_target(),
+        when in arb_firing(),
+        seed in any::<u64>(),
+    ) {
+        let p = program("JB.team11").unwrap();
+        let compiled = compile(p.source_correct).unwrap();
+        let addr = swifi_vm::CODE_BASE
+            + ((word_index % compiled.image.code.len()) as u32) * 4;
+        let spec = FaultSpec { what: op, target, trigger: Trigger::OpcodeFetch(addr), when };
+        let input = TestInput::JamesB { seed: 5, line: b"prefix fork".to_vec() };
+        let mut full = RunSession::new(&compiled, Family::JamesB);
+        let mut forked = RunSession::new(&compiled, Family::JamesB);
+        forked.set_prefix_cache(Some(swifi_campaign::PrefixCache::shared()));
+
+        let want = full.run(&input, Some(&spec), seed);
+        let want_retired = full.last_retired();
+        let cold = execute(&compiled, Family::JamesB, &input, Some(&spec), seed);
+        prop_assert_eq!(want, cold, "warm/cold baseline diverged");
+        for pass in ["capture", "fork"] {
+            let got = forked.run(&input, Some(&spec), seed);
+            prop_assert_eq!(got, want, "{} pass diverged", pass);
+            prop_assert_eq!(
+                forked.last_retired(), want_retired,
+                "{} pass retired-count diverged", pass
+            );
+        }
+    }
+
     /// The generated error sets scale linearly with chosen locations: the
     /// §6.3 accounting identity (`faults = Σ applicable types`).
     #[test]
