@@ -708,6 +708,148 @@ fn bench_prefix_fork(_c: &mut Criterion) {
     println!("wrote {}", path.display());
 }
 
+/// One program's source-mutation pipeline measurement: mutant compile
+/// throughput (the cost binary SWIFI avoids by mutating in place) and
+/// injected-run throughput on the §6-class schedule (every selected
+/// mutant × every shared input, warm baked-image sessions).
+struct MutationMeasurement {
+    program: &'static str,
+    mutants_total: usize,
+    mutants_selected: usize,
+    compile_mutants_per_sec: f64,
+    runs: u64,
+    runs_per_sec: f64,
+}
+
+/// Measure the G-SWFIT source-mutation pipeline for one program: best-of
+/// interleaved chunks, same methodology as the interpreter benches.
+fn measure_source_mutation(name: &'static str, seed: u64) -> MutationMeasurement {
+    use swifi_campaign::source::SourceMutationSource;
+    use swifi_core::source::{FaultSource, PreparedFault};
+
+    let p = program(name).unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let muts = swifi_lang::mutate::mutants(&compiled.ast);
+
+    // Side 1: mutant compilation rate (parse + sema + codegen per mutant).
+    let mut compile_best = 0.0f64;
+    for _ in 0..INTERLEAVE_ROUNDS / 2 {
+        let mut n = 0u64;
+        let t0 = std::time::Instant::now();
+        loop {
+            for m in &muts {
+                criterion::black_box(compile(&m.source).expect("mutant compiles"));
+                n += 1;
+            }
+            if t0.elapsed().as_secs_f64() >= CHUNK_SECS {
+                break;
+            }
+        }
+        let rate = n as f64 / t0.elapsed().as_secs_f64();
+        if rate > compile_best {
+            compile_best = rate;
+        }
+    }
+
+    // Side 2: injected-run rate on the §6-class schedule — the
+    // field-weighted mutant selection at the reduced-scale budget, run as
+    // baked images through warm sessions (one per mutant, compile cached).
+    let source = SourceMutationSource::from_target(&p, 18);
+    let plans = source.plans(seed).expect("mutants compile");
+    let inputs = p.family.test_case(6, seed ^ 0x5EED);
+    let mut sessions: Vec<RunSession> = plans
+        .iter()
+        .map(|plan| match &plan.fault {
+            PreparedFault::Baked(prog) => RunSession::new(prog, p.family),
+            PreparedFault::Runtime(_) => unreachable!("source plans are baked"),
+        })
+        .collect();
+    // Warm-up pass: first snapshot restores and lazy decodes off the clock.
+    for s in sessions.iter_mut() {
+        for input in &inputs {
+            criterion::black_box(s.run_clean(input));
+        }
+    }
+    let mut runs_best = 0.0f64;
+    for _ in 0..INTERLEAVE_ROUNDS / 2 {
+        let mut n = 0u64;
+        let t0 = std::time::Instant::now();
+        loop {
+            for s in sessions.iter_mut() {
+                for input in &inputs {
+                    criterion::black_box(s.run_clean(input));
+                    n += 1;
+                }
+            }
+            if t0.elapsed().as_secs_f64() >= CHUNK_SECS {
+                break;
+            }
+        }
+        let rate = n as f64 / t0.elapsed().as_secs_f64();
+        if rate > runs_best {
+            runs_best = rate;
+        }
+    }
+
+    MutationMeasurement {
+        program: name,
+        mutants_total: muts.len(),
+        mutants_selected: plans.len(),
+        compile_mutants_per_sec: compile_best,
+        runs: plans.len() as u64 * inputs.len() as u64,
+        runs_per_sec: runs_best,
+    }
+}
+
+/// Source-mutation headline bench: mutant compile rate and baked-image
+/// run rate for the JB family, recorded to `BENCH_source_mutation.json`
+/// at the repo root.
+fn bench_source_mutation(_c: &mut Criterion) {
+    let measurements: Vec<MutationMeasurement> = ["JB.team6", "JB.team11"]
+        .iter()
+        .map(|name| measure_source_mutation(name, 0xB007))
+        .collect();
+    let mut rows = String::new();
+    for m in &measurements {
+        println!(
+            "{:<42} compile: {:>8.1} mutants/s   run: {:>8.1} runs/s  ({} of {} mutants selected)",
+            format!("mutation/source_campaign_{}", m.program),
+            m.compile_mutants_per_sec,
+            m.runs_per_sec,
+            m.mutants_selected,
+            m.mutants_total
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"program\": \"{}\", \"mutants_total\": {}, \"mutants_selected\": {}, \
+             \"compile_mutants_per_sec\": {:.1}, \"runs\": {}, \"runs_per_sec\": {:.1}}}",
+            m.program,
+            m.mutants_total,
+            m.mutants_selected,
+            m.compile_mutants_per_sec,
+            m.runs,
+            m.runs_per_sec
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"source_mutation\",\n  \"schedule\": \"G-SWFIT source campaign: \
+         field-weighted selection of 18 mutants x 6 shared inputs (the section6-class \
+         schedule)\",\n  \"compile\": \"full pipeline (parse + sema + codegen) per mutant \
+         source; binary SWIFI mutates in place and skips this cost entirely\",\n  \"run\": \
+         \"warm RunSession per baked mutant image, snapshot restore between runs\",\n  \
+         \"methodology\": \"best-of-{rounds} chunks of >={CHUNK_SECS}s per side\",\n  \
+         \"programs\": [\n{rows}\n  ]\n}}\n",
+        rounds = INTERLEAVE_ROUNDS / 2
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_source_mutation.json");
+    std::fs::write(&path, json).expect("write BENCH_source_mutation.json");
+    println!("wrote {}", path.display());
+}
+
 criterion_group!(
     benches,
     bench_vm_throughput,
@@ -716,6 +858,7 @@ criterion_group!(
     bench_campaign_run,
     bench_warm_reboot,
     bench_translation_cache,
-    bench_prefix_fork
+    bench_prefix_fork,
+    bench_source_mutation
 );
 criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Source-vs-binary representation comparison (the §5 argument, measured).
+//!
+//! The paper *argues* that binary SWIFI reaches only the Assignment and
+//! Checking defect types — the Algorithm/Function faults (≈44 % of the
+//! field distribution) are structurally out of reach. This driver turns
+//! the argument into a table: run the §6.3 binary campaign **and** the
+//! source-mutation campaign over the same programs, with the same inputs
+//! scheme and the same failure-mode classifier, and report the
+//! failure-mode profile and ODC defect-type coverage side by side.
+
+use serde::{Deserialize, Serialize};
+use swifi_odc::DefectType;
+use swifi_programs::{all_programs, TargetProgram};
+
+use crate::engine::CampaignOptions;
+use crate::report::{mode_cells, render_table, MODE_HEADERS};
+use crate::runner::ModeCounts;
+use crate::section5::not_emulable_field_fraction;
+use crate::section6::{class_campaign_with, CampaignScale};
+use crate::source::{source_campaign_with, SourceScale};
+
+/// One (program, representation) row of the comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepresentationRow {
+    /// Program name.
+    pub program: String,
+    /// `"binary"` or `"source"`.
+    pub representation: String,
+    /// Injected faults (generated errors / selected mutants).
+    pub faults: usize,
+    /// Failure modes over all injected runs.
+    pub modes: ModeCounts,
+    /// Runs where the fault never influenced the execution.
+    pub dormant_runs: u64,
+    /// Total injected runs.
+    pub total_runs: u64,
+    /// Distinct ODC defect types this representation injected, in
+    /// [`DefectType`] order.
+    pub defect_types: Vec<DefectType>,
+}
+
+/// The full comparison: rows per (program, representation) plus the
+/// field-distribution headline the coverage gap corresponds to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Two rows per compared program: binary first, then source.
+    pub rows: Vec<RepresentationRow>,
+    /// Fraction of field faults whose defect types the binary rows never
+    /// reach (the paper's ≈0.44).
+    pub not_emulable_fraction: f64,
+}
+
+impl Comparison {
+    /// Defect types injected by any row of `representation`.
+    pub fn coverage(&self, representation: &str) -> Vec<DefectType> {
+        let mut types: Vec<DefectType> = self
+            .rows
+            .iter()
+            .filter(|r| r.representation == representation)
+            .flat_map(|r| r.defect_types.iter().copied())
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        types
+    }
+}
+
+/// The programs the comparison runs over — §6 targets spanning both
+/// families, kept to four so the double campaign stays minutes-scale.
+pub fn comparison_targets() -> Vec<TargetProgram> {
+    const NAMES: [&str; 4] = ["JB.team6", "JB.team11", "C.team1", "C.team2"];
+    all_programs()
+        .iter()
+        .filter(|p| NAMES.contains(&p.name))
+        .cloned()
+        .collect()
+}
+
+/// Run the comparison at default options.
+pub fn compare_representations(
+    binary_scale: CampaignScale,
+    source_scale: SourceScale,
+    seed: u64,
+) -> Comparison {
+    compare_representations_with(
+        binary_scale,
+        source_scale,
+        seed,
+        &CampaignOptions::default(),
+    )
+    .expect("no checkpoint configured")
+}
+
+/// [`compare_representations`] under explicit robustness options.
+///
+/// When a checkpoint path is set, each sub-campaign appends to its own
+/// derived file (`<path>.<program>.<representation>`), so `--checkpoint`
+/// and `--resume` behave exactly as they do for single campaigns.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures, corruption, or a mutant that fails to compile.
+pub fn compare_representations_with(
+    binary_scale: CampaignScale,
+    source_scale: SourceScale,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<Comparison, String> {
+    let sub_opts = |program: &str, repr: &str| -> CampaignOptions {
+        let mut o = opts.clone();
+        if let Some(path) = &o.checkpoint {
+            o.checkpoint = Some(std::path::PathBuf::from(format!(
+                "{}.{program}.{repr}",
+                path.display()
+            )));
+        }
+        o
+    };
+    let mut rows = Vec::new();
+    for target in comparison_targets() {
+        let b = class_campaign_with(
+            &target,
+            binary_scale,
+            seed,
+            &sub_opts(target.name, "binary"),
+        )?;
+        let mut binary_types = Vec::new();
+        if b.assign_fault_count > 0 {
+            binary_types.push(DefectType::Assignment);
+        }
+        if b.check_fault_count > 0 {
+            binary_types.push(DefectType::Checking);
+        }
+        let mut binary_modes = b.assign_modes;
+        binary_modes.merge(&b.check_modes);
+        rows.push(RepresentationRow {
+            program: target.name.to_string(),
+            representation: "binary".to_string(),
+            faults: b.assign_fault_count + b.check_fault_count,
+            modes: binary_modes,
+            dormant_runs: b.dormant_runs,
+            total_runs: b.total_runs,
+            defect_types: binary_types,
+        });
+
+        let s = source_campaign_with(
+            &target,
+            source_scale,
+            seed,
+            &sub_opts(target.name, "source"),
+        )?;
+        rows.push(RepresentationRow {
+            program: target.name.to_string(),
+            representation: "source".to_string(),
+            faults: s.selected_mutants,
+            modes: s.modes,
+            dormant_runs: s.dormant_runs,
+            total_runs: s.total_runs,
+            defect_types: s.by_defect_type.keys().copied().collect(),
+        });
+    }
+    Ok(Comparison {
+        rows,
+        not_emulable_fraction: not_emulable_field_fraction(),
+    })
+}
+
+/// Render the comparison as a §5-style text table plus the coverage
+/// contrast footer.
+pub fn comparison_table(c: &Comparison) -> String {
+    let mut headers = vec!["Program", "Repr", "Faults", "Runs"];
+    headers.extend_from_slice(&MODE_HEADERS);
+    headers.push("Dormant");
+    headers.push("ODC types");
+    let rows: Vec<Vec<String>> = c
+        .rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![
+                r.program.clone(),
+                r.representation.clone(),
+                r.faults.to_string(),
+                r.total_runs.to_string(),
+            ];
+            cells.extend(mode_cells(&r.modes));
+            cells.push(r.dormant_runs.to_string());
+            cells.push(
+                r.defect_types
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            cells
+        })
+        .collect();
+    let mut out = render_table(&headers, &rows);
+    let fmt_types = |types: Vec<DefectType>| {
+        types
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    out.push_str(&format!(
+        "\nbinary SWIFI covers: {}\nsource mutation covers: {}\nfield faults beyond binary SWIFI: {:.0}%\n",
+        fmt_types(c.coverage("binary")),
+        fmt_types(c.coverage("source")),
+        c.not_emulable_fraction * 100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scales() -> (CampaignScale, SourceScale) {
+        (
+            CampaignScale {
+                inputs_per_fault: 2,
+            },
+            // Budget 18 is the smallest reduced-scale budget at which the
+            // largest-remainder apportionment hands the rare Function type
+            // (3.6 % of field faults) a slot.
+            SourceScale {
+                mutant_budget: 18,
+                inputs_per_mutant: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn comparison_covers_four_programs_in_both_representations() {
+        let (bs, ss) = tiny_scales();
+        let c = compare_representations(bs, ss, 7);
+        assert_eq!(c.rows.len(), 8, "4 programs x 2 representations");
+        for pair in c.rows.chunks(2) {
+            assert_eq!(pair[0].program, pair[1].program);
+            assert_eq!(pair[0].representation, "binary");
+            assert_eq!(pair[1].representation, "source");
+            assert!(pair[0].total_runs > 0);
+            assert!(pair[1].total_runs > 0);
+        }
+        // The coverage gap the paper quantifies: source reaches defect
+        // types binary never does.
+        let binary = c.coverage("binary");
+        let source = c.coverage("source");
+        assert!(binary
+            .iter()
+            .all(|t| matches!(t, DefectType::Assignment | DefectType::Checking)));
+        assert!(source.contains(&DefectType::Algorithm));
+        assert!(source.contains(&DefectType::Function));
+        assert!((c.not_emulable_fraction - 0.44).abs() < 0.005);
+    }
+
+    #[test]
+    fn comparison_table_renders_rows_and_coverage() {
+        let (bs, ss) = tiny_scales();
+        let c = compare_representations(bs, ss, 3);
+        let t = comparison_table(&c);
+        assert!(t.contains("JB.team11"), "{t}");
+        assert!(t.contains("binary"), "{t}");
+        assert!(t.contains("source"), "{t}");
+        assert!(t.contains("field faults beyond binary SWIFI: 44%"), "{t}");
+    }
+}

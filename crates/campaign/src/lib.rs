@@ -18,6 +18,11 @@
 //!   how firing sparsity (the When attribute) shapes fault impact;
 //! - [`hardware`] — the §6.4 baseline: random bit-flip (hardware) faults
 //!   to compare against the rule-generated software errors;
+//! - [`source`] — source-level G-SWFIT mutation campaigns: ODC-classified
+//!   mutants compiled and run through the same engine, reaching the
+//!   Algorithm/Function defect types binary SWIFI cannot;
+//! - [`compare`] — the source-vs-binary comparison driver: both
+//!   representations over the same programs, one table;
 //! - [`runner`] — single-run execution and the four failure modes;
 //! - [`session`] — the warm-reboot run engine: one machine + clean
 //!   snapshot per worker, restored (not rebuilt) between runs;
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod compare;
 pub mod engine;
 pub mod exposure;
 pub mod hardware;
@@ -54,8 +60,10 @@ pub mod runner;
 pub mod section5;
 pub mod section6;
 pub mod session;
+pub mod source;
 pub mod triggers;
 
+pub use compare::{compare_representations, comparison_table, Comparison, RepresentationRow};
 pub use engine::{
     AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, CheckpointLog, RunRecord,
     RunStatus,
@@ -64,3 +72,4 @@ pub use prefix::{GoldenRun, PrefixCache};
 pub use runner::{classify_outcome, execute, execute_cold, FailureMode, ModeCounts};
 pub use section6::{campaign_all, class_campaign, CampaignScale, ProgramCampaign};
 pub use session::{RunSession, SessionStats, Throughput};
+pub use source::{source_campaign, SourceCampaign, SourceMutationSource, SourceScale};

@@ -11,7 +11,8 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use swifi_core::locations::{generate_error_set, ErrorClass, GeneratedFault, LocationPlan};
+use swifi_core::locations::{choose_locations, ErrorClass, GeneratedFault, LocationPlan};
+use swifi_core::source::{BinarySwifiSource, FaultSource, PreparedFault};
 use swifi_lang::compile;
 use swifi_odc::{AssignErrorType, CheckErrorType};
 use swifi_programs::{all_programs, TargetProgram};
@@ -157,7 +158,22 @@ pub fn class_campaign_with(
 ) -> Result<ProgramCampaign, String> {
     let compiled = compile(target.source_correct).expect("vendored source compiles");
     let (n_assign, n_check) = chosen_locations(target.name);
-    let set = generate_error_set(&compiled.debug, n_assign, n_check, seed);
+    // The binary SWIFI path through the representation-agnostic boundary:
+    // `BinarySwifiSource` yields the same faults in the same order as
+    // `generate_error_set`, grouped into the two campaign phases.
+    let fault_source = BinarySwifiSource::new(compiled.debug.clone(), n_assign, n_check);
+    let plan = choose_locations(&compiled.debug, n_assign, n_check, seed);
+    let mut assign_faults: Vec<GeneratedFault> = Vec::new();
+    let mut check_faults: Vec<GeneratedFault> = Vec::new();
+    for p in fault_source.plans(seed)? {
+        let PreparedFault::Runtime(fault) = p.fault else {
+            return Err("binary fault source yielded a baked plan".to_string());
+        };
+        match p.group.as_str() {
+            "assign" => assign_faults.push(fault),
+            _ => check_faults.push(fault),
+        }
+    }
     let inputs = target
         .family
         .test_case(scale.inputs_per_fault, seed ^ 0x5EED);
@@ -227,9 +243,9 @@ pub fn class_campaign_with(
             Ok((ok.into_iter().map(|(_, r)| r).collect(), abnormal))
         };
 
-    let (assign_results, assign_abnormal) = run_batch("assign", &set.assign_faults, 0)?;
+    let (assign_results, assign_abnormal) = run_batch("assign", &assign_faults, 0)?;
     let (check_results, check_abnormal) =
-        run_batch("check", &set.check_faults, set.assign_faults.len() as u64)?;
+        run_batch("check", &check_faults, assign_faults.len() as u64)?;
 
     // Fold the run totals from the records, not the live sessions: on
     // resume the replayed faults never touch a session, and the totals
@@ -248,9 +264,9 @@ pub fn class_campaign_with(
 
     let mut out = ProgramCampaign {
         program: target.name.to_string(),
-        plan: set.plan,
-        assign_fault_count: set.assign_faults.len(),
-        check_fault_count: set.check_faults.len(),
+        plan,
+        assign_fault_count: assign_faults.len(),
+        check_fault_count: check_faults.len(),
         assign_modes: ModeCounts::default(),
         check_modes: ModeCounts::default(),
         by_assign_type: BTreeMap::new(),

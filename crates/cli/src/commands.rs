@@ -1,9 +1,11 @@
 //! Implementations of the `swifi` subcommands.
 
+use swifi_campaign::compare::{compare_representations_with, comparison_table};
 use swifi_campaign::report::{
     decode_cache_line, mode_cells, prefix_fork_line, render_table, throughput_line, MODE_HEADERS,
 };
 use swifi_campaign::section6::{class_campaign_with, CampaignScale};
+use swifi_campaign::source::{source_campaign_with, SourceScale};
 use swifi_campaign::CampaignOptions;
 use swifi_core::emulate::{plan_emulation, EmulationVerdict};
 use swifi_core::injector::{Injector, TriggerMode};
@@ -28,6 +30,11 @@ USAGE:
   swifi inject FILE --fault N [--int N]...   inject the N-th generated fault
   swifi emulate NAME                         emulability analysis (paper sec. 5)
   swifi campaign NAME [--inputs N]           class campaign (paper sec. 6)
+  swifi mutants FILE|NAME [--op ID]          G-SWFIT source mutant catalogue
+  swifi source-campaign NAME [--mutants N]   source-level mutation campaign
+                         [--inputs N]
+  swifi compare-representations [--inputs N] source vs binary SWIFI on the
+                         [--mutants N]       comparison roster (4 programs)
   swifi metrics FILE|NAME                    software complexity metrics
 
 CAMPAIGN OPTIONS:
@@ -298,17 +305,10 @@ pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
-/// `swifi campaign NAME [--inputs N] [--seed N] [--checkpoint F [--resume]]
-/// [--watchdog-ms N] [--chaos-panic N] [--no-prefix-fork]`
-pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
-    let name = parsed
-        .positional
-        .first()
-        .ok_or_else(|| "expected a roster program name".to_string())?;
-    let target =
-        program(name).ok_or_else(|| format!("unknown program `{name}` (see `swifi list`)"))?;
-    let inputs = parsed.int_opt("inputs", 10)? as usize;
-    let seed = parsed.int_opt("seed", 2024)? as u64;
+/// Parse the robustness options shared by every campaign-style command
+/// (`--checkpoint/--resume`, `--watchdog-ms`, `--chaos-panic`,
+/// `--no-prefix-fork`).
+fn campaign_opts(parsed: &ParsedArgs) -> Result<CampaignOptions, String> {
     let mut opts = CampaignOptions {
         checkpoint: parsed.value_opt("checkpoint")?.map(Into::into),
         resume: parsed.flag("resume"),
@@ -325,6 +325,21 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     if parsed.flag("chaos-panic") {
         opts.chaos_panic = Some(parsed.int_opt("chaos-panic", 0)? as u64);
     }
+    Ok(opts)
+}
+
+/// `swifi campaign NAME [--inputs N] [--seed N] [--checkpoint F [--resume]]
+/// [--watchdog-ms N] [--chaos-panic N] [--no-prefix-fork]`
+pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
+    let name = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "expected a roster program name".to_string())?;
+    let target =
+        program(name).ok_or_else(|| format!("unknown program `{name}` (see `swifi list`)"))?;
+    let inputs = parsed.int_opt("inputs", 10)? as usize;
+    let seed = parsed.int_opt("seed", 2024)? as u64;
+    let opts = campaign_opts(parsed)?;
     println!("campaign on {name} ({inputs} inputs per fault, seed {seed})...");
     let c = class_campaign_with(
         &target,
@@ -351,6 +366,112 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
             a.phase, a.index, a.message, a.detail
         );
     }
+    Ok(())
+}
+
+/// `swifi mutants FILE|NAME [--op ID] [--source N]`
+///
+/// Lists the G-SWFIT mutant catalogue of a program; `--op` filters to one
+/// operator, `--source N` prints the N-th mutant's full source.
+pub fn mutants_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let (path, src) = read_source(parsed)?;
+    let p = compile(&src).map_err(|e| format!("{path}: {e}"))?;
+    let all = match parsed.value_opt("op")? {
+        None => swifi_lang::mutate::mutants(&p.ast),
+        Some(id) => {
+            let op = swifi_odc::MutationOperator::from_id(id)
+                .ok_or_else(|| format!("unknown operator `{id}` (MIF WBC MAS OBB WCV MFC WCA)"))?;
+            swifi_lang::mutate::mutants_for(&p.ast, op)
+        }
+    };
+    if let Some(n) = parsed.value_opt("source")? {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--source expects an index, got `{n}`"))?;
+        let m = all
+            .get(n)
+            .ok_or_else(|| format!("--source {n} out of range (0..{})", all.len()))?;
+        print!("{}", m.source);
+        return Ok(());
+    }
+    println!("{} mutant(s):", all.len());
+    for (i, m) in all.iter().enumerate() {
+        println!(
+            "  {i:<4} {:<24} {:<10} {}",
+            m.id,
+            m.operator.defect_type().to_string(),
+            m.description
+        );
+    }
+    Ok(())
+}
+
+/// `swifi source-campaign NAME [--mutants N] [--inputs N] [--seed N]
+/// [--checkpoint F [--resume]] [--watchdog-ms N] [--chaos-panic N]`
+pub fn source_campaign_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let name = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "expected a roster program name".to_string())?;
+    let target =
+        program(name).ok_or_else(|| format!("unknown program `{name}` (see `swifi list`)"))?;
+    let scale = SourceScale {
+        mutant_budget: parsed.int_opt("mutants", 18)?.max(1) as usize,
+        inputs_per_mutant: parsed.int_opt("inputs", 6)?.max(1) as usize,
+    };
+    let seed = parsed.int_opt("seed", 2024)? as u64;
+    let opts = campaign_opts(parsed)?;
+    println!(
+        "source-mutation campaign on {name} ({} mutants, {} inputs per mutant, seed {seed})...",
+        scale.mutant_budget, scale.inputs_per_mutant
+    );
+    let c = source_campaign_with(&target, scale, seed, &opts)?;
+    println!(
+        "{} of {} possible mutants injected",
+        c.selected_mutants, c.total_mutants
+    );
+    let mut headers = vec!["Operator", "ODC type"];
+    headers.extend(MODE_HEADERS);
+    let rows: Vec<Vec<String>> = c
+        .by_operator
+        .iter()
+        .map(|(op, modes)| {
+            let mut row = vec![op.id().to_string(), op.defect_type().to_string()];
+            row.extend(mode_cells(modes));
+            row
+        })
+        .collect();
+    print!("{}", render_table(&headers, &rows));
+    println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
+    println!("throughput: {}", throughput_line(&c.throughput));
+    println!("{}", decode_cache_line(&c.throughput));
+    for a in &c.abnormal {
+        println!(
+            "abnormal: {}#{} — {} ({})",
+            a.phase, a.index, a.message, a.detail
+        );
+    }
+    Ok(())
+}
+
+/// `swifi compare-representations [--inputs N] [--mutants N] [--seed N]
+/// [--checkpoint F [--resume]] [--watchdog-ms N]`
+pub fn compare_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let binary_scale = CampaignScale {
+        inputs_per_fault: parsed.int_opt("inputs", 6)?.max(1) as usize,
+    };
+    let source_scale = SourceScale {
+        mutant_budget: parsed.int_opt("mutants", 18)?.max(1) as usize,
+        inputs_per_mutant: binary_scale.inputs_per_fault,
+    };
+    let seed = parsed.int_opt("seed", 2024)? as u64;
+    let opts = campaign_opts(parsed)?;
+    println!(
+        "comparing binary vs source injection ({} inputs, {} mutants, seed {seed})...",
+        binary_scale.inputs_per_fault, source_scale.mutant_budget
+    );
+    let c = compare_representations_with(binary_scale, source_scale, seed, &opts)?;
+    print!("{}", comparison_table(&c));
     Ok(())
 }
 
@@ -435,5 +556,54 @@ mod tests {
     fn metrics_on_roster_program() {
         let parsed = ParsedArgs::parse(["metrics".into(), "SOR".into()]);
         assert!(metrics_cmd(&parsed).is_ok());
+    }
+
+    #[test]
+    fn mutants_lists_and_prints_source() {
+        let parsed = ParsedArgs::parse(["mutants".into(), "JB.team11".into()]);
+        assert!(mutants_cmd(&parsed).is_ok());
+        let parsed = ParsedArgs::parse([
+            "mutants".into(),
+            "JB.team11".into(),
+            "--op".into(),
+            "WBC".into(),
+            "--source".into(),
+            "0".into(),
+        ]);
+        assert!(mutants_cmd(&parsed).is_ok());
+        let parsed = ParsedArgs::parse([
+            "mutants".into(),
+            "JB.team11".into(),
+            "--op".into(),
+            "NOPE".into(),
+        ]);
+        assert!(mutants_cmd(&parsed).is_err());
+    }
+
+    #[test]
+    fn source_campaign_runs_small() {
+        let parsed = ParsedArgs::parse([
+            "source-campaign".into(),
+            "JB.team11".into(),
+            "--mutants".into(),
+            "4".into(),
+            "--inputs".into(),
+            "2".into(),
+            "--seed".into(),
+            "7".into(),
+        ]);
+        assert!(source_campaign_cmd(&parsed).is_ok());
+    }
+
+    #[test]
+    fn resume_requires_checkpoint_everywhere() {
+        for cmd in ["campaign", "source-campaign"] {
+            let parsed = ParsedArgs::parse([cmd.into(), "JB.team11".into(), "--resume".into()]);
+            let run = match cmd {
+                "campaign" => campaign(&parsed),
+                _ => source_campaign_cmd(&parsed),
+            };
+            assert!(run.unwrap_err().contains("--checkpoint"), "{cmd}");
+        }
     }
 }

@@ -8,6 +8,9 @@
 //! swifi inject FILE --fault N [--int N]...     inject the N-th generated fault
 //! swifi emulate NAME                           §5 emulability analysis for a roster program
 //! swifi campaign NAME [--inputs N]             §6 class campaign on a roster program
+//! swifi mutants FILE|NAME [--op ID]            G-SWFIT source mutant catalogue
+//! swifi source-campaign NAME [--mutants N]     source-level mutation campaign
+//! swifi compare-representations [--inputs N]   source vs binary on the comparison roster
 //! swifi metrics FILE|NAME                      software metrics
 //! ```
 
@@ -26,6 +29,9 @@ fn main() {
         "inject" => commands::inject(&parsed),
         "emulate" => commands::emulate(&parsed),
         "campaign" => commands::campaign(&parsed),
+        "mutants" => commands::mutants_cmd(&parsed),
+        "source-campaign" => commands::source_campaign_cmd(&parsed),
+        "compare-representations" => commands::compare_cmd(&parsed),
         "metrics" => commands::metrics_cmd(&parsed),
         "" | "help" | "-h" => {
             print!("{}", commands::USAGE);

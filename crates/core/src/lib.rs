@@ -18,7 +18,11 @@
 //!   real faulty one and classify emulability (classes A / B / C);
 //! - [`locations`] — the §6.3 procedure: enumerate assignment/checking
 //!   locations from compiler debug info, choose a random subset, and
-//!   generate every applicable Table-3 error type per location.
+//!   generate every applicable Table-3 error type per location;
+//! - [`source`] — the representation-agnostic [`FaultSource`] boundary:
+//!   campaigns consume prepared [`InjectionPlan`]s whether the fault is a
+//!   runtime spec armed on the base image or a recompiled source-level
+//!   mutant.
 //!
 //! # Example: inject a checking error generated from source locations
 //!
@@ -50,6 +54,7 @@ pub mod emulate;
 pub mod fault;
 pub mod injector;
 pub mod locations;
+pub mod source;
 
 pub use emulate::{emulation_faults, plan_emulation, EmulationStrategy, EmulationVerdict};
 pub use fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
@@ -57,3 +62,4 @@ pub use injector::{
     Injector, InjectorError, PreparedWrite, PreparedWrites, TriggerMode, HW_BREAKPOINTS,
 };
 pub use locations::{generate_error_set, ErrorClass, ErrorSet, GeneratedFault, LocationPlan};
+pub use source::{BinarySwifiSource, FaultSource, InjectionPlan, PreparedFault};

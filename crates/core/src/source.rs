@@ -1,0 +1,197 @@
+//! The representation-agnostic injection boundary: [`FaultSource`].
+//!
+//! The paper's binary SWIFI path generates [`FaultSpec`](crate::FaultSpec)
+//! lists from compiler debug info and arms them on the VM at run time.
+//! Source-level mutation instead bakes the fault into a recompiled
+//! program. A campaign should not care which: it consumes a list of
+//! prepared [`InjectionPlan`]s from an abstract fault source, runs each
+//! plan's variant over a batch of inputs, and classifies failure modes
+//! the same way for both representations.
+//!
+//! [`BinarySwifiSource`] wraps the existing §6.3 error-set generation
+//! ([`generate_error_set`]) as one implementor; the source-mutation
+//! implementor lives in `swifi-campaign` (it needs the compiler *and*
+//! the campaign's compile cache).
+
+use swifi_odc::DefectType;
+
+use crate::locations::{generate_error_set, ErrorClass, GeneratedFault};
+use swifi_lang::debug::DebugInfo;
+
+/// How a plan's fault is realised at run time.
+#[derive(Debug, Clone)]
+pub enum PreparedFault {
+    /// Arm this runtime fault on the shared base image (binary SWIFI:
+    /// `FaultSpec` + `Injector::prepare` under the trigger budget).
+    Runtime(GeneratedFault),
+    /// Run this self-contained program clean — the fault is already baked
+    /// into the compiled image (source-level mutation).
+    Baked(Box<swifi_lang::Program>),
+}
+
+/// One prepared, runnable faulty variant of a target program.
+#[derive(Debug, Clone)]
+pub struct InjectionPlan {
+    /// Stable identity of the fault (error label or mutant id).
+    pub id: String,
+    /// Campaign phase bucket (`"assign"`/`"check"` for binary SWIFI,
+    /// the operator id for source mutation).
+    pub group: String,
+    /// ODC defect type of the fault this plan emulates.
+    pub defect_type: DefectType,
+    /// Source line of the fault location.
+    pub line: u32,
+    /// Enclosing function of the fault location.
+    pub func: String,
+    /// Per-plan seed component, mixed into each run's seed so random
+    /// error values differ across plans deterministically.
+    pub seed_salt: u64,
+    /// The runnable fault.
+    pub fault: PreparedFault,
+}
+
+/// An abstract source of prepared faults for one target program.
+///
+/// Implementations must be **seed-deterministic**: the same `seed` yields
+/// the same plans in the same order, which is what lets checkpointed
+/// campaigns resume by `(phase, index)`.
+pub trait FaultSource {
+    /// Representation name for reports (`"binary"`, `"source"`, …).
+    fn representation(&self) -> &'static str;
+
+    /// Enumerate the prepared plans under `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a message when preparation fails (e.g. a
+    /// mutant that does not compile).
+    fn plans(&self, seed: u64) -> Result<Vec<InjectionPlan>, String>;
+}
+
+/// The paper's §6.3 binary SWIFI path as a [`FaultSource`]: Table-3
+/// error-set generation over the compiler's debug info.
+///
+/// Plans come out in the exact order `generate_error_set` produces them —
+/// assignment faults (group `"assign"`) then checking faults (group
+/// `"check"`) — so a campaign driven through this source is
+/// observationally identical to one calling `generate_error_set`
+/// directly.
+#[derive(Debug, Clone)]
+pub struct BinarySwifiSource {
+    debug: DebugInfo,
+    n_assign: usize,
+    n_check: usize,
+}
+
+impl BinarySwifiSource {
+    /// Wrap a program's debug info with the §6.3 location counts.
+    pub fn new(debug: DebugInfo, n_assign: usize, n_check: usize) -> BinarySwifiSource {
+        BinarySwifiSource {
+            debug,
+            n_assign,
+            n_check,
+        }
+    }
+}
+
+/// ODC defect type of a Table-3 error class (the binary path only ever
+/// reaches the two emulable types — the paper's point).
+pub fn error_class_defect_type(error: ErrorClass) -> DefectType {
+    match error {
+        ErrorClass::Assign(_) => DefectType::Assignment,
+        ErrorClass::Check(_) => DefectType::Checking,
+    }
+}
+
+impl FaultSource for BinarySwifiSource {
+    fn representation(&self) -> &'static str {
+        "binary"
+    }
+
+    fn plans(&self, seed: u64) -> Result<Vec<InjectionPlan>, String> {
+        let set = generate_error_set(&self.debug, self.n_assign, self.n_check, seed);
+        let wrap = |group: &str, f: &GeneratedFault| InjectionPlan {
+            id: format!("{}@{}:{}", f.error.label(), f.func, f.line),
+            group: group.to_string(),
+            defect_type: error_class_defect_type(f.error),
+            line: f.line,
+            func: f.func.clone(),
+            seed_salt: f.site_addr as u64,
+            fault: PreparedFault::Runtime(f.clone()),
+        };
+        Ok(set
+            .assign_faults
+            .iter()
+            .map(|f| wrap("assign", f))
+            .chain(set.check_faults.iter().map(|f| wrap("check", f)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_lang::compile;
+
+    const SRC: &str = "void main() {
+        int i;
+        int s;
+        s = 0;
+        for (i = 0; i < 5; i = i + 1) {
+            if (i % 2 == 0) { s = s + i; }
+        }
+        print_int(s);
+    }";
+
+    #[test]
+    fn binary_source_mirrors_generate_error_set() {
+        let p = compile(SRC).unwrap();
+        let src = BinarySwifiSource::new(p.debug.clone(), 2, 2);
+        let plans = src.plans(7).unwrap();
+        let set = generate_error_set(&p.debug, 2, 2, 7);
+        assert_eq!(
+            plans.len(),
+            set.assign_faults.len() + set.check_faults.len()
+        );
+        // Same faults, same order, groups split at the assign/check seam.
+        for (plan, fault) in plans
+            .iter()
+            .zip(set.assign_faults.iter().chain(set.check_faults.iter()))
+        {
+            let PreparedFault::Runtime(g) = &plan.fault else {
+                panic!("binary plans are runtime faults");
+            };
+            assert_eq!(g, fault);
+            assert_eq!(plan.seed_salt, fault.site_addr as u64);
+            let expect_group = match fault.error {
+                ErrorClass::Assign(_) => "assign",
+                ErrorClass::Check(_) => "check",
+            };
+            assert_eq!(plan.group, expect_group);
+        }
+    }
+
+    #[test]
+    fn binary_plans_are_seed_deterministic() {
+        let p = compile(SRC).unwrap();
+        let src = BinarySwifiSource::new(p.debug.clone(), 3, 3);
+        let a: Vec<String> = src.plans(9).unwrap().into_iter().map(|p| p.id).collect();
+        let b: Vec<String> = src.plans(9).unwrap().into_iter().map(|p| p.id).collect();
+        assert_eq!(a, b);
+        assert_eq!(src.representation(), "binary");
+    }
+
+    #[test]
+    fn binary_plans_cover_only_emulable_defect_types() {
+        // The paper's argument in type form: every binary plan is
+        // Assignment or Checking — Algorithm/Function are out of reach.
+        let p = compile(SRC).unwrap();
+        let src = BinarySwifiSource::new(p.debug.clone(), 4, 4);
+        for plan in src.plans(3).unwrap() {
+            assert!(matches!(
+                plan.defect_type,
+                DefectType::Assignment | DefectType::Checking
+            ));
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub mod ast;
 pub mod codegen;
 pub mod debug;
 pub mod lexer;
+pub mod mutate;
 pub mod parser;
 pub mod pretty;
 pub mod sema;

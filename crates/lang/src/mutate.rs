@@ -1,0 +1,630 @@
+//! Source-level G-SWFIT mutation engine over the MiniC AST.
+//!
+//! The paper's §5 shows that Algorithm/Function faults cannot be emulated
+//! at machine-code level. Unlike Xception we own the compiler, so this
+//! module injects faults in the *source representation*: each
+//! ODC-classified operator ([`MutationOperator`]) enumerates its
+//! applicable sites over the AST in a stable depth-first order and
+//! produces a **compilable mutant** — the mutated AST rendered back to
+//! canonical MiniC by [`pretty::print_program`](crate::pretty) and
+//! recompiled through the ordinary pipeline. The parse → print → reparse
+//! round-trip property tests are the oracle that this serialization is
+//! faithful.
+//!
+//! Mutant identity is stable: `(operator, site)` names the same code
+//! change for a given source program across sessions, which is what lets
+//! campaign checkpoints resume mutant-by-mutant.
+
+use swifi_odc::MutationOperator;
+
+use crate::ast::*;
+use crate::pretty::{print_expr, print_program};
+
+/// One generated mutant: a compilable faulty variant of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutant {
+    /// Stable id: `<OP>#<site>@<func>:<line>`.
+    pub id: String,
+    /// The operator that produced the mutant.
+    pub operator: MutationOperator,
+    /// Site index within this operator's enumeration (stable DFS order).
+    pub site: usize,
+    /// Source line of the mutated construct (1-based).
+    pub line: u32,
+    /// Enclosing function, or `<global>` for global initializers.
+    pub func: String,
+    /// Human-readable before → after description of the change.
+    pub description: String,
+    /// The complete mutated program as canonical MiniC source.
+    pub source: String,
+}
+
+/// Enumerate every mutant of `p`, all operators in
+/// [`MutationOperator::ALL`] order, sites in stable DFS order.
+pub fn mutants(p: &Program) -> Vec<Mutant> {
+    MutationOperator::ALL
+        .iter()
+        .flat_map(|&op| mutants_for(p, op))
+        .collect()
+}
+
+/// Enumerate the mutants of one operator, in stable site order.
+pub fn mutants_for(p: &Program, op: MutationOperator) -> Vec<Mutant> {
+    let n = count_sites(p, op);
+    (0..n)
+        .map(|site| {
+            let mut copy = p.clone();
+            let hit = apply(&mut copy, op, site).expect("enumerated site applies");
+            Mutant {
+                id: format!("{}#{site}@{}:{}", op.id(), hit.func, hit.line),
+                operator: op,
+                site,
+                line: hit.line,
+                func: hit.func,
+                description: hit.description,
+                source: print_program(&copy),
+            }
+        })
+        .collect()
+}
+
+/// Number of applicable sites of `op` in `p`.
+pub fn count_sites(p: &Program, op: MutationOperator) -> usize {
+    let mut probe = p.clone();
+    let mut ctx = Ctx {
+        op,
+        target: usize::MAX,
+        seen: 0,
+        hit: None,
+    };
+    walk_program(&mut probe, &mut ctx);
+    ctx.seen
+}
+
+/// What one application changed.
+struct Hit {
+    line: u32,
+    func: String,
+    description: String,
+}
+
+/// Apply `op` at its `site`-th candidate (same traversal order as
+/// [`count_sites`]); returns `None` when `site` is out of range.
+fn apply(p: &mut Program, op: MutationOperator, site: usize) -> Option<Hit> {
+    let mut ctx = Ctx {
+        op,
+        target: site,
+        seen: 0,
+        hit: None,
+    };
+    walk_program(p, &mut ctx);
+    ctx.hit
+}
+
+struct Ctx {
+    op: MutationOperator,
+    target: usize,
+    seen: usize,
+    hit: Option<Hit>,
+}
+
+impl Ctx {
+    /// Count one candidate site; true when this is the one to mutate.
+    fn claim(&mut self) -> bool {
+        let take = self.hit.is_none() && self.seen == self.target;
+        self.seen += 1;
+        take
+    }
+}
+
+/// Expression context flags: where candidate checks are meaningful.
+#[derive(Clone, Copy, Default)]
+struct Pos {
+    /// Inside an `if`/`while`/`for` condition (through logical operators).
+    condition: bool,
+    /// Inside a *loop* condition specifically (`while`/`for`).
+    loop_cond: bool,
+    /// Inside an assignment right-hand side or initializer.
+    value: bool,
+}
+
+fn walk_program(p: &mut Program, ctx: &mut Ctx) {
+    for g in &mut p.globals {
+        if let Some(init) = &mut g.init {
+            walk_expr(
+                init,
+                ctx,
+                "<global>",
+                Pos {
+                    value: true,
+                    ..Pos::default()
+                },
+            );
+        }
+    }
+    for f in &mut p.functions {
+        let name = f.name.clone();
+        walk_block(&mut f.body, ctx, &name);
+    }
+}
+
+fn walk_block(b: &mut Block, ctx: &mut Ctx, func: &str) {
+    for d in &mut b.decls {
+        if let Some(init) = &mut d.init {
+            walk_expr(
+                init,
+                ctx,
+                func,
+                Pos {
+                    value: true,
+                    ..Pos::default()
+                },
+            );
+        }
+    }
+    walk_stmts(&mut b.stmts, ctx, func);
+}
+
+fn walk_stmts(stmts: &mut Vec<Stmt>, ctx: &mut Ctx, func: &str) {
+    let mut i = 0;
+    while i < stmts.len() {
+        if is_removal_candidate(ctx.op, &stmts[i]) && ctx.claim() {
+            ctx.hit = Some(Hit {
+                line: stmts[i].line(),
+                func: func.to_string(),
+                description: removal_desc(&stmts[i]),
+            });
+            stmts.remove(i);
+            continue;
+        }
+        walk_stmt(&mut stmts[i], ctx, func);
+        i += 1;
+    }
+}
+
+/// Statement-level removal candidates (`MIF`/`MAS`/`MFC`). Only
+/// statements in a block's statement list qualify — `for`-header init and
+/// step stay, so every mutant still pretty-prints to valid syntax.
+fn is_removal_candidate(op: MutationOperator, s: &Stmt) -> bool {
+    match op {
+        MutationOperator::MissingIfConstruct => matches!(s, Stmt::If { .. }),
+        MutationOperator::MissingAssignment => matches!(s, Stmt::Assign { .. }),
+        MutationOperator::MissingFunctionCall => {
+            matches!(s, Stmt::Expr { expr, .. } if matches!(expr.kind, ExprKind::Call { .. }))
+        }
+        _ => false,
+    }
+}
+
+fn removal_desc(s: &Stmt) -> String {
+    match s {
+        Stmt::If { cond, .. } => format!("removed `if ({})` construct", print_expr(cond)),
+        Stmt::Assign { target, value, .. } => {
+            format!("removed `{} = {};`", print_expr(target), print_expr(value))
+        }
+        Stmt::Expr { expr, .. } => format!("removed call `{};`", print_expr(expr)),
+        other => unreachable!("not a removal candidate: {other:?}"),
+    }
+}
+
+fn walk_stmt(s: &mut Stmt, ctx: &mut Ctx, func: &str) {
+    match s {
+        Stmt::Assign { target, value, .. } => {
+            walk_expr(target, ctx, func, Pos::default());
+            walk_expr(
+                value,
+                ctx,
+                func,
+                Pos {
+                    value: true,
+                    ..Pos::default()
+                },
+            );
+        }
+        Stmt::Expr { expr, .. } => walk_expr(expr, ctx, func, Pos::default()),
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            walk_expr(
+                cond,
+                ctx,
+                func,
+                Pos {
+                    condition: true,
+                    ..Pos::default()
+                },
+            );
+            walk_block(then_blk, ctx, func);
+            if let Some(b) = else_blk {
+                walk_block(b, ctx, func);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            walk_expr(
+                cond,
+                ctx,
+                func,
+                Pos {
+                    condition: true,
+                    loop_cond: true,
+                    ..Pos::default()
+                },
+            );
+            walk_block(body, ctx, func);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                walk_stmt(i, ctx, func);
+            }
+            if let Some(c) = cond {
+                walk_expr(
+                    c,
+                    ctx,
+                    func,
+                    Pos {
+                        condition: true,
+                        loop_cond: true,
+                        ..Pos::default()
+                    },
+                );
+            }
+            if let Some(st) = step {
+                walk_stmt(st, ctx, func);
+            }
+            walk_block(body, ctx, func);
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(v) = value {
+                walk_expr(v, ctx, func, Pos::default());
+            }
+        }
+        Stmt::Break { .. } | Stmt::Continue { .. } => {}
+        Stmt::Block(b) => walk_block(b, ctx, func),
+    }
+}
+
+/// Reverse a relational operator — the `WBC` "wrong branch condition".
+fn reversed(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        other => other,
+    }
+}
+
+/// Widen/narrow a loop bound by one — the `OBB` operator.
+fn off_by_one(op: BinOp) -> Option<BinOp> {
+    match op {
+        BinOp::Lt => Some(BinOp::Le),
+        BinOp::Le => Some(BinOp::Lt),
+        BinOp::Gt => Some(BinOp::Ge),
+        BinOp::Ge => Some(BinOp::Gt),
+        _ => None,
+    }
+}
+
+fn walk_expr(e: &mut Expr, ctx: &mut Ctx, func: &str, pos: Pos) {
+    let line = e.line;
+    // Node-level candidates first (pre-order), so site numbering follows
+    // the reading order of the source.
+    match ctx.op {
+        MutationOperator::WrongBranchCondition => {
+            let is_cmp = matches!(&e.kind, ExprKind::Binary { op, .. } if op.is_comparison());
+            if pos.condition && is_cmp && ctx.claim() {
+                let before = print_expr(e);
+                if let ExprKind::Binary { op, .. } = &mut e.kind {
+                    *op = reversed(*op);
+                }
+                ctx.hit = Some(Hit {
+                    line,
+                    func: func.to_string(),
+                    description: format!("`{before}` -> `{}`", print_expr(e)),
+                });
+            }
+        }
+        MutationOperator::OffByOneBound => {
+            let swap = match &e.kind {
+                ExprKind::Binary { op, .. } => off_by_one(*op),
+                _ => None,
+            };
+            if let Some(new_op) = swap {
+                if pos.loop_cond && ctx.claim() {
+                    let before = print_expr(e);
+                    if let ExprKind::Binary { op, .. } = &mut e.kind {
+                        *op = new_op;
+                    }
+                    ctx.hit = Some(Hit {
+                        line,
+                        func: func.to_string(),
+                        description: format!("`{before}` -> `{}`", print_expr(e)),
+                    });
+                }
+            }
+        }
+        MutationOperator::WrongConstant => {
+            if pos.value {
+                if let ExprKind::IntLit(v) = &mut e.kind {
+                    if ctx.claim() {
+                        let new = v.wrapping_add(1);
+                        ctx.hit = Some(Hit {
+                            line,
+                            func: func.to_string(),
+                            description: format!("`{v}` -> `{new}`"),
+                        });
+                        *v = new;
+                    }
+                }
+            }
+        }
+        MutationOperator::WrongCallArgument => {
+            if let ExprKind::Call { name, args } = &mut e.kind {
+                for a in args.iter_mut() {
+                    // String literals stay: `"s" - 1` would point outside
+                    // the literal, which is a *different* fault model.
+                    if !matches!(a.kind, ExprKind::StrLit(_)) && ctx.claim() {
+                        let before = print_expr(a);
+                        let arg_line = a.line;
+                        let original = std::mem::replace(
+                            a,
+                            Expr {
+                                id: 0,
+                                line: arg_line,
+                                kind: ExprKind::IntLit(0),
+                            },
+                        );
+                        *a = Expr {
+                            id: 0,
+                            line: arg_line,
+                            kind: ExprKind::Binary {
+                                op: BinOp::Sub,
+                                lhs: Box::new(original),
+                                rhs: Box::new(Expr {
+                                    id: 0,
+                                    line: arg_line,
+                                    kind: ExprKind::IntLit(1),
+                                }),
+                            },
+                        };
+                        ctx.hit = Some(Hit {
+                            line: arg_line,
+                            func: func.to_string(),
+                            description: format!(
+                                "argument `{before}` -> `({before} - 1)` in call to `{name}`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Statement-level operators: no expression candidates.
+        MutationOperator::MissingIfConstruct
+        | MutationOperator::MissingAssignment
+        | MutationOperator::MissingFunctionCall => {}
+    }
+    // Descend. Condition context propagates only through `&&`/`||`/`!`;
+    // value context propagates through value-shaped sub-expressions.
+    match &mut e.kind {
+        ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) | ExprKind::Var(_) => {}
+        ExprKind::Index { base, index } => {
+            let inner = Pos {
+                value: pos.value,
+                ..Pos::default()
+            };
+            walk_expr(base, ctx, func, inner);
+            walk_expr(index, ctx, func, inner);
+        }
+        ExprKind::Field { base, .. } => {
+            walk_expr(
+                base,
+                ctx,
+                func,
+                Pos {
+                    value: pos.value,
+                    ..Pos::default()
+                },
+            );
+        }
+        ExprKind::Unary { op, operand } => {
+            let inner = if *op == UnOp::Not {
+                pos
+            } else {
+                Pos {
+                    value: pos.value,
+                    ..Pos::default()
+                }
+            };
+            walk_expr(operand, ctx, func, inner);
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let inner = if op.is_logical() {
+                pos
+            } else {
+                Pos {
+                    value: pos.value,
+                    ..Pos::default()
+                }
+            };
+            walk_expr(lhs, ctx, func, inner);
+            walk_expr(rhs, ctx, func, inner);
+        }
+        ExprKind::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            walk_expr(cond, ctx, func, Pos::default());
+            let inner = Pos {
+                value: pos.value,
+                ..Pos::default()
+            };
+            walk_expr(then_e, ctx, func, inner);
+            walk_expr(else_e, ctx, func, inner);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                walk_expr(
+                    a,
+                    ctx,
+                    func,
+                    Pos {
+                        value: pos.value,
+                        ..Pos::default()
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_vm::machine::{Machine, MachineConfig};
+    use swifi_vm::Noop;
+
+    /// A fixture exercising every operator at least once.
+    const FIXTURE: &str = "int limit = 10;
+int total;
+int square(int v) { return v * v; }
+void bump(int d) { total = total + d; }
+void main() {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < limit; i = i + 1) {
+        if (i % 2 == 0 && i > 2) {
+            s = s + square(i);
+        }
+        bump(1);
+    }
+    while (s > 100) { s = s - 3; }
+    if (s == 55) { print_int(s); } else { print_int(total); }
+    print_int(s);
+}";
+
+    fn fixture_ast() -> Program {
+        crate::parser::parse(FIXTURE).expect("fixture parses")
+    }
+
+    #[test]
+    fn every_operator_has_sites_in_the_fixture() {
+        let ast = fixture_ast();
+        for op in MutationOperator::ALL {
+            assert!(
+                count_sites(&ast, op) > 0,
+                "operator {op} found no sites in the fixture"
+            );
+        }
+    }
+
+    #[test]
+    fn every_mutant_compiles() {
+        // The load-bearing guarantee: mutants re-enter the standard
+        // compile → run → classify pipeline without special cases.
+        let ast = fixture_ast();
+        for m in mutants(&ast) {
+            crate::compile(&m.source)
+                .unwrap_or_else(|e| panic!("mutant {} does not compile: {e:?}", m.id));
+        }
+    }
+
+    #[test]
+    fn mutant_ids_are_unique_and_stable() {
+        let ast = fixture_ast();
+        let all = mutants(&ast);
+        let mut ids: Vec<&str> = all.iter().map(|m| m.id.as_str()).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate mutant ids");
+        // Pin two ids: checkpoints and golden summaries depend on them.
+        assert!(all.iter().any(|m| m.id == "MIF#0@main:10"), "{all:#?}");
+        assert!(all.iter().any(|m| m.id.starts_with("WCV#0@<global>")));
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let ast = fixture_ast();
+        assert_eq!(mutants(&ast), mutants(&ast));
+    }
+
+    #[test]
+    fn every_mutant_differs_from_the_original_source() {
+        let ast = fixture_ast();
+        let base = print_program(&ast);
+        for m in mutants(&ast) {
+            assert_ne!(m.source, base, "mutant {} is a no-op", m.id);
+        }
+    }
+
+    #[test]
+    fn off_by_one_mutant_changes_behaviour() {
+        let src = "void main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) { print_int(i); }
+        }";
+        let ast = crate::parser::parse(src).unwrap();
+        let ms = mutants_for(&ast, MutationOperator::OffByOneBound);
+        assert_eq!(ms.len(), 1);
+        let run = |s: &str| {
+            let p = crate::compile(s).expect("compiles");
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&p.image);
+            m.run(&mut Noop).output().to_vec()
+        };
+        assert_eq!(run(src), b"012");
+        // `i < 3` became `i <= 3`: one extra iteration.
+        assert_eq!(run(&ms[0].source), b"0123");
+    }
+
+    #[test]
+    fn missing_assignment_keeps_for_headers_intact() {
+        // `for`-header init/step are not removal candidates, so every MAS
+        // mutant still prints to parseable source.
+        let src = "void main() {
+            int i;
+            int s;
+            s = 0;
+            for (i = 0; i < 4; i = i + 1) { s = s + i; }
+            print_int(s);
+        }";
+        let ast = crate::parser::parse(src).unwrap();
+        let ms = mutants_for(&ast, MutationOperator::MissingAssignment);
+        // Candidates: `s = 0;` and the loop body `s = s + i;` only.
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert!(
+                m.source.contains("for (i = 0; (i < 4); i = (i + 1))"),
+                "{}",
+                m.source
+            );
+            crate::compile(&m.source).expect("compiles");
+        }
+    }
+
+    #[test]
+    fn descriptions_show_before_and_after() {
+        let ast = fixture_ast();
+        let wbc = mutants_for(&ast, MutationOperator::WrongBranchCondition);
+        assert!(
+            wbc[0].description.contains("->"),
+            "{:?}",
+            wbc[0].description
+        );
+        let mif = mutants_for(&ast, MutationOperator::MissingIfConstruct);
+        assert!(mif[0].description.starts_with("removed `if ("));
+    }
+}

@@ -207,6 +207,13 @@ fn binop_str(op: BinOp) -> &'static str {
 /// changes the reading).
 pub fn print_expr(e: &Expr) -> String {
     match &e.kind {
+        // The parser only ever builds non-negative literals (a leading `-`
+        // becomes a unary negation), but mutation can wrap a literal past
+        // `i32::MAX`. Render negatives in the form the reparse produces so
+        // mutant sources stay canonical — and render `i32::MIN` (whose
+        // magnitude is out of 32-bit literal range) as an expression.
+        ExprKind::IntLit(v) if *v == i32::MIN => format!("(-({}) - 1)", i32::MAX),
+        ExprKind::IntLit(v) if *v < 0 => format!("-({})", v.unsigned_abs()),
         ExprKind::IntLit(v) => v.to_string(),
         ExprKind::CharLit(c) => match *c {
             b'\n' => "'\\n'".to_string(),
@@ -216,7 +223,11 @@ pub fn print_expr(e: &Expr) -> String {
             b'\\' => "'\\\\'".to_string(),
             b'\'' => "'\\''".to_string(),
             c if (32..127).contains(&c) => format!("'{}'", c as char),
-            c => c.to_string(), // non-printable: fall back to the number
+            // Non-printable bytes have no literal syntax; fall back to the
+            // numeric value. The reparse reads it as an `IntLit` of the same
+            // value — `int`/`char` are mutually assignable, and the numeric
+            // form is its own canonical rendering.
+            c => c.to_string(),
         },
         ExprKind::StrLit(s) => {
             let mut out = String::from("\"");
@@ -364,5 +375,88 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    fn lit(v: i32) -> crate::ast::Expr {
+        crate::ast::Expr {
+            id: 0,
+            line: 1,
+            kind: crate::ast::ExprKind::IntLit(v),
+        }
+    }
+
+    #[test]
+    fn negative_literals_print_in_reparse_form() {
+        // The parser never builds negative `IntLit`s, but mutation can
+        // (WCV wraps `i32::MAX` to `i32::MIN`). The printed form must
+        // reparse — `i32::MIN` itself has no in-range literal spelling —
+        // and must already be the canonical rendering of its reparse.
+        assert_eq!(print_expr(&lit(-5)), "-(5)");
+        assert_eq!(print_expr(&lit(i32::MIN)), "(-(2147483647) - 1)");
+        for v in [-5, i32::MIN] {
+            let frag = print_expr(&lit(v));
+            let src = format!("void main() {{ int x; x = {frag}; }}");
+            assert_eq!(canon(&src), canon(&canon(&src)), "not canonical: {frag}");
+            crate::compile(&src).unwrap_or_else(|e| panic!("{frag}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn nonprintable_char_literal_prints_as_its_value() {
+        // No literal syntax exists for these bytes; the numeric fallback
+        // must reparse (as an equal-valued `IntLit`) and stay canonical.
+        let e = crate::ast::Expr {
+            id: 0,
+            line: 1,
+            kind: crate::ast::ExprKind::CharLit(200),
+        };
+        assert_eq!(print_expr(&e), "200");
+        let src = "void main() { char c; c = 200; }";
+        assert_eq!(canon(src), canon(&canon(src)));
+        crate::compile(src).expect("int value assigns to char");
+    }
+
+    #[test]
+    fn every_mutation_operator_fragment_renders_and_reparses() {
+        // Satellite oracle for the mutation engine: each operator's
+        // output fragment must pretty-print to source that reparses and
+        // recompiles, with the mutant source already canonical.
+        use swifi_odc::MutationOperator;
+        let src = "int limit = 10;
+            void note(int d) { print_int(d); }
+            void main() {
+                int i;
+                int s;
+                s = 2147483647;
+                s = 0;
+                for (i = 0; i < limit; i = i + 1) {
+                    if (i > 2) { s = s + i; }
+                    note(i);
+                }
+                while (s > 100) { s = s - 3; }
+                print_int(s);
+            }";
+        let ast = parse(src).expect("fixture parses");
+        for op in MutationOperator::ALL {
+            let ms = crate::mutate::mutants_for(&ast, op);
+            assert!(!ms.is_empty(), "operator {op} found no sites");
+            for m in &ms {
+                assert_eq!(
+                    canon(&m.source),
+                    m.source,
+                    "mutant {} is not canonical",
+                    m.id
+                );
+                crate::compile(&m.source)
+                    .unwrap_or_else(|e| panic!("mutant {} does not compile: {e:?}", m.id));
+            }
+        }
+        // The WCV site on `2147483647` exercises the wrap to `i32::MIN`:
+        // the drift this test pins down.
+        let wcv = crate::mutate::mutants_for(&ast, MutationOperator::WrongConstant);
+        assert!(
+            wcv.iter().any(|m| m.source.contains("(-(2147483647) - 1)")),
+            "expected a wrapped i32::MIN literal in some WCV mutant"
+        );
     }
 }

@@ -1,0 +1,215 @@
+//! Pretty-printer round-trip properties: for randomly generated
+//! well-formed programs, parse → `pretty::print_program` → reparse yields
+//! an equivalent AST, and every G-SWFIT mutant serializes faithfully.
+//!
+//! Equivalence oracle: the canonical rendering. Line numbers and node ids
+//! shift across a reparse, so two ASTs are considered equivalent when
+//! they pretty-print to identical source — which also makes the printed
+//! form a fixpoint (`canon(canon(x)) == canon(x)`), the property the
+//! mutation engine relies on for stable mutant identity.
+
+use proptest::prelude::*;
+use swifi_lang::mutate::mutants;
+use swifi_lang::{compile, parser::parse, pretty::print_program};
+
+/// A generator of well-formed programs, richer than the one in
+/// `fuzz_compile`: char literals, helper-function calls, `while` loops
+/// and nested conditions, so that every mutation operator finds sites.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    Assign {
+        var: usize,
+        a: usize,
+        lit: i8,
+        op: usize,
+    },
+    AssignChar {
+        var: usize,
+        c: u8,
+    },
+    If {
+        var: usize,
+        cmp: usize,
+        lit: i8,
+        then_var: usize,
+        with_else: bool,
+    },
+    Loop {
+        var: usize,
+        bound: u8,
+        body_var: usize,
+        strict: bool,
+    },
+    While {
+        var: usize,
+        body_var: usize,
+    },
+    CallHelper {
+        arg_var: usize,
+        lit: i8,
+    },
+    Print {
+        var: usize,
+    },
+}
+
+fn arb_stmt() -> impl Strategy<Value = GenStmt> {
+    prop_oneof![
+        (0usize..4, 0usize..4, any::<i8>(), 0usize..4)
+            .prop_map(|(var, a, lit, op)| GenStmt::Assign { var, a, lit, op }),
+        (0usize..4, 32u8..127).prop_map(|(var, c)| GenStmt::AssignChar { var, c }),
+        (0usize..4, 0usize..6, any::<i8>(), 0usize..4, any::<bool>()).prop_map(
+            |(var, cmp, lit, then_var, with_else)| GenStmt::If {
+                var,
+                cmp,
+                lit,
+                then_var,
+                with_else,
+            }
+        ),
+        (0usize..4, 0u8..15, 0usize..4, any::<bool>()).prop_map(
+            |(var, bound, body_var, strict)| GenStmt::Loop {
+                var,
+                bound,
+                body_var,
+                strict,
+            }
+        ),
+        (0usize..4, 0usize..4).prop_map(|(var, body_var)| GenStmt::While { var, body_var }),
+        (0usize..4, any::<i8>()).prop_map(|(arg_var, lit)| GenStmt::CallHelper { arg_var, lit }),
+        (0usize..4).prop_map(|var| GenStmt::Print { var }),
+    ]
+}
+
+fn render(stmts: &[GenStmt]) -> String {
+    let vars = ["v0", "v1", "v2", "v3"];
+    let ops = ["+", "-", "*", "^"];
+    let cmps = ["<", "<=", ">", ">=", "==", "!="];
+    let mut src = String::from("int acc;\nint helper(int x) { return x + 1; }\nvoid main() {\n");
+    for v in vars {
+        src.push_str(&format!("  int {v};\n"));
+    }
+    for v in vars {
+        src.push_str(&format!("  {v} = 1;\n"));
+    }
+    let mut loop_var = 0;
+    for s in stmts {
+        match s {
+            GenStmt::Assign { var, a, lit, op } => {
+                src.push_str(&format!(
+                    "  {} = {} {} {};\n",
+                    vars[*var], vars[*a], ops[*op], *lit as i32
+                ));
+            }
+            GenStmt::AssignChar { var, c } => {
+                let lit = match *c {
+                    b'\\' => "'\\\\'".to_string(),
+                    b'\'' => "'\\''".to_string(),
+                    c => format!("'{}'", c as char),
+                };
+                src.push_str(&format!("  {} = {lit};\n", vars[*var]));
+            }
+            GenStmt::If {
+                var,
+                cmp,
+                lit,
+                then_var,
+                with_else,
+            } => {
+                src.push_str(&format!(
+                    "  if ({} {} {} && {} != 0) {{ {} = {} + 1; }}",
+                    vars[*var], cmps[*cmp], lit, vars[*var], vars[*then_var], vars[*then_var]
+                ));
+                if *with_else {
+                    src.push_str(&format!(
+                        " else {{ {} = {} - 1; }}",
+                        vars[*then_var], vars[*then_var]
+                    ));
+                }
+                src.push('\n');
+            }
+            GenStmt::Loop {
+                var,
+                bound,
+                body_var,
+                strict,
+            } => {
+                let c = format!("c{loop_var}");
+                loop_var += 1;
+                src = src.replacen(
+                    "void main() {\n",
+                    &format!("void main() {{\n  int {c};\n"),
+                    1,
+                );
+                let cmp = if *strict { "<" } else { "<=" };
+                src.push_str(&format!(
+                    "  for ({c} = 0; {c} {cmp} {bound}; {c} = {c} + 1) {{ {} = {} + {}; }}\n",
+                    vars[*var], vars[*var], vars[*body_var]
+                ));
+            }
+            GenStmt::While { var, body_var } => {
+                src.push_str(&format!(
+                    "  while ({} > 100) {{ {} = {} - {}; }}\n",
+                    vars[*var], vars[*var], vars[*var], vars[*body_var]
+                ));
+            }
+            GenStmt::CallHelper { arg_var, lit } => {
+                src.push_str(&format!(
+                    "  acc = helper({} + {});\n",
+                    vars[*arg_var], *lit as i32
+                ));
+            }
+            GenStmt::Print { var } => {
+                src.push_str(&format!("  print_int({});\n", vars[*var]));
+            }
+        }
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// Canonical rendering of a source text.
+fn canon(src: &str) -> String {
+    print_program(&parse(src).unwrap_or_else(|e| panic!("{e}\n{src}")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → print → reparse yields an equivalent AST: the reparsed
+    /// tree pretty-prints to exactly the same source, so the printed
+    /// form is a fixpoint of the round trip.
+    #[test]
+    fn printed_form_is_a_round_trip_fixpoint(
+        stmts in proptest::collection::vec(arb_stmt(), 0..15)
+    ) {
+        let src = render(&stmts);
+        let printed = canon(&src);
+        prop_assert_eq!(&canon(&printed), &printed, "reparse drifted for\n{}", src);
+    }
+
+    /// Every mutant of a generated program is serialized faithfully: its
+    /// source is already canonical (the mutated AST survives the
+    /// print → reparse → print cycle byte-for-byte) and it recompiles.
+    #[test]
+    fn mutants_serialize_canonically_and_recompile(
+        stmts in proptest::collection::vec(arb_stmt(), 0..10)
+    ) {
+        let src = render(&stmts);
+        let ast = parse(&src).expect("generated program parses");
+        for m in mutants(&ast) {
+            prop_assert_eq!(
+                &canon(&m.source), &m.source,
+                "mutant {} is not canonical for\n{}", m.id, src
+            );
+            let compiled = compile(&m.source);
+            prop_assert!(
+                compiled.is_ok(),
+                "mutant {} does not compile: {:?}\n{}",
+                m.id,
+                compiled.err(),
+                m.source
+            );
+        }
+    }
+}

@@ -118,6 +118,48 @@ impl FieldDistribution {
         }
         items.into_iter().map(|(t, c, _)| (t, c)).collect()
     }
+
+    /// Apportion `n` faults over a *subset* of the defect types,
+    /// renormalising the field fractions over that subset (largest-remainder
+    /// rounding, counts sum exactly to `n`).
+    ///
+    /// Source-level campaigns use this: their mutation operators cover only
+    /// the defect types that actually have operators, so the budget is
+    /// distributed over the representable subset in field-data proportion.
+    /// Types with zero field fraction still receive a share only through
+    /// remainder rounding; an empty subset yields an empty allocation.
+    pub fn apportion_among(&self, types: &[DefectType], n: usize) -> Vec<(DefectType, usize)> {
+        let total: f64 = types.iter().map(|&t| self.fraction(t)).sum();
+        if types.is_empty() {
+            return Vec::new();
+        }
+        let mut items: Vec<(DefectType, usize, f64)> = types
+            .iter()
+            .map(|&t| {
+                // A zero-mass subset degenerates to a uniform split.
+                let f = if total > 0.0 {
+                    self.fraction(t) / total
+                } else {
+                    1.0 / types.len() as f64
+                };
+                let exact = f * n as f64;
+                let floor = exact.floor() as usize;
+                (t, floor, exact - exact.floor())
+            })
+            .collect();
+        let assigned: usize = items.iter().map(|&(_, c, _)| c).sum();
+        let mut leftover = n - assigned;
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| items[b].2.partial_cmp(&items[a].2).unwrap());
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            items[i].1 += 1;
+            leftover -= 1;
+        }
+        items.into_iter().map(|(t, c, _)| (t, c)).collect()
+    }
 }
 
 impl Default for FieldDistribution {

@@ -13,16 +13,22 @@
 //!   cites (reference \[5\]), including the "algorithm + function ≈ 44 % of
 //!   faults cannot be emulated" headline,
 //! - the **fault-exposure chain** `p1·p2·p3` of the paper's Figure 2
-//!   ([`ExposureModel`]).
+//!   ([`ExposureModel`]),
+//! - the ODC-classified **source-level mutation operators**
+//!   ([`MutationOperator`]) that extend injection beyond the Table-3
+//!   binary error types — covering the Algorithm/Function faults the
+//!   paper found inemulable at machine-code level.
 
 #![warn(missing_docs)]
 
 pub mod errors;
 pub mod exposure;
 pub mod field;
+pub mod mutation;
 pub mod types;
 
 pub use errors::{AssignErrorType, CheckErrorType};
 pub use exposure::ExposureModel;
 pub use field::FieldDistribution;
+pub use mutation::MutationOperator;
 pub use types::{DefectType, SystemTestTrigger};

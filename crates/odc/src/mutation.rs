@@ -1,0 +1,165 @@
+//! ODC-classified G-SWFIT mutation operators (source-level fault model).
+//!
+//! The paper's §5 conclusion C is that *algorithm* and *function* faults —
+//! ≈ 44 % of field faults — cannot be emulated by machine-code SWIFI.
+//! Injecting at the **source** representation closes that gap: each
+//! operator below mimics one of the most frequent field-fault patterns
+//! (the G-SWFIT operator library of Durães & Madeira, itself mined from
+//! the same ODC-classified field data) and is tagged with the ODC defect
+//! type of the fault it emulates, so source campaigns can reuse the
+//! [`FieldDistribution`](crate::FieldDistribution) weighting that drives
+//! the binary campaigns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::DefectType;
+
+/// A source-level mutation operator, ODC-classified.
+///
+/// Operator ids are **stable**: they identify mutants across sessions and
+/// appear in checkpoints, reports and golden files. Do not renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MutationOperator {
+    /// `MIF` — missing if construct plus statements (G-SWFIT *MIFS*):
+    /// delete an entire `if` statement including its branches.
+    MissingIfConstruct,
+    /// `WBC` — wrong branch condition (G-SWFIT *WLEC*): reverse the
+    /// relational operator of a comparison inside an `if`/`while`/`for`
+    /// condition (`<` ↔ `>`, `<=` ↔ `>=`, `==` ↔ `!=`).
+    WrongBranchCondition,
+    /// `MAS` — missing assignment (G-SWFIT *MVAV*): delete an assignment
+    /// statement.
+    MissingAssignment,
+    /// `OBB` — off-by-one loop bound: widen or narrow a loop condition's
+    /// relational operator by one (`<` ↔ `<=`, `>` ↔ `>=`).
+    OffByOneBound,
+    /// `WCV` — wrong constant in assignment (G-SWFIT *WVAV*): perturb an
+    /// integer literal on the right-hand side of an assignment or
+    /// initializer by one.
+    WrongConstant,
+    /// `MFC` — missing function call (G-SWFIT *MFC*): delete a
+    /// call-expression statement.
+    MissingFunctionCall,
+    /// `WCA` — wrong argument in function call (G-SWFIT *WPFV*): perturb
+    /// one argument expression of a call by one.
+    WrongCallArgument,
+}
+
+impl MutationOperator {
+    /// All operators, in the stable enumeration order used by mutant ids
+    /// and campaign checkpoints.
+    pub const ALL: [MutationOperator; 7] = [
+        MutationOperator::MissingIfConstruct,
+        MutationOperator::WrongBranchCondition,
+        MutationOperator::MissingAssignment,
+        MutationOperator::OffByOneBound,
+        MutationOperator::WrongConstant,
+        MutationOperator::MissingFunctionCall,
+        MutationOperator::WrongCallArgument,
+    ];
+
+    /// Stable three-letter operator id (used in mutant ids and reports).
+    pub fn id(self) -> &'static str {
+        match self {
+            MutationOperator::MissingIfConstruct => "MIF",
+            MutationOperator::WrongBranchCondition => "WBC",
+            MutationOperator::MissingAssignment => "MAS",
+            MutationOperator::OffByOneBound => "OBB",
+            MutationOperator::WrongConstant => "WCV",
+            MutationOperator::MissingFunctionCall => "MFC",
+            MutationOperator::WrongCallArgument => "WCA",
+        }
+    }
+
+    /// Look an operator up by its stable id.
+    pub fn from_id(id: &str) -> Option<MutationOperator> {
+        MutationOperator::ALL.into_iter().find(|op| op.id() == id)
+    }
+
+    /// The ODC defect type of the field fault this operator emulates.
+    ///
+    /// This is the bridge to the paper's field-data weighting: a source
+    /// campaign apportions its mutant budget over defect types with
+    /// [`FieldDistribution::apportion_among`](crate::FieldDistribution::apportion_among),
+    /// exactly as §6.1 distributes binary errors.
+    pub fn defect_type(self) -> DefectType {
+        match self {
+            // Dropping a whole decision construct re-structures the
+            // algorithm — the kind of fault §5 found inemulable.
+            MutationOperator::MissingIfConstruct => DefectType::Algorithm,
+            MutationOperator::WrongBranchCondition => DefectType::Checking,
+            MutationOperator::MissingAssignment => DefectType::Assignment,
+            MutationOperator::OffByOneBound => DefectType::Checking,
+            MutationOperator::WrongConstant => DefectType::Assignment,
+            // A missing capability invocation requires a design-level fix.
+            MutationOperator::MissingFunctionCall => DefectType::Function,
+            // Wrong values crossing a call boundary are interface faults.
+            MutationOperator::WrongCallArgument => DefectType::Interface,
+        }
+    }
+
+    /// Short human description of the code change.
+    pub fn description(self) -> &'static str {
+        match self {
+            MutationOperator::MissingIfConstruct => "missing if construct plus statements",
+            MutationOperator::WrongBranchCondition => "wrong branch condition (reversed relation)",
+            MutationOperator::MissingAssignment => "missing assignment statement",
+            MutationOperator::OffByOneBound => "off-by-one loop bound",
+            MutationOperator::WrongConstant => "wrong constant in assignment",
+            MutationOperator::MissingFunctionCall => "missing function call",
+            MutationOperator::WrongCallArgument => "wrong argument in function call",
+        }
+    }
+}
+
+impl fmt::Display for MutationOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let ids: Vec<&str> = MutationOperator::ALL.iter().map(|op| op.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), MutationOperator::ALL.len());
+        // Pin the stable ids: checkpoints and golden files depend on them.
+        assert_eq!(ids, ["MIF", "WBC", "MAS", "OBB", "WCV", "MFC", "WCA"]);
+        for op in MutationOperator::ALL {
+            assert_eq!(MutationOperator::from_id(op.id()), Some(op));
+        }
+        assert_eq!(MutationOperator::from_id("XXX"), None);
+    }
+
+    #[test]
+    fn operators_span_the_inemulable_types() {
+        // The whole point of the source representation: Algorithm and
+        // Function faults — beyond any binary SWIFI tool — are covered.
+        let types: Vec<DefectType> = MutationOperator::ALL
+            .iter()
+            .map(|op| op.defect_type())
+            .collect();
+        assert!(types.contains(&DefectType::Algorithm));
+        assert!(types.contains(&DefectType::Function));
+        assert!(types.contains(&DefectType::Assignment));
+        assert!(types.contains(&DefectType::Checking));
+        assert!(types.contains(&DefectType::Interface));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for op in MutationOperator::ALL {
+            let json = serde_json::to_string(&op).unwrap();
+            let back: MutationOperator = serde_json::from_str(&json).unwrap();
+            assert_eq!(op, back);
+        }
+    }
+}

@@ -12,4 +12,5 @@ cargo test -q
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 ./scripts/resume_smoke.sh
+./scripts/mutation_smoke.sh
 ./scripts/perf_smoke.sh equivalence

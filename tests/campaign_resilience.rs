@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use swifi_campaign::section6::{class_campaign_with, CampaignScale};
+use swifi_campaign::source::{source_campaign_with, SourceScale};
 use swifi_campaign::CampaignOptions;
 use swifi_programs::program;
 
@@ -73,6 +74,56 @@ fn killed_campaign_resumes_to_an_equal_report() {
 
     // A second resume replays everything and still folds to equality.
     let replayed = class_campaign_with(
+        &target,
+        scale,
+        seed,
+        &CampaignOptions::with_checkpoint(&path, true),
+    )
+    .unwrap();
+    assert_eq!(replayed, uninterrupted);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn killed_source_campaign_resumes_to_an_equal_report() {
+    // The same kill/resume contract holds for the source-mutation driver:
+    // a campaign killed mid-append and resumed must report byte-equal to
+    // an uninterrupted one (same Throughput-equality oracle — mutant
+    // selection, compilation and run accounting all replay from disk).
+    let target = program("JB.team11").unwrap();
+    let scale = SourceScale {
+        mutant_budget: 6,
+        inputs_per_mutant: 2,
+    };
+    let seed = 41;
+
+    let uninterrupted =
+        source_campaign_with(&target, scale, seed, &CampaignOptions::default()).unwrap();
+
+    let path = temp_path("source-resume");
+    let full = source_campaign_with(
+        &target,
+        scale,
+        seed,
+        &CampaignOptions::with_checkpoint(&path, false),
+    )
+    .unwrap();
+    assert_eq!(full, uninterrupted, "checkpointing must not perturb");
+    truncate_checkpoint(&path, 3);
+
+    // Resume: 3 mutants replay from disk, the rest recompile and re-run.
+    let resumed = source_campaign_with(
+        &target,
+        scale,
+        seed,
+        &CampaignOptions::with_checkpoint(&path, true),
+    )
+    .unwrap();
+    assert_eq!(resumed, uninterrupted, "resumed report must be equal");
+
+    // A second resume replays everything and still folds to equality.
+    let replayed = source_campaign_with(
         &target,
         scale,
         seed,
