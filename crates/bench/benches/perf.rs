@@ -14,6 +14,20 @@ use swifi_vm::asm::assemble;
 use swifi_vm::machine::{Machine, MachineConfig};
 use swifi_vm::Noop;
 
+/// The vendored criterion shim has no CLI bench filter, so CI jobs that
+/// only want one headline bench (e.g. the non-gating block-translation
+/// perf job) select it with `SWIFI_BENCH_ONLY=block_translation`.
+/// Comma-separated substrings; unset runs everything.
+fn bench_enabled(name: &str) -> bool {
+    match std::env::var("SWIFI_BENCH_ONLY") {
+        Err(_) => true,
+        Ok(v) => v.split(',').any(|pat| {
+            let pat = pat.trim();
+            !pat.is_empty() && name.contains(pat)
+        }),
+    }
+}
+
 /// A tight 1M-instruction count-down loop.
 fn countdown_image() -> swifi_vm::Image {
     assemble(
@@ -29,6 +43,9 @@ fn countdown_image() -> swifi_vm::Image {
 }
 
 fn bench_vm_throughput(c: &mut Criterion) {
+    if !bench_enabled("vm_throughput") {
+        return;
+    }
     let image = countdown_image();
     let mut group = c.benchmark_group("vm");
     // ~1M retired instructions per iteration.
@@ -46,6 +63,9 @@ fn bench_vm_throughput(c: &mut Criterion) {
 }
 
 fn bench_injector_overhead(c: &mut Criterion) {
+    if !bench_enabled("injector_overhead") {
+        return;
+    }
     let image = countdown_image();
     // A dormant fault at an unexecuted address: measures pure hook cost.
     let fault = FaultSpec::replace_instr(0x1000, 0);
@@ -65,6 +85,9 @@ fn bench_injector_overhead(c: &mut Criterion) {
 }
 
 fn bench_compiler(c: &mut Criterion) {
+    if !bench_enabled("compiler") {
+        return;
+    }
     let src = program("C.team9").unwrap().source_correct;
     let mut group = c.benchmark_group("compiler");
     group.throughput(Throughput::Bytes(src.len() as u64));
@@ -75,6 +98,9 @@ fn bench_compiler(c: &mut Criterion) {
 }
 
 fn bench_campaign_run(c: &mut Criterion) {
+    if !bench_enabled("campaign_run") {
+        return;
+    }
     let p = program("JB.team11").unwrap();
     let compiled = compile(p.source_correct).unwrap();
     let input = TestInput::JamesB {
@@ -225,6 +251,9 @@ fn measure_reboot(name: &'static str, seed: u64) -> RebootMeasurement {
 /// Warm-reboot headline bench: §6 class campaigns for the JB family under
 /// both lifecycles, recorded to `BENCH_warm_reboot.json` at the repo root.
 fn bench_warm_reboot(_c: &mut Criterion) {
+    if !bench_enabled("warm_reboot") {
+        return;
+    }
     let measurements: Vec<RebootMeasurement> = ["JB.team6", "JB.team11"]
         .iter()
         .map(|name| measure_reboot(name, 0xB007))
@@ -396,6 +425,9 @@ fn measure_translation_cache(name: &'static str, seed: u64) -> CacheMeasurement 
     let mut reference = RunSession::new(&compiled, p.family);
     reference.set_reference_interp(true);
     let mut cached = RunSession::new(&compiled, p.family);
+    // This bench measures the PR-2 line cache in isolation; the block
+    // layer has its own bench (bench_block_translation).
+    cached.set_block_cache(false);
     // Warm-up pass on each side so allocator / page-cache effects and the
     // first lazy decode of every line are off the measured clock.
     let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
@@ -431,6 +463,9 @@ fn measure_translation_cache(name: &'static str, seed: u64) -> CacheMeasurement 
 /// under the cached and decode-every-fetch interpreters (both warm-reboot),
 /// recorded to `BENCH_translation_cache.json` at the repo root.
 fn bench_translation_cache(_c: &mut Criterion) {
+    if !bench_enabled("translation_cache") {
+        return;
+    }
     let measurements: Vec<CacheMeasurement> = ["JB.team6", "JB.team11"]
         .iter()
         .map(|name| measure_translation_cache(name, 0xB007))
@@ -598,6 +633,10 @@ fn measure_prefix_fork(name: &'static str, n_inputs: usize, seed: u64) -> ForkMe
     let mut full = RunSession::new(&compiled, p.family);
     let mut forked = RunSession::new(&compiled, p.family);
     forked.set_prefix_cache(Some(swifi_campaign::PrefixCache::shared()));
+    // Both sides on the PR-2 line-cache engine: this bench isolates the
+    // fork cache; the block layer has its own bench.
+    full.set_block_cache(false);
+    forked.set_block_cache(false);
     // Warm-up pass on each side. On the fork side this is the
     // capture-continue pass: it builds every (input, trigger-pc)
     // snapshot, so the measured chunks below are pure fork hits and
@@ -633,6 +672,9 @@ fn measure_prefix_fork(name: &'static str, n_inputs: usize, seed: u64) -> ForkMe
 /// the fork cache on vs off (both warm, cached interpreter), recorded to
 /// `BENCH_prefix_fork.json` at the repo root.
 fn bench_prefix_fork(_c: &mut Criterion) {
+    if !bench_enabled("prefix_fork") {
+        return;
+    }
     // JB schedules for continuity with the PR-1/PR-2 benches; C.team10 is
     // the deep-trigger §6 schedule (its generated fault sites first fire
     // ~halfway through the run, so forking skips ~half the instructions).
@@ -705,6 +747,205 @@ fn bench_prefix_fork(_c: &mut Criterion) {
         .join("../..")
         .join("BENCH_prefix_fork.json");
     std::fs::write(&path, json).expect("write BENCH_prefix_fork.json");
+    println!("wrote {}", path.display());
+}
+
+/// One program's block-translation measurement on the §6 class-campaign
+/// schedule: the PR-2 predecoded-line engine vs the block interpreter,
+/// both on warm fork-free sessions. No prefix cache on either side —
+/// instrs/s is the headline metric here, and forking skips instructions
+/// by design, which would contaminate it.
+struct BlockMeasurement {
+    program: &'static str,
+    runs: u64,
+    cached_instrs_per_sec: f64,
+    blocks_instrs_per_sec: f64,
+    cached_runs_per_sec: f64,
+    blocks_runs_per_sec: f64,
+    blocks_built: u64,
+    block_hits: u64,
+    fallback_dispatches: u64,
+    block_invalidations: u64,
+    block_instrs: u64,
+    retired_instrs: u64,
+}
+
+/// The PR-5 forked engine's throughput on this same schedule, as
+/// committed in PR 5's BENCH_prefix_fork.json (`forked_runs_per_sec`) —
+/// the strongest prior engine configuration.
+fn pr5_forked_runs_per_sec(program: &str) -> Option<f64> {
+    match program {
+        "JB.team6" => Some(170_467.1),
+        "JB.team11" => Some(9_162.9),
+        "C.team10" => Some(21.6),
+        _ => None,
+    }
+}
+
+impl BlockMeasurement {
+    fn instrs_speedup(&self) -> f64 {
+        self.blocks_instrs_per_sec / self.cached_instrs_per_sec
+    }
+
+    fn speedup_vs_pr2(&self) -> Option<f64> {
+        pr2_cached_runs_per_sec(self.program).map(|pr2| self.blocks_runs_per_sec / pr2)
+    }
+
+    fn speedup_vs_pr5(&self) -> Option<f64> {
+        pr5_forked_runs_per_sec(self.program).map(|pr5| self.blocks_runs_per_sec / pr5)
+    }
+
+    fn block_instr_pct(&self) -> f64 {
+        if self.retired_instrs == 0 {
+            return 0.0;
+        }
+        self.block_instrs as f64 * 100.0 / self.retired_instrs as f64
+    }
+}
+
+/// Measure the §6 class campaign for one program under the line-cached
+/// and block interpreters, both warm and fork-free. `n_inputs` mirrors
+/// the prefix-fork bench: 6 for the fast JB schedules, 2 for the deep
+/// C.team10 schedule.
+fn measure_block_translation(name: &'static str, n_inputs: usize, seed: u64) -> BlockMeasurement {
+    let p = program(name).unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let (n_assign, n_check) = chosen_locations(name);
+    let set = swifi_core::locations::generate_error_set(&compiled.debug, n_assign, n_check, seed);
+    let faults: Vec<_> = set
+        .assign_faults
+        .iter()
+        .chain(set.check_faults.iter())
+        .cloned()
+        .collect();
+    let inputs = p.family.test_case(n_inputs, seed ^ 0x5EED);
+
+    let mut cached = RunSession::new(&compiled, p.family);
+    cached.set_block_cache(false);
+    let mut blocks = RunSession::new(&compiled, p.family);
+    // Warm-up pass per side: first lazy decode of every line and the
+    // first translation of every hot block happen off the clock.
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        cached.run(input, Some(spec), s);
+    });
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        blocks.run(input, Some(spec), s);
+    });
+
+    let mut cached_acc = Accum::default();
+    let mut blocks_acc = Accum::default();
+    for _ in 0..INTERLEAVE_ROUNDS {
+        time_schedule_chunk(&mut cached, &faults, &inputs, seed, &mut cached_acc);
+        time_schedule_chunk(&mut blocks, &faults, &inputs, seed, &mut blocks_acc);
+    }
+    let stats = blocks.stats();
+    BlockMeasurement {
+        program: name,
+        runs: faults.len() as u64 * inputs.len() as u64,
+        cached_instrs_per_sec: cached_acc.best_instrs_per_sec,
+        blocks_instrs_per_sec: blocks_acc.best_instrs_per_sec,
+        cached_runs_per_sec: cached_acc.best_runs_per_sec,
+        blocks_runs_per_sec: blocks_acc.best_runs_per_sec,
+        blocks_built: stats.blocks_built,
+        block_hits: stats.block_hits,
+        fallback_dispatches: stats.block_fallbacks,
+        block_invalidations: stats.block_invalidations,
+        block_instrs: stats.block_instrs,
+        retired_instrs: stats.retired_instrs,
+    }
+}
+
+/// Block-translation headline bench: §6 class campaigns under the
+/// line-cached and block interpreters, recorded to
+/// `BENCH_block_translation.json` at the repo root. The JB schedules
+/// track the PR-2/PR-5 baselines; C.team10 is the deep-recursion
+/// schedule where raw interpreter throughput dominates the campaign.
+fn bench_block_translation(_c: &mut Criterion) {
+    if !bench_enabled("block_translation") {
+        return;
+    }
+    let measurements: Vec<BlockMeasurement> = [("JB.team6", 6), ("JB.team11", 6), ("C.team10", 2)]
+        .iter()
+        .map(|&(name, n_inputs)| measure_block_translation(name, n_inputs, 0xB007))
+        .collect();
+    let mut rows = String::new();
+    for m in &measurements {
+        println!(
+            "{:<42} lines: {:>6.1} Minstr/s  blocks: {:>6.1} Minstr/s  speedup: {:.2}x ({}x vs PR-2 cached, {}x vs PR-5 forked)",
+            format!("blocks/class_campaign_{}", m.program),
+            m.cached_instrs_per_sec / 1e6,
+            m.blocks_instrs_per_sec / 1e6,
+            m.instrs_speedup(),
+            m.speedup_vs_pr2()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "?".into()),
+            m.speedup_vs_pr5()
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "?".into())
+        );
+        println!(
+            "{:<42} {} blocks built, {} hits, {} fallback dispatches, {} invalidated, {:.1}% of instrs in blocks",
+            format!("blocks/cache_behaviour_{}", m.program),
+            m.blocks_built,
+            m.block_hits,
+            m.fallback_dispatches,
+            m.block_invalidations,
+            m.block_instr_pct()
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let pr2 = match (pr2_cached_runs_per_sec(m.program), m.speedup_vs_pr2()) {
+            (Some(base), Some(s)) => {
+                format!("\"pr2_cached_runs_per_sec\": {base:.1}, \"speedup_vs_pr2_cached\": {s:.2}")
+            }
+            _ => "\"pr2_cached_runs_per_sec\": null, \"speedup_vs_pr2_cached\": null".into(),
+        };
+        let pr5 = match (pr5_forked_runs_per_sec(m.program), m.speedup_vs_pr5()) {
+            (Some(base), Some(s)) => {
+                format!("\"pr5_forked_runs_per_sec\": {base:.1}, \"speedup_vs_pr5_forked\": {s:.2}")
+            }
+            _ => "\"pr5_forked_runs_per_sec\": null, \"speedup_vs_pr5_forked\": null".into(),
+        };
+        rows.push_str(&format!(
+            "    {{\"program\": \"{}\", \"runs\": {}, \
+             \"cached_instrs_per_sec\": {:.0}, \"blocks_instrs_per_sec\": {:.0}, \
+             \"cached_runs_per_sec\": {:.1}, \"blocks_runs_per_sec\": {:.1}, \
+             \"instrs_speedup\": {:.2}, {pr2}, {pr5}, \
+             \"blocks_built\": {}, \"block_hits\": {}, \"fallback_dispatches\": {}, \
+             \"block_invalidations\": {}, \"block_instr_pct\": {:.1}}}",
+            m.program,
+            m.runs,
+            m.cached_instrs_per_sec,
+            m.blocks_instrs_per_sec,
+            m.cached_runs_per_sec,
+            m.blocks_runs_per_sec,
+            m.instrs_speedup(),
+            m.blocks_built,
+            m.block_hits,
+            m.fallback_dispatches,
+            m.block_invalidations,
+            m.block_instr_pct()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"block_translation\",\n  \"schedule\": \"section6 class campaign, all \
+         generated faults x shared inputs (6 for JB, 2 for Camelot)\",\n  \"cached\": \"warm \
+         RunSession, predecoded line cache only (--no-block-cache, the PR 2 engine), no prefix \
+         fork\",\n  \"blocks\": \"warm RunSession, basic-block superinstruction interpreter; \
+         pinned trigger PCs and patched code fall back to the line-cached/slow paths\",\n  \
+         \"pr2_baseline\": \"cached_runs_per_sec from PR 2's committed \
+         BENCH_translation_cache.json, same schedule\",\n  \"pr5_baseline\": \
+         \"forked_runs_per_sec from PR 5's committed BENCH_prefix_fork.json, same schedule\",\n  \
+         \"metric\": \"instrs/s (both sides retire identical instruction streams; no prefix \
+         cache on either side)\",\n  \"methodology\": \"interleaved best-of-{INTERLEAVE_ROUNDS} \
+         chunks of >={CHUNK_SECS}s per side; both sides warmed first\",\n  \
+         \"programs\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_block_translation.json");
+    std::fs::write(&path, json).expect("write BENCH_block_translation.json");
     println!("wrote {}", path.display());
 }
 
@@ -805,6 +1046,9 @@ fn measure_source_mutation(name: &'static str, seed: u64) -> MutationMeasurement
 /// run rate for the JB family, recorded to `BENCH_source_mutation.json`
 /// at the repo root.
 fn bench_source_mutation(_c: &mut Criterion) {
+    if !bench_enabled("source_mutation") {
+        return;
+    }
     let measurements: Vec<MutationMeasurement> = ["JB.team6", "JB.team11"]
         .iter()
         .map(|name| measure_source_mutation(name, 0xB007))
@@ -859,6 +1103,7 @@ criterion_group!(
     bench_warm_reboot,
     bench_translation_cache,
     bench_prefix_fork,
+    bench_block_translation,
     bench_source_mutation
 );
 criterion_main!(benches);

@@ -346,6 +346,12 @@ pub struct CampaignOptions {
     /// way (forking is an execution strategy, not a semantic change);
     /// the flag exists for A/B measurement and as an escape hatch.
     pub no_prefix_fork: bool,
+    /// Disable the basic-block translation layer: sessions execute on
+    /// the predecoded line cache alone (the PR 2 path). Like
+    /// `no_prefix_fork`, purely an execution-strategy toggle — reports
+    /// are identical either way — kept for A/B measurement and as an
+    /// escape hatch.
+    pub no_block_cache: bool,
 }
 
 impl CampaignOptions {

@@ -101,6 +101,7 @@ pub fn estimate_exposure_with(
                 let mut s = RunSession::new(&faulty, p.family);
                 s.set_watchdog(opts.watchdog);
                 s.set_prefix_cache(prefix.clone());
+                s.set_block_cache(!opts.no_block_cache);
                 s
             },
             |session, i, input| {

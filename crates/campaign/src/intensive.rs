@@ -78,6 +78,7 @@ pub fn table1_with(
                 let mut s = RunSession::new(&compiled, p.family);
                 s.set_watchdog(opts.watchdog);
                 s.set_prefix_cache(prefix.clone());
+                s.set_block_cache(!opts.no_block_cache);
                 s
             },
             |session, i, input| {

@@ -38,7 +38,7 @@
 //! execution), so a pathological campaign cannot exhaust memory. The
 //! golden/total maps hold a few words per input and are unbounded.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use swifi_programs::input::TestInput;
@@ -69,6 +69,11 @@ struct Inner {
     totals: HashMap<(TestInput, u32), u64>,
     /// input → host-oracle expected output, shared across sessions.
     expected: HashMap<TestInput, Arc<Vec<u8>>>,
+    /// (input, trigger pc, firing occurrence) keys whose capture run
+    /// found the prefix too shallow to be worth forking — later runs
+    /// with these keys take the plain path without even attempting a
+    /// capture. Unbounded like the other memos (a few words per fault).
+    shallow: HashSet<(TestInput, u32, u64)>,
 }
 
 /// Bounded, shared store of golden prefixes for one compiled program.
@@ -173,6 +178,22 @@ impl PrefixCache {
         inner.totals.entry((input.clone(), pc)).or_insert(total);
     }
 
+    /// Whether `(input, pc, occ)` was memoized as a shallow trigger —
+    /// forking it costs more than it saves, so runs with this key take
+    /// the plain fork-free path.
+    pub fn is_shallow(&self, input: &TestInput, pc: u32, occ: u64) -> bool {
+        let inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.shallow.contains(&(input.clone(), pc, occ))
+    }
+
+    /// Memoize `(input, pc, occ)` as a shallow trigger. The verdict is
+    /// deterministic (it compares the paused prefix depth against the
+    /// memoized golden run), so racing workers record the same answer.
+    pub fn record_shallow(&self, input: &TestInput, pc: u32, occ: u64) {
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.shallow.insert((input.clone(), pc, occ));
+    }
+
     /// The host-oracle expected output for `input`, computed once across
     /// all sessions sharing this cache.
     pub fn expected_output(&self, input: &TestInput) -> Arc<Vec<u8>> {
@@ -243,6 +264,20 @@ mod tests {
         assert!(cache.snapshot(&inputs[0], 0x100, 1).is_some());
         assert!(cache.snapshot(&inputs[0], 0x104, 1).is_none());
         assert!(cache.snapshot(&inputs[2], 0x100, 1).is_none());
+    }
+
+    #[test]
+    fn shallow_memo_is_keyed_per_occurrence() {
+        let target = program("JB.team11").unwrap();
+        let input = &target.family.test_case(1, 3)[0];
+        let cache = PrefixCache::new();
+        assert!(!cache.is_shallow(input, 0x100, 1));
+        cache.record_shallow(input, 0x100, 1);
+        assert!(cache.is_shallow(input, 0x100, 1));
+        // A later occurrence of the same trigger is a deeper prefix and
+        // keeps its own verdict.
+        assert!(!cache.is_shallow(input, 0x100, 2));
+        assert!(!cache.is_shallow(input, 0x104, 1));
     }
 
     #[test]

@@ -109,7 +109,7 @@ pub fn decode_cache_line(tp: &Throughput) -> String {
 
 /// One-line summary of the prefix-fork cache, e.g.
 /// `prefix-fork: 40 snapshots, 3960 fork hits, 120 dormant short-circuits,
-/// 6 golden hits, 12.3M instrs skipped (57.4% of total)`.
+/// 6 golden hits, 14 shallow skips, 12.3M instrs skipped (57.4% of total)`.
 pub fn prefix_fork_line(tp: &Throughput) -> String {
     let total = tp.retired_instrs + tp.prefix_instrs_skipped;
     let skipped_pct = if total > 0 {
@@ -118,13 +118,29 @@ pub fn prefix_fork_line(tp: &Throughput) -> String {
         0.0
     };
     format!(
-        "prefix-fork: {} snapshots, {} fork hits, {} dormant short-circuits, {} golden hits, {:.1}M instrs skipped ({:.1}% of total)",
+        "prefix-fork: {} snapshots, {} fork hits, {} dormant short-circuits, {} golden hits, {} shallow skips, {:.1}M instrs skipped ({:.1}% of total)",
         tp.prefix_snapshots_built,
         tp.prefix_fork_hits,
         tp.prefix_dormant_short_circuits,
         tp.prefix_golden_hits,
+        tp.prefix_shallow_skips,
         tp.prefix_instrs_skipped as f64 / 1e6,
         skipped_pct,
+    )
+}
+
+/// One-line summary of the block-translation layer, e.g.
+/// `blocks: 412 built, 9120 hits, 1820 fallback dispatches, 12
+/// invalidated, 78.4% of instrs in blocks`.
+pub fn block_cache_line(tp: &Throughput) -> String {
+    let block_pct = if tp.retired_instrs > 0 {
+        tp.block_instrs as f64 * 100.0 / tp.retired_instrs as f64
+    } else {
+        0.0
+    };
+    format!(
+        "blocks: {} built, {} hits, {} fallback dispatches, {} invalidated, {:.1}% of instrs in blocks",
+        tp.blocks_built, tp.block_hits, tp.block_fallbacks, tp.block_invalidations, block_pct,
     )
 }
 
@@ -167,6 +183,7 @@ mod tests {
             throughput_line(&Throughput::default()),
             decode_cache_line(&Throughput::default()),
             prefix_fork_line(&Throughput::default()),
+            block_cache_line(&Throughput::default()),
         ] {
             assert!(!line.contains("NaN"), "{line}");
             assert!(!line.contains("inf"), "{line}");
@@ -250,6 +267,25 @@ mod tests {
             line.contains("3.0M instrs skipped (75.0% of total)"),
             "{line}"
         );
+    }
+
+    #[test]
+    fn block_cache_line_reports_block_share() {
+        let tp = Throughput {
+            retired_instrs: 2_000_000,
+            blocks_built: 412,
+            block_hits: 9120,
+            block_instrs: 1_500_000,
+            block_fallbacks: 1820,
+            block_invalidations: 12,
+            ..Throughput::default()
+        };
+        let line = block_cache_line(&tp);
+        assert!(line.contains("412 built"), "{line}");
+        assert!(line.contains("9120 hits"), "{line}");
+        assert!(line.contains("1820 fallback dispatches"), "{line}");
+        assert!(line.contains("12 invalidated"), "{line}");
+        assert!(line.contains("75.0% of instrs in blocks"), "{line}");
     }
 
     #[test]

@@ -112,6 +112,8 @@ pub fn section5_with(
                         real_s.set_watchdog(opts.watchdog);
                         emulated_s.set_prefix_cache(emulated_prefix.clone());
                         real_s.set_prefix_cache(real_prefix.clone());
+                        emulated_s.set_block_cache(!opts.no_block_cache);
+                        real_s.set_block_cache(!opts.no_block_cache);
                         (emulated_s, real_s)
                     },
                     |(emulated_s, real_s), i, input| {

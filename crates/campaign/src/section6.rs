@@ -207,6 +207,7 @@ pub fn class_campaign_with(
                     let mut s = RunSession::new(&compiled, target.family);
                     s.set_watchdog(opts.watchdog);
                     s.set_prefix_cache(prefix.clone());
+                    s.set_block_cache(!opts.no_block_cache);
                     s
                 },
                 |session, i, fault| {

@@ -78,6 +78,21 @@ pub struct SessionStats {
     pub prefix_dormant_short_circuits: u64,
     /// Clean runs answered from the memoized golden run.
     pub prefix_golden_hits: u64,
+    /// Injected runs that bypassed the fork machinery because the trigger
+    /// memo proved the prefix too shallow to pay for a snapshot restore.
+    pub prefix_shallow_skips: u64,
+    /// Basic blocks translated by this session's machine.
+    pub blocks_built: u64,
+    /// Dispatches answered by executing a whole translated block.
+    pub block_hits: u64,
+    /// Guest instructions retired from inside translated blocks
+    /// (a subset of `retired_instrs`).
+    pub block_instrs: u64,
+    /// Block-mode dispatches that fell back to per-instruction execution
+    /// (untranslatable or pinned words, nearly-exhausted quanta).
+    pub block_fallbacks: u64,
+    /// Translated blocks discarded because a write touched their words.
+    pub block_invalidations: u64,
 }
 
 impl SessionStats {
@@ -97,19 +112,26 @@ impl SessionStats {
         self.prefix_instrs_skipped += other.prefix_instrs_skipped;
         self.prefix_dormant_short_circuits += other.prefix_dormant_short_circuits;
         self.prefix_golden_hits += other.prefix_golden_hits;
+        self.prefix_shallow_skips += other.prefix_shallow_skips;
+        self.blocks_built += other.blocks_built;
+        self.block_hits += other.block_hits;
+        self.block_instrs += other.block_instrs;
+        self.block_fallbacks += other.block_fallbacks;
+        self.block_invalidations += other.block_invalidations;
     }
 }
 
 /// Aggregate campaign throughput: run counts plus wall-clock, surfaced in
 /// reports and the `swifi campaign` command.
 ///
-/// `PartialEq` deliberately **ignores** `elapsed_secs` and the
-/// engine-level counters (`retired_instrs`, `decode_*`, `slow_fetches`,
-/// `prefix_*`): two campaigns with identical seeds must compare equal
+/// `PartialEq` compares through [`Throughput::equality_key`], which
+/// deliberately **ignores** `elapsed_secs` and the engine-level counters
+/// (`retired_instrs`, `decode_*`, `slow_fetches`, `prefix_*`,
+/// `block_*`): two campaigns with identical seeds must compare equal
 /// even though their wall-clock differs, their sessions split the work
-/// (and hence the per-worker decode caches) differently, and the
-/// prefix-fork cache may or may not be enabled — the seed-determinism
-/// and fork-off/fork-on equivalence tests rely on this.
+/// (and hence the per-worker caches) differently, and the prefix-fork
+/// and block caches may or may not be enabled — the seed-determinism
+/// and on/off equivalence tests rely on this.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Throughput {
     /// Total runs executed.
@@ -139,17 +161,43 @@ pub struct Throughput {
     pub prefix_dormant_short_circuits: u64,
     /// Clean runs answered from the memoized golden run.
     pub prefix_golden_hits: u64,
+    /// Injected runs that bypassed forking via the shallow-trigger memo.
+    pub prefix_shallow_skips: u64,
+    /// Basic blocks translated across all sessions.
+    pub blocks_built: u64,
+    /// Dispatches answered by executing a whole translated block.
+    pub block_hits: u64,
+    /// Guest instructions retired from inside translated blocks.
+    pub block_instrs: u64,
+    /// Block-mode dispatches that fell back to per-instruction execution.
+    pub block_fallbacks: u64,
+    /// Translated blocks discarded by code writes.
+    pub block_invalidations: u64,
 }
 
 impl PartialEq for Throughput {
     fn eq(&self, other: &Throughput) -> bool {
-        self.runs == other.runs
-            && self.fired_runs == other.fired_runs
-            && self.dormant_runs == other.dormant_runs
+        self.equality_key() == other.equality_key()
     }
 }
 
 impl Throughput {
+    /// The counters that define campaign equality: the run counts, and
+    /// nothing else.
+    ///
+    /// Everything else on [`Throughput`] describes *how* the campaign
+    /// executed rather than *what* it observed, and legitimately varies
+    /// between equivalent campaigns: wall clock depends on the host,
+    /// worker splits shuffle the per-session `decode_*`/`block_*`
+    /// counters, and entire execution strategies can be toggled
+    /// (`--no-prefix-fork`, `--no-block-cache`) without changing a
+    /// single classified outcome. The seed-determinism, resume-equality,
+    /// and strategy-on/off oracles all compare through this key — any
+    /// counter added to [`Throughput`] stays out of equality unless it
+    /// is appended here deliberately.
+    pub fn equality_key(&self) -> (u64, u64, u64) {
+        (self.runs, self.fired_runs, self.dormant_runs)
+    }
     /// Aggregate the stats of the sessions that executed a measured region.
     pub fn collect(sessions: &[RunSession], elapsed: std::time::Duration) -> Throughput {
         let mut stats = SessionStats::default();
@@ -170,6 +218,12 @@ impl Throughput {
             prefix_instrs_skipped: stats.prefix_instrs_skipped,
             prefix_dormant_short_circuits: stats.prefix_dormant_short_circuits,
             prefix_golden_hits: stats.prefix_golden_hits,
+            prefix_shallow_skips: stats.prefix_shallow_skips,
+            blocks_built: stats.blocks_built,
+            block_hits: stats.block_hits,
+            block_instrs: stats.block_instrs,
+            block_fallbacks: stats.block_fallbacks,
+            block_invalidations: stats.block_invalidations,
         }
     }
 
@@ -208,8 +262,21 @@ impl Throughput {
         self.prefix_instrs_skipped += other.prefix_instrs_skipped;
         self.prefix_dormant_short_circuits += other.prefix_dormant_short_circuits;
         self.prefix_golden_hits += other.prefix_golden_hits;
+        self.prefix_shallow_skips += other.prefix_shallow_skips;
+        self.blocks_built += other.blocks_built;
+        self.block_hits += other.block_hits;
+        self.block_instrs += other.block_instrs;
+        self.block_fallbacks += other.block_fallbacks;
+        self.block_invalidations += other.block_invalidations;
     }
 }
+
+/// A fork snapshot is captured only when the paused prefix covers at
+/// least `1 / FORK_SHALLOW_DENOM` of the memoized golden run — see
+/// [`RunSession::fork_worthwhile`]. A quarter splits the measured field
+/// cleanly: JB.team11's regressing triggers sit at ~4% depth, the
+/// profitable JB.team6 / C.team10 prefixes at ~28% / ~49%.
+const FORK_SHALLOW_DENOM: u64 = 4;
 
 /// Cached injector, keyed by the fault set it was compiled from.
 struct CachedInjector {
@@ -334,6 +401,12 @@ impl RunSession {
         s.decode_lines_built = d.lines_built;
         s.decode_invalidations = d.lines_invalidated;
         s.slow_fetches = d.slow_fetches;
+        let b = self.machine.block_cache_stats();
+        s.blocks_built = b.blocks_built;
+        s.block_hits = b.block_hits;
+        s.block_instrs = b.block_instrs;
+        s.block_fallbacks = b.fallback_dispatches;
+        s.block_invalidations = b.blocks_invalidated;
         s
     }
 
@@ -343,6 +416,15 @@ impl RunSession {
     /// tests; campaign drivers leave it off.
     pub fn set_reference_interp(&mut self, reference: bool) {
         self.machine.set_reference_interp(reference);
+    }
+
+    /// Enable (`true`, the default) or disable the basic-block
+    /// translation layer on this session's machine. Disabling pins the
+    /// PR 2 predecoded-line path (`--no-block-cache`); like prefix
+    /// forking this is purely an execution strategy — runs are
+    /// bit-identical either way.
+    pub fn set_block_cache(&mut self, enabled: bool) {
+        self.machine.set_block_interp(enabled);
     }
 
     /// Seconds since the session was created.
@@ -431,6 +513,20 @@ impl RunSession {
         if let Some((pc, occ)) = self.fork_plan(specs) {
             return self.run_forked(input, specs, mode, seed, pc, occ);
         }
+        self.run_cold(input, specs, mode, seed)
+    }
+
+    /// The fork-free injected run: warm-reboot, arm the injector, and
+    /// execute the whole run. Shared by [`RunSession::run_injected`]
+    /// (no fork plan) and the shallow-trigger bypass in
+    /// [`RunSession::run_forked`].
+    fn run_cold(
+        &mut self,
+        input: &TestInput,
+        specs: &[FaultSpec],
+        mode: TriggerMode,
+        seed: u64,
+    ) -> (RunOutcome, bool) {
         self.begin(input);
         self.ensure_injector(specs, mode, seed);
         let cached = self.cached.as_mut().expect("cache populated above");
@@ -496,16 +592,44 @@ impl RunSession {
         spec.fork_point()
     }
 
-    /// The prefix-fork run path. Three cases, cheapest first:
+    /// Whether the prefix the machine is currently paused at (inside a
+    /// capture run, stopped exactly at the trigger) is deep enough to be
+    /// worth snapshotting.
+    ///
+    /// Forking a run saves the prefix's instructions but pays a
+    /// [`swifi_vm::Machine::restore_fork`] (dirty-page copies) on every
+    /// hit — a shallow trigger saves almost nothing and still pays full
+    /// price. BENCH_prefix_fork.json recorded the cost: JB.team11's
+    /// triggers sit at ~4% depth and forking them ran at 0.80× the
+    /// plain cached engine. The gate consults the golden-run memo for
+    /// this input: capture only when the paused prefix covers at least
+    /// `1/`[`FORK_SHALLOW_DENOM`] of the golden run. Without a golden
+    /// memo the depth is unknowable and capture proceeds optimistically
+    /// (the first faults of a campaign, before any clean or finished
+    /// capture run has recorded one).
+    fn fork_worthwhile(&self, cache: &PrefixCache, input: &TestInput) -> bool {
+        match cache.golden(input) {
+            Some(golden) => {
+                let prefix = self.machine.retired();
+                prefix.saturating_mul(FORK_SHALLOW_DENOM) >= golden.retired
+            }
+            None => true,
+        }
+    }
+
+    /// The prefix-fork run path. Four cases, cheapest first:
     ///
     /// 1. the golden run is known to reach the trigger fewer than `occ`
     ///    times → the fault is **dormant**; replay the memoized golden
     ///    outcome without executing anything;
-    /// 2. a snapshot for `(input, pc, occ)` is cached → restore it and
+    /// 2. the key is memoized as shallow-trigger
+    ///    ([`RunSession::fork_worthwhile`] said no on its capture run) →
+    ///    run the plain fork-free path;
+    /// 3. a snapshot for `(input, pc, occ)` is cached → restore it and
     ///    execute only the divergent suffix, with the injector's
     ///    occurrence counter pre-loaded to `occ - 1`
     ///    ([`Injector::resume_occurrences`]);
-    /// 3. miss → run the *uninjected* prefix with a fetch breakpoint at
+    /// 4. miss → run the *uninjected* prefix with a fetch breakpoint at
     ///    `(pc, occ)`. A hit snapshots the paused state for future runs
     ///    and continues in place as this injected run (the machine is
     ///    already exactly at the fork point). A finished run never
@@ -534,6 +658,11 @@ impl RunSession {
                 self.account_injected_memoized(golden.retired, false);
                 return (golden.outcome, false);
             }
+        }
+
+        if cache.is_shallow(input, pc, occ) {
+            self.stats.prefix_shallow_skips += 1;
+            return self.run_cold(input, specs, mode, seed);
         }
 
         if let Some(fork) = cache.snapshot(input, pc, occ) {
@@ -568,8 +697,17 @@ impl RunSession {
                 (outcome, false)
             }
             FetchStop::Hit => {
-                if cache.insert_snapshot(input, pc, occ, Arc::new(self.machine.fork_snapshot())) {
-                    self.stats.prefix_snapshots_built += 1;
+                if self.fork_worthwhile(&cache, input) {
+                    if cache.insert_snapshot(input, pc, occ, Arc::new(self.machine.fork_snapshot()))
+                    {
+                        self.stats.prefix_snapshots_built += 1;
+                    }
+                } else {
+                    // Too shallow to ever pay for a snapshot restore:
+                    // remember the verdict so later runs with this key
+                    // skip the fork machinery (and its fetch-breakpoint
+                    // capture attempt) outright.
+                    cache.record_shallow(input, pc, occ);
                 }
                 let (outcome, fired) = self.resume_injected(specs, mode, seed, occ);
                 self.account_injected(self.machine.retired(), fired);
@@ -913,6 +1051,49 @@ mod tests {
         );
         assert_eq!(after.dormant_runs, 2);
         assert!(after.prefix_instrs_skipped > before.prefix_instrs_skipped);
+    }
+
+    #[test]
+    fn shallow_triggers_skip_fork_capture_once_golden_is_known() {
+        // The JB.team11 fix: once the golden memo proves a trigger sits
+        // near the start of the run, the capture run declines to
+        // snapshot and every later run with that fault takes the plain
+        // path — still matching a fork-free session exactly.
+        use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+        let target = program("JB.team11").unwrap();
+        let compiled = compile(target.source_correct).unwrap();
+        let input = &target.family.test_case(1, 37)[0];
+        // The entry point: occurrence 1 has a zero-instruction prefix,
+        // the shallowest trigger possible.
+        let spec = FaultSpec {
+            what: ErrorOp::Xor(1),
+            target: Target::InstrBus,
+            trigger: Trigger::OpcodeFetch(compiled.image.entry),
+            when: Firing::Nth(1),
+        };
+
+        let mut full = RunSession::new(&compiled, target.family);
+        let mut forked = RunSession::new(&compiled, target.family);
+        forked.set_prefix_cache(Some(crate::prefix::PrefixCache::shared()));
+
+        // Record the golden run so the gate has a depth to compare to.
+        assert_eq!(forked.run_clean(input), full.run_clean(input));
+
+        let want = full.run(input, Some(&spec), 5);
+        // Capture run: the gate vetoes the snapshot but the run itself
+        // proceeds from the paused prefix as usual.
+        assert_eq!(forked.run(input, Some(&spec), 5), want);
+        let s = forked.stats();
+        assert_eq!(s.prefix_snapshots_built, 0, "shallow prefix not captured");
+        assert_eq!(s.prefix_shallow_skips, 0, "first run still captures");
+
+        // Later runs consult the memo and never touch the fork machinery.
+        assert_eq!(forked.run(input, Some(&spec), 5), want);
+        assert_eq!(forked.last_retired(), full.last_retired());
+        let s = forked.stats();
+        assert_eq!(s.prefix_shallow_skips, 1);
+        assert_eq!(s.prefix_snapshots_built, 0);
+        assert_eq!(s.prefix_fork_hits, 0);
     }
 
     #[test]

@@ -284,6 +284,7 @@ pub fn source_campaign_with(
     let base = &source.base;
     let mut ref_session = RunSession::new(base, target.family);
     ref_session.set_watchdog(opts.watchdog);
+    ref_session.set_block_cache(!opts.no_block_cache);
     let expected: Vec<Vec<u8>> = inputs.iter().map(|i| i.expected_output()).collect();
     let clean: Vec<(FailureMode, Vec<u8>)> = inputs
         .iter()
@@ -319,6 +320,7 @@ pub fn source_campaign_with(
             };
             let mut session = RunSession::new(program, target.family);
             session.set_watchdog(opts.watchdog);
+            session.set_block_cache(!opts.no_block_cache);
             let mut counts = ModeCounts::default();
             let mut activated = 0u64;
             for (j, input) in inputs.iter().enumerate() {
@@ -351,6 +353,11 @@ pub fn source_campaign_with(
         decode_lines_built: stats.decode_lines_built,
         decode_invalidations: stats.decode_invalidations,
         slow_fetches: stats.slow_fetches,
+        blocks_built: stats.blocks_built,
+        block_hits: stats.block_hits,
+        block_instrs: stats.block_instrs,
+        block_fallbacks: stats.block_fallbacks,
+        block_invalidations: stats.block_invalidations,
         ..Throughput::default()
     };
     for (_, (counts, activated)) in &ok {

@@ -2,7 +2,8 @@
 
 use swifi_campaign::compare::{compare_representations_with, comparison_table};
 use swifi_campaign::report::{
-    decode_cache_line, mode_cells, prefix_fork_line, render_table, throughput_line, MODE_HEADERS,
+    block_cache_line, decode_cache_line, mode_cells, prefix_fork_line, render_table,
+    throughput_line, MODE_HEADERS,
 };
 use swifi_campaign::section6::{class_campaign_with, CampaignScale};
 use swifi_campaign::source::{source_campaign_with, SourceScale};
@@ -45,6 +46,8 @@ CAMPAIGN OPTIONS:
   --chaos-panic N   panic the worker on campaign item N (harness self-test)
   --no-prefix-fork  disable the prefix-fork cache (full prefix per run;
                     reported results are identical either way)
+  --no-block-cache  disable basic-block translation (predecoded line
+                    cache only; reported results are identical either way)
 
 FILE is a MiniC source path; NAME is a roster program (see `swifi list`).
 ";
@@ -307,12 +310,13 @@ pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
 
 /// Parse the robustness options shared by every campaign-style command
 /// (`--checkpoint/--resume`, `--watchdog-ms`, `--chaos-panic`,
-/// `--no-prefix-fork`).
+/// `--no-prefix-fork`, `--no-block-cache`).
 fn campaign_opts(parsed: &ParsedArgs) -> Result<CampaignOptions, String> {
     let mut opts = CampaignOptions {
         checkpoint: parsed.value_opt("checkpoint")?.map(Into::into),
         resume: parsed.flag("resume"),
         no_prefix_fork: parsed.flag("no-prefix-fork"),
+        no_block_cache: parsed.flag("no-block-cache"),
         ..CampaignOptions::default()
     };
     if opts.resume && opts.checkpoint.is_none() {
@@ -329,7 +333,7 @@ fn campaign_opts(parsed: &ParsedArgs) -> Result<CampaignOptions, String> {
 }
 
 /// `swifi campaign NAME [--inputs N] [--seed N] [--checkpoint F [--resume]]
-/// [--watchdog-ms N] [--chaos-panic N] [--no-prefix-fork]`
+/// [--watchdog-ms N] [--chaos-panic N] [--no-prefix-fork] [--no-block-cache]`
 pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     let name = parsed
         .positional
@@ -359,6 +363,7 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
     println!("throughput: {}", throughput_line(&c.throughput));
     println!("{}", decode_cache_line(&c.throughput));
+    println!("{}", block_cache_line(&c.throughput));
     println!("{}", prefix_fork_line(&c.throughput));
     for a in &c.abnormal {
         println!(
@@ -445,6 +450,7 @@ pub fn source_campaign_cmd(parsed: &ParsedArgs) -> CmdResult {
     println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
     println!("throughput: {}", throughput_line(&c.throughput));
     println!("{}", decode_cache_line(&c.throughput));
+    println!("{}", block_cache_line(&c.throughput));
     for a in &c.abnormal {
         println!(
             "abnormal: {}#{} — {} ({})",

@@ -205,6 +205,14 @@ impl AddrSet {
     fn contains(&self, a: u32) -> bool {
         a >= self.lo && a <= self.hi && (self.addrs.len() == 1 || self.addrs.contains(&a))
     }
+
+    /// Conservative overlap test against `[first, last]` on the set's
+    /// bounding range: may report `true` when no member is actually inside
+    /// (which only costs a fast path), never `false` when one is.
+    #[inline(always)]
+    fn intersects_range(&self, first: u32, last: u32) -> bool {
+        self.lo <= last && self.hi >= first
+    }
 }
 
 impl Injector {
@@ -479,6 +487,32 @@ impl Inspector for Injector {
     #[inline]
     fn on_retire(&mut self, _core: usize, _pc: u32) {
         self.retired += 1;
+    }
+
+    /// A translated block never contains a pinned (`by_fetch`) PC, so
+    /// inside one every hook above reduces to its fast-reject unless a
+    /// data-address trigger could match a load/store effective address
+    /// (`by_load`/`by_store`), an `Always` spec observes everything, or
+    /// reference dispatch demands seed-exact sequencing. Quiescence is
+    /// exactly the complement of those conditions; the `hot_fetch` range
+    /// check is a defensive overlap test (the translator already refuses
+    /// pinned words).
+    #[inline]
+    fn block_quiescent(&self, _core: usize, first_pc: u32, last_pc: u32) -> bool {
+        !self.reference_dispatch
+            && self.always.is_empty()
+            && self.by_load.is_empty()
+            && self.by_store.is_empty()
+            && !self.hot_fetch.intersects_range(first_pc, last_pc)
+    }
+
+    /// `on_retire` is a bare order-insensitive counter, so a quiescent
+    /// block batches it: temporal triggers still see the exact retired
+    /// count (and a non-empty temporal set forces [`FetchPolicy::All`],
+    /// which disables block translation entirely).
+    #[inline]
+    fn on_block_retire(&mut self, _core: usize, _first_pc: u32, n: u32) {
+        self.retired += u64::from(n);
     }
 }
 

@@ -109,6 +109,41 @@ pub trait Inspector {
     fn on_retire(&mut self, core: usize, pc: u32) {
         let _ = (core, pc);
     }
+
+    /// May the block interpreter execute the straight-line range
+    /// `[first_pc, last_pc]` (inclusive, contiguous code words) without
+    /// calling the per-instruction hooks?
+    ///
+    /// Returning `true` is a promise that, for every pc in the range and
+    /// for loads/stores at *any* effective address, `on_load_addr`,
+    /// `on_load_value`, `on_store_addr`, `on_store_value`, and
+    /// `on_reg_write` would not observe or mutate anything, and that
+    /// `on_retire` is insensitive to being replaced by one
+    /// [`on_block_retire`](Inspector::on_block_retire) call at the end of
+    /// the range. The interpreter then runs the block on a hook-free fast
+    /// path; per-instruction trap PCs and retired counts are unchanged.
+    ///
+    /// The conservative default is `false` (always correct: every hook is
+    /// delivered per instruction). Queried once per block dispatch, so it
+    /// may depend on mutable state such as armed triggers.
+    #[inline]
+    fn block_quiescent(&self, core: usize, first_pc: u32, last_pc: u32) -> bool {
+        let _ = (core, first_pc, last_pc);
+        false
+    }
+
+    /// `n` instructions retired as one quiescent block dispatch starting at
+    /// `first_pc` (see [`block_quiescent`](Inspector::block_quiescent)).
+    /// Block instructions are contiguous, so the default reconstructs the
+    /// exact per-instruction `on_retire` sequence; implementations with an
+    /// order-insensitive `on_retire` (e.g. a bare counter) override it with
+    /// a single batched update.
+    #[inline]
+    fn on_block_retire(&mut self, core: usize, first_pc: u32, n: u32) {
+        for i in 0..n {
+            self.on_retire(core, first_pc.wrapping_add(i * 4));
+        }
+    }
 }
 
 /// The do-nothing inspector; running with it is fault-free execution.
@@ -119,6 +154,14 @@ impl Inspector for Noop {
     fn fetch_policy(&self) -> FetchPolicy {
         FetchPolicy::None
     }
+
+    #[inline]
+    fn block_quiescent(&self, _core: usize, _first_pc: u32, _last_pc: u32) -> bool {
+        true
+    }
+
+    #[inline]
+    fn on_block_retire(&mut self, _core: usize, _first_pc: u32, _n: u32) {}
 }
 
 /// Counts executed instructions and records the set of executed code

@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod blocks;
 pub mod inspect;
 pub mod isa;
 pub mod machine;
 pub mod mem;
 pub mod trace;
 
+pub use blocks::BlockCacheStats;
 pub use inspect::{FetchPolicy, Inspector, Noop};
 pub use isa::{decode, encode, Instr};
 pub use machine::{

@@ -49,6 +49,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::time::Instant;
 
+use crate::blocks::{BlockCache, BlockCacheStats, Step, Term};
 use crate::inspect::{FetchPolicy, Inspector};
 use crate::isa::{self, AluOp, CrBit, Instr, Syscall};
 use crate::mem::{
@@ -387,6 +388,13 @@ impl MachineSnapshot {
 pub struct Machine {
     config: MachineConfig,
     mem: Memory,
+    /// Basic-block superinstruction cache — the top tier of the fetch
+    /// pipeline (slow / line-cached / block). A sibling of `mem` rather
+    /// than part of it so the interpreter's split borrows can hold a
+    /// translated block and mutate guest memory at the same time; kept
+    /// coherent through `Memory`'s code-write log, drained before every
+    /// block dispatch.
+    blocks: BlockCache,
     cores: Vec<Cpu>,
     alloc: Allocator,
     input: InputTape,
@@ -400,6 +408,10 @@ pub struct Machine {
     /// When `true`, the active inspector declared [`FetchPolicy::All`]:
     /// every PC takes the slow fetch path for this run.
     pin_all: bool,
+    /// Whether cached runs may dispatch whole translated basic blocks
+    /// (default). When `false` they use the per-instruction line-cached
+    /// path — an execution-strategy toggle, never a semantic change.
+    block_interp: bool,
     /// PCs pinned to the slow path for the current run (the active
     /// inspector's [`FetchPolicy::Pcs`] set); unpinned when the next run
     /// installs its own policy.
@@ -432,6 +444,7 @@ impl Machine {
         Machine {
             config,
             mem,
+            blocks: BlockCache::default(),
             cores: Vec::new(),
             alloc: Allocator::new(CODE_BASE, CODE_BASE),
             input: InputTape::new(),
@@ -440,6 +453,7 @@ impl Machine {
             loaded: false,
             reference_interp: false,
             pin_all: false,
+            block_interp: true,
             pinned_pcs: Vec::new(),
             deadline: None,
             fetch_break: None,
@@ -480,6 +494,9 @@ impl Machine {
         // execute via the slow fetch→decode path, so self-generated code
         // anywhere else still behaves.
         self.mem.init_decode_cache(image.data_base());
+        // The block cache covers the same words; translation is lazy, so a
+        // load costs one map reset regardless of code size.
+        self.blocks.init(image.code.len());
         self.alloc = Allocator::new(image.static_end(), stacks_base);
         self.cores = (0..self.config.num_cores)
             .map(|i| {
@@ -670,6 +687,26 @@ impl Machine {
         self.mem.decode_cache_stats()
     }
 
+    /// Enable or disable the basic-block interpreter for subsequent cached
+    /// runs (enabled by default). Disabling pins execution to the
+    /// per-instruction line-cached path; observables are identical either
+    /// way (a tested invariant), so this is purely an execution-strategy
+    /// switch for benchmarking and for `--no-block-cache` campaigns.
+    pub fn set_block_interp(&mut self, enabled: bool) {
+        self.block_interp = enabled;
+    }
+
+    /// Whether the block interpreter is enabled for cached runs.
+    pub fn block_interp(&self) -> bool {
+        self.block_interp
+    }
+
+    /// Cumulative block-cache counters since the last [`Machine::load`]
+    /// (warm reboots do not reset them).
+    pub fn block_cache_stats(&self) -> BlockCacheStats {
+        self.blocks.stats
+    }
+
     /// Install `policy` for the coming run: drop pins from the previous
     /// run, then pin the PCs the new inspector may corrupt at fetch time.
     fn apply_fetch_policy(&mut self, policy: FetchPolicy) {
@@ -758,8 +795,11 @@ impl Machine {
     fn run_inner<I: Inspector>(&mut self, inspector: &mut I) -> RunControl {
         // The cached interpreter runs whole quanta through the tight
         // split-borrow executor; reference mode and `FetchPolicy::All`
-        // take the seed per-step loop below.
+        // take the seed per-step loop below. When the block interpreter is
+        // enabled, cached quanta additionally dispatch whole translated
+        // basic blocks.
         let cached = !self.reference_interp && !self.pin_all;
+        let use_blocks = cached && self.block_interp;
         // The watchdog polls the wall clock every 64th scheduler round,
         // starting with round 0 so a zero-length deadline (tests, CI
         // smoke) fires deterministically before any instruction retires.
@@ -788,7 +828,12 @@ impl Machine {
                 }
                 any_running = true;
                 if cached {
-                    match self.run_quantum_cached(c, inspector) {
+                    let progress = if use_blocks {
+                        self.run_quantum_blocks(c, inspector)
+                    } else {
+                        self.run_quantum_cached(c, inspector)
+                    };
+                    match progress {
                         Ok(Progress::Continue | Progress::StateChange) => {}
                         Ok(Progress::Breakpoint) => return RunControl::Break,
                         Ok(Progress::OutputLimit) => {
@@ -888,6 +933,33 @@ impl Machine {
         c: usize,
         insp: &mut I,
     ) -> Result<Progress, (Trap, u32)> {
+        self.run_quantum_body::<I, false>(c, insp)
+    }
+
+    /// [`Machine::run_quantum_cached`] with basic-block dispatch on top:
+    /// before each per-instruction dispatch the executor first tries to run
+    /// a whole translated block (see [`crate::blocks`]). Anything a block
+    /// cannot represent — pinned PCs, syscalls, halts, illegal words, PCs
+    /// outside the cache, a block that would overrun the quantum or budget
+    /// countdown — falls through to the identical per-instruction code, so
+    /// observables and accounting are byte-for-byte the same.
+    fn run_quantum_blocks<I: Inspector>(
+        &mut self,
+        c: usize,
+        insp: &mut I,
+    ) -> Result<Progress, (Trap, u32)> {
+        self.run_quantum_body::<I, true>(c, insp)
+    }
+
+    /// Shared executor behind [`Machine::run_quantum_cached`] (`BLOCKS =
+    /// false`) and [`Machine::run_quantum_blocks`] (`BLOCKS = true`); the
+    /// const generic lets each mode compile to its own specialised loop
+    /// with zero dynamic dispatch in the hot path.
+    fn run_quantum_body<I: Inspector, const BLOCKS: bool>(
+        &mut self,
+        c: usize,
+        insp: &mut I,
+    ) -> Result<Progress, (Trap, u32)> {
         // The scheduling quantum exists to interleave cores; with a single
         // core there is nothing to interleave and no observable difference
         // between quanta, so run until a state change or the budget ends
@@ -905,6 +977,7 @@ impl Machine {
                 let Machine {
                     cores,
                     mem,
+                    blocks,
                     retired,
                     alloc,
                     input,
@@ -914,6 +987,13 @@ impl Machine {
                 let num_cores = cores.len();
                 let core = &mut cores[c];
                 let mut pc = core.pc;
+                // Disjoint halves of the block cache: the executor holds a
+                // `&Block` out of `blk_store` across a whole dispatch while
+                // still bumping `blk_stats`.
+                let BlockCache {
+                    store: blk_store,
+                    stats: blk_stats,
+                } = &mut *blocks;
                 // Fuse the quantum and budget limits into one countdown
                 // register; the architectural `retired` counter is
                 // committed on every exit from the segment (the macro
@@ -962,6 +1042,575 @@ impl Machine {
                     }};
                 }
                 while left > 0 {
+                    if BLOCKS {
+                        // Apply pending code writes (injector pokes, guest
+                        // stores, restore diffs, pin changes) to the block
+                        // cache before trusting any translation.
+                        if mem.has_code_writes()
+                            && mem.drain_code_writes(|a, b| {
+                                blk_store.invalidate_words(a, b, blk_stats)
+                            })
+                        {
+                            blk_store.flush_all(blk_stats);
+                        }
+                        if let Some(blk) = blk_store.lookup_or_translate(pc, mem, blk_stats) {
+                            let cost = u64::from(blk.cost);
+                            // A block never crosses the fused quantum/budget
+                            // countdown: if it does not fit, the tail of the
+                            // segment runs per-instruction instead, keeping
+                            // scheduler interleaving and hang accounting
+                            // byte-identical to the cached interpreter.
+                            if cost <= left {
+                                blk_stats.block_hits += 1;
+                                left -= cost;
+                                if insp.block_quiescent(c, pc, blk.last_pc()) {
+                                    // Hook-free fast body: the inspector
+                                    // has vouched (see
+                                    // `Inspector::block_quiescent`) that
+                                    // every per-instruction hook over this
+                                    // range is a no-op and that retires
+                                    // may be batched, so each sub-op is
+                                    // just its architectural work. Trap
+                                    // PCs are reconstructed as
+                                    // `bstart + 4·done_ops` — block ops
+                                    // are contiguous by construction.
+                                    let bstart = pc;
+                                    let mut done_ops: u32 = 0;
+                                    let mut store_abort = false;
+                                    macro_rules! qtrap {
+                                        ($t:expr) => {{
+                                            let bpc = bstart.wrapping_add(done_ops.wrapping_mul(4));
+                                            insp.on_block_retire(c, bstart, done_ops);
+                                            blk_stats.block_instrs += u64::from(done_ops);
+                                            left += cost - u64::from(done_ops);
+                                            pc = bpc;
+                                            commit!();
+                                            return Err(($t, bpc));
+                                        }};
+                                    }
+                                    macro_rules! qmem_op {
+                                        ($e:expr) => {
+                                            match $e {
+                                                Ok(v) => v,
+                                                Err(t) => qtrap!(t),
+                                            }
+                                        };
+                                    }
+                                    macro_rules! qset_reg {
+                                        ($rd:expr, $val:expr) => {{
+                                            let v: u32 = $val;
+                                            reg!($rd) = v;
+                                            if $rd == 1 && v < core.stack_floor {
+                                                qtrap!(Trap::StackOverflow);
+                                            }
+                                        }};
+                                    }
+                                    'qbody: for step in blk.body.iter() {
+                                        match *step {
+                                            Step::Op(instr) => {
+                                                match instr {
+                                                    Instr::Addi { rd, ra, imm } => {
+                                                        qset_reg!(
+                                                            rd,
+                                                            reg!(ra)
+                                                                .wrapping_add(imm as i32 as u32)
+                                                        );
+                                                    }
+                                                    Instr::Addis { rd, ra, imm } => {
+                                                        qset_reg!(
+                                                            rd,
+                                                            reg!(ra).wrapping_add(
+                                                                (imm as i32 as u32) << 16
+                                                            )
+                                                        );
+                                                    }
+                                                    Instr::Andi { rd, ra, imm } => {
+                                                        qset_reg!(rd, reg!(ra) & imm as u32);
+                                                    }
+                                                    Instr::Ori { rd, ra, imm } => {
+                                                        qset_reg!(rd, reg!(ra) | imm as u32);
+                                                    }
+                                                    Instr::Xori { rd, ra, imm } => {
+                                                        qset_reg!(rd, reg!(ra) ^ imm as u32);
+                                                    }
+                                                    Instr::Cmpi { crf, ra, imm } => {
+                                                        let a = reg!(ra) as i32;
+                                                        let b = imm as i32;
+                                                        core.set_cr_field(
+                                                            crf,
+                                                            a < b,
+                                                            a > b,
+                                                            a == b,
+                                                        );
+                                                    }
+                                                    Instr::Cmp { crf, ra, rb } => {
+                                                        let a = reg!(ra) as i32;
+                                                        let b = reg!(rb) as i32;
+                                                        core.set_cr_field(
+                                                            crf,
+                                                            a < b,
+                                                            a > b,
+                                                            a == b,
+                                                        );
+                                                    }
+                                                    Instr::Alu { op, rd, ra, rb } => {
+                                                        let a = reg!(ra);
+                                                        let b = reg!(rb);
+                                                        let v = match op {
+                                                            AluOp::Add => a.wrapping_add(b),
+                                                            AluOp::Sub => a.wrapping_sub(b),
+                                                            AluOp::Mullw => (a as i32)
+                                                                .wrapping_mul(b as i32)
+                                                                as u32,
+                                                            AluOp::Divw => {
+                                                                if b == 0 {
+                                                                    qtrap!(Trap::DivideByZero);
+                                                                }
+                                                                (a as i32).wrapping_div(b as i32)
+                                                                    as u32
+                                                            }
+                                                            AluOp::Divwu => {
+                                                                if b == 0 {
+                                                                    qtrap!(Trap::DivideByZero);
+                                                                }
+                                                                a / b
+                                                            }
+                                                            AluOp::Remw => {
+                                                                if b == 0 {
+                                                                    qtrap!(Trap::DivideByZero);
+                                                                }
+                                                                (a as i32).wrapping_rem(b as i32)
+                                                                    as u32
+                                                            }
+                                                            AluOp::And => a & b,
+                                                            AluOp::Or => a | b,
+                                                            AluOp::Xor => a ^ b,
+                                                            AluOp::Nand => !(a & b),
+                                                            AluOp::Nor => !(a | b),
+                                                            AluOp::Slw => a.wrapping_shl(b & 31),
+                                                            AluOp::Srw => a.wrapping_shr(b & 31),
+                                                            AluOp::Sraw => {
+                                                                ((a as i32).wrapping_shr(b & 31))
+                                                                    as u32
+                                                            }
+                                                            AluOp::Neg => {
+                                                                (a as i32).wrapping_neg() as u32
+                                                            }
+                                                            AluOp::Not => !a,
+                                                        };
+                                                        qset_reg!(rd, v);
+                                                    }
+                                                    Instr::Lwz { rd, ra, d } => {
+                                                        let addr =
+                                                            reg!(ra).wrapping_add(d as i32 as u32);
+                                                        let v = qmem_op!(mem.read_u32(addr));
+                                                        qset_reg!(rd, v);
+                                                    }
+                                                    Instr::Lbz { rd, ra, d } => {
+                                                        let addr =
+                                                            reg!(ra).wrapping_add(d as i32 as u32);
+                                                        let v = qmem_op!(mem.read_u8(addr));
+                                                        qset_reg!(rd, v as u32);
+                                                    }
+                                                    Instr::Stw { rs, ra, d } => {
+                                                        let addr =
+                                                            reg!(ra).wrapping_add(d as i32 as u32);
+                                                        qmem_op!(mem.write_u32(addr, reg!(rs)));
+                                                        if mem.has_code_writes() {
+                                                            done_ops += 1;
+                                                            store_abort = true;
+                                                            break 'qbody;
+                                                        }
+                                                    }
+                                                    Instr::Stb { rs, ra, d } => {
+                                                        let addr =
+                                                            reg!(ra).wrapping_add(d as i32 as u32);
+                                                        qmem_op!(mem.write_u8(
+                                                            addr,
+                                                            (reg!(rs) & 0xFF) as u8
+                                                        ));
+                                                        if mem.has_code_writes() {
+                                                            done_ops += 1;
+                                                            store_abort = true;
+                                                            break 'qbody;
+                                                        }
+                                                    }
+                                                    Instr::Mflr { rd } => {
+                                                        qset_reg!(rd, core.lr);
+                                                    }
+                                                    Instr::Mtlr { ra } => {
+                                                        core.lr = reg!(ra);
+                                                    }
+                                                    Instr::B { .. }
+                                                    | Instr::Bl { .. }
+                                                    | Instr::Bc { .. }
+                                                    | Instr::Blr
+                                                    | Instr::Sc { .. }
+                                                    | Instr::Halt => {
+                                                        unreachable!(
+                                                            "control transfer in block body"
+                                                        )
+                                                    }
+                                                }
+                                                done_ops += 1;
+                                            }
+                                            Step::Addi2 {
+                                                rd1,
+                                                ra1,
+                                                imm1,
+                                                rd2,
+                                                ra2,
+                                                imm2,
+                                            } => {
+                                                qset_reg!(
+                                                    rd1,
+                                                    reg!(ra1).wrapping_add(imm1 as i32 as u32)
+                                                );
+                                                done_ops += 1;
+                                                qset_reg!(
+                                                    rd2,
+                                                    reg!(ra2).wrapping_add(imm2 as i32 as u32)
+                                                );
+                                                done_ops += 1;
+                                            }
+                                        }
+                                    }
+                                    if store_abort {
+                                        insp.on_block_retire(c, bstart, done_ops);
+                                        blk_stats.block_instrs += u64::from(done_ops);
+                                        left += cost - u64::from(done_ops);
+                                        pc = bstart.wrapping_add(done_ops.wrapping_mul(4));
+                                        continue;
+                                    }
+                                    match blk.term {
+                                        Term::Jump { target } => pc = target,
+                                        Term::Call { target, link } => {
+                                            core.lr = link;
+                                            pc = target;
+                                        }
+                                        Term::CondJump {
+                                            crf,
+                                            bit,
+                                            expect,
+                                            taken,
+                                            fallthrough,
+                                        } => {
+                                            pc = if core.cr_bit(crf, bit) == expect {
+                                                taken
+                                            } else {
+                                                fallthrough
+                                            };
+                                        }
+                                        Term::CmpiCondJump {
+                                            ra,
+                                            imm,
+                                            crf,
+                                            bit,
+                                            expect,
+                                            taken,
+                                            fallthrough,
+                                        } => {
+                                            let a = reg!(ra) as i32;
+                                            let b = imm as i32;
+                                            core.set_cr_field(crf, a < b, a > b, a == b);
+                                            pc = if core.cr_bit(crf, bit) == expect {
+                                                taken
+                                            } else {
+                                                fallthrough
+                                            };
+                                        }
+                                        Term::Return => pc = core.lr,
+                                        Term::Fallthrough { next } => pc = next,
+                                    }
+                                    debug_assert!(u64::from(done_ops) <= cost);
+                                    insp.on_block_retire(c, bstart, blk.cost);
+                                    blk_stats.block_instrs += cost;
+                                    continue;
+                                }
+                                // `bpc` tracks the architectural PC of the
+                                // in-flight sub-op; `done_ops` counts those
+                                // retired so far, so a mid-block trap or
+                                // store-abort can settle the countdown and
+                                // stats exactly.
+                                let mut bpc = pc;
+                                let mut done_ops: u64 = 0;
+                                let mut store_abort = false;
+                                macro_rules! bsettle {
+                                    () => {{
+                                        blk_stats.block_instrs += done_ops;
+                                        left += cost - done_ops;
+                                        pc = bpc;
+                                    }};
+                                }
+                                macro_rules! btrap {
+                                    ($t:expr) => {{
+                                        bsettle!();
+                                        commit!();
+                                        return Err(($t, bpc));
+                                    }};
+                                }
+                                macro_rules! bmem_op {
+                                    ($e:expr) => {
+                                        match $e {
+                                            Ok(v) => v,
+                                            Err(t) => btrap!(t),
+                                        }
+                                    };
+                                }
+                                macro_rules! bset_reg {
+                                    ($rd:expr, $val:expr) => {{
+                                        let mut v: u32 = $val;
+                                        insp.on_reg_write(c, bpc, $rd, &mut v);
+                                        reg!($rd) = v;
+                                        if $rd == 1 && v < core.stack_floor {
+                                            btrap!(Trap::StackOverflow);
+                                        }
+                                    }};
+                                }
+                                macro_rules! bretire {
+                                    () => {{
+                                        done_ops += 1;
+                                        insp.on_retire(c, bpc);
+                                        bpc = bpc.wrapping_add(4);
+                                    }};
+                                }
+                                'body: for step in blk.body.iter() {
+                                    match *step {
+                                        Step::Op(instr) => {
+                                            match instr {
+                                                Instr::Addi { rd, ra, imm } => {
+                                                    bset_reg!(
+                                                        rd,
+                                                        reg!(ra).wrapping_add(imm as i32 as u32)
+                                                    );
+                                                }
+                                                Instr::Addis { rd, ra, imm } => {
+                                                    bset_reg!(
+                                                        rd,
+                                                        reg!(ra).wrapping_add(
+                                                            (imm as i32 as u32) << 16
+                                                        )
+                                                    );
+                                                }
+                                                Instr::Andi { rd, ra, imm } => {
+                                                    bset_reg!(rd, reg!(ra) & imm as u32);
+                                                }
+                                                Instr::Ori { rd, ra, imm } => {
+                                                    bset_reg!(rd, reg!(ra) | imm as u32);
+                                                }
+                                                Instr::Xori { rd, ra, imm } => {
+                                                    bset_reg!(rd, reg!(ra) ^ imm as u32);
+                                                }
+                                                Instr::Cmpi { crf, ra, imm } => {
+                                                    let a = reg!(ra) as i32;
+                                                    let b = imm as i32;
+                                                    core.set_cr_field(crf, a < b, a > b, a == b);
+                                                }
+                                                Instr::Cmp { crf, ra, rb } => {
+                                                    let a = reg!(ra) as i32;
+                                                    let b = reg!(rb) as i32;
+                                                    core.set_cr_field(crf, a < b, a > b, a == b);
+                                                }
+                                                Instr::Alu { op, rd, ra, rb } => {
+                                                    let a = reg!(ra);
+                                                    let b = reg!(rb);
+                                                    let v = match op {
+                                                        AluOp::Add => a.wrapping_add(b),
+                                                        AluOp::Sub => a.wrapping_sub(b),
+                                                        AluOp::Mullw => {
+                                                            (a as i32).wrapping_mul(b as i32) as u32
+                                                        }
+                                                        AluOp::Divw => {
+                                                            if b == 0 {
+                                                                btrap!(Trap::DivideByZero);
+                                                            }
+                                                            (a as i32).wrapping_div(b as i32) as u32
+                                                        }
+                                                        AluOp::Divwu => {
+                                                            if b == 0 {
+                                                                btrap!(Trap::DivideByZero);
+                                                            }
+                                                            a / b
+                                                        }
+                                                        AluOp::Remw => {
+                                                            if b == 0 {
+                                                                btrap!(Trap::DivideByZero);
+                                                            }
+                                                            (a as i32).wrapping_rem(b as i32) as u32
+                                                        }
+                                                        AluOp::And => a & b,
+                                                        AluOp::Or => a | b,
+                                                        AluOp::Xor => a ^ b,
+                                                        AluOp::Nand => !(a & b),
+                                                        AluOp::Nor => !(a | b),
+                                                        AluOp::Slw => a.wrapping_shl(b & 31),
+                                                        AluOp::Srw => a.wrapping_shr(b & 31),
+                                                        AluOp::Sraw => {
+                                                            ((a as i32).wrapping_shr(b & 31)) as u32
+                                                        }
+                                                        AluOp::Neg => {
+                                                            (a as i32).wrapping_neg() as u32
+                                                        }
+                                                        AluOp::Not => !a,
+                                                    };
+                                                    bset_reg!(rd, v);
+                                                }
+                                                Instr::Lwz { rd, ra, d } => {
+                                                    let mut addr =
+                                                        reg!(ra).wrapping_add(d as i32 as u32);
+                                                    insp.on_load_addr(c, bpc, &mut addr);
+                                                    let mut v = bmem_op!(mem.read_u32(addr));
+                                                    insp.on_load_value(c, bpc, addr, &mut v);
+                                                    bset_reg!(rd, v);
+                                                }
+                                                Instr::Lbz { rd, ra, d } => {
+                                                    let mut addr =
+                                                        reg!(ra).wrapping_add(d as i32 as u32);
+                                                    insp.on_load_addr(c, bpc, &mut addr);
+                                                    let mut v = bmem_op!(mem.read_u8(addr)) as u32;
+                                                    insp.on_load_value(c, bpc, addr, &mut v);
+                                                    bset_reg!(rd, v);
+                                                }
+                                                Instr::Stw { rs, ra, d } => {
+                                                    let mut addr =
+                                                        reg!(ra).wrapping_add(d as i32 as u32);
+                                                    insp.on_store_addr(c, bpc, &mut addr);
+                                                    let mut v = reg!(rs);
+                                                    insp.on_store_value(c, bpc, addr, &mut v);
+                                                    bmem_op!(mem.write_u32(addr, v));
+                                                    if mem.has_code_writes() {
+                                                        // Self-modifying store:
+                                                        // retire it, then leave
+                                                        // the block so the next
+                                                        // dispatch re-reads the
+                                                        // patched code.
+                                                        bretire!();
+                                                        store_abort = true;
+                                                        break 'body;
+                                                    }
+                                                }
+                                                Instr::Stb { rs, ra, d } => {
+                                                    let mut addr =
+                                                        reg!(ra).wrapping_add(d as i32 as u32);
+                                                    insp.on_store_addr(c, bpc, &mut addr);
+                                                    let mut v = reg!(rs) & 0xFF;
+                                                    insp.on_store_value(c, bpc, addr, &mut v);
+                                                    bmem_op!(mem.write_u8(addr, v as u8));
+                                                    if mem.has_code_writes() {
+                                                        bretire!();
+                                                        store_abort = true;
+                                                        break 'body;
+                                                    }
+                                                }
+                                                Instr::Mflr { rd } => {
+                                                    bset_reg!(rd, core.lr);
+                                                }
+                                                Instr::Mtlr { ra } => {
+                                                    core.lr = reg!(ra);
+                                                }
+                                                Instr::B { .. }
+                                                | Instr::Bl { .. }
+                                                | Instr::Bc { .. }
+                                                | Instr::Blr
+                                                | Instr::Sc { .. }
+                                                | Instr::Halt => {
+                                                    unreachable!("control transfer in block body")
+                                                }
+                                            }
+                                            bretire!();
+                                        }
+                                        Step::Addi2 {
+                                            rd1,
+                                            ra1,
+                                            imm1,
+                                            rd2,
+                                            ra2,
+                                            imm2,
+                                        } => {
+                                            bset_reg!(
+                                                rd1,
+                                                reg!(ra1).wrapping_add(imm1 as i32 as u32)
+                                            );
+                                            bretire!();
+                                            bset_reg!(
+                                                rd2,
+                                                reg!(ra2).wrapping_add(imm2 as i32 as u32)
+                                            );
+                                            bretire!();
+                                        }
+                                    }
+                                }
+                                if store_abort {
+                                    bsettle!();
+                                    continue;
+                                }
+                                match blk.term {
+                                    Term::Jump { target } => {
+                                        insp.on_retire(c, bpc);
+                                        done_ops += 1;
+                                        pc = target;
+                                    }
+                                    Term::Call { target, link } => {
+                                        core.lr = link;
+                                        insp.on_retire(c, bpc);
+                                        done_ops += 1;
+                                        pc = target;
+                                    }
+                                    Term::CondJump {
+                                        crf,
+                                        bit,
+                                        expect,
+                                        taken,
+                                        fallthrough,
+                                    } => {
+                                        pc = if core.cr_bit(crf, bit) == expect {
+                                            taken
+                                        } else {
+                                            fallthrough
+                                        };
+                                        insp.on_retire(c, bpc);
+                                        done_ops += 1;
+                                    }
+                                    Term::CmpiCondJump {
+                                        ra,
+                                        imm,
+                                        crf,
+                                        bit,
+                                        expect,
+                                        taken,
+                                        fallthrough,
+                                    } => {
+                                        let a = reg!(ra) as i32;
+                                        let b = imm as i32;
+                                        core.set_cr_field(crf, a < b, a > b, a == b);
+                                        insp.on_retire(c, bpc);
+                                        bpc = bpc.wrapping_add(4);
+                                        pc = if core.cr_bit(crf, bit) == expect {
+                                            taken
+                                        } else {
+                                            fallthrough
+                                        };
+                                        insp.on_retire(c, bpc);
+                                        done_ops += 2;
+                                    }
+                                    Term::Return => {
+                                        pc = core.lr;
+                                        insp.on_retire(c, bpc);
+                                        done_ops += 1;
+                                    }
+                                    Term::Fallthrough { next } => {
+                                        pc = next;
+                                    }
+                                }
+                                debug_assert_eq!(done_ops, cost);
+                                blk_stats.block_instrs += cost;
+                                continue;
+                            }
+                        }
+                        // No usable block at this PC (or it would overrun
+                        // the countdown): one per-instruction dispatch.
+                        blk_stats.fallback_dispatches += 1;
+                    }
                     let instr = match mem.fetch_decoded(pc) {
                         Some(i) => i,
                         None => {
@@ -2258,6 +2907,187 @@ mod tests {
         // And a plain restore after a fork restore recovers the baseline.
         m.restore(&base);
         assert_eq!(m.run(&mut Noop), full);
+    }
+
+    #[test]
+    fn block_stats_reflect_execution_and_toggle() {
+        // The countdown loop runs almost entirely from translated blocks.
+        let image = assemble(LOOP_SRC).expect("assembles");
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let out = m.run(&mut Noop);
+        assert_eq!(out.output(), b".....");
+        let stats = m.block_cache_stats();
+        assert!(stats.blocks_built > 0, "hot blocks translated");
+        assert!(stats.block_hits > 0, "loop re-dispatches translated blocks");
+        assert!(stats.block_instrs > 0 && stats.block_instrs <= m.retired());
+        assert!(
+            stats.fallback_dispatches > 0,
+            "syscalls and halt dispatch per-instruction"
+        );
+
+        // Disabling the block interpreter pins the line-cached path:
+        // identical observables, no block activity.
+        let mut m2 = Machine::new(MachineConfig::default());
+        m2.set_block_interp(false);
+        assert!(!m2.block_interp());
+        m2.load(&image);
+        let out2 = m2.run(&mut Noop);
+        assert_eq!(out2, out);
+        assert_eq!(m2.retired(), m.retired());
+        assert_eq!(
+            m2.block_cache_stats(),
+            crate::blocks::BlockCacheStats::default()
+        );
+    }
+
+    #[test]
+    fn block_and_cached_interpreters_retire_identically() {
+        // Same program as the cached-vs-reference differential, compared
+        // across all three tiers of the fetch pipeline.
+        let src = "
+            addi r5, r0, 10
+            cmpi cr0, r5, 0
+            bc cr0.eq, 1, 6
+            addi r3, r5, 0
+            sc print_int
+            bl 3
+            addi r5, r5, -1
+            b -6
+            addi r3, r0, 0
+            halt
+            addi r6, r6, 1
+            blr";
+        let image = assemble(src).unwrap();
+        let run_mode = |blocks: bool, reference: bool| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.set_block_interp(blocks);
+            m.set_reference_interp(reference);
+            m.load(&image);
+            let out = m.run(&mut Noop);
+            (out, m.retired())
+        };
+        let blocked = run_mode(true, false);
+        assert_eq!(blocked, run_mode(false, false));
+        assert_eq!(blocked, run_mode(false, true));
+    }
+
+    #[test]
+    fn injector_poke_invalidates_translated_blocks() {
+        use crate::isa::encode;
+        // Translate the block on a warm run, then poke a word *inside* it
+        // (as a memory-resident fault would) and rerun: a stale block
+        // would replay the original immediate.
+        let image = assemble("addi r3, r0, 1\nsc print_int\naddi r3, r0, 0\nhalt").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let snap = m.snapshot();
+        assert_eq!(m.run(&mut Noop).output(), b"1");
+        assert!(m.block_cache_stats().blocks_built > 0);
+
+        m.restore(&snap);
+        m.poke_u32(
+            CODE_BASE,
+            encode(Instr::Addi {
+                rd: 3,
+                ra: 0,
+                imm: 9,
+            }),
+        )
+        .unwrap();
+        assert_eq!(m.run(&mut Noop).output(), b"9", "poke reached the block");
+        assert!(m.block_cache_stats().blocks_invalidated > 0);
+
+        // The restore diff rolls the poke back — and the block with it.
+        m.restore(&snap);
+        assert_eq!(m.run(&mut Noop).output(), b"1");
+    }
+
+    #[test]
+    fn guest_store_into_code_invalidates_blocks_mid_run() {
+        // The self-modifying program from the cached-interpreter test also
+        // pins the block path (the default mode of `run`): the store aborts
+        // its block and the patched word executes.
+        let halt_hi = (isa::encode(Instr::Halt) >> 16) as i32;
+        let src = format!(
+            "addis r6, r0, {halt_hi}
+             nop
+             addi r7, r0, 280
+             b 3
+             stw r6, 0(r7)
+             b 1
+             addi r8, r0, 0
+             b -3"
+        );
+        let image = assemble(&src).unwrap();
+        let mut m = Machine::new(MachineConfig {
+            budget: 100_000,
+            ..MachineConfig::default()
+        });
+        m.load(&image);
+        let out = m.run(&mut Noop);
+        assert!(
+            matches!(out, RunOutcome::Completed { exit_code: 0, .. }),
+            "self-modified halt must execute under block dispatch, got {out:?}"
+        );
+        assert!(m.block_cache_stats().blocks_invalidated > 0);
+    }
+
+    #[test]
+    fn fork_restore_invalidates_translated_blocks() {
+        use crate::isa::encode;
+        // A fork whose delta patches a code word: restoring it must kill
+        // the block translated from the pristine code, and a plain restore
+        // afterwards must kill the patched translation again.
+        let image = assemble("addi r3, r0, 1\nsc print_int\naddi r3, r0, 0\nhalt").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let base = m.snapshot();
+        m.poke_u32(
+            CODE_BASE,
+            encode(Instr::Addi {
+                rd: 3,
+                ra: 0,
+                imm: 7,
+            }),
+        )
+        .unwrap();
+        let fork = m.fork_snapshot();
+
+        m.restore(&base);
+        assert_eq!(m.run(&mut Noop).output(), b"1", "pristine code translated");
+        m.restore_fork(&base, &fork);
+        assert_eq!(m.retired(), 0);
+        assert_eq!(m.run(&mut Noop).output(), b"7", "fork delta reached blocks");
+        m.restore(&base);
+        assert_eq!(m.run(&mut Noop).output(), b"1", "plain restore rolls back");
+    }
+
+    #[test]
+    fn run_to_fetch_pin_truncates_blocks_then_retranslates() {
+        // Arming a fetch breakpoint inside a previously translated block
+        // must funnel arrivals through the step path (where the breakpoint
+        // lives); dropping the pin lets the full block translate again.
+        let image = assemble(LOOP_SRC).expect("assembles");
+        let body = CODE_BASE + 12;
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let snap = m.snapshot();
+        assert_eq!(m.run(&mut Noop).output(), b".....");
+
+        m.restore(&snap);
+        let (stop, seen) = m.run_to_fetch(body, 3, &mut Noop);
+        assert_eq!(stop, FetchStop::Hit);
+        assert_eq!(seen, 3);
+        assert_eq!(m.core(0).pc, body);
+        let resumed = m.run(&mut Noop);
+        assert_eq!(resumed.output(), b".....");
+
+        // Next ordinary run drops the pin; the loop runs from blocks again.
+        m.restore(&snap);
+        let before = m.block_cache_stats().block_hits;
+        assert_eq!(m.run(&mut Noop).output(), b".....");
+        assert!(m.block_cache_stats().block_hits > before);
     }
 
     #[test]

@@ -89,6 +89,33 @@ struct ICache {
     /// First address past the cached region (`CODE_BASE + 4 * lines.len()`).
     limit: u32,
     stats: DecodeCacheStats,
+    /// Pending code-write ranges (inclusive word indices) not yet applied
+    /// to the basic-block cache. Every path that can change a code word or
+    /// its fetch-pin state appends here; the block interpreter drains the
+    /// log before each block dispatch (see `crate::blocks`).
+    code_writes: Vec<(u32, u32)>,
+    /// Set instead of growing `code_writes` past [`CODE_WRITE_LOG_CAP`];
+    /// tells the drainer to flush every translated block. Sticky until the
+    /// next drain, so writes made while no block interpreter is running
+    /// are never lost.
+    code_writes_overflow: bool,
+}
+
+/// Bound on the pending code-write log. Overflow degrades to a full block
+/// flush, so the cap only trades precision for memory; 32 covers every
+/// realistic burst (injector pokes touch 1–2 words, restores a few).
+const CODE_WRITE_LOG_CAP: usize = 32;
+
+impl ICache {
+    /// Record that words `first..=last` changed (or changed pin state).
+    #[inline]
+    fn log_code_write(&mut self, first: u32, last: u32) {
+        if self.code_writes.len() < CODE_WRITE_LOG_CAP {
+            self.code_writes.push((first, last));
+        } else {
+            self.code_writes_overflow = true;
+        }
+    }
 }
 
 /// Flat guest memory with null-page protection and dirty-page tracking.
@@ -400,6 +427,35 @@ impl Memory {
         self.icache.lines.resize(words, Line::Empty);
         self.icache.limit = CODE_BASE + words as u32 * 4;
         self.icache.stats = DecodeCacheStats::default();
+        // `Machine::load` reinitialises the block cache alongside this,
+        // so writes logged during image loading are moot.
+        self.icache.code_writes.clear();
+        self.icache.code_writes_overflow = false;
+    }
+
+    /// Whether any code words changed (or changed pin state) since the
+    /// last [`Memory::drain_code_writes`]. Cheap enough for a per-dispatch
+    /// check in the block interpreter.
+    #[inline]
+    pub(crate) fn has_code_writes(&self) -> bool {
+        !self.icache.code_writes.is_empty() || self.icache.code_writes_overflow
+    }
+
+    /// Drain the pending code-write log, passing each changed range of
+    /// word indices (inclusive) to `f`. Returns `true` when the log
+    /// overflowed, in which case `f` is *not* called and the caller must
+    /// conservatively flush every translated block.
+    pub(crate) fn drain_code_writes(&mut self, mut f: impl FnMut(u32, u32)) -> bool {
+        let overflow = self.icache.code_writes_overflow;
+        self.icache.code_writes_overflow = false;
+        if overflow {
+            self.icache.code_writes.clear();
+            return true;
+        }
+        for (first, last) in self.icache.code_writes.drain(..) {
+            f(first, last);
+        }
+        false
     }
 
     /// Fetch the decoded instruction at `pc` from the translation cache,
@@ -466,6 +522,9 @@ impl Memory {
         }
         let first = (addr.max(CODE_BASE) - CODE_BASE) as usize / 4;
         let last = (((addr + len - 1).min(self.icache.limit - 1)) - CODE_BASE) as usize / 4;
+        // The block cache must see every write into code, even to words
+        // whose lines are Empty or Pinned — a block can cover those too.
+        self.icache.log_code_write(first as u32, last as u32);
         for line in &mut self.icache.lines[first..=last] {
             match *line {
                 Line::Decoded(_) | Line::Illegal => {
@@ -484,6 +543,9 @@ impl Memory {
         if pc >= CODE_BASE && pc < self.icache.limit && pc.is_multiple_of(4) {
             let idx = ((pc - CODE_BASE) / 4) as usize;
             self.icache.lines[idx] = Line::Pinned;
+            // Blocks covering a newly armed PC must die so fetches from it
+            // funnel through the single-step slow path.
+            self.icache.log_code_write(idx as u32, idx as u32);
         }
     }
 
@@ -494,6 +556,9 @@ impl Memory {
             let idx = ((pc - CODE_BASE) / 4) as usize;
             if self.icache.lines[idx] == Line::Pinned {
                 self.icache.lines[idx] = Line::Empty;
+                // Blocks truncated at the pin may now be extendable;
+                // invalidating them lets translation take the longer form.
+                self.icache.log_code_write(idx as u32, idx as u32);
             }
         }
     }
@@ -1062,6 +1127,47 @@ mod tests {
         // Unpinning a non-pinned (now decoded) line is a no-op.
         m.unpin_fetch(CODE_BASE);
         assert_eq!(m.fetch_decoded(CODE_BASE), Some(nop_i));
+    }
+
+    #[test]
+    fn code_write_log_records_stores_pins_and_overflow() {
+        let mut m = Memory::new(8 * 1024);
+        let nop = isa::NOP;
+        for i in 0..64u32 {
+            m.write_u32(CODE_BASE + i * 4, nop).unwrap();
+        }
+        m.init_decode_cache(CODE_BASE + 64 * 4);
+        assert!(!m.has_code_writes(), "init clears the log");
+
+        m.write_u32(CODE_BASE + 8, nop).unwrap();
+        m.write_u8(CODE_BASE + 13, 1).unwrap();
+        m.pin_fetch_slow(CODE_BASE + 20);
+        m.unpin_fetch(CODE_BASE + 20);
+        assert!(m.has_code_writes());
+        let mut ranges = Vec::new();
+        let overflow = m.drain_code_writes(|a, b| ranges.push((a, b)));
+        assert!(!overflow);
+        assert_eq!(ranges, vec![(2, 2), (3, 3), (5, 5), (5, 5)]);
+        assert!(!m.has_code_writes(), "drain empties the log");
+
+        // Stores above the code region never log.
+        m.write_u32(0x1000, 7).unwrap();
+        assert!(!m.has_code_writes());
+
+        // Unpinning a non-pinned line does not log.
+        m.unpin_fetch(CODE_BASE + 24);
+        assert!(!m.has_code_writes());
+
+        // Overflow degrades to a flush-all signal and stays sticky until
+        // drained.
+        for i in 0..40u32 {
+            m.write_u32(CODE_BASE + i * 4, nop).unwrap();
+        }
+        assert!(m.has_code_writes());
+        let mut calls = 0;
+        assert!(m.drain_code_writes(|_, _| calls += 1));
+        assert_eq!(calls, 0, "overflow drain reports no ranges");
+        assert!(!m.has_code_writes());
     }
 
     #[test]

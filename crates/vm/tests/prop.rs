@@ -157,4 +157,50 @@ proptest! {
             RunOutcome::Completed { .. } | RunOutcome::Trapped { .. } | RunOutcome::Hang { .. } => {}
         }
     }
+
+    /// The blocks ≡ reference oracle on arbitrary code: the block
+    /// interpreter, the line-cached interpreter, and the seed
+    /// decode-every-fetch reference interpreter agree on the outcome,
+    /// the retired-instruction count, and the final architectural state
+    /// — both on the pristine program and after a mid-run code patch
+    /// poked into a warm machine (where a stale translation would
+    /// replay the unpatched block).
+    #[test]
+    fn block_interpreter_matches_reference_on_random_code(
+        words in proptest::collection::vec(any::<u32>(), 1..128),
+        patch_index in 0usize..128,
+        patch_mask in 1u32..=u32::MAX,
+    ) {
+        let len = words.len();
+        let image = swifi_vm::Image { code: words, data: vec![], entry: swifi_vm::CODE_BASE };
+        let cfg = MachineConfig { budget: 20_000, ..MachineConfig::default() };
+        let patch_addr = swifi_vm::CODE_BASE + ((patch_index % len) as u32) * 4;
+        let observe = |m: &Machine, out: RunOutcome| {
+            let c = m.core(0);
+            (out, m.retired(), c.regs, c.pc, c.lr)
+        };
+        let run = |tier: usize| {
+            let mut m = Machine::new(cfg.clone());
+            match tier {
+                0 => {}                              // blocks (default)
+                1 => m.set_block_interp(false),      // line cache only
+                _ => m.set_reference_interp(true),   // seed interpreter
+            }
+            m.load(&image);
+            let snap = m.snapshot();
+            let out = m.run(&mut Noop);
+            let pristine = observe(&m, out);
+            // Mid-campaign patch: warm-reboot the machine (translations
+            // survive the restore) and flip a code word before rerunning.
+            m.restore(&snap);
+            let old = m.peek_u32(patch_addr).unwrap();
+            m.poke_u32(patch_addr, old ^ patch_mask).unwrap();
+            let out = m.run(&mut Noop);
+            let patched = observe(&m, out);
+            (pristine, patched)
+        };
+        let blocks = run(0);
+        prop_assert_eq!(&blocks, &run(1), "blocks vs line cache");
+        prop_assert_eq!(&blocks, &run(2), "blocks vs reference");
+    }
 }

@@ -12,10 +12,12 @@
 # number in BENCH_translation_cache.json (use `cargo bench -p swifi-bench`
 # for that, with its interleaved best-of-chunks methodology).
 #
-# `perf_smoke.sh equivalence` runs the prefix-fork A/B check instead:
-# campaign reports with the fork cache on vs off must be identical
-# (timing lines excluded). That check is deterministic, so tier1.sh runs
-# it as a *gating* step; the wall-clock speedup mode stays non-gating.
+# `perf_smoke.sh equivalence` runs the execution-strategy A/B checks
+# instead: campaign reports with the prefix-fork cache on vs off, and
+# with block translation on vs off (--no-block-cache), must be identical
+# (timing lines excluded). Those checks are deterministic, so tier1.sh
+# runs them as a *gating* step; the wall-clock speedup mode stays
+# non-gating.
 #
 # Exit codes: 0 ok, 1 cached interpreter slower than the floor (or
 # fork-on/fork-off reports diverge), 2 harness failure.
@@ -31,16 +33,18 @@ if [ "$MODE" = equivalence ]; then
   fi
   TMP="$(mktemp -d)"
   trap 'rm -rf "$TMP"' EXIT
-  filter() { grep -v -e '^throughput:' -e '^icache:' -e '^prefix-fork:'; }
+  filter() { grep -v -e '^throughput:' -e '^icache:' -e '^prefix-fork:' -e '^blocks:'; }
   for t in JB.team11 JB.team6; do
     "$BIN" campaign "$t" --inputs 4 --seed 2024 | filter > "$TMP/on.txt" || exit 2
-    "$BIN" campaign "$t" --inputs 4 --seed 2024 --no-prefix-fork | filter > "$TMP/off.txt" || exit 2
-    if ! diff -u "$TMP/on.txt" "$TMP/off.txt"; then
-      echo "perf_smoke: $t report differs between fork-on and fork-off" >&2
-      exit 1
-    fi
+    for flag in --no-prefix-fork --no-block-cache; do
+      "$BIN" campaign "$t" --inputs 4 --seed 2024 "$flag" | filter > "$TMP/off.txt" || exit 2
+      if ! diff -u "$TMP/on.txt" "$TMP/off.txt"; then
+        echo "perf_smoke: $t report differs between default and $flag" >&2
+        exit 1
+      fi
+    done
   done
-  echo "perf_smoke: prefix-fork on/off reports identical - ok"
+  echo "perf_smoke: prefix-fork and block-cache on/off reports identical - ok"
   exit 0
 fi
 

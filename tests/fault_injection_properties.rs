@@ -209,7 +209,12 @@ proptest! {
             when: Firing::First,
         };
         let input = TestInput::JamesB { seed: 4, line: b"differential".to_vec() };
+        // Three warm sessions, one per fetch-pipeline tier: translated
+        // blocks (the default), predecoded lines only, and the seed
+        // decode-every-fetch reference.
+        let mut blocks = RunSession::new(&compiled, Family::JamesB);
         let mut cached = RunSession::new(&compiled, Family::JamesB);
+        cached.set_block_cache(false);
         let mut reference = RunSession::new(&compiled, Family::JamesB);
         reference.set_reference_interp(true);
         let schedule: [(Option<&FaultSpec>, u64); 4] = [
@@ -219,9 +224,13 @@ proptest! {
             (None, seed ^ 1),                   // restore must be clean again
         ];
         for (i, (fault, s)) in schedule.iter().enumerate() {
+            let blk = blocks.run(&input, *fault, *s);
             let warm = cached.run(&input, *fault, *s);
             let refr = reference.run(&input, *fault, *s);
-            prop_assert_eq!(warm, refr, "run {} diverged", i);
+            prop_assert_eq!(warm, refr, "run {} diverged (lines vs reference)", i);
+            prop_assert_eq!(blk, refr, "run {} diverged (blocks vs reference)", i);
+            prop_assert_eq!(blocks.last_retired(), reference.last_retired(),
+                "run {} retired diverged", i);
         }
     }
 
