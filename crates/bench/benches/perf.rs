@@ -949,6 +949,171 @@ fn bench_block_translation(_c: &mut Criterion) {
     println!("wrote {}", path.display());
 }
 
+/// One program's telemetry-overhead measurement: the §6 schedule on
+/// identical warm sessions with telemetry absent (`None`, the shipped
+/// default) and with every pillar live (trace events + metrics +
+/// profiler), plus the PR 7 block-translation baseline the "off" side
+/// must not regress.
+struct TraceOverheadMeasurement {
+    program: &'static str,
+    runs: u64,
+    off_instrs_per_sec: f64,
+    on_instrs_per_sec: f64,
+    off_runs_per_sec: f64,
+    on_runs_per_sec: f64,
+    on_events: usize,
+}
+
+/// `blocks_instrs_per_sec` committed in PR 7's BENCH_block_translation.json
+/// — the engine this PR instrumented, same schedule and seed.
+fn pr7_blocks_instrs_per_sec(program: &str) -> Option<f64> {
+    match program {
+        "JB.team6" => Some(189_982_548.0),
+        "JB.team11" => Some(301_979_747.0),
+        _ => None,
+    }
+}
+
+impl TraceOverheadMeasurement {
+    /// Throughput lost with every telemetry pillar live, in percent of
+    /// the telemetry-off rate.
+    fn on_overhead_pct(&self) -> f64 {
+        (1.0 - self.on_instrs_per_sec / self.off_instrs_per_sec) * 100.0
+    }
+
+    fn off_vs_pr7(&self) -> Option<f64> {
+        pr7_blocks_instrs_per_sec(self.program).map(|pr7| self.off_instrs_per_sec / pr7)
+    }
+}
+
+/// Measure the §6 class campaign with telemetry off and all-on, both on
+/// default (block-translating) warm sessions. The "on" side gets a fresh
+/// hub each round so the event buffer's memory footprint stays bounded;
+/// building a hub and lane is microseconds against a >=0.1s chunk.
+fn measure_trace_overhead(name: &'static str, seed: u64) -> TraceOverheadMeasurement {
+    use swifi_trace::{Telemetry, TelemetryConfig};
+
+    let p = program(name).unwrap();
+    let compiled = compile(p.source_correct).unwrap();
+    let (n_assign, n_check) = chosen_locations(name);
+    let set = swifi_core::locations::generate_error_set(&compiled.debug, n_assign, n_check, seed);
+    let faults: Vec<_> = set
+        .assign_faults
+        .iter()
+        .chain(set.check_faults.iter())
+        .cloned()
+        .collect();
+    let inputs = p.family.test_case(6, seed ^ 0x5EED);
+    let all_on = TelemetryConfig {
+        trace: true,
+        metrics: true,
+        profile: true,
+        ..TelemetryConfig::default()
+    };
+
+    let mut off = RunSession::new(&compiled, p.family);
+    let mut on = RunSession::new(&compiled, p.family);
+    // Warm-up pass per side: lazy decode and block translation off the
+    // measured clock, on both sessions identically.
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        off.run(input, Some(spec), s);
+    });
+    let _ = time_schedule(&faults, &inputs, seed, |input, spec, s| {
+        on.run(input, Some(spec), s);
+    });
+
+    let mut off_acc = Accum::default();
+    let mut on_acc = Accum::default();
+    let mut on_events = 0usize;
+    for _ in 0..INTERLEAVE_ROUNDS {
+        time_schedule_chunk(&mut off, &faults, &inputs, seed, &mut off_acc);
+        let hub = Telemetry::shared(all_on);
+        on.set_telemetry(Some(hub.worker()));
+        time_schedule_chunk(&mut on, &faults, &inputs, seed, &mut on_acc);
+        on.set_telemetry(None);
+        on_events += hub.event_count();
+    }
+    TraceOverheadMeasurement {
+        program: name,
+        runs: faults.len() as u64 * inputs.len() as u64,
+        off_instrs_per_sec: off_acc.best_instrs_per_sec,
+        on_instrs_per_sec: on_acc.best_instrs_per_sec,
+        off_runs_per_sec: off_acc.best_runs_per_sec,
+        on_runs_per_sec: on_acc.best_runs_per_sec,
+        on_events,
+    }
+}
+
+/// Telemetry no-op-contract bench: the §6 JB schedules with telemetry
+/// absent vs every pillar live, recorded to `BENCH_trace_overhead.json`
+/// at the repo root. The headline number is the *off* side against PR 7's
+/// committed block-translation throughput — disabled telemetry must cost
+/// under 1% — with the all-on overhead reported alongside for scale.
+fn bench_trace_overhead(_c: &mut Criterion) {
+    if !bench_enabled("trace_overhead") {
+        return;
+    }
+    let measurements: Vec<TraceOverheadMeasurement> = ["JB.team6", "JB.team11"]
+        .iter()
+        .map(|&name| measure_trace_overhead(name, 0xB007))
+        .collect();
+    let mut rows = String::new();
+    for m in &measurements {
+        println!(
+            "{:<42} off: {:>6.1} Minstr/s  all-on: {:>6.1} Minstr/s  overhead: {:.1}% ({}x vs PR-7 blocks)",
+            format!("trace/class_campaign_{}", m.program),
+            m.off_instrs_per_sec / 1e6,
+            m.on_instrs_per_sec / 1e6,
+            m.on_overhead_pct(),
+            m.off_vs_pr7()
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "?".into())
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let pr7 = match (pr7_blocks_instrs_per_sec(m.program), m.off_vs_pr7()) {
+            (Some(base), Some(s)) => {
+                format!("\"pr7_blocks_instrs_per_sec\": {base:.0}, \"off_vs_pr7_blocks\": {s:.3}")
+            }
+            _ => "\"pr7_blocks_instrs_per_sec\": null, \"off_vs_pr7_blocks\": null".into(),
+        };
+        rows.push_str(&format!(
+            "    {{\"program\": \"{}\", \"runs\": {}, \
+             \"off_instrs_per_sec\": {:.0}, \"on_instrs_per_sec\": {:.0}, \
+             \"off_runs_per_sec\": {:.1}, \"on_runs_per_sec\": {:.1}, \
+             \"all_on_overhead_pct\": {:.1}, {pr7}, \"on_trace_events\": {}}}",
+            m.program,
+            m.runs,
+            m.off_instrs_per_sec,
+            m.on_instrs_per_sec,
+            m.off_runs_per_sec,
+            m.on_runs_per_sec,
+            m.on_overhead_pct(),
+            m.on_events
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"schedule\": \"section6 class campaign, all \
+         generated faults x 6 shared inputs (same schedule and seed as \
+         BENCH_block_translation)\",\n  \"off\": \"warm default RunSession, telemetry None — the \
+         shipped no-telemetry configuration; per-run cost is one Option test\",\n  \"on\": \"warm \
+         default RunSession with a WorkerTelemetry lane from an all-pillars hub (trace events + \
+         metrics registry + guest-PC profiler), fresh hub per chunk\",\n  \"pr7_baseline\": \
+         \"blocks_instrs_per_sec from PR 7's committed BENCH_block_translation.json, same \
+         schedule\",\n  \"contract\": \"off_vs_pr7_blocks >= 0.99 — telemetry off must cost under \
+         1% of PR 7 throughput (host variance aside); all_on_overhead_pct is informational\",\n  \
+         \"metric\": \"instrs/s (both sides retire identical instruction streams)\",\n  \
+         \"methodology\": \"interleaved best-of-{INTERLEAVE_ROUNDS} chunks of >={CHUNK_SECS}s per \
+         side; both sides warmed first\",\n  \"programs\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_trace_overhead.json");
+    std::fs::write(&path, json).expect("write BENCH_trace_overhead.json");
+    println!("wrote {}", path.display());
+}
+
 /// One program's source-mutation pipeline measurement: mutant compile
 /// throughput (the cost binary SWIFI avoids by mutating in place) and
 /// injected-run throughput on the §6-class schedule (every selected
@@ -1104,6 +1269,7 @@ criterion_group!(
     bench_translation_cache,
     bench_prefix_fork,
     bench_block_translation,
+    bench_trace_overhead,
     bench_source_mutation
 );
 criterion_main!(benches);

@@ -161,7 +161,7 @@ pub fn ablation_with(
                 &faults,
                 || {
                     let mut s = RunSession::new(&compiled, target.family);
-                    s.set_watchdog(opts.watchdog);
+                    opts.configure_session(&mut s);
                     s.set_prefix_cache(prefix.clone());
                     s.set_block_cache(!opts.no_block_cache);
                     s

@@ -37,9 +37,12 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use serde::{DeError, Deserialize, Serialize, Value};
+use swifi_trace::event::{arg_str, arg_u64};
+use swifi_trace::{Telemetry, TraceEvent, ENGINE_TID};
 
 use crate::pool::parallel_map_resilient;
 
@@ -352,6 +355,15 @@ pub struct CampaignOptions {
     /// are identical either way — kept for A/B measurement and as an
     /// escape hatch.
     pub no_block_cache: bool,
+    /// Shared telemetry hub (trace events, metrics, guest profiling).
+    /// `None` — the default — is the no-op contract: sessions carry no
+    /// worker telemetry and the per-run cost is a single `Option` test.
+    /// Telemetry never participates in report equality.
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Scheduler rounds between watchdog deadline polls
+    /// (`--watchdog-poll`); `None` keeps the machine default of
+    /// [`swifi_vm::machine::DEFAULT_WATCHDOG_POLL`].
+    pub watchdog_poll: Option<u32>,
 }
 
 impl CampaignOptions {
@@ -363,6 +375,53 @@ impl CampaignOptions {
             ..CampaignOptions::default()
         }
     }
+
+    /// Apply the per-session knobs — watchdog deadline and poll interval,
+    /// worker telemetry lane — to a freshly built worker session. Every
+    /// driver's session-init closure funnels through here so a new knob
+    /// reaches all campaigns at once.
+    pub fn configure_session(&self, s: &mut crate::session::RunSession) {
+        s.set_watchdog(self.watchdog);
+        if let Some(poll) = self.watchdog_poll {
+            s.set_watchdog_poll(poll);
+        }
+        s.set_telemetry(self.telemetry.as_ref().map(|t| t.worker()));
+    }
+}
+
+/// Wall-clock accounting for one campaign phase, recorded by
+/// [`CampaignEngine::run_phase`] and surfaced in reports so phase-level
+/// throughput is visible without external timing.
+///
+/// `PartialEq` deliberately ignores `elapsed_secs`: phase wall-clock is
+/// host-dependent diagnostics, and campaign structs that embed phase
+/// times must keep satisfying the resume/shard equality oracles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseTime {
+    /// The phase name passed to [`CampaignEngine::run_phase`].
+    pub phase: String,
+    /// Work items in the phase (replayed and executed alike).
+    pub items: u64,
+    /// Wall-clock seconds the phase took this process (resumed phases
+    /// that replay entirely from the checkpoint report near-zero).
+    pub elapsed_secs: f64,
+}
+
+impl PartialEq for PhaseTime {
+    fn eq(&self, other: &PhaseTime) -> bool {
+        (&self.phase, self.items) == (&other.phase, other.items)
+    }
+}
+
+impl PhaseTime {
+    /// Items per wall-clock second (0 when nothing was measured).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.items as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The per-campaign execution engine: owns the checkpoint log and runs
@@ -370,6 +429,8 @@ impl CampaignOptions {
 #[derive(Debug)]
 pub struct CampaignEngine {
     log: Option<CheckpointLog>,
+    telemetry: Option<Arc<Telemetry>>,
+    phase_times: Vec<PhaseTime>,
 }
 
 impl CampaignEngine {
@@ -381,12 +442,27 @@ impl CampaignEngine {
             Some(path) if opts.resume => Some(CheckpointLog::resume(path, &header)?),
             Some(path) => Some(CheckpointLog::create(path, &header)?),
         };
-        Ok(CampaignEngine { log })
+        Ok(CampaignEngine {
+            log,
+            telemetry: opts.telemetry.clone(),
+            phase_times: Vec::new(),
+        })
     }
 
     /// Records already on disk for any phase (0 without a checkpoint).
     pub fn resumed_records(&self) -> usize {
         self.log.as_ref().map_or(0, CheckpointLog::loaded_records)
+    }
+
+    /// Wall-clock accounting of every phase run so far, in run order.
+    pub fn phase_times(&self) -> &[PhaseTime] {
+        &self.phase_times
+    }
+
+    /// Take ownership of the recorded phase times (drivers store them on
+    /// the campaign result once all phases are done).
+    pub fn take_phase_times(&mut self) -> Vec<PhaseTime> {
+        std::mem::take(&mut self.phase_times)
     }
 
     /// Run one phase: every item either replays from the checkpoint or is
@@ -413,6 +489,8 @@ impl CampaignEngine {
         F: Fn(&mut S, usize, &T) -> R + Sync,
         D: Fn(usize, &T) -> String + Sync,
     {
+        let t0 = Instant::now();
+        let span_start = self.telemetry.as_deref().map(Telemetry::now_us);
         let mut records: Vec<Option<RunRecord<R>>> = (0..items.len()).map(|_| None).collect();
         let mut pending: Vec<(usize, &T)> = Vec::new();
         for (i, item) in items.iter().enumerate() {
@@ -427,24 +505,42 @@ impl CampaignEngine {
 
         if pending.is_empty() {
             let records = records.into_iter().map(Option::unwrap).collect();
+            self.finish_phase(phase, items.len(), 0, t0, span_start);
             return Ok((records, Vec::new()));
         }
 
         let log = &mut self.log;
+        let telemetry = self.telemetry.clone();
         let mut io_error: Option<String> = None;
         let (caught, states) = parallel_map_resilient(
             &pending,
             &init,
             |state, &(i, item)| f(state, i, item),
             |j, run| {
+                let (i, item) = pending[j];
                 // Checkpoint on arrival so a mid-campaign kill keeps every
                 // completed record.
                 if let Some(log) = log.as_mut() {
-                    let (i, item) = pending[j];
                     let record = caught_to_record(phase, i as u64, run, || describe(i, item));
                     if let Err(e) = log.append(&record) {
                         io_error.get_or_insert(e);
                     }
+                    if let Some(t) = &telemetry {
+                        t.engine_instant(
+                            "checkpoint_flush",
+                            vec![arg_str("phase", phase), arg_u64("index", i as u64)],
+                        );
+                    }
+                }
+                if let (Some(t), Err(message)) = (&telemetry, &run.result) {
+                    t.engine_instant(
+                        "worker_panic",
+                        vec![
+                            arg_str("phase", phase),
+                            arg_u64("index", i as u64),
+                            arg_str("message", message.clone()),
+                        ],
+                    );
                 }
             },
         );
@@ -458,7 +554,38 @@ impl CampaignEngine {
             }));
         }
         let records = records.into_iter().map(Option::unwrap).collect();
+        self.finish_phase(phase, items.len(), pending.len(), t0, span_start);
         Ok((records, states))
+    }
+
+    /// Record the phase's wall clock and close its trace span.
+    fn finish_phase(
+        &mut self,
+        phase: &str,
+        items: usize,
+        executed: usize,
+        t0: Instant,
+        span_start: Option<u64>,
+    ) {
+        self.phase_times.push(PhaseTime {
+            phase: phase.to_string(),
+            items: items as u64,
+            elapsed_secs: t0.elapsed().as_secs_f64(),
+        });
+        if let (Some(t), Some(start)) = (&self.telemetry, span_start) {
+            let end = t.now_us();
+            t.engine_event(TraceEvent::complete(
+                format!("phase:{phase}"),
+                start,
+                end.saturating_sub(start),
+                ENGINE_TID,
+                vec![
+                    arg_u64("items", items as u64),
+                    arg_u64("executed", executed as u64),
+                    arg_u64("replayed", (items - executed) as u64),
+                ],
+            ));
+        }
     }
 }
 

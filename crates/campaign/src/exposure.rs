@@ -99,7 +99,7 @@ pub fn estimate_exposure_with(
             &inputs,
             || {
                 let mut s = RunSession::new(&faulty, p.family);
-                s.set_watchdog(opts.watchdog);
+                opts.configure_session(&mut s);
                 s.set_prefix_cache(prefix.clone());
                 s.set_block_cache(!opts.no_block_cache);
                 s

@@ -158,7 +158,7 @@ pub fn hardware_campaign_with(
                 &faults,
                 || {
                     let mut s = RunSession::new(&compiled, target.family);
-                    s.set_watchdog(opts.watchdog);
+                    opts.configure_session(&mut s);
                     s
                 },
                 |session, i, spec| {

@@ -76,7 +76,7 @@ pub fn table1_with(
             &inputs,
             || {
                 let mut s = RunSession::new(&compiled, p.family);
-                s.set_watchdog(opts.watchdog);
+                opts.configure_session(&mut s);
                 s.set_prefix_cache(prefix.clone());
                 s.set_block_cache(!opts.no_block_cache);
                 s

@@ -65,8 +65,8 @@ pub mod triggers;
 
 pub use compare::{compare_representations, comparison_table, Comparison, RepresentationRow};
 pub use engine::{
-    AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, CheckpointLog, RunRecord,
-    RunStatus,
+    AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, CheckpointLog, PhaseTime,
+    RunRecord, RunStatus,
 };
 pub use prefix::{GoldenRun, PrefixCache};
 pub use runner::{classify_outcome, execute, execute_cold, FailureMode, ModeCounts};

@@ -1,6 +1,7 @@
 //! Plain-text rendering of tables and figure series, in the layout of the
 //! paper's tables (percentages to one decimal, like Table 1's "7.3%").
 
+use crate::engine::PhaseTime;
 use crate::runner::{FailureMode, ModeCounts};
 use crate::session::Throughput;
 
@@ -142,6 +143,28 @@ pub fn block_cache_line(tp: &Throughput) -> String {
         "blocks: {} built, {} hits, {} fallback dispatches, {} invalidated, {:.1}% of instrs in blocks",
         tp.blocks_built, tp.block_hits, tp.block_fallbacks, tp.block_invalidations, block_pct,
     )
+}
+
+/// One-line per-phase wall-clock summary, e.g.
+/// `phases: assign 120 items in 0.8s (150.0 items/s); check 40 items in 0.3s (133.3 items/s)`.
+/// Empty string when no phases were timed (keeps legacy reports stable).
+pub fn phase_times_line(phases: &[PhaseTime]) -> String {
+    if phases.is_empty() {
+        return String::new();
+    }
+    let cells: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{} {} items in {:.1}s ({:.1} items/s)",
+                p.phase,
+                p.items,
+                p.elapsed_secs,
+                p.items_per_sec()
+            )
+        })
+        .collect();
+    format!("phases: {}", cells.join("; "))
 }
 
 #[cfg(test)]
@@ -286,6 +309,29 @@ mod tests {
         assert!(line.contains("1820 fallback dispatches"), "{line}");
         assert!(line.contains("12 invalidated"), "{line}");
         assert!(line.contains("75.0% of instrs in blocks"), "{line}");
+    }
+
+    #[test]
+    fn phase_times_line_lists_each_phase() {
+        assert_eq!(phase_times_line(&[]), "");
+        let line = phase_times_line(&[
+            PhaseTime {
+                phase: "assign".into(),
+                items: 120,
+                elapsed_secs: 0.8,
+            },
+            PhaseTime {
+                phase: "check".into(),
+                items: 40,
+                elapsed_secs: 0.3,
+            },
+        ]);
+        assert!(line.starts_with("phases: "), "{line}");
+        assert!(
+            line.contains("assign 120 items in 0.8s (150.0 items/s)"),
+            "{line}"
+        );
+        assert!(line.contains("; check 40 items"), "{line}");
     }
 
     #[test]

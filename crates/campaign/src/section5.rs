@@ -108,8 +108,8 @@ pub fn section5_with(
                     || {
                         let mut emulated_s = RunSession::new(&corrected, p.family);
                         let mut real_s = RunSession::new(&faulty, p.family);
-                        emulated_s.set_watchdog(opts.watchdog);
-                        real_s.set_watchdog(opts.watchdog);
+                        opts.configure_session(&mut emulated_s);
+                        opts.configure_session(&mut real_s);
                         emulated_s.set_prefix_cache(emulated_prefix.clone());
                         real_s.set_prefix_cache(real_prefix.clone());
                         emulated_s.set_block_cache(!opts.no_block_cache);

@@ -16,9 +16,11 @@ use swifi_core::source::{BinarySwifiSource, FaultSource, PreparedFault};
 use swifi_lang::compile;
 use swifi_odc::{AssignErrorType, CheckErrorType};
 use swifi_programs::{all_programs, TargetProgram};
+use swifi_trace::event::{arg_str, arg_u64};
+use swifi_trace::{Telemetry, TraceEvent, ENGINE_TID};
 
 use crate::engine::{
-    split_records, AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader,
+    split_records, AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, PhaseTime,
 };
 use crate::prefix::PrefixCache;
 use crate::runner::ModeCounts;
@@ -104,6 +106,9 @@ pub struct ProgramCampaign {
     /// per-fault records, so a resumed campaign reports the same totals
     /// as an uninterrupted one.
     pub throughput: Throughput,
+    /// Per-phase wall clock (equality ignores the elapsed component; see
+    /// [`PhaseTime`]).
+    pub phase_times: Vec<PhaseTime>,
     /// Work items that panicked out of the harness — the paper's
     /// "abnormal outcome" bucket. The campaign completes around them.
     pub abnormal: Vec<AbnormalRun>,
@@ -185,6 +190,7 @@ pub fn class_campaign_with(
     );
     let mut engine = CampaignEngine::new(header, opts)?;
     let t0 = std::time::Instant::now();
+    let campaign_start = opts.telemetry.as_deref().map(Telemetry::now_us);
     let mut sessions: Vec<RunSession> = Vec::new();
     // One prefix-fork cache per compiled program, shared by every worker
     // session of both phases: all runs of the campaign share the same
@@ -205,7 +211,7 @@ pub fn class_campaign_with(
                 faults,
                 || {
                     let mut s = RunSession::new(&compiled, target.family);
-                    s.set_watchdog(opts.watchdog);
+                    opts.configure_session(&mut s);
                     s.set_prefix_cache(prefix.clone());
                     s.set_block_cache(!opts.no_block_cache);
                     s
@@ -247,6 +253,11 @@ pub fn class_campaign_with(
     let (assign_results, assign_abnormal) = run_batch("assign", &assign_faults, 0)?;
     let (check_results, check_abnormal) =
         run_batch("check", &check_faults, assign_faults.len() as u64)?;
+    // `run_batch` captures `engine` mutably; end that borrow so the phase
+    // timings can be taken back out of the engine.
+    #[allow(clippy::drop_non_drop)]
+    drop(run_batch);
+    let phase_times = engine.take_phase_times();
 
     // Fold the run totals from the records, not the live sessions: on
     // resume the replayed faults never touch a session, and the totals
@@ -275,6 +286,7 @@ pub fn class_campaign_with(
         dormant_runs: 0,
         total_runs: 0,
         throughput,
+        phase_times,
         abnormal: assign_abnormal.into_iter().chain(check_abnormal).collect(),
     };
     for (err, counts, dormant) in assign_results {
@@ -292,6 +304,18 @@ pub fn class_campaign_with(
         if let ErrorClass::Check(t) = err {
             out.by_check_type.entry(t).or_default().merge(&counts);
         }
+    }
+    if let (Some(telemetry), Some(start)) = (opts.telemetry.as_deref(), campaign_start) {
+        telemetry.engine_event(TraceEvent::complete(
+            "campaign",
+            start,
+            telemetry.now_us().saturating_sub(start),
+            ENGINE_TID,
+            vec![
+                arg_str("campaign", format!("section6:{}", target.name)),
+                arg_u64("runs", out.total_runs),
+            ],
+        ));
     }
     Ok(out)
 }

@@ -32,6 +32,9 @@ use swifi_core::injector::{Injector, TriggerMode};
 use swifi_lang::Program;
 use swifi_programs::input::TestInput;
 use swifi_programs::Family;
+use swifi_trace::event::{arg_str, arg_u64};
+use swifi_trace::metrics::names as metric_names;
+use swifi_trace::{ProfiledInspector, WorkerTelemetry};
 use swifi_vm::inspect::Inspector;
 use swifi_vm::machine::{FetchStop, Machine, MachineSnapshot, RunOutcome};
 use swifi_vm::Noop;
@@ -332,6 +335,12 @@ pub struct RunSession {
     /// every run when set. Expired runs come back as
     /// [`RunOutcome::Hang`] and classify as [`FailureMode::Hang`].
     watchdog: Option<Duration>,
+    /// Per-worker telemetry accumulator (trace events, metrics, guest
+    /// profiling). `None` — the default — is the disabled contract:
+    /// every instrumentation site below is behind one `Option` test per
+    /// *run* (never per instruction), which is what keeps the disabled
+    /// overhead inside the <1% budget of `BENCH_trace_overhead.json`.
+    telemetry: Option<WorkerTelemetry>,
 }
 
 impl std::fmt::Debug for RunSession {
@@ -361,6 +370,7 @@ impl RunSession {
             started: Instant::now(),
             last_retired: 0,
             watchdog: None,
+            telemetry: None,
         }
     }
 
@@ -384,6 +394,64 @@ impl RunSession {
     /// that are pathologically *slow* rather than long. `None` disarms.
     pub fn set_watchdog(&mut self, budget: Option<Duration>) {
         self.watchdog = budget;
+    }
+
+    /// Set the machine's watchdog deadline poll interval, in scheduler
+    /// rounds (`--watchdog-poll`; see
+    /// [`swifi_vm::machine::Machine::set_watchdog_poll`]).
+    pub fn set_watchdog_poll(&mut self, rounds: u32) {
+        self.machine.set_watchdog_poll(rounds);
+    }
+
+    /// Attach this worker's telemetry accumulator (`None` detaches it —
+    /// the disabled, zero-overhead default).
+    pub fn set_telemetry(&mut self, telemetry: Option<WorkerTelemetry>) {
+        self.telemetry = telemetry;
+    }
+
+    /// Detach and return the telemetry accumulator, so drivers that
+    /// build one short-lived session per work item (the source-mutation
+    /// campaign) can carry a single accumulator across items instead of
+    /// opening a trace lane per mutant.
+    pub fn take_telemetry(&mut self) -> Option<WorkerTelemetry> {
+        self.telemetry.take()
+    }
+
+    /// Run the machine under `inner`, wrapped in a sampling guest
+    /// profiler when profiling is enabled. A free-standing fn over
+    /// disjoint fields so callers holding a `self.cached` borrow can
+    /// still pass the machine and telemetry.
+    fn machine_run<I: Inspector>(
+        machine: &mut Machine,
+        telemetry: &mut Option<WorkerTelemetry>,
+        inner: &mut I,
+    ) -> RunOutcome {
+        match telemetry {
+            Some(t) if t.profile_enabled() => {
+                let (hist, every) = t.profiler();
+                machine.run(&mut ProfiledInspector::new(inner, hist, every))
+            }
+            _ => machine.run(inner),
+        }
+    }
+
+    /// [`Machine::run_to_fetch`] with the same optional profiling wrap
+    /// as [`RunSession::machine_run`] (prefix capture runs execute real
+    /// guest instructions and should show up in profiles too).
+    fn machine_run_to_fetch(
+        machine: &mut Machine,
+        telemetry: &mut Option<WorkerTelemetry>,
+        pc: u32,
+        occ: u64,
+    ) -> (FetchStop, u64) {
+        match telemetry {
+            Some(t) if t.profile_enabled() => {
+                let (hist, every) = t.profiler();
+                let mut noop = Noop;
+                machine.run_to_fetch(pc, occ, &mut ProfiledInspector::new(&mut noop, hist, every))
+            }
+            _ => machine.run_to_fetch(pc, occ, &mut Noop),
+        }
     }
 
     /// The program family this session runs.
@@ -450,11 +518,14 @@ impl RunSession {
                 self.stats.prefix_golden_hits += 1;
                 self.stats.prefix_instrs_skipped += golden.retired;
                 self.last_retired = golden.retired;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.instant("golden_hit", vec![arg_u64("retired", golden.retired)]);
+                }
                 return golden.outcome;
             }
         }
         self.begin(input);
-        let outcome = self.machine.run(&mut Noop);
+        let outcome = Self::machine_run(&mut self.machine, &mut self.telemetry, &mut Noop);
         let retired = self.machine.retired();
         self.stats.retired_instrs += retired;
         self.last_retired = retired;
@@ -535,7 +606,8 @@ impl RunSession {
             .injector
             .prepare(&mut self.machine)
             .expect("fault addresses lie in mapped memory");
-        let outcome = self.machine.run(&mut cached.injector);
+        let outcome =
+            Self::machine_run(&mut self.machine, &mut self.telemetry, &mut cached.injector);
         let fired = cached.injector.any_fired();
         self.account_injected(self.machine.retired(), fired);
         (outcome, fired)
@@ -556,6 +628,9 @@ impl RunSession {
                 injector,
             });
             self.stats.injector_rebuilds += 1;
+            if let Some(t) = self.telemetry.as_mut() {
+                t.instant("fault_arm", vec![arg_u64("faults", specs.len() as u64)]);
+            }
         }
     }
 
@@ -656,12 +731,24 @@ impl RunSession {
                 self.stats.prefix_dormant_short_circuits += 1;
                 self.stats.prefix_instrs_skipped += golden.retired;
                 self.account_injected_memoized(golden.retired, false);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.instant(
+                        "dormant_short_circuit",
+                        vec![arg_u64("pc", pc as u64), arg_u64("occ", occ)],
+                    );
+                }
                 return (golden.outcome, false);
             }
         }
 
         if cache.is_shallow(input, pc, occ) {
             self.stats.prefix_shallow_skips += 1;
+            if let Some(t) = self.telemetry.as_mut() {
+                t.instant(
+                    "fork_veto",
+                    vec![arg_u64("pc", pc as u64), arg_u64("occ", occ)],
+                );
+            }
             return self.run_cold(input, specs, mode, seed);
         }
 
@@ -672,6 +759,16 @@ impl RunSession {
             self.stats.runs += 1;
             self.stats.prefix_fork_hits += 1;
             self.stats.prefix_instrs_skipped += fork.retired();
+            if let Some(t) = self.telemetry.as_mut() {
+                t.instant(
+                    "fork_hit",
+                    vec![
+                        arg_u64("pc", pc as u64),
+                        arg_u64("occ", occ),
+                        arg_u64("skipped", fork.retired()),
+                    ],
+                );
+            }
             let (outcome, fired) = self.resume_injected(specs, mode, seed, occ);
             self.stats.retired_instrs += self.machine.retired() - fork.retired();
             self.account_injected_memoized(self.machine.retired(), fired);
@@ -679,7 +776,8 @@ impl RunSession {
         }
 
         self.begin(input);
-        let (stop, seen) = self.machine.run_to_fetch(pc, occ, &mut Noop);
+        let (stop, seen) =
+            Self::machine_run_to_fetch(&mut self.machine, &mut self.telemetry, pc, occ);
         match stop {
             FetchStop::Finished(outcome) => {
                 let retired = self.machine.retired();
@@ -694,20 +792,42 @@ impl RunSession {
                     cache.record_total(input, pc, seen);
                 }
                 self.account_injected(retired, false);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.instant(
+                        "fork_miss",
+                        vec![
+                            arg_u64("pc", pc as u64),
+                            arg_u64("occ", occ),
+                            arg_str("result", "golden"),
+                        ],
+                    );
+                }
                 (outcome, false)
             }
             FetchStop::Hit => {
-                if self.fork_worthwhile(&cache, input) {
+                let captured = if self.fork_worthwhile(&cache, input) {
                     if cache.insert_snapshot(input, pc, occ, Arc::new(self.machine.fork_snapshot()))
                     {
                         self.stats.prefix_snapshots_built += 1;
                     }
+                    "captured"
                 } else {
                     // Too shallow to ever pay for a snapshot restore:
                     // remember the verdict so later runs with this key
                     // skip the fork machinery (and its fetch-breakpoint
                     // capture attempt) outright.
                     cache.record_shallow(input, pc, occ);
+                    "vetoed"
+                };
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.instant(
+                        "fork_miss",
+                        vec![
+                            arg_u64("pc", pc as u64),
+                            arg_u64("occ", occ),
+                            arg_str("result", captured),
+                        ],
+                    );
                 }
                 let (outcome, fired) = self.resume_injected(specs, mode, seed, occ);
                 self.account_injected(self.machine.retired(), fired);
@@ -734,7 +854,8 @@ impl RunSession {
             .injector
             .prepare(&mut self.machine)
             .expect("fault addresses lie in mapped memory");
-        let outcome = self.machine.run(&mut cached.injector);
+        let outcome =
+            Self::machine_run(&mut self.machine, &mut self.telemetry, &mut cached.injector);
         let fired = cached.injector.any_fired();
         (outcome, fired)
     }
@@ -747,6 +868,8 @@ impl RunSession {
         fault: Option<&FaultSpec>,
         seed: u64,
     ) -> (FailureMode, bool) {
+        let span_start = self.telemetry.as_ref().map(WorkerTelemetry::now_us);
+        let blocks_before = span_start.map(|_| self.machine.block_cache_stats());
         let outcome = match fault {
             None => (self.run_clean(input), false),
             Some(spec) => self.run_injected(
@@ -757,7 +880,85 @@ impl RunSession {
             ),
         };
         let (outcome, fired) = outcome;
-        (classify_outcome(&outcome, self.expected_for(input)), fired)
+        let mode = classify_outcome(&outcome, self.expected_for(input));
+        if span_start.is_some() {
+            self.observe_run(
+                span_start,
+                blocks_before,
+                &outcome,
+                mode,
+                fired,
+                fault.is_some(),
+            );
+        }
+        (mode, fired)
+    }
+
+    /// Post-run telemetry: block-cache deltas, the trigger/watchdog
+    /// instants, the `run` span, and the per-run metric observations.
+    /// Only called when telemetry is attached, so the disabled path pays
+    /// exactly the one `Option` test in [`RunSession::run`].
+    fn observe_run(
+        &mut self,
+        span_start: Option<u64>,
+        blocks_before: Option<swifi_vm::blocks::BlockCacheStats>,
+        outcome: &RunOutcome,
+        mode: FailureMode,
+        fired: bool,
+        injected: bool,
+    ) {
+        let blocks = self.machine.block_cache_stats();
+        let retired = self.last_retired;
+        let watchdog = self.watchdog;
+        let poll = self.machine.watchdog_poll();
+        let Some(t) = self.telemetry.as_mut() else {
+            return;
+        };
+        if let Some(before) = &blocks_before {
+            let built = blocks.blocks_built - before.blocks_built;
+            if built > 0 {
+                t.instant("block_translate", vec![arg_u64("blocks", built)]);
+            }
+            let killed = blocks.blocks_invalidated - before.blocks_invalidated;
+            if killed > 0 {
+                t.instant("block_invalidate", vec![arg_u64("blocks", killed)]);
+            }
+        }
+        if fired {
+            t.instant("trigger_fire", vec![arg_u64("retired", retired)]);
+        }
+        if matches!(outcome, RunOutcome::Hang { .. }) {
+            if let Some(budget) = watchdog {
+                t.instant(
+                    "watchdog_hang",
+                    vec![
+                        arg_u64("budget_ms", budget.as_millis() as u64),
+                        arg_u64("poll", poll as u64),
+                    ],
+                );
+            }
+        }
+        if let Some(start) = span_start {
+            t.complete(
+                "run",
+                start,
+                vec![
+                    arg_str("mode", format!("{mode:?}")),
+                    arg_str("fired", if fired { "yes" } else { "no" }),
+                    arg_u64("retired", retired),
+                ],
+            );
+            t.observe(metric_names::RUN_LATENCY_US, (t.now_us() - start) as f64);
+        }
+        t.counter_add("runs", 1);
+        if injected {
+            if fired {
+                t.counter_add("fired_runs", 1);
+            } else {
+                t.counter_add("dormant_runs", 1);
+            }
+        }
+        t.observe(metric_names::RETIRED_INSTRS_PER_RUN, retired as f64);
     }
 
     /// The oracle's expected output for `input`, computed once per

@@ -27,8 +27,11 @@ use swifi_lang::{compile, Program};
 use swifi_odc::{DefectType, FieldDistribution, MutationOperator};
 use swifi_programs::TargetProgram;
 
+use swifi_trace::event::{arg_str, arg_u64};
+use swifi_trace::{Telemetry, TraceEvent, WorkerTelemetry, ENGINE_TID};
+
 use crate::engine::{
-    split_records, AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader,
+    split_records, AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, PhaseTime,
 };
 use crate::runner::{classify_outcome, FailureMode, ModeCounts};
 use crate::session::{RunSession, SessionStats, Throughput};
@@ -232,6 +235,8 @@ pub struct SourceCampaign {
     /// Run-engine throughput (run counts folded from the records, so a
     /// resumed campaign reports the same totals as an uninterrupted one).
     pub throughput: Throughput,
+    /// Per-phase wall clock (equality ignores the elapsed component).
+    pub phase_times: Vec<PhaseTime>,
     /// Work items that panicked out of the harness.
     pub abnormal: Vec<AbnormalRun>,
 }
@@ -284,6 +289,9 @@ pub fn source_campaign_with(
     let base = &source.base;
     let mut ref_session = RunSession::new(base, target.family);
     ref_session.set_watchdog(opts.watchdog);
+    if let Some(poll) = opts.watchdog_poll {
+        ref_session.set_watchdog_poll(poll);
+    }
     ref_session.set_block_cache(!opts.no_block_cache);
     let expected: Vec<Vec<u8>> = inputs.iter().map(|i| i.expected_output()).collect();
     let clean: Vec<(FailureMode, Vec<u8>)> = inputs
@@ -302,25 +310,42 @@ pub fn source_campaign_with(
     );
     let mut engine = CampaignEngine::new(header, opts)?;
     let t0 = std::time::Instant::now();
+    let campaign_start = opts.telemetry.as_deref().map(Telemetry::now_us);
 
     // One work item per mutant. Each mutant is its own compiled image, so
     // the worker builds a fresh session per item (snapshot included) and
     // folds its counters into the worker's running stats; the prefix-fork
     // cache does not apply (there is no shared base image to fork from).
+    // The worker's telemetry accumulator is loaned to each per-item
+    // session (so profiling and session events land on the worker's
+    // lane) and reclaimed afterwards — one lane per worker, not one per
+    // mutant.
+    type WorkerState = (SessionStats, Option<WorkerTelemetry>);
     let (records, states) = engine.run_phase(
         "mutants",
         &plans,
-        SessionStats::default,
-        |stats, i, plan| {
+        || -> WorkerState {
+            (
+                SessionStats::default(),
+                opts.telemetry.as_ref().map(|t| t.worker()),
+            )
+        },
+        |state, i, plan| {
             if opts.chaos_panic == Some(i as u64) {
                 panic!("chaos-panic injected at campaign item {i}");
             }
             let PreparedFault::Baked(program) = &plan.fault else {
                 panic!("source plans are baked mutants");
             };
+            let span_start = state.1.as_ref().map(WorkerTelemetry::now_us);
             let mut session = RunSession::new(program, target.family);
             session.set_watchdog(opts.watchdog);
+            if let Some(poll) = opts.watchdog_poll {
+                session.set_watchdog_poll(poll);
+            }
             session.set_block_cache(!opts.no_block_cache);
+            // Loan the worker's lane, not a fresh one per mutant.
+            session.set_telemetry(state.1.take());
             let mut counts = ModeCounts::default();
             let mut activated = 0u64;
             for (j, input) in inputs.iter().enumerate() {
@@ -332,18 +357,39 @@ pub fn source_campaign_with(
                     activated += 1;
                 }
             }
-            stats.merge(&session.stats());
+            state.1 = session.take_telemetry();
+            if let Some(t) = state.1.as_mut() {
+                if let Some(start) = span_start {
+                    // One span per mutant: a baked mutant has no
+                    // single-run boundary the session exposes, so the
+                    // item is the traced unit.
+                    t.complete(
+                        "run",
+                        start,
+                        vec![
+                            arg_str("mutant", &plan.id),
+                            arg_u64("runs", counts.total()),
+                            arg_u64("activated", activated),
+                        ],
+                    );
+                }
+                t.counter_add("runs", counts.total());
+                t.counter_add("fired_runs", activated);
+                t.counter_add("dormant_runs", counts.total() - activated);
+            }
+            state.0.merge(&session.stats());
             (counts, activated)
         },
         |i, plan| format!("mutant #{i}: {} ({})", plan.id, plan.group),
     )?;
+    let phase_times = engine.take_phase_times();
 
     let (ok, abnormal) = split_records(records);
 
     // Fold engine counters from the workers that actually ran, then
     // refold the run totals from the records (resume-safe, like §6).
     let mut stats = SessionStats::default();
-    for s in &states {
+    for (s, _) in &states {
         stats.merge(s);
     }
     stats.merge(&ref_session.stats());
@@ -376,6 +422,7 @@ pub fn source_campaign_with(
         dormant_runs: 0,
         total_runs: 0,
         throughput,
+        phase_times,
         abnormal,
     };
     for (index, (counts, activated)) in ok {
@@ -389,6 +436,18 @@ pub fn source_campaign_with(
             .merge(&counts);
         out.dormant_runs += counts.total() - activated;
         out.total_runs += counts.total();
+    }
+    if let (Some(telemetry), Some(start)) = (opts.telemetry.as_deref(), campaign_start) {
+        telemetry.engine_event(TraceEvent::complete(
+            "campaign",
+            start,
+            telemetry.now_us().saturating_sub(start),
+            ENGINE_TID,
+            vec![
+                arg_str("campaign", format!("source:{}", target.name)),
+                arg_u64("runs", out.total_runs),
+            ],
+        ));
     }
     Ok(out)
 }

@@ -1,18 +1,26 @@
 //! Implementations of the `swifi` subcommands.
 
+use std::sync::Arc;
+
 use swifi_campaign::compare::{compare_representations_with, comparison_table};
 use swifi_campaign::report::{
-    block_cache_line, decode_cache_line, mode_cells, prefix_fork_line, render_table,
-    throughput_line, MODE_HEADERS,
+    block_cache_line, decode_cache_line, mode_cells, phase_times_line, prefix_fork_line,
+    render_table, throughput_line, MODE_HEADERS,
 };
 use swifi_campaign::section6::{class_campaign_with, CampaignScale};
 use swifi_campaign::source::{source_campaign_with, SourceScale};
-use swifi_campaign::CampaignOptions;
+use swifi_campaign::{CampaignOptions, Throughput};
 use swifi_core::emulate::{plan_emulation, EmulationVerdict};
 use swifi_core::injector::{Injector, TriggerMode};
 use swifi_core::locations::generate_error_set;
 use swifi_lang::compile;
 use swifi_programs::{all_programs, program};
+use swifi_trace::metrics::names as metric_names;
+use swifi_trace::profile::DEFAULT_SAMPLE_EVERY;
+use swifi_trace::{
+    attribute, collapsed_stacks, top_table, validate_chrome_trace, FuncRange, Telemetry,
+    TelemetryConfig,
+};
 use swifi_vm::asm::disassemble;
 use swifi_vm::machine::{InputTape, Machine, MachineConfig, RunOutcome};
 use swifi_vm::Noop;
@@ -37,17 +45,31 @@ USAGE:
   swifi compare-representations [--inputs N] source vs binary SWIFI on the
                          [--mutants N]       comparison roster (4 programs)
   swifi metrics FILE|NAME                    software complexity metrics
+  swifi trace-validate FILE                  check a --trace-out file (schema
+                                             + Chrome trace well-formedness)
 
 CAMPAIGN OPTIONS:
   --seed N          campaign seed (default 2024)
   --checkpoint F    append completed run records to the JSONL file F
   --resume          resume from F: recorded runs replay instead of re-running
   --watchdog-ms N   per-run wall-clock budget; slower runs classify as Hang
+  --watchdog-poll N scheduler rounds between watchdog deadline polls
+                    (default 64)
   --chaos-panic N   panic the worker on campaign item N (harness self-test)
   --no-prefix-fork  disable the prefix-fork cache (full prefix per run;
                     reported results are identical either way)
   --no-block-cache  disable basic-block translation (predecoded line
                     cache only; reported results are identical either way)
+
+TELEMETRY OPTIONS (campaign / source-campaign; reported results are
+identical with or without telemetry):
+  --trace-out F     write a Chrome trace-event JSON of the campaign to F
+                    (load in Perfetto or chrome://tracing)
+  --metrics-out F   write the metrics registry snapshot (counters, gauges,
+                    run-latency / retired-instruction histograms) to F
+  --profile         sample guest PCs; print the hottest functions
+  --profile-out F   also write the profile as collapsed stacks to F
+  --profile-every N slow-path sampling period (default 64)
 
 FILE is a MiniC source path; NAME is a roster program (see `swifi list`).
 ";
@@ -309,8 +331,8 @@ pub fn emulate(parsed: &ParsedArgs) -> CmdResult {
 }
 
 /// Parse the robustness options shared by every campaign-style command
-/// (`--checkpoint/--resume`, `--watchdog-ms`, `--chaos-panic`,
-/// `--no-prefix-fork`, `--no-block-cache`).
+/// (`--checkpoint/--resume`, `--watchdog-ms`, `--watchdog-poll`,
+/// `--chaos-panic`, `--no-prefix-fork`, `--no-block-cache`).
 fn campaign_opts(parsed: &ParsedArgs) -> Result<CampaignOptions, String> {
     let mut opts = CampaignOptions {
         checkpoint: parsed.value_opt("checkpoint")?.map(Into::into),
@@ -326,10 +348,135 @@ fn campaign_opts(parsed: &ParsedArgs) -> Result<CampaignOptions, String> {
     if watchdog_ms > 0 {
         opts.watchdog = Some(std::time::Duration::from_millis(watchdog_ms as u64));
     }
+    let watchdog_poll = parsed.int_opt("watchdog-poll", 0)?;
+    if watchdog_poll > 0 {
+        opts.watchdog_poll = Some(watchdog_poll as u32);
+    }
     if parsed.flag("chaos-panic") {
         opts.chaos_panic = Some(parsed.int_opt("chaos-panic", 0)? as u64);
     }
     Ok(opts)
+}
+
+/// The telemetry flags of the campaign commands plus the hub they
+/// configure (`None` when every pillar is off — the no-op contract).
+struct TelemetrySink {
+    hub: Option<Arc<Telemetry>>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
+    profile_out: Option<String>,
+}
+
+/// Parse `--trace-out F`, `--metrics-out F`, `--profile`,
+/// `--profile-out F`, `--profile-every N`.
+fn telemetry_opts(parsed: &ParsedArgs) -> Result<TelemetrySink, String> {
+    let trace_out = parsed.value_opt("trace-out")?.map(str::to_string);
+    let metrics_out = parsed.value_opt("metrics-out")?.map(str::to_string);
+    let profile_out = parsed.value_opt("profile-out")?.map(str::to_string);
+    let profile = parsed.flag("profile") || profile_out.is_some();
+    let config = TelemetryConfig {
+        trace: trace_out.is_some(),
+        metrics: metrics_out.is_some(),
+        profile,
+        profile_every: parsed
+            .int_opt("profile-every", DEFAULT_SAMPLE_EVERY as i64)?
+            .max(1) as u32,
+    };
+    Ok(TelemetrySink {
+        hub: config.any().then(|| Telemetry::shared(config)),
+        trace_out,
+        metrics_out,
+        profile,
+        profile_out,
+    })
+}
+
+/// Export the collected telemetry after a campaign: campaign-level
+/// gauges, the Chrome trace, the metrics JSON, and the attributed guest
+/// profile.
+fn export_telemetry(
+    sink: &TelemetrySink,
+    target: &swifi_programs::TargetProgram,
+    tp: &Throughput,
+) -> CmdResult {
+    let Some(hub) = sink.hub.as_ref() else {
+        return Ok(());
+    };
+    if hub.config().metrics {
+        let injected = tp.fired_runs + tp.dormant_runs;
+        let prefix_rate = if injected > 0 {
+            (tp.prefix_fork_hits + tp.prefix_dormant_short_circuits) as f64 / injected as f64
+        } else {
+            0.0
+        };
+        let dispatches = tp.block_hits + tp.block_fallbacks;
+        let block_rate = if dispatches > 0 {
+            tp.block_hits as f64 / dispatches as f64
+        } else {
+            0.0
+        };
+        hub.with_metrics(|m| {
+            m.gauge_set(metric_names::PREFIX_HIT_RATE, prefix_rate);
+            m.gauge_set(metric_names::BLOCK_CACHE_HIT_RATE, block_rate);
+        });
+    }
+    if let Some(path) = &sink.trace_out {
+        hub.write_chrome_trace(std::path::Path::new(path))?;
+        println!(
+            "trace: {} events written to {path} (load in Perfetto / chrome://tracing)",
+            hub.event_count()
+        );
+    }
+    if let Some(path) = &sink.metrics_out {
+        std::fs::write(path, hub.metrics_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics: written to {path}");
+    }
+    if sink.profile {
+        let compiled = compile(target.source_correct).map_err(|e| e.to_string())?;
+        let funcs: Vec<FuncRange> = compiled
+            .debug
+            .functions
+            .iter()
+            .map(|f| FuncRange {
+                name: f.name.clone(),
+                start: f.start_addr,
+                // FunctionInfo.end_addr is one past the last instruction;
+                // FuncRange.end is inclusive.
+                end: f.end_addr.saturating_sub(1).max(f.start_addr),
+            })
+            .collect();
+        let hist = hub.profile_snapshot();
+        let rows = attribute(&hist, &funcs);
+        println!(
+            "profile: {} samples over {} guest PCs",
+            hist.total(),
+            hist.distinct_pcs()
+        );
+        print!("{}", top_table(&rows, 10));
+        if let Some(path) = &sink.profile_out {
+            std::fs::write(path, collapsed_stacks(target.name, &rows))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("profile: collapsed stacks written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `swifi trace-validate FILE`
+pub fn trace_validate_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let path = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "expected a trace file (from --trace-out)".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let s = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: OK — {} events ({} spans, {} instants), {} phase span(s), {} run span(s), {} lane(s)",
+        s.events, s.spans, s.instants, s.phases, s.runs, s.lanes
+    );
+    Ok(())
 }
 
 /// `swifi campaign NAME [--inputs N] [--seed N] [--checkpoint F [--resume]]
@@ -343,7 +490,9 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
         program(name).ok_or_else(|| format!("unknown program `{name}` (see `swifi list`)"))?;
     let inputs = parsed.int_opt("inputs", 10)? as usize;
     let seed = parsed.int_opt("seed", 2024)? as u64;
-    let opts = campaign_opts(parsed)?;
+    let sink = telemetry_opts(parsed)?;
+    let mut opts = campaign_opts(parsed)?;
+    opts.telemetry = sink.hub.clone();
     println!("campaign on {name} ({inputs} inputs per fault, seed {seed})...");
     let c = class_campaign_with(
         &target,
@@ -365,12 +514,17 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
     println!("{}", decode_cache_line(&c.throughput));
     println!("{}", block_cache_line(&c.throughput));
     println!("{}", prefix_fork_line(&c.throughput));
+    let phases = phase_times_line(&c.phase_times);
+    if !phases.is_empty() {
+        println!("{phases}");
+    }
     for a in &c.abnormal {
         println!(
             "abnormal: {}#{} — {} ({})",
             a.phase, a.index, a.message, a.detail
         );
     }
+    export_telemetry(&sink, &target, &c.throughput)?;
     Ok(())
 }
 
@@ -425,7 +579,9 @@ pub fn source_campaign_cmd(parsed: &ParsedArgs) -> CmdResult {
         inputs_per_mutant: parsed.int_opt("inputs", 6)?.max(1) as usize,
     };
     let seed = parsed.int_opt("seed", 2024)? as u64;
-    let opts = campaign_opts(parsed)?;
+    let sink = telemetry_opts(parsed)?;
+    let mut opts = campaign_opts(parsed)?;
+    opts.telemetry = sink.hub.clone();
     println!(
         "source-mutation campaign on {name} ({} mutants, {} inputs per mutant, seed {seed})...",
         scale.mutant_budget, scale.inputs_per_mutant
@@ -451,12 +607,17 @@ pub fn source_campaign_cmd(parsed: &ParsedArgs) -> CmdResult {
     println!("throughput: {}", throughput_line(&c.throughput));
     println!("{}", decode_cache_line(&c.throughput));
     println!("{}", block_cache_line(&c.throughput));
+    let phases = phase_times_line(&c.phase_times);
+    if !phases.is_empty() {
+        println!("{phases}");
+    }
     for a in &c.abnormal {
         println!(
             "abnormal: {}#{} — {} ({})",
             a.phase, a.index, a.message, a.detail
         );
     }
+    export_telemetry(&sink, &target, &c.throughput)?;
     Ok(())
 }
 

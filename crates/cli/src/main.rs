@@ -12,6 +12,7 @@
 //! swifi source-campaign NAME [--mutants N]     source-level mutation campaign
 //! swifi compare-representations [--inputs N]   source vs binary on the comparison roster
 //! swifi metrics FILE|NAME                      software metrics
+//! swifi trace-validate FILE                    check a --trace-out file
 //! ```
 
 mod args;
@@ -33,6 +34,7 @@ fn main() {
         "source-campaign" => commands::source_campaign_cmd(&parsed),
         "compare-representations" => commands::compare_cmd(&parsed),
         "metrics" => commands::metrics_cmd(&parsed),
+        "trace-validate" => commands::trace_validate_cmd(&parsed),
         "" | "help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

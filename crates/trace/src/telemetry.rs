@@ -1,0 +1,419 @@
+//! The telemetry hub: one shared [`Telemetry`] per campaign, one
+//! [`WorkerTelemetry`] per worker thread.
+//!
+//! Ownership is arranged so the run path never takes a lock: workers
+//! append events to a private buffer and accumulate metrics/profile
+//! samples in private structures, and everything drains into the shared
+//! hub either when a buffer fills or when the worker retires (its
+//! [`WorkerTelemetry`] drops — including the retire-on-panic path, where
+//! the engine keeps worker state alive precisely so counters survive).
+//! The hub's locks are touched once per flush, not once per event.
+//!
+//! When a pillar is disabled its record calls reduce to a flag test; the
+//! campaign session additionally guards its instrumentation behind one
+//! `Option` check per *run*, which is what keeps the disabled-telemetry
+//! overhead under the 1% budget (`BENCH_trace_overhead.json`).
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::Value;
+
+use crate::event::{arg_str, TraceEvent};
+use crate::metrics::{register_run_histograms, MetricsRegistry};
+use crate::profile::{PcHistogram, DEFAULT_SAMPLE_EVERY};
+
+/// Which telemetry pillars are live for a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Collect structured trace events (`--trace-out`).
+    pub trace: bool,
+    /// Accumulate the metrics registry (`--metrics-out`).
+    pub metrics: bool,
+    /// Sample guest PCs (`--profile` / `--profile-out`).
+    pub profile: bool,
+    /// Slow-path sampling period for the profiler.
+    pub profile_every: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            trace: false,
+            metrics: false,
+            profile: false,
+            profile_every: DEFAULT_SAMPLE_EVERY,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Whether any pillar is enabled (a fully-disabled config is
+    /// represented as *no* telemetry object at all in the campaign
+    /// options, so the run path pays a single `Option` test).
+    pub fn any(&self) -> bool {
+        self.trace || self.metrics || self.profile
+    }
+}
+
+/// Worker buffers flush to the hub when they reach this many events.
+const FLUSH_AT: usize = 4096;
+
+/// The engine/driver lane in exported traces; workers get 1, 2, ...
+pub const ENGINE_TID: u64 = 0;
+
+/// The shared, campaign-wide telemetry hub.
+#[derive(Debug)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    metrics: Mutex<MetricsRegistry>,
+    profile: Mutex<PcHistogram>,
+    next_tid: AtomicU64,
+}
+
+impl Telemetry {
+    /// A hub with the given pillars enabled, epoch = now.
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        let mut metrics = MetricsRegistry::new();
+        if config.metrics {
+            register_run_histograms(&mut metrics);
+        }
+        Telemetry {
+            config,
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            metrics: Mutex::new(metrics),
+            profile: Mutex::new(PcHistogram::new()),
+            next_tid: AtomicU64::new(ENGINE_TID + 1),
+        }
+    }
+
+    /// Shorthand for `Arc::new(Telemetry::new(config))`.
+    pub fn shared(config: TelemetryConfig) -> Arc<Telemetry> {
+        Arc::new(Telemetry::new(config))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+
+    /// Microseconds since the hub was created (the trace epoch).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a per-worker accumulator on its own trace lane.
+    pub fn worker(self: &Arc<Self>) -> WorkerTelemetry {
+        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        let mut metrics = MetricsRegistry::new();
+        if self.config.metrics {
+            register_run_histograms(&mut metrics);
+        }
+        WorkerTelemetry {
+            shared: Arc::clone(self),
+            tid,
+            buf: Vec::new(),
+            metrics,
+            profile: PcHistogram::new(),
+        }
+    }
+
+    /// Emit one event on the engine lane (phase spans, checkpoint
+    /// flushes, worker panics). No-op when tracing is off.
+    pub fn engine_event(&self, event: TraceEvent) {
+        if self.config.trace {
+            self.events.lock().unwrap().push(event);
+        }
+    }
+
+    /// Instant on the engine lane at the current time.
+    pub fn engine_instant(&self, name: &str, args: Vec<(String, Value)>) {
+        if self.config.trace {
+            let e = TraceEvent::instant(name, self.now_us(), ENGINE_TID, args);
+            self.events.lock().unwrap().push(e);
+        }
+    }
+
+    /// Bulk-append a worker's drained buffer.
+    fn absorb_events(&self, mut events: Vec<TraceEvent>) {
+        if self.config.trace && !events.is_empty() {
+            self.events.lock().unwrap().append(&mut events);
+        }
+    }
+
+    /// Mutate the shared metrics registry (used by the exporter to set
+    /// campaign-level gauges before snapshotting).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.metrics.lock().unwrap())
+    }
+
+    /// Snapshot the merged metrics registry as pretty JSON.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.lock().unwrap().to_json()
+    }
+
+    /// Snapshot the merged PC histogram.
+    pub fn profile_snapshot(&self) -> PcHistogram {
+        self.profile.lock().unwrap().clone()
+    }
+
+    /// Number of events collected so far (drained worker buffers only).
+    pub fn event_count(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Render every collected event as a Chrome trace-event JSON array,
+    /// one event per line (strictly valid JSON *and* line-parseable),
+    /// sorted by timestamp so the file streams in Perfetto order.
+    pub fn render_chrome_trace(&self) -> String {
+        let mut events = self.events.lock().unwrap().clone();
+        events.sort_by_key(|e| (e.ts, e.tid));
+        let mut out = String::from("[\n");
+        for (i, e) in events.iter().enumerate() {
+            out.push_str(&e.to_json());
+            if i + 1 < events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Write the Chrome trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error message.
+    pub fn write_chrome_trace(&self, path: &Path) -> Result<(), String> {
+        let mut f = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        f.write_all(self.render_chrome_trace().as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// A worker thread's private telemetry accumulator.
+///
+/// All record methods are lock-free; everything drains to the shared hub
+/// on buffer overflow and on drop (worker retirement).
+#[derive(Debug)]
+pub struct WorkerTelemetry {
+    shared: Arc<Telemetry>,
+    tid: u64,
+    buf: Vec<TraceEvent>,
+    metrics: MetricsRegistry,
+    profile: PcHistogram,
+}
+
+impl WorkerTelemetry {
+    /// This worker's trace lane.
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// Microseconds since the campaign epoch.
+    pub fn now_us(&self) -> u64 {
+        self.shared.now_us()
+    }
+
+    /// Whether trace events are being collected.
+    pub fn trace_enabled(&self) -> bool {
+        self.shared.config.trace
+    }
+
+    /// Whether the metrics registry is live.
+    pub fn metrics_enabled(&self) -> bool {
+        self.shared.config.metrics
+    }
+
+    /// Whether guest-PC sampling is on.
+    pub fn profile_enabled(&self) -> bool {
+        self.shared.config.profile
+    }
+
+    /// The sampling histogram and slow-path period, for wiring a
+    /// [`crate::profile::ProfiledInspector`] around an inner inspector.
+    pub fn profiler(&mut self) -> (&mut PcHistogram, u32) {
+        (&mut self.profile, self.shared.config.profile_every)
+    }
+
+    /// Buffer an instant event on this worker's lane.
+    pub fn instant(&mut self, name: &str, args: Vec<(String, Value)>) {
+        if self.shared.config.trace {
+            let e = TraceEvent::instant(name, self.shared.now_us(), self.tid, args);
+            self.push(e);
+        }
+    }
+
+    /// Buffer a completed span that started at `start_us` and ends now.
+    pub fn complete(&mut self, name: &str, start_us: u64, args: Vec<(String, Value)>) {
+        if self.shared.config.trace {
+            let now = self.shared.now_us();
+            let e =
+                TraceEvent::complete(name, start_us, now.saturating_sub(start_us), self.tid, args);
+            self.push(e);
+        }
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        self.buf.push(e);
+        if self.buf.len() >= FLUSH_AT {
+            self.shared.absorb_events(std::mem::take(&mut self.buf));
+        }
+    }
+
+    /// Add to a named counter (no-op when metrics are off).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if self.shared.config.metrics {
+            self.metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Observe into a named histogram (no-op when metrics are off).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        if self.shared.config.metrics {
+            self.metrics.observe(name, v);
+        }
+    }
+}
+
+impl Drop for WorkerTelemetry {
+    fn drop(&mut self) {
+        if self.shared.config.trace {
+            let e = TraceEvent::instant(
+                "worker_retire",
+                self.shared.now_us(),
+                self.tid,
+                vec![arg_str("reason", "drop")],
+            );
+            self.buf.push(e);
+        }
+        self.shared.absorb_events(std::mem::take(&mut self.buf));
+        if self.shared.config.metrics {
+            self.shared
+                .with_metrics(|m| m.merge(&std::mem::take(&mut self.metrics)));
+        }
+        if self.shared.config.profile && self.profile.total() > 0 {
+            let hist = std::mem::take(&mut self.profile);
+            self.shared.profile.lock().unwrap().merge(&hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::arg_u64;
+    use crate::metrics::names;
+
+    fn all_on() -> TelemetryConfig {
+        TelemetryConfig {
+            trace: true,
+            metrics: true,
+            profile: true,
+            profile_every: 8,
+        }
+    }
+
+    #[test]
+    fn worker_events_drain_on_drop() {
+        let hub = Telemetry::shared(all_on());
+        {
+            let mut w = hub.worker();
+            w.instant("fork_hit", vec![arg_u64("pc", 0x1000)]);
+            w.complete("run", w.now_us(), vec![]);
+            assert_eq!(hub.event_count(), 0, "buffered, not yet drained");
+        }
+        // Two buffered events plus the worker_retire marker.
+        assert_eq!(hub.event_count(), 3);
+    }
+
+    #[test]
+    fn worker_metrics_and_profile_merge_on_drop() {
+        let hub = Telemetry::shared(all_on());
+        {
+            let mut w = hub.worker();
+            w.counter_add("runs", 2);
+            w.observe(names::RUN_LATENCY_US, 5.0);
+            let (hist, every) = w.profiler();
+            assert_eq!(every, 8);
+            hist.record(0x1000, 4);
+        }
+        assert_eq!(hub.with_metrics(|m| m.counter("runs")), 2);
+        assert_eq!(
+            hub.with_metrics(|m| m.histogram(names::RUN_LATENCY_US).unwrap().count()),
+            1
+        );
+        assert_eq!(hub.profile_snapshot().total(), 4);
+    }
+
+    #[test]
+    fn disabled_pillars_record_nothing() {
+        let hub = Telemetry::shared(TelemetryConfig::default());
+        {
+            let mut w = hub.worker();
+            w.instant("fork_hit", vec![]);
+            w.counter_add("runs", 1);
+            w.observe(names::RUN_LATENCY_US, 1.0);
+        }
+        assert_eq!(hub.event_count(), 0);
+        assert_eq!(hub.with_metrics(|m| m.counter("runs")), 0);
+        assert_eq!(hub.profile_snapshot().total(), 0);
+    }
+
+    #[test]
+    fn workers_get_distinct_lanes() {
+        let hub = Telemetry::shared(all_on());
+        let a = hub.worker();
+        let b = hub.worker();
+        assert_ne!(a.tid(), b.tid());
+        assert_ne!(a.tid(), ENGINE_TID);
+    }
+
+    #[test]
+    fn chrome_render_is_valid_json_sorted_by_ts() {
+        let hub = Telemetry::shared(all_on());
+        hub.engine_event(TraceEvent::instant(
+            "checkpoint_flush",
+            50,
+            ENGINE_TID,
+            vec![],
+        ));
+        hub.engine_event(TraceEvent::complete(
+            "phase:assign",
+            10,
+            90,
+            ENGINE_TID,
+            vec![],
+        ));
+        let text = hub.render_chrome_trace();
+        let v: Value = serde_json::from_str(&text).expect("strict JSON");
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        // Sorted: the ts=10 span precedes the ts=50 instant.
+        let first = arr[0].as_object().unwrap();
+        let name = first.iter().find(|(k, _)| k == "name").unwrap().1.clone();
+        assert_eq!(name, Value::Str("phase:assign".into()));
+        // One event per line between the brackets.
+        assert_eq!(text.lines().count(), 2 + arr.len());
+    }
+
+    #[test]
+    fn big_buffers_flush_before_drop() {
+        let hub = Telemetry::shared(all_on());
+        let mut w = hub.worker();
+        for _ in 0..FLUSH_AT {
+            w.instant("fork_hit", vec![]);
+        }
+        assert_eq!(hub.event_count(), FLUSH_AT, "cap flush happened");
+        drop(w);
+        assert_eq!(hub.event_count(), FLUSH_AT + 1, "retire marker");
+    }
+}

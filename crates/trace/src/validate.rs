@@ -1,0 +1,220 @@
+//! Schema validation for exported traces (`swifi trace-validate`,
+//! `scripts/trace_smoke.sh`).
+//!
+//! The exporter writes a strictly valid Chrome trace-event JSON array
+//! with one event per line; the validator checks both readings — the
+//! whole file parses as a JSON array, and each line parses on its own
+//! (after stripping the array brackets and separators) — plus the event
+//! schema: required Chrome fields, known event names, and the structural
+//! expectations a campaign trace must meet.
+
+use serde::Value;
+
+use crate::event::known_event;
+
+/// What a validated trace contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in the file.
+    pub events: usize,
+    /// Completed spans (`ph == "X"`).
+    pub spans: usize,
+    /// Instants (`ph == "i"`).
+    pub instants: usize,
+    /// `run` spans.
+    pub runs: usize,
+    /// `phase:*` spans.
+    pub phases: usize,
+    /// Distinct lanes (`tid`s) seen.
+    pub lanes: usize,
+}
+
+fn field<'v>(obj: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn num(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+/// Validate one event object against the schema.
+fn validate_event(v: &Value, line_no: usize, summary: &mut TraceSummary) -> Result<u64, String> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| format!("line {line_no}: event is not a JSON object"))?;
+    let name = field(obj, "name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing string `name`"))?;
+    if !known_event(name) {
+        return Err(format!("line {line_no}: unknown event name `{name}`"));
+    }
+    let ph = field(obj, "ph")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing string `ph`"))?;
+    field(obj, "ts")
+        .and_then(num)
+        .ok_or_else(|| format!("line {line_no}: missing numeric `ts`"))?;
+    field(obj, "pid")
+        .and_then(num)
+        .ok_or_else(|| format!("line {line_no}: missing numeric `pid`"))?;
+    let tid = field(obj, "tid")
+        .and_then(num)
+        .ok_or_else(|| format!("line {line_no}: missing numeric `tid`"))?;
+    match ph {
+        "X" => {
+            field(obj, "dur")
+                .and_then(num)
+                .ok_or_else(|| format!("line {line_no}: `X` event without numeric `dur`"))?;
+            summary.spans += 1;
+            if name == "run" {
+                summary.runs += 1;
+            }
+            if name.starts_with("phase:") {
+                summary.phases += 1;
+            }
+        }
+        "i" => {
+            field(obj, "s")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {line_no}: instant without scope `s`"))?;
+            summary.instants += 1;
+        }
+        other => return Err(format!("line {line_no}: unsupported phase `{other}`")),
+    }
+    summary.events += 1;
+    Ok(tid)
+}
+
+/// Validate an exported trace file's contents.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line when the file is
+/// not a well-formed Chrome trace-event array, an event violates the
+/// schema, or the trace lacks the structure every campaign trace has
+/// (at least one `phase:*` span and one `run` span).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    // Reading 1: the whole file is strict JSON.
+    let whole: Value =
+        serde_json::from_str(text).map_err(|e| format!("file is not valid JSON: {}", e.0))?;
+    if whole.as_array().is_none() {
+        return Err("top-level JSON value is not an array".to_string());
+    }
+
+    // Reading 2: line-oriented — brackets on their own lines, each event
+    // parseable in isolation (what makes the file consumable as JSONL).
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty trace file")?;
+    if first.trim() != "[" {
+        return Err(format!("first line must be `[`, got `{first}`"));
+    }
+    let mut summary = TraceSummary::default();
+    let mut lanes = std::collections::BTreeSet::new();
+    let mut closed = false;
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if closed {
+            return Err(format!("line {line_no}: content after closing `]`"));
+        }
+        if trimmed == "]" {
+            closed = true;
+            continue;
+        }
+        let event_src = trimmed.strip_suffix(',').unwrap_or(trimmed);
+        let v: Value = serde_json::from_str(event_src)
+            .map_err(|e| format!("line {line_no}: not a JSON object: {}", e.0))?;
+        lanes.insert(validate_event(&v, line_no, &mut summary)?);
+    }
+    if !closed {
+        return Err("missing closing `]`".to_string());
+    }
+    summary.lanes = lanes.len();
+    if summary.events == 0 {
+        return Err("trace contains no events".to_string());
+    }
+    if summary.phases == 0 {
+        return Err("trace contains no `phase:*` span".to_string());
+    }
+    if summary.runs == 0 {
+        return Err("trace contains no `run` span".to_string());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{arg_u64, TraceEvent};
+    use crate::telemetry::{Telemetry, TelemetryConfig, ENGINE_TID};
+
+    fn traced_hub() -> std::sync::Arc<Telemetry> {
+        Telemetry::shared(TelemetryConfig {
+            trace: true,
+            ..TelemetryConfig::default()
+        })
+    }
+
+    fn minimal_trace() -> String {
+        let hub = traced_hub();
+        hub.engine_event(TraceEvent::complete(
+            "phase:assign",
+            0,
+            100,
+            ENGINE_TID,
+            vec![],
+        ));
+        {
+            let mut w = hub.worker();
+            w.complete("run", 10, vec![arg_u64("retired", 42)]);
+            w.instant("fork_hit", vec![]);
+        }
+        hub.render_chrome_trace()
+    }
+
+    #[test]
+    fn exporter_output_validates() {
+        let text = minimal_trace();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert!(summary.events >= 3);
+        assert_eq!(summary.phases, 1);
+        assert_eq!(summary.runs, 1);
+        assert!(summary.lanes >= 2, "engine lane + worker lane");
+    }
+
+    #[test]
+    fn rejects_unknown_event_names() {
+        let text =
+            "[\n{\"name\":\"bogus\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0,\"s\":\"t\"}\n]\n";
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("unknown event name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_span_without_dur() {
+        let text = "[\n{\"name\":\"run\",\"ph\":\"X\",\"ts\":1,\"pid\":1,\"tid\":0}\n]\n";
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+    }
+
+    #[test]
+    fn rejects_traces_without_campaign_structure() {
+        // Valid events, but no phase span.
+        let text = "[\n{\"name\":\"run\",\"ph\":\"X\",\"ts\":1,\"dur\":1,\"pid\":1,\"tid\":0}\n]\n";
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("phase"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_json() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+}

@@ -421,10 +421,17 @@ pub struct Machine {
     /// depth above the instruction budget for runs that are slow rather
     /// than long (e.g. pathological slow-path behaviour under injection).
     deadline: Option<Instant>,
+    /// Scheduler rounds between watchdog clock reads (see
+    /// [`Machine::set_watchdog_poll`]); only consulted while a deadline
+    /// is armed.
+    watchdog_poll: u32,
     /// Armed fetch breakpoint for the current [`Machine::run_to_fetch`]
     /// call; always `None` outside it, so ordinary runs pay nothing.
     fetch_break: Option<FetchBreak>,
 }
+
+/// Default scheduler rounds between watchdog deadline polls.
+pub const DEFAULT_WATCHDOG_POLL: u32 = 64;
 
 impl Machine {
     /// Build a machine per `config` with empty memory and input.
@@ -456,6 +463,7 @@ impl Machine {
             block_interp: true,
             pinned_pcs: Vec::new(),
             deadline: None,
+            watchdog_poll: DEFAULT_WATCHDOG_POLL,
             fetch_break: None,
         }
     }
@@ -665,6 +673,21 @@ impl Machine {
         self.deadline = deadline;
     }
 
+    /// Set how many scheduler rounds elapse between watchdog clock reads
+    /// while a [`Machine::set_deadline`] deadline is armed (default
+    /// [`DEFAULT_WATCHDOG_POLL`]; clamped to at least 1). Lower values
+    /// detect wall-clock expiry sooner at the cost of more `Instant::now`
+    /// calls; round 0 always polls, so a zero-length deadline still fires
+    /// deterministically at any interval.
+    pub fn set_watchdog_poll(&mut self, rounds: u32) {
+        self.watchdog_poll = rounds.max(1);
+    }
+
+    /// The configured watchdog poll interval, in scheduler rounds.
+    pub fn watchdog_poll(&self) -> u32 {
+        self.watchdog_poll
+    }
+
     /// Switch between the predecoded-cache interpreter (default) and the
     /// seed's decode-every-fetch reference interpreter.
     ///
@@ -800,9 +823,11 @@ impl Machine {
         // basic blocks.
         let cached = !self.reference_interp && !self.pin_all;
         let use_blocks = cached && self.block_interp;
-        // The watchdog polls the wall clock every 64th scheduler round,
-        // starting with round 0 so a zero-length deadline (tests, CI
-        // smoke) fires deterministically before any instruction retires.
+        // The watchdog polls the wall clock every `watchdog_poll`-th
+        // scheduler round, starting with round 0 so a zero-length deadline
+        // (tests, CI smoke) fires deterministically before any instruction
+        // retires.
+        let wd_poll = self.watchdog_poll;
         let mut wd_round: u32 = 0;
         loop {
             // The output cap is checked on the syscall path (the only place
@@ -819,7 +844,7 @@ impl Machine {
                         output: std::mem::take(&mut self.output),
                     });
                 }
-                wd_round = (wd_round + 1) % 64;
+                wd_round = (wd_round + 1) % wd_poll;
             }
             let mut any_running = false;
             for c in 0..self.cores.len() {
@@ -2214,6 +2239,29 @@ mod tests {
         m.load(&image);
         m.set_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
         assert!(matches!(m.run(&mut Noop), RunOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn watchdog_poll_interval_is_configurable() {
+        let image = assemble("addi r3, r0, 0\nhalt").expect("assembles");
+        let mut m = Machine::new(MachineConfig::default());
+        // Round 0 always polls, so expiry stays deterministic at any
+        // interval — including a degenerate 0, which clamps to 1.
+        for rounds in [1u32, 0, 7, 4096] {
+            m.set_watchdog_poll(rounds);
+            m.load(&image);
+            m.set_deadline(Some(Instant::now()));
+            let before = m.retired();
+            let out = m.run(&mut Noop);
+            assert!(matches!(out, RunOutcome::Hang { .. }), "poll {rounds}");
+            // `retired` is cumulative across loads; the expired run must
+            // not have advanced it.
+            assert_eq!(m.retired(), before, "poll {rounds}");
+            // And unexpired deadlines stay harmless at that interval.
+            m.load(&image);
+            m.set_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+            assert!(matches!(m.run(&mut Noop), RunOutcome::Completed { .. }));
+        }
     }
 
     #[test]

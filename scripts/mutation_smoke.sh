@@ -40,7 +40,7 @@ done
 # 3. Tiny seeded campaign; strip the wall-clock- and cache-strategy-
 # dependent lines and diff against the committed golden summary.
 "$BIN" source-campaign "$PROGRAM" --mutants 6 --inputs 2 --seed 7 \
-  | grep -v -e '^throughput:' -e '^icache:' -e '^blocks:' > "$TMP/summary.txt"
+  | grep -v -e '^throughput:' -e '^icache:' -e '^blocks:' -e '^phases:' > "$TMP/summary.txt"
 diff -u scripts/golden/mutation_smoke.txt "$TMP/summary.txt"
 
 echo "mutation smoke: OK ($COUNT mutants compile)"

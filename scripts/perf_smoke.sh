@@ -33,7 +33,7 @@ if [ "$MODE" = equivalence ]; then
   fi
   TMP="$(mktemp -d)"
   trap 'rm -rf "$TMP"' EXIT
-  filter() { grep -v -e '^throughput:' -e '^icache:' -e '^prefix-fork:' -e '^blocks:'; }
+  filter() { grep -v -e '^throughput:' -e '^icache:' -e '^prefix-fork:' -e '^blocks:' -e '^phases:'; }
   for t in JB.team11 JB.team6; do
     "$BIN" campaign "$t" --inputs 4 --seed 2024 | filter > "$TMP/on.txt" || exit 2
     for flag in --no-prefix-fork --no-block-cache; do

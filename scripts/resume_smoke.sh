@@ -24,7 +24,7 @@ run() { "$BIN" campaign JB.team11 --inputs 3 --seed 7 "$@"; }
 
 # Strip the wall-clock- and cache-strategy-dependent lines; everything
 # else in the campaign report is seed-deterministic.
-report() { grep -v -e '^throughput:' -e '^icache:' -e '^prefix-fork:' -e '^blocks:'; }
+report() { grep -v -e '^throughput:' -e '^icache:' -e '^prefix-fork:' -e '^blocks:' -e '^phases:'; }
 
 run | report > "$TMP/reference.txt"
 

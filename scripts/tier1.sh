@@ -14,3 +14,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 ./scripts/resume_smoke.sh
 ./scripts/mutation_smoke.sh
 ./scripts/perf_smoke.sh equivalence
+./scripts/trace_smoke.sh

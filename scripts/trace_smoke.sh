@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Trace smoke test: run a tiny traced §6 campaign through the CLI, then
+# require (1) the Chrome trace to pass `swifi trace-validate` (whole-file
+# JSON well-formedness, per-line event schema, phase + run spans
+# present), (2) the metrics snapshot to contain the run-latency and
+# retired-instruction histograms, (3) the profile outputs to attribute
+# samples to guest functions, and (4) the report to be byte-identical to
+# the same seed with telemetry off — the no-op contract at CLI
+# granularity (crates/campaign tests pin it in-process).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/swifi
+if [[ ! -x "$BIN" ]]; then
+  cargo build --release -p swifi-cli
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run() { "$BIN" campaign JB.team11 --inputs 3 --seed 7 "$@"; }
+# Telemetry adds report lines of its own (trace:/metrics:/profile...),
+# and the wall-clock lines differ run to run; everything else must match.
+report() {
+  grep -v -e '^throughput:' -e '^icache:' -e '^prefix-fork:' -e '^blocks:' \
+    -e '^phases:' -e '^trace:' -e '^metrics:' -e '^profile' \
+    -e '^function' -e '^main' -e '^is_printable' -e '^<unknown>'
+}
+
+# 1. Fully instrumented campaign.
+run --trace-out "$TMP/trace.json" --metrics-out "$TMP/metrics.json" \
+  --profile --profile-out "$TMP/profile.txt" > "$TMP/traced.txt"
+
+# 2. The trace loads as strict JSON and as per-line Chrome events.
+"$BIN" trace-validate "$TMP/trace.json"
+
+# 3. Chrome well-formedness from first principles too: the file is one
+# JSON array, every event names a known kind, spans carry durations.
+python3 - "$TMP/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace must be a non-empty array"
+for e in events:
+    assert e["ph"] in ("X", "i"), e
+    assert isinstance(e["ts"], int), e
+    if e["ph"] == "X":
+        assert "dur" in e, e
+names = {e["name"] for e in events}
+assert "run" in names and any(n.startswith("phase:") for n in names), names
+EOF
+
+# 4. The metrics snapshot carries the advertised histograms and gauges.
+for key in run_latency_us retired_instrs_per_run prefix_hit_rate block_cache_hit_rate; do
+  grep -q "\"$key\"" "$TMP/metrics.json" \
+    || { echo "trace smoke: $key missing from metrics snapshot" >&2; exit 1; }
+done
+
+# 5. The profile attributed samples to guest functions.
+grep -q ';main ' "$TMP/profile.txt" \
+  || { echo "trace smoke: profile did not attribute samples to main" >&2; exit 1; }
+
+# 6. No-op contract: telemetry must not change the reported results.
+run > "$TMP/plain.txt"
+diff -u <(report < "$TMP/plain.txt") <(report < "$TMP/traced.txt")
+
+# 7. Garbage is rejected, not silently summarised.
+echo 'not json' > "$TMP/garbage.json"
+if "$BIN" trace-validate "$TMP/garbage.json" 2>/dev/null; then
+  echo "trace smoke: validator accepted garbage" >&2
+  exit 1
+fi
+
+echo "trace smoke: OK"

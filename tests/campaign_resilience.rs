@@ -12,6 +12,23 @@ use swifi_campaign::section6::{class_campaign_with, CampaignScale};
 use swifi_campaign::source::{source_campaign_with, SourceScale};
 use swifi_campaign::CampaignOptions;
 use swifi_programs::program;
+use swifi_trace::{Telemetry, TelemetryConfig};
+
+/// Campaign options with every telemetry pillar live (trace events,
+/// metrics registry, guest-PC profiler) plus a non-default watchdog poll
+/// interval — the most-instrumented configuration a CLI user can reach.
+fn instrumented() -> CampaignOptions {
+    CampaignOptions {
+        telemetry: Some(Telemetry::shared(TelemetryConfig {
+            trace: true,
+            metrics: true,
+            profile: true,
+            ..TelemetryConfig::default()
+        })),
+        watchdog_poll: Some(16),
+        ..CampaignOptions::default()
+    }
+}
 
 fn temp_path(tag: &str) -> PathBuf {
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -249,6 +266,108 @@ fn abnormal_records_replay_on_resume() {
     .unwrap();
     assert_eq!(resumed, first);
     assert_eq!(resumed.abnormal, first.abnormal);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn telemetry_is_a_pure_observer_of_class_campaigns() {
+    // The no-op contract, in-process: a campaign with every telemetry
+    // pillar live must report *equal* (run counts, failure-mode tables,
+    // abnormal records — everything `PartialEq` covers) to the same seed
+    // with telemetry absent. The trace/metrics/profile sinks observe;
+    // they never steer.
+    let target = program("JB.team11").unwrap();
+    let scale = CampaignScale {
+        inputs_per_fault: 2,
+    };
+    let seed = 41;
+
+    let plain = class_campaign_with(&target, scale, seed, &CampaignOptions::default()).unwrap();
+
+    let opts = instrumented();
+    let hub = opts.telemetry.clone().unwrap();
+    let traced = class_campaign_with(&target, scale, seed, &opts).unwrap();
+
+    assert_eq!(traced, plain, "telemetry must not perturb the report");
+    assert_eq!(
+        traced.throughput.equality_key(),
+        plain.throughput.equality_key()
+    );
+
+    // And the instrumentation genuinely ran: events were buffered, the
+    // run-span count matches the report's run count, metrics accumulated,
+    // and the profiler attributed samples.
+    assert!(hub.event_count() > 0, "trace events must have been emitted");
+    let trace = hub.render_chrome_trace();
+    let summary = swifi_trace::validate_chrome_trace(&trace).unwrap();
+    assert_eq!(summary.runs, plain.total_runs as usize);
+    assert!(summary.phases >= 2, "assign + check phase spans expected");
+    let metrics = hub.metrics_json();
+    assert!(metrics.contains("\"run_latency_us\""), "{metrics}");
+    assert!(metrics.contains("\"retired_instrs_per_run\""), "{metrics}");
+    assert!(
+        hub.profile_snapshot().total() > 0,
+        "profiler sampled no PCs"
+    );
+}
+
+#[test]
+fn telemetry_is_a_pure_observer_of_source_campaigns() {
+    let target = program("JB.team11").unwrap();
+    let scale = SourceScale {
+        mutant_budget: 6,
+        inputs_per_mutant: 2,
+    };
+    let seed = 41;
+
+    let plain = source_campaign_with(&target, scale, seed, &CampaignOptions::default()).unwrap();
+
+    let opts = instrumented();
+    let hub = opts.telemetry.clone().unwrap();
+    let traced = source_campaign_with(&target, scale, seed, &opts).unwrap();
+
+    assert_eq!(traced, plain, "telemetry must not perturb the report");
+    assert!(hub.event_count() > 0, "trace events must have been emitted");
+}
+
+#[test]
+fn resume_under_tracing_matches_uninterrupted_run() {
+    // Crash-resilience and observability compose: a campaign checkpointed
+    // with full telemetry on, killed, then *resumed* with full telemetry
+    // on must still fold to the same report as an uninterrupted,
+    // uninstrumented run. Replayed-from-disk records skip execution, so
+    // the resumed trace is smaller — but the report cannot differ.
+    let target = program("JB.team11").unwrap();
+    let scale = CampaignScale {
+        inputs_per_fault: 2,
+    };
+    let seed = 41;
+
+    let uninterrupted =
+        class_campaign_with(&target, scale, seed, &CampaignOptions::default()).unwrap();
+
+    let path = temp_path("trace-resume");
+    let record = CampaignOptions {
+        checkpoint: Some(path.clone()),
+        ..instrumented()
+    };
+    let full = class_campaign_with(&target, scale, seed, &record).unwrap();
+    assert_eq!(
+        full, uninterrupted,
+        "tracing + checkpointing must not perturb"
+    );
+    truncate_checkpoint(&path, 7);
+
+    let resume = CampaignOptions {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..instrumented()
+    };
+    let hub = resume.telemetry.clone().unwrap();
+    let resumed = class_campaign_with(&target, scale, seed, &resume).unwrap();
+    assert_eq!(resumed, uninterrupted, "traced resume must be equal");
+    assert!(hub.event_count() > 0, "resume still traces re-run items");
 
     std::fs::remove_file(&path).ok();
 }
