@@ -219,7 +219,10 @@ impl CheckpointLog {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read checkpoint `{}`: {e}", path.display()))?;
         if text.is_empty() {
-            return Err(format!("checkpoint `{}` is empty", path.display()));
+            // A kill between `File::create` and the header write leaves a
+            // zero-byte file; that is the missing-file fresh start, not
+            // corruption.
+            return CheckpointLog::create(path, header);
         }
         // Walk the file by byte offset so the valid prefix length is known
         // exactly: everything past the last well-formed line is a torn
@@ -364,6 +367,12 @@ pub struct CampaignOptions {
     /// (`--watchdog-poll`); `None` keeps the machine default of
     /// [`swifi_vm::machine::DEFAULT_WATCHDOG_POLL`].
     pub watchdog_poll: Option<u32>,
+    /// Run only this shard's contiguous slice of each phase's items; the
+    /// rest are neither executed nor recorded. Shard checkpoints union
+    /// into a whole campaign via [`crate::shard::merge_checkpoints`], and
+    /// a final resume pass over the merged checkpoint reproduces the
+    /// single-process report exactly (the shard-equality oracle).
+    pub shard: Option<crate::shard::Shard>,
 }
 
 impl CampaignOptions {
@@ -431,6 +440,7 @@ pub struct CampaignEngine {
     log: Option<CheckpointLog>,
     telemetry: Option<Arc<Telemetry>>,
     phase_times: Vec<PhaseTime>,
+    shard: Option<crate::shard::Shard>,
 }
 
 impl CampaignEngine {
@@ -442,10 +452,14 @@ impl CampaignEngine {
             Some(path) if opts.resume => Some(CheckpointLog::resume(path, &header)?),
             Some(path) => Some(CheckpointLog::create(path, &header)?),
         };
+        if let Some(shard) = &opts.shard {
+            shard.validate()?;
+        }
         Ok(CampaignEngine {
             log,
             telemetry: opts.telemetry.clone(),
             phase_times: Vec::new(),
+            shard: opts.shard,
         })
     }
 
@@ -491,20 +505,27 @@ impl CampaignEngine {
     {
         let t0 = Instant::now();
         let span_start = self.telemetry.as_deref().map(Telemetry::now_us);
+        // In shard mode only this shard's contiguous slice executes;
+        // recorded items replay regardless (a merged checkpoint may carry
+        // records from every shard, and replay is what makes the final
+        // resume pass reproduce the whole campaign).
+        let mine = self.shard.map_or(0..items.len(), |s| s.range(items.len()));
         let mut records: Vec<Option<RunRecord<R>>> = (0..items.len()).map(|_| None).collect();
         let mut pending: Vec<(usize, &T)> = Vec::new();
         for (i, item) in items.iter().enumerate() {
-            match &self.log {
-                Some(log) => match log.recorded::<R>(phase, i as u64)? {
-                    Some(rec) => records[i] = Some(rec),
-                    None => pending.push((i, item)),
-                },
-                None => pending.push((i, item)),
+            let recorded = match &self.log {
+                Some(log) => log.recorded::<R>(phase, i as u64)?,
+                None => None,
+            };
+            match recorded {
+                Some(rec) => records[i] = Some(rec),
+                None if mine.contains(&i) => pending.push((i, item)),
+                None => {} // another shard's item: neither run nor recorded
             }
         }
 
         if pending.is_empty() {
-            let records = records.into_iter().map(Option::unwrap).collect();
+            let records = records.into_iter().flatten().collect();
             self.finish_phase(phase, items.len(), 0, t0, span_start);
             return Ok((records, Vec::new()));
         }
@@ -553,7 +574,7 @@ impl CampaignEngine {
                 describe(i, item)
             }));
         }
-        let records = records.into_iter().map(Option::unwrap).collect();
+        let records = records.into_iter().flatten().collect();
         self.finish_phase(phase, items.len(), pending.len(), t0, span_start);
         Ok((records, states))
     }
@@ -762,6 +783,61 @@ mod tests {
             assert_eq!(r.status, RunStatus::Ok(i as u32 * 3), "item {i}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_against_zero_byte_checkpoint_is_a_fresh_start() {
+        // A kill between `File::create` and the header write leaves an
+        // empty file; resume must treat it like the missing-file path.
+        let path = temp_path("empty");
+        std::fs::write(&path, "").unwrap();
+        let header = CheckpointHeader::new("e", 7, 1);
+        let mut log = CheckpointLog::resume(&path, &header).unwrap();
+        assert_eq!(log.loaded_records(), 0);
+        log.append(&RunRecord {
+            phase: "p".to_string(),
+            index: 0,
+            elapsed_micros: 1,
+            status: RunStatus::Ok(1u32),
+        })
+        .unwrap();
+        drop(log);
+        // The fresh start wrote a real header, so the next resume loads.
+        let log = CheckpointLog::resume(&path, &header).unwrap();
+        assert_eq!(log.loaded_records(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_mode_runs_only_its_slice() {
+        let items: Vec<u32> = (0..10).collect();
+        let opts = CampaignOptions {
+            shard: Some(crate::shard::Shard::new(1, 3).unwrap()),
+            ..CampaignOptions::default()
+        };
+        let mut engine = CampaignEngine::new(CheckpointHeader::new("s", 1, 1), &opts).unwrap();
+        let (records, _) = engine
+            .run_phase(
+                "p",
+                &items,
+                || (),
+                |(), _, &x| x,
+                |i, _| format!("item {i}"),
+            )
+            .unwrap();
+        // Shard 1 of 3 over 10 items owns indices 3..6 and nothing else.
+        let indices: Vec<u64> = records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn invalid_shard_is_refused() {
+        let opts = CampaignOptions {
+            shard: Some(crate::shard::Shard { index: 5, count: 3 }),
+            ..CampaignOptions::default()
+        };
+        let err = CampaignEngine::new(CheckpointHeader::new("s", 1, 1), &opts).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod runner;
 pub mod section5;
 pub mod section6;
 pub mod session;
+pub mod shard;
 pub mod source;
 pub mod triggers;
 
@@ -72,4 +73,5 @@ pub use prefix::{GoldenRun, PrefixCache};
 pub use runner::{classify_outcome, execute, execute_cold, FailureMode, ModeCounts};
 pub use section6::{campaign_all, class_campaign, CampaignScale, ProgramCampaign};
 pub use session::{RunSession, SessionStats, Throughput};
+pub use shard::{merge_checkpoints, run_sharded, MergeSummary, Shard};
 pub use source::{source_campaign, SourceCampaign, SourceMutationSource, SourceScale};

@@ -3,7 +3,9 @@
 
 use crate::engine::PhaseTime;
 use crate::runner::{FailureMode, ModeCounts};
+use crate::section6::ProgramCampaign;
 use crate::session::Throughput;
+use crate::source::SourceCampaign;
 
 /// Render an aligned text table.
 ///
@@ -165,6 +167,88 @@ pub fn phase_times_line(phases: &[PhaseTime]) -> String {
         })
         .collect();
     format!("phases: {}", cells.join("; "))
+}
+
+/// The full report text of a §6 class campaign: the failure-mode table,
+/// run totals, throughput/cache/phase lines, and abnormal records.
+///
+/// `swifi campaign` and the server's `submit` reply both render through
+/// here, so a sharded campaign's merged report can be `diff`ed against
+/// the single-process run byte-for-byte (the smoke scripts filter the
+/// wall-clock lines, which are host noise by design).
+pub fn class_campaign_report(c: &ProgramCampaign) -> String {
+    let mut headers = vec!["Fault class"];
+    headers.extend(MODE_HEADERS);
+    let mut assign_row = vec!["assignment".to_string()];
+    assign_row.extend(mode_cells(&c.assign_modes));
+    let mut check_row = vec!["checking".to_string()];
+    check_row.extend(mode_cells(&c.check_modes));
+    let mut out = render_table(&headers, &[assign_row, check_row]);
+    out.push_str(&format!(
+        "total runs: {}, dormant: {}\n",
+        c.total_runs, c.dormant_runs
+    ));
+    out.push_str(&format!("throughput: {}\n", throughput_line(&c.throughput)));
+    out.push_str(&decode_cache_line(&c.throughput));
+    out.push('\n');
+    out.push_str(&block_cache_line(&c.throughput));
+    out.push('\n');
+    out.push_str(&prefix_fork_line(&c.throughput));
+    out.push('\n');
+    let phases = phase_times_line(&c.phase_times);
+    if !phases.is_empty() {
+        out.push_str(&phases);
+        out.push('\n');
+    }
+    push_abnormal_lines(&mut out, &c.abnormal);
+    out
+}
+
+/// The full report text of a source-mutation campaign (the
+/// `swifi source-campaign` body below the banner line), shared with the
+/// server for the same byte-equality reason as [`class_campaign_report`].
+pub fn source_campaign_report(c: &SourceCampaign) -> String {
+    let mut out = format!(
+        "{} of {} possible mutants injected\n",
+        c.selected_mutants, c.total_mutants
+    );
+    let mut headers = vec!["Operator", "ODC type"];
+    headers.extend(MODE_HEADERS);
+    let rows: Vec<Vec<String>> = c
+        .by_operator
+        .iter()
+        .map(|(op, modes)| {
+            let mut row = vec![op.id().to_string(), op.defect_type().to_string()];
+            row.extend(mode_cells(modes));
+            row
+        })
+        .collect();
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str(&format!(
+        "total runs: {}, dormant: {}\n",
+        c.total_runs, c.dormant_runs
+    ));
+    out.push_str(&format!("throughput: {}\n", throughput_line(&c.throughput)));
+    out.push_str(&decode_cache_line(&c.throughput));
+    out.push('\n');
+    out.push_str(&block_cache_line(&c.throughput));
+    out.push('\n');
+    let phases = phase_times_line(&c.phase_times);
+    if !phases.is_empty() {
+        out.push_str(&phases);
+        out.push('\n');
+    }
+    push_abnormal_lines(&mut out, &c.abnormal);
+    out
+}
+
+fn push_abnormal_lines(out: &mut String, abnormal: &[crate::engine::AbnormalRun]) {
+    for a in abnormal {
+        out.push_str(&format!(
+            "abnormal: {}#{} — {} ({})\n",
+            a.phase, a.index, a.message, a.detail
+        ));
+    }
 }
 
 #[cfg(test)]

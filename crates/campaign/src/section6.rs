@@ -305,6 +305,20 @@ pub fn class_campaign_with(
             out.by_check_type.entry(t).or_default().merge(&counts);
         }
     }
+    // Worker telemetry drains on session drop; retire the sessions now so
+    // a metrics-merge failure surfaces in this campaign's abnormal bucket
+    // (a data point, like any other abnormal run) instead of being lost.
+    drop(sessions);
+    if let Some(telemetry) = opts.telemetry.as_deref() {
+        for message in telemetry.take_merge_errors() {
+            out.abnormal.push(AbnormalRun {
+                phase: "telemetry".to_string(),
+                index: out.abnormal.len() as u64,
+                message,
+                detail: "metrics merge on worker retire".to_string(),
+            });
+        }
+    }
     if let (Some(telemetry), Some(start)) = (opts.telemetry.as_deref(), campaign_start) {
         telemetry.engine_event(TraceEvent::complete(
             "campaign",

@@ -437,6 +437,20 @@ pub fn source_campaign_with(
         out.dormant_runs += counts.total() - activated;
         out.total_runs += counts.total();
     }
+    // Worker lanes drain on drop; retire them now so a metrics-merge
+    // failure lands in this campaign's abnormal bucket rather than dying
+    // with the process (mirrors §6).
+    drop(states);
+    if let Some(telemetry) = opts.telemetry.as_deref() {
+        for message in telemetry.take_merge_errors() {
+            out.abnormal.push(AbnormalRun {
+                phase: "telemetry".to_string(),
+                index: out.abnormal.len() as u64,
+                message,
+                detail: "metrics merge on worker retire".to_string(),
+            });
+        }
+    }
     if let (Some(telemetry), Some(start)) = (opts.telemetry.as_deref(), campaign_start) {
         telemetry.engine_event(TraceEvent::complete(
             "campaign",

@@ -94,6 +94,30 @@ impl ParsedArgs {
                 .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
         }
     }
+
+    /// Parse an option that must be a *strictly positive* integer
+    /// (`--watchdog-ms`, `--watchdog-poll`, `--profile-every`, `--shards`,
+    /// ... — zero or negative values would panic or spin downstream).
+    /// `None` when the option is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the option was given bare,
+    /// is not an integer, or is not positive.
+    pub fn positive_int_opt(&self, key: &str) -> Result<Option<i64>, String> {
+        match self.value_opt(key)? {
+            None => Ok(None),
+            Some(v) => {
+                let n: i64 = v
+                    .parse()
+                    .map_err(|_| format!("--{key} expects an integer, got `{v}`"))?;
+                if n <= 0 {
+                    return Err(format!("--{key} must be a positive integer, got {n}"));
+                }
+                Ok(Some(n))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +193,33 @@ mod tests {
         // `-5` does not start with `--`, so it is consumed as a value.
         let p = parse("run --int -5");
         assert_eq!(p.all("int"), vec!["-5"]);
+    }
+
+    #[test]
+    fn positive_int_opt_rejects_zero_and_negative() {
+        // Regression: `--watchdog-ms 0` / `--watchdog-poll -1` /
+        // `--profile-every 0` were silently accepted and panicked or spun
+        // downstream; each must be a usage error naming the flag.
+        for flag in ["watchdog-ms", "watchdog-poll", "profile-every"] {
+            for bad in ["0", "-3"] {
+                let p = parse(&format!("campaign SOR --{flag} {bad}"));
+                let err = p.positive_int_opt(flag).unwrap_err();
+                assert!(err.contains(&format!("--{flag}")), "{err}");
+                assert!(err.contains("positive"), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn positive_int_opt_accepts_positive_and_absent() {
+        let p = parse("campaign SOR --watchdog-ms 250");
+        assert_eq!(p.positive_int_opt("watchdog-ms"), Ok(Some(250)));
+        assert_eq!(p.positive_int_opt("watchdog-poll"), Ok(None));
+        // Bare and non-integer forms still error, naming the flag.
+        let p = parse("campaign SOR --watchdog-ms");
+        assert!(p.positive_int_opt("watchdog-ms").is_err());
+        let p = parse("campaign SOR --watchdog-ms soon");
+        let err = p.positive_int_opt("watchdog-ms").unwrap_err();
+        assert!(err.contains("integer"), "{err}");
     }
 }

@@ -3,10 +3,7 @@
 use std::sync::Arc;
 
 use swifi_campaign::compare::{compare_representations_with, comparison_table};
-use swifi_campaign::report::{
-    block_cache_line, decode_cache_line, mode_cells, phase_times_line, prefix_fork_line,
-    render_table, throughput_line, MODE_HEADERS,
-};
+use swifi_campaign::report::{class_campaign_report, render_table, source_campaign_report};
 use swifi_campaign::section6::{class_campaign_with, CampaignScale};
 use swifi_campaign::source::{source_campaign_with, SourceScale};
 use swifi_campaign::{CampaignOptions, Throughput};
@@ -15,6 +12,7 @@ use swifi_core::injector::{Injector, TriggerMode};
 use swifi_core::locations::generate_error_set;
 use swifi_lang::compile;
 use swifi_programs::{all_programs, program};
+use swifi_server::{CampaignRequest, Driver, Event, JobConfig, Request, WorkerMode};
 use swifi_trace::metrics::names as metric_names;
 use swifi_trace::profile::DEFAULT_SAMPLE_EVERY;
 use swifi_trace::{
@@ -70,6 +68,21 @@ identical with or without telemetry):
   --profile         sample guest PCs; print the hottest functions
   --profile-out F   also write the profile as collapsed stacks to F
   --profile-every N slow-path sampling period (default 64)
+
+SERVER (campaign-as-a-service):
+  swifi serve [--addr A] [--workdir D] [--in-process]
+                    accept campaign submissions; prints `serving on ADDR`
+                    (default --addr 127.0.0.1:0 picks a free port); shard
+                    passes run in worker processes unless --in-process
+  swifi submit NAME --addr A [--source] [--seed N] [--inputs N]
+                    [--mutants N] [--shards N] [--pool N]
+                    [--trace-out F] [--metrics-out F]
+                    run a class (default) or --source campaign on the
+                    server, sharded --shards ways, --pool workers at a
+                    time; progress streams to stderr, the report (byte-
+                    identical to the single-process command) to stdout
+  swifi submit --ping|--shutdown --addr A
+                    probe or gracefully stop a server
 
 FILE is a MiniC source path; NAME is a roster program (see `swifi list`).
 ";
@@ -344,12 +357,10 @@ fn campaign_opts(parsed: &ParsedArgs) -> Result<CampaignOptions, String> {
     if opts.resume && opts.checkpoint.is_none() {
         return Err("--resume requires --checkpoint FILE".to_string());
     }
-    let watchdog_ms = parsed.int_opt("watchdog-ms", 0)?;
-    if watchdog_ms > 0 {
+    if let Some(watchdog_ms) = parsed.positive_int_opt("watchdog-ms")? {
         opts.watchdog = Some(std::time::Duration::from_millis(watchdog_ms as u64));
     }
-    let watchdog_poll = parsed.int_opt("watchdog-poll", 0)?;
-    if watchdog_poll > 0 {
+    if let Some(watchdog_poll) = parsed.positive_int_opt("watchdog-poll")? {
         opts.watchdog_poll = Some(watchdog_poll as u32);
     }
     if parsed.flag("chaos-panic") {
@@ -380,8 +391,8 @@ fn telemetry_opts(parsed: &ParsedArgs) -> Result<TelemetrySink, String> {
         metrics: metrics_out.is_some(),
         profile,
         profile_every: parsed
-            .int_opt("profile-every", DEFAULT_SAMPLE_EVERY as i64)?
-            .max(1) as u32,
+            .positive_int_opt("profile-every")?
+            .unwrap_or(DEFAULT_SAMPLE_EVERY as i64) as u32,
     };
     Ok(TelemetrySink {
         hub: config.any().then(|| Telemetry::shared(config)),
@@ -502,28 +513,9 @@ pub fn campaign(parsed: &ParsedArgs) -> CmdResult {
         seed,
         &opts,
     )?;
-    let mut headers = vec!["Fault class"];
-    headers.extend(MODE_HEADERS);
-    let mut assign_row = vec!["assignment".to_string()];
-    assign_row.extend(mode_cells(&c.assign_modes));
-    let mut check_row = vec!["checking".to_string()];
-    check_row.extend(mode_cells(&c.check_modes));
-    print!("{}", render_table(&headers, &[assign_row, check_row]));
-    println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
-    println!("throughput: {}", throughput_line(&c.throughput));
-    println!("{}", decode_cache_line(&c.throughput));
-    println!("{}", block_cache_line(&c.throughput));
-    println!("{}", prefix_fork_line(&c.throughput));
-    let phases = phase_times_line(&c.phase_times);
-    if !phases.is_empty() {
-        println!("{phases}");
-    }
-    for a in &c.abnormal {
-        println!(
-            "abnormal: {}#{} — {} ({})",
-            a.phase, a.index, a.message, a.detail
-        );
-    }
+    // The server's `submit` reply renders through the same function, so
+    // sharded and single-process reports stay byte-comparable.
+    print!("{}", class_campaign_report(&c));
     export_telemetry(&sink, &target, &c.throughput)?;
     Ok(())
 }
@@ -587,36 +579,7 @@ pub fn source_campaign_cmd(parsed: &ParsedArgs) -> CmdResult {
         scale.mutant_budget, scale.inputs_per_mutant
     );
     let c = source_campaign_with(&target, scale, seed, &opts)?;
-    println!(
-        "{} of {} possible mutants injected",
-        c.selected_mutants, c.total_mutants
-    );
-    let mut headers = vec!["Operator", "ODC type"];
-    headers.extend(MODE_HEADERS);
-    let rows: Vec<Vec<String>> = c
-        .by_operator
-        .iter()
-        .map(|(op, modes)| {
-            let mut row = vec![op.id().to_string(), op.defect_type().to_string()];
-            row.extend(mode_cells(modes));
-            row
-        })
-        .collect();
-    print!("{}", render_table(&headers, &rows));
-    println!("total runs: {}, dormant: {}", c.total_runs, c.dormant_runs);
-    println!("throughput: {}", throughput_line(&c.throughput));
-    println!("{}", decode_cache_line(&c.throughput));
-    println!("{}", block_cache_line(&c.throughput));
-    let phases = phase_times_line(&c.phase_times);
-    if !phases.is_empty() {
-        println!("{phases}");
-    }
-    for a in &c.abnormal {
-        println!(
-            "abnormal: {}#{} — {} ({})",
-            a.phase, a.index, a.message, a.detail
-        );
-    }
+    print!("{}", source_campaign_report(&c));
     export_telemetry(&sink, &target, &c.throughput)?;
     Ok(())
 }
@@ -682,6 +645,166 @@ pub fn metrics_cmd(parsed: &ParsedArgs) -> CmdResult {
         )
     );
     Ok(())
+}
+
+/// Parse the shared submit/shard-exec campaign description flags into a
+/// server [`CampaignRequest`].
+fn campaign_request(parsed: &ParsedArgs, target: &str) -> Result<CampaignRequest, String> {
+    Ok(CampaignRequest {
+        driver: if parsed.flag("source") || parsed.opt("driver") == Some("source") {
+            Driver::Source
+        } else {
+            Driver::Class
+        },
+        target: target.to_string(),
+        seed: parsed.int_opt("seed", 2024)? as u64,
+        inputs: parsed.positive_int_opt("inputs")?.unwrap_or(10) as usize,
+        mutants: parsed.positive_int_opt("mutants")?.unwrap_or(18) as usize,
+        shards: parsed.positive_int_opt("shards")?.unwrap_or(4) as u64,
+        pool: parsed.positive_int_opt("pool")?.unwrap_or(4) as usize,
+        want_trace: parsed.value_opt("trace-out")?.is_some(),
+        want_metrics: parsed.value_opt("metrics-out")?.is_some(),
+    })
+}
+
+/// `swifi serve [--addr A] [--workdir D] [--in-process]`
+pub fn serve_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let addr = parsed.value_opt("addr")?.unwrap_or("127.0.0.1:0");
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let actual = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let workdir = match parsed.value_opt("workdir")? {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("swifi-serve-{}", std::process::id())),
+    };
+    let mode = if parsed.flag("in-process") {
+        WorkerMode::InProcess
+    } else {
+        swifi_server::current_exe_mode()?
+    };
+    // `serving on ADDR` is the startup handshake scripts parse to learn
+    // the picked port — print it before blocking in the accept loop.
+    println!("serving on {actual}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    swifi_server::serve(listener, JobConfig { workdir, mode })
+}
+
+/// `swifi submit NAME --addr A [--source] [--seed N] [--inputs N]
+/// [--mutants N] [--shards N] [--pool N] [--trace-out F] [--metrics-out F]`,
+/// plus `swifi submit --ping|--shutdown --addr A`.
+///
+/// Progress events stream to stderr; the report — byte-identical to the
+/// single-process `campaign` / `source-campaign` output — goes to
+/// stdout, so `swifi submit ... > report.txt` composes with the same
+/// tooling as the local commands.
+pub fn submit_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let addr = parsed
+        .value_opt("addr")?
+        .ok_or("--addr HOST:PORT is required (printed by `swifi serve`)")?;
+    if parsed.flag("ping") {
+        swifi_server::request(addr, &Request::Ping, |_| {})?;
+        println!("pong from {addr}");
+        return Ok(());
+    }
+    if parsed.flag("shutdown") {
+        swifi_server::request(addr, &Request::Shutdown, |_| {})?;
+        println!("server at {addr} shut down");
+        return Ok(());
+    }
+    let name = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "expected a roster program name".to_string())?;
+    let req = campaign_request(parsed, name)?;
+    let trace_out = parsed.value_opt("trace-out")?.map(str::to_string);
+    let metrics_out = parsed.value_opt("metrics-out")?.map(str::to_string);
+    let mut failure: Option<String> = None;
+    swifi_server::request(addr, &Request::Submit(req), |event| match event {
+        Event::Accepted { campaign, shards } => {
+            eprintln!("accepted: {campaign}, {shards} shard(s)");
+        }
+        Event::ShardStart { shard } => eprintln!("shard {shard}: started"),
+        Event::ShardDone {
+            shard, ok: true, ..
+        } => eprintln!("shard {shard}: done"),
+        Event::ShardDone {
+            shard,
+            ok: false,
+            detail,
+        } => eprintln!("shard {shard}: FAILED ({detail}) — merge pass will re-run its slice"),
+        Event::Merged {
+            shards_read,
+            shards_missing,
+            records,
+            duplicates,
+        } => eprintln!(
+            "merged: {records} record(s) from {shards_read} shard(s) \
+             ({shards_missing} missing, {duplicates} duplicate(s))"
+        ),
+        Event::Phase { name, runs } => eprintln!("phase {name}: {runs} run(s)"),
+        Event::Abnormal {
+            phase,
+            index,
+            message,
+            detail,
+        } => eprintln!("abnormal: {phase}#{index} — {message} ({detail})"),
+        Event::Report { text } => print!("{text}"),
+        Event::Metrics { text } => {
+            if let Some(path) = &metrics_out {
+                match std::fs::write(path, text) {
+                    Ok(()) => println!("metrics: written to {path}"),
+                    Err(e) => failure = Some(format!("cannot write {path}: {e}")),
+                }
+            }
+        }
+        Event::Trace { text } => {
+            if let Some(path) = &trace_out {
+                match std::fs::write(path, text) {
+                    Ok(()) => println!("trace: written to {path}"),
+                    Err(e) => failure = Some(format!("cannot write {path}: {e}")),
+                }
+            }
+        }
+        Event::Done | Event::Error { .. } | Event::Pong => {}
+    })?;
+    failure.map_or(Ok(()), Err)
+}
+
+/// `swifi shard-exec --driver D --target NAME --seed N --inputs N
+/// --mutants N --shard K --shards N --checkpoint F
+/// [--metrics-out F] [--trace-out F]` — hidden worker-process entry
+/// point; `swifi serve` re-executes its own binary with these flags,
+/// one process per shard.
+pub fn shard_exec_cmd(parsed: &ParsedArgs) -> CmdResult {
+    let target = parsed
+        .value_opt("target")?
+        .ok_or("--target NAME is required")?
+        .to_string();
+    let req = campaign_request(parsed, &target)?;
+    let shard = swifi_campaign::Shard::new(
+        parsed.int_opt("shard", 0)? as u64,
+        parsed.positive_int_opt("shards")?.unwrap_or(1) as u64,
+    )?;
+    let checkpoint = parsed
+        .value_opt("checkpoint")?
+        .ok_or("--checkpoint FILE is required")?
+        .to_string();
+    // want_* is derived from the -out flags by campaign_request; the
+    // paths themselves say where this worker writes its snapshots.
+    let metrics_out = parsed
+        .value_opt("metrics-out")?
+        .map(std::path::PathBuf::from);
+    let trace_out = parsed.value_opt("trace-out")?.map(std::path::PathBuf::from);
+    swifi_server::shard_exec(
+        &req,
+        shard,
+        std::path::Path::new(&checkpoint),
+        metrics_out.as_deref(),
+        trace_out.as_deref(),
+    )
 }
 
 #[cfg(test)]
@@ -760,6 +883,48 @@ mod tests {
             "7".into(),
         ]);
         assert!(source_campaign_cmd(&parsed).is_ok());
+    }
+
+    #[test]
+    fn submit_requires_an_address() {
+        let parsed = ParsedArgs::parse(["submit".into(), "SOR".into()]);
+        assert!(submit_cmd(&parsed).unwrap_err().contains("--addr"));
+    }
+
+    #[test]
+    fn shard_exec_validates_its_flags() {
+        let parsed = ParsedArgs::parse(["shard-exec".into()]);
+        assert!(shard_exec_cmd(&parsed).unwrap_err().contains("--target"));
+        let parsed = ParsedArgs::parse([
+            "shard-exec".into(),
+            "--target".into(),
+            "SOR".into(),
+            "--shard".into(),
+            "5".into(),
+            "--shards".into(),
+            "3".into(),
+        ]);
+        let err = shard_exec_cmd(&parsed).unwrap_err();
+        assert!(err.contains("shard index 5 out of range"), "{err}");
+    }
+
+    #[test]
+    fn campaign_request_maps_flags() {
+        let parsed = ParsedArgs::parse([
+            "submit".into(),
+            "SOR".into(),
+            "--source".into(),
+            "--seed".into(),
+            "7".into(),
+            "--shards".into(),
+            "3".into(),
+            "--metrics-out".into(),
+            "m.json".into(),
+        ]);
+        let req = campaign_request(&parsed, "SOR").unwrap();
+        assert_eq!(req.driver, Driver::Source);
+        assert_eq!((req.seed, req.shards), (7, 3));
+        assert!(req.want_metrics && !req.want_trace);
     }
 
     #[test]

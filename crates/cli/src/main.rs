@@ -13,6 +13,8 @@
 //! swifi compare-representations [--inputs N]   source vs binary on the comparison roster
 //! swifi metrics FILE|NAME                      software metrics
 //! swifi trace-validate FILE                    check a --trace-out file
+//! swifi serve [--addr A]                       campaign server (sharded workers)
+//! swifi submit NAME --addr A [--shards N]      submit a campaign to a server
 //! ```
 
 mod args;
@@ -35,6 +37,10 @@ fn main() {
         "compare-representations" => commands::compare_cmd(&parsed),
         "metrics" => commands::metrics_cmd(&parsed),
         "trace-validate" => commands::trace_validate_cmd(&parsed),
+        "serve" => commands::serve_cmd(&parsed),
+        "submit" => commands::submit_cmd(&parsed),
+        // Hidden: the worker-process entry `swifi serve` re-executes.
+        "shard-exec" => commands::shard_exec_cmd(&parsed),
         "" | "help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,43 @@
+//! The `swifi submit` client half: one request out, an event stream in.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{render_request, Event, Request};
+
+/// Send `req` to the server at `addr` and hand every streamed event to
+/// `on_event`, in order. Returns when the server sends the terminal
+/// line or closes the connection.
+///
+/// # Errors
+///
+/// Returns connect/read failures, a server `error` event's message, a
+/// truncated stream (connection closed with no terminal event), and
+/// unparseable event lines.
+pub fn request(addr: &str, req: &Request, mut on_event: impl FnMut(&Event)) -> Result<(), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let line = render_request(req);
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    stream
+        .flush()
+        .map_err(|e| format!("cannot send request: {e}"))?;
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("connection lost: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::parse(&line)?;
+        on_event(&event);
+        match event {
+            Event::Done | Event::Pong => return Ok(()),
+            Event::Error { message } => return Err(message),
+            _ => {}
+        }
+    }
+    Err("server closed the connection without a terminal event".to_string())
+}

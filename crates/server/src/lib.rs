@@ -1,0 +1,29 @@
+//! Campaign-as-a-service for the SWIFI reproduction.
+//!
+//! `swifi serve` turns the experiment drivers into a long-running
+//! daemon: a client submits a campaign (driver, target, seed, scale)
+//! over a line-delimited JSON socket, the server splits the run
+//! schedule into shards, runs each shard on a worker-process pool
+//! against its own checkpoint, merges the shard checkpoints back into
+//! one campaign, and streams progress — shard lifecycles, run counts
+//! per phase, abnormal records, and finally the report — back down the
+//! connection.
+//!
+//! The correctness story is inherited, not invented: shards are
+//! checkpoint producers, merging is a keyed union under one validated
+//! header, and the final report is folded by a resume pass that
+//! replays every record through the same driver code the CLI runs.
+//! A campaign sharded N ways therefore reports byte-identically to a
+//! single-process run (the shard-equality oracle `server_smoke.sh`
+//! and the resilience tests enforce), and a killed worker costs only
+//! re-execution of its slice.
+
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod server;
+
+pub use client::request;
+pub use job::{current_exe_mode, run_campaign, run_shard, shard_exec, JobConfig, WorkerMode};
+pub use protocol::{parse_request, render_request, CampaignRequest, Driver, Event, Request};
+pub use server::serve;

@@ -91,6 +91,48 @@ impl TraceEvent {
         }
         serde_json::to_string(&Value::Object(obj)).expect("trace events always serialize")
     }
+
+    /// Parse an event back out of its [`TraceEvent::to_json`] object (the
+    /// shard→hub direction: merging per-shard trace files into one
+    /// campaign view).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or malformed field.
+    pub fn from_value(v: &Value) -> Result<TraceEvent, String> {
+        let obj = v.as_object().ok_or("trace event is not an object")?;
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let name = match get("name") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err("trace event missing string `name`".to_string()),
+        };
+        let ph = match get("ph") {
+            Some(Value::Str(s)) if s.len() == 1 => s.chars().next().unwrap(),
+            _ => return Err(format!("trace event `{name}` missing 1-char `ph`")),
+        };
+        let uint = |k: &str| match get(k) {
+            Some(Value::U64(u)) => Ok(*u),
+            Some(Value::I64(i)) if *i >= 0 => Ok(*i as u64),
+            None => Err(format!("trace event `{name}` missing `{k}`")),
+            _ => Err(format!("trace event `{name}` has non-integer `{k}`")),
+        };
+        let ts = uint("ts")?;
+        let tid = uint("tid")?;
+        let dur = if ph == 'X' { uint("dur")? } else { 0 };
+        let args = match get("args") {
+            Some(Value::Object(fields)) => fields.clone(),
+            Some(_) => return Err(format!("trace event `{name}` has non-object `args`")),
+            None => Vec::new(),
+        };
+        Ok(TraceEvent {
+            name,
+            ph,
+            ts,
+            dur,
+            tid,
+            args,
+        })
+    }
 }
 
 /// Convenience for building `args` payloads: an unsigned numeric field.
@@ -127,6 +169,11 @@ pub const EVENT_NAMES: &[&str] = &[
     "checkpoint_flush",
     "worker_panic",
     "worker_retire",
+    "metrics_merge_error",
+    // Service-boundary instants (shard lifecycle on the server).
+    "shard_spawn",
+    "shard_done",
+    "shard_merge",
 ];
 
 /// Whether `name` is a known schema event. Phase spans embed the phase
@@ -170,6 +217,26 @@ mod tests {
     fn schema_covers_all_emitted_names() {
         assert!(known_event("run"));
         assert!(known_event("watchdog_hang"));
+        assert!(known_event("metrics_merge_error"));
+        assert!(known_event("shard_merge"));
         assert!(!known_event("made_up"));
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let span = TraceEvent::complete("run", 12, 34, 3, vec![arg_u64("retired", 99)]);
+        let instant = TraceEvent::instant("fork_hit", 5, 1, vec![arg_str("why", "x")]);
+        for e in [span, instant] {
+            let v: Value = serde_json::from_str(&e.to_json()).unwrap();
+            assert_eq!(TraceEvent::from_value(&v).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn from_value_rejects_malformed_events() {
+        let bad: Value = serde_json::from_str(r#"{"ph":"i","ts":1,"tid":0}"#).unwrap();
+        assert!(TraceEvent::from_value(&bad).unwrap_err().contains("name"));
+        let bad: Value = serde_json::from_str(r#"{"name":"run","ph":"X","ts":1,"tid":0}"#).unwrap();
+        assert!(TraceEvent::from_value(&bad).unwrap_err().contains("dur"));
     }
 }

@@ -25,12 +25,14 @@
 //! oracles compare through `Throughput::equality_key` exactly as before.
 
 pub mod event;
+pub mod merge;
 pub mod metrics;
 pub mod profile;
 pub mod telemetry;
 pub mod validate;
 
 pub use event::{arg_str, arg_u64, TraceEvent};
+pub use merge::{merge_shard_events, parse_chrome_trace, render_events};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profile::{
     attribute, collapsed_stacks, top_table, FuncRange, FuncSamples, PcHistogram, ProfiledInspector,

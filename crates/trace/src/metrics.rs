@@ -92,12 +92,20 @@ impl Histogram {
 
     /// Fold another histogram in.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the bucket bounds differ — merging only makes sense
-    /// between registries built from the same registration.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bounds, other.bounds, "histogram bucket mismatch");
+    /// Merging only makes sense between registries built from the same
+    /// registration; mismatched bucket bounds are reported (not panicked)
+    /// so a campaign can surface the bad shard as an abnormal record
+    /// instead of dying.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "bucket bounds mismatch ({} vs {} bounds)",
+                self.bounds.len(),
+                other.bounds.len()
+            ));
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -105,6 +113,7 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     /// Snapshot as a JSON value: bounds, counts, count, sum, mean,
@@ -132,6 +141,71 @@ impl Histogram {
             ("min".to_string(), num(self.min)),
             ("max".to_string(), num(self.max)),
         ])
+    }
+
+    /// Parse a histogram back out of its [`Histogram::to_value`] snapshot
+    /// (the shard→hub direction of the metrics wire format).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first malformed field.
+    pub fn from_value(v: &Value) -> Result<Histogram, String> {
+        let obj = v.as_object().ok_or("histogram snapshot is not an object")?;
+        let field = |name: &str| {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("histogram snapshot missing `{name}`"))
+        };
+        let bounds = field("bounds")?
+            .as_array()
+            .ok_or("histogram `bounds` is not an array")?
+            .iter()
+            .map(|b| num_f64(b).ok_or_else(|| "non-numeric histogram bound".to_string()))
+            .collect::<Result<Vec<f64>, String>>()?;
+        let counts = field("counts")?
+            .as_array()
+            .ok_or("histogram `counts` is not an array")?
+            .iter()
+            .map(|c| num_u64(c).ok_or_else(|| "non-integer histogram count".to_string()))
+            .collect::<Result<Vec<u64>, String>>()?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram has {} counts for {} bounds (want bounds+1)",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        let count = num_u64(field("count")?).ok_or("histogram `count` is not an integer")?;
+        let sum = num_f64(field("sum")?).ok_or("histogram `sum` is not a number")?;
+        // min/max render as Null when the histogram is empty.
+        let min = num_f64(field("min")?).unwrap_or(f64::INFINITY);
+        let max = num_f64(field("max")?).unwrap_or(f64::NEG_INFINITY);
+        Ok(Histogram {
+            bounds,
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+}
+
+fn num_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(f) => Some(*f),
+        Value::I64(i) => Some(*i as f64),
+        Value::U64(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn num_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(u) => Some(*u),
+        Value::I64(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
     }
 }
 
@@ -187,7 +261,13 @@ impl MetricsRegistry {
     /// Fold another registry in: counters add, gauges overwrite (last
     /// writer wins — campaign-level gauges are set once at snapshot
     /// time), histograms merge bucket-wise (registered on demand).
-    pub fn merge(&mut self, other: &MetricsRegistry) {
+    ///
+    /// # Errors
+    ///
+    /// A histogram bucket-bound mismatch reports the offending metric by
+    /// name. Counters and gauges merged before the mismatch stay merged;
+    /// the caller is expected to surface the error and drop `other`.
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), String> {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
@@ -196,12 +276,15 @@ impl MetricsRegistry {
         }
         for (k, h) in &other.histograms {
             match self.histograms.get_mut(k) {
-                Some(mine) => mine.merge(h),
+                Some(mine) => mine
+                    .merge(h)
+                    .map_err(|e| format!("cannot merge histogram `{k}`: {e}"))?,
                 None => {
                     self.histograms.insert(k.clone(), h.clone());
                 }
             }
         }
+        Ok(())
     }
 
     /// Snapshot the whole registry as a JSON value.
@@ -240,6 +323,50 @@ impl MetricsRegistry {
     /// Snapshot as pretty-printed JSON (the `--metrics-out` payload).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(&self.to_value()).expect("metrics always serialize")
+    }
+
+    /// Parse a registry back out of its [`MetricsRegistry::to_value`]
+    /// snapshot. This is how shard worker processes report their
+    /// registries to the server for the campaign-wide merge.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first malformed section or histogram by name.
+    pub fn from_value(v: &Value) -> Result<MetricsRegistry, String> {
+        let obj = v.as_object().ok_or("metrics snapshot is not an object")?;
+        let section = |name: &str| -> Result<&Vec<(String, Value)>, String> {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("metrics snapshot missing `{name}`"))?
+                .as_object()
+                .ok_or_else(|| format!("metrics `{name}` is not an object"))
+        };
+        let mut reg = MetricsRegistry::new();
+        for (k, v) in section("counters")? {
+            let n = num_u64(v).ok_or_else(|| format!("counter `{k}` is not an integer"))?;
+            reg.counters.insert(k.clone(), n);
+        }
+        for (k, v) in section("gauges")? {
+            let n = num_f64(v).ok_or_else(|| format!("gauge `{k}` is not a number"))?;
+            reg.gauges.insert(k.clone(), n);
+        }
+        for (k, v) in section("histograms")? {
+            let h = Histogram::from_value(v).map_err(|e| format!("histogram `{k}`: {e}"))?;
+            reg.histograms.insert(k.clone(), h);
+        }
+        Ok(reg)
+    }
+
+    /// Parse a registry from [`MetricsRegistry::to_json`] text.
+    ///
+    /// # Errors
+    ///
+    /// Reports JSON parse failures and malformed snapshots.
+    pub fn from_json(text: &str) -> Result<MetricsRegistry, String> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| format!("metrics JSON parse error: {e:?}"))?;
+        MetricsRegistry::from_value(&v)
     }
 }
 
@@ -290,17 +417,29 @@ mod tests {
         a.observe(0.5);
         b.observe(1.5);
         b.observe(9.0);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.counts(), &[1, 1, 1]);
         assert_eq!(a.count(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "bucket mismatch")]
     fn histogram_merge_rejects_different_bounds() {
         let mut a = Histogram::new(vec![1.0]);
-        let b = Histogram::new(vec![2.0]);
-        a.merge(&b);
+        let b = Histogram::new(vec![2.0, 3.0]);
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.contains("bucket bounds mismatch"), "{err}");
+        // The failed merge left the receiver untouched.
+        assert_eq!(a, Histogram::new(vec![1.0]));
+    }
+
+    #[test]
+    fn registry_merge_names_offending_histogram() {
+        let mut a = MetricsRegistry::new();
+        a.register_histogram("lat", Histogram::new(vec![1.0]));
+        let mut b = MetricsRegistry::new();
+        b.register_histogram("lat", Histogram::new(vec![2.0]));
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.contains("`lat`"), "{err}");
     }
 
     #[test]
@@ -316,7 +455,7 @@ mod tests {
         register_run_histograms(&mut b);
         b.observe(names::RUN_LATENCY_US, 7.0);
 
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.counter("runs"), 5);
         assert_eq!(a.histogram(names::RUN_LATENCY_US).unwrap().count(), 2);
 
@@ -324,6 +463,34 @@ mod tests {
         let v: serde::Value = serde_json::from_str(&a.to_json()).unwrap();
         let obj = v.as_object().unwrap();
         assert!(obj.iter().any(|(k, _)| k == "histograms"));
+    }
+
+    #[test]
+    fn registry_json_round_trips() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("runs", 7);
+        a.gauge_set("rate", 0.25);
+        register_run_histograms(&mut a);
+        a.observe(names::RUN_LATENCY_US, 3.0);
+        a.observe(names::RUN_LATENCY_US, 900.0);
+
+        let back = MetricsRegistry::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+
+        // Empty histograms (Null min/max) round-trip too.
+        let empty = MetricsRegistry::from_json(&MetricsRegistry::new().to_json()).unwrap();
+        assert_eq!(empty, MetricsRegistry::new());
+    }
+
+    #[test]
+    fn registry_from_json_rejects_malformed_snapshots() {
+        assert!(MetricsRegistry::from_json("not json").is_err());
+        assert!(MetricsRegistry::from_json("{}").is_err());
+        let err = MetricsRegistry::from_json(
+            r#"{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1.0],"counts":[0],"count":0,"sum":0.0,"mean":0.0,"min":null,"max":null}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("`h`"), "{err}");
     }
 
     #[test]

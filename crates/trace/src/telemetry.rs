@@ -72,6 +72,7 @@ pub struct Telemetry {
     epoch: Instant,
     events: Mutex<Vec<TraceEvent>>,
     metrics: Mutex<MetricsRegistry>,
+    merge_errors: Mutex<Vec<String>>,
     profile: Mutex<PcHistogram>,
     next_tid: AtomicU64,
 }
@@ -88,6 +89,7 @@ impl Telemetry {
             epoch: Instant::now(),
             events: Mutex::new(Vec::new()),
             metrics: Mutex::new(metrics),
+            merge_errors: Mutex::new(Vec::new()),
             profile: Mutex::new(PcHistogram::new()),
             next_tid: AtomicU64::new(ENGINE_TID + 1),
         }
@@ -153,6 +155,25 @@ impl Telemetry {
         f(&mut self.metrics.lock().unwrap())
     }
 
+    /// Merge an external registry (a retiring worker's accumulator, or a
+    /// shard process's reported snapshot) into the hub. A bucket-bound
+    /// mismatch is recorded as a merge error and a `metrics_merge_error`
+    /// trace instant instead of aborting the campaign; the mismatched
+    /// registry's histograms are dropped, its counters/gauges land.
+    pub fn absorb_metrics(&self, other: &MetricsRegistry) {
+        let result = self.metrics.lock().unwrap().merge(other);
+        if let Err(msg) = result {
+            self.engine_instant("metrics_merge_error", vec![arg_str("error", &msg)]);
+            self.merge_errors.lock().unwrap().push(msg);
+        }
+    }
+
+    /// Drain the metrics-merge errors recorded so far (the campaign layer
+    /// surfaces these as abnormal records).
+    pub fn take_merge_errors(&self) -> Vec<String> {
+        std::mem::take(&mut self.merge_errors.lock().unwrap())
+    }
+
     /// Snapshot the merged metrics registry as pretty JSON.
     pub fn metrics_json(&self) -> String {
         self.metrics.lock().unwrap().to_json()
@@ -171,19 +192,14 @@ impl Telemetry {
     /// Render every collected event as a Chrome trace-event JSON array,
     /// one event per line (strictly valid JSON *and* line-parseable),
     /// sorted by timestamp so the file streams in Perfetto order.
+    ///
+    /// Hub order is *not* monotonic — a retiring worker's buffered events
+    /// drain after later-timestamped events from surviving workers — so
+    /// every export path funnels through [`crate::merge::render_events`],
+    /// the single place that sorts.
     pub fn render_chrome_trace(&self) -> String {
-        let mut events = self.events.lock().unwrap().clone();
-        events.sort_by_key(|e| (e.ts, e.tid));
-        let mut out = String::from("[\n");
-        for (i, e) in events.iter().enumerate() {
-            out.push_str(&e.to_json());
-            if i + 1 < events.len() {
-                out.push(',');
-            }
-            out.push('\n');
-        }
-        out.push_str("]\n");
-        out
+        let events = self.events.lock().unwrap().clone();
+        crate::merge::render_events(events)
     }
 
     /// Write the Chrome trace to `path`.
@@ -297,8 +313,8 @@ impl Drop for WorkerTelemetry {
         }
         self.shared.absorb_events(std::mem::take(&mut self.buf));
         if self.shared.config.metrics {
-            self.shared
-                .with_metrics(|m| m.merge(&std::mem::take(&mut self.metrics)));
+            let mine = std::mem::take(&mut self.metrics);
+            self.shared.absorb_metrics(&mine);
         }
         if self.shared.config.profile && self.profile.total() > 0 {
             let hist = std::mem::take(&mut self.profile);
@@ -311,7 +327,7 @@ impl Drop for WorkerTelemetry {
 mod tests {
     use super::*;
     use crate::event::arg_u64;
-    use crate::metrics::names;
+    use crate::metrics::{names, Histogram};
 
     fn all_on() -> TelemetryConfig {
         TelemetryConfig {
@@ -403,6 +419,24 @@ mod tests {
         assert_eq!(name, Value::Str("phase:assign".into()));
         // One event per line between the brackets.
         assert_eq!(text.lines().count(), 2 + arr.len());
+    }
+
+    #[test]
+    fn mismatched_registry_becomes_merge_error_not_panic() {
+        let hub = Telemetry::shared(all_on());
+        let mut bad = MetricsRegistry::new();
+        bad.counter_add("runs", 1);
+        bad.register_histogram(names::RUN_LATENCY_US, Histogram::new(vec![123.0]));
+        hub.absorb_metrics(&bad);
+
+        let errs = hub.take_merge_errors();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains(names::RUN_LATENCY_US), "{}", errs[0]);
+        // Counters landed before the histogram mismatch; the error store
+        // drains exactly once; the engine lane got a trace instant.
+        assert_eq!(hub.with_metrics(|m| m.counter("runs")), 1);
+        assert!(hub.take_merge_errors().is_empty());
+        assert!(hub.render_chrome_trace().contains("metrics_merge_error"));
     }
 
     #[test]

@@ -118,6 +118,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
     let mut lanes = std::collections::BTreeSet::new();
     let mut closed = false;
+    let mut prev_ts: Option<u64> = None;
     for (i, line) in lines {
         let line_no = i + 1;
         let trimmed = line.trim();
@@ -132,6 +133,18 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
         let v: Value = serde_json::from_str(event_src)
             .map_err(|e| format!("line {line_no}: not a JSON object: {}", e.0))?;
         lanes.insert(validate_event(&v, line_no, &mut summary)?);
+        // The exporter sorts by timestamp before rendering (late-drained
+        // worker-retire buffers land out of hub order); reject files that
+        // regress to unsorted output.
+        let ts = field(v.as_object().unwrap(), "ts").and_then(num).unwrap();
+        if let Some(prev) = prev_ts {
+            if ts < prev {
+                return Err(format!(
+                    "line {line_no}: timestamp {ts} is out of order (previous event at {prev})"
+                ));
+            }
+        }
+        prev_ts = Some(ts);
     }
     if !closed {
         return Err("missing closing `]`".to_string());
@@ -216,5 +229,42 @@ mod tests {
     fn rejects_non_json() {
         assert!(validate_chrome_trace("not json").is_err());
         assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_timestamps() {
+        let text = concat!(
+            "[\n",
+            "{\"name\":\"phase:assign\",\"ph\":\"X\",\"ts\":50,\"dur\":1,\"pid\":1,\"tid\":0},\n",
+            "{\"name\":\"run\",\"ph\":\"X\",\"ts\":10,\"dur\":1,\"pid\":1,\"tid\":1}\n",
+            "]\n"
+        );
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn late_drained_worker_events_export_sorted_and_validate() {
+        // Worker A buffers early events but drains last (retires after B
+        // has already flushed later-timestamped events) — the exporter
+        // must still produce a monotonic file.
+        let hub = traced_hub();
+        hub.engine_event(TraceEvent::complete(
+            "phase:assign",
+            0,
+            100,
+            ENGINE_TID,
+            vec![],
+        ));
+        let mut a = hub.worker();
+        let mut b = hub.worker();
+        a.complete("run", 0, vec![]); // early event, held in A's buffer
+        b.complete("run", 0, vec![]);
+        drop(b); // B's retire marker lands in the hub first...
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        a.instant("fork_hit", vec![]); // ...then A records a later event
+        drop(a); // and drains everything after B.
+        let text = hub.render_chrome_trace();
+        validate_chrome_trace(&text).unwrap();
     }
 }

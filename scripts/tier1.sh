@@ -15,3 +15,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 ./scripts/mutation_smoke.sh
 ./scripts/perf_smoke.sh equivalence
 ./scripts/trace_smoke.sh
+./scripts/server_smoke.sh
