@@ -53,6 +53,7 @@ pub mod engine;
 pub mod exposure;
 pub mod hardware;
 pub mod intensive;
+pub mod plan;
 pub mod pool;
 pub mod prefix;
 pub mod report;
@@ -69,9 +70,10 @@ pub use engine::{
     AbnormalRun, CampaignEngine, CampaignOptions, CheckpointHeader, CheckpointLog, PhaseTime,
     RunRecord, RunStatus,
 };
-pub use prefix::{GoldenRun, PrefixCache};
+pub use plan::{RunPlan, RunPlanner};
+pub use prefix::{watch_pcs_of, CollapseClass, GoldenRun, PrefixCache};
 pub use runner::{classify_outcome, execute, execute_cold, FailureMode, ModeCounts};
 pub use section6::{campaign_all, class_campaign, CampaignScale, ProgramCampaign};
-pub use session::{RunSession, SessionStats, Throughput};
+pub use session::{RunSession, SessionError, SessionStats, Throughput};
 pub use shard::{merge_checkpoints, run_sharded, MergeSummary, Shard};
 pub use source::{source_campaign, SourceCampaign, SourceMutationSource, SourceScale};

@@ -1,0 +1,591 @@
+//! The adaptive run planner: choose how to execute each injected run
+//! from the golden def-use trace.
+//!
+//! PR 5's prefix forking applied one blanket policy (fork everything
+//! with a fork point) and PR 7 bolted on a fixed ≥¼-of-the-run shallow
+//! gate; both are blind to what the fault actually *does* at its
+//! trigger occurrence. With a [`DefUseTrace`] of the clean run on file,
+//! a [`RunPlanner`] can do better, per (program, fault, input):
+//!
+//! - **[`RunPlan::DormantSkip`]** — the fault provably cannot change
+//!   architectural state: its required trigger occurrence never
+//!   arrives, or every corruption it would apply lands on a *dead*
+//!   location (overwritten before any use) or reproduces the golden
+//!   instruction stream exactly. The run is answered with the clean
+//!   run's outcome without executing. The proof obligations per target
+//!   are documented on [`RunPlanner::prove_dormant`].
+//! - **[`RunPlan::Fork`]** — the trigger occurrence sits deep enough in
+//!   the run (measured, not guessed: the trace records the retire depth
+//!   of every occurrence) that restoring a shared prefix snapshot beats
+//!   re-executing the prefix.
+//! - **[`RunPlan::Full`]** — everything else: execute normally.
+//!
+//! Outcome-equivalence *collapse* is not decided here: it needs the
+//! corruption log of a previously executed representative, so the
+//! session checks the [`crate::prefix::PrefixCache`] collapse store
+//! between the planner verdict and execution.
+//!
+//! Soundness notes. Every `DormantSkip` proof is an induction on the
+//! golden instruction stream: if occurrence *k*'s corruption leaves
+//! architectural state bit-identical to the golden run, the stream
+//! after it — and therefore every later occurrence's pre-state — is the
+//! golden one, so per-occurrence proofs compose. Proofs are only
+//! attempted on untainted traces ([`DefUseTrace::usable`]), and every
+//! unprovable case falls through to Fork/Full rather than guessing.
+
+use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+use swifi_vm::defuse::{DefUseTrace, OccEvent, OccRecord, SiteTrace};
+use swifi_vm::isa::Instr;
+
+/// How the session should execute one (fault, input) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPlan {
+    /// Execute the run in full from the warm snapshot.
+    Full,
+    /// Restore (or capture) the shared prefix snapshot at the trigger
+    /// occurrence and execute only the suffix.
+    Fork,
+    /// Provably outcome-equivalent to the clean run: skip execution and
+    /// report the golden outcome. `fired` is the proven activation
+    /// status (corrupting a dead location still *fires*; a trigger
+    /// occurrence that never arrives does not).
+    DormantSkip {
+        /// Whether the fault would have fired in the skipped run.
+        fired: bool,
+    },
+}
+
+/// Plans runs from measured trigger depth and golden-run length.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPlanner {
+    /// Minimum retire depth of the fork occurrence for forking to pay:
+    /// restoring a snapshot is not free, so prefixes shorter than this
+    /// are re-executed even when they pass the fraction gate.
+    pub min_fork_depth: u64,
+    /// Fork only when `depth * shallow_denom >= golden_retired` — the
+    /// prefix must be at least `1/shallow_denom` of the whole run
+    /// (PR 7's measured break-even, now applied to the *exact* measured
+    /// depth instead of a capture-run probe).
+    pub shallow_denom: u64,
+}
+
+impl Default for RunPlanner {
+    fn default() -> RunPlanner {
+        RunPlanner {
+            min_fork_depth: 64,
+            shallow_denom: 4,
+        }
+    }
+}
+
+/// `op.apply` when it is input-deterministic; `None` for
+/// [`ErrorOp::ReplaceRandom`].
+fn deterministic_apply(op: ErrorOp, value: u32) -> Option<u32> {
+    match op {
+        ErrorOp::ReplaceRandom => None,
+        _ => Some(op.apply(value, 0)),
+    }
+}
+
+fn is_nop(instr: Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Ori {
+            rd: 0,
+            ra: 0,
+            imm: 0
+        }
+    )
+}
+
+impl RunPlanner {
+    /// Decide how to execute `spec` on the input whose clean run `trace`
+    /// describes. `trace.retired` is the golden run length used by the
+    /// depth gate.
+    pub fn plan(&self, spec: &FaultSpec, trace: &DefUseTrace) -> RunPlan {
+        let Trigger::OpcodeFetch(pc) = spec.trigger else {
+            return RunPlan::Full;
+        };
+        if matches!(spec.target, Target::Memory(_)) {
+            // Applied at prepare() time, before any trigger counting.
+            return RunPlan::Full;
+        }
+        let Some(site) = trace.site(pc) else {
+            return RunPlan::Full;
+        };
+
+        // Occurrence arithmetic is exact even on tainted traces, but a
+        // tainted stream may diverge from the static image, so only an
+        // untainted trace proves anything.
+        if trace.usable() {
+            let arrives = match spec.when {
+                Firing::First | Firing::EveryTime => site.total >= 1,
+                Firing::Nth(k) => k >= 1 && site.total >= k,
+            };
+            if !arrives {
+                return RunPlan::DormantSkip { fired: false };
+            }
+            if let Some(fired) = self.prove_dormant(spec, pc, site) {
+                return RunPlan::DormantSkip { fired };
+            }
+        }
+
+        let Some((_, fork_occ)) = spec.fork_point() else {
+            return RunPlan::Full;
+        };
+        let depth = match site.occ(fork_occ) {
+            Some(rec) => rec.retired_before,
+            // Occurrence beyond the recorded window: at least as deep as
+            // the last recorded arrival.
+            None => match site.occs.last() {
+                Some(rec) => rec.retired_before,
+                None => return RunPlan::Full,
+            },
+        };
+        if depth >= self.min_fork_depth && depth.saturating_mul(self.shallow_denom) >= trace.retired
+        {
+            RunPlan::Fork
+        } else {
+            RunPlan::Full
+        }
+    }
+
+    /// Try to prove every required firing occurrence of `spec` leaves
+    /// architectural state bit-identical to the golden run. Returns the
+    /// proven activation status, or `None` when any occurrence resists
+    /// proof.
+    ///
+    /// Per-target obligations:
+    ///
+    /// - `DataBusStore` — the corrupted store value must be *dead*
+    ///   (overwritten before any use; the trace's byte-granular liveness)
+    ///   or the store must be the run-ending trap (the trap is decided by
+    ///   the untouched address, the value never reaches memory). A
+    ///   trigger instruction that performs no store never fires the value
+    ///   hook at all.
+    /// - `Gpr(r)` — the trigger instruction's register write must define
+    ///   `r` dead, with `r ≠ 1` (corrupting a stack-pointer write can
+    ///   flip the stack-floor trap). Instructions not writing `r`
+    ///   through the write-back hook never fire.
+    /// - `InstrBus` — the (deterministic) corrupted word must reproduce
+    ///   the golden control flow exactly: the identical word, a dead
+    ///   completed store replaced by NOP, or a branch whose successor
+    ///   provably equals the recorded golden successor.
+    ///
+    /// All other targets (address-bus, load-value, latched
+    /// `InstrMemory`) are never proven dormant here.
+    pub fn prove_dormant(&self, spec: &FaultSpec, pc: u32, site: &SiteTrace) -> Option<bool> {
+        let (lo, hi) = match spec.when {
+            Firing::First => (1, 1),
+            Firing::Nth(k) => (k, k),
+            Firing::EveryTime => {
+                if !site.complete() {
+                    return None;
+                }
+                (1, site.total)
+            }
+        };
+        let mut fired = false;
+        for occ in lo..=hi {
+            let rec = site.occ(occ)?;
+            fired |= self.occ_preserves(spec, pc, site, rec)?;
+        }
+        Some(fired)
+    }
+
+    /// Whether one firing occurrence provably preserves golden state;
+    /// the bool is whether the fault fires at it.
+    fn occ_preserves(
+        &self,
+        spec: &FaultSpec,
+        pc: u32,
+        site: &SiteTrace,
+        rec: &OccRecord,
+    ) -> Option<bool> {
+        match spec.target {
+            Target::DataBusStore => match rec.event {
+                OccEvent::Store {
+                    completed: true,
+                    dead: true,
+                    ..
+                } => Some(true),
+                // Run-ending trapped store: the value hook fired, but the
+                // trap is decided by the (untouched) address and the value
+                // never landed.
+                OccEvent::Store {
+                    completed: false, ..
+                } => Some(true),
+                // Live store: corruption propagates.
+                OccEvent::Store { .. } => None,
+                // The trigger instruction performs no store, so the
+                // store-value hook never fires for this spec.
+                OccEvent::Branch { .. } | OccEvent::RegDef { .. } | OccEvent::Other => Some(false),
+            },
+            Target::Gpr(r) => match rec.event {
+                OccEvent::RegDef { rd, dead } if rd == r => {
+                    // r1 writes interact with the stack-floor trap check,
+                    // which sees the corrupted value.
+                    if dead && r != 1 {
+                        Some(true)
+                    } else {
+                        None
+                    }
+                }
+                // Write-back of a different register, or no hooked
+                // register write at all (stores, branches, compares,
+                // syscalls): the fault cannot fire here.
+                OccEvent::RegDef { .. }
+                | OccEvent::Store { .. }
+                | OccEvent::Branch { .. }
+                | OccEvent::Other => Some(false),
+            },
+            Target::InstrBus => {
+                let corrupted = deterministic_apply(spec.what, site.word)?;
+                if corrupted == site.word {
+                    // The corruption reproduces the golden word bit-exactly.
+                    return Some(true);
+                }
+                let golden = site.instr?;
+                let m = swifi_vm::isa::decode(corrupted).ok()?;
+                match golden {
+                    // A dead, completed store elided by NOP: no
+                    // architectural effect either way. (A *trapping*
+                    // store must not be elided — the NOP would suppress
+                    // the crash.)
+                    Instr::Stw { .. } | Instr::Stb { .. }
+                        if is_nop(m)
+                            && matches!(
+                                rec.event,
+                                OccEvent::Store {
+                                    completed: true,
+                                    dead: true,
+                                    ..
+                                }
+                            ) =>
+                    {
+                        Some(true)
+                    }
+                    // Unconditional branch: the golden successor is
+                    // static, so agreement is decidable without a
+                    // recorded event.
+                    Instr::B { off } => {
+                        let golden_next = pc.wrapping_add((off as u32).wrapping_mul(4));
+                        let predicted = match m {
+                            m if is_nop(m) => pc.wrapping_add(4),
+                            Instr::B { off: off2 } => {
+                                pc.wrapping_add((off2 as u32).wrapping_mul(4))
+                            }
+                            _ => return None,
+                        };
+                        (predicted == golden_next).then_some(true)
+                    }
+                    // Conditional branch: the recorded successor and
+                    // shadow CR decide whether the mutated word takes the
+                    // same edge.
+                    Instr::Bc { .. } => {
+                        let OccEvent::Branch {
+                            next_pc: Some(next),
+                            cr,
+                            cr_valid,
+                        } = rec.event
+                        else {
+                            return None;
+                        };
+                        let predicted = match m {
+                            m if is_nop(m) => pc.wrapping_add(4),
+                            Instr::B { off } => pc.wrapping_add((off as u32).wrapping_mul(4)),
+                            Instr::Bc {
+                                crf,
+                                bit,
+                                expect,
+                                off,
+                            } => {
+                                let crf = crf & 7;
+                                if (cr_valid >> crf) & 1 == 0 {
+                                    return None;
+                                }
+                                let taken =
+                                    ((cr >> (u32::from(crf) * 4 + bit.index())) & 1 == 1) == expect;
+                                if taken {
+                                    pc.wrapping_add((off as i32 as u32).wrapping_mul(4))
+                                } else {
+                                    pc.wrapping_add(4)
+                                }
+                            }
+                            _ => return None,
+                        };
+                        (predicted == next).then_some(true)
+                    }
+                    _ => None,
+                }
+            }
+            // Latched (InstrMemory), address-bus, and load-value
+            // corruptions propagate in ways the trace does not bound.
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swifi_vm::isa::{encode, CrBit};
+
+    const PC: u32 = 0x10C;
+
+    fn spec(target: Target, what: ErrorOp, when: Firing) -> FaultSpec {
+        FaultSpec {
+            what,
+            target,
+            trigger: Trigger::OpcodeFetch(PC),
+            when,
+        }
+    }
+
+    fn store_site(occ_flags: &[(bool, bool)], word: u32) -> SiteTrace {
+        SiteTrace {
+            word,
+            instr: swifi_vm::isa::decode(word).ok(),
+            total: occ_flags.len() as u64,
+            truncated: false,
+            occs: occ_flags
+                .iter()
+                .enumerate()
+                .map(|(i, &(completed, dead))| OccRecord {
+                    retired_before: 100 * (i as u64 + 1),
+                    event: OccEvent::Store {
+                        addr: 0x200,
+                        size: 4,
+                        completed,
+                        dead,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    fn trace_with(pc: u32, site: SiteTrace, retired: u64) -> DefUseTrace {
+        DefUseTrace::from_sites(false, retired, [(pc, site)])
+    }
+
+    fn stw_word() -> u32 {
+        encode(Instr::Stw { rs: 5, ra: 9, d: 0 })
+    }
+
+    #[test]
+    fn missing_occurrence_is_dormant_unfired() {
+        let planner = RunPlanner::default();
+        let trace = trace_with(PC, store_site(&[(true, false)], stw_word()), 1000);
+        let s = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::Nth(5));
+        assert_eq!(
+            planner.plan(&s, &trace),
+            RunPlan::DormantSkip { fired: false }
+        );
+        // Nth(0) never fires by definition.
+        let s0 = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::Nth(0));
+        assert_eq!(
+            planner.plan(&s0, &trace),
+            RunPlan::DormantSkip { fired: false }
+        );
+    }
+
+    #[test]
+    fn dead_store_corruption_is_dormant_but_fired() {
+        let planner = RunPlanner::default();
+        let trace = trace_with(
+            PC,
+            store_site(&[(true, true), (true, true)], stw_word()),
+            1000,
+        );
+        for when in [Firing::First, Firing::EveryTime, Firing::Nth(2)] {
+            let s = spec(Target::DataBusStore, ErrorOp::ReplaceRandom, when);
+            assert_eq!(
+                planner.plan(&s, &trace),
+                RunPlan::DormantSkip { fired: true },
+                "{when:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_store_is_not_pruned() {
+        let planner = RunPlanner::default();
+        // Deep trigger (800 of 1000 retires) → fork; live value blocks
+        // the dormancy proof.
+        let mut site = store_site(&[(true, false)], stw_word());
+        site.occs[0].retired_before = 800;
+        let trace = trace_with(PC, site, 1000);
+        let s = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::First);
+        assert_eq!(planner.plan(&s, &trace), RunPlan::Fork);
+    }
+
+    #[test]
+    fn everytime_with_mixed_liveness_is_not_pruned() {
+        let planner = RunPlanner::default();
+        let trace = trace_with(
+            PC,
+            store_site(&[(true, true), (true, false)], stw_word()),
+            1000,
+        );
+        let s = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::EveryTime);
+        assert_ne!(
+            planner.plan(&s, &trace),
+            RunPlan::DormantSkip { fired: true },
+            "one live occurrence spoils the EveryTime proof"
+        );
+        // But Nth(1), targeting only the dead occurrence, prunes.
+        let s1 = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::Nth(1));
+        assert_eq!(
+            planner.plan(&s1, &trace),
+            RunPlan::DormantSkip { fired: true }
+        );
+    }
+
+    #[test]
+    fn trapping_final_store_still_prunes_value_corruption() {
+        let planner = RunPlanner::default();
+        let trace = trace_with(
+            PC,
+            store_site(&[(true, true), (false, false)], stw_word()),
+            1000,
+        );
+        let s = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::EveryTime);
+        assert_eq!(
+            planner.plan(&s, &trace),
+            RunPlan::DormantSkip { fired: true }
+        );
+    }
+
+    #[test]
+    fn gpr_liveness_rules() {
+        let planner = RunPlanner::default();
+        let mk = |rd, dead| {
+            let site = SiteTrace {
+                word: encode(Instr::Addi { rd, ra: 0, imm: 3 }),
+                instr: None,
+                total: 1,
+                truncated: false,
+                occs: vec![OccRecord {
+                    retired_before: 10,
+                    event: OccEvent::RegDef { rd, dead },
+                }],
+            };
+            trace_with(PC, site, 1000)
+        };
+        // Dead def of the targeted register: dormant, fired.
+        let s5 = spec(Target::Gpr(5), ErrorOp::Xor(0xFF), Firing::First);
+        assert_eq!(
+            planner.plan(&s5, &mk(5, true)),
+            RunPlan::DormantSkip { fired: true }
+        );
+        // Live def: no proof (shallow depth 10 → Full).
+        assert_eq!(planner.plan(&s5, &mk(5, false)), RunPlan::Full);
+        // Different register written: the fault never fires.
+        assert_eq!(
+            planner.plan(&s5, &mk(7, true)),
+            RunPlan::DormantSkip { fired: false }
+        );
+        // r1 writes interact with the stack-floor trap: never proven.
+        let s1 = spec(Target::Gpr(1), ErrorOp::Xor(0xFF), Firing::First);
+        assert_eq!(planner.plan(&s1, &mk(1, true)), RunPlan::Full);
+    }
+
+    #[test]
+    fn instr_bus_branch_equivalence() {
+        let planner = RunPlanner::default();
+        let golden = Instr::Bc {
+            crf: 0,
+            bit: CrBit::Gt,
+            expect: true,
+            off: -3,
+        };
+        // Golden run: branch not taken (falls through), cr0.gt clear.
+        let site = SiteTrace {
+            word: encode(golden),
+            instr: Some(golden),
+            total: 1,
+            truncated: false,
+            occs: vec![OccRecord {
+                retired_before: 10,
+                event: OccEvent::Branch {
+                    next_pc: Some(PC + 4),
+                    cr: 0,
+                    cr_valid: 0xFF,
+                },
+            }],
+        };
+        let trace = trace_with(PC, site, 1000);
+        let nop = encode(Instr::Ori {
+            rd: 0,
+            ra: 0,
+            imm: 0,
+        });
+        // NOP agrees with a fall-through.
+        let s = spec(Target::InstrBus, ErrorOp::Replace(nop), Firing::First);
+        assert_eq!(
+            planner.plan(&s, &trace),
+            RunPlan::DormantSkip { fired: true }
+        );
+        // A Bc testing the same (clear) bit with expect=false takes the
+        // branch — disagrees.
+        let taken = encode(Instr::Bc {
+            crf: 0,
+            bit: CrBit::Gt,
+            expect: false,
+            off: -3,
+        });
+        let s2 = spec(Target::InstrBus, ErrorOp::Replace(taken), Firing::First);
+        assert_eq!(planner.plan(&s2, &trace), RunPlan::Full);
+        // Identical-word corruption is trivially equivalent (and fires).
+        let s3 = spec(
+            Target::InstrBus,
+            ErrorOp::Replace(encode(golden)),
+            Firing::First,
+        );
+        assert_eq!(
+            planner.plan(&s3, &trace),
+            RunPlan::DormantSkip { fired: true }
+        );
+        // ReplaceRandom can never be proven.
+        let s4 = spec(Target::InstrBus, ErrorOp::ReplaceRandom, Firing::First);
+        assert_eq!(planner.plan(&s4, &trace), RunPlan::Full);
+    }
+
+    #[test]
+    fn depth_gate_uses_measured_occurrence_depth() {
+        let planner = RunPlanner::default();
+        let mut deep = store_site(&[(true, false)], stw_word());
+        deep.occs[0].retired_before = 900;
+        let trace = trace_with(PC, deep, 1000);
+        let s = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::First);
+        assert_eq!(planner.plan(&s, &trace), RunPlan::Fork);
+
+        // Shallow (fails the fraction gate) → Full.
+        let mut shallow = store_site(&[(true, false)], stw_word());
+        shallow.occs[0].retired_before = 100;
+        let trace = trace_with(PC, shallow, 1000);
+        assert_eq!(planner.plan(&s, &trace), RunPlan::Full);
+
+        // Deep fraction but tiny absolute depth (min_fork_depth) → Full.
+        let mut tiny = store_site(&[(true, false)], stw_word());
+        tiny.occs[0].retired_before = 30;
+        let trace = trace_with(PC, tiny, 40);
+        assert_eq!(planner.plan(&s, &trace), RunPlan::Full);
+    }
+
+    #[test]
+    fn tainted_traces_only_gate_depth() {
+        let planner = RunPlanner::default();
+        let mut site = store_site(&[(true, true)], stw_word());
+        site.occs[0].retired_before = 900;
+        let trace = DefUseTrace::from_sites(true, 1000, [(PC, site)]);
+        let s = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::First);
+        // Dead-store proof is off the table, but the measured depth may
+        // still elect forking.
+        assert_eq!(planner.plan(&s, &trace), RunPlan::Fork);
+        // And an unwatched pc plans Full.
+        let other = spec(Target::DataBusStore, ErrorOp::Add(1), Firing::First);
+        let empty = DefUseTrace::from_sites(false, 1000, []);
+        assert_eq!(planner.plan(&other, &empty), RunPlan::Full);
+    }
+}

@@ -15,7 +15,7 @@
 //! paused at the trigger ([`swifi_vm::Machine::run_to_fetch`]) and
 //! captures a sparse [`ForkSnapshot`]; every later run with the same
 //! key restores the snapshot ([`swifi_vm::Machine::restore_fork`]) and
-//! executes only the divergent suffix. Two memoizations ride along:
+//! executes only the divergent suffix. Several memoizations ride along:
 //!
 //! - **golden runs** — a capture run whose trigger never fires *is* a
 //!   complete fault-free run; its outcome and retired-instruction count
@@ -23,7 +23,15 @@
 //!   classifications) are answered without executing;
 //! - **trigger totals** — the same finished capture proves how many
 //!   times the trigger PC executes in the golden run, so any fault
-//!   needing a later occurrence is classified dormant outright.
+//!   needing a later occurrence is classified dormant outright;
+//! - **def-use traces** — one dedicated clean run per input records a
+//!   [`DefUseTrace`] over the campaign's candidate trigger PCs
+//!   ([`PrefixCache::set_watch_pcs`]), the evidence base for provable
+//!   dormancy and the adaptive run planner (`plan.rs`);
+//! - **collapse classes** — a fired run whose complete corruption log
+//!   ([`FireLog`]) is on record becomes the representative for every
+//!   later fault that provably applies the identical corruptions at the
+//!   same trigger occurrence ([`PrefixCache::collapse_match`]).
 //!
 //! The cache is owned by the campaign driver and shared across the
 //! worker pool behind an [`Arc`]: all sessions of one phase run the
@@ -33,15 +41,25 @@
 //! `(program, config)` pair it was created for — drivers build one per
 //! compiled target and never share it across programs.
 //!
-//! Snapshot storage is bounded ([`PrefixCache::with_capacity`]): once
-//! full, new snapshots are simply not retained (runs fall back to full
-//! execution), so a pathological campaign cannot exhaust memory. The
-//! golden/total maps hold a few words per input and are unbounded.
+//! Inputs are interned to a small integer id on first write and every
+//! key embeds the id, so the hot lookups (`is_shallow`, `snapshot`,
+//! `golden`, …) hash a few machine words instead of cloning a full
+//! [`TestInput`] per probe.
+//!
+//! Snapshot storage is bounded ([`PrefixCache::with_capacity`]) with
+//! FIFO eviction: once full, the oldest retained snapshot is dropped to
+//! admit the new one, so a pathological campaign cannot exhaust memory.
+//! Evicting a snapshot never touches the shallow-veto memo (and vice
+//! versa): the verdict memos are a few words per key and unbounded.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
+use crate::plan::RunPlan;
+use swifi_core::fault::{ErrorOp, FaultSpec, Firing, Target, Trigger};
+use swifi_core::injector::FireLog;
 use swifi_programs::input::TestInput;
+use swifi_vm::defuse::DefUseTrace;
 use swifi_vm::machine::RunOutcome;
 use swifi_vm::ForkSnapshot;
 
@@ -54,26 +72,93 @@ pub struct GoldenRun {
     pub retired: u64,
 }
 
+/// A memoized representative injected run: the complete corruption log
+/// it applied plus how it ended. A later fault whose error operation
+/// provably reproduces `log` event-for-event shares this record instead
+/// of executing (outcome-equivalence collapse).
+#[derive(Debug, Clone)]
+pub struct CollapseClass {
+    /// Every corruption the representative applied, in firing order.
+    /// Always complete (truncated logs are refused at record time).
+    pub log: Arc<FireLog>,
+    /// How the representative run ended.
+    pub outcome: RunOutcome,
+    /// Whether the representative's fault fired.
+    pub fired: bool,
+    /// Guest instructions the representative retired.
+    pub retired: u64,
+}
+
 /// Default bound on retained fork snapshots.
 const DEFAULT_MAX_SNAPSHOTS: usize = 1024;
 
+/// Bound on distinct collapse classes memoized per
+/// `(input, pc, occurrence, target, firing)` key; campaigns generate only
+/// a handful of error ops per location, so overflow means the key is
+/// pathological and further representatives are simply not retained.
+const MAX_COLLAPSE_PER_KEY: usize = 8;
+
+/// (interned input, trigger pc, firing occurrence).
+type SnapKey = (u32, u32, u64);
+
+/// (interned input, trigger pc, firing occurrence, target, firing).
+type CollapseKey = (u32, u32, u64, Target, Firing);
+
 #[derive(Default)]
 struct Inner {
-    /// (input, trigger pc, firing occurrence) → paused golden state.
-    snapshots: HashMap<(TestInput, u32, u64), Arc<ForkSnapshot>>,
-    /// input → memoized fault-free run.
-    golden: HashMap<TestInput, GoldenRun>,
-    /// (input, trigger pc) → exact trigger-arrival count in the golden
-    /// run (recorded only when a capture run finishes without hitting,
-    /// which observes the full count).
-    totals: HashMap<(TestInput, u32), u64>,
-    /// input → host-oracle expected output, shared across sessions.
-    expected: HashMap<TestInput, Arc<Vec<u8>>>,
-    /// (input, trigger pc, firing occurrence) keys whose capture run
-    /// found the prefix too shallow to be worth forking — later runs
-    /// with these keys take the plain path without even attempting a
-    /// capture. Unbounded like the other memos (a few words per fault).
-    shallow: HashSet<(TestInput, u32, u64)>,
+    /// Input → small dense id; assigned on first write touching the
+    /// input. Read paths that find no id know the cache holds nothing
+    /// for that input.
+    ids: HashMap<TestInput, u32>,
+    /// (input id, trigger pc, firing occurrence) → paused golden state.
+    snapshots: HashMap<SnapKey, Arc<ForkSnapshot>>,
+    /// Insertion order of `snapshots` keys, for FIFO eviction.
+    snap_order: VecDeque<SnapKey>,
+    /// input id → memoized fault-free run.
+    golden: HashMap<u32, GoldenRun>,
+    /// (input id, trigger pc) → exact trigger-arrival count in the
+    /// golden run (recorded only when a capture run finishes without
+    /// hitting, which observes the full count).
+    totals: HashMap<(u32, u32), u64>,
+    /// input id → host-oracle expected output, shared across sessions.
+    expected: HashMap<u32, Arc<Vec<u8>>>,
+    /// Keys whose capture run found the prefix too shallow to be worth
+    /// forking — later runs with these keys take the plain path without
+    /// even attempting a capture. Unbounded like the other memos (a few
+    /// words per fault).
+    shallow: HashSet<SnapKey>,
+    /// input id → def-use trace of the dedicated clean run. `Some(None)`
+    /// memoizes a failed attempt (e.g. the clean run hit the watchdog)
+    /// so it is not retried per fault.
+    traces: HashMap<u32, Option<Arc<DefUseTrace>>>,
+    /// Representative injected runs for outcome-equivalence collapse.
+    collapse: HashMap<CollapseKey, Vec<CollapseClass>>,
+    /// Memoized successful collapse probes: the exact probe key → the
+    /// class that matched. Classes are append-only, so a hit never goes
+    /// stale; misses are not cached (a later representative may match).
+    collapse_memo: HashMap<(CollapseKey, ErrorOp), CollapseClass>,
+    /// (input id, fault spec) → the adaptive planner's verdict. The plan
+    /// is a pure function of the first-writer-wins def-use trace, so one
+    /// occurrence walk serves every later run of the same pair.
+    plans: HashMap<(u32, FaultSpec), RunPlan>,
+    /// Candidate trigger PCs the campaign will inject at — the def-use
+    /// recorder watches exactly these during the traced clean run.
+    watch: Arc<Vec<u32>>,
+}
+
+impl Inner {
+    fn id(&self, input: &TestInput) -> Option<u32> {
+        self.ids.get(input).copied()
+    }
+
+    fn intern(&mut self, input: &TestInput) -> u32 {
+        if let Some(&id) = self.ids.get(input) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(input.clone(), id);
+        id
+    }
 }
 
 /// Bounded, shared store of golden prefixes for one compiled program.
@@ -108,9 +193,10 @@ impl PrefixCache {
         PrefixCache::with_capacity(DEFAULT_MAX_SNAPSHOTS)
     }
 
-    /// A cache retaining at most `max_snapshots` fork snapshots. Golden
-    /// and trigger-total memos are not bounded (they are a few words per
-    /// input).
+    /// A cache retaining at most `max_snapshots` fork snapshots (FIFO
+    /// eviction beyond that). Golden, trigger-total, shallow, trace and
+    /// collapse memos are not bounded the same way (they are a few words
+    /// per key).
     pub fn with_capacity(max_snapshots: usize) -> PrefixCache {
         PrefixCache {
             inner: Mutex::new(Inner::default()),
@@ -123,16 +209,22 @@ impl PrefixCache {
         Arc::new(PrefixCache::new())
     }
 
+    /// Number of distinct inputs interned so far.
+    pub fn interned_inputs(&self) -> usize {
+        self.inner.lock().expect("prefix cache poisoned").ids.len()
+    }
+
     /// The cached fork snapshot for `(input, pc, occurrence)`, if any.
     pub fn snapshot(&self, input: &TestInput, pc: u32, occ: u64) -> Option<Arc<ForkSnapshot>> {
         let inner = self.inner.lock().expect("prefix cache poisoned");
-        inner.snapshots.get(&(input.clone(), pc, occ)).cloned()
+        let id = inner.id(input)?;
+        inner.snapshots.get(&(id, pc, occ)).cloned()
     }
 
-    /// Retain a fork snapshot, unless the bound is reached. Returns
-    /// whether the snapshot was stored (an equal key may already be
-    /// present when two workers raced on the same miss; the first one
-    /// wins and the duplicate is dropped).
+    /// Retain a fork snapshot, evicting the oldest retained one when the
+    /// bound is reached. Returns whether the snapshot was stored (an
+    /// equal key may already be present when two workers raced on the
+    /// same miss; the first one wins and the duplicate is dropped).
     pub fn insert_snapshot(
         &self,
         input: &TestInput,
@@ -141,41 +233,53 @@ impl PrefixCache {
         snapshot: Arc<ForkSnapshot>,
     ) -> bool {
         let mut inner = self.inner.lock().expect("prefix cache poisoned");
-        if inner.snapshots.len() >= self.max_snapshots {
-            return false;
-        }
-        let key = (input.clone(), pc, occ);
+        let id = inner.intern(input);
+        let key = (id, pc, occ);
         if inner.snapshots.contains_key(&key) {
             return false;
         }
+        while inner.snapshots.len() >= self.max_snapshots {
+            match inner.snap_order.pop_front() {
+                Some(oldest) => {
+                    inner.snapshots.remove(&oldest);
+                }
+                // max_snapshots == 0: nothing to evict, nothing retained.
+                None => return false,
+            }
+        }
         inner.snapshots.insert(key, snapshot);
+        inner.snap_order.push_back(key);
         true
     }
 
     /// The memoized fault-free run for `input`, if one was recorded.
     pub fn golden(&self, input: &TestInput) -> Option<GoldenRun> {
         let inner = self.inner.lock().expect("prefix cache poisoned");
-        inner.golden.get(input).cloned()
+        let id = inner.id(input)?;
+        inner.golden.get(&id).cloned()
     }
 
     /// Record the fault-free run for `input` (first writer wins; a
     /// duplicate from a racing worker is identical by determinism).
     pub fn record_golden(&self, input: &TestInput, run: GoldenRun) {
         let mut inner = self.inner.lock().expect("prefix cache poisoned");
-        inner.golden.entry(input.clone()).or_insert(run);
+        let id = inner.intern(input);
+        inner.golden.entry(id).or_insert(run);
     }
 
     /// The exact number of golden-run arrivals at trigger `pc` on
     /// `input`, if a finished capture run has observed it.
     pub fn total_occurrences(&self, input: &TestInput, pc: u32) -> Option<u64> {
         let inner = self.inner.lock().expect("prefix cache poisoned");
-        inner.totals.get(&(input.clone(), pc)).copied()
+        let id = inner.id(input)?;
+        inner.totals.get(&(id, pc)).copied()
     }
 
     /// Record the golden-run arrival count for `(input, pc)`.
     pub fn record_total(&self, input: &TestInput, pc: u32, total: u64) {
         let mut inner = self.inner.lock().expect("prefix cache poisoned");
-        inner.totals.entry((input.clone(), pc)).or_insert(total);
+        let id = inner.intern(input);
+        inner.totals.entry((id, pc)).or_insert(total);
     }
 
     /// Whether `(input, pc, occ)` was memoized as a shallow trigger —
@@ -183,7 +287,10 @@ impl PrefixCache {
     /// the plain fork-free path.
     pub fn is_shallow(&self, input: &TestInput, pc: u32, occ: u64) -> bool {
         let inner = self.inner.lock().expect("prefix cache poisoned");
-        inner.shallow.contains(&(input.clone(), pc, occ))
+        match inner.id(input) {
+            Some(id) => inner.shallow.contains(&(id, pc, occ)),
+            None => false,
+        }
     }
 
     /// Memoize `(input, pc, occ)` as a shallow trigger. The verdict is
@@ -191,30 +298,152 @@ impl PrefixCache {
     /// memoized golden run), so racing workers record the same answer.
     pub fn record_shallow(&self, input: &TestInput, pc: u32, occ: u64) {
         let mut inner = self.inner.lock().expect("prefix cache poisoned");
-        inner.shallow.insert((input.clone(), pc, occ));
+        let id = inner.intern(input);
+        inner.shallow.insert((id, pc, occ));
+    }
+
+    /// The def-use trace of `input`'s clean run: `None` if no traced run
+    /// happened yet, `Some(None)` if one was attempted and memoized as
+    /// unusable, `Some(Some(trace))` otherwise.
+    #[allow(clippy::option_option)]
+    pub fn trace(&self, input: &TestInput) -> Option<Option<Arc<DefUseTrace>>> {
+        let inner = self.inner.lock().expect("prefix cache poisoned");
+        let id = inner.id(input)?;
+        inner.traces.get(&id).cloned()
+    }
+
+    /// Record the def-use trace of `input`'s clean run (first writer
+    /// wins). Pass `None` to memoize a failed attempt so it is not
+    /// retried for every fault.
+    pub fn record_trace(&self, input: &TestInput, trace: Option<Arc<DefUseTrace>>) {
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        let id = inner.intern(input);
+        inner.traces.entry(id).or_insert(trace);
+    }
+
+    /// A memoized representative run whose complete corruption log is
+    /// exactly what `op` would apply: every logged event satisfies
+    /// `op.apply(input) == output`. Sound by induction — identical
+    /// corruptions applied to the identical pre-states reproduce the
+    /// representative's entire trajectory. Non-deterministic ops
+    /// ([`ErrorOp::ReplaceRandom`]) never match.
+    pub fn collapse_match(
+        &self,
+        input: &TestInput,
+        pc: u32,
+        occ: u64,
+        target: Target,
+        when: Firing,
+        op: &ErrorOp,
+    ) -> Option<CollapseClass> {
+        if matches!(op, ErrorOp::ReplaceRandom) {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        let id = inner.id(input)?;
+        let key = (id, pc, occ, target, when);
+        if let Some(class) = inner.collapse_memo.get(&(key, *op)) {
+            return Some(class.clone());
+        }
+        let classes = inner.collapse.get(&key)?;
+        let class = classes
+            .iter()
+            .find(|c| {
+                c.log
+                    .events
+                    .iter()
+                    .all(|ev| op.apply(ev.input, 0) == ev.output)
+            })
+            .cloned()?;
+        inner.collapse_memo.insert((key, *op), class.clone());
+        Some(class)
+    }
+
+    /// The adaptive planner's memoized verdict for `(input, spec)`, if
+    /// one was recorded ([`PrefixCache::record_plan`]).
+    pub fn plan_memo(&self, input: &TestInput, spec: &FaultSpec) -> Option<RunPlan> {
+        let inner = self.inner.lock().expect("prefix cache poisoned");
+        let id = inner.id(input)?;
+        inner.plans.get(&(id, *spec)).copied()
+    }
+
+    /// Memoize the planner's verdict for `(input, spec)`. The verdict
+    /// derives from the input's def-use trace, which is first-writer-wins
+    /// and immutable once recorded — so one occurrence walk serves every
+    /// later run of the pair, across all workers.
+    pub fn record_plan(&self, input: &TestInput, spec: &FaultSpec, plan: RunPlan) {
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        let id = inner.intern(input);
+        inner.plans.insert((id, *spec), plan);
+    }
+
+    /// Retain a fired run as the collapse representative for its key.
+    /// Truncated logs are refused (they cannot prove equivalence); per
+    /// key at most [`MAX_COLLAPSE_PER_KEY`] distinct classes are kept.
+    /// Returns whether the class was stored (duplicates and overflow are
+    /// dropped).
+    pub fn record_collapse(
+        &self,
+        input: &TestInput,
+        pc: u32,
+        occ: u64,
+        target: Target,
+        when: Firing,
+        class: CollapseClass,
+    ) -> bool {
+        if !class.log.complete() {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        let id = inner.intern(input);
+        let classes = inner
+            .collapse
+            .entry((id, pc, occ, target, when))
+            .or_default();
+        if classes.len() >= MAX_COLLAPSE_PER_KEY
+            || classes.iter().any(|c| c.log.events == class.log.events)
+        {
+            return false;
+        }
+        classes.push(class);
+        true
+    }
+
+    /// Declare the campaign's candidate trigger PCs. The traced clean
+    /// run watches exactly these; drivers call this once, after
+    /// generating the fault set and before starting the pool.
+    pub fn set_watch_pcs(&self, mut pcs: Vec<u32>) {
+        pcs.sort_unstable();
+        pcs.dedup();
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.watch = Arc::new(pcs);
+    }
+
+    /// The declared candidate trigger PCs (empty until
+    /// [`PrefixCache::set_watch_pcs`]).
+    pub fn watch_pcs(&self) -> Arc<Vec<u32>> {
+        self.inner
+            .lock()
+            .expect("prefix cache poisoned")
+            .watch
+            .clone()
     }
 
     /// The host-oracle expected output for `input`, computed once across
     /// all sessions sharing this cache.
     pub fn expected_output(&self, input: &TestInput) -> Arc<Vec<u8>> {
-        if let Some(v) = self
-            .inner
-            .lock()
-            .expect("prefix cache poisoned")
-            .expected
-            .get(input)
         {
-            return v.clone();
+            let inner = self.inner.lock().expect("prefix cache poisoned");
+            if let Some(v) = inner.id(input).and_then(|id| inner.expected.get(&id)) {
+                return v.clone();
+            }
         }
         // Compute outside the lock: the oracle run can be slow and two
         // workers racing here produce identical bytes.
         let computed = Arc::new(input.expected_output());
         let mut inner = self.inner.lock().expect("prefix cache poisoned");
-        inner
-            .expected
-            .entry(input.clone())
-            .or_insert(computed)
-            .clone()
+        let id = inner.intern(input);
+        inner.expected.entry(id).or_insert(computed).clone()
     }
 
     /// Number of fork snapshots currently retained.
@@ -227,9 +456,24 @@ impl PrefixCache {
     }
 }
 
+/// The distinct [`Trigger::OpcodeFetch`] PCs of a fault set — the watch
+/// list campaign drivers hand to [`PrefixCache::set_watch_pcs`]. Faults
+/// with other trigger shapes contribute nothing: the def-use machinery
+/// only reasons about fetch-triggered corruption.
+pub fn watch_pcs_of<'a>(specs: impl IntoIterator<Item = &'a FaultSpec>) -> Vec<u32> {
+    specs
+        .into_iter()
+        .filter_map(|s| match s.trigger {
+            Trigger::OpcodeFetch(pc) => Some(pc),
+            _ => None,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swifi_core::injector::FireEvent;
     use swifi_lang::compile;
     use swifi_programs::program;
     use swifi_vm::inspect::Noop;
@@ -244,7 +488,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_store_is_bounded() {
+    fn snapshot_store_evicts_fifo_at_the_bound() {
         let target = program("JB.team11").unwrap();
         let _ = compile(target.source_correct).unwrap();
         let inputs = target.family.test_case(3, 1);
@@ -257,13 +501,58 @@ mod tests {
         );
         assert!(cache.insert_snapshot(&inputs[1], 0x100, 1, snap.clone()));
         assert!(
-            !cache.insert_snapshot(&inputs[2], 0x100, 1, snap.clone()),
-            "bound reached"
+            cache.insert_snapshot(&inputs[2], 0x100, 1, snap.clone()),
+            "bound reached: oldest is evicted, newcomer admitted"
         );
         assert_eq!(cache.snapshot_count(), 2);
-        assert!(cache.snapshot(&inputs[0], 0x100, 1).is_some());
-        assert!(cache.snapshot(&inputs[0], 0x104, 1).is_none());
-        assert!(cache.snapshot(&inputs[2], 0x100, 1).is_none());
+        assert!(
+            cache.snapshot(&inputs[0], 0x100, 1).is_none(),
+            "FIFO evicts the oldest key"
+        );
+        assert!(cache.snapshot(&inputs[1], 0x100, 1).is_some());
+        assert!(cache.snapshot(&inputs[2], 0x100, 1).is_some());
+        assert!(cache.snapshot(&inputs[1], 0x104, 1).is_none());
+
+        let empty = PrefixCache::with_capacity(0);
+        assert!(
+            !empty.insert_snapshot(&inputs[0], 0x100, 1, snap),
+            "zero capacity retains nothing"
+        );
+    }
+
+    #[test]
+    fn evicting_a_snapshot_keeps_its_shallow_verdict() {
+        let target = program("JB.team11").unwrap();
+        let inputs = target.family.test_case(3, 1);
+        let cache = PrefixCache::with_capacity(1);
+        let snap = Arc::new(tiny_fork("li r3, 0\nhalt"));
+        cache.record_shallow(&inputs[0], 0x100, 7);
+        assert!(cache.insert_snapshot(&inputs[0], 0x100, 1, snap.clone()));
+        // Evict inputs[0]'s snapshot by inserting under another key.
+        assert!(cache.insert_snapshot(&inputs[1], 0x100, 1, snap));
+        assert!(cache.snapshot(&inputs[0], 0x100, 1).is_none());
+        assert!(
+            cache.is_shallow(&inputs[0], 0x100, 7),
+            "shallow verdict must survive snapshot eviction"
+        );
+    }
+
+    #[test]
+    fn shallow_verdicts_never_evict_snapshots() {
+        let target = program("JB.team11").unwrap();
+        let inputs = target.family.test_case(2, 1);
+        let cache = PrefixCache::with_capacity(1);
+        let snap = Arc::new(tiny_fork("li r3, 0\nhalt"));
+        assert!(cache.insert_snapshot(&inputs[0], 0x100, 1, snap));
+        // Flood the shallow memo well past the snapshot capacity.
+        for occ in 1..64 {
+            cache.record_shallow(&inputs[1], 0x104, occ);
+        }
+        assert!(
+            cache.snapshot(&inputs[0], 0x100, 1).is_some(),
+            "shallow recording must not disturb retained snapshots"
+        );
+        assert_eq!(cache.snapshot_count(), 1);
     }
 
     #[test]
@@ -293,5 +582,121 @@ mod tests {
         let expected = cache.expected_output(input);
         assert_eq!(*expected, input.expected_output());
         assert!(Arc::ptr_eq(&expected, &cache.expected_output(input)));
+    }
+
+    #[test]
+    fn inputs_intern_to_stable_ids() {
+        let target = program("JB.team11").unwrap();
+        let inputs = target.family.test_case(2, 1);
+        let cache = PrefixCache::new();
+        assert_eq!(cache.interned_inputs(), 0);
+        cache.record_total(&inputs[0], 0x100, 3);
+        cache.record_shallow(&inputs[0], 0x100, 1);
+        cache.record_total(&inputs[1], 0x100, 5);
+        assert_eq!(cache.interned_inputs(), 2, "repeat writes reuse the id");
+        assert_eq!(cache.total_occurrences(&inputs[0], 0x100), Some(3));
+        assert_eq!(cache.total_occurrences(&inputs[1], 0x100), Some(5));
+        assert!(cache.is_shallow(&inputs[0], 0x100, 1));
+        assert!(!cache.is_shallow(&inputs[1], 0x100, 1));
+    }
+
+    #[test]
+    fn collapse_matches_exact_corruption_logs_only() {
+        let target = program("JB.team11").unwrap();
+        let input = &target.family.test_case(1, 2)[0];
+        let cache = PrefixCache::new();
+        let key = (0x10C_u32, 1_u64, Target::DataBusStore, Firing::EveryTime);
+        let class = CollapseClass {
+            log: Arc::new(FireLog {
+                events: vec![FireEvent {
+                    input: 41,
+                    output: 42,
+                }],
+                overflowed: false,
+            }),
+            outcome: RunOutcome::Completed {
+                exit_code: 0,
+                output: b"42".to_vec(),
+            },
+            fired: true,
+            retired: 10,
+        };
+        cache.record_collapse(input, key.0, key.1, key.2, key.3, class);
+        let hit = |op: &ErrorOp| cache.collapse_match(input, key.0, key.1, key.2, key.3, op);
+        // Add(1) on 41 → 42 and Replace(42) on anything → 42: both
+        // provably reproduce the representative's only corruption.
+        assert!(hit(&ErrorOp::Add(1)).is_some());
+        assert!(hit(&ErrorOp::Replace(42)).is_some());
+        assert!(hit(&ErrorOp::Or(3)).is_none(), "41|3 = 43, not 42");
+        assert!(hit(&ErrorOp::Add(2)).is_none());
+        assert!(
+            hit(&ErrorOp::ReplaceRandom).is_none(),
+            "non-deterministic ops never collapse"
+        );
+        // Different occurrence / target / firing: separate keys.
+        assert!(cache
+            .collapse_match(input, key.0, 2, key.2, key.3, &ErrorOp::Add(1))
+            .is_none());
+        assert!(cache
+            .collapse_match(
+                input,
+                key.0,
+                key.1,
+                Target::DataBusLoad,
+                key.3,
+                &ErrorOp::Add(1)
+            )
+            .is_none());
+        let retired = hit(&ErrorOp::Add(1)).unwrap().retired;
+        assert_eq!(retired, 10);
+
+        // Truncated logs are refused at record time.
+        let truncated = CollapseClass {
+            log: Arc::new(FireLog {
+                events: Vec::new(),
+                overflowed: true,
+            }),
+            outcome: RunOutcome::Hang { output: Vec::new() },
+            fired: true,
+            retired: 1,
+        };
+        cache.record_collapse(input, 0x200, 1, key.2, key.3, truncated);
+        assert!(cache
+            .collapse_match(input, 0x200, 1, key.2, key.3, &ErrorOp::Add(1))
+            .is_none());
+    }
+
+    #[test]
+    fn trace_and_watch_memos() {
+        let target = program("JB.team11").unwrap();
+        let input = &target.family.test_case(1, 2)[0];
+        let cache = PrefixCache::new();
+        assert!(cache.watch_pcs().is_empty());
+        cache.set_watch_pcs(vec![0x10C, 0x104, 0x10C]);
+        assert_eq!(*cache.watch_pcs(), vec![0x104, 0x10C]);
+
+        assert!(cache.trace(input).is_none(), "no traced run yet");
+        cache.record_trace(input, None);
+        assert!(
+            matches!(cache.trace(input), Some(None)),
+            "failed attempt memoized, not retried"
+        );
+        // First writer wins: a later success does not overwrite.
+        let dummy = {
+            let image = swifi_vm::asm::assemble("li r3, 0\nhalt").unwrap();
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            let rec = swifi_vm::DefUseRecorder::new(
+                m.core(0),
+                &image.code,
+                &[],
+                swifi_vm::InputTape::new(),
+            );
+            let mut rec = rec;
+            let out = m.run(&mut rec);
+            Arc::new(rec.finish(&out))
+        };
+        cache.record_trace(input, Some(dummy));
+        assert!(matches!(cache.trace(input), Some(None)));
     }
 }

@@ -471,6 +471,37 @@ mod tests {
     }
 
     #[test]
+    fn merge_counts_header_only_shards_as_read_but_empty() {
+        // A worker killed right after the header write leaves a shard
+        // with a header and no records: the merge must treat it as a
+        // present-but-empty shard, not a missing or corrupt one.
+        let dir = temp_dir("header-only");
+        let header = CheckpointHeader::new("h", 1, 1);
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        {
+            let mut log = crate::engine::CheckpointLog::create(&a, &header).unwrap();
+            log.append(&RunRecord {
+                phase: "p".to_string(),
+                index: 0,
+                elapsed_micros: 1,
+                status: RunStatus::Ok(7),
+            })
+            .unwrap();
+        }
+        crate::engine::CheckpointLog::create(&b, &header).unwrap();
+        let out = dir.join("out.jsonl");
+        let summary = merge_checkpoints(&[a, b], &out).unwrap();
+        assert_eq!(summary.shards_read, 2);
+        assert_eq!(summary.shards_missing, 0);
+        assert_eq!(summary.records, 1);
+        assert_eq!(summary.duplicates, 0);
+        let log = crate::engine::CheckpointLog::resume(&out, &header).unwrap();
+        assert_eq!(log.loaded_records(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn merge_rejects_corrupt_middle_lines() {
         let dir = temp_dir("corrupt");
         let a = dir.join("a.jsonl");

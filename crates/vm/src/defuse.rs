@@ -1,0 +1,1208 @@
+//! Golden def-use trace recording — the measurement side of trace-guided
+//! campaign pruning.
+//!
+//! A campaign replays the same clean ("golden") run once per input and
+//! then perturbs it thousands of times, one fault per run. Most of those
+//! perturbations provably cannot change the outcome: the corrupted value
+//! is overwritten before anything reads it, or the corrupted instruction
+//! makes exactly the decision the clean run made. Proving that requires
+//! knowing, for every occurrence of every candidate trigger PC, what the
+//! clean run did there and whether the value it produced was ever used.
+//!
+//! [`DefUseRecorder`] is an [`Inspector`] that rides along on one clean
+//! run and produces a [`DefUseTrace`]:
+//!
+//! - **per-occurrence records** at each watched PC: the store's effective
+//!   address, width, and byte-granular *deadness* (every stored byte
+//!   overwritten before any load touches it); a conditional branch's
+//!   observed successor and the shadow condition-register state; or the
+//!   defined register and its deadness;
+//! - **exact arrival totals** per watched PC, equal to what
+//!   [`crate::Machine::run_to_fetch`] would count — including a final
+//!   arrival that trapped instead of retiring;
+//! - a **shadow register file** (values + validity bits) maintained by
+//!   re-executing each retired instruction arithmetically, so the trace
+//!   knows condition-register fields at branch sites without any hook on
+//!   the values themselves.
+//!
+//! The recorder deliberately leans on the block interpreter's retire
+//! contract ([`Inspector::on_block_retire`]): straight-line blocks that
+//! touch no memory are declared quiescent and replayed *arithmetically*
+//! from the static code image, so the traced run still executes mostly on
+//! the hook-free fast path. Memory-touching instructions take the
+//! per-instruction hook path, where `on_load_value` / `on_store_value`
+//! supply the effective addresses the liveness analysis needs.
+//!
+//! Anything the analysis cannot follow — self-modifying code, execution
+//! outside the static image — sets [`DefUseTrace::tainted`]: arrival
+//! totals and the retired count stay exact (they are direct observations)
+//! but the def-use records must not be used for pruning decisions.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+use crate::inspect::{FetchPolicy, Inspector};
+use crate::isa::{decode, AluOp, Instr, Syscall};
+use crate::machine::{Cpu, InputTape, RunOutcome};
+use crate::mem::CODE_BASE;
+
+/// Per-site cap on recorded occurrence records. Sites that arrive more
+/// often are marked [`SiteTrace::truncated`]; their arrival totals stay
+/// exact but per-occurrence proofs are off the table.
+pub const DEFAULT_OCC_CAP: usize = 1024;
+
+/// What the golden run did at one arrival of a watched PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccEvent {
+    /// The instruction stored to memory.
+    Store {
+        /// Effective address of the store.
+        addr: u32,
+        /// Width in bytes (1 or 4).
+        size: u8,
+        /// Whether the write completed (`false`: the store trapped, which
+        /// also makes this the run's final arrival anywhere).
+        completed: bool,
+        /// Every stored byte was overwritten before any load read it, no
+        /// global read barrier (e.g. `print_str`) intervened, and the run
+        /// ended without the bytes ever being read.
+        dead: bool,
+    },
+    /// The instruction was a conditional branch.
+    Branch {
+        /// The observed successor PC (`None` when the run ended before
+        /// the successor could be observed).
+        next_pc: Option<u32>,
+        /// Shadow condition register at the branch (all eight fields).
+        cr: u32,
+        /// Per-field validity mask for `cr` (bit `f` covers field `f`).
+        cr_valid: u8,
+    },
+    /// The instruction defined a general-purpose register.
+    RegDef {
+        /// The register written.
+        rd: u8,
+        /// The defined value was overwritten before any instruction (or
+        /// syscall) read it.
+        dead: bool,
+    },
+    /// Anything else (syscalls, compares, plain branches, trapped
+    /// arrivals): no per-occurrence proof is attempted.
+    Other,
+}
+
+/// One arrival of a watched PC in the golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccRecord {
+    /// Instructions retired before this arrival — the trigger depth an
+    /// adaptive planner weighs against the whole run's length.
+    pub retired_before: u64,
+    /// What the golden run did here.
+    pub event: OccEvent,
+}
+
+/// Everything recorded about one watched PC.
+#[derive(Debug, Clone)]
+pub struct SiteTrace {
+    /// The static code word at the PC.
+    pub word: u32,
+    /// Its decoding (`None` when the word does not decode or the PC lies
+    /// outside the static image).
+    pub instr: Option<Instr>,
+    /// Exact arrival count, mirroring the fetch-breakpoint semantics: a
+    /// final arrival that trapped instead of retiring is counted.
+    pub total: u64,
+    /// Arrivals beyond the occurrence cap were counted but not recorded.
+    pub truncated: bool,
+    /// Per-arrival records, in arrival order (1-based occurrence `i` is
+    /// `occs[i - 1]`).
+    pub occs: Vec<OccRecord>,
+}
+
+impl SiteTrace {
+    /// The record for 1-based occurrence `occ`, when recorded.
+    pub fn occ(&self, occ: u64) -> Option<&OccRecord> {
+        usize::try_from(occ.checked_sub(1)?)
+            .ok()
+            .and_then(|i| self.occs.get(i))
+    }
+
+    /// Whether every arrival has a record (nothing truncated, and the
+    /// bookkeeping never lost an arrival to taint).
+    pub fn complete(&self) -> bool {
+        !self.truncated && self.occs.len() as u64 == self.total
+    }
+}
+
+/// The finished def-use trace of one golden run.
+#[derive(Debug, Clone)]
+pub struct DefUseTrace {
+    /// The analysis lost track of the instruction stream (self-modifying
+    /// code, execution outside the static image). Arrival totals and
+    /// `retired` remain exact; def-use records must not be trusted.
+    pub tainted: bool,
+    /// Total retired instructions of the golden run.
+    pub retired: u64,
+    sites: HashMap<u32, SiteTrace>,
+}
+
+impl DefUseTrace {
+    /// Assemble a trace from explicit site records — for unit tests and
+    /// planner experiments; real traces come from [`DefUseRecorder`].
+    pub fn from_sites(
+        tainted: bool,
+        retired: u64,
+        sites: impl IntoIterator<Item = (u32, SiteTrace)>,
+    ) -> DefUseTrace {
+        DefUseTrace {
+            tainted,
+            retired,
+            sites: sites.into_iter().collect(),
+        }
+    }
+
+    /// Whether per-occurrence records may back pruning decisions.
+    pub fn usable(&self) -> bool {
+        !self.tainted
+    }
+
+    /// Exact arrival total for a watched PC (`None`: not watched).
+    pub fn total(&self, pc: u32) -> Option<u64> {
+        self.sites.get(&pc).map(|s| s.total)
+    }
+
+    /// The full record for a watched PC (`None`: not watched).
+    pub fn site(&self, pc: u32) -> Option<&SiteTrace> {
+        self.sites.get(&pc)
+    }
+}
+
+/// An observed store whose instruction has not retired yet. The commit is
+/// deferred to the retire so a store that traps (hook fires, write does
+/// not happen) is never treated as an overwrite.
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    pc: u32,
+    addr: u32,
+    size: u8,
+}
+
+/// Builds a [`DefUseTrace`] over one clean run. Single-core only.
+pub struct DefUseRecorder {
+    code_lo: u32,
+    /// Exclusive end of the static code image.
+    code_hi: u32,
+    decoded: Vec<Option<Instr>>,
+    watch: Vec<u32>,
+    watch_set: HashSet<u32>,
+    occ_cap: usize,
+    sites: HashMap<u32, SiteTrace>,
+    tainted: bool,
+    retired: u64,
+
+    // Shadow architectural state: values plus validity. Invalidity only
+    // enters through `malloc` (the heap pointer is allocator-internal)
+    // and propagates through dataflow.
+    regs: [u32; 32],
+    valid: u32,
+    cr: u32,
+    cr_valid: u8,
+    lr: u32,
+    lr_valid: bool,
+    tape: InputTape,
+    num_cores: u32,
+
+    // In-flight hook state.
+    last_load: Option<(u32, u32)>,
+    pending_store: Option<PendingStore>,
+    open_branch: Option<(u32, usize)>,
+
+    // Liveness worklists: pending (site, occ-index) refs per memory byte
+    // and per register, resolved live on a read, dropped (still dead) on
+    // an overwrite, left dead at end of run.
+    mem_pending: HashMap<u32, Vec<(u32, usize)>>,
+    reg_pending: [Vec<(u32, usize)>; 32],
+
+    /// Memoized block-quiescence verdicts keyed by the block's
+    /// `(first_pc, last_pc)` packed into one u64.
+    quiesce: RefCell<HashMap<u64, bool>>,
+}
+
+impl DefUseRecorder {
+    /// A recorder for one clean run.
+    ///
+    /// `core` seeds the shadow state (pass `machine.core(0)` after the
+    /// warm-reboot restore), `code` is the static instruction image,
+    /// `watch` the candidate trigger PCs, and `tape` a copy of the input
+    /// the run will consume (`read_int`/`read_byte` are re-simulated from
+    /// it so register validity survives input-dependent dataflow).
+    pub fn new(core: &Cpu, code: &[u32], watch: &[u32], tape: InputTape) -> DefUseRecorder {
+        let mut watch: Vec<u32> = watch.to_vec();
+        watch.sort_unstable();
+        watch.dedup();
+        let decoded: Vec<Option<Instr>> = code.iter().map(|&w| decode(w).ok()).collect();
+        let mut sites = HashMap::new();
+        for &pc in &watch {
+            let idx = pc
+                .checked_sub(CODE_BASE)
+                .map(|off| (off / 4) as usize)
+                .filter(|_| pc % 4 == 0);
+            let (word, instr) = match idx {
+                Some(i) if i < code.len() => (code[i], decoded[i]),
+                _ => (0, None),
+            };
+            sites.insert(
+                pc,
+                SiteTrace {
+                    word,
+                    instr,
+                    total: 0,
+                    truncated: false,
+                    occs: Vec::new(),
+                },
+            );
+        }
+        DefUseRecorder {
+            code_lo: CODE_BASE,
+            code_hi: CODE_BASE + code.len() as u32 * 4,
+            decoded,
+            watch_set: watch.iter().copied().collect(),
+            watch,
+            occ_cap: DEFAULT_OCC_CAP,
+            sites,
+            tainted: false,
+            retired: 0,
+            regs: core.regs,
+            valid: u32::MAX,
+            cr: core.cr,
+            cr_valid: 0xFF,
+            lr: core.lr,
+            lr_valid: true,
+            tape,
+            num_cores: 1,
+            last_load: None,
+            pending_store: None,
+            open_branch: None,
+            mem_pending: HashMap::new(),
+            reg_pending: Default::default(),
+            quiesce: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Retired instructions observed so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Shadow value of register `r`, when the dataflow kept it valid.
+    pub fn shadow_reg(&self, r: usize) -> Option<u32> {
+        (self.valid >> r & 1 == 1).then(|| self.regs[r])
+    }
+
+    /// Shadow link register, when valid.
+    pub fn shadow_lr(&self) -> Option<u32> {
+        self.lr_valid.then_some(self.lr)
+    }
+
+    /// Seal the trace. `outcome` is the run's result; a trap at a watched
+    /// PC counts as one final arrival there (mirroring the
+    /// fetch-breakpoint accounting, which observes the arrival before the
+    /// instruction executes).
+    pub fn finish(mut self, outcome: &RunOutcome) -> DefUseTrace {
+        if let RunOutcome::Trapped { pc, .. } = outcome {
+            let tpc = *pc;
+            self.resolve_open_branch(tpc);
+            let pending = self.pending_store.take();
+            if self.watch_set.contains(&tpc) {
+                let event = match pending {
+                    // The final arrival was a store that trapped: the
+                    // hook fired but the write never landed.
+                    Some(ps) if ps.pc == tpc => OccEvent::Store {
+                        addr: ps.addr,
+                        size: ps.size,
+                        completed: false,
+                        dead: false,
+                    },
+                    _ => OccEvent::Other,
+                };
+                self.begin_occ(tpc, event);
+            }
+        }
+        // Unresolved pending defs were never read: they stay dead, which
+        // is their initial state — nothing to do.
+        DefUseTrace {
+            tainted: self.tainted,
+            retired: self.retired,
+            sites: self.sites,
+        }
+    }
+
+    fn instr_at(&self, pc: u32) -> Option<Instr> {
+        if pc < self.code_lo || pc >= self.code_hi || !pc.is_multiple_of(4) {
+            return None;
+        }
+        self.decoded[((pc - self.code_lo) / 4) as usize]
+    }
+
+    /// Count an arrival at a watched PC and (below the cap) open its
+    /// occurrence record. Returns the record's index.
+    fn begin_occ(&mut self, pc: u32, event: OccEvent) -> Option<usize> {
+        let retired_before = self.retired;
+        let cap = self.occ_cap;
+        let site = self.sites.get_mut(&pc)?;
+        site.total += 1;
+        if site.occs.len() >= cap {
+            site.truncated = true;
+            return None;
+        }
+        site.occs.push(OccRecord {
+            retired_before,
+            event,
+        });
+        Some(site.occs.len() - 1)
+    }
+
+    fn set_occ_event(&mut self, site: u32, idx: usize, f: impl FnOnce(&mut OccEvent)) {
+        if let Some(s) = self.sites.get_mut(&site) {
+            if let Some(rec) = s.occs.get_mut(idx) {
+                f(&mut rec.event);
+            }
+        }
+    }
+
+    /// The instruction stream moved on to `pc`: whatever branch was
+    /// waiting for its successor now knows it.
+    fn resolve_open_branch(&mut self, pc: u32) {
+        if let Some((site, idx)) = self.open_branch.take() {
+            self.set_occ_event(site, idx, |e| {
+                if let OccEvent::Branch { next_pc, .. } = e {
+                    *next_pc = Some(pc);
+                }
+            });
+        }
+    }
+
+    // ---- liveness bookkeeping -------------------------------------
+
+    /// A store overwrote these bytes: pending defs there are dropped
+    /// still-dead (their value was never read).
+    fn kill_bytes(&mut self, addr: u32, size: u8) {
+        for i in 0..size as u32 {
+            self.mem_pending.remove(&addr.wrapping_add(i));
+        }
+    }
+
+    /// A load read these bytes: every pending def touching them is live.
+    fn read_bytes(&mut self, addr: u32, size: u8) {
+        for i in 0..size as u32 {
+            if let Some(refs) = self.mem_pending.remove(&addr.wrapping_add(i)) {
+                for (site, idx) in refs {
+                    self.resolve_store_live(site, idx);
+                }
+            }
+        }
+    }
+
+    /// Mark a pending store live and withdraw its remaining bytes.
+    fn resolve_store_live(&mut self, site: u32, idx: usize) {
+        let mut range = None;
+        self.set_occ_event(site, idx, |e| {
+            if let OccEvent::Store {
+                addr, size, dead, ..
+            } = e
+            {
+                *dead = false;
+                range = Some((*addr, *size));
+            }
+        });
+        if let Some((addr, size)) = range {
+            for i in 0..size as u32 {
+                if let Some(refs) = self.mem_pending.get_mut(&addr.wrapping_add(i)) {
+                    refs.retain(|&(s, x)| (s, x) != (site, idx));
+                    if refs.is_empty() {
+                        self.mem_pending.remove(&addr.wrapping_add(i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A syscall read guest memory at an address the analysis does not
+    /// model (`print_str` walks to the NUL): everything pending is live.
+    fn barrier_all_mem(&mut self) {
+        let all: Vec<(u32, usize)> = self.mem_pending.values().flatten().copied().collect();
+        for (site, idx) in all {
+            self.resolve_store_live(site, idx);
+        }
+        self.mem_pending.clear();
+    }
+
+    /// Register `r` was read: pending defs of it are live.
+    fn use_reg(&mut self, r: u8) {
+        for (site, idx) in std::mem::take(&mut self.reg_pending[r as usize]) {
+            self.set_occ_event(site, idx, |e| {
+                if let OccEvent::RegDef { dead, .. } = e {
+                    *dead = false;
+                }
+            });
+        }
+    }
+
+    /// Register `r` was overwritten: pending defs drop, still dead.
+    fn def_reg(&mut self, r: u8) {
+        self.reg_pending[r as usize].clear();
+    }
+
+    // ---- shadow execution -----------------------------------------
+
+    fn read(&mut self, r: u8) -> Option<u32> {
+        self.use_reg(r);
+        (self.valid >> r & 1 == 1).then(|| self.regs[r as usize])
+    }
+
+    /// Write back a GPR: kill pending defs on `rd`, optionally open a
+    /// watched-occurrence pending def, and update the shadow value.
+    fn write_gpr(&mut self, rd: u8, value: Option<u32>, watched_occ: Option<(u32, usize)>) {
+        self.def_reg(rd);
+        if let Some((site, idx)) = watched_occ {
+            self.reg_pending[rd as usize].push((site, idx));
+        }
+        match value {
+            Some(v) => {
+                self.regs[rd as usize] = v;
+                self.valid |= 1 << rd;
+            }
+            None => self.valid &= !(1 << rd),
+        }
+    }
+
+    fn set_shadow_cr(&mut self, crf: u8, value: Option<(bool, bool, bool)>) {
+        let f = crf & 7;
+        match value {
+            Some((lt, gt, eq)) => {
+                let shift = f as u32 * 4;
+                self.cr &= !(0xF << shift);
+                self.cr |= ((lt as u32) | ((gt as u32) << 1) | ((eq as u32) << 2)) << shift;
+                self.cr_valid |= 1 << f;
+            }
+            None => self.cr_valid &= !(1 << f),
+        }
+    }
+
+    /// Arithmetically replay one retired instruction against the shadow
+    /// state. `watched_occ` is the open occurrence record when `pc` is a
+    /// watched site whose instruction defines a GPR.
+    fn shadow_exec(&mut self, pc: u32, instr: Instr, watched_occ: Option<(u32, usize)>) {
+        match instr {
+            Instr::Addi { rd, ra, imm } => {
+                let v = self.read(ra).map(|a| a.wrapping_add(imm as i32 as u32));
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Addis { rd, ra, imm } => {
+                let v = self
+                    .read(ra)
+                    .map(|a| a.wrapping_add((imm as i32 as u32) << 16));
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Andi { rd, ra, imm } => {
+                let v = self.read(ra).map(|a| a & imm as u32);
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Ori { rd, ra, imm } => {
+                let v = self.read(ra).map(|a| a | imm as u32);
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Xori { rd, ra, imm } => {
+                let v = self.read(ra).map(|a| a ^ imm as u32);
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Cmpi { crf, ra, imm } => {
+                let v = self.read(ra).map(|a| {
+                    let (a, b) = (a as i32, imm as i32);
+                    (a < b, a > b, a == b)
+                });
+                self.set_shadow_cr(crf, v);
+            }
+            Instr::Cmp { crf, ra, rb } => {
+                let a = self.read(ra);
+                let b = self.read(rb);
+                let v = a.zip(b).map(|(a, b)| {
+                    let (a, b) = (a as i32, b as i32);
+                    (a < b, a > b, a == b)
+                });
+                self.set_shadow_cr(crf, v);
+            }
+            Instr::Alu { op, rd, ra, rb } => {
+                let a = self.read(ra);
+                let b = self.read(rb);
+                let v = match op {
+                    // Unary ops ignore rb's value but the machine still
+                    // read the register field; mirror the use.
+                    AluOp::Neg => a.map(|a| (a as i32).wrapping_neg() as u32),
+                    AluOp::Not => a.map(|a| !a),
+                    _ => a.zip(b).and_then(|(a, b)| match op {
+                        AluOp::Add => Some(a.wrapping_add(b)),
+                        AluOp::Sub => Some(a.wrapping_sub(b)),
+                        AluOp::Mullw => Some((a as i32).wrapping_mul(b as i32) as u32),
+                        // A zero divisor would have trapped before the
+                        // retire; reaching it here means the shadow has
+                        // drifted — invalidate rather than divide.
+                        AluOp::Divw => (b != 0).then(|| (a as i32).wrapping_div(b as i32) as u32),
+                        AluOp::Divwu => (b != 0).then(|| a / b),
+                        AluOp::Remw => (b != 0).then(|| (a as i32).wrapping_rem(b as i32) as u32),
+                        AluOp::And => Some(a & b),
+                        AluOp::Or => Some(a | b),
+                        AluOp::Xor => Some(a ^ b),
+                        AluOp::Nand => Some(!(a & b)),
+                        AluOp::Nor => Some(!(a | b)),
+                        AluOp::Slw => Some(a.wrapping_shl(b & 31)),
+                        AluOp::Srw => Some(a.wrapping_shr(b & 31)),
+                        AluOp::Sraw => Some(((a as i32).wrapping_shr(b & 31)) as u32),
+                        AluOp::Neg | AluOp::Not => unreachable!("handled above"),
+                    }),
+                };
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Lwz { rd, ra, .. } => {
+                self.use_reg(ra);
+                let v = self.last_load.take().map(|(_, v)| v);
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Lbz { rd, ra, .. } => {
+                self.use_reg(ra);
+                let v = self.last_load.take().map(|(_, v)| v);
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Stw { rs, ra, .. } | Instr::Stb { rs, ra, .. } => {
+                // Address and value reads; the memory effect was
+                // committed from the store hooks at this retire.
+                self.use_reg(ra);
+                self.use_reg(rs);
+            }
+            Instr::B { .. } => {}
+            Instr::Bl { .. } => {
+                self.lr = pc.wrapping_add(4);
+                self.lr_valid = true;
+            }
+            Instr::Bc { .. } => {}
+            Instr::Blr => {}
+            Instr::Mflr { rd } => {
+                let v = self.lr_valid.then_some(self.lr);
+                self.write_gpr(rd, v, watched_occ);
+            }
+            Instr::Mtlr { ra } => match self.read(ra) {
+                Some(v) => {
+                    self.lr = v;
+                    self.lr_valid = true;
+                }
+                None => self.lr_valid = false,
+            },
+            Instr::Sc { call } => self.shadow_syscall(call),
+            Instr::Halt => {
+                self.use_reg(3);
+            }
+        }
+    }
+
+    fn shadow_syscall(&mut self, call: Syscall) {
+        match call {
+            Syscall::Exit | Syscall::PrintInt | Syscall::PrintChar => {
+                self.use_reg(3);
+            }
+            Syscall::PrintStr => {
+                self.use_reg(3);
+                self.barrier_all_mem();
+            }
+            Syscall::ReadInt => {
+                let popped = self.tape.pop_int();
+                match popped {
+                    Some(v) => {
+                        self.write_gpr(3, Some(v as u32), None);
+                        self.write_gpr(4, Some(0), None);
+                    }
+                    None => {
+                        self.write_gpr(3, Some(0), None);
+                        self.write_gpr(4, Some(1), None);
+                    }
+                }
+            }
+            Syscall::ReadByte => {
+                let popped = self.tape.pop_byte();
+                let v = match popped {
+                    Some(b) => b as u32,
+                    None => u32::MAX,
+                };
+                self.write_gpr(3, Some(v), None);
+            }
+            Syscall::Malloc => {
+                self.use_reg(3);
+                // The heap pointer lives in allocator bookkeeping the
+                // shadow cannot see.
+                self.write_gpr(3, None, None);
+            }
+            Syscall::Free => {
+                self.use_reg(3);
+            }
+            Syscall::CoreId => {
+                self.write_gpr(3, Some(0), None);
+            }
+            Syscall::NumCores => {
+                let n = self.num_cores;
+                self.write_gpr(3, Some(n), None);
+            }
+            Syscall::Barrier => {}
+        }
+    }
+
+    /// Commit the memory effect of a completed store and, at a watched
+    /// PC, open its occurrence record.
+    fn commit_store(&mut self, ps: PendingStore) {
+        if ps.addr < self.code_hi && ps.addr.wrapping_add(ps.size as u32) > self.code_lo {
+            // Self-modifying code: the static decode table no longer
+            // describes the run.
+            self.tainted = true;
+        }
+        self.kill_bytes(ps.addr, ps.size);
+        if self.watch_set.contains(&ps.pc) {
+            let idx = self.begin_occ(
+                ps.pc,
+                OccEvent::Store {
+                    addr: ps.addr,
+                    size: ps.size,
+                    completed: true,
+                    dead: true,
+                },
+            );
+            if let Some(idx) = idx {
+                for i in 0..ps.size as u32 {
+                    self.mem_pending
+                        .entry(ps.addr.wrapping_add(i))
+                        .or_default()
+                        .push((ps.pc, idx));
+                }
+            }
+        }
+    }
+
+    /// One instruction retired on the hook path.
+    fn retire_one(&mut self, pc: u32) {
+        self.resolve_open_branch(pc);
+        if let Some(ps) = self.pending_store.take() {
+            debug_assert_eq!(ps.pc, pc, "store hook and retire disagree");
+            self.commit_store(ps);
+        }
+        let Some(instr) = self.instr_at(pc) else {
+            // Executing outside the static image (or a word that does
+            // not decode from it — only possible after self-modification
+            // anyway): arrival totals stay exact, everything else is
+            // off the table.
+            self.tainted = true;
+            if self.watch_set.contains(&pc) {
+                self.begin_occ(pc, OccEvent::Other);
+            }
+            self.retired += 1;
+            return;
+        };
+        let watched_occ = if self.watch_set.contains(&pc) {
+            match instr {
+                // Store occurrences were opened by `commit_store`.
+                Instr::Stw { .. } | Instr::Stb { .. } => None,
+                Instr::Bc { .. } => {
+                    let (cr, cr_valid) = (self.cr, self.cr_valid);
+                    let idx = self.begin_occ(
+                        pc,
+                        OccEvent::Branch {
+                            next_pc: None,
+                            cr,
+                            cr_valid,
+                        },
+                    );
+                    if let Some(idx) = idx {
+                        self.open_branch = Some((pc, idx));
+                    }
+                    None
+                }
+                _ => match writes_gpr(instr) {
+                    Some(rd) => self
+                        .begin_occ(pc, OccEvent::RegDef { rd, dead: true })
+                        .map(|idx| (pc, idx)),
+                    None => {
+                        self.begin_occ(pc, OccEvent::Other);
+                        None
+                    }
+                },
+            }
+        } else {
+            None
+        };
+        self.shadow_exec(pc, instr, watched_occ);
+        self.retired += 1;
+    }
+}
+
+/// The GPR an instruction defines through the write-back path, if any.
+/// Syscall register effects are *not* write-backs (they bypass the
+/// register-write hook), so `Sc` returns `None`.
+fn writes_gpr(instr: Instr) -> Option<u8> {
+    match instr {
+        Instr::Addi { rd, .. }
+        | Instr::Addis { rd, .. }
+        | Instr::Andi { rd, .. }
+        | Instr::Ori { rd, .. }
+        | Instr::Xori { rd, .. }
+        | Instr::Alu { rd, .. }
+        | Instr::Lwz { rd, .. }
+        | Instr::Lbz { rd, .. }
+        | Instr::Mflr { rd } => Some(rd),
+        _ => None,
+    }
+}
+
+/// Instructions a quiescent block may contain: no memory traffic, no
+/// syscalls, no core-state transitions. Pure register/branch arithmetic
+/// the shadow stepper replays exactly.
+fn pure_for_blocks(instr: Instr) -> bool {
+    !matches!(
+        instr,
+        Instr::Lwz { .. }
+            | Instr::Lbz { .. }
+            | Instr::Stw { .. }
+            | Instr::Stb { .. }
+            | Instr::Sc { .. }
+            | Instr::Halt
+    )
+}
+
+impl Inspector for DefUseRecorder {
+    fn fetch_policy(&self) -> FetchPolicy {
+        // Watched PCs stay on the slow fetch path, exactly as they do on
+        // injected runs — arrival counts must agree between the two.
+        FetchPolicy::Pcs(self.watch.clone())
+    }
+
+    #[inline]
+    fn on_load_value(&mut self, _core: usize, pc: u32, addr: u32, value: &mut u32) {
+        let size = match self.instr_at(pc) {
+            Some(Instr::Lbz { .. }) => 1,
+            _ => 4,
+        };
+        self.read_bytes(addr, size);
+        self.last_load = Some((addr, *value));
+    }
+
+    #[inline]
+    fn on_store_value(&mut self, _core: usize, pc: u32, addr: u32, _value: &mut u32) {
+        let size = match self.instr_at(pc) {
+            Some(Instr::Stb { .. }) => 1,
+            _ => 4,
+        };
+        self.pending_store = Some(PendingStore { pc, addr, size });
+    }
+
+    #[inline]
+    fn on_retire(&mut self, _core: usize, pc: u32) {
+        self.retire_one(pc);
+    }
+
+    fn block_quiescent(&self, _core: usize, first_pc: u32, last_pc: u32) -> bool {
+        let key = (first_pc as u64) << 32 | last_pc as u64;
+        if let Some(&v) = self.quiesce.borrow().get(&key) {
+            return v;
+        }
+        let mut ok = first_pc >= self.code_lo && last_pc < self.code_hi;
+        if ok {
+            let mut pc = first_pc;
+            while pc <= last_pc {
+                let idx = ((pc - self.code_lo) / 4) as usize;
+                match self.decoded.get(idx).copied().flatten() {
+                    Some(instr) if pure_for_blocks(instr) && !self.watch_set.contains(&pc) => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+                pc += 4;
+            }
+        }
+        self.quiesce.borrow_mut().insert(key, ok);
+        ok
+    }
+
+    fn on_block_retire(&mut self, _core: usize, first_pc: u32, n: u32) {
+        self.resolve_open_branch(first_pc);
+        for i in 0..n {
+            let pc = first_pc.wrapping_add(i * 4);
+            // Quiescence guaranteed the whole block decodes from the
+            // static image and contains no watched PC.
+            if let Some(instr) = self.instr_at(pc) {
+                self.shadow_exec(pc, instr, None);
+            } else {
+                self.tainted = true;
+            }
+            self.retired += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::machine::{Machine, MachineConfig};
+
+    fn run_traced(src: &str, watch: &[u32], tape: InputTape) -> (Machine, RunOutcome, DefUseTrace) {
+        let image = assemble(src).expect("assembles");
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        m.set_input(tape.clone());
+        let mut rec = DefUseRecorder::new(m.core(0), &image.code, watch, tape);
+        let out = m.run(&mut rec);
+        assert_eq!(rec.retired(), m.retired(), "recorder counts every retire");
+        let trace = rec.finish(&out);
+        assert_eq!(trace.retired, m.retired());
+        (m, out, trace)
+    }
+
+    #[test]
+    fn shadow_registers_match_machine() {
+        // ALU, loads, stores, calls, and input reads; the shadow must
+        // agree with the machine on every valid register at the end.
+        let src = "
+            li r5, 3
+            li r6, 10
+            mullw r7, r5, r6
+            sc read_int
+            add r8, r7, r3
+            li r9, 0x200
+            stw r8, 0(r9)
+            lwz r10, 0(r9)
+            bl helper
+            li r3, 0
+            halt
+            helper:
+            addi r11, r10, 7
+            blr";
+        let image = assemble(src).expect("assembles");
+        let mut tape = InputTape::new();
+        tape.push_ints([12]);
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        m.set_input(tape.clone());
+        let mut rec = DefUseRecorder::new(m.core(0), &image.code, &[], tape);
+        let out = m.run(&mut rec);
+        assert!(matches!(out, RunOutcome::Completed { exit_code: 0, .. }));
+        for r in 0..32 {
+            if let Some(v) = rec.shadow_reg(r) {
+                assert_eq!(v, m.core(0).regs[r], "shadow r{r} diverged");
+            }
+        }
+        assert!(rec.shadow_reg(7).is_some(), "pure ALU dataflow stays valid");
+        assert!(rec.shadow_reg(3).is_some(), "read_int simulated from tape");
+        assert!(
+            rec.shadow_reg(10).is_some(),
+            "load value captured from hook"
+        );
+        assert!(rec.shadow_reg(11).is_some(), "callee dataflow stays valid");
+        let trace = rec.finish(&out);
+        assert!(trace.usable());
+    }
+
+    #[test]
+    fn malloc_invalidates_dataflow() {
+        let src = "
+            li r3, 16
+            sc malloc
+            add r5, r3, r3
+            li r3, 0
+            halt";
+        let (_, _, _trace) = run_traced(src, &[], InputTape::new());
+        let image = assemble(src).expect("assembles");
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let mut rec = DefUseRecorder::new(m.core(0), &image.code, &[], InputTape::new());
+        m.run(&mut rec);
+        assert_eq!(rec.shadow_reg(5), None, "malloc result is opaque");
+        assert_eq!(rec.shadow_reg(3), Some(0), "later li revalidates");
+    }
+
+    #[test]
+    fn dead_and_live_stores_are_distinguished() {
+        // First store to 0x200 is overwritten before any read (dead);
+        // the store to 0x204 is read back (live).
+        let src = "
+            li r9, 0x200
+            li r5, 1
+            stw r5, 0(r9)
+            li r5, 2
+            stw r5, 0(r9)
+            li r6, 7
+            stw r6, 4(r9)
+            lwz r7, 4(r9)
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let dead_pc = image.addr_of(2);
+        let over_pc = image.addr_of(4);
+        let live_pc = image.addr_of(6);
+        let (_, _, trace) = run_traced(src, &[dead_pc, over_pc, live_pc], InputTape::new());
+        assert!(trace.usable());
+        let dead = trace.site(dead_pc).unwrap().occ(1).unwrap();
+        assert_eq!(
+            dead.event,
+            OccEvent::Store {
+                addr: 0x200,
+                size: 4,
+                completed: true,
+                dead: true
+            }
+        );
+        let over = trace.site(over_pc).unwrap().occ(1).unwrap();
+        // The overwriting store itself is never read before the run ends.
+        assert!(matches!(over.event, OccEvent::Store { dead: true, .. }));
+        let live = trace.site(live_pc).unwrap().occ(1).unwrap();
+        assert!(matches!(
+            live.event,
+            OccEvent::Store {
+                addr: 0x204,
+                dead: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn partial_overwrite_keeps_the_store_live() {
+        // A word store has one byte overwritten; a later word load still
+        // reads the remaining three bytes, so the def is live.
+        let src = "
+            li r9, 0x200
+            li r5, -1
+            stw r5, 0(r9)
+            li r6, 0
+            stb r6, 0(r9)
+            lwz r7, 0(r9)
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let word_store = image.addr_of(2);
+        let (_, _, trace) = run_traced(src, &[word_store], InputTape::new());
+        let occ = trace.site(word_store).unwrap().occ(1).unwrap();
+        assert!(matches!(occ.event, OccEvent::Store { dead: false, .. }));
+    }
+
+    #[test]
+    fn print_str_is_a_global_read_barrier() {
+        let src = "
+            li r9, 0x200
+            li r5, 65
+            stb r5, 0(r9)
+            li r6, 0
+            stb r6, 1(r9)
+            addi r3, r9, 0
+            sc print_str
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let store_pc = image.addr_of(2);
+        let (_, out, trace) = run_traced(src, &[store_pc], InputTape::new());
+        match &out {
+            RunOutcome::Completed { output, .. } => assert_eq!(output, b"A"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let occ = trace.site(store_pc).unwrap().occ(1).unwrap();
+        assert!(
+            matches!(occ.event, OccEvent::Store { dead: false, .. }),
+            "print_str must pin pending stores live"
+        );
+    }
+
+    #[test]
+    fn arrival_totals_match_loop_counts() {
+        let src = "
+            li r5, 5
+            li r9, 0x200
+            loop:
+            stw r5, 0(r9)
+            addi r5, r5, -1
+            cmpi cr0, r5, 0
+            bc cr0.gt, 1, loop
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let store_pc = image.addr_of(2);
+        let bc_pc = image.addr_of(5);
+        let (_, _, trace) = run_traced(src, &[store_pc, bc_pc], InputTape::new());
+        assert_eq!(trace.total(store_pc), Some(5));
+        assert_eq!(trace.total(bc_pc), Some(5));
+        let site = trace.site(store_pc).unwrap();
+        assert!(site.complete());
+        // Every iteration's store is overwritten by the next; the final
+        // one is never read. All five are dead.
+        for occ in &site.occs {
+            assert!(matches!(occ.event, OccEvent::Store { dead: true, .. }));
+        }
+        // Trigger depth grows monotonically with occurrences.
+        assert!(site
+            .occs
+            .windows(2)
+            .all(|w| { w[0].retired_before < w[1].retired_before }));
+    }
+
+    #[test]
+    fn branch_records_successor_and_shadow_cr() {
+        let src = "
+            li r5, 2
+            loop:
+            addi r5, r5, -1
+            cmpi cr0, r5, 0
+            bc cr0.gt, 1, loop
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let bc_pc = image.addr_of(3);
+        let loop_pc = image.addr_of(1);
+        let (_, _, trace) = run_traced(src, &[bc_pc], InputTape::new());
+        let site = trace.site(bc_pc).unwrap();
+        assert_eq!(site.total, 2);
+        let first = site.occ(1).unwrap();
+        let second = site.occ(2).unwrap();
+        match (first.event, second.event) {
+            (
+                OccEvent::Branch {
+                    next_pc: Some(n1),
+                    cr_valid: v1,
+                    ..
+                },
+                OccEvent::Branch {
+                    next_pc: Some(n2),
+                    cr_valid: v2,
+                    ..
+                },
+            ) => {
+                assert_eq!(n1, loop_pc, "first pass is taken");
+                assert_eq!(n2, bc_pc + 4, "second pass falls through");
+                assert!(v1 & 1 == 1 && v2 & 1 == 1, "cr0 shadow stays valid");
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trapping_store_counts_as_final_arrival() {
+        let src = "
+            li r9, 0x200
+            li r5, 1
+            li r6, 3
+            loop:
+            stw r5, 0(r9)
+            addis r9, r9, 0x100
+            addi r6, r6, -1
+            cmpi cr0, r6, 0
+            bc cr0.gt, 1, loop
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let store_pc = image.addr_of(3);
+        let (_, out, trace) = run_traced(src, &[store_pc], InputTape::new());
+        assert!(matches!(out, RunOutcome::Trapped { .. }));
+        let site = trace.site(store_pc).unwrap();
+        assert_eq!(site.total, 2, "completed first arrival plus the trap");
+        assert!(matches!(
+            site.occ(1).unwrap().event,
+            OccEvent::Store {
+                completed: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            site.occ(2).unwrap().event,
+            OccEvent::Store {
+                completed: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn self_modifying_code_taints_the_trace() {
+        // Store a `li r3, 0` over the placeholder word, then execute it.
+        let src = "
+            li r5, 0x38600000
+            li r9, 0x110
+            stw r5, 0(r9)
+            ori r0, r0, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let (_, _, trace) = run_traced(src, &[], InputTape::new());
+        assert_eq!(image.addr_of(4), 0x110);
+        assert!(trace.tainted, "code store must taint");
+        assert!(!trace.usable());
+    }
+
+    #[test]
+    fn occurrence_cap_truncates_but_keeps_totals() {
+        let src = "
+            li r5, 40
+            li r9, 0x200
+            loop:
+            stw r5, 0(r9)
+            addi r5, r5, -1
+            cmpi cr0, r5, 0
+            bc cr0.gt, 1, loop
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let store_pc = image.addr_of(2);
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&image);
+        let mut rec = DefUseRecorder::new(m.core(0), &image.code, &[store_pc], InputTape::new());
+        rec.occ_cap = 8;
+        let out = m.run(&mut rec);
+        let trace = rec.finish(&out);
+        let site = trace.site(store_pc).unwrap();
+        assert_eq!(site.total, 40);
+        assert_eq!(site.occs.len(), 8);
+        assert!(site.truncated);
+        assert!(!site.complete());
+    }
+
+    #[test]
+    fn register_def_liveness() {
+        // r5's first def is clobbered before use (dead); the second def
+        // feeds an add (live).
+        let src = "
+            li r5, 1
+            li r5, 2
+            add r6, r5, r5
+            li r3, 0
+            halt";
+        let image = assemble(src).expect("assembles");
+        let dead_pc = image.addr_of(0);
+        let live_pc = image.addr_of(1);
+        let (_, _, trace) = run_traced(src, &[dead_pc, live_pc], InputTape::new());
+        assert!(matches!(
+            trace.site(dead_pc).unwrap().occ(1).unwrap().event,
+            OccEvent::RegDef { rd: 5, dead: true }
+        ));
+        assert!(matches!(
+            trace.site(live_pc).unwrap().occ(1).unwrap().event,
+            OccEvent::RegDef { rd: 5, dead: false }
+        ));
+    }
+
+    #[test]
+    fn unwatched_runs_record_nothing_but_stay_exact() {
+        let src = "
+            li r5, 100
+            loop:
+            addi r5, r5, -1
+            cmpi cr0, r5, 0
+            bc cr0.gt, 1, loop
+            li r3, 0
+            halt";
+        let (m, out, trace) = run_traced(src, &[], InputTape::new());
+        assert!(matches!(out, RunOutcome::Completed { exit_code: 0, .. }));
+        assert_eq!(trace.retired, m.retired());
+        assert_eq!(trace.total(0x104), None);
+    }
+}
